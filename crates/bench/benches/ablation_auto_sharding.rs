@@ -1,0 +1,45 @@
+//! Ablation: automatic sharding (the paper's future work) versus the
+//! three manual strategies at 8 shards.
+
+use dlrm_bench::report::{header, repro_requests};
+use dlrm_core::model::rm;
+use dlrm_core::sharding::ShardingStrategy;
+use dlrm_core::Study;
+
+fn main() {
+    println!(
+        "{}",
+        header(
+            "Ablation",
+            "Automatic sharding vs manual strategies (RM1, 8 shards)"
+        )
+    );
+    let mut study = Study::new(rm::rm1()).with_requests(repro_requests());
+    let singular = study.run(ShardingStrategy::Singular).expect("singular");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "config", "e2e p50", "e2e p99", "cpu p50", "rpcs/req", "oh% p99"
+    );
+    for strategy in [
+        ShardingStrategy::LoadBalanced(8),
+        ShardingStrategy::CapacityBalanced(8),
+        ShardingStrategy::NetSpecificBinPacking(8),
+        ShardingStrategy::Auto(8),
+    ] {
+        let r = study.run(strategy).expect("config");
+        println!(
+            "{:<10} {:>9.2} {:>9.2} {:>9.2} {:>9.1} {:>+9.1}",
+            strategy.label(),
+            r.e2e.p50,
+            r.e2e.p99,
+            r.cpu.p50,
+            r.rpcs_per_request,
+            (r.e2e.p99 / singular.e2e.p99 - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\nthe auto planner's net-affinity placement should sit between \
+         load-balanced (latency-optimal) and NSBP (compute/replication-\
+         optimal): fewer RPCs than lb-8 at comparable latency."
+    );
+}

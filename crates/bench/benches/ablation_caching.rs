@@ -1,0 +1,71 @@
+//! Ablation: embedding-row caching from access traces (§IX's Bandana
+//! direction — "explorations of table placement and frequency-based
+//! caching are valuable directions enabled with trace-based analyses").
+
+use dlrm_bench::report::{bar, header};
+use dlrm_core::workload::AccessTrace;
+
+fn main() {
+    println!(
+        "{}",
+        header(
+            "Ablation",
+            "LRU hit-rate curves from embedding access traces"
+        )
+    );
+    let rows = 200_000u64;
+    let accesses = 400_000usize;
+    println!(
+        "table: {rows} rows; trace: {accesses} accesses; cache sizes as % of rows\n"
+    );
+    println!(
+        "{:>6} | {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "skew s", "0.1%", "1%", "5%", "20%", "100%"
+    );
+    let caps = [
+        rows as usize / 1000,
+        rows as usize / 100,
+        rows as usize / 20,
+        rows as usize / 5,
+        rows as usize,
+    ];
+    for s in [0.2f64, 0.6, 0.9, 1.1, 1.4] {
+        let trace = AccessTrace::zipf(rows, accesses, s, 7);
+        let curve = trace.lru_curve(&caps);
+        let cells: Vec<String> = curve
+            .iter()
+            .map(|(_, h)| format!("{:>7.1}%", h * 100.0))
+            .collect();
+        println!("{s:>6} | {}", cells.join(" "));
+    }
+
+    // The skew → effective-DRAM story in one line. Compulsory (cold)
+    // misses bound the achievable hit rate, so target 95% of the
+    // full-cache ceiling.
+    let skewed = AccessTrace::zipf(rows, accesses, 1.1, 7);
+    let ceiling = skewed.lru_hit_rate(rows as usize);
+    let target = ceiling * 0.95;
+    let mut needed = rows as usize;
+    for frac in [0.001f64, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0] {
+        let cap = ((rows as f64 * frac) as usize).max(1);
+        if skewed.lru_hit_rate(cap) >= target {
+            needed = cap;
+            break;
+        }
+    }
+    println!(
+        "\nAt production-like skew (s=1.1), a cache of {} rows ({:.1}% of the \
+         table) reaches {:.1}% hit rate — 95% of the {:.1}% cold-miss \
+         ceiling {}",
+        needed,
+        needed as f64 / rows as f64 * 100.0,
+        skewed.lru_hit_rate(needed) * 100.0,
+        ceiling * 100.0,
+        bar(1.0, 1.0, 1)
+    );
+    println!(
+        "— the Bandana result in miniature: skew makes small DRAM caches \
+         cover most traffic, which is also what the SSD-paging cost model's \
+         skew parameter encodes."
+    );
+}

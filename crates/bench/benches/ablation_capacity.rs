@@ -1,0 +1,50 @@
+//! Ablation: SLA-bounded capacity per sharding strategy — the max QPS
+//! one main-shard instance sustains before its P99 violates the SLA.
+//!
+//! This turns Fig. 16's observation (distributed serves load better)
+//! into the quantity operators provision against.
+
+use dlrm_bench::report::header;
+use dlrm_core::model::rm;
+use dlrm_core::serving::capacity::{max_qps_under_sla, SlaTarget};
+use dlrm_core::serving::experiment::trace_config_for;
+use dlrm_core::serving::{Cluster, CostModel};
+use dlrm_core::sharding::{plan, ShardingStrategy};
+use dlrm_core::workload::TraceDb;
+
+fn main() {
+    println!(
+        "{}",
+        header("Ablation", "SLA-bounded capacity per strategy (RM1)")
+    );
+    let spec = rm::rm1();
+    let db = TraceDb::generate_with(&spec, 400, 0x000D_15C0, &trace_config_for(&spec));
+    let profile = db.pooling_profile(400);
+    let cost = CostModel::for_model(&spec);
+    let cluster = Cluster::sc_large();
+    // SLA: 1.3× the singular serial P99 (a typical production budget).
+    let sla = SlaTarget { p99_ms: 190.0 };
+
+    println!("SLA: P99 ≤ {} ms", sla.p99_ms);
+    println!("{:<10} {:>12} {:>12}", "strategy", "max QPS", "P99@max");
+    for strategy in [
+        ShardingStrategy::Singular,
+        ShardingStrategy::OneShard,
+        ShardingStrategy::LoadBalanced(8),
+        ShardingStrategy::NetSpecificBinPacking(8),
+    ] {
+        let p = plan(&spec, &profile, strategy).expect("plannable");
+        let est = max_qps_under_sla(&spec, &p, &cost, &cluster, &db, sla, 250, 11);
+        println!(
+            "{:<10} {:>12.1} {:>12.2}",
+            strategy.label(),
+            est.max_qps,
+            est.p99_at_max
+        );
+    }
+    println!(
+        "\nThe singular instance saturates first: its co-located tables \
+         degrade under concurrency (§VII-A), while sharded configurations \
+         keep the main shard dense-only and push sparse load outward."
+    );
+}

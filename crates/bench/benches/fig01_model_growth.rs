@@ -1,0 +1,34 @@
+//! Fig. 1: Historical model growth — number of features and embedding
+//! capacity both grow an order of magnitude in three years.
+
+use dlrm_bench::report::{bar, header};
+use dlrm_core::model::growth::growth_series;
+
+fn main() {
+    println!(
+        "{}",
+        header("Fig 1", "Historical model growth (normalized, 2017-2020)")
+    );
+    let series = growth_series(13, 36.0);
+    let max = series
+        .last()
+        .map(|p| p.relative_embedding_capacity)
+        .unwrap_or(1.0);
+    println!("{:>7} | {:>9} {:<26} | {:>9}", "month", "features", "", "capacity");
+    for p in &series {
+        println!(
+            "{:>7.0} | {:>8.2}x {:<26} | {:>8.2}x {}",
+            p.months,
+            p.relative_features,
+            bar(p.relative_features, max, 24),
+            p.relative_embedding_capacity,
+            bar(p.relative_embedding_capacity, max, 24),
+        );
+    }
+    let last = series.last().unwrap();
+    println!(
+        "\npaper: 'an order of magnitude in only three years' — measured: \
+         features {:.1}x, embedding capacity {:.1}x over 36 months.",
+        last.relative_features, last.relative_embedding_capacity
+    );
+}

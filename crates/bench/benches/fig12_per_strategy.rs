@@ -1,0 +1,50 @@
+//! Fig. 12: RM1 per-shard operator latencies by sharding strategy with
+//! 8 sparse shards — load-balanced vs capacity-balanced differ little.
+
+use dlrm_bench::report::{bar, header, repro_requests};
+use dlrm_core::model::rm;
+use dlrm_core::sharding::ShardingStrategy;
+use dlrm_core::Study;
+
+fn spread(v: &[f64]) -> f64 {
+    let max = v.iter().cloned().fold(0.0f64, f64::max);
+    let min = v.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+    max / min
+}
+
+fn main() {
+    println!(
+        "{}",
+        header("Fig 12", "RM1 per-shard operator latencies by strategy (8 shards)")
+    );
+    let mut study = Study::new(rm::rm1()).with_requests(repro_requests());
+    let mut e2e = Vec::new();
+    for strategy in [
+        ShardingStrategy::LoadBalanced(8),
+        ShardingStrategy::CapacityBalanced(8),
+        ShardingStrategy::NetSpecificBinPacking(8),
+        ShardingStrategy::Auto(8),
+    ] {
+        let r = study.run(strategy).expect("config");
+        println!("\n-- {} --", strategy.label());
+        let max = r.per_shard_sls_ms.iter().cloned().fold(0.0f64, f64::max);
+        for (i, ms) in r.per_shard_sls_ms.iter().enumerate() {
+            println!("  shard {} sls {:>9.1} ms {}", i + 1, ms, bar(*ms, max, 30));
+        }
+        println!(
+            "  per-shard sls max/min: {:.2}x | e2e p50 {:.2} ms",
+            spread(&r.per_shard_sls_ms),
+            r.e2e.p50
+        );
+        e2e.push((strategy.label(), r.e2e));
+    }
+    let lb = &e2e[0].1;
+    let cb = &e2e[1].1;
+    println!(
+        "\nlb-8 vs cb-8 P50 difference: {:.2}% — paper: 'load-balanced does \
+         not substantially affect latency compared to capacity-balanced'; \
+         pooling factors are too small at this scale to matter. NSBP is the \
+         clear outlier in per-shard balance.",
+        (lb.p50 / cb.p50 - 1.0) * 100.0
+    );
+}

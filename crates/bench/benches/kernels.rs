@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks of the reproduction's hot kernels:
+//! the SparseLengthsSum family, dense FC matmul, quantization,
+//! sharding planning, and one end-to-end simulated replay.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dlrm_core::compress::QuantizedTable;
+use dlrm_core::model::{rm, EmbeddingTable};
+use dlrm_core::serving::experiment::trace_config_for;
+use dlrm_core::serving::{simulate, Cluster, CostModel, RunConfig};
+use dlrm_core::sharding::{plan, ShardingStrategy};
+use dlrm_core::tensor::Matrix;
+use dlrm_core::workload::{PoolingProfile, TraceDb};
+use std::hint::black_box;
+
+fn bench_sls(c: &mut Criterion) {
+    let table = EmbeddingTable::seeded("bench", 100_000, 64, 7);
+    let indices: Vec<u64> = (0..4096).map(|i| (i * 37) % 100_000).collect();
+    let lengths = vec![64u32; 64];
+    c.bench_function("sls_4096_lookups_dim64", |b| {
+        b.iter(|| black_box(table.sparse_lengths_sum(black_box(&indices), &lengths)))
+    });
+
+    let q8 = QuantizedTable::quantize(&table, 8);
+    c.bench_function("sls_quantized8_4096_lookups", |b| {
+        b.iter(|| black_box(q8.sparse_lengths_sum(black_box(&indices), &lengths)))
+    });
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let x = Matrix::from_vec(64, 512, (0..64 * 512).map(|i| (i % 17) as f32 * 0.1).collect());
+    let w = Matrix::from_vec(256, 512, (0..256 * 512).map(|i| (i % 13) as f32 * 0.01).collect());
+    c.bench_function("fc_64x512_to_256", |b| {
+        b.iter(|| black_box(x.matmul_transb(black_box(&w))))
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let spec = rm::rm1();
+    let profile = PoolingProfile::from_spec(&spec);
+    c.bench_function("plan_rm1_lb8", |b| {
+        b.iter(|| plan(&spec, &profile, ShardingStrategy::LoadBalanced(8)).unwrap())
+    });
+    c.bench_function("plan_rm1_nsbp8", |b| {
+        b.iter(|| plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(8)).unwrap())
+    });
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let table = EmbeddingTable::seeded("q", 10_000, 64, 3);
+    c.bench_function("quantize_10k_rows_8bit", |b| {
+        b.iter_batched(
+            || table.clone(),
+            |t| black_box(QuantizedTable::quantize(&t, 8)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let spec = rm::rm3();
+    let db = TraceDb::generate_with(&spec, 64, 1, &trace_config_for(&spec));
+    let profile = db.pooling_profile(64);
+    let sharding_plan =
+        plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(4)).unwrap();
+    let cost = CostModel::for_model(&spec);
+    let cluster = Cluster::sc_large();
+    let mut cfg = RunConfig::serial(64, 9);
+    cfg.collect_traces = false;
+    c.bench_function("simulate_rm3_nsbp4_64req", |b| {
+        b.iter(|| black_box(simulate(&spec, &sharding_plan, &cost, &cluster, &db, &cfg)))
+    });
+}
+
+fn bench_trace_analysis(c: &mut Criterion) {
+    // Analyze a realistic collected trace: one lb-4 RM3 run.
+    let spec = rm::rm3();
+    let db = TraceDb::generate_with(&spec, 64, 2, &trace_config_for(&spec));
+    let profile = db.pooling_profile(64);
+    let p = plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(4)).unwrap();
+    let cost = CostModel::for_model(&spec);
+    let result = simulate(
+        &spec,
+        &p,
+        &cost,
+        &Cluster::sc_large(),
+        &db,
+        &RunConfig::serial(64, 3),
+    );
+    let ids = result.collector.trace_ids();
+    c.bench_function("trace_median_latency_stack_64req", |b| {
+        b.iter(|| {
+            let analysis = dlrm_core::trace::TraceAnalysis::new(&result.collector);
+            black_box(analysis.median_latency_stack(black_box(&ids)))
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    use dlrm_core::sim::{EventQueue, SimTime};
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_millis(((i * 7919) % 1000) as f64), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_lru(c: &mut Criterion) {
+    use dlrm_core::workload::AccessTrace;
+    let trace = AccessTrace::zipf(100_000, 100_000, 1.1, 3);
+    c.bench_function("lru_hit_rate_100k_accesses", |b| {
+        b.iter(|| black_box(trace.lru_hit_rate(black_box(5_000))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sls,
+    bench_dense,
+    bench_planner,
+    bench_quantize,
+    bench_simulate,
+    bench_trace_analysis,
+    bench_event_queue,
+    bench_lru
+);
+criterion_main!(benches);

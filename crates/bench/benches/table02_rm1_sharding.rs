@@ -1,0 +1,69 @@
+//! Table II: Sharding Summary for RM1 — per-shard capacity, table
+//! count, and estimated pooling factor for all ten sharded
+//! configurations, with the paper's capacities alongside.
+
+use dlrm_bench::paper;
+use dlrm_bench::report::header;
+use dlrm_core::model::{rm, GIB};
+use dlrm_core::sharding::{plan, ShardingStrategy};
+use dlrm_core::serving::experiment::trace_config_for;
+use dlrm_core::workload::TraceDb;
+
+fn main() {
+    println!("{}", header("Table II", "Sharding Summary for RM1"));
+    let spec = rm::rm1();
+    // The paper estimates pooling factors "by sampling 1000 requests
+    // from the evaluation dataset" (§III-B2).
+    let db = TraceDb::generate_with(&spec, 1000, 0x000D_15C0, &trace_config_for(&spec));
+    let profile = db.pooling_profile(1000);
+
+    let paper_caps: std::collections::HashMap<String, Vec<f64>> = paper::table2_rm1_capacities()
+        .into_iter()
+        .map(|(s, v)| (s.label(), v))
+        .collect();
+
+    let mut strategies = vec![ShardingStrategy::OneShard];
+    strategies.extend([2, 4, 8].map(ShardingStrategy::LoadBalanced));
+    strategies.extend([2, 4, 8].map(ShardingStrategy::CapacityBalanced));
+    strategies.extend([2, 4, 8].map(ShardingStrategy::NetSpecificBinPacking));
+
+    for strategy in strategies {
+        let p = plan(&spec, &profile, strategy).expect("plannable");
+        println!("\n-- {} --", strategy.label());
+        let paper_row = paper_caps.get(&strategy.label());
+        for shard in p.shards() {
+            let cap_gib = p.shard_capacity_bytes(shard, &spec) / GIB;
+            let paper_cap = paper_row
+                .and_then(|v| v.get(shard.0))
+                .map_or("   n/a".to_string(), |c| format!("{c:6.2}"));
+            println!(
+                "  [{}] capacity {:6.2} GiB (paper sorted ref {paper_cap})  tables {:>3}  pooling {:>9.1}",
+                shard.0 + 1,
+                cap_gib,
+                p.shard_table_count(shard),
+                p.shard_pooling(shard, &profile),
+            );
+        }
+        // Aggregate shape checks mirroring the paper's analysis text.
+        let caps: Vec<f64> = p
+            .shards()
+            .map(|s| p.shard_capacity_bytes(s, &spec) / GIB)
+            .collect();
+        let pools: Vec<f64> = p.shards().map(|s| p.shard_pooling(s, &profile)).collect();
+        let spread = |v: &[f64]| {
+            let max = v.iter().cloned().fold(0.0, f64::max);
+            let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            (max / min - 1.0) * 100.0
+        };
+        println!(
+            "  capacity spread {:6.1}% | pooling spread {:6.1}%",
+            spread(&caps),
+            spread(&pools)
+        );
+    }
+    println!(
+        "\npaper: load-balanced capacities varied up to 50% vs capacity-balanced; \
+         capacity-balanced per-shard load varied up to 371%; NSBP-2 shard 2 holds \
+         4.75x the memory of shard 1 with 6.3% of its work."
+    );
+}

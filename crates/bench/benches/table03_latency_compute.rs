@@ -1,0 +1,35 @@
+//! Table III: Latency and Compute Costs by Sharding Strategy (RM1 and
+//! RM2) — serial blocking requests, default batching, SC-Large cluster.
+
+use dlrm_bench::paper::{self, PaperCell};
+use dlrm_bench::report::{compare_row, header, repro_requests};
+use dlrm_core::model::rm;
+use dlrm_core::Study;
+
+fn run_model(spec: dlrm_core::model::ModelSpec, cells: &[PaperCell]) {
+    let mut study = Study::new(spec).with_requests(repro_requests());
+    println!("\n--- {} ---", study.spec().name);
+    for cell in cells {
+        match study.run(cell.strategy) {
+            Ok(result) => println!("{}", compare_row(cell, &result)),
+            Err(e) => println!("{:<10} SKIPPED: {e}", cell.strategy.label()),
+        }
+    }
+}
+
+fn main() {
+    println!(
+        "{}",
+        header(
+            "Table III",
+            "Latency and Compute Costs by Sharding Strategy (RM1, RM2)"
+        )
+    );
+    run_model(rm::rm1(), &paper::table3_rm1());
+    run_model(rm::rm2(), &paper::table3_rm2());
+    println!(
+        "\nclaims: every distributed config slower than singular (serial \
+         Amdahl bound); overhead shrinks with shard count; NSBP worst \
+         latency family but lowest compute; LB ~= CB."
+    );
+}

@@ -1,0 +1,26 @@
+//! Table IV: Latency and Compute Costs by Sharding Strategy (RM3) —
+//! only NSBP shards the dominant table (§V-A).
+
+use dlrm_bench::paper;
+use dlrm_bench::report::{compare_row, header, repro_requests};
+use dlrm_core::model::rm;
+use dlrm_core::Study;
+
+fn main() {
+    println!(
+        "{}",
+        header("Table IV", "Latency and Compute Costs (RM3)")
+    );
+    let mut study = Study::new(rm::rm3()).with_requests(repro_requests());
+    for cell in paper::table4_rm3() {
+        match study.run(cell.strategy) {
+            Ok(result) => println!("{}", compare_row(&cell, &result)),
+            Err(e) => println!("{:<10} SKIPPED: {e}", cell.strategy.label()),
+        }
+    }
+    println!(
+        "\nclaims: RM3 gains nothing from more shards — the dominant table \
+         (pooling factor 1) only row-partitions further, and each request \
+         touches just two shards."
+    );
+}

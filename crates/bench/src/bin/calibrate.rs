@@ -1,0 +1,29 @@
+//! Calibration probe: prints measured vs paper Table III/IV columns so
+//! cost-model constants can be tuned.
+
+use dlrm_bench::paper;
+use dlrm_bench::report::compare_row;
+use dlrm_core::model::rm;
+use dlrm_core::Study;
+
+fn main() {
+    let requests: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+
+    for (spec, cells) in [
+        (rm::rm1(), paper::table3_rm1()),
+        (rm::rm2(), paper::table3_rm2()),
+        (rm::rm3(), paper::table4_rm3()),
+    ] {
+        println!("\n=== {} ({} requests) ===", spec.name, requests);
+        let mut study = Study::new(spec).with_requests(requests);
+        for cell in cells {
+            match study.run(cell.strategy) {
+                Ok(r) => println!("{}  rpcs/req={:.1}", compare_row(&cell, &r), r.rpcs_per_request),
+                Err(e) => println!("{:<10} SKIPPED: {e}", cell.strategy.label()),
+            }
+        }
+    }
+}

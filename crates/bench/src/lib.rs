@@ -1,0 +1,8 @@
+//! Reproduction harness: the paper's published numbers and report
+//! formatting shared by every bench target.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod report;

@@ -1,0 +1,185 @@
+//! The paper's published numbers (Tables II–V), used as the `paper=`
+//! reference rows in every reproduction report.
+
+use dlrm_core::metrics::Percentiles;
+use dlrm_core::sharding::ShardingStrategy;
+
+/// One Table III/IV cell: a (model, strategy) configuration's E2E and
+/// CPU percentiles in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperCell {
+    /// The configuration.
+    pub strategy: ShardingStrategy,
+    /// Published end-to-end latency percentiles.
+    pub e2e: Percentiles,
+    /// Published aggregate CPU-time percentiles.
+    pub cpu: Percentiles,
+}
+
+fn cell(
+    strategy: ShardingStrategy,
+    e2e: (f64, f64, f64),
+    cpu: (f64, f64, f64),
+) -> PaperCell {
+    PaperCell {
+        strategy,
+        e2e: Percentiles {
+            p50: e2e.0,
+            p90: e2e.1,
+            p99: e2e.2,
+        },
+        cpu: Percentiles {
+            p50: cpu.0,
+            p90: cpu.1,
+            p99: cpu.2,
+        },
+    }
+}
+
+/// Table III, RM1 rows.
+#[must_use]
+pub fn table3_rm1() -> Vec<PaperCell> {
+    use ShardingStrategy::*;
+    vec![
+        cell(Singular, (28.83, 78.45, 145.01), (125.85, 443.9, 829.99)),
+        cell(OneShard, (39.04, 94.24, 167.3), (154.74, 500.39, 905.12)),
+        cell(LoadBalanced(2), (34.95, 87.05, 154.02), (158.25, 494.78, 899.85)),
+        cell(LoadBalanced(4), (33.26, 84.79, 150.6), (169.38, 512.83, 917.02)),
+        cell(LoadBalanced(8), (32.29, 82.4, 150.3), (181.83, 526.72, 938.83)),
+        cell(CapacityBalanced(2), (35.13, 87.17, 155.53), (157.47, 493.42, 899.48)),
+        cell(CapacityBalanced(4), (33.15, 84.32, 151.19), (169.33, 514.52, 923.49)),
+        cell(CapacityBalanced(8), (32.12, 80.79, 146.5), (178.12, 518.55, 924.63)),
+        cell(NetSpecificBinPacking(2), (37.84, 95.36, 169.12), (153.45, 512.66, 924.32)),
+        cell(NetSpecificBinPacking(4), (35.56, 91.04, 165.64), (151.54, 500.31, 918.6)),
+        cell(NetSpecificBinPacking(8), (33.98, 89.41, 161.6), (161.43, 523.41, 938.86)),
+    ]
+}
+
+/// Table III, RM2 rows.
+#[must_use]
+pub fn table3_rm2() -> Vec<PaperCell> {
+    use ShardingStrategy::*;
+    vec![
+        cell(Singular, (27.55, 39.47, 76.43), (39.35, 191.28, 449.29)),
+        cell(OneShard, (34.54, 46.53, 88.89), (48.56, 225.52, 483.39)),
+        cell(LoadBalanced(2), (32.32, 43.74, 83.27), (50.24, 229.8, 489.59)),
+        cell(LoadBalanced(4), (30.85, 42.26, 81.31), (54.26, 241.27, 501.33)),
+        cell(LoadBalanced(8), (29.99, 41.58, 82.26), (59.78, 259.46, 522.85)),
+        cell(CapacityBalanced(2), (31.7, 43.17, 83.39), (50.0, 228.91, 486.56)),
+        cell(CapacityBalanced(4), (30.38, 41.61, 79.24), (53.86, 232.57, 489.05)),
+        cell(CapacityBalanced(8), (30.06, 41.6, 81.45), (59.8, 258.95, 520.38)),
+        cell(NetSpecificBinPacking(2), (33.76, 45.84, 87.37), (47.66, 223.91, 481.92)),
+        cell(NetSpecificBinPacking(4), (33.11, 44.93, 85.62), (49.21, 224.83, 484.68)),
+        cell(NetSpecificBinPacking(8), (32.72, 44.63, 85.47), (51.73, 228.4, 487.28)),
+    ]
+}
+
+/// Table IV, RM3 rows.
+#[must_use]
+pub fn table4_rm3() -> Vec<PaperCell> {
+    use ShardingStrategy::*;
+    vec![
+        cell(Singular, (5.26, 6.07, 11.11), (5.21, 6.06, 23.86)),
+        cell(OneShard, (7.37, 8.3, 16.18), (6.73, 7.73, 30.99)),
+        cell(NetSpecificBinPacking(4), (7.18, 8.11, 18.22), (7.26, 8.28, 31.94)),
+        cell(NetSpecificBinPacking(8), (7.31, 8.18, 19.88), (7.62, 8.62, 34.51)),
+    ]
+}
+
+/// Table V: RM1 quantization + pruning. `(uncompressed, compressed)`.
+#[must_use]
+pub fn table5_rm1() -> (PaperCell, PaperCell, f64) {
+    let uncompressed = cell(
+        ShardingStrategy::Singular,
+        (28.83, 78.45, 145.01),
+        (125.85, 443.9, 829.99),
+    );
+    let compressed = cell(
+        ShardingStrategy::Singular,
+        (28.56, 79.29, 140.28),
+        (122.88, 436.65, 793.69),
+    );
+    // 194.46 GB → 35 GB.
+    (uncompressed, compressed, 5.56)
+}
+
+/// Fig. 4: sparse operators' share of all operator compute.
+#[must_use]
+pub fn fig4_sparse_share() -> [(&'static str, f64); 3] {
+    [("RM1", 0.097), ("RM2", 0.096), ("RM3", 0.031)]
+}
+
+/// Fig. 5 / §V-A: `(tables, total GB, largest table GB)` per model.
+#[must_use]
+pub fn fig5_model_shapes() -> [(&'static str, usize, f64, f64); 3] {
+    [
+        ("RM1", 257, 200.0, 3.6),
+        ("RM2", 133, 138.0, 6.7),
+        ("RM3", 39, 200.0, 178.8),
+    ]
+}
+
+/// Table II (RM1): per-shard capacity in GiB for each configuration, as
+/// published. Keyed by strategy.
+#[must_use]
+pub fn table2_rm1_capacities() -> Vec<(ShardingStrategy, Vec<f64>)> {
+    use ShardingStrategy::*;
+    vec![
+        (OneShard, vec![194.05]),
+        (LoadBalanced(2), vec![89.38, 104.67]),
+        (LoadBalanced(4), vec![40.94, 60.76, 44.16, 48.18]),
+        (
+            LoadBalanced(8),
+            vec![28.87, 29.82, 18.23, 21.0, 20.5, 26.35, 23.44, 25.85],
+        ),
+        (CapacityBalanced(2), vec![97.03, 97.03]),
+        (CapacityBalanced(4), vec![48.52, 48.51, 48.51, 48.51]),
+        (
+            CapacityBalanced(8),
+            vec![24.25, 24.25, 24.25, 24.25, 24.25, 24.25, 24.25, 24.25],
+        ),
+        (NetSpecificBinPacking(2), vec![33.58, 160.0]),
+        (NetSpecificBinPacking(4), vec![55.89, 48.22, 55.89, 33.58]),
+        (
+            NetSpecificBinPacking(8),
+            vec![27.93, 5.649, 27.95, 27.94, 27.94, 27.95, 27.95, 20.28],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_eleven_columns() {
+        assert_eq!(table3_rm1().len(), 11);
+        assert_eq!(table3_rm2().len(), 11);
+        assert_eq!(table4_rm3().len(), 4);
+    }
+
+    #[test]
+    fn published_ordering_claims_hold_in_the_data() {
+        // Sanity on transcription: singular is fastest; 1-shard is the
+        // worst E2E P50; NSBP-2 worst P99 for RM1.
+        let rm1 = table3_rm1();
+        let singular = rm1[0].e2e;
+        assert!(rm1[1..].iter().all(|c| c.e2e.p50 > singular.p50));
+        let max_p99 = rm1
+            .iter()
+            .map(|c| c.e2e.p99)
+            .fold(0.0f64, f64::max);
+        assert_eq!(max_p99, 169.12); // NSBP-2
+    }
+
+    #[test]
+    fn table2_capacity_sums_are_consistent() {
+        for (strategy, caps) in table2_rm1_capacities() {
+            let total: f64 = caps.iter().sum();
+            assert!(
+                (total - 194.05).abs() < 2.0,
+                "{strategy}: per-shard capacities sum to {total}"
+            );
+        }
+    }
+}

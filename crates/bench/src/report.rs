@@ -1,0 +1,87 @@
+//! Report formatting for paper-vs-measured comparisons.
+
+use crate::paper::PaperCell;
+use dlrm_core::metrics::Percentiles;
+use dlrm_core::serving::ConfigResult;
+
+/// Formats one paper-vs-measured row for a Table III/IV-style report.
+#[must_use]
+pub fn compare_row(paper: &PaperCell, measured: &ConfigResult) -> String {
+    format!(
+        "{:<10} e2e paper[{}] measured[{}] | cpu paper[{}] measured[{}]",
+        paper.strategy.label(),
+        paper.e2e,
+        measured.e2e,
+        paper.cpu,
+        measured.cpu,
+    )
+}
+
+/// Formats a percentile triple as overheads versus a baseline (the
+/// Fig. 6/7/16 quantity).
+#[must_use]
+pub fn overhead_row(label: &str, value: &Percentiles, baseline: &Percentiles) -> String {
+    let o = value.overhead_vs(baseline);
+    format!(
+        "{label:<10} overhead% p50={:+6.1} p90={:+6.1} p99={:+6.1}",
+        o.p50, o.p90, o.p99
+    )
+}
+
+/// Renders a horizontal bar of `value` scaled against `max` (stack
+/// figures as text).
+#[must_use]
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "█".repeat(n.min(width))
+}
+
+/// Section header used by every bench target.
+#[must_use]
+pub fn header(id: &str, title: &str) -> String {
+    format!("\n==== {id}: {title} ====")
+}
+
+/// Requests replayed per configuration by the reproduction targets.
+/// Override with `DLRM_REPRO_REQUESTS` (more requests → smoother
+/// percentiles, longer runs).
+#[must_use]
+pub fn repro_requests() -> usize {
+    std::env::var("DLRM_REPRO_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(200)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "█████");
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn overhead_row_formats() {
+        let base = Percentiles {
+            p50: 10.0,
+            p90: 10.0,
+            p99: 10.0,
+        };
+        let v = Percentiles {
+            p50: 11.0,
+            p90: 9.0,
+            p99: 10.0,
+        };
+        let s = overhead_row("x", &v, &base);
+        assert!(s.contains("+10.0"));
+        assert!(s.contains("-10.0"));
+    }
+}

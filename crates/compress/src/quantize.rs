@@ -1,0 +1,268 @@
+//! Row-wise linear quantization.
+
+use dlrm_model::EmbeddingTable;
+use dlrm_tensor::Matrix;
+
+/// A row-wise linearly quantized embedding table.
+///
+/// Each row stores `dim` fixed-point codes plus an `f32` scale and bias:
+/// `value ≈ code * scale + bias`, with `code` in `[0, 2^bits - 1]`.
+/// 4-bit codes are packed two per byte.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_compress::QuantizedTable;
+/// use dlrm_model::EmbeddingTable;
+///
+/// let table = EmbeddingTable::seeded("t", 64, 16, 7);
+/// let q = QuantizedTable::quantize(&table, 8);
+/// assert!(q.bytes() < table.bytes());
+/// assert!(q.max_dequantization_error(&table) < 0.005);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTable {
+    name: String,
+    rows: usize,
+    dim: usize,
+    bits: u8,
+    codes: Vec<u8>,
+    scales: Vec<f32>,
+    biases: Vec<f32>,
+}
+
+impl QuantizedTable {
+    /// Quantizes `table` row-wise at `bits` precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bits` is 4 or 8 (the precisions deployed on
+    /// "current data-center models", §VII-D).
+    #[must_use]
+    pub fn quantize(table: &EmbeddingTable, bits: u8) -> Self {
+        assert!(bits == 4 || bits == 8, "supported precisions: 4, 8 bits");
+        let rows = table.rows();
+        let dim = table.dim();
+        let levels = ((1u32 << bits) - 1) as f32;
+        let mut scales = Vec::with_capacity(rows);
+        let mut biases = Vec::with_capacity(rows);
+        let packed_row = if bits == 4 { dim.div_ceil(2) } else { dim };
+        let mut codes = vec![0u8; rows * packed_row];
+
+        for r in 0..rows {
+            let row = table.row(r);
+            let min = row.iter().copied().fold(f32::INFINITY, f32::min);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let scale = if max > min { (max - min) / levels } else { 0.0 };
+            scales.push(scale);
+            biases.push(min);
+            for (c, &v) in row.iter().enumerate() {
+                let code = if scale > 0.0 {
+                    (((v - min) / scale).round() as u32).min(levels as u32) as u8
+                } else {
+                    0
+                };
+                if bits == 8 {
+                    codes[r * packed_row + c] = code;
+                } else {
+                    let byte = &mut codes[r * packed_row + c / 2];
+                    if c % 2 == 0 {
+                        *byte |= code & 0x0F;
+                    } else {
+                        *byte |= (code & 0x0F) << 4;
+                    }
+                }
+            }
+        }
+        Self {
+            name: table.name().to_string(),
+            rows,
+            dim,
+            bits,
+            codes,
+            scales,
+            biases,
+        }
+    }
+
+    /// Quantization precision in bits.
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Storage footprint: packed codes plus per-row scale and bias.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.codes.len() + self.rows * 8
+    }
+
+    /// Decodes one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn row(&self, r: usize) -> Vec<f32> {
+        assert!(r < self.rows, "row {r} out of range");
+        let scale = self.scales[r];
+        let bias = self.biases[r];
+        let packed_row = if self.bits == 4 {
+            self.dim.div_ceil(2)
+        } else {
+            self.dim
+        };
+        (0..self.dim)
+            .map(|c| {
+                let code = if self.bits == 8 {
+                    self.codes[r * packed_row + c]
+                } else {
+                    let byte = self.codes[r * packed_row + c / 2];
+                    if c % 2 == 0 {
+                        byte & 0x0F
+                    } else {
+                        byte >> 4
+                    }
+                };
+                f32::from(code) * scale + bias
+            })
+            .collect()
+    }
+
+    /// Decodes the whole table back to `f32`.
+    #[must_use]
+    pub fn dequantize(&self) -> EmbeddingTable {
+        let mut m = Matrix::zeros(self.rows, self.dim);
+        for r in 0..self.rows {
+            m.row_mut(r).copy_from_slice(&self.row(r));
+        }
+        EmbeddingTable::from_weights(self.name.clone(), m)
+    }
+
+    /// SparseLengthsSum with on-the-fly dequantization — what the
+    /// serving stack runs against compressed tables.
+    ///
+    /// # Panics
+    ///
+    /// As for [`EmbeddingTable::sparse_lengths_sum`].
+    #[must_use]
+    pub fn sparse_lengths_sum(&self, indices: &[u64], lengths: &[u32]) -> Matrix {
+        let total: usize = lengths.iter().map(|&l| l as usize).sum();
+        assert_eq!(total, indices.len(), "lengths must cover indices");
+        let mut out = Matrix::zeros(lengths.len(), self.dim);
+        let mut cursor = 0usize;
+        for (b, &len) in lengths.iter().enumerate() {
+            for &idx in &indices[cursor..cursor + len as usize] {
+                let row = self.row(usize::try_from(idx).expect("index fits"));
+                for (o, v) in out.row_mut(b).iter_mut().zip(row) {
+                    *o += v;
+                }
+            }
+            cursor += len as usize;
+        }
+        out
+    }
+
+    /// Largest absolute element error versus the original table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    #[must_use]
+    pub fn max_dequantization_error(&self, original: &EmbeddingTable) -> f32 {
+        assert_eq!(self.rows, original.rows());
+        assert_eq!(self.dim, original.dim());
+        let mut max = 0.0f32;
+        for r in 0..self.rows {
+            for (a, &b) in self.row(r).iter().zip(original.row(r)) {
+                max = max.max((a - b).abs());
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> EmbeddingTable {
+        EmbeddingTable::seeded("t", 32, 12, 99)
+    }
+
+    #[test]
+    fn eight_bit_error_bounded_by_half_step() {
+        let t = table();
+        let q = QuantizedTable::quantize(&t, 8);
+        // Weights span ~[-0.5, 0.5); step ≈ 1/255; half-step plus float
+        // slop.
+        assert!(q.max_dequantization_error(&t) <= 0.5 / 255.0 + 1e-5);
+    }
+
+    #[test]
+    fn four_bit_error_bounded_and_larger_than_eight_bit() {
+        let t = table();
+        let q8 = QuantizedTable::quantize(&t, 8);
+        let q4 = QuantizedTable::quantize(&t, 4);
+        assert!(q4.max_dequantization_error(&t) <= 0.5 / 15.0 + 1e-5);
+        assert!(q4.max_dequantization_error(&t) > q8.max_dequantization_error(&t));
+    }
+
+    #[test]
+    fn size_reduction_ratios() {
+        let t = EmbeddingTable::seeded("t", 1000, 64, 1);
+        let orig = t.bytes();
+        let q8 = QuantizedTable::quantize(&t, 8);
+        let q4 = QuantizedTable::quantize(&t, 4);
+        // 8-bit ≈ 4× smaller minus per-row overhead; 4-bit ≈ 8×.
+        let r8 = orig as f64 / q8.bytes() as f64;
+        let r4 = orig as f64 / q4.bytes() as f64;
+        assert!(r8 > 3.4 && r8 < 4.0, "8-bit ratio {r8}");
+        assert!(r4 > 6.0 && r4 < 8.0, "4-bit ratio {r4}");
+    }
+
+    #[test]
+    fn sls_matches_dequantized_table() {
+        let t = table();
+        let q = QuantizedTable::quantize(&t, 8);
+        let deq = q.dequantize();
+        let indices = [0u64, 5, 9, 31, 5];
+        let lengths = [2u32, 3];
+        let a = q.sparse_lengths_sum(&indices, &lengths);
+        let b = deq.sparse_lengths_sum(&indices, &lengths);
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn constant_row_quantizes_exactly() {
+        let m = Matrix::from_rows(&[&[3.5, 3.5, 3.5]]);
+        let t = EmbeddingTable::from_weights("c", m);
+        let q = QuantizedTable::quantize(&t, 4);
+        assert_eq!(q.row(0), vec![3.5, 3.5, 3.5]);
+    }
+
+    #[test]
+    fn odd_dim_four_bit_roundtrip() {
+        let t = EmbeddingTable::seeded("odd", 8, 7, 3);
+        let q = QuantizedTable::quantize(&t, 4);
+        assert!(q.max_dequantization_error(&t) <= 0.5 / 15.0 + 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "supported precisions")]
+    fn rejects_weird_bit_width() {
+        let _ = QuantizedTable::quantize(&table(), 16);
+    }
+}

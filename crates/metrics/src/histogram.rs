@@ -1,0 +1,185 @@
+//! Log-bucketed histogram for long-tailed latency data.
+
+/// A base-2 log-bucketed histogram over non-negative values.
+///
+/// Recommendation serving latencies are long-tailed (§VI-A cites "long
+/// tail latencies discussed in prior work"), so linear bucketing either
+/// wastes buckets on the tail or loses resolution at the median.
+/// Logarithmic buckets give constant *relative* resolution, bounded by
+/// `sub_buckets` linear sub-divisions per power of two.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_metrics::Histogram;
+///
+/// let mut h = Histogram::new(4);
+/// for v in [0.5, 1.0, 2.0, 4.0, 100.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// // quantile() brackets the true value within one bucket.
+/// assert!(h.quantile(1.0) >= 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// counts[i] is the number of samples in bucket i.
+    counts: Vec<u64>,
+    sub_buckets: usize,
+    underflow: u64,
+    total: u64,
+}
+
+/// Values below this are counted in a dedicated underflow bucket.
+const MIN_TRACKABLE: f64 = 1e-9;
+
+impl Histogram {
+    /// Creates a histogram with `sub_buckets` linear subdivisions per
+    /// power-of-two bucket (more sub-buckets → finer resolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub_buckets` is zero.
+    #[must_use]
+    pub fn new(sub_buckets: usize) -> Self {
+        assert!(sub_buckets > 0, "sub_buckets must be non-zero");
+        Self {
+            counts: Vec::new(),
+            sub_buckets,
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(value >= 0.0, "histogram values must be non-negative");
+        self.total += 1;
+        if value < MIN_TRACKABLE {
+            self.underflow += 1;
+            return;
+        }
+        let idx = self.bucket_index(value);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Total number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Upper bound of the bucket containing quantile `q` — an estimate
+    /// that never under-reports the true quantile by more than one
+    /// bucket's relative width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return 0.0;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bucket_upper_bound(i);
+            }
+        }
+        self.bucket_upper_bound(self.counts.len().saturating_sub(1))
+    }
+
+    /// Iterator over `(bucket_upper_bound, count)` for non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_upper_bound(i), c))
+    }
+
+    fn bucket_index(&self, value: f64) -> usize {
+        // Position of value relative to MIN_TRACKABLE, in powers of two.
+        let scaled = value / MIN_TRACKABLE;
+        let exp = scaled.log2().floor();
+        let base = 2f64.powf(exp);
+        // Linear sub-bucket inside [base, 2*base).
+        let frac = ((scaled - base) / base * self.sub_buckets as f64) as usize;
+        let frac = frac.min(self.sub_buckets - 1);
+        (exp as usize) * self.sub_buckets + frac
+    }
+
+    fn bucket_upper_bound(&self, idx: usize) -> f64 {
+        let exp = (idx / self.sub_buckets) as f64;
+        let sub = (idx % self.sub_buckets + 1) as f64;
+        let base = 2f64.powf(exp) * MIN_TRACKABLE;
+        base + base * sub / self.sub_buckets as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::new(8);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantile_upper_bounds_true_value() {
+        let mut h = Histogram::new(16);
+        let data: Vec<f64> = (1..=1000).map(|i| i as f64 * 0.013).collect();
+        for &v in &data {
+            h.record(v);
+        }
+        for q in [0.5f64, 0.9, 0.99] {
+            let true_q = data[((q * 1000.0).ceil() as usize).min(1000) - 1];
+            let est = h.quantile(q);
+            assert!(est >= true_q, "q={q}: est {est} < true {true_q}");
+            // Within one bucket's relative width (1/16 + rounding slack).
+            assert!(est <= true_q * (1.0 + 2.0 / 16.0) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn underflow_values_counted() {
+        let mut h = Histogram::new(4);
+        h.record(0.0);
+        h.record(1e-12);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn iter_covers_all_recorded() {
+        let mut h = Histogram::new(4);
+        for v in [1.0, 2.0, 1e6] {
+            h.record(v);
+        }
+        let total: u64 = h.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        Histogram::new(4).record(-1.0);
+    }
+}

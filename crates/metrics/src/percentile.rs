@@ -1,0 +1,288 @@
+//! Exact percentile computation over recorded samples.
+
+/// The three percentiles the paper reports for every configuration.
+///
+/// P90 and P99 are the SLA-relevant tails (a fallback recommendation is
+/// returned when an inference request misses its SLA window); P50 is
+/// reported "for completeness to show the median case" (§VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Percentiles {
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Overhead of each percentile versus a baseline, in percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any baseline percentile is not strictly positive.
+    #[must_use]
+    pub fn overhead_vs(&self, baseline: &Percentiles) -> Percentiles {
+        Percentiles {
+            p50: crate::overhead_pct(self.p50, baseline.p50),
+            p90: crate::overhead_pct(self.p90, baseline.p90),
+            p99: crate::overhead_pct(self.p99, baseline.p99),
+        }
+    }
+}
+
+impl std::fmt::Display for Percentiles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p50={:.2} p90={:.2} p99={:.2}",
+            self.p50, self.p90, self.p99
+        )
+    }
+}
+
+/// Exact percentile sketch: records every observation and answers
+/// arbitrary quantile queries by (lazily) sorting.
+///
+/// "Sketch" is used loosely — nothing is approximated. The experiment
+/// harness replays at most a few thousand requests per configuration, so
+/// storing all samples is cheap and yields exactly reproducible order
+/// statistics, which matters for the deterministic seeded experiments.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_metrics::PercentileSketch;
+///
+/// let mut sketch: PercentileSketch = (1..=100).map(f64::from).collect();
+/// assert_eq!(sketch.quantile(0.5), 50.0);
+/// assert_eq!(sketch.quantile(0.99), 99.0);
+/// assert_eq!(sketch.len(), 100);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PercentileSketch {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl PercentileSketch {
+    /// Creates an empty sketch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Creates an empty sketch with room for `capacity` samples.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(capacity),
+            sorted: true,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN; NaN latencies indicate a harness bug and
+    /// must not silently poison order statistics.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN sample");
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observations have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) using the nearest-rank method.
+    ///
+    /// Returns 0.0 for an empty sketch so report code can render empty
+    /// configurations without special-casing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        // Nearest-rank: ceil(q * n), clamped to a valid index.
+        let rank = (q * n as f64).ceil() as usize;
+        let idx = rank.max(1).min(n) - 1;
+        self.samples[idx]
+    }
+
+    /// P50/P90/P99 in one call (the paper's reporting unit).
+    #[must_use]
+    pub fn percentiles(&mut self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Arithmetic mean of all observations (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum observation (0.0 when empty).
+    #[must_use]
+    pub fn max(&mut self) -> f64 {
+        self.ensure_sorted();
+        self.samples.last().copied().unwrap_or(0.0)
+    }
+
+    /// Minimum observation (0.0 when empty).
+    #[must_use]
+    pub fn min(&mut self) -> f64 {
+        self.ensure_sorted();
+        self.samples.first().copied().unwrap_or(0.0)
+    }
+
+    /// Read-only view of the raw samples, in insertion order until the
+    /// first quantile query and sorted afterwards.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+    }
+}
+
+impl FromIterator<f64> for PercentileSketch {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl Extend<f64> for PercentileSketch {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_reports_zeroes() {
+        let mut s = PercentileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.percentiles(), Percentiles::default());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut s = PercentileSketch::new();
+        s.record(42.0);
+        assert_eq!(s.quantile(0.0), 42.0);
+        assert_eq!(s.quantile(0.5), 42.0);
+        assert_eq!(s.quantile(1.0), 42.0);
+    }
+
+    #[test]
+    fn nearest_rank_on_1_to_100() {
+        let mut s: PercentileSketch = (1..=100).map(f64::from).collect();
+        assert_eq!(s.quantile(0.50), 50.0);
+        assert_eq!(s.quantile(0.90), 90.0);
+        assert_eq!(s.quantile(0.99), 99.0);
+        assert_eq!(s.quantile(1.00), 100.0);
+        assert_eq!(s.quantile(0.001), 1.0);
+    }
+
+    #[test]
+    fn interleaved_record_and_query() {
+        let mut s = PercentileSketch::new();
+        s.record(3.0);
+        s.record(1.0);
+        assert_eq!(s.quantile(1.0), 3.0);
+        s.record(5.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(s.min(), 1.0);
+    }
+
+    #[test]
+    fn mean_matches_hand_computation() {
+        let s: PercentileSketch = [2.0, 4.0, 6.0].into_iter().collect();
+        assert_eq!(s.mean(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        PercentileSketch::new().record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_out_of_range_rejected() {
+        let mut s = PercentileSketch::new();
+        s.record(1.0);
+        let _ = s.quantile(1.5);
+    }
+
+    #[test]
+    fn overhead_vs_baseline() {
+        let a = Percentiles {
+            p50: 110.0,
+            p90: 120.0,
+            p99: 99.0,
+        };
+        let b = Percentiles {
+            p50: 100.0,
+            p90: 100.0,
+            p99: 100.0,
+        };
+        let o = a.overhead_vs(&b);
+        assert_eq!(o.p50, 10.0);
+        assert_eq!(o.p90, 20.0);
+        assert_eq!(o.p99, -1.0);
+    }
+
+    #[test]
+    fn display_formats_all_three() {
+        let p = Percentiles {
+            p50: 1.0,
+            p90: 2.0,
+            p99: 3.0,
+        };
+        assert_eq!(p.to_string(), "p50=1.00 p90=2.00 p99=3.00");
+    }
+}

@@ -1,0 +1,227 @@
+//! Streaming quantile estimation (P² algorithm).
+
+/// Constant-space streaming quantile estimator using the P² algorithm
+/// (Jain & Chlamtac, 1985).
+///
+/// Useful for monitors embedded in the simulated serving stack where the
+/// observation stream is unbounded (e.g. the long-running QPS replayer of
+/// §VII-A); the per-experiment reports instead use the exact
+/// [`PercentileSketch`](crate::PercentileSketch).
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_metrics::StreamingQuantile;
+///
+/// let mut q = StreamingQuantile::new(0.5);
+/// for i in 1..=1001 {
+///     q.record(f64::from(i));
+/// }
+/// let est = q.estimate();
+/// assert!((est - 501.0).abs() / 501.0 < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingQuantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    count: usize,
+    /// Initial observations buffered until we have five.
+    warmup: Vec<f64>,
+}
+
+impl StreamingQuantile {
+    /// Creates an estimator for quantile `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not strictly inside `(0, 1)`.
+    #[must_use]
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1), got {q}");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            warmup: Vec::with_capacity(5),
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    #[must_use]
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations seen.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN sample");
+        self.count += 1;
+        if self.count <= 5 {
+            self.warmup.push(value);
+            if self.count == 5 {
+                self.warmup.sort_by(f64::total_cmp);
+                for (h, &w) in self.heights.iter_mut().zip(self.warmup.iter()) {
+                    *h = w;
+                }
+            }
+            return;
+        }
+
+        // Find cell k such that heights[k] <= value < heights[k+1].
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value >= self.heights[4] {
+            self.heights[4] = value;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= value && value < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments.iter()) {
+            *d += inc;
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// Current estimate of the tracked quantile.
+    ///
+    /// With fewer than five observations, returns the exact quantile of
+    /// the buffered values (0.0 when empty).
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count < 5 {
+            let mut v = self.warmup.clone();
+            v.sort_by(f64::total_cmp);
+            let rank = ((self.q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+            return v[rank - 1];
+        }
+        self.heights[2]
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (*seed >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut q = StreamingQuantile::new(0.5);
+        let mut seed = 7;
+        for _ in 0..20_000 {
+            q.record(lcg(&mut seed));
+        }
+        assert!((q.estimate() - 0.5).abs() < 0.02, "est {}", q.estimate());
+    }
+
+    #[test]
+    fn p99_of_uniform_stream() {
+        let mut q = StreamingQuantile::new(0.99);
+        let mut seed = 13;
+        for _ in 0..50_000 {
+            q.record(lcg(&mut seed));
+        }
+        assert!((q.estimate() - 0.99).abs() < 0.01, "est {}", q.estimate());
+    }
+
+    #[test]
+    fn small_streams_are_exact() {
+        let mut q = StreamingQuantile::new(0.5);
+        q.record(10.0);
+        assert_eq!(q.estimate(), 10.0);
+        q.record(20.0);
+        q.record(30.0);
+        assert_eq!(q.estimate(), 20.0);
+    }
+
+    #[test]
+    fn empty_estimate_is_zero() {
+        assert_eq!(StreamingQuantile::new(0.9).estimate(), 0.0);
+    }
+
+    #[test]
+    fn tracks_shifted_distribution() {
+        // All values shifted by +100: estimate should shift too.
+        let mut q = StreamingQuantile::new(0.5);
+        let mut seed = 99;
+        for _ in 0..20_000 {
+            q.record(100.0 + lcg(&mut seed));
+        }
+        assert!((q.estimate() - 100.5).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn rejects_degenerate_quantile() {
+        let _ = StreamingQuantile::new(1.0);
+    }
+}

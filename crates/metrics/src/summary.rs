@@ -1,0 +1,226 @@
+//! Constant-space summary statistics.
+
+/// Running count / mean / min / max / variance accumulator (Welford).
+///
+/// Used for per-operator compute attribution (Fig. 4), where the paper
+/// reports "a simple mean average across all sampled requests".
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_metrics::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN sample");
+        self.count += 1;
+        self.sum += value;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another summary into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = (self.mean * self.count as f64 + other.mean * other.count as f64)
+            / total as f64;
+        self.count = total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (0.0 when empty).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Minimum observation (0.0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (0.0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} max={:.3} sd={:.3}",
+            self.count(),
+            self.mean(),
+            self.min(),
+            self.max(),
+            self.stddev()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_naive_variance() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: Summary = data.into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let whole: Summary = data.iter().copied().collect();
+        let mut left: Summary = data[..37].iter().copied().collect();
+        let right: Summary = data[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let s: Summary = [1.5, 2.5, 6.0].into_iter().collect();
+        assert_eq!(s.sum(), 10.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Materialized embedding tables and the SparseLengthsSum kernel.
+
+use crate::spec::TableSpec;
+use dlrm_tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A materialized (in-memory, `f32`) embedding table.
+///
+/// In the Caffe2 framework the lookup-and-pool operator over such a table
+/// is `SparseLengthsSum` (SLS, §II-1): given a flat index list and a
+/// per-batch-element length list, it gathers the indexed rows and sums
+/// them per element, producing a `batch × dim` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_model::EmbeddingTable;
+///
+/// let table = EmbeddingTable::seeded("demo", 10, 4, 42);
+/// // Two batch elements: the first pools rows {1, 2}, the second row {3}.
+/// let pooled = table.sparse_lengths_sum(&[1, 2, 3], &[2, 1]);
+/// assert_eq!(pooled.rows(), 2);
+/// assert_eq!(pooled.cols(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingTable {
+    name: String,
+    weights: Matrix,
+}
+
+impl EmbeddingTable {
+    /// Creates a table from explicit weights (rows = buckets, cols = dim).
+    #[must_use]
+    pub fn from_weights(name: impl Into<String>, weights: Matrix) -> Self {
+        Self {
+            name: name.into(),
+            weights,
+        }
+    }
+
+    /// Creates a `rows × dim` table with reproducible pseudo-random
+    /// weights in `[-0.5, 0.5)` — stand-ins for trained parameters,
+    /// which the characterization never depends on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `dim` is zero.
+    #[must_use]
+    pub fn seeded(name: impl Into<String>, rows: u64, dim: u32, seed: u64) -> Self {
+        assert!(rows > 0 && dim > 0, "degenerate table shape {rows}x{dim}");
+        let rows_us = usize::try_from(rows).expect("materialized table too large");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows_us * dim as usize)
+            .map(|_| rng.random::<f32>() - 0.5)
+            .collect();
+        Self {
+            name: name.into(),
+            weights: Matrix::from_vec(rows_us, dim as usize, data),
+        }
+    }
+
+    /// Materializes `spec` with weights seeded from `seed` mixed with the
+    /// table id, so different tables get different weights but repeated
+    /// materializations are identical.
+    #[must_use]
+    pub fn from_spec(spec: &TableSpec, seed: u64) -> Self {
+        Self::seeded(
+            spec.name.clone(),
+            spec.rows,
+            spec.dim,
+            seed ^ (spec.id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+
+    /// Table name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows (hash buckets).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Embedding dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Size in bytes at FP32.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.weights.len() * 4
+    }
+
+    /// One embedding row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[f32] {
+        self.weights.row(row)
+    }
+
+    /// Mutable access to the raw weights (used by the compression crate).
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    /// Read access to the raw weights.
+    #[must_use]
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The SparseLengthsSum kernel: gathers `indices` and sums them per
+    /// batch element as described by `lengths`.
+    ///
+    /// `lengths[b]` is the number of consecutive entries of `indices`
+    /// belonging to batch element `b`; `indices.len()` must equal the sum
+    /// of `lengths`. An element with length 0 pools to the zero vector
+    /// (standard SLS semantics for absent features).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths don't cover `indices` exactly or any index
+    /// is out of range.
+    #[must_use]
+    pub fn sparse_lengths_sum(&self, indices: &[u64], lengths: &[u32]) -> Matrix {
+        let total: usize = lengths.iter().map(|&l| l as usize).sum();
+        assert_eq!(
+            total,
+            indices.len(),
+            "lengths sum {total} != indices len {} in table {}",
+            indices.len(),
+            self.name
+        );
+        let mut out = Matrix::zeros(lengths.len(), self.dim());
+        let mut cursor = 0usize;
+        for (b, &len) in lengths.iter().enumerate() {
+            let out_row = out.row_mut(b);
+            for &idx in &indices[cursor..cursor + len as usize] {
+                let idx = usize::try_from(idx).expect("index exceeds usize");
+                assert!(
+                    idx < self.weights.rows(),
+                    "index {idx} out of range for table {} ({} rows)",
+                    self.name,
+                    self.weights.rows()
+                );
+                for (o, &w) in out_row.iter_mut().zip(self.weights.row(idx)) {
+                    *o += w;
+                }
+            }
+            cursor += len as usize;
+        }
+        out
+    }
+
+    /// SparseLengthsSum with mean pooling instead of sum pooling
+    /// (`SparseLengthsMean` in the Caffe2 family). Zero-length elements
+    /// pool to zero.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Self::sparse_lengths_sum`].
+    #[must_use]
+    pub fn sparse_lengths_mean(&self, indices: &[u64], lengths: &[u32]) -> Matrix {
+        let mut out = self.sparse_lengths_sum(indices, lengths);
+        for (b, &len) in lengths.iter().enumerate() {
+            if len > 1 {
+                let inv = 1.0 / len as f32;
+                for v in out.row_mut(b) {
+                    *v *= inv;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{NetId, TableId};
+
+    fn table_with_rows(rows: &[&[f32]]) -> EmbeddingTable {
+        EmbeddingTable::from_weights("t", Matrix::from_rows(rows))
+    }
+
+    #[test]
+    fn sls_sums_selected_rows() {
+        let t = table_with_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]);
+        let out = t.sparse_lengths_sum(&[0, 1, 2], &[2, 1]);
+        assert_eq!(out.row(0), &[1.0, 1.0]);
+        assert_eq!(out.row(1), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn sls_repeated_index_counts_twice() {
+        let t = table_with_rows(&[&[1.5]]);
+        let out = t.sparse_lengths_sum(&[0, 0, 0], &[3]);
+        assert_eq!(out.get(0, 0), 4.5);
+    }
+
+    #[test]
+    fn sls_zero_length_yields_zero_vector() {
+        let t = table_with_rows(&[&[7.0, 8.0]]);
+        let out = t.sparse_lengths_sum(&[], &[0, 0]);
+        assert_eq!(out.row(0), &[0.0, 0.0]);
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_pooling_divides_by_count() {
+        let t = table_with_rows(&[&[2.0], &[4.0]]);
+        let out = t.sparse_lengths_mean(&[0, 1], &[2]);
+        assert_eq!(out.get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn seeded_tables_are_reproducible() {
+        let a = EmbeddingTable::seeded("a", 16, 4, 99);
+        let b = EmbeddingTable::seeded("a", 16, 4, 99);
+        assert_eq!(a, b);
+        let c = EmbeddingTable::seeded("a", 16, 4, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_spec_mixes_table_id_into_seed() {
+        let mk = |id: usize| TableSpec {
+            id: TableId(id),
+            name: "x".into(),
+            rows: 8,
+            dim: 2,
+            net: NetId(0),
+            pooling_factor: 1.0,
+        };
+        let t0 = EmbeddingTable::from_spec(&mk(0), 7);
+        let t1 = EmbeddingTable::from_spec(&mk(1), 7);
+        assert_ne!(t0.weights(), t1.weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sls_rejects_out_of_range_index() {
+        let t = table_with_rows(&[&[1.0]]);
+        let _ = t.sparse_lengths_sum(&[5], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths sum")]
+    fn sls_rejects_inconsistent_lengths() {
+        let t = table_with_rows(&[&[1.0]]);
+        let _ = t.sparse_lengths_sum(&[0, 0], &[1]);
+    }
+}

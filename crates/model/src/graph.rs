@@ -1,0 +1,483 @@
+//! Caffe2-style dataflow graph: workspace of named blobs, operator
+//! lists, and a sequential executor with timing hooks.
+//!
+//! Operators within a net execute sequentially ("operators are scheduled
+//! to execute sequentially — unless specifically asynchronous like the
+//! RPC ops — because other cores are utilized via request- and
+//! batch-level parallelism", §IV-A). The sharding partitioner rewrites
+//! these nets, so the representation is deliberately concrete: a vector
+//! of boxed [`Operator`]s reading and writing named [`Blob`]s.
+
+use crate::spec::{ModelSpec, OpGroup};
+use dlrm_tensor::Matrix;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A sparse feature input: Caffe2's (indices, lengths) encoding.
+///
+/// `lengths[b]` consecutive entries of `indices` belong to batch
+/// element `b`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SparseInput {
+    /// Flat embedding-row indices.
+    pub indices: Vec<u64>,
+    /// Per-batch-element index counts.
+    pub lengths: Vec<u32>,
+}
+
+impl SparseInput {
+    /// Creates a sparse input, checking the encoding invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lengths` does not exactly cover `indices`.
+    #[must_use]
+    pub fn new(indices: Vec<u64>, lengths: Vec<u32>) -> Self {
+        let total: usize = lengths.iter().map(|&l| l as usize).sum();
+        assert_eq!(total, indices.len(), "lengths must cover indices exactly");
+        Self { indices, lengths }
+    }
+
+    /// Number of batch elements.
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Total number of lookups.
+    #[must_use]
+    pub fn num_lookups(&self) -> usize {
+        self.indices.len()
+    }
+}
+
+/// A value in the workspace: dense activations or sparse inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Blob {
+    /// Dense `batch × features` activations.
+    Dense(Matrix),
+    /// Sparse feature indices for an embedding lookup.
+    Sparse(SparseInput),
+}
+
+/// Errors raised during graph execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An operator read a blob that no prior operator produced.
+    MissingBlob {
+        /// The missing blob's name.
+        blob: String,
+        /// The operator that needed it.
+        op: String,
+    },
+    /// A blob existed but held the wrong variant.
+    TypeMismatch {
+        /// The offending blob's name.
+        blob: String,
+        /// What the operator expected ("dense" / "sparse").
+        expected: &'static str,
+    },
+    /// An operator-specific failure (shape mismatch, bad index…).
+    OpFailed {
+        /// The failing operator.
+        op: String,
+        /// Failure description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::MissingBlob { blob, op } => {
+                write!(f, "operator {op} read missing blob {blob}")
+            }
+            GraphError::TypeMismatch { blob, expected } => {
+                write!(f, "blob {blob} is not {expected}")
+            }
+            GraphError::OpFailed { op, message } => write!(f, "operator {op} failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// The blob store shared by all nets of one inference.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_model::{Blob, Workspace};
+/// use dlrm_tensor::Matrix;
+///
+/// let mut ws = Workspace::new();
+/// ws.put("x", Blob::Dense(Matrix::zeros(2, 3)));
+/// assert_eq!(ws.dense("x", "caller").unwrap().rows(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    blobs: HashMap<String, Blob>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces a blob.
+    pub fn put(&mut self, name: impl Into<String>, blob: Blob) {
+        self.blobs.insert(name.into(), blob);
+    }
+
+    /// Fetches any blob.
+    pub fn blob(&self, name: &str) -> Option<&Blob> {
+        self.blobs.get(name)
+    }
+
+    /// Fetches a dense blob, attributing failures to operator `op`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::MissingBlob`] or [`GraphError::TypeMismatch`].
+    pub fn dense(&self, name: &str, op: &str) -> Result<&Matrix, GraphError> {
+        match self.blobs.get(name) {
+            Some(Blob::Dense(m)) => Ok(m),
+            Some(_) => Err(GraphError::TypeMismatch {
+                blob: name.into(),
+                expected: "dense",
+            }),
+            None => Err(GraphError::MissingBlob {
+                blob: name.into(),
+                op: op.into(),
+            }),
+        }
+    }
+
+    /// Fetches a sparse blob, attributing failures to operator `op`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::MissingBlob`] or [`GraphError::TypeMismatch`].
+    pub fn sparse(&self, name: &str, op: &str) -> Result<&SparseInput, GraphError> {
+        match self.blobs.get(name) {
+            Some(Blob::Sparse(s)) => Ok(s),
+            Some(_) => Err(GraphError::TypeMismatch {
+                blob: name.into(),
+                expected: "sparse",
+            }),
+            None => Err(GraphError::MissingBlob {
+                blob: name.into(),
+                op: op.into(),
+            }),
+        }
+    }
+
+    /// Number of stored blobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Whether the workspace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Iterates over blob names (arbitrary order).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.blobs.keys().map(String::as_str)
+    }
+}
+
+/// A graph operator: reads named blobs, writes named blobs.
+pub trait Operator: std::fmt::Debug + Send + Sync {
+    /// Unique (within the net) operator name.
+    fn name(&self) -> &str;
+    /// Attribution group for compute breakdowns (Fig. 4).
+    fn group(&self) -> OpGroup;
+    /// Blob names read.
+    fn inputs(&self) -> Vec<String>;
+    /// Blob names written.
+    fn outputs(&self) -> Vec<String>;
+    /// Executes the operator against the workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] when inputs are missing, mistyped, or
+    /// shape-inconsistent.
+    fn run(&self, ws: &mut Workspace) -> Result<(), GraphError>;
+
+    /// Downcast hook for the sharding partitioner: returns `Some` when
+    /// this operator is a [`crate::ops::SparseLengthsSum`], the operator
+    /// family relocated to sparse shards. Default: `None`.
+    fn as_sparse_lengths_sum(&self) -> Option<&crate::ops::SparseLengthsSum> {
+        None
+    }
+}
+
+/// Observes operator execution; used for the real engine's per-group
+/// compute attribution.
+pub trait ExecutionObserver {
+    /// Called after each operator with its measured wall time.
+    fn on_op(&mut self, net: &str, op: &dyn Operator, elapsed_secs: f64);
+}
+
+/// Observer that ignores everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl ExecutionObserver for NoopObserver {
+    fn on_op(&mut self, _net: &str, _op: &dyn Operator, _elapsed_secs: f64) {}
+}
+
+/// Observer accumulating wall time per [`OpGroup`].
+#[derive(Debug, Default, Clone)]
+pub struct GroupTimingObserver {
+    totals: HashMap<OpGroup, f64>,
+}
+
+impl GroupTimingObserver {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seconds accumulated for `group`.
+    #[must_use]
+    pub fn seconds(&self, group: OpGroup) -> f64 {
+        self.totals.get(&group).copied().unwrap_or(0.0)
+    }
+
+    /// Total seconds across all groups.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.totals.values().sum()
+    }
+
+    /// Fraction of total time spent in `group` (0 when nothing ran).
+    #[must_use]
+    pub fn fraction(&self, group: OpGroup) -> f64 {
+        let total = self.total_seconds();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.seconds(group) / total
+        }
+    }
+}
+
+impl ExecutionObserver for GroupTimingObserver {
+    fn on_op(&mut self, _net: &str, op: &dyn Operator, elapsed_secs: f64) {
+        *self.totals.entry(op.group()).or_insert(0.0) += elapsed_secs;
+    }
+}
+
+/// An ordered list of operators — Caffe2's `NetDef`.
+#[derive(Debug)]
+pub struct NetDef {
+    name: String,
+    ops: Vec<Box<dyn Operator>>,
+}
+
+impl NetDef {
+    /// Creates an empty net.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Net name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an operator.
+    pub fn push(&mut self, op: Box<dyn Operator>) {
+        self.ops.push(op);
+    }
+
+    /// The operators, in execution order.
+    #[must_use]
+    pub fn ops(&self) -> &[Box<dyn Operator>] {
+        &self.ops
+    }
+
+    /// Replaces the operator list (used by the partitioner).
+    pub fn set_ops(&mut self, ops: Vec<Box<dyn Operator>>) {
+        self.ops = ops;
+    }
+
+    /// Consumes the net, yielding its operators (used by the
+    /// partitioner, which moves non-sparse operators into the rewritten
+    /// main-shard net).
+    #[must_use]
+    pub fn into_ops(self) -> Vec<Box<dyn Operator>> {
+        self.ops
+    }
+
+    /// Runs every operator in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first operator failure.
+    pub fn run(
+        &self,
+        ws: &mut Workspace,
+        observer: &mut dyn ExecutionObserver,
+    ) -> Result<(), GraphError> {
+        for op in &self.ops {
+            let start = Instant::now();
+            op.run(ws)?;
+            observer.on_op(&self.name, op.as_ref(), start.elapsed().as_secs_f64());
+        }
+        Ok(())
+    }
+}
+
+/// A complete executable model: its spec, its nets in execution order,
+/// and the materialized embedding tables the sparse operators reference.
+#[derive(Debug)]
+pub struct Model {
+    /// The static description this model was built from.
+    pub spec: ModelSpec,
+    /// Nets in execution order (RM1/RM2: user net then content net).
+    pub nets: Vec<NetDef>,
+    /// Materialized tables, indexed by [`crate::TableId`]; shared with
+    /// shard services after partitioning.
+    pub tables: Vec<Arc<crate::EmbeddingTable>>,
+    /// Name of the blob holding the final prediction.
+    pub output_blob: String,
+}
+
+impl Model {
+    /// Runs all nets sequentially and returns the final prediction
+    /// (`batch × 1`, sigmoid output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first operator failure (typically a missing input
+    /// blob when the caller under-populated the workspace).
+    pub fn run(
+        &self,
+        ws: &mut Workspace,
+        observer: &mut dyn ExecutionObserver,
+    ) -> Result<Matrix, GraphError> {
+        for net in &self.nets {
+            net.run(ws, observer)?;
+        }
+        ws.dense(&self.output_blob, "model-output").cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct AddOne {
+        input: String,
+        output: String,
+    }
+
+    impl Operator for AddOne {
+        fn name(&self) -> &str {
+            "add_one"
+        }
+        fn group(&self) -> OpGroup {
+            OpGroup::Other
+        }
+        fn inputs(&self) -> Vec<String> {
+            vec![self.input.clone()]
+        }
+        fn outputs(&self) -> Vec<String> {
+            vec![self.output.clone()]
+        }
+        fn run(&self, ws: &mut Workspace) -> Result<(), GraphError> {
+            let mut m = ws.dense(&self.input, self.name())?.clone();
+            m.map_inplace(|v| v + 1.0);
+            ws.put(self.output.clone(), Blob::Dense(m));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn net_runs_ops_in_order() {
+        let mut net = NetDef::new("n");
+        net.push(Box::new(AddOne {
+            input: "x".into(),
+            output: "y".into(),
+        }));
+        net.push(Box::new(AddOne {
+            input: "y".into(),
+            output: "z".into(),
+        }));
+        let mut ws = Workspace::new();
+        ws.put("x", Blob::Dense(Matrix::zeros(1, 1)));
+        net.run(&mut ws, &mut NoopObserver).unwrap();
+        assert_eq!(ws.dense("z", "test").unwrap().get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn missing_blob_is_reported_with_op() {
+        let mut net = NetDef::new("n");
+        net.push(Box::new(AddOne {
+            input: "nope".into(),
+            output: "y".into(),
+        }));
+        let mut ws = Workspace::new();
+        let err = net.run(&mut ws, &mut NoopObserver).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::MissingBlob {
+                blob: "nope".into(),
+                op: "add_one".into()
+            }
+        );
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let mut ws = Workspace::new();
+        ws.put("s", Blob::Sparse(SparseInput::new(vec![], vec![])));
+        let err = ws.dense("s", "op").unwrap_err();
+        assert!(matches!(err, GraphError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn timing_observer_accumulates_fractions() {
+        let mut net = NetDef::new("n");
+        net.push(Box::new(AddOne {
+            input: "x".into(),
+            output: "y".into(),
+        }));
+        let mut ws = Workspace::new();
+        ws.put("x", Blob::Dense(Matrix::zeros(8, 8)));
+        let mut obs = GroupTimingObserver::new();
+        net.run(&mut ws, &mut obs).unwrap();
+        assert!(obs.total_seconds() > 0.0);
+        assert_eq!(obs.fraction(OpGroup::Other), 1.0);
+        assert_eq!(obs.fraction(OpGroup::Fc), 0.0);
+    }
+
+    #[test]
+    fn sparse_input_invariant_enforced() {
+        let s = SparseInput::new(vec![1, 2, 3], vec![1, 2]);
+        assert_eq!(s.batch_size(), 2);
+        assert_eq!(s.num_lookups(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover indices")]
+    fn sparse_input_bad_lengths_panics() {
+        let _ = SparseInput::new(vec![1], vec![3]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Model-growth projection series (Fig. 1).
+//!
+//! Fig. 1 plots the historical growth of a significant production
+//! recommendation model: "both number of features and embeddings have
+//! grown an order of magnitude in only three years". The absolute axis
+//! values are unpublished, so this module generates the normalized
+//! exponential series the figure shape implies.
+
+/// One point on the growth curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthPoint {
+    /// Months since the series start (the paper spans 2017→2020).
+    pub months: f64,
+    /// Number of sparse features, relative to the series start (1.0).
+    pub relative_features: f64,
+    /// Total embedding capacity, relative to the series start (1.0).
+    pub relative_embedding_capacity: f64,
+}
+
+/// Generates the Fig. 1 growth series: `points` samples across
+/// `months` months, with features and embedding capacity each growing
+/// 10× over 36 months (capacity slightly faster, as embedding growth is
+/// the stated driver of model size).
+///
+/// # Panics
+///
+/// Panics if `points < 2` or `months` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// let series = dlrm_model::growth::growth_series(13, 36.0);
+/// assert_eq!(series.len(), 13);
+/// let last = series.last().unwrap();
+/// assert!((last.relative_features - 10.0).abs() < 1e-6);
+/// assert!(last.relative_embedding_capacity >= 10.0);
+/// ```
+#[must_use]
+pub fn growth_series(points: usize, months: f64) -> Vec<GrowthPoint> {
+    assert!(points >= 2, "need at least two points");
+    assert!(months > 0.0, "months must be positive");
+    // 10× over 36 months for features; embeddings grow 12× (their share
+    // of model size increases, matching "embedding tables dominate ...
+    // and are responsible for the significant growth").
+    let feature_rate = 10f64.ln() / 36.0;
+    let embedding_rate = 12f64.ln() / 36.0;
+    (0..points)
+        .map(|i| {
+            let m = months * i as f64 / (points - 1) as f64;
+            GrowthPoint {
+                months: m,
+                relative_features: (feature_rate * m).exp(),
+                relative_embedding_capacity: (embedding_rate * m).exp(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_monotonic() {
+        let s = growth_series(20, 36.0);
+        for w in s.windows(2) {
+            assert!(w[1].relative_features > w[0].relative_features);
+            assert!(w[1].relative_embedding_capacity > w[0].relative_embedding_capacity);
+        }
+    }
+
+    #[test]
+    fn order_of_magnitude_over_three_years() {
+        let s = growth_series(37, 36.0);
+        let last = s.last().unwrap();
+        assert!((last.relative_features - 10.0).abs() < 1e-9);
+        assert!((last.relative_embedding_capacity - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn starts_at_unity() {
+        let s = growth_series(5, 24.0);
+        assert_eq!(s[0].relative_features, 1.0);
+        assert_eq!(s[0].relative_embedding_capacity, 1.0);
+        assert_eq!(s[0].months, 0.0);
+    }
+
+    #[test]
+    fn embeddings_outgrow_features() {
+        let s = growth_series(10, 36.0);
+        for p in &s[1..] {
+            assert!(p.relative_embedding_capacity > p.relative_features);
+        }
+    }
+}

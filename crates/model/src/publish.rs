@@ -1,0 +1,286 @@
+//! Model publishing: serialize/deserialize model specifications.
+//!
+//! The production flow reshards and *serializes* models to storage
+//! after training ("a custom partitioning tool ... generates new
+//! Caffe2 nets, and then serializes the model to storage", §III-C).
+//! This module provides that publishing format for [`ModelSpec`]s: a
+//! deterministic, line-oriented text format (one record per line,
+//! space-separated fields) chosen over a serde dependency because the
+//! grammar is a dozen lines and the files are human-diffable — the
+//! property model-publishing pipelines actually rely on.
+
+use crate::spec::{ModelSpec, NetId, NetSpec, TableId, TableSpec};
+
+/// Errors from parsing a published model file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// 1-based line of the failure (0 = file-level problem).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+const HEADER: &str = "dlrm-model v1";
+
+/// Serializes `spec` to the v1 publishing format.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_model::publish;
+///
+/// let spec = dlrm_model::rm::rm3();
+/// let text = publish::spec_to_text(&spec);
+/// let back = publish::spec_from_text(&text)?;
+/// assert_eq!(back, spec);
+/// # Ok::<(), dlrm_model::publish::ParseSpecError>(())
+/// ```
+#[must_use]
+pub fn spec_to_text(spec: &ModelSpec) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "name {}", spec.name);
+    let _ = writeln!(out, "dense_features {}", spec.dense_features);
+    let _ = writeln!(out, "default_batch_size {}", spec.default_batch_size);
+    let _ = writeln!(out, "mean_items {}", spec.mean_items_per_request);
+    for n in &spec.nets {
+        let _ = writeln!(
+            out,
+            "net {} {} {} {} {}",
+            n.id.0,
+            n.name,
+            join(&n.bottom_mlp),
+            join(&n.top_mlp),
+            if n.takes_prev_output { "chained" } else { "root" },
+        );
+    }
+    for t in &spec.tables {
+        let _ = writeln!(
+            out,
+            "table {} {} {} {} {} {}",
+            t.id.0, t.name, t.rows, t.dim, t.net.0, t.pooling_factor,
+        );
+    }
+    out
+}
+
+fn join(v: &[usize]) -> String {
+    v.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn split_usizes(s: &str, line: usize) -> Result<Vec<usize>, ParseSpecError> {
+    s.split(',')
+        .map(|p| {
+            p.parse::<usize>().map_err(|_| ParseSpecError {
+                line,
+                message: format!("bad layer width {p:?}"),
+            })
+        })
+        .collect()
+}
+
+fn parse<T: std::str::FromStr>(s: &str, line: usize, what: &str) -> Result<T, ParseSpecError> {
+    s.parse().map_err(|_| ParseSpecError {
+        line,
+        message: format!("bad {what}: {s:?}"),
+    })
+}
+
+/// Parses the v1 publishing format back into a validated [`ModelSpec`].
+///
+/// # Errors
+///
+/// [`ParseSpecError`] with the offending line on malformed input, and
+/// line 0 when the assembled spec fails [`ModelSpec::validate`].
+pub fn spec_from_text(text: &str) -> Result<ModelSpec, ParseSpecError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseSpecError {
+        line: 0,
+        message: "empty file".into(),
+    })?;
+    if header.trim() != HEADER {
+        return Err(ParseSpecError {
+            line: 1,
+            message: format!("expected header {HEADER:?}, got {header:?}"),
+        });
+    }
+
+    let mut name = None;
+    let mut dense_features = None;
+    let mut default_batch_size = None;
+    let mut mean_items = None;
+    let mut nets: Vec<NetSpec> = Vec::new();
+    let mut tables: Vec<TableSpec> = Vec::new();
+
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let kind = fields.next().expect("non-empty line");
+        let rest: Vec<&str> = fields.collect();
+        match kind {
+            "name" => name = Some(rest.join(" ")),
+            "dense_features" => {
+                dense_features = Some(parse(one(&rest, line)?, line, "dense_features")?);
+            }
+            "default_batch_size" => {
+                default_batch_size = Some(parse(one(&rest, line)?, line, "batch size")?);
+            }
+            "mean_items" => mean_items = Some(parse(one(&rest, line)?, line, "mean items")?),
+            "net" => {
+                if rest.len() != 5 {
+                    return Err(ParseSpecError {
+                        line,
+                        message: format!("net record needs 5 fields, got {}", rest.len()),
+                    });
+                }
+                nets.push(NetSpec {
+                    id: NetId(parse(rest[0], line, "net id")?),
+                    name: rest[1].to_string(),
+                    bottom_mlp: split_usizes(rest[2], line)?,
+                    top_mlp: split_usizes(rest[3], line)?,
+                    takes_prev_output: match rest[4] {
+                        "chained" => true,
+                        "root" => false,
+                        other => {
+                            return Err(ParseSpecError {
+                                line,
+                                message: format!("bad net mode {other:?}"),
+                            })
+                        }
+                    },
+                });
+            }
+            "table" => {
+                if rest.len() != 6 {
+                    return Err(ParseSpecError {
+                        line,
+                        message: format!("table record needs 6 fields, got {}", rest.len()),
+                    });
+                }
+                tables.push(TableSpec {
+                    id: TableId(parse(rest[0], line, "table id")?),
+                    name: rest[1].to_string(),
+                    rows: parse(rest[2], line, "rows")?,
+                    dim: parse(rest[3], line, "dim")?,
+                    net: NetId(parse(rest[4], line, "net id")?),
+                    pooling_factor: parse(rest[5], line, "pooling factor")?,
+                });
+            }
+            other => {
+                return Err(ParseSpecError {
+                    line,
+                    message: format!("unknown record kind {other:?}"),
+                })
+            }
+        }
+    }
+
+    let spec = ModelSpec {
+        name: name.ok_or(ParseSpecError {
+            line: 0,
+            message: "missing name".into(),
+        })?,
+        dense_features: dense_features.ok_or(ParseSpecError {
+            line: 0,
+            message: "missing dense_features".into(),
+        })?,
+        tables,
+        nets,
+        default_batch_size: default_batch_size.ok_or(ParseSpecError {
+            line: 0,
+            message: "missing default_batch_size".into(),
+        })?,
+        mean_items_per_request: mean_items.ok_or(ParseSpecError {
+            line: 0,
+            message: "missing mean_items".into(),
+        })?,
+    };
+    spec.validate().map_err(|message| ParseSpecError {
+        line: 0,
+        message,
+    })?;
+    Ok(spec)
+}
+
+fn one<'a>(rest: &[&'a str], line: usize) -> Result<&'a str, ParseSpecError> {
+    if rest.len() == 1 {
+        Ok(rest[0])
+    } else {
+        Err(ParseSpecError {
+            line,
+            message: format!("expected one field, got {}", rest.len()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rm;
+
+    #[test]
+    fn round_trips_every_study_model() {
+        for spec in rm::all() {
+            let text = spec_to_text(&spec);
+            let back = spec_from_text(&text).unwrap();
+            assert_eq!(back, spec, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn tolerates_comments_and_blank_lines() {
+        let spec = rm::rm3();
+        let mut text = spec_to_text(&spec);
+        text = text.replace("dense_features", "# a comment\n\ndense_features");
+        assert_eq!(spec_from_text(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let err = spec_from_text("dlrm-model v9\nname x\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("header"));
+    }
+
+    #[test]
+    fn reports_offending_line() {
+        let spec = rm::rm3();
+        let text = spec_to_text(&spec).replace("table 0 ", "table zero ");
+        let err = spec_from_text(&text).unwrap_err();
+        assert!(err.message.contains("table id"), "{err}");
+        assert!(err.line > 1);
+    }
+
+    #[test]
+    fn validation_failures_surface() {
+        // A table referencing a missing net.
+        let text = "dlrm-model v1\nname x\ndense_features 4\n\
+                    default_batch_size 2\nmean_items 4\n\
+                    net 0 main 8 8,1 root\n\
+                    table 0 t0 16 8 7 1.0\n";
+        let err = spec_from_text(text).unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.message.contains("net"), "{err}");
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(spec_to_text(&rm::rm1()), spec_to_text(&rm::rm1()));
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based round-trip tests for the model publishing format.
+
+use dlrm_model::publish::{spec_from_text, spec_to_text};
+use dlrm_model::{ModelSpec, NetId, NetSpec, TableId, TableSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = ModelSpec> {
+    (
+        1usize..=3,
+        prop::collection::vec(
+            (1u64..1_000_000, 1u32..256, 0.0f64..1e6),
+            1..30,
+        ),
+        1usize..512,
+        1usize..256,
+        0.5f64..5000.0,
+    )
+        .prop_map(|(n_nets, raw, dense, batch, mean_items)| {
+            let tables: Vec<TableSpec> = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, (rows, dim, pooling))| TableSpec {
+                    id: TableId(i),
+                    name: format!("tbl_{i}"),
+                    rows,
+                    dim,
+                    net: NetId(i % n_nets),
+                    pooling_factor: pooling,
+                })
+                .collect();
+            let nets = (0..n_nets)
+                .map(|i| NetSpec {
+                    id: NetId(i),
+                    name: format!("net_{i}"),
+                    bottom_mlp: vec![64, 32],
+                    top_mlp: vec![64, 1],
+                    takes_prev_output: i > 0,
+                })
+                .collect();
+            ModelSpec {
+                name: "prop-model".into(),
+                dense_features: dense,
+                tables,
+                nets,
+                default_batch_size: batch,
+                mean_items_per_request: mean_items,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn publish_round_trips_exactly(spec in arb_spec()) {
+        prop_assume!(spec.validate().is_ok());
+        let text = spec_to_text(&spec);
+        let back = spec_from_text(&text).expect("parse back");
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn publish_is_stable_under_reserialization(spec in arb_spec()) {
+        prop_assume!(spec.validate().is_ok());
+        let once = spec_to_text(&spec);
+        let twice = spec_to_text(&spec_from_text(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Arbitrary garbage never panics the parser — it errors.
+    #[test]
+    fn parser_is_total(garbage in "\\PC{0,200}") {
+        let _ = spec_from_text(&garbage);
+        let with_header = format!("dlrm-model v1\n{garbage}");
+        let _ = spec_from_text(&with_header);
+    }
+}

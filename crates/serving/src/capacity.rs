@@ -1,0 +1,192 @@
+//! SLA-bounded capacity search: the maximum request rate one serving
+//! instance sustains before violating its latency SLA.
+//!
+//! "Throughput, or queries per second (QPS), is a paramount target for
+//! inference, but just as important are latency constraints ... If SLA
+//! targets cannot be satisfied, the inference request is dropped in
+//! favor of a potentially lower quality recommendation" (§II). This
+//! module searches the open-loop arrival rate for the knee: the highest
+//! QPS whose P99 stays inside the SLA, per sharding configuration —
+//! the quantity a capacity planner actually provisions against.
+
+use crate::cluster::{simulate, ArrivalProcess, Cluster, RunConfig};
+use crate::cost::CostModel;
+use dlrm_model::ModelSpec;
+use dlrm_sharding::ShardingPlan;
+use dlrm_workload::TraceDb;
+
+/// The latency service-level agreement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlaTarget {
+    /// P99 end-to-end budget, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Result of a capacity search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityEstimate {
+    /// Highest probed QPS meeting the SLA.
+    pub max_qps: f64,
+    /// The P99 observed at `max_qps`.
+    pub p99_at_max: f64,
+}
+
+/// Binary-searches the highest open-loop QPS whose P99 meets `sla`.
+///
+/// Deterministic in `seed`; each probe replays `requests` requests.
+/// Returns `max_qps == 0.0` when even near-zero load misses the SLA.
+///
+/// # Panics
+///
+/// Panics if `requests` is zero or the SLA budget is not positive.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // each input is a distinct search dimension
+pub fn max_qps_under_sla(
+    spec: &ModelSpec,
+    plan: &ShardingPlan,
+    cost: &CostModel,
+    cluster: &Cluster,
+    db: &TraceDb,
+    sla: SlaTarget,
+    requests: usize,
+    seed: u64,
+) -> CapacityEstimate {
+    assert!(requests > 0, "need at least one request per probe");
+    assert!(sla.p99_ms > 0.0, "SLA budget must be positive");
+
+    let probe = |qps: f64| -> f64 {
+        let config = RunConfig {
+            requests,
+            batch_size: None,
+            arrivals: ArrivalProcess::OpenLoop { qps },
+            seed,
+            collect_traces: false,
+            fault: None,
+        };
+        let mut result = simulate(spec, plan, cost, cluster, db, &config);
+        result.e2e.percentiles().p99
+    };
+
+    // Establish a violated upper bound by doubling.
+    let mut lo = 0.5f64;
+    if probe(lo) > sla.p99_ms {
+        return CapacityEstimate {
+            max_qps: 0.0,
+            p99_at_max: probe(lo),
+        };
+    }
+    let mut hi = 1.0f64;
+    let cap = 100_000.0;
+    while probe(hi) <= sla.p99_ms {
+        lo = hi;
+        hi *= 2.0;
+        if hi > cap {
+            return CapacityEstimate {
+                max_qps: cap,
+                p99_at_max: probe(cap),
+            };
+        }
+    }
+    // Bisect to ~2% relative precision.
+    for _ in 0..12 {
+        let mid = (lo + hi) / 2.0;
+        if probe(mid) <= sla.p99_ms {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) / lo < 0.02 {
+            break;
+        }
+    }
+    CapacityEstimate {
+        max_qps: lo,
+        p99_at_max: probe(lo),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_model::rm;
+    use dlrm_sharding::{plan as make_plan, ShardingStrategy};
+    use dlrm_workload::{PoolingProfile, TraceDb};
+
+    fn setup() -> (ModelSpec, TraceDb, CostModel, Cluster) {
+        let spec = rm::rm3();
+        let db = TraceDb::generate(&spec, 200, 5);
+        let cost = CostModel::for_model(&spec);
+        (spec, db, cost, Cluster::sc_large())
+    }
+
+    #[test]
+    fn impossible_sla_reports_zero() {
+        let (spec, db, cost, cluster) = setup();
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = make_plan(&spec, &profile, ShardingStrategy::Singular).unwrap();
+        let est = max_qps_under_sla(
+            &spec,
+            &p,
+            &cost,
+            &cluster,
+            &db,
+            SlaTarget { p99_ms: 0.001 },
+            60,
+            7,
+        );
+        assert_eq!(est.max_qps, 0.0);
+    }
+
+    #[test]
+    fn generous_sla_finds_high_capacity() {
+        let (spec, db, cost, cluster) = setup();
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = make_plan(&spec, &profile, ShardingStrategy::Singular).unwrap();
+        let est = max_qps_under_sla(
+            &spec,
+            &p,
+            &cost,
+            &cluster,
+            &db,
+            SlaTarget { p99_ms: 1000.0 },
+            60,
+            7,
+        );
+        assert!(est.max_qps > 100.0, "found {}", est.max_qps);
+        assert!(est.p99_at_max <= 1000.0);
+    }
+
+    #[test]
+    fn tighter_sla_means_less_capacity() {
+        let (spec, db, cost, cluster) = setup();
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = make_plan(&spec, &profile, ShardingStrategy::Singular).unwrap();
+        let run = |budget: f64| {
+            max_qps_under_sla(
+                &spec,
+                &p,
+                &cost,
+                &cluster,
+                &db,
+                SlaTarget { p99_ms: budget },
+                60,
+                7,
+            )
+            .max_qps
+        };
+        let tight = run(13.0);
+        let loose = run(200.0);
+        assert!(loose >= tight, "loose {loose} vs tight {tight}");
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let (spec, db, cost, cluster) = setup();
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = make_plan(&spec, &profile, ShardingStrategy::OneShard).unwrap();
+        let sla = SlaTarget { p99_ms: 25.0 };
+        let a = max_qps_under_sla(&spec, &p, &cost, &cluster, &db, sla, 40, 3);
+        let b = max_qps_under_sla(&spec, &p, &cost, &cluster, &db, sla, 40, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,852 @@
+//! Event-driven simulation of distributed inference serving.
+//!
+//! One [`simulate`] call replays a request trace against one sharding
+//! configuration on a simulated cluster and returns latency/CPU
+//! percentiles plus the full cross-layer trace. The execution model
+//! follows §III/§IV of the paper:
+//!
+//! - every request deserializes on the main shard, then its batches run
+//!   through each net **sequentially by net** (the content net consumes
+//!   the user net's output) and **in parallel across batches**, limited
+//!   by a per-request lane count (other cores serve other requests);
+//! - in a distributed configuration each batch issues one asynchronous
+//!   RPC per sparse shard touched by the current net (serialize →
+//!   network → shard queue/service/deser/SLS/serialize → network →
+//!   response deserialize), and the batch's top MLP waits for *all* its
+//!   RPCs — so the slowest shard bounds the batch (§IV-B);
+//! - in the singular configuration the SLS operators run inline on the
+//!   main shard between the bottom and top MLP;
+//! - co-located SLS work contends for memory bandwidth (sparse
+//!   operators are memory-bound), modeled as a fractional slowdown per
+//!   concurrently executing SLS task on the same server;
+//! - every server has an FCFS core pool and a constant clock skew, so
+//!   the recorded spans reproduce the paper's measurement environment.
+
+use crate::cost::CostModel;
+use crate::platform::PlatformSpec;
+use dlrm_metrics::PercentileSketch;
+use dlrm_model::{ModelSpec, NetId};
+use dlrm_sharding::{Location, ShardId, ShardingPlan};
+use dlrm_sim::dist::{Exponential, LogNormal, Sample};
+use dlrm_sim::{CorePool, EventQueue, SimDuration, SimRng, SimTime};
+use dlrm_trace::{RpcId, ServerId, Span, SpanKind, TraceCollector, TraceId};
+use dlrm_workload::TraceDb;
+
+/// How requests arrive at the main shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Closed loop: the next request is sent when the previous response
+    /// returns ("requests were sent serially, to isolate inherent
+    /// overheads", §V-B).
+    Serial,
+    /// Open loop: Poisson arrivals at the given rate (the §VII-A
+    /// high-QPS experiment).
+    OpenLoop {
+        /// Mean arrival rate, requests per second.
+        qps: f64,
+    },
+}
+
+/// The simulated cluster: platforms and measurement environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Platform hosting the main shard.
+    pub main: PlatformSpec,
+    /// Platform hosting every sparse shard.
+    pub sparse: PlatformSpec,
+    /// Maximum absolute per-server clock offset, milliseconds. Spans
+    /// are stamped in skewed server-local time, exercising the
+    /// trace framework's duration-difference analysis.
+    pub clock_skew_ms: f64,
+}
+
+impl Cluster {
+    /// The paper's default: SC-Large everywhere (apples-to-apples,
+    /// §V-B), with realistic multi-millisecond clock skew.
+    #[must_use]
+    pub fn sc_large() -> Self {
+        Self {
+            main: PlatformSpec::sc_large(),
+            sparse: PlatformSpec::sc_large(),
+            clock_skew_ms: 5.0,
+        }
+    }
+
+    /// SC-Large main shard with SC-Small sparse shards (§VII-B).
+    #[must_use]
+    pub fn small_sparse() -> Self {
+        Self {
+            sparse: PlatformSpec::sc_small(),
+            ..Self::sc_large()
+        }
+    }
+}
+
+/// Per-run knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Number of requests to replay (the trace is cycled if shorter).
+    pub requests: usize,
+    /// Batch-size override: `None` = the model's production default;
+    /// `Some(usize::MAX)` = one batch per request (§VI-F).
+    pub batch_size: Option<usize>,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Seed for network draws, skew, routing.
+    pub seed: u64,
+    /// Whether to keep spans (disable for pure-throughput runs).
+    pub collect_traces: bool,
+    /// Optional injected shard fault (slow replica / degraded host) —
+    /// exercises the stateless-shard replication rationale of §III-A1.
+    pub fault: Option<ShardFault>,
+}
+
+/// A transient sparse-shard degradation: during the window, the shard's
+/// service time is multiplied by `slowdown` (a GC pause, a noisy
+/// neighbor, a failing disk — the events shard replication exists to
+/// absorb).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardFault {
+    /// The afflicted shard (index into the plan's shards).
+    pub shard: usize,
+    /// Window start, simulated milliseconds.
+    pub start_ms: f64,
+    /// Window length, milliseconds.
+    pub duration_ms: f64,
+    /// Service-time multiplier during the window (> 1).
+    pub slowdown: f64,
+}
+
+impl ShardFault {
+    /// Whether the fault is active at `now_ms`.
+    #[must_use]
+    pub fn active_at(&self, now_ms: f64) -> bool {
+        now_ms >= self.start_ms && now_ms < self.start_ms + self.duration_ms
+    }
+}
+
+impl RunConfig {
+    /// Serial replay of `requests` requests with default batching.
+    #[must_use]
+    pub fn serial(requests: usize, seed: u64) -> Self {
+        Self {
+            requests,
+            batch_size: None,
+            arrivals: ArrivalProcess::Serial,
+            seed,
+            collect_traces: true,
+            fault: None,
+        }
+    }
+}
+
+/// One request's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOutcome {
+    /// Trace id (request index).
+    pub trace: TraceId,
+    /// Candidate items ranked.
+    pub items: u32,
+    /// End-to-end latency, milliseconds.
+    pub e2e_ms: f64,
+    /// Aggregate CPU time across all servers, milliseconds.
+    pub cpu_ms: f64,
+}
+
+/// The results of one simulated run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// E2E latency sketch (milliseconds).
+    pub e2e: PercentileSketch,
+    /// Aggregate CPU-time sketch (milliseconds).
+    pub cpu: PercentileSketch,
+    /// The cross-layer trace (empty if collection was disabled).
+    pub collector: TraceCollector,
+    /// Per-request outcomes in completion order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Core-busy milliseconds on the main shard.
+    pub main_busy_ms: f64,
+    /// Core-busy milliseconds per sparse shard.
+    pub shard_busy_ms: Vec<f64>,
+    /// Total wall-clock of the run, milliseconds.
+    pub makespan_ms: f64,
+}
+
+/// Identifies one RPC of one batch.
+#[derive(Debug)]
+struct RpcRun {
+    rpc_id: RpcId,
+    shard: ShardId,
+    lookups: f64,
+    tables: usize,
+    request_bytes: f64,
+    response_bytes: f64,
+    issue_time: SimTime,
+}
+
+#[derive(Debug)]
+struct BatchRun {
+    items: usize,
+    rpcs: Vec<RpcRun>,
+    pending: usize,
+}
+
+#[derive(Debug)]
+struct ReqRun {
+    trace: TraceId,
+    items: u32,
+    /// Per-net, per-shard, per-batch lookup counts (precomputed at net
+    /// start). Indexed `[shard_slot][batch]`.
+    arrival: SimTime,
+    net_idx: usize,
+    batches: Vec<BatchRun>,
+    next_batch: usize,
+    remaining: usize,
+    cpu: SimDuration,
+    done: bool,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrive(usize),
+    DeserDone(usize),
+    RpcAtShard {
+        req: usize,
+        batch: usize,
+        rpc: usize,
+    },
+    RpcBack {
+        req: usize,
+        batch: usize,
+        rpc: usize,
+    },
+    BatchDone {
+        req: usize,
+    },
+    SerDone(usize),
+}
+
+/// One table hosted on a shard: `(table index, parts, part)`.
+type HostedTable = (usize, usize, usize);
+
+/// Per-net static routing: which shards a net touches, and which tables
+/// (with their partitioning) sit on each.
+#[derive(Debug)]
+struct NetRouting {
+    /// `(shard, tables)` pairs.
+    shards: Vec<(ShardId, Vec<HostedTable>)>,
+}
+
+fn build_routing(spec: &ModelSpec, plan: &ShardingPlan) -> Vec<NetRouting> {
+    spec.nets
+        .iter()
+        .map(|net| {
+            let mut by_shard: std::collections::BTreeMap<ShardId, Vec<HostedTable>> =
+                Default::default();
+            for t in spec.tables_of_net(net.id) {
+                if let Location::Shards(shards) = &plan.placement(t.id).location {
+                    let parts = shards.len();
+                    for (part, &s) in shards.iter().enumerate() {
+                        by_shard.entry(s).or_default().push((t.id.0, parts, part));
+                    }
+                }
+            }
+            NetRouting {
+                shards: by_shard.into_iter().collect(),
+            }
+        })
+        .collect()
+}
+
+/// Splits `total` lookups across `batches` as evenly as possible.
+fn split_even(total: u64, batches: usize, b: usize) -> u64 {
+    let base = total / batches as u64;
+    let extra = u64::from((b as u64) < total % batches as u64);
+    base + extra
+}
+
+/// The simulation engine state.
+struct Engine<'a> {
+    spec: &'a ModelSpec,
+    plan: &'a ShardingPlan,
+    cost: &'a CostModel,
+    cluster: &'a Cluster,
+    db: &'a TraceDb,
+    batch_size: usize,
+    queue: EventQueue<Ev>,
+    main_pool: CorePool,
+    shard_pools: Vec<CorePool>,
+    reqs: Vec<ReqRun>,
+    routing: Vec<NetRouting>,
+    /// Per-request row-shard lookup assignment: `[req][table] -> per-part
+    /// lookups`, only for row-sharded tables.
+    rng_net: SimRng,
+    rng_route: SimRng,
+    skews: Vec<f64>,
+    /// Per-shard constant one-way network offset, ms — shard servers sit
+    /// at varying distances in the datacenter ("network variability of
+    /// communicating with more server nodes", §VI-B3).
+    shard_net_offset: Vec<f64>,
+    collector: TraceCollector,
+    rpc_counter: u64,
+    outcomes: Vec<RequestOutcome>,
+    serial: bool,
+    /// Requests currently in flight (for co-location pressure).
+    active_requests: usize,
+    /// Whether the main server co-hosts the embedding tables (singular).
+    main_hosts_tables: bool,
+    /// Optional injected shard fault.
+    fault: Option<ShardFault>,
+    /// Active SLS intervals per server (for bandwidth contention).
+    sls_active: Vec<Vec<(f64, f64)>>,
+    /// Per-request, per-table part assignment for row-sharded tables:
+    /// computed lazily per net start. Keyed by (req, table) -> Vec<u64>.
+    part_lookups: std::collections::HashMap<(usize, usize), Vec<u64>>,
+}
+
+impl<'a> Engine<'a> {
+    fn server_of(&self, shard: ShardId) -> ServerId {
+        ServerId::sparse(shard.0)
+    }
+
+    fn skew(&self, server: ServerId) -> f64 {
+        self.skews[server.0]
+    }
+
+    /// Slowdown of main-shard CPU work from co-hosting the embedding
+    /// tables with dense compute under concurrent load (1.0 in serial
+    /// replay or when the tables live on sparse shards).
+    fn main_pressure(&self) -> f64 {
+        if !self.main_hosts_tables || self.active_requests <= 1 {
+            return 1.0;
+        }
+        1.0 + self.cost.colocation_pressure * (self.active_requests - 1).min(3) as f64
+    }
+
+    fn emit(&mut self, trace: TraceId, server: ServerId, kind: SpanKind, start: SimTime, duration: SimDuration, cpu: bool) {
+        if cpu {
+            self.reqs[trace.0 as usize].cpu += duration;
+        }
+        let skew = self.skew(server);
+        self.collector.record(Span {
+            trace,
+            server,
+            kind,
+            start: start.as_millis() + skew,
+            duration: duration.as_millis(),
+            cpu,
+        });
+    }
+
+    /// SLS contention factor at `start` on `server`, and registration of
+    /// the new interval.
+    fn sls_contended(&mut self, server: ServerId, start: f64, nominal: SimDuration) -> SimDuration {
+        let active = &mut self.sls_active[server.0];
+        active.retain(|&(_, end)| end > start - 100.0);
+        let overlapping = active.iter().filter(|&&(s, e)| s <= start && start < e).count();
+        // Bandwidth contention saturates: beyond a few concurrent
+        // streams, DRAM bandwidth is simply shared.
+        let factor = 1.0 + self.cost.sls_contention * overlapping.min(4) as f64;
+        let actual = nominal.scaled(factor);
+        active.push((start, start + actual.as_millis()));
+        actual
+    }
+
+    /// Lookups of `table` landing on part `part` of `parts`, for request
+    /// `req` (whole request, all batches).
+    fn part_lookup(&mut self, req: usize, table: usize, parts: usize, part: usize) -> u64 {
+        if parts == 1 {
+            return u64::from(self.db.get(req % self.db.len()).table_lookups[table]);
+        }
+        if let Some(v) = self.part_lookups.get(&(req, table)) {
+            return v[part];
+        }
+        let total = u64::from(self.db.get(req % self.db.len()).table_lookups[table]);
+        let mut per_part = vec![0u64; parts];
+        if total >= 32 * parts as u64 {
+            // Large pools split evenly (multinomial concentration).
+            for (i, p) in per_part.iter_mut().enumerate() {
+                *p = split_even(total, parts, i);
+            }
+        } else {
+            // Small pools route lookup-by-lookup: the RM3 case where a
+            // pooling-factor-1 table touches exactly one part per
+            // request (§V-A).
+            for _ in 0..total {
+                per_part[self.rng_route.next_index(parts)] += 1;
+            }
+        }
+        let v = self.part_lookups.entry((req, table)).or_insert(per_part);
+        v[part]
+    }
+
+    fn start_request(&mut self, req: usize, now: SimTime) {
+        self.reqs[req].arrival = now;
+        self.active_requests += 1;
+        let items = self.reqs[req].items;
+        let pressure = self.main_pressure();
+        let service = SimDuration::from_micros(self.cost.main_service_us).scaled(pressure);
+        let deser = self.cost.request_deser(items).scaled(pressure);
+        let sched = self.main_pool.run(now, service + deser);
+        let trace = self.reqs[req].trace;
+        self.emit(trace, ServerId::MAIN, SpanKind::MainService, sched.start, service, true);
+        self.emit(trace, ServerId::MAIN, SpanKind::RequestDeser, sched.start + service, deser, true);
+        self.queue.push(sched.end, Ev::DeserDone(req));
+    }
+
+    fn start_net(&mut self, req: usize, now: SimTime) {
+        let net_idx = self.reqs[req].net_idx;
+        let items = self.reqs[req].items as usize;
+        // Per-request task fan-out is bounded: beyond `max_batches`
+        // batches, batches grow instead of multiplying.
+        let n_batches = items
+            .div_ceil(self.batch_size)
+            .min(self.cost.max_batches)
+            .max(1);
+        // Items split evenly across batches.
+        let mut batches = Vec::with_capacity(n_batches);
+        for b in 0..n_batches {
+            batches.push(BatchRun {
+                items: split_even(items as u64, n_batches, b) as usize,
+                rpcs: Vec::new(),
+                pending: 0,
+            });
+        }
+        self.reqs[req].batches = batches;
+        self.reqs[req].next_batch = 0;
+        self.reqs[req].remaining = n_batches;
+
+        let lanes = self.cost.lanes.max(1).min(n_batches);
+        for _ in 0..lanes {
+            let b = self.reqs[req].next_batch;
+            self.reqs[req].next_batch += 1;
+            self.start_batch(req, net_idx, b, now);
+        }
+    }
+
+    /// Phase A of a batch: bottom MLP (+ RPC serialization in
+    /// distributed mode, or inline SLS in singular mode).
+    fn start_batch(&mut self, req: usize, net_idx: usize, b: usize, now: SimTime) {
+        let trace = self.reqs[req].trace;
+        let batch_items = self.reqs[req].batches[b].items;
+        let pressure = self.main_pressure();
+        let (bottom, top) = self.cost.dense_batch(net_idx, batch_items);
+        let (bottom, top) = (bottom.scaled(pressure), top.scaled(pressure));
+        let n_batches = self.reqs[req].batches.len();
+
+        // Assemble this batch's RPCs (empty in the singular config).
+        struct PendingRpc {
+            shard: ShardId,
+            lookups: f64,
+            tables: usize,
+            request_bytes: f64,
+            response_bytes: f64,
+            all_parts: bool,
+        }
+        let mut pending: Vec<PendingRpc> = Vec::new();
+        let shard_entries: Vec<(ShardId, Vec<HostedTable>)> = self.routing[net_idx]
+            .shards
+            .iter()
+            .map(|(s, t)| (*s, t.clone()))
+            .collect();
+        for (shard, tables) in &shard_entries {
+            let mut lookups = 0.0f64;
+            let mut resp_bytes = 0.0f64;
+            let mut all_parts = true;
+            for &(ti, parts, part) in tables {
+                let per_req = self.part_lookup(req, ti, parts, part);
+                lookups += split_even(per_req, n_batches, b) as f64;
+                resp_bytes +=
+                    f64::from(self.spec.tables[ti].dim) * 4.0 * batch_items as f64;
+                if parts == 1 {
+                    all_parts = false;
+                }
+            }
+            pending.push(PendingRpc {
+                shard: *shard,
+                lookups,
+                tables: tables.len(),
+                request_bytes: lookups * 8.0 + tables.len() as f64 * batch_items as f64 * 4.0,
+                response_bytes: resp_bytes,
+                all_parts,
+            });
+        }
+        // Row-shard parts with nothing to look up are not accessed
+        // (RM3: "only one of the shards spanning the table will be
+        // accessed", §V-A).
+        pending.retain(|p| !(p.all_parts && p.lookups == 0.0));
+
+        if pending.is_empty() {
+            // Singular (or a net with no remote work): one inline task.
+            let singular = !self.plan.strategy().is_distributed();
+            let mut sls = SimDuration::ZERO;
+            if singular {
+                let net_id = NetId(net_idx);
+                let mut lookups = 0.0f64;
+                let mut tables = 0usize;
+                for t in self.spec.tables_of_net(net_id) {
+                    let per_req =
+                        u64::from(self.db.get(req % self.db.len()).table_lookups[t.id.0]);
+                    lookups += split_even(per_req, n_batches, b) as f64;
+                    tables += 1;
+                }
+                sls = self.cost.sls_time(lookups, tables).scaled(pressure);
+                let est_start = self.main_pool.next_free(now).as_millis() + bottom.as_millis();
+                sls = self.sls_contended(ServerId::MAIN, est_start, sls);
+            }
+            let sched = self.main_pool.run(now, bottom + sls + top);
+            self.emit(trace, ServerId::MAIN, SpanKind::DenseOp, sched.start, bottom, true);
+            if sls > SimDuration::ZERO {
+                self.emit(
+                    trace,
+                    ServerId::MAIN,
+                    SpanKind::SparseOp(None),
+                    sched.start + bottom,
+                    sls,
+                    true,
+                );
+            }
+            self.emit(trace, ServerId::MAIN, SpanKind::DenseOp, sched.start + bottom + sls, top, true);
+            self.queue.push(sched.end, Ev::BatchDone { req });
+            return;
+        }
+
+        // Distributed: bottom + per-RPC serialization + scheduling.
+        let n_rpcs = pending.len();
+        let sched_overhead = SimDuration::from_micros(self.cost.rpc_sched_us * n_rpcs as f64);
+        let mut ser_total = SimDuration::ZERO;
+        let ser_costs: Vec<SimDuration> = pending
+            .iter()
+            .map(|p| {
+                let d = self.cost.rpc_serde(p.request_bytes);
+                ser_total += d;
+                d
+            })
+            .collect();
+        let task = self.main_pool.run(now, bottom + ser_total + sched_overhead);
+        self.emit(trace, ServerId::MAIN, SpanKind::DenseOp, task.start, bottom, true);
+        self.emit(
+            trace,
+            ServerId::MAIN,
+            SpanKind::NetOverhead,
+            task.start + bottom + ser_total,
+            sched_overhead,
+            true,
+        );
+
+        let mut cursor = task.start + bottom;
+        let mut rpcs = Vec::with_capacity(n_rpcs);
+        for (k, p) in pending.into_iter().enumerate() {
+            let ser = ser_costs[k];
+            self.emit(trace, ServerId::MAIN, SpanKind::RpcSerialize(RpcId(self.rpc_counter)), cursor, ser, true);
+            cursor += ser;
+            let issue = cursor;
+            let penalty =
+                self.cluster.sparse.network_penalty_ms + self.shard_net_offset[p.shard.0];
+            let out_latency = self.cost.network_latency(&mut self.rng_net, penalty);
+            let rpc_id = RpcId(self.rpc_counter);
+            self.rpc_counter += 1;
+            rpcs.push(RpcRun {
+                rpc_id,
+                shard: p.shard,
+                lookups: p.lookups,
+                tables: p.tables,
+                request_bytes: p.request_bytes,
+                response_bytes: p.response_bytes,
+                issue_time: issue,
+            });
+            self.queue.push(
+                issue + out_latency,
+                Ev::RpcAtShard {
+                    req,
+                    batch: b,
+                    rpc: k,
+                },
+            );
+        }
+        self.reqs[req].batches[b].pending = n_rpcs;
+        self.reqs[req].batches[b].rpcs = rpcs;
+    }
+
+    fn rpc_at_shard(&mut self, req: usize, b: usize, k: usize, now: SimTime) {
+        let trace = self.reqs[req].trace;
+        let (shard, lookups, tables, req_bytes, resp_bytes, rpc_id) = {
+            let r = &self.reqs[req].batches[b].rpcs[k];
+            (r.shard, r.lookups, r.tables, r.request_bytes, r.response_bytes, r.rpc_id)
+        };
+        let server = self.server_of(shard);
+        let service = SimDuration::from_micros(self.cost.shard_service_us);
+        let deser = self.cost.rpc_serde(req_bytes);
+        let ser = self.cost.rpc_serde(resp_bytes);
+        let nominal_sls = self.cost.sls_time(lookups, tables);
+        let est_start =
+            self.shard_pools[shard.0].next_free(now).as_millis() + (service + deser).as_millis();
+        let sls = self.sls_contended(server, est_start, nominal_sls);
+        // Injected degradation: the whole service time stretches.
+        let fault_factor = match self.fault {
+            Some(f) if f.shard == shard.0 && f.active_at(now.as_millis()) => f.slowdown,
+            _ => 1.0,
+        };
+        let (service, deser, sls, ser) = (
+            service.scaled(fault_factor),
+            deser.scaled(fault_factor),
+            sls.scaled(fault_factor),
+            ser.scaled(fault_factor),
+        );
+        let sched = self.shard_pools[shard.0].run(now, service + deser + sls + ser);
+
+        self.emit(trace, server, SpanKind::ShardE2E(rpc_id), now, sched.end - now, false);
+        self.emit(trace, server, SpanKind::ShardService(rpc_id), sched.start, service, true);
+        self.emit(trace, server, SpanKind::ShardDeser(rpc_id), sched.start + service, deser, true);
+        self.emit(
+            trace,
+            server,
+            SpanKind::SparseOp(Some(rpc_id)),
+            sched.start + service + deser,
+            sls,
+            true,
+        );
+        self.emit(
+            trace,
+            server,
+            SpanKind::ShardSer(rpc_id),
+            sched.start + service + deser + sls,
+            ser,
+            true,
+        );
+
+        let penalty = self.cluster.sparse.network_penalty_ms + self.shard_net_offset[shard.0];
+        let back = self.cost.network_latency(&mut self.rng_net, penalty);
+        self.queue.push(sched.end + back, Ev::RpcBack { req, batch: b, rpc: k });
+    }
+
+    fn rpc_back(&mut self, req: usize, b: usize, k: usize, now: SimTime) {
+        let trace = self.reqs[req].trace;
+        let (issue, rpc_id) = {
+            let r = &self.reqs[req].batches[b].rpcs[k];
+            (r.issue_time, r.rpc_id)
+        };
+        self.emit(
+            trace,
+            ServerId::MAIN,
+            SpanKind::RpcOutstanding(rpc_id),
+            issue,
+            now - issue,
+            false,
+        );
+        self.reqs[req].batches[b].pending -= 1;
+        if self.reqs[req].batches[b].pending > 0 {
+            return;
+        }
+        // Phase B: response deserialization + interaction/top MLP.
+        let pressure = self.main_pressure();
+        let net_idx = self.reqs[req].net_idx;
+        let batch_items = self.reqs[req].batches[b].items;
+        let (_, top) = self.cost.dense_batch(net_idx, batch_items);
+        let top = top.scaled(pressure);
+        let deser_costs: Vec<(RpcId, SimDuration)> = self.reqs[req].batches[b]
+            .rpcs
+            .iter()
+            .map(|r| (r.rpc_id, self.cost.rpc_serde(r.response_bytes).scaled(pressure)))
+            .collect();
+        let deser_total: SimDuration = deser_costs.iter().map(|&(_, d)| d).sum();
+        let sched = self.main_pool.run(now, deser_total + top);
+        let mut cursor = sched.start;
+        for (rid, d) in deser_costs {
+            self.emit(trace, ServerId::MAIN, SpanKind::RpcDeserialize(rid), cursor, d, true);
+            cursor += d;
+        }
+        self.emit(trace, ServerId::MAIN, SpanKind::DenseOp, cursor, top, true);
+        self.queue.push(sched.end, Ev::BatchDone { req });
+    }
+
+    fn batch_done(&mut self, req: usize, now: SimTime) {
+        // Free a lane: start the next batch of this net, if any.
+        if self.reqs[req].next_batch < self.reqs[req].batches.len() {
+            let b = self.reqs[req].next_batch;
+            self.reqs[req].next_batch += 1;
+            let net_idx = self.reqs[req].net_idx;
+            self.start_batch(req, net_idx, b, now);
+        }
+        self.reqs[req].remaining -= 1;
+        if self.reqs[req].remaining > 0 {
+            return;
+        }
+        // Net complete: next net, or the response.
+        self.reqs[req].net_idx += 1;
+        if self.reqs[req].net_idx < self.spec.nets.len() {
+            self.start_net(req, now);
+            return;
+        }
+        let items = self.reqs[req].items;
+        let trace = self.reqs[req].trace;
+        let ser = self.cost.response_ser(items).scaled(self.main_pressure());
+        let sched = self.main_pool.run(now, ser);
+        self.emit(trace, ServerId::MAIN, SpanKind::ResponseSer, sched.start, ser, true);
+        self.queue.push(sched.end, Ev::SerDone(req));
+    }
+
+    fn finish_request(&mut self, req: usize, now: SimTime) {
+        let r = &self.reqs[req];
+        let e2e = now - r.arrival;
+        let trace = r.trace;
+        let arrival = r.arrival;
+        let items = r.items;
+        let cpu = r.cpu;
+        self.reqs[req].done = true;
+        self.active_requests = self.active_requests.saturating_sub(1);
+        self.emit(trace, ServerId::MAIN, SpanKind::RequestE2E, arrival, e2e, false);
+        self.outcomes.push(RequestOutcome {
+            trace,
+            items,
+            e2e_ms: e2e.as_millis(),
+            cpu_ms: cpu.as_millis(),
+        });
+        if self.serial {
+            let next = req + 1;
+            if next < self.reqs.len() {
+                self.queue.push(now, Ev::Arrive(next));
+            }
+        }
+    }
+}
+
+/// Simulates the replay of `config.requests` requests from `db` against
+/// `plan` on `cluster`.
+///
+/// # Panics
+///
+/// Panics if the trace database is empty, the request count is zero, or
+/// the plan fails validation against `spec`.
+#[must_use]
+pub fn simulate(
+    spec: &ModelSpec,
+    plan: &ShardingPlan,
+    cost: &CostModel,
+    cluster: &Cluster,
+    db: &TraceDb,
+    config: &RunConfig,
+) -> RunResult {
+    assert!(!db.is_empty(), "empty trace database");
+    assert!(config.requests > 0, "must replay at least one request");
+    plan.validate(spec).expect("plan does not fit the model");
+
+    let batch_size = match config.batch_size {
+        Some(usize::MAX) => usize::MAX,
+        Some(b) => b.max(1),
+        None => spec.default_batch_size,
+    };
+    let n_servers = 1 + plan.num_shards();
+    let mut root = SimRng::seed_from(config.seed ^ 0x5e41_71e5);
+    let mut rng_skew = root.fork(1);
+    let rng_net = root.fork(2);
+    let mut rng_placement = root.fork(5);
+    let rng_route = root.fork(3);
+    let mut rng_arrival = root.fork(4);
+
+    let skews: Vec<f64> = (0..n_servers)
+        .map(|_| rng_skew.next_range(-cluster.clock_skew_ms, cluster.clock_skew_ms.max(1e-9)))
+        .collect();
+
+    let reqs: Vec<ReqRun> = (0..config.requests)
+        .map(|i| ReqRun {
+            trace: TraceId(i as u64),
+            items: db.get(i % db.len()).items,
+            arrival: SimTime::ZERO,
+            net_idx: 0,
+            batches: Vec::new(),
+            next_batch: 0,
+            remaining: 0,
+            cpu: SimDuration::ZERO,
+            done: false,
+        })
+        .collect();
+
+    let mut engine = Engine {
+        spec,
+        plan,
+        cost,
+        cluster,
+        db,
+        batch_size,
+        queue: EventQueue::new(),
+        main_pool: CorePool::new(cluster.main.cores, cluster.main.slowdown),
+        shard_pools: (0..plan.num_shards())
+            .map(|_| CorePool::new(cluster.sparse.cores, cluster.sparse.slowdown))
+            .collect(),
+        reqs,
+        routing: build_routing(spec, plan),
+        rng_net,
+        rng_route,
+        skews,
+        collector: if config.collect_traces {
+            TraceCollector::new()
+        } else {
+            TraceCollector::disabled()
+        },
+        rpc_counter: 0,
+        outcomes: Vec::with_capacity(config.requests),
+        serial: matches!(config.arrivals, ArrivalProcess::Serial),
+        active_requests: 0,
+        main_hosts_tables: !plan.strategy().is_distributed(),
+        fault: config.fault,
+        shard_net_offset: {
+            (0..plan.num_shards())
+                .map(|_| LogNormal::from_median(0.12, 1.0).sample(&mut rng_placement))
+                .collect()
+        },
+        sls_active: vec![Vec::new(); n_servers],
+        part_lookups: Default::default(),
+    };
+
+    // Seed arrivals.
+    match config.arrivals {
+        ArrivalProcess::Serial => engine.queue.push(SimTime::ZERO, Ev::Arrive(0)),
+        ArrivalProcess::OpenLoop { qps } => {
+            assert!(qps > 0.0, "QPS must be positive");
+            let gap = Exponential::new(qps / 1000.0); // per millisecond
+            let mut t = SimTime::ZERO;
+            for i in 0..config.requests {
+                engine.queue.push(t, Ev::Arrive(i));
+                t += SimDuration::from_millis(gap.sample(&mut rng_arrival));
+            }
+        }
+    }
+
+    let mut last = SimTime::ZERO;
+    while let Some((now, ev)) = engine.queue.pop() {
+        last = now;
+        match ev {
+            Ev::Arrive(r) => engine.start_request(r, now),
+            Ev::DeserDone(r) => engine.start_net(r, now),
+            Ev::RpcAtShard { req, batch, rpc } => engine.rpc_at_shard(req, batch, rpc, now),
+            Ev::RpcBack { req, batch, rpc } => engine.rpc_back(req, batch, rpc, now),
+            Ev::BatchDone { req } => engine.batch_done(req, now),
+            Ev::SerDone(r) => engine.finish_request(r, now),
+        }
+    }
+    assert!(
+        engine.reqs.iter().all(|r| r.done),
+        "simulation drained with unfinished requests"
+    );
+
+    let mut e2e = PercentileSketch::with_capacity(engine.outcomes.len());
+    let mut cpu = PercentileSketch::with_capacity(engine.outcomes.len());
+    for o in &engine.outcomes {
+        e2e.record(o.e2e_ms);
+        cpu.record(o.cpu_ms);
+    }
+    RunResult {
+        e2e,
+        cpu,
+        collector: engine.collector,
+        main_busy_ms: engine.main_pool.busy_time().as_millis(),
+        shard_busy_ms: engine
+            .shard_pools
+            .iter()
+            .map(|p| p.busy_time().as_millis())
+            .collect(),
+        outcomes: engine.outcomes,
+        makespan_ms: last.as_millis(),
+    }
+}

@@ -1,0 +1,178 @@
+//! Real-engine local serving: batch-level parallel execution.
+//!
+//! The paper's serving stack exploits extra cores through "request- and
+//! batch-level parallelism" (§III-B) rather than operator parallelism.
+//! This module provides that execution mode for the *real* f32 engine:
+//! a request's batches run concurrently on OS threads, each with its own
+//! workspace, against a shared (immutable, `Send + Sync`) model — either
+//! singular or partitioned. Sparse-shard services are stateless
+//! (§III-A1), so concurrent batch RPCs against the same shard need no
+//! synchronization.
+
+use dlrm_model::graph::{GraphError, NoopObserver};
+use dlrm_model::{Model, ModelSpec, Workspace};
+use dlrm_sharding::DistributedModel;
+use dlrm_tensor::Matrix;
+use dlrm_workload::BatchInputs;
+
+/// Anything that can rank one batch: the singular [`Model`] or a
+/// [`DistributedModel`].
+pub trait BatchRanker: Sync {
+    /// Runs one batch's inputs to predictions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-execution failures.
+    fn rank(&self, spec: &ModelSpec, batch: &BatchInputs) -> Result<Matrix, GraphError>;
+}
+
+impl BatchRanker for Model {
+    fn rank(&self, spec: &ModelSpec, batch: &BatchInputs) -> Result<Matrix, GraphError> {
+        let mut ws = Workspace::new();
+        batch.load_into(spec, &mut ws);
+        self.run(&mut ws, &mut NoopObserver)
+    }
+}
+
+impl BatchRanker for DistributedModel {
+    fn rank(&self, spec: &ModelSpec, batch: &BatchInputs) -> Result<Matrix, GraphError> {
+        let mut ws = Workspace::new();
+        batch.load_into(spec, &mut ws);
+        self.run(&mut ws, &mut NoopObserver)
+    }
+}
+
+/// Ranks a request's batches concurrently across up to `threads` OS
+/// threads, returning per-batch predictions in batch order.
+///
+/// # Errors
+///
+/// Returns the first batch failure (by batch index).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_serving::local::rank_request_parallel;
+/// use dlrm_workload::{materialize_request, TraceDb};
+///
+/// let mut spec = dlrm_model::rm::rm3().scaled_to_bytes(1 << 20);
+/// spec.mean_items_per_request = 8.0;
+/// spec.default_batch_size = 4;
+/// let model = dlrm_model::build_model(&spec, 7).unwrap();
+/// let db = TraceDb::generate(&spec, 1, 3);
+/// let batches = materialize_request(&spec, db.get(0), 4, 3);
+/// let out = rank_request_parallel(&model, &spec, &batches, 4).unwrap();
+/// assert_eq!(out.len(), batches.len());
+/// ```
+pub fn rank_request_parallel<R: BatchRanker>(
+    model: &R,
+    spec: &ModelSpec,
+    batches: &[BatchInputs],
+    threads: usize,
+) -> Result<Vec<Matrix>, GraphError> {
+    assert!(threads > 0, "need at least one thread");
+    if batches.is_empty() {
+        return Ok(Vec::new());
+    }
+    let threads = threads.min(batches.len());
+    let mut results: Vec<Option<Result<Matrix, GraphError>>> = Vec::new();
+    results.resize_with(batches.len(), || None);
+
+    // Static round-robin assignment of batches to threads; each thread
+    // writes disjoint slots.
+    std::thread::scope(|scope| {
+        let chunks = split_slots(&mut results, threads);
+        for (tid, mut slot_chunk) in chunks.into_iter().enumerate() {
+            scope.spawn(move || {
+                for (local_idx, slot) in slot_chunk.iter_mut().enumerate() {
+                    let batch_idx = tid + local_idx * threads;
+                    **slot = Some(model.rank(spec, &batches[batch_idx]));
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Splits `results` into `threads` interleaved views: thread `t` owns
+/// slots `t, t+threads, t+2*threads, …`.
+fn split_slots<T>(results: &mut [T], threads: usize) -> Vec<Vec<&mut T>> {
+    let mut chunks: Vec<Vec<&mut T>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, slot) in results.iter_mut().enumerate() {
+        chunks[i % threads].push(slot);
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_model::{build_model, rm};
+    use dlrm_sharding::{partition, plan, ShardingStrategy};
+    use dlrm_workload::{materialize_request, PoolingProfile, TraceDb};
+
+    fn toy_spec() -> ModelSpec {
+        let mut s = rm::rm3().scaled_to_bytes(2 << 20);
+        s.mean_items_per_request = 24.0;
+        s.default_batch_size = 4;
+        s
+    }
+
+    #[test]
+    fn parallel_matches_sequential_singular() {
+        let spec = toy_spec();
+        let model = build_model(&spec, 11).unwrap();
+        let db = TraceDb::generate(&spec, 1, 5);
+        let batches = materialize_request(&spec, db.get(0), 4, 5);
+        assert!(batches.len() >= 3, "need several batches");
+        let sequential: Vec<Matrix> = batches
+            .iter()
+            .map(|b| model.rank(&spec, b).unwrap())
+            .collect();
+        let parallel = rank_request_parallel(&model, &spec, &batches, 4).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_distributed() {
+        let spec = toy_spec();
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(4)).unwrap();
+        let dist = partition(build_model(&spec, 11).unwrap(), &p).unwrap();
+        let db = TraceDb::generate(&spec, 1, 6);
+        let batches = materialize_request(&spec, db.get(0), 4, 6);
+        let sequential: Vec<Matrix> = batches
+            .iter()
+            .map(|b| dist.rank(&spec, b).unwrap())
+            .collect();
+        let parallel = rank_request_parallel(&dist, &spec, &batches, 3).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let spec = toy_spec();
+        let model = build_model(&spec, 2).unwrap();
+        let db = TraceDb::generate(&spec, 1, 9);
+        let batches = materialize_request(&spec, db.get(0), 4, 9);
+        let one = rank_request_parallel(&model, &spec, &batches, 1).unwrap();
+        let many = rank_request_parallel(&model, &spec, &batches, 8).unwrap();
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn empty_request_is_fine() {
+        let spec = toy_spec();
+        let model = build_model(&spec, 2).unwrap();
+        let out = rank_request_parallel(&model, &spec, &[], 4).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Server platform classes (§V-B).
+
+/// A server hardware class.
+///
+/// The study used two: *SC-Large*, "a typical large server in a
+/// data-center" (256 GB DRAM, two 20-core CPUs), and *SC-Small*, "a
+/// typical, more efficient web server" (64 GB DRAM, two slower-clocked
+/// 18-core CPUs, less network bandwidth).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSpec {
+    /// Platform name.
+    pub name: String,
+    /// Usable cores.
+    pub cores: usize,
+    /// Wall-time multiplier for CPU work relative to SC-Large (>1 =
+    /// slower clocks).
+    pub slowdown: f64,
+    /// DRAM capacity in bytes.
+    pub dram_bytes: u64,
+    /// One-way network latency penalty added to every message touching
+    /// this server, in milliseconds (captures the lower NIC bandwidth of
+    /// small platforms).
+    pub network_penalty_ms: f64,
+    /// Relative power/cost footprint (SC-Large = 1.0); used by the
+    /// replication planner's efficiency accounting.
+    pub relative_power: f64,
+}
+
+impl PlatformSpec {
+    /// SC-Large: 2 × 20 cores, 256 GB DRAM.
+    #[must_use]
+    pub fn sc_large() -> Self {
+        Self {
+            name: "SC-Large".into(),
+            cores: 40,
+            slowdown: 1.0,
+            dram_bytes: 256 << 30,
+            network_penalty_ms: 0.0,
+            relative_power: 1.0,
+        }
+    }
+
+    /// SC-Small: 2 × 18 slower cores, 64 GB DRAM, less network
+    /// bandwidth.
+    #[must_use]
+    pub fn sc_small() -> Self {
+        Self {
+            name: "SC-Small".into(),
+            cores: 36,
+            slowdown: 1.18,
+            dram_bytes: 64 << 30,
+            network_penalty_ms: 0.05,
+            relative_power: 0.45,
+        }
+    }
+
+    /// Whether a shard of `bytes` embedding weights (plus working set)
+    /// fits this platform's DRAM, leaving `headroom` fraction free.
+    #[must_use]
+    pub fn fits(&self, bytes: u64, headroom: f64) -> bool {
+        (bytes as f64) <= self.dram_bytes as f64 * (1.0 - headroom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_contrast_matches_paper() {
+        let large = PlatformSpec::sc_large();
+        let small = PlatformSpec::sc_small();
+        // "4× memory capacity"
+        assert_eq!(large.dram_bytes, small.dram_bytes * 4);
+        // "more and faster cores"
+        assert!(large.cores > small.cores);
+        assert!(large.slowdown < small.slowdown);
+        // "increased energy footprint"
+        assert!(large.relative_power > small.relative_power);
+    }
+
+    #[test]
+    fn fits_respects_headroom() {
+        let small = PlatformSpec::sc_small();
+        assert!(small.fits(48 << 30, 0.2));
+        assert!(!small.fits(56 << 30, 0.2));
+        // RM1 (194 GiB) cannot fit a small server at all.
+        assert!(!small.fits(194 << 30, 0.0));
+        assert!(PlatformSpec::sc_large().fits(194 << 30, 0.1));
+    }
+}

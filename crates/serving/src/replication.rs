@@ -1,0 +1,220 @@
+//! Replication and resource-efficiency planning (§VII-C).
+//!
+//! In production, shards replicate to meet QPS. For a singular model,
+//! compute-driven replication duplicates the *entire* memory footprint:
+//! "the large load incurred by the dense layers will cause the entire
+//! model to be replicated to additional servers, including all embedding
+//! tables." Distributed inference decouples the two: compute-bound main
+//! shards replicate without dragging 100s of GB of tables along, and
+//! memory-bound sparse shards replicate only on their own load.
+
+use crate::cost::CostModel;
+use crate::platform::PlatformSpec;
+use dlrm_model::ModelSpec;
+use dlrm_sharding::ShardingPlan;
+use dlrm_workload::PoolingProfile;
+
+/// Bytes of dense (non-embedding) parameters resident on a main-shard
+/// replica — negligible next to embedding tables (>97% of capacity is
+/// sparse), but non-zero.
+const DENSE_PARAMS_BYTES: u64 = 2 << 30;
+
+/// A replication plan: replicas, servers, DRAM and power to serve a QPS
+/// target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicationPlan {
+    /// Replicas of the main (dense) shard.
+    pub main_replicas: usize,
+    /// Replicas per sparse shard.
+    pub shard_replicas: Vec<usize>,
+    /// Total servers.
+    pub total_servers: usize,
+    /// Total DRAM held by model parameters across all replicas.
+    pub total_model_dram_bytes: u64,
+    /// Total relative power (SC-Large = 1.0 per server).
+    pub total_power: f64,
+}
+
+/// Plans replication for `qps` with per-server core utilization capped
+/// at `target_util`.
+///
+/// Per-request CPU demands are derived analytically from the same cost
+/// model the simulator uses (expected request: mean items, expected
+/// pooling).
+///
+/// # Panics
+///
+/// Panics unless `qps > 0` and `0 < target_util <= 1`.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // each input is a distinct planning dimension
+pub fn plan_replication(
+    spec: &ModelSpec,
+    plan: &ShardingPlan,
+    profile: &PoolingProfile,
+    cost: &CostModel,
+    main_platform: &PlatformSpec,
+    sparse_platform: &PlatformSpec,
+    qps: f64,
+    target_util: f64,
+) -> ReplicationPlan {
+    assert!(qps > 0.0, "qps must be positive");
+    assert!(
+        target_util > 0.0 && target_util <= 1.0,
+        "target utilization must be in (0, 1]"
+    );
+    let items = spec.mean_items_per_request;
+    let batches = (items / spec.default_batch_size as f64).ceil();
+
+    // Main-shard CPU per request (ms).
+    let mut main_ms = cost.request_deser(items as u32).as_millis()
+        + cost.response_ser(items as u32).as_millis()
+        + cost.main_service_us / 1000.0;
+    for (net_idx, _) in spec.nets.iter().enumerate() {
+        let (bottom, top) = cost.dense_batch(net_idx, spec.default_batch_size);
+        main_ms += (bottom + top).as_millis() * batches;
+    }
+    let distributed = plan.strategy().is_distributed();
+    let mut shard_ms = vec![0.0f64; plan.num_shards()];
+    if distributed {
+        for net in &spec.nets {
+            let shards = plan.shards_touched_by_net(net.id, spec);
+            for &shard in &shards {
+                // Per-batch RPC costs on main.
+                let tables: Vec<_> = plan
+                    .tables_on(shard)
+                    .filter(|p| spec.table(p.table).net == net.id)
+                    .collect();
+                let lookups_per_req: f64 = tables
+                    .iter()
+                    .map(|p| profile.of(p.table) / p.parts() as f64)
+                    .sum();
+                let lookups_per_batch = lookups_per_req / batches;
+                let resp_bytes: f64 = tables
+                    .iter()
+                    .map(|p| f64::from(spec.table(p.table).dim) * 4.0)
+                    .sum::<f64>()
+                    * spec.default_batch_size as f64;
+                let req_bytes = lookups_per_batch * 8.0
+                    + tables.len() as f64 * spec.default_batch_size as f64 * 4.0;
+                main_ms += (cost.rpc_serde(req_bytes).as_millis()
+                    + cost.rpc_serde(resp_bytes).as_millis()
+                    + cost.rpc_sched_us / 1000.0)
+                    * batches;
+                shard_ms[shard.0] += (cost.shard_service_us / 1000.0
+                    + cost.rpc_serde(req_bytes).as_millis()
+                    + cost.sls_time(lookups_per_batch, tables.len()).as_millis()
+                    + cost.rpc_serde(resp_bytes).as_millis())
+                    * batches;
+            }
+        }
+    } else {
+        // Inline SLS on main.
+        main_ms += cost
+            .sls_time(profile.total(), spec.tables.len())
+            .as_millis();
+    }
+
+    let capacity_ms_per_s = |p: &PlatformSpec| p.cores as f64 / p.slowdown * 1000.0 * target_util;
+    let main_replicas = ((qps * main_ms) / capacity_ms_per_s(main_platform)).ceil() as usize;
+    let main_replicas = main_replicas.max(1);
+    let shard_replicas: Vec<usize> = shard_ms
+        .iter()
+        .map(|&ms| (((qps * ms) / capacity_ms_per_s(sparse_platform)).ceil() as usize).max(1))
+        .collect();
+
+    // DRAM: main replicas hold dense params (plus, when singular, every
+    // table); sparse replicas hold their shard.
+    let main_bytes = if distributed {
+        DENSE_PARAMS_BYTES
+    } else {
+        DENSE_PARAMS_BYTES + spec.total_bytes()
+    };
+    let mut total_dram = main_bytes * main_replicas as u64;
+    for (shard, &replicas) in plan.shards().zip(&shard_replicas) {
+        total_dram += (plan.shard_capacity_bytes(shard, spec) as u64) * replicas as u64;
+    }
+
+    let total_servers = main_replicas + shard_replicas.iter().sum::<usize>();
+    let total_power = main_replicas as f64 * main_platform.relative_power
+        + shard_replicas.iter().sum::<usize>() as f64 * sparse_platform.relative_power;
+
+    ReplicationPlan {
+        main_replicas,
+        shard_replicas,
+        total_servers,
+        total_model_dram_bytes: total_dram,
+        total_power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_model::rm;
+    use dlrm_sharding::{plan as make_plan, ShardingStrategy};
+
+    fn setup(
+        strategy: ShardingStrategy,
+    ) -> (ModelSpec, ShardingPlan, PoolingProfile, CostModel) {
+        let spec = rm::rm1();
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = make_plan(&spec, &profile, strategy).unwrap();
+        let cost = CostModel::for_model(&spec);
+        (spec, p, profile, cost)
+    }
+
+    #[test]
+    fn distributed_reduces_replicated_dram_at_high_qps() {
+        // §VII-C: replication of a singular model duplicates all
+        // embedding tables; distributed replication does not.
+        let qps = 2000.0;
+        let (spec, singular, profile, cost) = setup(ShardingStrategy::Singular);
+        let large = PlatformSpec::sc_large();
+        let rp_singular = plan_replication(
+            &spec, &singular, &profile, &cost, &large, &large, qps, 0.6,
+        );
+        let (_, dist, _, _) = setup(ShardingStrategy::NetSpecificBinPacking(8));
+        let rp_dist =
+            plan_replication(&spec, &dist, &profile, &cost, &large, &large, qps, 0.6);
+        assert!(
+            rp_dist.total_model_dram_bytes < rp_singular.total_model_dram_bytes / 2,
+            "dist {} vs singular {}",
+            rp_dist.total_model_dram_bytes,
+            rp_singular.total_model_dram_bytes
+        );
+        // ... at the price of more servers (the compute overhead).
+        assert!(rp_dist.total_servers >= rp_singular.total_servers);
+    }
+
+    #[test]
+    fn sc_small_sparse_shards_cut_power() {
+        // §VII-B: sparse shards on SC-Small for serving efficiency.
+        let qps = 2000.0;
+        let (spec, dist, profile, cost) = setup(ShardingStrategy::NetSpecificBinPacking(8));
+        let large = PlatformSpec::sc_large();
+        let small = PlatformSpec::sc_small();
+        let on_large =
+            plan_replication(&spec, &dist, &profile, &cost, &large, &large, qps, 0.6);
+        let on_small =
+            plan_replication(&spec, &dist, &profile, &cost, &large, &small, qps, 0.6);
+        assert!(on_small.total_power < on_large.total_power);
+    }
+
+    #[test]
+    fn replicas_scale_with_qps() {
+        let (spec, p, profile, cost) = setup(ShardingStrategy::Singular);
+        let large = PlatformSpec::sc_large();
+        let low = plan_replication(&spec, &p, &profile, &cost, &large, &large, 100.0, 0.6);
+        let high = plan_replication(&spec, &p, &profile, &cost, &large, &large, 10_000.0, 0.6);
+        assert!(high.main_replicas > low.main_replicas);
+    }
+
+    #[test]
+    fn every_shard_gets_at_least_one_replica() {
+        let (spec, p, profile, cost) = setup(ShardingStrategy::CapacityBalanced(8));
+        let large = PlatformSpec::sc_large();
+        let rp = plan_replication(&spec, &p, &profile, &cost, &large, &large, 1.0, 0.6);
+        assert_eq!(rp.shard_replicas.len(), 8);
+        assert!(rp.shard_replicas.iter().all(|&r| r >= 1));
+    }
+}

@@ -1,0 +1,271 @@
+//! Thread-backed sparse-shard transport.
+//!
+//! "Each shard runs a full service handler and ML framework instance"
+//! (§III-A2). This module realizes that deployment shape in-process:
+//! every [`ShardService`] runs on its own long-lived worker thread with
+//! a request queue, and [`ThreadedClient`] is the connection object the
+//! partitioned graph's `SparseRpc` operators call. Requests cross a real
+//! thread boundary (channel send → remote execution → channel receive),
+//! so concurrent batch execution ([`crate::local`]) genuinely overlaps
+//! shard work — the asynchronous parallelism of Fig. 3 with actual OS
+//! concurrency rather than a simulator.
+
+use crossbeam_channel::{bounded, unbounded, Sender};
+use dlrm_sharding::rpc::{ShardRequest, ShardResponse, SparseShardClient};
+use dlrm_sharding::{ShardId, ShardService};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One in-flight RPC: the request plus the reply channel.
+struct Envelope {
+    request: ShardRequest,
+    reply: Sender<Result<ShardResponse, String>>,
+}
+
+/// A message to a shard worker: a call, or an orderly stop.
+enum WorkerMsg {
+    Call(Envelope),
+    Stop,
+}
+
+/// A pool of shard worker threads, one per sparse shard.
+///
+/// Dropping the pool shuts the workers down (their request channels
+/// close); [`ThreadedShardPool::shutdown`] does so explicitly and joins.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_serving::threaded::ThreadedShardPool;
+/// use dlrm_sharding::{plan, partition_with_clients, ShardingStrategy};
+/// use dlrm_workload::PoolingProfile;
+/// use std::sync::Arc;
+///
+/// let spec = dlrm_model::rm::rm3().scaled_to_bytes(1 << 20);
+/// let profile = PoolingProfile::from_spec(&spec);
+/// let p = plan(&spec, &profile, ShardingStrategy::OneShard)?;
+/// let model = dlrm_model::build_model(&spec, 1).unwrap();
+/// let services: Vec<_> = p
+///     .shards()
+///     .map(|s| Arc::new(dlrm_sharding::ShardService::build(&model.tables, &p, s)))
+///     .collect();
+/// let pool = ThreadedShardPool::spawn(services.clone());
+/// let dist = partition_with_clients(model, &p, services, pool.clients()).unwrap();
+/// assert_eq!(dist.shards.len(), 1);
+/// pool.shutdown();
+/// # Ok::<(), dlrm_sharding::PlanError>(())
+/// ```
+#[derive(Debug)]
+pub struct ThreadedShardPool {
+    senders: Vec<(ShardId, Sender<WorkerMsg>)>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadedShardPool {
+    /// Spawns one worker thread per service.
+    #[must_use]
+    pub fn spawn(services: Vec<Arc<ShardService>>) -> Self {
+        let mut senders = Vec::with_capacity(services.len());
+        let mut handles = Vec::with_capacity(services.len());
+        for service in services {
+            let (tx, rx) = unbounded::<WorkerMsg>();
+            senders.push((service.shard_id(), tx));
+            let handle = std::thread::Builder::new()
+                .name(format!("{}", service.shard_id()))
+                .spawn(move || {
+                    // The worker drains its queue until it is told to
+                    // stop or every client (sender) is gone — the
+                    // stateless service loop.
+                    while let Ok(WorkerMsg::Call(envelope)) = rx.recv() {
+                        let result = service.execute(&envelope.request);
+                        // A dropped reply channel means the caller gave
+                        // up; nothing to do (stateless).
+                        let _ = envelope.reply.send(result);
+                    }
+                })
+                .expect("spawn shard worker");
+            handles.push(handle);
+        }
+        Self { senders, handles }
+    }
+
+    /// Client handles for the partitioner, ordered by [`ShardId`].
+    #[must_use]
+    pub fn clients(&self) -> Vec<Arc<dyn SparseShardClient>> {
+        self.senders
+            .iter()
+            .map(|(shard, tx)| {
+                Arc::new(ThreadedClient {
+                    shard: *shard,
+                    tx: tx.clone(),
+                }) as Arc<dyn SparseShardClient>
+            })
+            .collect()
+    }
+
+    /// Number of shard workers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the pool has no workers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Stops every worker and joins it. Safe to call while
+    /// [`ThreadedClient`]s are still alive: their subsequent calls fail
+    /// with a "worker is down" error instead of hanging.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        for (_, tx) in self.senders.drain(..) {
+            let _ = tx.send(WorkerMsg::Stop);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadedShardPool {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// A connection to one shard worker thread.
+#[derive(Debug, Clone)]
+pub struct ThreadedClient {
+    shard: ShardId,
+    tx: Sender<WorkerMsg>,
+}
+
+impl SparseShardClient for ThreadedClient {
+    fn shard_id(&self) -> ShardId {
+        self.shard
+    }
+
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, String> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(WorkerMsg::Call(Envelope {
+                request: request.clone(),
+                reply: reply_tx,
+            }))
+            .map_err(|_| format!("{} worker is down", self.shard))?;
+        reply_rx
+            .recv()
+            .map_err(|_| format!("{} worker dropped the request", self.shard))?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_model::graph::NoopObserver;
+    use dlrm_model::{build_model, rm, ModelSpec, Workspace};
+    use dlrm_sharding::{partition, partition_with_clients, plan, ShardingStrategy};
+    use dlrm_workload::{materialize_request, PoolingProfile, TraceDb};
+
+    fn toy_spec() -> ModelSpec {
+        let mut s = rm::rm1().scaled_to_bytes(2 << 20);
+        s.mean_items_per_request = 12.0;
+        s.default_batch_size = 6;
+        s
+    }
+
+    fn build_threaded(
+        spec: &ModelSpec,
+        strategy: ShardingStrategy,
+        seed: u64,
+    ) -> (dlrm_sharding::DistributedModel, ThreadedShardPool) {
+        let profile = PoolingProfile::from_spec(spec);
+        let p = plan(spec, &profile, strategy).unwrap();
+        let model = build_model(spec, seed).unwrap();
+        let services: Vec<Arc<ShardService>> = p
+            .shards()
+            .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+            .collect();
+        let pool = ThreadedShardPool::spawn(services.clone());
+        let dist = partition_with_clients(model, &p, services, pool.clients()).unwrap();
+        (dist, pool)
+    }
+
+    #[test]
+    fn threaded_matches_in_process_bit_for_bit() {
+        let spec = toy_spec();
+        let strategy = ShardingStrategy::LoadBalanced(4);
+        let (threaded, pool) = build_threaded(&spec, strategy, 7);
+
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = plan(&spec, &profile, strategy).unwrap();
+        let in_process = partition(build_model(&spec, 7).unwrap(), &p).unwrap();
+
+        let db = TraceDb::generate(&spec, 2, 3);
+        for batch in materialize_request(&spec, db.get(0), 6, 3) {
+            let mut ws_a = Workspace::new();
+            batch.load_into(&spec, &mut ws_a);
+            let mut ws_b = ws_a.clone();
+            let a = threaded.run(&mut ws_a, &mut NoopObserver).unwrap();
+            let b = in_process.run(&mut ws_b, &mut NoopObserver).unwrap();
+            assert_eq!(a, b);
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn concurrent_batches_share_the_workers() {
+        let spec = toy_spec();
+        let (threaded, pool) =
+            build_threaded(&spec, ShardingStrategy::CapacityBalanced(2), 9);
+        let db = TraceDb::generate(&spec, 1, 11);
+        let batches = materialize_request(&spec, db.get(0), 4, 11);
+        let sequential: Vec<_> = batches
+            .iter()
+            .map(|b| {
+                let mut ws = Workspace::new();
+                b.load_into(&spec, &mut ws);
+                threaded.run(&mut ws, &mut NoopObserver).unwrap()
+            })
+            .collect();
+        let parallel =
+            crate::local::rank_request_parallel(&threaded, &spec, &batches, 4).unwrap();
+        assert_eq!(sequential, parallel);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn client_reports_dead_worker() {
+        let spec = toy_spec();
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = plan(&spec, &profile, ShardingStrategy::OneShard).unwrap();
+        let model = build_model(&spec, 1).unwrap();
+        let services: Vec<Arc<ShardService>> = p
+            .shards()
+            .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+            .collect();
+        let pool = ThreadedShardPool::spawn(services);
+        let clients = pool.clients();
+        pool.shutdown();
+        let err = clients[0]
+            .execute(&dlrm_sharding::rpc::ShardRequest {
+                net: dlrm_model::NetId(0),
+                slices: vec![],
+            })
+            .unwrap_err();
+        assert!(err.contains("down") || err.contains("dropped"), "{err}");
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let spec = toy_spec();
+        let (dist, pool) = build_threaded(&spec, ShardingStrategy::OneShard, 3);
+        drop(dist); // clients dropped first
+        drop(pool); // must not hang
+    }
+}

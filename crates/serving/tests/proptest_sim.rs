@@ -1,0 +1,137 @@
+//! Property-based tests on simulator invariants: for arbitrary seeds,
+//! workloads and configurations, the DES must conserve basic accounting
+//! identities.
+
+use dlrm_core_shim::*;
+use proptest::prelude::*;
+
+/// Local aliases (this crate can't depend on dlrm-core; pull the pieces
+/// directly).
+mod dlrm_core_shim {
+    pub use dlrm_model::rm;
+    pub use dlrm_serving::{
+        simulate, ArrivalProcess, Cluster, CostModel, RunConfig, ShardFault,
+    };
+    pub use dlrm_sharding::{plan, ShardingStrategy};
+    pub use dlrm_workload::TraceDb;
+}
+
+fn strategies() -> impl Strategy<Value = ShardingStrategy> {
+    prop_oneof![
+        Just(ShardingStrategy::Singular),
+        Just(ShardingStrategy::OneShard),
+        Just(ShardingStrategy::NetSpecificBinPacking(4)),
+        Just(ShardingStrategy::NetSpecificBinPacking(8)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Core accounting: e2e > 0, cpu > 0, every request completes, and
+    /// per-server busy time equals the cpu total.
+    #[test]
+    fn simulation_accounting_invariants(
+        seed in 0u64..1000,
+        requests in 1usize..40,
+        strategy in strategies(),
+        qps in prop::option::of(1.0f64..200.0),
+    ) {
+        let spec = rm::rm3();
+        let db = TraceDb::generate(&spec, requests.max(4), seed);
+        let profile = db.pooling_profile(db.len());
+        let p = plan(&spec, &profile, strategy).unwrap();
+        let cost = CostModel::for_model(&spec);
+        let config = RunConfig {
+            requests,
+            batch_size: None,
+            arrivals: match qps {
+                Some(q) => ArrivalProcess::OpenLoop { qps: q },
+                None => ArrivalProcess::Serial,
+            },
+            seed,
+            collect_traces: false,
+            fault: None,
+        };
+        let result = simulate(&spec, &p, &cost, &Cluster::sc_large(), &db, &config);
+        prop_assert_eq!(result.outcomes.len(), requests);
+        for o in &result.outcomes {
+            prop_assert!(o.e2e_ms > 0.0);
+            prop_assert!(o.cpu_ms > 0.0);
+            // A request can't take longer than the whole run.
+            prop_assert!(o.e2e_ms <= result.makespan_ms + 1e-9);
+        }
+        // Core busy-time across servers equals the cpu spans' total.
+        let busy_total = result.main_busy_ms + result.shard_busy_ms.iter().sum::<f64>();
+        let cpu_total: f64 = result.outcomes.iter().map(|o| o.cpu_ms).sum();
+        prop_assert!(
+            (busy_total - cpu_total).abs() < 1e-6 * cpu_total.max(1.0),
+            "busy {busy_total} vs cpu {cpu_total}"
+        );
+    }
+
+    /// Open-loop runs never lose or duplicate requests, and higher QPS
+    /// never *reduces* any request's latency relative to an idle system
+    /// beyond numeric noise (queueing can only hurt).
+    #[test]
+    fn open_loop_queueing_only_hurts(seed in 0u64..200) {
+        let spec = rm::rm3();
+        let db = TraceDb::generate(&spec, 24, seed);
+        let profile = db.pooling_profile(db.len());
+        let p = plan(&spec, &profile, ShardingStrategy::Singular).unwrap();
+        let cost = CostModel::for_model(&spec);
+        let run = |qps: f64| {
+            let config = RunConfig {
+                requests: 24,
+                batch_size: None,
+                arrivals: ArrivalProcess::OpenLoop { qps },
+                seed,
+                collect_traces: false,
+                fault: None,
+            };
+            let mut r = simulate(&spec, &p, &cost, &Cluster::sc_large(), &db, &config);
+            r.e2e.percentiles().p99
+        };
+        let slow = run(1.0);
+        let fast = run(2000.0);
+        prop_assert!(fast >= slow * 0.999, "p99 at load {fast} vs idle {slow}");
+    }
+
+    /// A fault window in the past (or on singular) changes nothing;
+    /// an active fault never improves latency.
+    #[test]
+    fn faults_are_monotone(seed in 0u64..200, slowdown in 1.5f64..20.0) {
+        let spec = rm::rm3();
+        let db = TraceDb::generate(&spec, 20, seed);
+        let profile = db.pooling_profile(db.len());
+        let p = plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(4)).unwrap();
+        let cost = CostModel::for_model(&spec);
+        let run = |fault: Option<ShardFault>| {
+            let config = RunConfig {
+                requests: 20,
+                batch_size: None,
+                arrivals: ArrivalProcess::Serial,
+                seed,
+                collect_traces: false,
+                fault,
+            };
+            let mut r = simulate(&spec, &p, &cost, &Cluster::sc_large(), &db, &config);
+            (r.e2e.percentiles().p99, r.e2e.mean())
+        };
+        let healthy = run(None);
+        let past = run(Some(ShardFault {
+            shard: 0,
+            start_ms: -1.0 + 0.0, // window [−1, 0): never active
+            duration_ms: 1.0,
+            slowdown,
+        }));
+        prop_assert!((healthy.0 - past.0).abs() < 1e-9);
+        let active = run(Some(ShardFault {
+            shard: 0,
+            start_ms: 0.0,
+            duration_ms: 1e9,
+            slowdown,
+        }));
+        prop_assert!(active.1 >= healthy.1 - 1e-9, "fault improved mean latency");
+    }
+}

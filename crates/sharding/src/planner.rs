@@ -1,0 +1,577 @@
+//! The capacity-driven sharding planner.
+
+use crate::plan::{Location, ShardId, ShardingPlan, TablePlacement};
+use crate::ShardingStrategy;
+use dlrm_model::{ModelSpec, NetId, TableId};
+use dlrm_workload::PoolingProfile;
+
+/// Errors from sharding-plan construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A distributed strategy was requested with zero shards.
+    ZeroShards,
+    /// More shards requested than placeable units exist.
+    TooManyShards {
+        /// Shards requested.
+        requested: usize,
+        /// Whole tables available to spread.
+        tables: usize,
+    },
+    /// The strategy cannot produce a valid plan for this model (e.g.
+    /// NSBP with fewer shards than nets).
+    Infeasible(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::ZeroShards => write!(f, "distributed strategy requires at least one shard"),
+            PlanError::TooManyShards { requested, tables } => write!(
+                f,
+                "cannot spread {tables} tables across {requested} shards without row-sharding"
+            ),
+            PlanError::Infeasible(msg) => write!(f, "infeasible sharding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Produces a sharding plan for `spec` under `strategy`, using `profile`
+/// for load estimates (load-balanced placement; Table II's pooling
+/// columns).
+///
+/// # Errors
+///
+/// Returns [`PlanError`] when the strategy/shard-count combination is
+/// infeasible for this model.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_sharding::{plan, ShardingStrategy, ShardId};
+/// use dlrm_workload::PoolingProfile;
+///
+/// let spec = dlrm_model::rm::rm3();
+/// let profile = PoolingProfile::from_spec(&spec);
+/// let p = plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(4))?;
+/// // The dominant table is row-partitioned across three shards; the
+/// // small tables share the remaining one (§V-A).
+/// let dominant = p.placement(dlrm_model::TableId(0));
+/// assert_eq!(dominant.parts(), 3);
+/// # Ok::<(), dlrm_sharding::PlanError>(())
+/// ```
+pub fn plan(
+    spec: &ModelSpec,
+    profile: &PoolingProfile,
+    strategy: ShardingStrategy,
+) -> Result<ShardingPlan, PlanError> {
+    match strategy {
+        ShardingStrategy::Singular => {
+            let placements = spec
+                .tables
+                .iter()
+                .map(|t| TablePlacement {
+                    table: t.id,
+                    location: Location::Main,
+                })
+                .collect();
+            Ok(ShardingPlan::new(strategy, 0, placements))
+        }
+        ShardingStrategy::OneShard => {
+            let placements = spec
+                .tables
+                .iter()
+                .map(|t| TablePlacement {
+                    table: t.id,
+                    location: Location::Shards(vec![ShardId(0)]),
+                })
+                .collect();
+            Ok(ShardingPlan::new(strategy, 1, placements))
+        }
+        ShardingStrategy::CapacityBalanced(n) => {
+            let key = |t: &dlrm_model::TableSpec| t.bytes() as f64;
+            balanced_plan(spec, strategy, n, key)
+        }
+        ShardingStrategy::LoadBalanced(n) => {
+            let key = |t: &dlrm_model::TableSpec| profile.of(t.id);
+            balanced_plan(spec, strategy, n, key)
+        }
+        ShardingStrategy::NetSpecificBinPacking(n) => nsbp_plan(spec, strategy, n),
+        ShardingStrategy::Auto(n) => {
+            let config = crate::auto::AutoConfig::for_model(spec, n);
+            crate::auto::auto_plan(spec, profile, &config)
+        }
+    }
+}
+
+/// Longest-processing-time greedy balance: sort tables by descending
+/// key, repeatedly assign to the least-loaded shard. Ties broken by
+/// total bytes so zero-load tables still spread.
+fn balanced_plan(
+    spec: &ModelSpec,
+    strategy: ShardingStrategy,
+    n: usize,
+    key: impl Fn(&dlrm_model::TableSpec) -> f64,
+) -> Result<ShardingPlan, PlanError> {
+    if n == 0 {
+        return Err(PlanError::ZeroShards);
+    }
+    if n > spec.tables.len() {
+        return Err(PlanError::TooManyShards {
+            requested: n,
+            tables: spec.tables.len(),
+        });
+    }
+    let mut order: Vec<&dlrm_model::TableSpec> = spec.tables.iter().collect();
+    order.sort_by(|a, b| {
+        key(b)
+            .total_cmp(&key(a))
+            .then(b.bytes().cmp(&a.bytes()))
+            .then(a.id.cmp(&b.id))
+    });
+
+    let mut load = vec![0.0f64; n];
+    let mut bytes = vec![0u64; n];
+    let mut assignment: Vec<Option<ShardId>> = vec![None; spec.tables.len()];
+    for t in order {
+        let target = (0..n)
+            .min_by(|&a, &b| {
+                load[a]
+                    .total_cmp(&load[b])
+                    .then(bytes[a].cmp(&bytes[b]))
+                    .then(a.cmp(&b))
+            })
+            .expect("n > 0");
+        load[target] += key(t);
+        bytes[target] += t.bytes();
+        assignment[t.id.0] = Some(ShardId(target));
+    }
+
+    let placements = spec
+        .tables
+        .iter()
+        .map(|t| TablePlacement {
+            table: t.id,
+            location: Location::Shards(vec![assignment[t.id.0].expect("assigned")]),
+        })
+        .collect();
+    Ok(ShardingPlan::new(strategy, n, placements))
+}
+
+/// One NSBP bin: either a set of whole tables from one net, or one part
+/// of a row-sharded table.
+#[derive(Debug, Clone)]
+enum Bin {
+    Whole {
+        net: NetId,
+        tables: Vec<TableId>,
+        bytes: f64,
+    },
+    /// `part` of `parts` of a row-sharded table.
+    Part { table: TableId, bytes: f64 },
+}
+
+impl Bin {
+    fn bytes(&self) -> f64 {
+        match self {
+            Bin::Whole { bytes, .. } | Bin::Part { bytes, .. } => *bytes,
+        }
+    }
+}
+
+/// Net-specific bin-packing (§III-B3): group tables by net, first-fit-
+/// decreasing into bins of a size limit, row-sharding tables that exceed
+/// the limit. The limit starts at `total/n` and grows until the bin
+/// count fits `n`; leftover shards are absorbed by further splitting the
+/// largest bins.
+fn nsbp_plan(
+    spec: &ModelSpec,
+    strategy: ShardingStrategy,
+    n: usize,
+) -> Result<ShardingPlan, PlanError> {
+    if n == 0 {
+        return Err(PlanError::ZeroShards);
+    }
+    if n < spec.nets.len() {
+        return Err(PlanError::Infeasible(format!(
+            "NSBP needs at least one shard per net ({} nets, {n} shards)",
+            spec.nets.len()
+        )));
+    }
+
+    let total: f64 = spec.tables.iter().map(|t| t.bytes() as f64).sum();
+    let mut cap = total / n as f64;
+    let mut bins = pack_all_nets(spec, cap);
+    // Grow the limit until everything fits in n bins (bounded: at
+    // cap >= total each net is one bin and row-sharding vanishes).
+    let mut guard = 0;
+    while bins.len() > n {
+        cap *= 1.02;
+        bins = pack_all_nets(spec, cap);
+        guard += 1;
+        assert!(guard < 10_000, "NSBP capacity search did not converge");
+    }
+
+    // Spend leftover shards by splitting the biggest bins, preserving
+    // net isolation.
+    while bins.len() < n {
+        let (idx, _) = bins
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.bytes().total_cmp(&b.bytes()))
+            .expect("at least one bin");
+        match bins.remove(idx) {
+            Bin::Part { table, .. } => {
+                // Increase the table's part count by one: remove all its
+                // parts and re-add parts+1.
+                let mut existing: Vec<usize> = Vec::new();
+                let mut i = 0;
+                while i < bins.len() {
+                    if matches!(&bins[i], Bin::Part { table: t, .. } if *t == table) {
+                        bins.remove(i);
+                        existing.push(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                let parts = existing.len() + 2; // removed one + removed rest + one extra
+                let per = spec.table(table).bytes() as f64 / parts as f64;
+                for _ in 0..parts {
+                    bins.push(Bin::Part { table, bytes: per });
+                }
+            }
+            Bin::Whole { net, tables, bytes } => {
+                if tables.len() >= 2 {
+                    // Split the table set into two bins by alternating
+                    // descending sizes.
+                    let mut sorted = tables;
+                    sorted.sort_by_key(|&t| std::cmp::Reverse(spec.table(t).bytes()));
+                    let (mut a, mut b) = (Vec::new(), Vec::new());
+                    let (mut ab, mut bb) = (0.0f64, 0.0f64);
+                    for t in sorted {
+                        let sz = spec.table(t).bytes() as f64;
+                        if ab <= bb {
+                            a.push(t);
+                            ab += sz;
+                        } else {
+                            b.push(t);
+                            bb += sz;
+                        }
+                    }
+                    bins.push(Bin::Whole {
+                        net,
+                        tables: a,
+                        bytes: ab,
+                    });
+                    bins.push(Bin::Whole {
+                        net,
+                        tables: b,
+                        bytes: bb,
+                    });
+                } else {
+                    // A single whole table: row-shard it in two.
+                    let table = tables[0];
+                    let per = bytes / 2.0;
+                    bins.push(Bin::Part { table, bytes: per });
+                    bins.push(Bin::Part { table, bytes: per });
+                }
+            }
+        }
+    }
+
+    // Assign shard ids in net order (then pack order), and build
+    // placements.
+    bins.sort_by(|a, b| {
+        let net_of = |bin: &Bin| match bin {
+            Bin::Whole { net, .. } => net.0,
+            Bin::Part { table, .. } => spec.table(*table).net.0,
+        };
+        net_of(a).cmp(&net_of(b))
+    });
+    let mut placements: Vec<TablePlacement> = spec
+        .tables
+        .iter()
+        .map(|t| TablePlacement {
+            table: t.id,
+            location: Location::Shards(Vec::new()),
+        })
+        .collect();
+    for (shard_idx, bin) in bins.iter().enumerate() {
+        match bin {
+            Bin::Whole { tables, .. } => {
+                for &t in tables {
+                    if let Location::Shards(s) = &mut placements[t.0].location {
+                        s.push(ShardId(shard_idx));
+                    }
+                }
+            }
+            Bin::Part { table, .. } => {
+                if let Location::Shards(s) = &mut placements[table.0].location {
+                    s.push(ShardId(shard_idx));
+                }
+            }
+        }
+    }
+    // Sanity: every table placed somewhere.
+    for p in &placements {
+        if matches!(&p.location, Location::Shards(s) if s.is_empty()) {
+            return Err(PlanError::Infeasible(format!("{} unplaced", p.table)));
+        }
+    }
+    Ok(ShardingPlan::new(strategy, n, placements))
+}
+
+/// FFD-packs every net's tables into bins of capacity `cap`; tables
+/// larger than `cap` become row-sharded parts.
+fn pack_all_nets(spec: &ModelSpec, cap: f64) -> Vec<Bin> {
+    let mut bins = Vec::new();
+    for net in &spec.nets {
+        let mut tables: Vec<&dlrm_model::TableSpec> = spec.tables_of_net(net.id).collect();
+        tables.sort_by(|a, b| b.bytes().cmp(&a.bytes()).then(a.id.cmp(&b.id)));
+        let mut net_bins: Vec<Bin> = Vec::new();
+        for t in tables {
+            let bytes = t.bytes() as f64;
+            if bytes > cap {
+                let parts = (bytes / cap).ceil() as usize;
+                let per = bytes / parts as f64;
+                for _ in 0..parts {
+                    bins.push(Bin::Part {
+                        table: t.id,
+                        bytes: per,
+                    });
+                }
+                continue;
+            }
+            // First-fit into this net's bins.
+            let slot = net_bins.iter_mut().find(|b| match b {
+                Bin::Whole { bytes: bb, .. } => *bb + bytes <= cap,
+                Bin::Part { .. } => false,
+            });
+            match slot {
+                Some(Bin::Whole {
+                    tables: ts,
+                    bytes: bb,
+                    ..
+                }) => {
+                    ts.push(t.id);
+                    *bb += bytes;
+                }
+                _ => net_bins.push(Bin::Whole {
+                    net: net.id,
+                    tables: vec![t.id],
+                    bytes,
+                }),
+            }
+        }
+        bins.extend(net_bins);
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_model::rm;
+
+    fn profile_for(spec: &ModelSpec) -> PoolingProfile {
+        PoolingProfile::from_spec(spec)
+    }
+
+    #[test]
+    fn singular_keeps_everything_on_main() {
+        let spec = rm::rm1();
+        let p = plan(&spec, &profile_for(&spec), ShardingStrategy::Singular).unwrap();
+        assert_eq!(p.num_shards(), 0);
+        assert_eq!(p.validate(&spec), Ok(()));
+    }
+
+    #[test]
+    fn one_shard_holds_all_tables() {
+        let spec = rm::rm1();
+        let p = plan(&spec, &profile_for(&spec), ShardingStrategy::OneShard).unwrap();
+        assert_eq!(p.num_shards(), 1);
+        assert_eq!(p.shard_table_count(ShardId(0)), 257);
+        assert!((p.shard_capacity_bytes(ShardId(0), &spec) - spec.total_bytes() as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn capacity_balanced_equalizes_bytes_like_table_ii() {
+        let spec = rm::rm1();
+        let prof = profile_for(&spec);
+        for n in [2usize, 4, 8] {
+            let p = plan(&spec, &prof, ShardingStrategy::CapacityBalanced(n)).unwrap();
+            assert_eq!(p.validate(&spec), Ok(()));
+            let caps: Vec<f64> = p
+                .shards()
+                .map(|s| p.shard_capacity_bytes(s, &spec))
+                .collect();
+            let max = caps.iter().cloned().fold(0.0, f64::max);
+            let min = caps.iter().cloned().fold(f64::INFINITY, f64::min);
+            // Table II: capacity-balanced shards are within a whisker of
+            // each other (24.25 GiB × 8).
+            assert!(
+                (max - min) / max < 0.02,
+                "n={n}: caps spread too wide: {caps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_balanced_equalizes_pooling_like_table_ii() {
+        let spec = rm::rm1();
+        let prof = profile_for(&spec);
+        for n in [2usize, 4, 8] {
+            let p = plan(&spec, &prof, ShardingStrategy::LoadBalanced(n)).unwrap();
+            let pools: Vec<f64> = p.shards().map(|s| p.shard_pooling(s, &prof)).collect();
+            let max = pools.iter().cloned().fold(0.0, f64::max);
+            let min = pools.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(
+                (max - min) / max < 0.02,
+                "n={n}: pooling spread too wide: {pools:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_balanced_leaves_load_imbalanced() {
+        // Table II: capacity-balanced per-shard load varied up to 371%.
+        let spec = rm::rm1();
+        let prof = profile_for(&spec);
+        let p = plan(&spec, &prof, ShardingStrategy::CapacityBalanced(8)).unwrap();
+        let pools: Vec<f64> = p.shards().map(|s| p.shard_pooling(s, &prof)).collect();
+        let max = pools.iter().cloned().fold(0.0, f64::max);
+        let min = pools.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 1.5, "expected load imbalance, got {pools:?}");
+    }
+
+    #[test]
+    fn load_balanced_leaves_capacity_imbalanced() {
+        // Table II: load-balanced per-shard capacity varied up to ~50%.
+        let spec = rm::rm1();
+        let prof = profile_for(&spec);
+        let p = plan(&spec, &prof, ShardingStrategy::LoadBalanced(8)).unwrap();
+        let caps: Vec<f64> = p
+            .shards()
+            .map(|s| p.shard_capacity_bytes(s, &spec))
+            .collect();
+        let max = caps.iter().cloned().fold(0.0, f64::max);
+        let min = caps.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 1.15, "expected capacity imbalance, got {caps:?}");
+    }
+
+    #[test]
+    fn nsbp_isolates_nets() {
+        let spec = rm::rm1();
+        let prof = profile_for(&spec);
+        for n in [2usize, 4, 8] {
+            let p = plan(&spec, &prof, ShardingStrategy::NetSpecificBinPacking(n)).unwrap();
+            assert_eq!(p.validate(&spec), Ok(()));
+            assert!(p.nets_are_isolated(&spec), "n={n}");
+        }
+    }
+
+    #[test]
+    fn nsbp_two_shards_puts_each_net_on_its_own_shard() {
+        // Table II NSBP-2: shard1 = user net (33.58 GiB), shard2 =
+        // content net (160 GiB).
+        let spec = rm::rm1();
+        let prof = profile_for(&spec);
+        let p = plan(&spec, &prof, ShardingStrategy::NetSpecificBinPacking(2)).unwrap();
+        let caps: Vec<f64> = p
+            .shards()
+            .map(|s| p.shard_capacity_bytes(s, &spec) / (1u64 << 30) as f64)
+            .collect();
+        let (small, large) = (caps[0].min(caps[1]), caps[0].max(caps[1]));
+        assert!((small - 33.58).abs() < 1.5, "user shard {small}");
+        assert!((large - 160.47).abs() < 3.0, "content shard {large}");
+        // Pooling asymmetry: the small shard does ~94% of the work.
+        let pools: Vec<f64> = p.shards().map(|s| p.shard_pooling(s, &prof)).collect();
+        let hot = pools.iter().cloned().fold(0.0, f64::max);
+        assert!(hot / prof.total() > 0.9);
+    }
+
+    #[test]
+    fn nsbp_rm3_row_shards_the_dominant_table() {
+        // §V-A: "given four sparse shards, the largest table is
+        // partitioned into three shards and the remaining tables grouped
+        // together into one shard".
+        let spec = rm::rm3();
+        let prof = profile_for(&spec);
+        let p4 = plan(&spec, &prof, ShardingStrategy::NetSpecificBinPacking(4)).unwrap();
+        assert_eq!(p4.placement(TableId(0)).parts(), 3);
+        let p8 = plan(&spec, &prof, ShardingStrategy::NetSpecificBinPacking(8)).unwrap();
+        assert_eq!(p8.placement(TableId(0)).parts(), 7);
+        // Small tables all share one shard.
+        let small_shards: std::collections::BTreeSet<_> = spec.tables[1..]
+            .iter()
+            .flat_map(|t| match &p8.placement(t.id).location {
+                Location::Shards(s) => s.clone(),
+                Location::Main => vec![],
+            })
+            .collect();
+        assert_eq!(small_shards.len(), 1);
+    }
+
+    #[test]
+    fn nsbp_needs_one_shard_per_net() {
+        let spec = rm::rm1();
+        let prof = profile_for(&spec);
+        assert!(matches!(
+            plan(&spec, &prof, ShardingStrategy::NetSpecificBinPacking(1)),
+            Err(PlanError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn every_sweep_config_plans_for_rm1_and_rm2() {
+        for spec in [rm::rm1(), rm::rm2()] {
+            let prof = profile_for(&spec);
+            for strat in ShardingStrategy::full_sweep() {
+                let p = plan(&spec, &prof, strat).unwrap();
+                assert_eq!(p.validate(&spec), Ok(()), "{} {strat}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn rm3_sweep_plans() {
+        let spec = rm::rm3();
+        let prof = profile_for(&spec);
+        for strat in ShardingStrategy::rm3_sweep() {
+            let p = plan(&spec, &prof, strat).unwrap();
+            assert_eq!(p.validate(&spec), Ok(()), "{strat}");
+        }
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let spec = rm::rm3();
+        let prof = profile_for(&spec);
+        assert_eq!(
+            plan(&spec, &prof, ShardingStrategy::CapacityBalanced(0)),
+            Err(PlanError::ZeroShards)
+        );
+    }
+
+    #[test]
+    fn more_shards_than_tables_rejected_for_balanced() {
+        let spec = rm::rm3(); // 39 tables
+        let prof = profile_for(&spec);
+        assert!(matches!(
+            plan(&spec, &prof, ShardingStrategy::CapacityBalanced(40)),
+            Err(PlanError::TooManyShards { .. })
+        ));
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let spec = rm::rm1();
+        let prof = profile_for(&spec);
+        for strat in ShardingStrategy::full_sweep() {
+            let a = plan(&spec, &prof, strat).unwrap();
+            let b = plan(&spec, &prof, strat).unwrap();
+            assert_eq!(a, b, "{strat}");
+        }
+    }
+}

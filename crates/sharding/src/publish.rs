@@ -1,0 +1,272 @@
+//! Publishing sharding plans: serialize/deserialize placement
+//! decisions.
+//!
+//! The production partitioning tool "employs a user-supplied
+//! configuration to group embedding tables" (§III-C); this module is
+//! that configuration's on-disk form — a plan can be computed once (or
+//! hand-edited) and replayed against a republished model.
+
+use crate::plan::{Location, ShardId, ShardingPlan, TablePlacement};
+use crate::ShardingStrategy;
+use dlrm_model::TableId;
+
+/// Errors from parsing a published plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePlanError {
+    /// 1-based line of the failure (0 = file-level problem).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParsePlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParsePlanError {}
+
+const HEADER: &str = "dlrm-plan v1";
+
+/// Serializes a plan: one `place` record per table, `main` or a
+/// comma-separated shard list (order = part order for row-sharding).
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_sharding::{plan, publish, ShardingStrategy};
+/// use dlrm_workload::PoolingProfile;
+///
+/// let spec = dlrm_model::rm::rm3();
+/// let profile = PoolingProfile::from_spec(&spec);
+/// let p = plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(4))?;
+/// let text = publish::plan_to_text(&p);
+/// assert_eq!(publish::plan_from_text(&text).unwrap(), p);
+/// # Ok::<(), dlrm_sharding::PlanError>(())
+/// ```
+#[must_use]
+pub fn plan_to_text(plan: &ShardingPlan) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "strategy {}", plan.strategy().label());
+    let _ = writeln!(out, "shards {}", plan.num_shards());
+    for p in plan.placements() {
+        match &p.location {
+            Location::Main => {
+                let _ = writeln!(out, "place {} main", p.table.0);
+            }
+            Location::Shards(shards) => {
+                let list = shards
+                    .iter()
+                    .map(|s| s.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let _ = writeln!(out, "place {} {list}", p.table.0);
+            }
+        }
+    }
+    out
+}
+
+/// Parses a strategy label ("singular", "1-shard", "lb-4", …).
+fn strategy_from_label(label: &str, line: usize) -> Result<ShardingStrategy, ParsePlanError> {
+    let bad = |message: String| ParsePlanError { line, message };
+    if label == "singular" {
+        return Ok(ShardingStrategy::Singular);
+    }
+    if label == "1-shard" {
+        return Ok(ShardingStrategy::OneShard);
+    }
+    let (kind, n) = label
+        .rsplit_once('-')
+        .ok_or_else(|| bad(format!("bad strategy label {label:?}")))?;
+    let n: usize = n
+        .parse()
+        .map_err(|_| bad(format!("bad shard count in {label:?}")))?;
+    match kind {
+        "cb" => Ok(ShardingStrategy::CapacityBalanced(n)),
+        "lb" => Ok(ShardingStrategy::LoadBalanced(n)),
+        "nsbp" => Ok(ShardingStrategy::NetSpecificBinPacking(n)),
+        "auto" => Ok(ShardingStrategy::Auto(n)),
+        other => Err(bad(format!("unknown strategy family {other:?}"))),
+    }
+}
+
+/// Parses the v1 plan format.
+///
+/// # Errors
+///
+/// [`ParsePlanError`] with the offending line.
+pub fn plan_from_text(text: &str) -> Result<ShardingPlan, ParsePlanError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParsePlanError {
+        line: 0,
+        message: "empty file".into(),
+    })?;
+    if header.trim() != HEADER {
+        return Err(ParsePlanError {
+            line: 1,
+            message: format!("expected header {HEADER:?}, got {header:?}"),
+        });
+    }
+    let mut strategy = None;
+    let mut num_shards = None;
+    let mut placements: Vec<TablePlacement> = Vec::new();
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let kind = fields.next().expect("non-empty");
+        let rest: Vec<&str> = fields.collect();
+        let bad = |message: String| ParsePlanError { line, message };
+        match kind {
+            "strategy" => {
+                strategy = Some(strategy_from_label(
+                    rest.first().ok_or_else(|| bad("missing label".into()))?,
+                    line,
+                )?);
+            }
+            "shards" => {
+                num_shards = Some(
+                    rest.first()
+                        .ok_or_else(|| bad("missing count".into()))?
+                        .parse::<usize>()
+                        .map_err(|_| bad("bad shard count".into()))?,
+                );
+            }
+            "place" => {
+                if rest.len() != 2 {
+                    return Err(bad(format!("place needs 2 fields, got {}", rest.len())));
+                }
+                let table = TableId(
+                    rest[0]
+                        .parse()
+                        .map_err(|_| bad(format!("bad table id {:?}", rest[0])))?,
+                );
+                if table.0 != placements.len() {
+                    return Err(bad(format!(
+                        "place records must be in table order; expected {}, got {}",
+                        placements.len(),
+                        table.0
+                    )));
+                }
+                let location = if rest[1] == "main" {
+                    Location::Main
+                } else {
+                    let shards = rest[1]
+                        .split(',')
+                        .map(|s| {
+                            s.parse::<usize>()
+                                .map(ShardId)
+                                .map_err(|_| bad(format!("bad shard id {s:?}")))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Location::Shards(shards)
+                };
+                placements.push(TablePlacement { table, location });
+            }
+            other => return Err(bad(format!("unknown record kind {other:?}"))),
+        }
+    }
+    let strategy = strategy.ok_or(ParsePlanError {
+        line: 0,
+        message: "missing strategy".into(),
+    })?;
+    let num_shards = num_shards.ok_or(ParsePlanError {
+        line: 0,
+        message: "missing shards".into(),
+    })?;
+    // ShardingPlan::new enforces ordering/range invariants; catch its
+    // panics as parse errors by pre-validating ranges here.
+    for p in &placements {
+        if let Location::Shards(shards) = &p.location {
+            if shards.is_empty() {
+                return Err(ParsePlanError {
+                    line: 0,
+                    message: format!("{} has an empty shard list", p.table),
+                });
+            }
+            for s in shards {
+                if s.0 >= num_shards {
+                    return Err(ParsePlanError {
+                        line: 0,
+                        message: format!("{} references {s} out of {num_shards}", p.table),
+                    });
+                }
+            }
+            let unique: std::collections::BTreeSet<_> = shards.iter().collect();
+            if unique.len() != shards.len() {
+                return Err(ParsePlanError {
+                    line: 0,
+                    message: format!("{} lists a shard twice", p.table),
+                });
+            }
+        }
+    }
+    Ok(ShardingPlan::new(strategy, num_shards, placements))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan as make_plan;
+    use dlrm_model::rm;
+    use dlrm_workload::PoolingProfile;
+
+    #[test]
+    fn round_trips_every_rm1_configuration() {
+        let spec = rm::rm1();
+        let profile = PoolingProfile::from_spec(&spec);
+        for strategy in ShardingStrategy::full_sweep() {
+            let p = make_plan(&spec, &profile, strategy).unwrap();
+            let text = plan_to_text(&p);
+            let back = plan_from_text(&text).unwrap();
+            assert_eq!(back, p, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn round_trips_row_sharded_rm3() {
+        let spec = rm::rm3();
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = make_plan(
+            &spec,
+            &profile,
+            ShardingStrategy::NetSpecificBinPacking(8),
+        )
+        .unwrap();
+        let back = plan_from_text(&plan_to_text(&p)).unwrap();
+        assert_eq!(back, p);
+        assert!(back.placement(TableId(0)).is_row_sharded());
+    }
+
+    #[test]
+    fn strategy_labels_round_trip() {
+        for s in ShardingStrategy::full_sweep() {
+            assert_eq!(strategy_from_label(&s.label(), 1).unwrap(), s);
+        }
+        assert_eq!(
+            strategy_from_label("auto-8", 1).unwrap(),
+            ShardingStrategy::Auto(8)
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_shard() {
+        let text = "dlrm-plan v1\nstrategy 1-shard\nshards 1\nplace 0 3\n";
+        let err = plan_from_text(text).unwrap_err();
+        assert!(err.message.contains("out of"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_order_places() {
+        let text = "dlrm-plan v1\nstrategy 1-shard\nshards 1\nplace 1 0\n";
+        let err = plan_from_text(text).unwrap_err();
+        assert!(err.message.contains("table order"), "{err}");
+    }
+}

@@ -1,0 +1,324 @@
+//! The asynchronous RPC operator and its wire types.
+//!
+//! In the paper's system, partitioned subnets are "replaced by custom
+//! remote-procedure-call (RPC) operators that call remote shards"
+//! (§III-A1); each RPC carries the sparse feature ids destined for its
+//! shard and receives the pooled embedding vectors back. This module
+//! defines those request/response types, the client abstraction (so the
+//! same operator runs against an in-process shard, a thread-backed
+//! shard, or the simulator's cost model), and the [`SparseRpc`] graph
+//! operator itself.
+
+use crate::plan::ShardId;
+use dlrm_model::graph::{Blob, GraphError, Operator, SparseInput, Workspace};
+use dlrm_model::{NetId, OpGroup, TableId};
+use dlrm_tensor::Matrix;
+use std::sync::Arc;
+
+/// The lookups destined for one table (or one row-partition of a table)
+/// on one shard. Indices are already *local* to the shard: for a table
+/// row-sharded `parts` ways, the caller keeps `idx % parts == part` and
+/// sends `idx / parts`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSlice {
+    /// The (global) table this slice belongs to.
+    pub table: TableId,
+    /// Local row indices.
+    pub indices: Vec<u64>,
+    /// Per-batch-element index counts.
+    pub lengths: Vec<u32>,
+}
+
+/// One RPC request to a sparse shard: all table slices of one net for
+/// one batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRequest {
+    /// The net issuing the request.
+    pub net: NetId,
+    /// Per-table lookups, in table-id order.
+    pub slices: Vec<TableSlice>,
+}
+
+impl ShardRequest {
+    /// Total lookups across all slices (drives serialization cost).
+    #[must_use]
+    pub fn total_lookups(&self) -> usize {
+        self.slices.iter().map(|s| s.indices.len()).sum()
+    }
+
+    /// Approximate request payload in bytes: 8 per index, 4 per length.
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        self.slices
+            .iter()
+            .map(|s| s.indices.len() * 8 + s.lengths.len() * 4)
+            .sum()
+    }
+}
+
+/// The response: pooled embeddings per requested table, in request
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardResponse {
+    /// `(table, batch × dim pooled matrix)` pairs.
+    pub pooled: Vec<(TableId, Matrix)>,
+}
+
+impl ShardResponse {
+    /// Approximate response payload in bytes (4 per f32).
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        self.pooled.iter().map(|(_, m)| m.len() * 4).sum()
+    }
+}
+
+/// A connection to one sparse shard.
+///
+/// Implementations: [`crate::InProcessClient`] (direct call, used for
+/// correctness verification) and the serving crate's thread-backed
+/// client (real concurrency).
+pub trait SparseShardClient: std::fmt::Debug + Send + Sync {
+    /// The shard this client reaches.
+    fn shard_id(&self) -> ShardId;
+
+    /// Executes one request.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the shard rejects the request
+    /// (unknown table, out-of-range index).
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, String>;
+}
+
+/// One table fetched by a [`SparseRpc`] operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcFetch {
+    /// The table.
+    pub table: TableId,
+    /// Blob holding the table's sparse input on the main shard.
+    pub input_blob: String,
+    /// Blob to write the pooled (or partial-pooled) result to.
+    pub output_blob: String,
+    /// Total row-partitions of this table (1 = whole table here).
+    pub parts: usize,
+    /// Which partition this shard serves.
+    pub part: usize,
+}
+
+/// The RPC operator inserted by the partitioner: gathers this shard's
+/// table slices from the workspace, calls the shard, and writes the
+/// pooled outputs back.
+///
+/// For row-sharded tables it performs the modulus routing of §III-A1:
+/// only indices with `idx % parts == part` are sent, translated to local
+/// rows `idx / parts`.
+#[derive(Debug)]
+pub struct SparseRpc {
+    name: String,
+    net: NetId,
+    client: Arc<dyn SparseShardClient>,
+    fetches: Vec<RpcFetch>,
+}
+
+impl SparseRpc {
+    /// Creates an RPC operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fetches` is empty (an RPC to a shard serving nothing
+    /// indicates a partitioner bug).
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        net: NetId,
+        client: Arc<dyn SparseShardClient>,
+        fetches: Vec<RpcFetch>,
+    ) -> Self {
+        assert!(!fetches.is_empty(), "RPC op must fetch at least one table");
+        Self {
+            name: name.into(),
+            net,
+            client,
+            fetches,
+        }
+    }
+
+    /// The shard this operator calls.
+    #[must_use]
+    pub fn shard_id(&self) -> ShardId {
+        self.client.shard_id()
+    }
+
+    /// The tables fetched.
+    #[must_use]
+    pub fn fetches(&self) -> &[RpcFetch] {
+        &self.fetches
+    }
+
+    /// Builds the wire request from the workspace (exposed for tests and
+    /// for the serving layer's cost accounting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing/mistyped sparse input blobs.
+    pub fn build_request(&self, ws: &Workspace) -> Result<ShardRequest, GraphError> {
+        let mut slices = Vec::with_capacity(self.fetches.len());
+        for f in &self.fetches {
+            let sparse = ws.sparse(&f.input_blob, &self.name)?;
+            slices.push(route_slice(f, sparse));
+        }
+        Ok(ShardRequest {
+            net: self.net,
+            slices,
+        })
+    }
+}
+
+/// Applies modulus routing to one sparse input.
+fn route_slice(fetch: &RpcFetch, sparse: &SparseInput) -> TableSlice {
+    if fetch.parts == 1 {
+        return TableSlice {
+            table: fetch.table,
+            indices: sparse.indices.clone(),
+            lengths: sparse.lengths.clone(),
+        };
+    }
+    let parts = fetch.parts as u64;
+    let part = fetch.part as u64;
+    let mut indices = Vec::new();
+    let mut lengths = Vec::with_capacity(sparse.lengths.len());
+    let mut cursor = 0usize;
+    for &len in &sparse.lengths {
+        let mut kept = 0u32;
+        for &idx in &sparse.indices[cursor..cursor + len as usize] {
+            if idx % parts == part {
+                indices.push(idx / parts);
+                kept += 1;
+            }
+        }
+        lengths.push(kept);
+        cursor += len as usize;
+    }
+    TableSlice {
+        table: fetch.table,
+        indices,
+        lengths,
+    }
+}
+
+impl Operator for SparseRpc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn group(&self) -> OpGroup {
+        OpGroup::Sls
+    }
+    fn inputs(&self) -> Vec<String> {
+        self.fetches.iter().map(|f| f.input_blob.clone()).collect()
+    }
+    fn outputs(&self) -> Vec<String> {
+        self.fetches.iter().map(|f| f.output_blob.clone()).collect()
+    }
+    fn run(&self, ws: &mut Workspace) -> Result<(), GraphError> {
+        let request = self.build_request(ws)?;
+        let response = self.client.execute(&request).map_err(|message| {
+            GraphError::OpFailed {
+                op: self.name.clone(),
+                message,
+            }
+        })?;
+        if response.pooled.len() != self.fetches.len() {
+            return Err(GraphError::OpFailed {
+                op: self.name.clone(),
+                message: format!(
+                    "shard returned {} tables, expected {}",
+                    response.pooled.len(),
+                    self.fetches.len()
+                ),
+            });
+        }
+        for (f, (table, pooled)) in self.fetches.iter().zip(response.pooled) {
+            if table != f.table {
+                return Err(GraphError::OpFailed {
+                    op: self.name.clone(),
+                    message: format!("shard answered {table}, expected {}", f.table),
+                });
+            }
+            ws.put(f.output_blob.clone(), Blob::Dense(pooled));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_whole_table_is_identity() {
+        let f = RpcFetch {
+            table: TableId(0),
+            input_blob: "in".into(),
+            output_blob: "out".into(),
+            parts: 1,
+            part: 0,
+        };
+        let s = SparseInput::new(vec![5, 9, 2], vec![2, 1]);
+        let slice = route_slice(&f, &s);
+        assert_eq!(slice.indices, vec![5, 9, 2]);
+        assert_eq!(slice.lengths, vec![2, 1]);
+    }
+
+    #[test]
+    fn route_modulus_filters_and_localizes() {
+        let f = RpcFetch {
+            table: TableId(0),
+            input_blob: "in".into(),
+            output_blob: "out".into(),
+            parts: 2,
+            part: 1,
+        };
+        // Element 0: indices {0,1,2}; element 1: {3,4}.
+        let s = SparseInput::new(vec![0, 1, 2, 3, 4], vec![3, 2]);
+        let slice = route_slice(&f, &s);
+        // Odd indices go to part 1, local = idx/2.
+        assert_eq!(slice.indices, vec![0, 1]); // global 1 → 0, global 3 → 1
+        assert_eq!(slice.lengths, vec![1, 1]);
+    }
+
+    #[test]
+    fn route_partition_is_a_partition() {
+        // Every index lands on exactly one part, and locals are in range.
+        let s = SparseInput::new((0..100).collect(), vec![50, 50]);
+        let parts = 3;
+        let mut total = 0;
+        for part in 0..parts {
+            let f = RpcFetch {
+                table: TableId(0),
+                input_blob: "in".into(),
+                output_blob: "out".into(),
+                parts,
+                part,
+            };
+            let slice = route_slice(&f, &s);
+            total += slice.indices.len();
+            let max_local = (100 / parts as u64) + 1;
+            assert!(slice.indices.iter().all(|&i| i <= max_local));
+        }
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn payload_bytes_accounting() {
+        let req = ShardRequest {
+            net: NetId(0),
+            slices: vec![TableSlice {
+                table: TableId(0),
+                indices: vec![1, 2, 3],
+                lengths: vec![3],
+            }],
+        };
+        assert_eq!(req.total_lookups(), 3);
+        assert_eq!(req.payload_bytes(), 3 * 8 + 4);
+    }
+}

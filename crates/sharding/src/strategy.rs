@@ -1,0 +1,155 @@
+//! The sharding strategies of Table I.
+
+/// A sharding strategy plus its shard count — one column of Tables
+/// II/III/IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardingStrategy {
+    /// Distributed inference disabled; the entire model on one server.
+    Singular,
+    /// One sparse shard holding every embedding table — the impractical
+    /// worst case ("all embedding tables are placed on one shard and no
+    /// work is parallelized", §VI-B1).
+    OneShard,
+    /// Table placement equalizing total embedding-table *size* per shard
+    /// (§III-B1). Minimizes shard count for a given capacity.
+    CapacityBalanced(usize),
+    /// Table placement equalizing estimated *pooling work* per shard
+    /// (§III-B2), so no single shard bounds the critical path.
+    LoadBalanced(usize),
+    /// Net-specific bin-packing (§III-B3): tables are first grouped by
+    /// net, then packed into size-limited bins; oversized tables are
+    /// row-partitioned. One RPC per shard per inference — the most
+    /// compute-efficient, least latency-friendly strategy.
+    NetSpecificBinPacking(usize),
+    /// Automatic greedy placement (this reproduction's extension of the
+    /// paper's future work, [`crate::auto`]): load balancing with net
+    /// affinity and capacity caps.
+    Auto(usize),
+}
+
+impl ShardingStrategy {
+    /// Number of sparse shards this configuration uses (0 for singular).
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        match *self {
+            ShardingStrategy::Singular => 0,
+            ShardingStrategy::OneShard => 1,
+            ShardingStrategy::CapacityBalanced(n)
+            | ShardingStrategy::LoadBalanced(n)
+            | ShardingStrategy::NetSpecificBinPacking(n)
+            | ShardingStrategy::Auto(n) => n,
+        }
+    }
+
+    /// Whether this configuration runs distributed inference at all.
+    #[must_use]
+    pub fn is_distributed(&self) -> bool {
+        !matches!(self, ShardingStrategy::Singular)
+    }
+
+    /// Short label used in tables ("singular", "1-shard", "lb-4", …).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            ShardingStrategy::Singular => "singular".into(),
+            ShardingStrategy::OneShard => "1-shard".into(),
+            ShardingStrategy::CapacityBalanced(n) => format!("cb-{n}"),
+            ShardingStrategy::LoadBalanced(n) => format!("lb-{n}"),
+            ShardingStrategy::NetSpecificBinPacking(n) => format!("nsbp-{n}"),
+            ShardingStrategy::Auto(n) => format!("auto-{n}"),
+        }
+    }
+
+    /// One-line description, as in Table I.
+    #[must_use]
+    pub fn description(&self) -> &'static str {
+        match self {
+            ShardingStrategy::Singular => {
+                "Distributed inference disabled. Entire model loaded on one server."
+            }
+            ShardingStrategy::OneShard => "Only one sparse shard with all embedding tables.",
+            ShardingStrategy::CapacityBalanced(_) => {
+                "Table placement ensures similar total embedding table size per shard."
+            }
+            ShardingStrategy::LoadBalanced(_) => {
+                "Table placement ensures similar pooling work per shard."
+            }
+            ShardingStrategy::NetSpecificBinPacking(_) => {
+                "Tables grouped by ML net, packed into shards until a size limit is \
+                 reached; larger tables are effectively given an entire shard."
+            }
+            ShardingStrategy::Auto(_) => {
+                "Automatic greedy placement: load balancing with net affinity and \
+                 per-shard capacity caps (reproduction extension)."
+            }
+        }
+    }
+
+    /// The eleven configurations evaluated for RM1/RM2 (Table III), in
+    /// publication order.
+    #[must_use]
+    pub fn full_sweep() -> Vec<ShardingStrategy> {
+        use ShardingStrategy::*;
+        let mut v = vec![Singular, OneShard];
+        v.extend([2, 4, 8].map(LoadBalanced));
+        v.extend([2, 4, 8].map(CapacityBalanced));
+        v.extend([2, 4, 8].map(NetSpecificBinPacking));
+        v
+    }
+
+    /// The configurations evaluated for RM3 (Table IV): only NSBP shards
+    /// the dominant table ("RM3 is only sharded with NSBP ... due to
+    /// existing technical challenges of sharding huge tables", §V-A).
+    #[must_use]
+    pub fn rm3_sweep() -> Vec<ShardingStrategy> {
+        use ShardingStrategy::*;
+        vec![
+            Singular,
+            OneShard,
+            NetSpecificBinPacking(4),
+            NetSpecificBinPacking(8),
+        ]
+    }
+}
+
+impl std::fmt::Display for ShardingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_counts() {
+        assert_eq!(ShardingStrategy::Singular.num_shards(), 0);
+        assert_eq!(ShardingStrategy::OneShard.num_shards(), 1);
+        assert_eq!(ShardingStrategy::LoadBalanced(4).num_shards(), 4);
+        assert!(!ShardingStrategy::Singular.is_distributed());
+        assert!(ShardingStrategy::OneShard.is_distributed());
+    }
+
+    #[test]
+    fn full_sweep_matches_table_iii_columns() {
+        let sweep = ShardingStrategy::full_sweep();
+        assert_eq!(sweep.len(), 11);
+        assert_eq!(sweep[0], ShardingStrategy::Singular);
+        assert_eq!(sweep[1], ShardingStrategy::OneShard);
+        // Three of each parametrized family.
+        let lb = sweep
+            .iter()
+            .filter(|s| matches!(s, ShardingStrategy::LoadBalanced(_)))
+            .count();
+        assert_eq!(lb, 3);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let sweep = ShardingStrategy::full_sweep();
+        let labels: std::collections::HashSet<String> =
+            sweep.iter().map(ShardingStrategy::label).collect();
+        assert_eq!(labels.len(), sweep.len());
+    }
+}

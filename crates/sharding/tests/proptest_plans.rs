@@ -1,0 +1,179 @@
+//! Property-based tests: every strategy must produce structurally valid
+//! plans for arbitrary (well-formed) models, and plan invariants must
+//! hold regardless of model shape.
+
+use dlrm_model::{ModelSpec, NetId, NetSpec, TableId, TableSpec};
+use dlrm_sharding::{plan, Location, ShardingStrategy};
+use dlrm_workload::PoolingProfile;
+use proptest::prelude::*;
+
+/// Strategy generating a well-formed ModelSpec with 1–2 nets and
+/// 2–40 tables of varied size/pooling.
+fn arb_spec() -> impl Strategy<Value = ModelSpec> {
+    (
+        1usize..=2,                                  // nets
+        prop::collection::vec((1u64..200_000, 0usize..4, 0.0f64..500.0), 2..40),
+    )
+        .prop_map(|(n_nets, raw_tables)| {
+            let dims = [16u32, 32, 64, 128];
+            let tables: Vec<TableSpec> = raw_tables
+                .into_iter()
+                .enumerate()
+                .map(|(i, (rows, dim_idx, pooling))| TableSpec {
+                    id: TableId(i),
+                    name: format!("t{i}"),
+                    rows: rows.max(8),
+                    dim: dims[dim_idx],
+                    net: NetId(i % n_nets),
+                    pooling_factor: pooling,
+                })
+                .collect();
+            let nets = (0..n_nets)
+                .map(|i| NetSpec {
+                    id: NetId(i),
+                    name: format!("net{i}"),
+                    bottom_mlp: vec![32, 16],
+                    top_mlp: vec![32, 1],
+                    takes_prev_output: i > 0,
+                })
+                .collect();
+            ModelSpec {
+                name: "prop".into(),
+                dense_features: 16,
+                tables,
+                nets,
+                default_batch_size: 8,
+                mean_items_per_request: 16.0,
+            }
+        })
+        .prop_filter("every net needs a table", |spec| {
+            spec.nets
+                .iter()
+                .all(|n| spec.tables_of_net(n.id).count() > 0)
+        })
+}
+
+fn strategies(n_tables: usize, n_nets: usize) -> Vec<ShardingStrategy> {
+    let mut out = vec![ShardingStrategy::Singular, ShardingStrategy::OneShard];
+    for n in [2usize, 4] {
+        if n <= n_tables {
+            out.push(ShardingStrategy::CapacityBalanced(n));
+            out.push(ShardingStrategy::LoadBalanced(n));
+            out.push(ShardingStrategy::Auto(n));
+        }
+        if n >= n_nets {
+            out.push(ShardingStrategy::NetSpecificBinPacking(n));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every feasible plan validates, covers each table exactly once,
+    /// and conserves capacity and pooling across shards.
+    #[test]
+    fn plans_conserve_capacity_and_pooling(spec in arb_spec()) {
+        prop_assert_eq!(spec.validate(), Ok(()));
+        let profile = PoolingProfile::from_spec(&spec);
+        for strategy in strategies(spec.tables.len(), spec.nets.len()) {
+            let Ok(p) = plan(&spec, &profile, strategy) else { continue };
+            prop_assert_eq!(p.validate(&spec), Ok(()), "{}", strategy);
+            if !strategy.is_distributed() {
+                continue;
+            }
+            // Capacity conservation across shards.
+            let shard_total: f64 = p
+                .shards()
+                .map(|s| p.shard_capacity_bytes(s, &spec))
+                .sum();
+            let spec_total = spec.total_bytes() as f64;
+            prop_assert!(
+                (shard_total - spec_total).abs() / spec_total < 1e-9,
+                "{strategy}: {shard_total} vs {spec_total}"
+            );
+            // Pooling conservation.
+            let shard_pool: f64 = p.shards().map(|s| p.shard_pooling(s, &profile)).sum();
+            prop_assert!((shard_pool - profile.total()).abs() < 1e-6 * profile.total().max(1.0));
+            // Each table's shards are distinct and in range.
+            for placement in p.placements() {
+                if let Location::Shards(shards) = &placement.location {
+                    let unique: std::collections::BTreeSet<_> = shards.iter().collect();
+                    prop_assert_eq!(unique.len(), shards.len());
+                }
+            }
+        }
+    }
+
+    /// NSBP never mixes nets on a shard, for any model shape.
+    #[test]
+    fn nsbp_always_isolates_nets(spec in arb_spec()) {
+        let profile = PoolingProfile::from_spec(&spec);
+        for n in [2usize, 4, 8] {
+            if n < spec.nets.len() {
+                continue;
+            }
+            if let Ok(p) = plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(n)) {
+                prop_assert!(p.nets_are_isolated(&spec), "n={n}");
+            }
+        }
+    }
+
+    /// Load-balanced placement is greedy list scheduling on pooling, so
+    /// its max shard load obeys Graham's list-scheduling bound:
+    /// `makespan ≤ total/m + (1 − 1/m) × max_item` — an exact theorem,
+    /// unlike the often-quoted 4/3 factor which is relative to the
+    /// (uncomputable here) optimum.
+    #[test]
+    fn lb_respects_grahams_list_scheduling_bound(spec in arb_spec()) {
+        let profile = PoolingProfile::from_spec(&spec);
+        for n in [2usize, 4] {
+            if n > spec.tables.len() {
+                continue;
+            }
+            let lb = plan(&spec, &profile, ShardingStrategy::LoadBalanced(n)).unwrap();
+            let max_load = lb
+                .shards()
+                .map(|s| lb.shard_pooling(s, &profile))
+                .fold(0.0f64, f64::max);
+            let hottest = spec
+                .tables
+                .iter()
+                .map(|t| profile.of(t.id))
+                .fold(0.0f64, f64::max);
+            let bound =
+                profile.total() / n as f64 + (1.0 - 1.0 / n as f64) * hottest;
+            prop_assert!(
+                max_load <= bound + 1e-9,
+                "max {max_load} vs list-scheduling bound {bound}"
+            );
+        }
+    }
+
+    /// Row-sharded placements distribute capacity equally across parts.
+    #[test]
+    fn row_shard_parts_split_capacity(spec in arb_spec()) {
+        let profile = PoolingProfile::from_spec(&spec);
+        for n in [4usize, 8] {
+            if n < spec.nets.len() {
+                continue;
+            }
+            let Ok(p) = plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(n)) else {
+                continue;
+            };
+            for placement in p.placements() {
+                if placement.is_row_sharded() {
+                    let t = spec.table(placement.table);
+                    let Location::Shards(shards) = &placement.location else { unreachable!() };
+                    for &s in shards {
+                        let contribution = t.bytes() as f64 / shards.len() as f64;
+                        prop_assert!(
+                            p.shard_capacity_bytes(s, &spec) >= contribution - 1e-9
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

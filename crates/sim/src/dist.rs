@@ -1,0 +1,328 @@
+//! Random distributions for workload and network modeling.
+//!
+//! The characterization depends on three long-tailed phenomena:
+//! request sizes ("very large inference request sizes" dominate P99,
+//! §VI-B4), per-table pooling factors (Table II spans 781–126653), and
+//! network latency ("unpredictable variance in network latency",
+//! §III-B2). These are modeled with [`LogNormal`] and [`Pareto`]; Poisson
+//! arrivals for the high-QPS experiment (§VII-A) use [`Exponential`]
+//! inter-arrival gaps.
+
+use crate::SimRng;
+
+/// A sampleable distribution over `f64`.
+///
+/// Implemented by every distribution in this module; the serving cost
+/// model stores trait objects so each latency component can be
+/// configured independently.
+pub trait Sample: std::fmt::Debug {
+    /// Draws one value.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// The distribution mean (used for analytic capacity planning).
+    fn mean(&self) -> f64;
+}
+
+/// Degenerate distribution: always `value`.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_sim::dist::{Constant, Sample};
+/// use dlrm_sim::SimRng;
+///
+/// let mut rng = SimRng::seed_from(1);
+/// assert_eq!(Constant::new(3.0).sample(&mut rng), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant {
+    value: f64,
+}
+
+impl Constant {
+    /// Creates the constant distribution.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        Self { value }
+    }
+}
+
+impl Sample for Constant {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.value
+    }
+    fn mean(&self) -> f64 {
+        self.value
+    }
+}
+
+/// Uniform distribution over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "empty uniform range [{lo}, {hi})");
+        Self { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.next_range(self.lo, self.hi)
+    }
+    fn mean(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+}
+
+/// Log-normal distribution, parameterized by the *underlying normal's*
+/// `mu` and `sigma` (so the median is `exp(mu)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with underlying normal parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or NaN.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && !sigma.is_nan(), "invalid sigma {sigma}");
+        Self { mu, sigma }
+    }
+
+    /// Creates a log-normal from its *median* and sigma: often the more
+    /// intuitive calibration handle (`median = exp(mu)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median` is not strictly positive or `sigma` invalid.
+    #[must_use]
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive, got {median}");
+        Self::new(median.ln(), sigma)
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * rng.next_standard_normal()).exp()
+    }
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+///
+/// Used for per-table pooling-factor assignment: a handful of "hot"
+/// features dominate lookup volume, matching the 100× spread in
+/// Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min` or `alpha` is not strictly positive.
+    #[must_use]
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0, "x_min must be positive, got {x_min}");
+        assert!(alpha > 0.0, "alpha must be positive, got {alpha}");
+        Self { x_min, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF: x_min * (1-u)^(-1/alpha), with u in [0,1).
+        let u = rng.next_f64();
+        self.x_min * (1.0 - u).powf(-1.0 / self.alpha)
+    }
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.x_min / (self.alpha - 1.0)
+        }
+    }
+}
+
+/// Exponential distribution with the given rate (events per unit time).
+///
+/// Sampling inter-arrival gaps from `Exponential::new(qps / 1000.0)`
+/// (per millisecond) produces the Poisson arrival process used by the
+/// 25 QPS experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with `rate > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive, got {rate}");
+        Self { rate }
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF with u in (0, 1].
+        -(1.0 - rng.next_f64()).ln() / self.rate
+    }
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// A base latency plus a random excess: `base + dist`, the natural shape
+/// for network latency (propagation floor + queueing tail).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shifted<D> {
+    base: f64,
+    excess: D,
+}
+
+impl<D: Sample> Shifted<D> {
+    /// Creates a shifted distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is negative.
+    #[must_use]
+    pub fn new(base: f64, excess: D) -> Self {
+        assert!(base >= 0.0, "base must be non-negative, got {base}");
+        Self { base, excess }
+    }
+}
+
+impl<D: Sample> Sample for Shifted<D> {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.base + self.excess.sample(rng)
+    }
+    fn mean(&self) -> f64 {
+        self.base + self.excess.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(d: &impl Sample, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Constant::new(5.0);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+        assert_eq!(d.mean(), 5.0);
+    }
+
+    #[test]
+    fn uniform_empirical_mean() {
+        let d = Uniform::new(2.0, 4.0);
+        let m = sample_mean(&d, 20_000, 2);
+        assert!((m - 3.0).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_median_parameterization() {
+        let d = LogNormal::from_median(10.0, 0.5);
+        let mut rng = SimRng::seed_from(3);
+        let mut below = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if d.sample(&mut rng) < 10.0 {
+                below += 1;
+            }
+        }
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "median fraction {frac}");
+    }
+
+    #[test]
+    fn lognormal_mean_formula_matches_samples() {
+        let d = LogNormal::new(1.0, 0.4);
+        let m = sample_mean(&d, 100_000, 4);
+        assert!((m - d.mean()).abs() / d.mean() < 0.02, "mean {m} vs {}", d.mean());
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let d = Pareto::new(1.0, 2.0);
+        let mut rng = SimRng::seed_from(5);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&v| v >= 1.0));
+        let m = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((m - 2.0).abs() < 0.1, "mean {m}");
+        // Heavy tail: max far above mean.
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 10.0);
+    }
+
+    #[test]
+    fn pareto_infinite_mean_when_alpha_le_1() {
+        assert!(Pareto::new(1.0, 1.0).mean().is_infinite());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::new(0.25);
+        let m = sample_mean(&d, 50_000, 6);
+        assert!((m - 4.0).abs() < 0.1, "mean {m}");
+        assert_eq!(d.mean(), 4.0);
+    }
+
+    #[test]
+    fn shifted_adds_floor() {
+        let d = Shifted::new(3.0, Constant::new(1.0));
+        let mut rng = SimRng::seed_from(7);
+        assert_eq!(d.sample(&mut rng), 4.0);
+        assert_eq!(d.mean(), 4.0);
+    }
+
+    #[test]
+    fn samples_are_reproducible_across_runs() {
+        let d = LogNormal::new(0.0, 1.0);
+        let a: Vec<f64> = {
+            let mut r = SimRng::seed_from(99);
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = SimRng::seed_from(99);
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

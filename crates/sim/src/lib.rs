@@ -1,0 +1,48 @@
+//! Discrete-event simulation core for the distributed-inference study.
+//!
+//! The ISPASS'21 characterization ran on reserved bare-metal datacenter
+//! servers. This crate is the substitute substrate: a small, deterministic
+//! discrete-event simulation (DES) kernel on which `dlrm-serving` builds
+//! the cluster model (servers, cores, NICs, RPC stacks).
+//!
+//! Components:
+//!
+//! - [`SimTime`] / [`SimDuration`]: simulated wall-clock in milliseconds,
+//! - [`EventQueue`]: a time-ordered, FIFO-stable event queue generic over
+//!   the driver's event payload,
+//! - [`CorePool`]: an FCFS multi-core compute resource with per-core
+//!   speed factors and busy-time accounting,
+//! - [`SimRng`] and the [`dist`] module: seeded random sampling with the
+//!   long-tailed distributions the workload model needs (lognormal,
+//!   Pareto, exponential/Poisson).
+//!
+//! Determinism: every stochastic element is driven by explicitly-seeded
+//! [`SimRng`] instances, and the event queue breaks timestamp ties by
+//! insertion order, so repeated runs produce identical traces.
+//!
+//! # Examples
+//!
+//! ```
+//! use dlrm_sim::{EventQueue, SimTime};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.push(SimTime::from_millis(2.0), "later");
+//! q.push(SimTime::from_millis(1.0), "sooner");
+//! assert_eq!(q.pop().unwrap().1, "sooner");
+//! assert_eq!(q.pop().unwrap().1, "later");
+//! assert!(q.pop().is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+mod queue;
+mod resource;
+mod rng;
+mod time;
+
+pub use queue::EventQueue;
+pub use resource::CorePool;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,203 @@
+//! FCFS multi-core compute resource.
+
+use crate::{SimDuration, SimTime};
+
+/// A pool of identical cores with first-come-first-served scheduling.
+///
+/// Models a server's CPU the way the paper's serving stack uses it:
+/// operators within a net run sequentially on one core, while additional
+/// cores are exploited through request- and batch-level parallelism
+/// (§IV-A). A task submitted at time `t` starts on the earliest-available
+/// core (no earlier than `t`) and runs without preemption for its
+/// duration scaled by the core-speed factor.
+///
+/// Because the driving event loop submits tasks in non-decreasing time
+/// order, this greedy earliest-core assignment is exactly FCFS.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_sim::{CorePool, SimDuration, SimTime};
+///
+/// let mut cores = CorePool::new(2, 1.0);
+/// let t0 = SimTime::ZERO;
+/// let d = SimDuration::from_millis(10.0);
+/// // Two tasks fit in parallel; the third queues behind the first.
+/// assert_eq!(cores.run(t0, d).end.as_millis(), 10.0);
+/// assert_eq!(cores.run(t0, d).end.as_millis(), 10.0);
+/// assert_eq!(cores.run(t0, d).end.as_millis(), 20.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorePool {
+    /// Time at which each core becomes free.
+    free_at: Vec<SimTime>,
+    /// Wall-time multiplier for work on this pool (>1 ⇒ slower cores,
+    /// e.g. the lower-clocked SC-Small platform).
+    slowdown: f64,
+    /// Total core-occupancy accumulated, for utilization accounting.
+    busy: SimDuration,
+}
+
+/// The scheduling decision for one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scheduled {
+    /// When the task started executing (≥ submission time).
+    pub start: SimTime,
+    /// When the task finished.
+    pub end: SimTime,
+    /// Core occupancy consumed (duration × slowdown).
+    pub cpu: SimDuration,
+}
+
+impl Scheduled {
+    /// Queueing delay experienced before the task started.
+    #[must_use]
+    pub fn queue_delay(&self, submitted: SimTime) -> SimDuration {
+        self.start - submitted
+    }
+}
+
+impl CorePool {
+    /// Creates a pool of `cores` cores with the given `slowdown` factor
+    /// (1.0 = reference speed; larger = slower).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or `slowdown` is not strictly positive.
+    #[must_use]
+    pub fn new(cores: usize, slowdown: f64) -> Self {
+        assert!(cores > 0, "a server needs at least one core");
+        assert!(
+            slowdown > 0.0 && !slowdown.is_nan(),
+            "invalid slowdown {slowdown}"
+        );
+        Self {
+            free_at: vec![SimTime::ZERO; cores],
+            slowdown,
+            busy: SimDuration::ZERO,
+        }
+    }
+
+    /// Number of cores in the pool.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Submits a task of nominal duration `work` at time `now`; returns
+    /// when it starts and ends under FCFS.
+    pub fn run(&mut self, now: SimTime, work: SimDuration) -> Scheduled {
+        let scaled = work.scaled(self.slowdown);
+        // Earliest-available core.
+        let idx = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("pool has at least one core");
+        let start = self.free_at[idx].max(now);
+        let end = start + scaled;
+        self.free_at[idx] = end;
+        self.busy += scaled;
+        Scheduled {
+            start,
+            end,
+            cpu: scaled,
+        }
+    }
+
+    /// Earliest time any core is free, as seen at `now`.
+    #[must_use]
+    pub fn next_free(&self, now: SimTime) -> SimTime {
+        self.free_at
+            .iter()
+            .copied()
+            .min()
+            .expect("pool has at least one core")
+            .max(now)
+    }
+
+    /// Total core-occupancy accumulated so far.
+    #[must_use]
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Resets all cores to idle and clears accounting (for back-to-back
+    /// experiment runs reusing one cluster).
+    pub fn reset(&mut self) {
+        self.free_at.fill(SimTime::ZERO);
+        self.busy = SimDuration::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn single_core_serializes() {
+        let mut p = CorePool::new(1, 1.0);
+        let a = p.run(SimTime::ZERO, ms(5.0));
+        let b = p.run(SimTime::ZERO, ms(5.0));
+        assert_eq!(a.end.as_millis(), 5.0);
+        assert_eq!(b.start.as_millis(), 5.0);
+        assert_eq!(b.end.as_millis(), 10.0);
+        assert_eq!(b.queue_delay(SimTime::ZERO).as_millis(), 5.0);
+    }
+
+    #[test]
+    fn parallel_cores_overlap() {
+        let mut p = CorePool::new(4, 1.0);
+        for _ in 0..4 {
+            assert_eq!(p.run(SimTime::ZERO, ms(3.0)).end.as_millis(), 3.0);
+        }
+        assert_eq!(p.run(SimTime::ZERO, ms(3.0)).end.as_millis(), 6.0);
+    }
+
+    #[test]
+    fn slowdown_scales_work() {
+        let mut p = CorePool::new(1, 2.0);
+        let s = p.run(SimTime::ZERO, ms(4.0));
+        assert_eq!(s.end.as_millis(), 8.0);
+        assert_eq!(s.cpu.as_millis(), 8.0);
+    }
+
+    #[test]
+    fn idle_gap_does_not_count_busy() {
+        let mut p = CorePool::new(1, 1.0);
+        p.run(SimTime::ZERO, ms(1.0));
+        p.run(SimTime::from_millis(100.0), ms(1.0));
+        assert_eq!(p.busy_time().as_millis(), 2.0);
+    }
+
+    #[test]
+    fn next_free_reflects_load() {
+        let mut p = CorePool::new(2, 1.0);
+        p.run(SimTime::ZERO, ms(10.0));
+        assert_eq!(p.next_free(SimTime::ZERO).as_millis(), 0.0);
+        p.run(SimTime::ZERO, ms(10.0));
+        assert_eq!(p.next_free(SimTime::ZERO).as_millis(), 10.0);
+        assert_eq!(p.next_free(SimTime::from_millis(20.0)).as_millis(), 20.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = CorePool::new(1, 1.0);
+        p.run(SimTime::ZERO, ms(5.0));
+        p.reset();
+        assert_eq!(p.busy_time().as_millis(), 0.0);
+        assert_eq!(p.run(SimTime::ZERO, ms(1.0)).start.as_millis(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = CorePool::new(0, 1.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Simulated time, in milliseconds.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant on the simulated clock, in milliseconds since the
+/// start of the simulation.
+///
+/// Milliseconds are the natural unit here: every latency the paper
+/// reports (Tables III–V) is in milliseconds.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(2.5);
+/// assert_eq!(t.as_millis(), 2.5);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(2.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates an instant `ms` milliseconds after simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or NaN.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        assert!(ms >= 0.0 && !ms.is_nan(), "invalid sim time {ms}");
+        SimTime(ms)
+    }
+
+    /// Milliseconds since simulation start.
+    #[must_use]
+    pub fn as_millis(self) -> f64 {
+        self.0
+    }
+
+    /// The later of two instants.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.0)
+    }
+}
+
+/// A span of simulated time, in milliseconds. Unlike [`SimTime`], a
+/// duration may be accumulated and scaled but never negative.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimDuration(f64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Creates a duration of `ms` milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or NaN.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        assert!(ms >= 0.0 && !ms.is_nan(), "invalid duration {ms}");
+        SimDuration(ms)
+    }
+
+    /// Creates a duration of `us` microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or NaN.
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_millis(us / 1000.0)
+    }
+
+    /// Duration in milliseconds.
+    #[must_use]
+    pub fn as_millis(self) -> f64 {
+        self.0
+    }
+
+    /// Duration scaled by a non-negative factor (e.g. a platform speed
+    /// ratio).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> SimDuration {
+        assert!(factor >= 0.0 && !factor.is_nan(), "invalid scale {factor}");
+        SimDuration(self.0 * factor)
+    }
+
+    /// The larger of two durations.
+    #[must_use]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl Eq for SimDuration {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimDuration {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Elapsed time between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self` (a negative duration always
+    /// indicates a driver bug, e.g. comparing timestamps from servers
+    /// with different clock skews without the duration-difference method).
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        assert!(
+            self.0 >= rhs.0,
+            "negative duration: {} - {}",
+            self.0,
+            rhs.0
+        );
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t0 = SimTime::from_millis(10.0);
+        let d = SimDuration::from_millis(5.0);
+        let t1 = t0 + d;
+        assert_eq!(t1.as_millis(), 15.0);
+        assert_eq!(t1 - t0, d);
+    }
+
+    #[test]
+    fn micros_conversion() {
+        assert_eq!(SimDuration::from_micros(1500.0).as_millis(), 1.5);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_millis(1.0);
+        let b = SimTime::from_millis(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn duration_sum_and_scale() {
+        let total: SimDuration = [1.0, 2.0, 3.0]
+            .into_iter()
+            .map(SimDuration::from_millis)
+            .sum();
+        assert_eq!(total.as_millis(), 6.0);
+        assert_eq!(total.scaled(0.5).as_millis(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn negative_elapsed_panics() {
+        let _ = SimTime::from_millis(1.0) - SimTime::from_millis(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sim time")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_millis(-1.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Minimal dense `f32` linear-algebra kernels for the executable DLRM
+//! engine.
+//!
+//! The recommendation models in the ISPASS'21 study are built from a small
+//! operator vocabulary: fully-connected layers (matrix multiply + bias),
+//! ReLU/Sigmoid activations, feature concatenation, and the sparse
+//! `SparseLengthsSum` gather-and-pool (which lives in `dlrm-model` on top
+//! of this crate's [`Matrix`] storage). This crate provides exactly those
+//! dense kernels — row-major, no SIMD intrinsics, no unsafe — prioritizing
+//! determinism and auditability over peak FLOPs, since the reproduction's
+//! performance results come from the calibrated simulator rather than from
+//! these kernels.
+//!
+//! # Examples
+//!
+//! ```
+//! use dlrm_tensor::Matrix;
+//!
+//! let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+//! let y = x.matmul(&w);
+//! assert_eq!(y, x);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+mod ops;
+
+pub use matrix::Matrix;
+pub use ops::{concat_cols, relu, relu_inplace, sigmoid, sigmoid_inplace};
+
+/// Absolute tolerance used by [`Matrix::approx_eq`] in tests and
+/// verification paths.
+pub const DEFAULT_TOLERANCE: f32 = 1e-5;

@@ -1,0 +1,139 @@
+//! Element-wise activations and feature concatenation.
+
+use crate::Matrix;
+
+/// ReLU applied element-wise, returning a new matrix.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_tensor::{relu, Matrix};
+///
+/// let m = Matrix::from_rows(&[&[-1.0, 2.0]]);
+/// assert_eq!(relu(&m).row(0), &[0.0, 2.0]);
+/// ```
+#[must_use]
+pub fn relu(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    relu_inplace(&mut out);
+    out
+}
+
+/// ReLU applied element-wise in place.
+pub fn relu_inplace(m: &mut Matrix) {
+    m.map_inplace(|v| v.max(0.0));
+}
+
+/// Logistic sigmoid applied element-wise, returning a new matrix.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_tensor::{sigmoid, Matrix};
+///
+/// let m = Matrix::from_rows(&[&[0.0]]);
+/// assert_eq!(sigmoid(&m).get(0, 0), 0.5);
+/// ```
+#[must_use]
+pub fn sigmoid(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    sigmoid_inplace(&mut out);
+    out
+}
+
+/// Logistic sigmoid applied element-wise in place.
+pub fn sigmoid_inplace(m: &mut Matrix) {
+    m.map_inplace(|v| 1.0 / (1.0 + (-v).exp()));
+}
+
+/// Concatenates matrices along the column (feature) dimension.
+///
+/// This is the feature-interaction input assembly of Fig. 2a: the pooled
+/// embedding vectors and the bottom-MLP output, all with the same batch
+/// dimension, are concatenated into one wide feature matrix.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or the parts disagree on row count.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_tensor::{concat_cols, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+/// let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+/// let c = concat_cols(&[&a, &b]);
+/// assert_eq!(c.row(0), &[1.0, 3.0, 4.0]);
+/// assert_eq!(c.row(1), &[2.0, 5.0, 6.0]);
+/// ```
+#[must_use]
+pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+    assert!(!parts.is_empty(), "concat_cols requires at least one part");
+    let rows = parts[0].rows();
+    let total_cols: usize = parts.iter().map(|p| p.cols()).sum();
+    for (i, p) in parts.iter().enumerate() {
+        assert_eq!(
+            p.rows(),
+            rows,
+            "concat part {i} has {} rows, expected {rows}",
+            p.rows()
+        );
+    }
+    let mut out = Matrix::zeros(rows, total_cols);
+    for r in 0..rows {
+        let out_row = out.row_mut(r);
+        let mut offset = 0;
+        for p in parts {
+            let src = p.row(r);
+            out_row[offset..offset + src.len()].copy_from_slice(src);
+            offset += src.len();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives_only() {
+        let m = Matrix::from_rows(&[&[-3.0, 0.0, 5.0]]);
+        assert_eq!(relu(&m).row(0), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        let m = Matrix::from_rows(&[&[-10.0, 0.0, 10.0]]);
+        let s = sigmoid(&m);
+        assert!(s.get(0, 0) > 0.0 && s.get(0, 0) < 0.001);
+        assert_eq!(s.get(0, 1), 0.5);
+        assert!(s.get(0, 2) > 0.999 && s.get(0, 2) < 1.0);
+        // sigmoid(-x) == 1 - sigmoid(x)
+        assert!((s.get(0, 0) - (1.0 - s.get(0, 2))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_single_part_is_copy() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(concat_cols(&[&a]), a);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = Matrix::from_rows(&[&[1.0]]);
+        let b = Matrix::from_rows(&[&[2.0]]);
+        let c = Matrix::from_rows(&[&[3.0]]);
+        let out = concat_cols(&[&a, &b, &c]);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows")]
+    fn concat_rejects_row_mismatch() {
+        let a = Matrix::zeros(1, 1);
+        let b = Matrix::zeros(2, 1);
+        let _ = concat_cols(&[&a, &b]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the dense kernels.
+
+use dlrm_tensor::{concat_cols, relu, Matrix};
+use proptest::prelude::*;
+
+/// Strategy producing an `r × c` matrix with bounded elements.
+fn matrix(r: usize, c: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-100.0f32..100.0, r * c)
+        .prop_map(move |data| Matrix::from_vec(r, c, data))
+}
+
+/// Strategy producing dimensions and a conforming (A, B) matmul pair.
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n)))
+}
+
+proptest! {
+    #[test]
+    fn matmul_left_identity((a, _b) in matmul_pair()) {
+        let mut id = Matrix::zeros(a.rows(), a.rows());
+        for i in 0..a.rows() {
+            id.set(i, i, 1.0);
+        }
+        prop_assert!(id.matmul(&a).approx_eq(&a, 1e-5));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        (m, k, n) in (1usize..5, 1usize..5, 1usize..5),
+        seed in 0u64..1000,
+    ) {
+        // Build A, B1, B2 deterministically from seed to keep shapes conforming.
+        let gen = |salt: u64, r: usize, c: usize| {
+            let mut s = seed.wrapping_mul(31).wrapping_add(salt);
+            let mut data = Vec::with_capacity(r * c);
+            for _ in 0..r * c {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                data.push(((s >> 33) as f32 / u32::MAX as f32) * 4.0 - 2.0);
+            }
+            Matrix::from_vec(r, c, data)
+        };
+        let a = gen(1, m, k);
+        let b1 = gen(2, k, n);
+        let mut b2 = gen(3, k, n);
+        let lhs = {
+            b2.add_assign(&b1);
+            a.matmul(&b2)
+        };
+        let mut rhs = a.matmul(&b1);
+        let b2_only = {
+            let mut t = b2.clone();
+            // b2 currently holds b1+b2'; recover b2' by subtracting b1.
+            for (x, &y) in t.as_mut_slice().iter_mut().zip(b1.as_slice()) {
+                *x -= y;
+            }
+            t
+        };
+        rhs.add_assign(&a.matmul(&b2_only));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3), "max diff {}", lhs.max_abs_diff(&rhs));
+    }
+
+    #[test]
+    fn transpose_swaps_matmul_order((a, b) in matmul_pair()) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn matmul_transb_agrees_with_explicit_transpose((a, b) in matmul_pair()) {
+        let bt = b.transpose(); // bt has shape n×k, same cols as a when k matches
+        let via_transb = a.matmul_transb(&bt);
+        let direct = a.matmul(&b);
+        prop_assert!(via_transb.approx_eq(&direct, 1e-4));
+    }
+
+    #[test]
+    fn relu_is_idempotent(m in matrix(3, 4)) {
+        let once = relu(&m);
+        let twice = relu(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn relu_output_nonnegative(m in matrix(4, 3)) {
+        prop_assert!(relu(&m).as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn concat_preserves_total_width(a in matrix(2, 3), b in matrix(2, 5)) {
+        let c = concat_cols(&[&a, &b]);
+        prop_assert_eq!(c.rows(), 2);
+        prop_assert_eq!(c.cols(), 8);
+        // Left block equals a, right block equals b.
+        for r in 0..2 {
+            prop_assert_eq!(&c.row(r)[..3], a.row(r));
+            prop_assert_eq!(&c.row(r)[3..], b.row(r));
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! Post-processing: latency stacks, embedded-portion breakdowns, CPU
+//! stacks.
+
+use crate::collect::TraceCollector;
+use crate::span::{RpcId, Span, SpanKind, TraceId};
+
+/// Main-shard latency attribution of one request (Fig. 8a).
+///
+/// Components are wall-clock *interval unions* on the main server, so
+/// overlapping parallel work (async RPCs, parallel batches) is not
+/// double-counted within a component.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStack {
+    /// All non-SLS ML operator time.
+    pub dense_ops: f64,
+    /// The embedded portion: SLS execution (singular) or time with
+    /// sparse-shard responses outstanding (distributed).
+    pub embedded_portion: f64,
+    /// All serialization/deserialization on the main shard (request,
+    /// response, and per-RPC).
+    pub rpc_serde: f64,
+    /// Main-shard RPC service boilerplate.
+    pub rpc_service: f64,
+    /// Net time not spent executing operators (async scheduling,
+    /// bookkeeping).
+    pub net_overhead: f64,
+}
+
+impl LatencyStack {
+    /// Sum of all components.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.dense_ops + self.embedded_portion + self.rpc_serde + self.rpc_service
+            + self.net_overhead
+    }
+}
+
+/// Breakdown of the embedded portion at the *bounding* (slowest)
+/// sparse shard (Fig. 8b).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EmbeddedStack {
+    /// Network + in-kernel packet time, derived as
+    /// `outstanding@main − E2E@shard` — a duration difference, immune to
+    /// clock skew (§IV-B).
+    pub network: f64,
+    /// SLS operator execution at the shard (or on main when singular).
+    pub sparse_ops: f64,
+    /// Shard-side request/response (de)serialization.
+    pub rpc_serde: f64,
+    /// Shard-side service boilerplate.
+    pub rpc_service: f64,
+    /// Shard-side net scheduling remainder.
+    pub net_overhead: f64,
+}
+
+impl EmbeddedStack {
+    /// Sum of all components.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.network + self.sparse_ops + self.rpc_serde + self.rpc_service + self.net_overhead
+    }
+}
+
+/// Aggregate CPU-time attribution of one request across *all* servers
+/// (Fig. 9): the sum of core-occupying span durations by layer.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CpuStack {
+    /// Dense operator compute.
+    pub dense_ops: f64,
+    /// SLS compute (wherever it ran).
+    pub sparse_ops: f64,
+    /// All serialization/deserialization, both sides.
+    pub rpc_serde: f64,
+    /// Service boilerplate, both sides.
+    pub rpc_service: f64,
+    /// Net scheduling/bookkeeping.
+    pub net_overhead: f64,
+}
+
+impl CpuStack {
+    /// Sum of all components.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.dense_ops + self.sparse_ops + self.rpc_serde + self.rpc_service + self.net_overhead
+    }
+}
+
+/// Length of the union of `intervals` (start, end pairs).
+fn union_length(mut intervals: Vec<(f64, f64)>) -> f64 {
+    if intervals.is_empty() {
+        return 0.0;
+    }
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = 0.0;
+    let (mut lo, mut hi) = intervals[0];
+    for &(s, e) in &intervals[1..] {
+        if s > hi {
+            total += hi - lo;
+            lo = s;
+            hi = e;
+        } else {
+            hi = hi.max(e);
+        }
+    }
+    total + (hi - lo)
+}
+
+/// Analysis facade over a collected trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceAnalysis<'a> {
+    collector: &'a TraceCollector,
+}
+
+impl<'a> TraceAnalysis<'a> {
+    /// Wraps a collector for analysis.
+    #[must_use]
+    pub fn new(collector: &'a TraceCollector) -> Self {
+        Self { collector }
+    }
+
+    fn spans_of(&self, trace: TraceId) -> impl Iterator<Item = &'a Span> {
+        self.collector.of_trace(trace)
+    }
+
+    /// End-to-end latency of one request (its `RequestE2E` span).
+    #[must_use]
+    pub fn e2e_latency(&self, trace: TraceId) -> Option<f64> {
+        self.spans_of(trace)
+            .find(|s| matches!(s.kind, SpanKind::RequestE2E))
+            .map(|s| s.duration)
+    }
+
+    /// Aggregate CPU time of one request across all servers.
+    #[must_use]
+    pub fn cpu_time(&self, trace: TraceId) -> f64 {
+        self.spans_of(trace).filter(|s| s.cpu).map(|s| s.duration).sum()
+    }
+
+    /// Fig. 8a: the main-shard latency stack of one request.
+    #[must_use]
+    pub fn latency_stack(&self, trace: TraceId) -> LatencyStack {
+        let mut dense = Vec::new();
+        let mut embedded = Vec::new();
+        let mut serde = Vec::new();
+        let mut service = Vec::new();
+        let mut overhead = Vec::new();
+        for s in self.spans_of(trace).filter(|s| s.server.is_main()) {
+            let iv = (s.start, s.end());
+            match s.kind {
+                SpanKind::DenseOp => dense.push(iv),
+                SpanKind::SparseOp(_) | SpanKind::RpcOutstanding(_) => embedded.push(iv),
+                SpanKind::RequestDeser
+                | SpanKind::ResponseSer
+                | SpanKind::RpcSerialize(_)
+                | SpanKind::RpcDeserialize(_) => serde.push(iv),
+                SpanKind::MainService => service.push(iv),
+                SpanKind::NetOverhead => overhead.push(iv),
+                _ => {}
+            }
+        }
+        LatencyStack {
+            dense_ops: union_length(dense),
+            embedded_portion: union_length(embedded),
+            rpc_serde: union_length(serde),
+            rpc_service: union_length(service),
+            net_overhead: union_length(overhead),
+        }
+    }
+
+    /// Fig. 8b: the embedded-portion breakdown at the bounding shard —
+    /// "the slowest asynchronous sparse shard request, per main shard
+    /// request, is used for latency breakdown" (§IV-B).
+    ///
+    /// For singular traces (no RPCs) the stack is pure SLS time.
+    #[must_use]
+    pub fn embedded_stack(&self, trace: TraceId) -> EmbeddedStack {
+        // Find the slowest outstanding RPC on the main shard.
+        let bounding: Option<(RpcId, f64)> = self
+            .spans_of(trace)
+            .filter(|s| s.server.is_main())
+            .filter_map(|s| match s.kind {
+                SpanKind::RpcOutstanding(r) => Some((r, s.duration)),
+                _ => None,
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+
+        let Some((rpc, outstanding)) = bounding else {
+            // Singular: the embedded portion is local SLS execution.
+            let sls = union_length(
+                self.spans_of(trace)
+                    .filter(|s| s.server.is_main())
+                    .filter(|s| matches!(s.kind, SpanKind::SparseOp(_)))
+                    .map(|s| (s.start, s.end()))
+                    .collect(),
+            );
+            return EmbeddedStack {
+                sparse_ops: sls,
+                ..EmbeddedStack::default()
+            };
+        };
+
+        let mut shard_e2e = 0.0;
+        let mut sls = 0.0;
+        let mut serde = 0.0;
+        let mut service = 0.0;
+        for s in self.spans_of(trace) {
+            match s.kind {
+                SpanKind::ShardE2E(r) if r == rpc => shard_e2e += s.duration,
+                SpanKind::SparseOp(Some(r)) if r == rpc => sls += s.duration,
+                SpanKind::ShardDeser(r) | SpanKind::ShardSer(r) if r == rpc => {
+                    serde += s.duration;
+                }
+                SpanKind::ShardService(r) if r == rpc => service += s.duration,
+                _ => {}
+            }
+        }
+        EmbeddedStack {
+            network: (outstanding - shard_e2e).max(0.0),
+            sparse_ops: sls,
+            rpc_serde: serde,
+            rpc_service: service,
+            net_overhead: (shard_e2e - sls - serde - service).max(0.0),
+        }
+    }
+
+    /// Fig. 9: the aggregate CPU stack of one request across all
+    /// servers.
+    #[must_use]
+    pub fn cpu_stack(&self, trace: TraceId) -> CpuStack {
+        let mut out = CpuStack::default();
+        for s in self.spans_of(trace).filter(|s| s.cpu) {
+            match s.kind {
+                SpanKind::DenseOp => out.dense_ops += s.duration,
+                SpanKind::SparseOp(_) => out.sparse_ops += s.duration,
+                SpanKind::RequestDeser
+                | SpanKind::ResponseSer
+                | SpanKind::RpcSerialize(_)
+                | SpanKind::RpcDeserialize(_)
+                | SpanKind::ShardDeser(_)
+                | SpanKind::ShardSer(_) => out.rpc_serde += s.duration,
+                SpanKind::MainService | SpanKind::ShardService(_) => {
+                    out.rpc_service += s.duration;
+                }
+                SpanKind::NetOverhead => out.net_overhead += s.duration,
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Component-wise median latency stack across `traces` (the P50
+    /// bars of Fig. 8a).
+    #[must_use]
+    pub fn median_latency_stack(&self, traces: &[TraceId]) -> LatencyStack {
+        let stacks: Vec<LatencyStack> =
+            traces.iter().map(|&t| self.latency_stack(t)).collect();
+        LatencyStack {
+            dense_ops: median(stacks.iter().map(|s| s.dense_ops)),
+            embedded_portion: median(stacks.iter().map(|s| s.embedded_portion)),
+            rpc_serde: median(stacks.iter().map(|s| s.rpc_serde)),
+            rpc_service: median(stacks.iter().map(|s| s.rpc_service)),
+            net_overhead: median(stacks.iter().map(|s| s.net_overhead)),
+        }
+    }
+
+    /// Component-wise median embedded stack across `traces` (Fig. 8b).
+    #[must_use]
+    pub fn median_embedded_stack(&self, traces: &[TraceId]) -> EmbeddedStack {
+        let stacks: Vec<EmbeddedStack> =
+            traces.iter().map(|&t| self.embedded_stack(t)).collect();
+        EmbeddedStack {
+            network: median(stacks.iter().map(|s| s.network)),
+            sparse_ops: median(stacks.iter().map(|s| s.sparse_ops)),
+            rpc_serde: median(stacks.iter().map(|s| s.rpc_serde)),
+            rpc_service: median(stacks.iter().map(|s| s.rpc_service)),
+            net_overhead: median(stacks.iter().map(|s| s.net_overhead)),
+        }
+    }
+
+    /// Component-wise mean CPU stack across `traces` (Fig. 9 uses the
+    /// aggregate; mean preserves additivity with the total).
+    #[must_use]
+    pub fn mean_cpu_stack(&self, traces: &[TraceId]) -> CpuStack {
+        if traces.is_empty() {
+            return CpuStack::default();
+        }
+        let mut out = CpuStack::default();
+        for &t in traces {
+            let s = self.cpu_stack(t);
+            out.dense_ops += s.dense_ops;
+            out.sparse_ops += s.sparse_ops;
+            out.rpc_serde += s.rpc_serde;
+            out.rpc_service += s.rpc_service;
+            out.net_overhead += s.net_overhead;
+        }
+        let n = traces.len() as f64;
+        out.dense_ops /= n;
+        out.sparse_ops /= n;
+        out.rpc_serde /= n;
+        out.rpc_service /= n;
+        out.net_overhead /= n;
+        out
+    }
+
+    /// Per-shard total SLS operator latency across `traces` (the
+    /// per-shard operator latency figures, Figs. 10–12).
+    #[must_use]
+    pub fn per_server_sparse_op_time(&self, traces: &[TraceId]) -> Vec<(crate::ServerId, f64)> {
+        let mut by_server: std::collections::BTreeMap<crate::ServerId, f64> = Default::default();
+        for &t in traces {
+            for s in self.spans_of(t) {
+                if matches!(s.kind, SpanKind::SparseOp(_)) {
+                    *by_server.entry(s.server).or_insert(0.0) += s.duration;
+                }
+            }
+        }
+        by_server.into_iter().collect()
+    }
+}
+
+fn median(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    v[(v.len() - 1) / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{RpcId, ServerId};
+
+    fn mk(
+        trace: u64,
+        server: ServerId,
+        kind: SpanKind,
+        start: f64,
+        duration: f64,
+        cpu: bool,
+    ) -> Span {
+        Span {
+            trace: TraceId(trace),
+            server,
+            kind,
+            start,
+            duration,
+            cpu,
+        }
+    }
+
+    /// A hand-built distributed trace: 10ms E2E, 2ms dense, one RPC
+    /// outstanding 5ms whose shard spent 3ms (1 service, 0.5 deser,
+    /// 1 SLS, 0.5 ser) → network 2ms.
+    fn sample_collector() -> TraceCollector {
+        let r = RpcId(0);
+        let sh = ServerId::sparse(0);
+        let mut c = TraceCollector::new();
+        for s in [
+            mk(1, ServerId::MAIN, SpanKind::RequestE2E, 0.0, 10.0, false),
+            mk(1, ServerId::MAIN, SpanKind::RequestDeser, 0.0, 1.0, true),
+            mk(1, ServerId::MAIN, SpanKind::DenseOp, 1.0, 2.0, true),
+            mk(1, ServerId::MAIN, SpanKind::RpcSerialize(r), 3.0, 0.5, true),
+            mk(1, ServerId::MAIN, SpanKind::RpcOutstanding(r), 3.5, 5.0, false),
+            // Shard clock is skewed by +100ms; only durations matter.
+            mk(1, sh, SpanKind::ShardE2E(r), 104.5, 3.0, false),
+            mk(1, sh, SpanKind::ShardService(r), 104.5, 1.0, true),
+            mk(1, sh, SpanKind::ShardDeser(r), 105.5, 0.5, true),
+            mk(1, sh, SpanKind::SparseOp(Some(r)), 106.0, 1.0, true),
+            mk(1, sh, SpanKind::ShardSer(r), 107.0, 0.5, true),
+            mk(1, ServerId::MAIN, SpanKind::RpcDeserialize(r), 8.5, 0.5, true),
+            mk(1, ServerId::MAIN, SpanKind::DenseOp, 9.0, 1.0, true),
+        ] {
+            c.record(s);
+        }
+        c
+    }
+
+    #[test]
+    fn e2e_and_cpu_time() {
+        let c = sample_collector();
+        let a = TraceAnalysis::new(&c);
+        assert_eq!(a.e2e_latency(TraceId(1)), Some(10.0));
+        // CPU = 1 + 2 + 0.5 + 1 + 0.5 + 1 + 0.5 + 0.5 + 1 = 8.0
+        assert!((a.cpu_time(TraceId(1)) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_stack_components() {
+        let c = sample_collector();
+        let a = TraceAnalysis::new(&c);
+        let s = a.latency_stack(TraceId(1));
+        assert_eq!(s.dense_ops, 3.0);
+        assert_eq!(s.embedded_portion, 5.0);
+        assert_eq!(s.rpc_serde, 2.0); // 1 + 0.5 + 0.5
+        assert_eq!(s.net_overhead, 0.0);
+    }
+
+    #[test]
+    fn embedded_stack_derives_network_despite_skew() {
+        let c = sample_collector();
+        let a = TraceAnalysis::new(&c);
+        let s = a.embedded_stack(TraceId(1));
+        // outstanding 5.0 − shard E2E 3.0 = 2.0, regardless of the
+        // +100ms shard clock offset.
+        assert!((s.network - 2.0).abs() < 1e-9);
+        assert_eq!(s.sparse_ops, 1.0);
+        assert_eq!(s.rpc_serde, 1.0);
+        assert_eq!(s.rpc_service, 1.0);
+        assert_eq!(s.net_overhead, 0.0);
+    }
+
+    #[test]
+    fn singular_embedded_stack_is_pure_sls() {
+        let mut c = TraceCollector::new();
+        c.record(mk(2, ServerId::MAIN, SpanKind::RequestE2E, 0.0, 5.0, false));
+        c.record(mk(2, ServerId::MAIN, SpanKind::SparseOp(None), 1.0, 2.0, true));
+        let a = TraceAnalysis::new(&c);
+        let s = a.embedded_stack(TraceId(2));
+        assert_eq!(s.sparse_ops, 2.0);
+        assert_eq!(s.network, 0.0);
+        assert_eq!(s.total(), 2.0);
+    }
+
+    #[test]
+    fn overlapping_intervals_not_double_counted() {
+        let mut c = TraceCollector::new();
+        // Two overlapping outstanding RPCs: 0–4 and 2–6 → union 6.
+        c.record(mk(3, ServerId::MAIN, SpanKind::RpcOutstanding(RpcId(0)), 0.0, 4.0, false));
+        c.record(mk(3, ServerId::MAIN, SpanKind::RpcOutstanding(RpcId(1)), 2.0, 4.0, false));
+        let a = TraceAnalysis::new(&c);
+        assert_eq!(a.latency_stack(TraceId(3)).embedded_portion, 6.0);
+    }
+
+    #[test]
+    fn bounding_shard_is_the_slowest() {
+        let mut c = TraceCollector::new();
+        let fast = RpcId(0);
+        let slow = RpcId(1);
+        c.record(mk(4, ServerId::MAIN, SpanKind::RpcOutstanding(fast), 0.0, 1.0, false));
+        c.record(mk(4, ServerId::MAIN, SpanKind::RpcOutstanding(slow), 0.0, 9.0, false));
+        c.record(mk(4, ServerId::sparse(0), SpanKind::ShardE2E(fast), 0.0, 0.5, false));
+        c.record(mk(4, ServerId::sparse(1), SpanKind::ShardE2E(slow), 0.0, 7.0, false));
+        c.record(mk(4, ServerId::sparse(1), SpanKind::SparseOp(Some(slow)), 0.0, 7.0, true));
+        let a = TraceAnalysis::new(&c);
+        let s = a.embedded_stack(TraceId(4));
+        assert_eq!(s.sparse_ops, 7.0);
+        assert_eq!(s.network, 2.0);
+    }
+
+    #[test]
+    fn cpu_stack_classification() {
+        let c = sample_collector();
+        let a = TraceAnalysis::new(&c);
+        let s = a.cpu_stack(TraceId(1));
+        assert_eq!(s.dense_ops, 3.0);
+        assert_eq!(s.sparse_ops, 1.0);
+        assert_eq!(s.rpc_serde, 3.0); // main: 1+0.5+0.5, shard: 0.5+0.5
+        assert_eq!(s.rpc_service, 1.0);
+        assert!((s.total() - a.cpu_time(TraceId(1))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_aggregation() {
+        let mut c = TraceCollector::new();
+        for (t, d) in [(1u64, 1.0f64), (2, 3.0), (3, 100.0)] {
+            c.record(mk(t, ServerId::MAIN, SpanKind::DenseOp, 0.0, d, true));
+        }
+        let a = TraceAnalysis::new(&c);
+        let ids: Vec<TraceId> = [1, 2, 3].map(TraceId).to_vec();
+        assert_eq!(a.median_latency_stack(&ids).dense_ops, 3.0);
+    }
+
+    #[test]
+    fn per_server_sparse_time() {
+        let c = sample_collector();
+        let a = TraceAnalysis::new(&c);
+        let per = a.per_server_sparse_op_time(&[TraceId(1)]);
+        assert_eq!(per, vec![(ServerId::sparse(0), 1.0)]);
+    }
+
+    #[test]
+    fn union_length_edge_cases() {
+        assert_eq!(union_length(vec![]), 0.0);
+        assert_eq!(union_length(vec![(1.0, 2.0)]), 1.0);
+        assert_eq!(union_length(vec![(0.0, 1.0), (1.0, 2.0)]), 2.0);
+        assert_eq!(union_length(vec![(0.0, 5.0), (1.0, 2.0)]), 5.0);
+        assert_eq!(union_length(vec![(3.0, 4.0), (0.0, 1.0)]), 2.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Span collection.
+
+use crate::span::{Span, TraceId};
+
+/// Append-only span buffer for one experiment run.
+///
+/// The production system logs trace points "to a lock-free buffer and
+/// then asynchronously flushed to disk" (§IV-A); the simulator is
+/// single-threaded, so an in-memory buffer with the same append-only
+/// discipline suffices. Collection can be disabled to measure the
+/// no-instrumentation configuration.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_trace::{Span, SpanKind, ServerId, TraceCollector, TraceId};
+///
+/// let mut c = TraceCollector::new();
+/// c.record(Span {
+///     trace: TraceId(0),
+///     server: ServerId::MAIN,
+///     kind: SpanKind::RequestE2E,
+///     start: 0.0,
+///     duration: 10.0,
+///     cpu: false,
+/// });
+/// assert_eq!(c.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceCollector {
+    spans: Vec<Span>,
+    disabled: bool,
+}
+
+impl TraceCollector {
+    /// Creates an enabled collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a collector that drops every span (for overhead-free
+    /// runs).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            spans: Vec::new(),
+            disabled: true,
+        }
+    }
+
+    /// Whether spans are being kept.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !self.disabled
+    }
+
+    /// Records one span (no-op when disabled).
+    pub fn record(&mut self, span: Span) {
+        if !self.disabled {
+            self.spans.push(span);
+        }
+    }
+
+    /// Number of spans collected.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no spans have been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// All spans, in record order.
+    #[must_use]
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans belonging to one request.
+    pub fn of_trace(&self, trace: TraceId) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.trace == trace)
+    }
+
+    /// Distinct trace ids, in first-seen order.
+    #[must_use]
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for s in &self.spans {
+            if seen.insert(s.trace) {
+                out.push(s.trace);
+            }
+        }
+        out
+    }
+
+    /// Discards all collected spans (reuse between experiment runs).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{ServerId, SpanKind};
+
+    fn span(trace: u64, dur: f64) -> Span {
+        Span {
+            trace: TraceId(trace),
+            server: ServerId::MAIN,
+            kind: SpanKind::DenseOp,
+            start: 0.0,
+            duration: dur,
+            cpu: true,
+        }
+    }
+
+    #[test]
+    fn records_and_filters_by_trace() {
+        let mut c = TraceCollector::new();
+        c.record(span(1, 1.0));
+        c.record(span(2, 2.0));
+        c.record(span(1, 3.0));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.of_trace(TraceId(1)).count(), 2);
+        assert_eq!(c.trace_ids(), vec![TraceId(1), TraceId(2)]);
+    }
+
+    #[test]
+    fn disabled_collector_drops_everything() {
+        let mut c = TraceCollector::disabled();
+        c.record(span(1, 1.0));
+        assert!(c.is_empty());
+        assert!(!c.is_enabled());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = TraceCollector::new();
+        c.record(span(1, 1.0));
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.is_enabled());
+    }
+}

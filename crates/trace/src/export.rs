@@ -1,0 +1,323 @@
+//! Offline trace export/import.
+//!
+//! "The trace points are then collected and post-processed offline for
+//! overhead analysis and to reconstruct a visualization of events"
+//! (§IV-A). This module is the collection boundary: spans serialize to
+//! JSON-lines (one span per line — the format log shippers and offline
+//! analyzers consume) and parse back losslessly, so a simulation run on
+//! one machine can be attributed on another.
+
+use crate::span::{RpcId, ServerId, Span, SpanKind, TraceId};
+use crate::TraceCollector;
+
+/// Errors from parsing an exported trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn kind_fields(kind: &SpanKind) -> (&'static str, Option<u64>) {
+    match kind {
+        SpanKind::RequestE2E => ("request_e2e", None),
+        SpanKind::RequestDeser => ("request_deser", None),
+        SpanKind::ResponseSer => ("response_ser", None),
+        SpanKind::DenseOp => ("dense_op", None),
+        SpanKind::NetOverhead => ("net_overhead", None),
+        SpanKind::MainService => ("main_service", None),
+        SpanKind::SparseOp(rpc) => ("sparse_op", rpc.map(|r| r.0)),
+        SpanKind::RpcSerialize(r) => ("rpc_serialize", Some(r.0)),
+        SpanKind::RpcOutstanding(r) => ("rpc_outstanding", Some(r.0)),
+        SpanKind::RpcDeserialize(r) => ("rpc_deserialize", Some(r.0)),
+        SpanKind::ShardE2E(r) => ("shard_e2e", Some(r.0)),
+        SpanKind::ShardService(r) => ("shard_service", Some(r.0)),
+        SpanKind::ShardDeser(r) => ("shard_deser", Some(r.0)),
+        SpanKind::ShardSer(r) => ("shard_ser", Some(r.0)),
+    }
+}
+
+fn kind_from_fields(
+    name: &str,
+    rpc: Option<u64>,
+    line: usize,
+) -> Result<SpanKind, ParseTraceError> {
+    let need = |line: usize| {
+        rpc.map(RpcId).ok_or(ParseTraceError {
+            line,
+            message: format!("kind {name:?} requires an rpc id"),
+        })
+    };
+    Ok(match name {
+        "request_e2e" => SpanKind::RequestE2E,
+        "request_deser" => SpanKind::RequestDeser,
+        "response_ser" => SpanKind::ResponseSer,
+        "dense_op" => SpanKind::DenseOp,
+        "net_overhead" => SpanKind::NetOverhead,
+        "main_service" => SpanKind::MainService,
+        "sparse_op" => SpanKind::SparseOp(rpc.map(RpcId)),
+        "rpc_serialize" => SpanKind::RpcSerialize(need(line)?),
+        "rpc_outstanding" => SpanKind::RpcOutstanding(need(line)?),
+        "rpc_deserialize" => SpanKind::RpcDeserialize(need(line)?),
+        "shard_e2e" => SpanKind::ShardE2E(need(line)?),
+        "shard_service" => SpanKind::ShardService(need(line)?),
+        "shard_deser" => SpanKind::ShardDeser(need(line)?),
+        "shard_ser" => SpanKind::ShardSer(need(line)?),
+        other => {
+            return Err(ParseTraceError {
+                line,
+                message: format!("unknown span kind {other:?}"),
+            })
+        }
+    })
+}
+
+/// Serializes every collected span as JSON lines.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_trace::{export, Span, SpanKind, ServerId, TraceCollector, TraceId};
+///
+/// let mut c = TraceCollector::new();
+/// c.record(Span {
+///     trace: TraceId(1),
+///     server: ServerId::MAIN,
+///     kind: SpanKind::DenseOp,
+///     start: 0.5,
+///     duration: 2.0,
+///     cpu: true,
+/// });
+/// let text = export::to_jsonl(&c);
+/// let back = export::from_jsonl(&text)?;
+/// assert_eq!(back.spans(), c.spans());
+/// # Ok::<(), dlrm_trace::export::ParseTraceError>(())
+/// ```
+#[must_use]
+pub fn to_jsonl(collector: &TraceCollector) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for s in collector.spans() {
+        let (kind, rpc) = kind_fields(&s.kind);
+        let _ = write!(
+            out,
+            "{{\"trace\":{},\"server\":{},\"kind\":\"{kind}\"",
+            s.trace.0, s.server.0
+        );
+        if let Some(r) = rpc {
+            let _ = write!(out, ",\"rpc\":{r}");
+        }
+        // f64 Display round-trips exactly in Rust.
+        let _ = writeln!(
+            out,
+            ",\"start\":{},\"duration\":{},\"cpu\":{}}}",
+            s.start, s.duration, s.cpu
+        );
+    }
+    out
+}
+
+/// Parses JSON-lines spans back into a collector.
+///
+/// The parser accepts exactly the subset [`to_jsonl`] emits (flat
+/// objects, no nesting or escapes) — the usual contract for log-line
+/// formats.
+///
+/// # Errors
+///
+/// [`ParseTraceError`] naming the offending line.
+pub fn from_jsonl(text: &str) -> Result<TraceCollector, ParseTraceError> {
+    let mut collector = TraceCollector::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let bad = |message: String| ParseTraceError { line, message };
+        let inner = trimmed
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| bad("not a JSON object".into()))?;
+
+        let mut trace = None;
+        let mut server = None;
+        let mut kind_name: Option<String> = None;
+        let mut rpc = None;
+        let mut start = None;
+        let mut duration = None;
+        let mut cpu = None;
+        for field in inner.split(',') {
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| bad(format!("bad field {field:?}")))?;
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            match key {
+                "trace" => {
+                    trace = Some(TraceId(value.parse().map_err(|_| {
+                        bad(format!("bad trace id {value:?}"))
+                    })?));
+                }
+                "server" => {
+                    server = Some(ServerId(value.parse().map_err(|_| {
+                        bad(format!("bad server id {value:?}"))
+                    })?));
+                }
+                "kind" => kind_name = Some(value.trim_matches('"').to_string()),
+                "rpc" => {
+                    rpc = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| bad(format!("bad rpc id {value:?}")))?,
+                    );
+                }
+                "start" => {
+                    start = Some(
+                        value
+                            .parse::<f64>()
+                            .map_err(|_| bad(format!("bad start {value:?}")))?,
+                    );
+                }
+                "duration" => {
+                    duration = Some(
+                        value
+                            .parse::<f64>()
+                            .map_err(|_| bad(format!("bad duration {value:?}")))?,
+                    );
+                }
+                "cpu" => {
+                    cpu = Some(match value {
+                        "true" => true,
+                        "false" => false,
+                        other => return Err(bad(format!("bad cpu flag {other:?}"))),
+                    });
+                }
+                other => return Err(bad(format!("unknown field {other:?}"))),
+            }
+        }
+        let kind_name = kind_name.ok_or_else(|| bad("missing kind".into()))?;
+        collector.record(Span {
+            trace: trace.ok_or_else(|| bad("missing trace".into()))?,
+            server: server.ok_or_else(|| bad("missing server".into()))?,
+            kind: kind_from_fields(&kind_name, rpc, line)?,
+            start: start.ok_or_else(|| bad("missing start".into()))?,
+            duration: duration.ok_or_else(|| bad("missing duration".into()))?,
+            cpu: cpu.ok_or_else(|| bad("missing cpu".into()))?,
+        });
+    }
+    Ok(collector)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceCollector {
+        let mut c = TraceCollector::new();
+        let spans = [
+            Span {
+                trace: TraceId(0),
+                server: ServerId::MAIN,
+                kind: SpanKind::RequestE2E,
+                start: 0.0,
+                duration: 10.125,
+                cpu: false,
+            },
+            Span {
+                trace: TraceId(0),
+                server: ServerId::sparse(2),
+                kind: SpanKind::ShardE2E(RpcId(7)),
+                start: 103.5,
+                duration: 3.0625,
+                cpu: false,
+            },
+            Span {
+                trace: TraceId(1),
+                server: ServerId::MAIN,
+                kind: SpanKind::SparseOp(None),
+                start: 1.0,
+                duration: 0.001_953_125,
+                cpu: true,
+            },
+            Span {
+                trace: TraceId(1),
+                server: ServerId::sparse(0),
+                kind: SpanKind::SparseOp(Some(RpcId(9))),
+                start: 2.0,
+                duration: 0.25,
+                cpu: true,
+            },
+        ];
+        for s in spans {
+            c.record(s);
+        }
+        c
+    }
+
+    #[test]
+    fn round_trips_every_kind_variant() {
+        let c = sample();
+        let back = from_jsonl(&to_jsonl(&c)).unwrap();
+        assert_eq!(back.spans(), c.spans());
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let mut c = TraceCollector::new();
+        c.record(Span {
+            trace: TraceId(3),
+            server: ServerId::MAIN,
+            kind: SpanKind::DenseOp,
+            start: 0.1 + 0.2, // famously not 0.3
+            duration: std::f64::consts::PI,
+            cpu: true,
+        });
+        let back = from_jsonl(&to_jsonl(&c)).unwrap();
+        assert_eq!(back.spans()[0].start, 0.1 + 0.2);
+        assert_eq!(back.spans()[0].duration, std::f64::consts::PI);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let good = to_jsonl(&sample());
+        let broken = good.replace("\"cpu\":true", "\"cpu\":maybe");
+        let err = from_jsonl(&broken).unwrap_err();
+        assert!(err.message.contains("cpu"), "{err}");
+        assert!(err.line >= 1);
+    }
+
+    #[test]
+    fn missing_rpc_for_rpc_kind_is_an_error() {
+        let text = "{\"trace\":0,\"server\":0,\"kind\":\"shard_e2e\",\"start\":0,\"duration\":1,\"cpu\":false}\n";
+        let err = from_jsonl(text).unwrap_err();
+        assert!(err.message.contains("rpc id"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let c = sample();
+        let text = format!("\n{}\n\n", to_jsonl(&c));
+        assert_eq!(from_jsonl(&text).unwrap().len(), c.len());
+    }
+
+    #[test]
+    fn analysis_works_on_reimported_traces() {
+        use crate::analyze::TraceAnalysis;
+        let c = sample();
+        let back = from_jsonl(&to_jsonl(&c)).unwrap();
+        let a = TraceAnalysis::new(&c);
+        let b = TraceAnalysis::new(&back);
+        assert_eq!(a.e2e_latency(TraceId(0)), b.e2e_latency(TraceId(0)));
+        assert_eq!(a.cpu_time(TraceId(1)), b.cpu_time(TraceId(1)));
+    }
+}

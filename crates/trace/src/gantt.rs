@@ -1,0 +1,185 @@
+//! Text rendering of one request's distributed trace (Fig. 3).
+
+use crate::analyze::TraceAnalysis;
+use crate::collect::TraceCollector;
+use crate::span::{ServerId, Span, SpanKind, TraceId};
+use std::collections::BTreeMap;
+
+/// Renders the Fig. 3-style trace of one request: one row per span,
+/// grouped by server (main shard first), bars proportional to duration.
+///
+/// Because server clocks are skewed, each sparse shard's spans are
+/// re-anchored to the main-shard timeline using its matching
+/// `RpcOutstanding` span (the renderer centers the shard's E2E inside
+/// the outstanding window — the skew-free placement).
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_trace::{gantt, Span, SpanKind, ServerId, TraceCollector, TraceId};
+///
+/// let mut c = TraceCollector::new();
+/// c.record(Span {
+///     trace: TraceId(7),
+///     server: ServerId::MAIN,
+///     kind: SpanKind::RequestE2E,
+///     start: 0.0,
+///     duration: 4.0,
+///     cpu: false,
+/// });
+/// let text = gantt::render(&c, TraceId(7), 40);
+/// assert!(text.contains("main"));
+/// ```
+#[must_use]
+pub fn render(collector: &TraceCollector, trace: TraceId, width: usize) -> String {
+    let width = width.max(20);
+    let spans: Vec<&Span> = collector.of_trace(trace).collect();
+    if spans.is_empty() {
+        return format!("(no spans for trace {})\n", trace.0);
+    }
+    let analysis = TraceAnalysis::new(collector);
+    let e2e = analysis.e2e_latency(trace).unwrap_or_else(|| {
+        spans
+            .iter()
+            .map(|s| s.duration)
+            .fold(0.0, f64::max)
+    });
+    if e2e <= 0.0 {
+        return format!("(empty trace {})\n", trace.0);
+    }
+
+    // Map each shard's local clock onto the main timeline: align the
+    // shard E2E span's midpoint with the matching outstanding span's
+    // midpoint.
+    let mut shard_offset: BTreeMap<ServerId, f64> = BTreeMap::new();
+    for s in &spans {
+        if let SpanKind::ShardE2E(rpc) = s.kind {
+            if let Some(out) = spans.iter().find(|o| {
+                o.server.is_main() && matches!(o.kind, SpanKind::RpcOutstanding(r) if r == rpc)
+            }) {
+                let out_mid = out.start + out.duration / 2.0;
+                let shard_mid = s.start + s.duration / 2.0;
+                shard_offset.entry(s.server).or_insert(out_mid - shard_mid);
+            }
+        }
+    }
+
+    let origin = spans
+        .iter()
+        .filter(|s| s.server.is_main())
+        .map(|s| s.start)
+        .fold(f64::INFINITY, f64::min);
+    let scale = width as f64 / e2e;
+
+    let mut by_server: BTreeMap<ServerId, Vec<&Span>> = BTreeMap::new();
+    for s in &spans {
+        by_server.entry(s.server).or_default().push(s);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace {} — e2e {:.3} ms (1 col ≈ {:.3} ms)\n",
+        trace.0,
+        e2e,
+        1.0 / scale
+    ));
+    for (server, server_spans) in by_server {
+        out.push_str(&format!("[{server}]\n"));
+        let offset = shard_offset.get(&server).copied().unwrap_or(0.0);
+        let mut ordered = server_spans;
+        ordered.sort_by(|a, b| a.start.total_cmp(&b.start));
+        for s in ordered {
+            let rel = (s.start + offset - origin).max(0.0);
+            let col = ((rel * scale).round() as usize).min(width);
+            let len = ((s.duration * scale).round() as usize).clamp(1, width - col.min(width - 1));
+            let bar: String = " ".repeat(col) + &"█".repeat(len);
+            out.push_str(&format!(
+                "  {bar:<w$} {kind:<20} {dur:>9.3} ms\n",
+                w = width,
+                kind = kind_label(&s.kind),
+                dur = s.duration,
+            ));
+        }
+    }
+    out
+}
+
+fn kind_label(kind: &SpanKind) -> String {
+    match kind {
+        SpanKind::RequestE2E => "request e2e".into(),
+        SpanKind::RequestDeser => "request deser".into(),
+        SpanKind::ResponseSer => "response ser".into(),
+        SpanKind::DenseOp => "dense ops".into(),
+        SpanKind::NetOverhead => "net overhead".into(),
+        SpanKind::MainService => "service".into(),
+        SpanKind::SparseOp(_) => "sls ops".into(),
+        SpanKind::RpcSerialize(r) => format!("rpc{} serialize", r.0),
+        SpanKind::RpcOutstanding(r) => format!("rpc{} outstanding", r.0),
+        SpanKind::RpcDeserialize(r) => format!("rpc{} deserialize", r.0),
+        SpanKind::ShardE2E(r) => format!("rpc{} shard e2e", r.0),
+        SpanKind::ShardService(r) => format!("rpc{} service", r.0),
+        SpanKind::ShardDeser(r) => format!("rpc{} deser", r.0),
+        SpanKind::ShardSer(r) => format!("rpc{} ser", r.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::RpcId;
+
+    fn span(server: ServerId, kind: SpanKind, start: f64, duration: f64) -> Span {
+        Span {
+            trace: TraceId(1),
+            server,
+            kind,
+            start,
+            duration,
+            cpu: false,
+        }
+    }
+
+    #[test]
+    fn renders_all_servers_and_spans() {
+        let mut c = TraceCollector::new();
+        let r = RpcId(0);
+        c.record(span(ServerId::MAIN, SpanKind::RequestE2E, 0.0, 10.0));
+        c.record(span(ServerId::MAIN, SpanKind::DenseOp, 0.0, 2.0));
+        c.record(span(ServerId::MAIN, SpanKind::RpcOutstanding(r), 2.0, 6.0));
+        // Shard clock offset by +50.
+        c.record(span(ServerId::sparse(0), SpanKind::ShardE2E(r), 52.0, 4.0));
+        let text = render(&c, TraceId(1), 60);
+        assert!(text.contains("[main]"));
+        assert!(text.contains("[sparse0]"));
+        assert!(text.contains("dense ops"));
+        assert!(text.contains("rpc0 outstanding"));
+        assert!(text.contains("rpc0 shard e2e"));
+        // Bars exist.
+        assert!(text.contains('█'));
+    }
+
+    #[test]
+    fn missing_trace_is_graceful() {
+        let c = TraceCollector::new();
+        let text = render(&c, TraceId(9), 40);
+        assert!(text.contains("no spans"));
+    }
+
+    #[test]
+    fn skewed_shard_bar_lands_inside_request_window() {
+        let mut c = TraceCollector::new();
+        let r = RpcId(0);
+        c.record(span(ServerId::MAIN, SpanKind::RequestE2E, 100.0, 10.0));
+        c.record(span(ServerId::MAIN, SpanKind::RpcOutstanding(r), 102.0, 6.0));
+        c.record(span(ServerId::sparse(0), SpanKind::ShardE2E(r), 9999.0, 4.0));
+        let text = render(&c, TraceId(1), 50);
+        // The shard row must not be pushed off the canvas: its bar
+        // should start before column 50.
+        let shard_line = text
+            .lines()
+            .find(|l| l.contains("shard e2e"))
+            .expect("shard line");
+        let first_bar = shard_line.find('█').expect("bar");
+        assert!(first_bar < 52, "bar starts at {first_bar}: {shard_line}");
+    }
+}

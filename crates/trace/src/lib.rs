@@ -1,0 +1,42 @@
+//! Cross-layer distributed tracing for inference serving.
+//!
+//! The paper's third contribution is "a cross-layer, distributed
+//! instrumentation framework for performance debugging and optimization
+//! analysis to quantify the performance overhead from RPC services and
+//! the machine learning framework" (§IV). This crate is that framework:
+//!
+//! - [`Span`]s tag every salient interval with a [`SpanKind`] (request
+//!   E2E, dense op, RPC serialize, shard-side service time, …), the
+//!   server that observed it, and whether it occupied a CPU core;
+//! - [`TraceCollector`] buffers spans append-only during a run (the
+//!   paper logs "to a lock-free buffer ... asynchronously flushed to
+//!   disk" — our simulator is single-threaded, so a Vec suffices while
+//!   preserving the same post-processing interface);
+//! - [`analyze`] reconstructs per-request latency stacks (Fig. 8),
+//!   embedded-portion breakdowns at the *bounding* (slowest) shard with
+//!   the clock-skew-safe network-latency derivation of §IV-B, and CPU
+//!   stacks (Fig. 9);
+//! - [`gantt`] renders one request as the text equivalent of the Fig. 3
+//!   trace visualization.
+//!
+//! Timestamps are *server-local*: the simulator (like real datacenters)
+//! gives every server a clock offset, so absolute cross-server
+//! comparisons are invalid. All derived quantities here use duration
+//! differences only, exactly as the paper's analysis does ("because the
+//! clocks on disparate servers will be skewed, network latency is
+//! measured as the difference between the outstanding request measured
+//! at the main shard and the end-to-end service latency measured at the
+//! sparse shard").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+mod collect;
+pub mod export;
+pub mod gantt;
+mod span;
+
+pub use analyze::{CpuStack, EmbeddedStack, LatencyStack, TraceAnalysis};
+pub use collect::TraceCollector;
+pub use span::{RpcId, ServerId, Span, SpanKind, TraceId};

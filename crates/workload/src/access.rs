@@ -1,0 +1,259 @@
+//! Embedding-table access traces and cache analysis.
+//!
+//! §IX points research at "trace-driven experimentation: Bandana used
+//! embedding table access traces — which can be collected offline — to
+//! reduce effective DRAM requirements ... explorations of table
+//! placement and frequency-based caching are also valuable directions".
+//! This module generates per-table row-access traces with realistic
+//! Zipfian skew and provides the offline analyses those explorations
+//! need: frequency profiles and LRU hit-rate curves (which also back the
+//! SSD-paging cost model's skew parameter empirically).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A stream of row accesses against one embedding table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessTrace {
+    rows: u64,
+    accesses: Vec<u64>,
+}
+
+impl AccessTrace {
+    /// Samples `n` accesses over a `rows`-row table from a Zipf(`s`)
+    /// popularity distribution with a seeded random row permutation
+    /// (hot rows are scattered across the index space, as hashing
+    /// scatters hot features).
+    ///
+    /// Uses the rejection-inversion-free approximate Zipf sampler:
+    /// inverse-CDF over the harmonic weights via the continuous
+    /// approximation, exact enough for cache studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero, `n` is zero, or `s` is not in `(0, 5]`.
+    #[must_use]
+    pub fn zipf(rows: u64, n: usize, s: f64, seed: u64) -> Self {
+        assert!(rows > 0, "table needs rows");
+        assert!(n > 0, "trace needs accesses");
+        assert!(s > 0.0 && s <= 5.0, "zipf exponent {s} out of range");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x00AC_CE55);
+        // Scatter ranks over the index space with a multiplicative
+        // permutation (odd multiplier is a bijection mod 2^k; use
+        // mod-rows mapping via a large odd co-prime-ish stride, falling
+        // back to identity for tiny tables).
+        let stride = 0x9E37_79B9_7F4A_7C15u64 | 1;
+        let scatter = |rank: u64| -> u64 {
+            if rows <= 2 {
+                rank % rows
+            } else {
+                (rank.wrapping_mul(stride)) % rows
+            }
+        };
+        let accesses = (0..n)
+            .map(|_| {
+                let rank = zipf_rank(&mut rng, rows, s);
+                scatter(rank)
+            })
+            .collect();
+        Self { rows, accesses }
+    }
+
+    /// Builds a trace from explicit accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any access is out of range.
+    #[must_use]
+    pub fn from_accesses(rows: u64, accesses: Vec<u64>) -> Self {
+        assert!(accesses.iter().all(|&a| a < rows), "access out of range");
+        Self { rows, accesses }
+    }
+
+    /// Number of accesses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// The accessed row ids, in order.
+    #[must_use]
+    pub fn accesses(&self) -> &[u64] {
+        &self.accesses
+    }
+
+    /// Number of distinct rows touched.
+    #[must_use]
+    pub fn unique_rows(&self) -> usize {
+        let mut seen: Vec<u64> = self.accesses.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Fraction of accesses captured by the `top_fraction` most popular
+    /// rows — the skew statistic behind frequency-based caching (and
+    /// the paging model's `skew_theta`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top_fraction` is outside `(0, 1]`.
+    #[must_use]
+    pub fn coverage_of_hottest(&self, top_fraction: f64) -> f64 {
+        assert!(
+            top_fraction > 0.0 && top_fraction <= 1.0,
+            "fraction {top_fraction} out of range"
+        );
+        let mut counts: std::collections::HashMap<u64, u64> = Default::default();
+        for &a in &self.accesses {
+            *counts.entry(a).or_insert(0) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.into_values().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let k = ((self.rows as f64 * top_fraction).ceil() as usize).max(1);
+        let covered: u64 = freqs.iter().take(k).sum();
+        covered as f64 / self.accesses.len() as f64
+    }
+
+    /// Simulated LRU hit rate with a cache of `capacity` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn lru_hit_rate(&self, capacity: usize) -> f64 {
+        assert!(capacity > 0, "cache needs capacity");
+        // Classic LRU with a hash map + monotone clock; eviction scans
+        // are avoided with a BTreeMap over last-use stamps.
+        let mut last_use: std::collections::HashMap<u64, u64> = Default::default();
+        let mut by_stamp: std::collections::BTreeMap<u64, u64> = Default::default();
+        let mut clock = 0u64;
+        let mut hits = 0usize;
+        for &row in &self.accesses {
+            clock += 1;
+            if let Some(&stamp) = last_use.get(&row) {
+                hits += 1;
+                by_stamp.remove(&stamp);
+            } else if last_use.len() >= capacity {
+                // Evict the least recently used row.
+                let (&oldest, &victim) = by_stamp.iter().next().expect("cache non-empty");
+                by_stamp.remove(&oldest);
+                last_use.remove(&victim);
+            }
+            last_use.insert(row, clock);
+            by_stamp.insert(clock, row);
+        }
+        hits as f64 / self.accesses.len() as f64
+    }
+
+    /// LRU hit rate at several cache sizes (the miss-ratio curve of
+    /// cache studies), as `(capacity, hit_rate)` pairs.
+    #[must_use]
+    pub fn lru_curve(&self, capacities: &[usize]) -> Vec<(usize, f64)> {
+        capacities
+            .iter()
+            .map(|&c| (c, self.lru_hit_rate(c)))
+            .collect()
+    }
+}
+
+/// Samples a 1-based Zipf rank over `n` items with exponent `s` via the
+/// continuous inverse-CDF approximation, returning a 0-based rank.
+fn zipf_rank(rng: &mut SmallRng, n: u64, s: f64) -> u64 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    let rank = if (s - 1.0).abs() < 1e-9 {
+        // H(x) ≈ ln(x): invert ln(x)/ln(n) = u.
+        (n as f64).powf(u)
+    } else {
+        // H(x) ≈ (x^(1-s) - 1)/(1-s): invert against H(n).
+        let one_minus_s = 1.0 - s;
+        let hn = ((n as f64).powf(one_minus_s) - 1.0) / one_minus_s;
+        (1.0 + u * hn * one_minus_s).powf(1.0 / one_minus_s)
+    };
+    (rank.floor() as u64).clamp(1, n) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_trace_is_skewed_and_in_range() {
+        let t = AccessTrace::zipf(10_000, 50_000, 1.0, 7);
+        assert!(t.accesses().iter().all(|&a| a < 10_000));
+        // Hot 1% of rows should cover far more than 1% of accesses.
+        let c = t.coverage_of_hottest(0.01);
+        assert!(c > 0.3, "coverage {c}");
+    }
+
+    #[test]
+    fn higher_exponent_means_more_skew() {
+        let mild = AccessTrace::zipf(10_000, 30_000, 0.6, 3);
+        let steep = AccessTrace::zipf(10_000, 30_000, 1.4, 3);
+        assert!(
+            steep.coverage_of_hottest(0.01) > mild.coverage_of_hottest(0.01) + 0.1
+        );
+    }
+
+    #[test]
+    fn lru_hit_rate_monotone_in_capacity() {
+        let t = AccessTrace::zipf(5_000, 20_000, 1.0, 11);
+        let curve = t.lru_curve(&[10, 100, 1000, 5000]);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "curve not monotone: {curve:?}");
+        }
+        // A cache holding every row hits on everything after cold
+        // misses.
+        let (_, full) = curve[curve.len() - 1];
+        let cold = t.unique_rows() as f64 / t.len() as f64;
+        assert!((full - (1.0 - cold)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_exact_on_a_hand_trace() {
+        // Accesses: a b a c a b, capacity 2.
+        let t = AccessTrace::from_accesses(3, vec![0, 1, 0, 2, 0, 1]);
+        // a miss, b miss, a hit, c miss (evict b), a hit, b miss.
+        assert!((t.lru_hit_rate(2) - 2.0 / 6.0).abs() < 1e-12);
+        // Capacity 3: a b a(c) hit...: misses a,b,c; hits a,a,b.
+        assert!((t.lru_hit_rate(3) - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(
+            AccessTrace::zipf(1000, 5000, 1.1, 42),
+            AccessTrace::zipf(1000, 5000, 1.1, 42)
+        );
+        assert_ne!(
+            AccessTrace::zipf(1000, 5000, 1.1, 42),
+            AccessTrace::zipf(1000, 5000, 1.1, 43)
+        );
+    }
+
+    #[test]
+    fn skewed_traffic_caches_better_than_uniform() {
+        // The Bandana observation: skew makes small caches effective.
+        let skewed = AccessTrace::zipf(50_000, 40_000, 1.2, 5);
+        let uniform = AccessTrace::zipf(50_000, 40_000, 0.1, 5);
+        let cap = 2_500; // 5% of rows
+        assert!(
+            skewed.lru_hit_rate(cap) > uniform.lru_hit_rate(cap) + 0.2,
+            "skewed {} vs uniform {}",
+            skewed.lru_hit_rate(cap),
+            uniform.lru_hit_rate(cap)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_accesses_validates() {
+        let _ = AccessTrace::from_accesses(2, vec![5]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic inference-request workloads.
+//!
+//! The paper replayed "a database of de-identified requests ... sampled
+//! evenly across a five-day time period in order to capture any diurnal
+//! behavior" (§V-B). This crate is the substitute: a seeded generator
+//! producing a replayable [`TraceDb`] of request *shapes* — candidate-item
+//! counts and per-table lookup counts — plus materialization of real
+//! index data for the executable engine, and the pooling-factor profiler
+//! the load-balanced sharding strategy depends on (§III-B2).
+//!
+//! Request shapes drive everything the characterization measures:
+//!
+//! - **items** (candidate items to rank) determine the number of batches
+//!   per request and the dense compute (the long tail of request sizes
+//!   is why "dense operators and RPC deserialization ... begin to
+//!   dominate" at P99, §VI-B4);
+//! - **per-table lookups** scale each table's `SparseLengthsSum` work and
+//!   the bytes shipped to sparse shards.
+//!
+//! # Examples
+//!
+//! ```
+//! use dlrm_workload::TraceDb;
+//!
+//! let spec = dlrm_model::rm::rm1();
+//! let db = TraceDb::generate(&spec, 100, 7);
+//! assert_eq!(db.len(), 100);
+//! let profile = db.pooling_profile(100);
+//! // The profile approximates the spec's pooling factors.
+//! assert!(profile.total() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+mod materialize;
+mod profile;
+mod tracedb;
+
+pub use access::AccessTrace;
+pub use materialize::{materialize_request, BatchInputs};
+pub use profile::PoolingProfile;
+pub use tracedb::{RequestShape, TraceDb, TraceDbConfig};

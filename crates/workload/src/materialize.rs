@@ -1,0 +1,196 @@
+//! Materializes request shapes into concrete batch inputs for the
+//! executable engine.
+
+use crate::RequestShape;
+use dlrm_model::graph::SparseInput;
+use dlrm_model::ModelSpec;
+use dlrm_tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Concrete inputs for one inference batch: dense features plus one
+/// sparse input per table (indexed by [`dlrm_model::TableId`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchInputs {
+    /// `batch × dense_features` feature matrix.
+    pub dense: Matrix,
+    /// One sparse input per table (all tables, both nets).
+    pub sparse: Vec<SparseInput>,
+}
+
+impl BatchInputs {
+    /// Batch size (items in this batch).
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.dense.rows()
+    }
+
+    /// Loads this batch's blobs into a workspace using the builder's
+    /// blob-naming convention.
+    pub fn load_into(&self, spec: &ModelSpec, ws: &mut dlrm_model::Workspace) {
+        use dlrm_model::builder::blobs;
+        ws.put(
+            blobs::DENSE_INPUT,
+            dlrm_model::Blob::Dense(self.dense.clone()),
+        );
+        for (t, s) in spec.tables.iter().zip(&self.sparse) {
+            ws.put(blobs::sparse_input(t), dlrm_model::Blob::Sparse(s.clone()));
+        }
+    }
+}
+
+/// Materializes `shape` into per-batch concrete inputs for `spec`.
+///
+/// The request's `items` split into `ceil(items / batch_size)` batches;
+/// each table's request-level lookup count is distributed as evenly as
+/// possible across items (remainder to the earliest items), then sliced
+/// per batch. Index values are uniform over the table's rows, seeded by
+/// `(seed, request id, table id)` so materialization is deterministic —
+/// the property that lets singular and sharded execution be compared
+/// bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `shape.table_lookups` does not cover `spec.tables` or
+/// `batch_size` is zero.
+#[must_use]
+pub fn materialize_request(
+    spec: &ModelSpec,
+    shape: &RequestShape,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<BatchInputs> {
+    assert!(batch_size > 0, "batch size must be non-zero");
+    assert_eq!(
+        shape.table_lookups.len(),
+        spec.tables.len(),
+        "request shape does not match model spec"
+    );
+    let items = shape.items as usize;
+    let n_batches = items.div_ceil(batch_size);
+
+    // Per-item lookup counts per table: L/items each, remainder to the
+    // first L % items items.
+    let per_item_counts: Vec<Vec<u32>> = spec
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(ti, _)| {
+            let l = shape.table_lookups[ti] as usize;
+            let base = (l / items) as u32;
+            let extra = l % items;
+            (0..items)
+                .map(|i| base + u32::from(i < extra))
+                .collect()
+        })
+        .collect();
+
+    let mut dense_rng = SmallRng::seed_from_u64(seed ^ shape.id.rotate_left(17));
+    let mut batches = Vec::with_capacity(n_batches);
+    for b in 0..n_batches {
+        let lo = b * batch_size;
+        let hi = (lo + batch_size).min(items);
+        let bsz = hi - lo;
+
+        let dense_data: Vec<f32> = (0..bsz * spec.dense_features)
+            .map(|_| dense_rng.random::<f32>() - 0.5)
+            .collect();
+        let dense = Matrix::from_vec(bsz, spec.dense_features, dense_data);
+
+        let sparse = spec
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(ti, table)| {
+                let lengths: Vec<u32> = per_item_counts[ti][lo..hi].to_vec();
+                let total: usize = lengths.iter().map(|&l| l as usize).sum();
+                // Seed per (request, table, batch) so each sparse stream
+                // is independent of how many other tables exist.
+                let mut rng = SmallRng::seed_from_u64(
+                    seed ^ shape.id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ ((ti as u64) << 32)
+                        ^ b as u64,
+                );
+                let indices: Vec<u64> =
+                    (0..total).map(|_| rng.random_range(0..table.rows)).collect();
+                SparseInput::new(indices, lengths)
+            })
+            .collect();
+
+        batches.push(BatchInputs { dense, sparse });
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceDb;
+    use dlrm_model::rm;
+
+    fn small_spec() -> ModelSpec {
+        rm::rm1().scaled_to_bytes(4 << 20)
+    }
+
+    #[test]
+    fn batches_cover_all_items_and_lookups() {
+        let spec = small_spec();
+        let db = TraceDb::generate(&spec, 5, 3);
+        let shape = db.get(2);
+        let batches = materialize_request(&spec, shape, 64, 9);
+        assert_eq!(batches.len(), shape.num_batches(64));
+        let total_items: usize = batches.iter().map(BatchInputs::batch_size).sum();
+        assert_eq!(total_items, shape.items as usize);
+        for (ti, _) in spec.tables.iter().enumerate() {
+            let total: usize = batches
+                .iter()
+                .map(|b| b.sparse[ti].num_lookups())
+                .sum();
+            assert_eq!(total, shape.table_lookups[ti] as usize, "table {ti}");
+        }
+    }
+
+    #[test]
+    fn materialization_is_deterministic() {
+        let spec = small_spec();
+        let db = TraceDb::generate(&spec, 3, 3);
+        let a = materialize_request(&spec, db.get(0), 32, 7);
+        let b = materialize_request(&spec, db.get(0), 32, 7);
+        assert_eq!(a, b);
+        let c = materialize_request(&spec, db.get(0), 32, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn indices_respect_table_bounds() {
+        let spec = small_spec();
+        let db = TraceDb::generate(&spec, 2, 5);
+        for batch in materialize_request(&spec, db.get(0), 16, 1) {
+            for (ti, s) in batch.sparse.iter().enumerate() {
+                let rows = spec.tables[ti].rows;
+                assert!(s.indices.iter().all(|&i| i < rows), "table {ti}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_batch_mode_produces_one_batch() {
+        let spec = small_spec();
+        let db = TraceDb::generate(&spec, 2, 5);
+        let shape = db.get(1);
+        let batches = materialize_request(&spec, shape, usize::MAX, 1);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].batch_size(), shape.items as usize);
+    }
+
+    #[test]
+    fn load_into_populates_all_blobs() {
+        let spec = small_spec();
+        let db = TraceDb::generate(&spec, 1, 5);
+        let batches = materialize_request(&spec, db.get(0), 64, 1);
+        let mut ws = dlrm_model::Workspace::new();
+        batches[0].load_into(&spec, &mut ws);
+        // dense + one sparse per table.
+        assert_eq!(ws.len(), 1 + spec.tables.len());
+    }
+}

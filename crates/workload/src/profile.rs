@@ -1,0 +1,116 @@
+//! Per-table pooling-factor profiles.
+
+use dlrm_model::TableId;
+
+/// Estimated mean lookups per request for every table — the profiling
+/// input to load-balanced sharding (§III-B2) and the "Estimated Pooling
+/// Factor" rows of Table II.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_workload::PoolingProfile;
+/// use dlrm_model::TableId;
+///
+/// let p = PoolingProfile::new(vec![10.0, 30.0]);
+/// assert_eq!(p.of(TableId(1)), 30.0);
+/// assert_eq!(p.total(), 40.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolingProfile {
+    per_table: Vec<f64>,
+}
+
+impl PoolingProfile {
+    /// Creates a profile from per-table means (indexed by [`TableId`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative or NaN.
+    #[must_use]
+    pub fn new(per_table: Vec<f64>) -> Self {
+        assert!(
+            per_table.iter().all(|v| *v >= 0.0 && !v.is_nan()),
+            "pooling factors must be non-negative"
+        );
+        Self { per_table }
+    }
+
+    /// A profile taken directly from a spec's declared pooling factors
+    /// (used when no trace is available — the paper instead profiles
+    /// from sampled requests).
+    #[must_use]
+    pub fn from_spec(spec: &dlrm_model::ModelSpec) -> Self {
+        Self::new(spec.tables.iter().map(|t| t.pooling_factor).collect())
+    }
+
+    /// Number of tables covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.per_table.len()
+    }
+
+    /// Whether the profile covers no tables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.per_table.is_empty()
+    }
+
+    /// The estimated pooling factor of one table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of range.
+    #[must_use]
+    pub fn of(&self, table: TableId) -> f64 {
+        self.per_table[table.0]
+    }
+
+    /// Sum across all tables (the 1-shard "Estimated Pooling Factor" of
+    /// Table II).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.per_table.iter().sum()
+    }
+
+    /// Sum across a subset of tables (a shard's estimated pooling
+    /// factor).
+    #[must_use]
+    pub fn total_of(&self, tables: &[TableId]) -> f64 {
+        tables.iter().map(|&t| self.of(t)).sum()
+    }
+
+    /// Raw per-table values.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.per_table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_model::rm;
+
+    #[test]
+    fn from_spec_mirrors_declared_factors() {
+        let spec = rm::rm3();
+        let p = PoolingProfile::from_spec(&spec);
+        assert_eq!(p.len(), spec.tables.len());
+        assert_eq!(p.of(TableId(0)), 1.0);
+        assert!((p.total() - spec.total_pooling_factor()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_totals() {
+        let p = PoolingProfile::new(vec![1.0, 2.0, 4.0]);
+        assert_eq!(p.total_of(&[TableId(0), TableId(2)]), 5.0);
+        assert_eq!(p.total_of(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_factor() {
+        let _ = PoolingProfile::new(vec![-1.0]);
+    }
+}

@@ -1,0 +1,353 @@
+//! The replayable request-trace database.
+
+use dlrm_model::ModelSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The shape of one inference request: everything the simulator and the
+/// materializer need, without the (irrelevant) concrete feature values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestShape {
+    /// Stable request id (position in the trace).
+    pub id: u64,
+    /// Number of candidate items to rank. Splits into
+    /// `ceil(items / batch_size)` batches in the serving tier.
+    pub items: u32,
+    /// Lookup count per table for the whole request, indexed by
+    /// [`dlrm_model::TableId`].
+    pub table_lookups: Vec<u32>,
+}
+
+impl RequestShape {
+    /// Total embedding lookups across all tables.
+    #[must_use]
+    pub fn total_lookups(&self) -> u64 {
+        self.table_lookups.iter().map(|&l| u64::from(l)).sum()
+    }
+
+    /// Number of batches at the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    #[must_use]
+    pub fn num_batches(&self, batch_size: usize) -> usize {
+        assert!(batch_size > 0, "batch size must be non-zero");
+        (self.items as usize).div_ceil(batch_size)
+    }
+}
+
+/// Tunables for trace generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDbConfig {
+    /// Lognormal sigma of the request-size (items) distribution; the
+    /// long tail here produces the paper's long-tailed E2E latencies.
+    pub size_sigma: f64,
+    /// Hard cap on request size as a multiple of the mean (production
+    /// tiers bound candidate-set sizes, which is why the published
+    /// P99/P50 ratios fall below a pure lognormal's).
+    pub max_items_factor: f64,
+    /// Probability that a request belongs to a separate heavy-tail mode
+    /// (RM3's size distribution is near-constant with rare huge
+    /// requests: its P90/P50 is 1.16 but P99/P50 is 4.6).
+    pub tail_prob: f64,
+    /// Size multiplier range `(lo, hi)` for tail-mode requests.
+    pub tail_scale: (f64, f64),
+    /// Amplitude of the diurnal modulation of request sizes (0 = none).
+    pub diurnal_amplitude: f64,
+    /// Days the trace spans (the paper sampled five days).
+    pub days: f64,
+}
+
+impl Default for TraceDbConfig {
+    fn default() -> Self {
+        Self {
+            size_sigma: 0.55,
+            max_items_factor: f64::INFINITY,
+            tail_prob: 0.0,
+            tail_scale: (1.0, 1.0),
+            diurnal_amplitude: 0.25,
+            days: 5.0,
+        }
+    }
+}
+
+/// A pregenerated, replayable set of request shapes.
+///
+/// Generation is deterministic in `(spec, n, seed, config)`; replaying
+/// the same database against different sharding configurations gives the
+/// paired comparisons the study's tables rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDb {
+    model: String,
+    requests: Vec<RequestShape>,
+}
+
+impl TraceDb {
+    /// Generates `n` requests for `spec` with default trace settings.
+    #[must_use]
+    pub fn generate(spec: &ModelSpec, n: usize, seed: u64) -> Self {
+        Self::generate_with(spec, n, seed, &TraceDbConfig::default())
+    }
+
+    /// Generates `n` requests with explicit trace settings.
+    ///
+    /// Per request: `items` is drawn from a diurnally-modulated lognormal
+    /// with mean `spec.mean_items_per_request`; each table's lookups are
+    /// `pooling_factor × (items / mean_items)` with stochastic rounding,
+    /// so lookup volume co-varies with request size as it does in
+    /// production (batches are "a proxy for embedding tables with larger
+    /// pooling factor", §VI-F1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the spec fails validation.
+    #[must_use]
+    pub fn generate_with(spec: &ModelSpec, n: usize, seed: u64, config: &TraceDbConfig) -> Self {
+        assert!(n > 0, "trace must contain at least one request");
+        spec.validate().expect("invalid model spec");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7ace_db00);
+        // E[lognormal(mu, sigma)] = exp(mu + sigma²/2); solve mu so the
+        // configured mean is hit.
+        let sigma = config.size_sigma;
+        let mu = spec.mean_items_per_request.ln() - sigma * sigma / 2.0;
+
+        let requests = (0..n)
+            .map(|i| {
+                // Position within the multi-day window.
+                let t_days = config.days * i as f64 / n as f64;
+                let diurnal =
+                    1.0 + config.diurnal_amplitude * (2.0 * std::f64::consts::PI * t_days).sin();
+                let u1: f64 = 1.0 - rng.random::<f64>();
+                let u2: f64 = rng.random();
+                let normal =
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let mut items_f = (mu + sigma * normal).exp() * diurnal;
+                if rng.random::<f64>() < config.tail_prob {
+                    let (lo, hi) = config.tail_scale;
+                    items_f *= lo + (hi - lo) * rng.random::<f64>();
+                }
+                items_f =
+                    items_f.min(spec.mean_items_per_request * config.max_items_factor);
+                let items = (items_f.round() as u32).max(1);
+                let ratio = f64::from(items) / spec.mean_items_per_request;
+
+                let table_lookups = spec
+                    .tables
+                    .iter()
+                    .map(|t| {
+                        let expected = t.pooling_factor * ratio;
+                        let base = expected.floor();
+                        let frac = expected - base;
+                        let extra = u32::from(rng.random::<f64>() < frac);
+                        base as u32 + extra
+                    })
+                    .collect();
+
+                RequestShape {
+                    id: i as u64,
+                    items,
+                    table_lookups,
+                }
+            })
+            .collect();
+
+        Self {
+            model: spec.name.clone(),
+            requests,
+        }
+    }
+
+    /// Name of the model this trace was generated for.
+    #[must_use]
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty (never true for generated traces).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The `i`-th request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn get(&self, i: usize) -> &RequestShape {
+        &self.requests[i]
+    }
+
+    /// Iterates over all requests in replay order.
+    pub fn iter(&self) -> impl Iterator<Item = &RequestShape> {
+        self.requests.iter()
+    }
+
+    /// Estimates per-table pooling factors from the first `sample`
+    /// requests — the paper's method: "estimated by sampling 1000
+    /// requests from the evaluation dataset and observing the number of
+    /// lookups per table" (§III-B2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is zero.
+    #[must_use]
+    pub fn pooling_profile(&self, sample: usize) -> crate::PoolingProfile {
+        assert!(sample > 0, "profile needs at least one sample");
+        let sample = sample.min(self.requests.len());
+        let n_tables = self.requests[0].table_lookups.len();
+        let mut sums = vec![0.0f64; n_tables];
+        for req in &self.requests[..sample] {
+            for (s, &l) in sums.iter_mut().zip(&req.table_lookups) {
+                *s += f64::from(l);
+            }
+        }
+        for s in &mut sums {
+            *s /= sample as f64;
+        }
+        crate::PoolingProfile::new(sums)
+    }
+
+    /// Mean items per request observed in the trace.
+    #[must_use]
+    pub fn mean_items(&self) -> f64 {
+        self.requests.iter().map(|r| f64::from(r.items)).sum::<f64>() / self.requests.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_model::rm;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = rm::rm3();
+        let a = TraceDb::generate(&spec, 50, 1);
+        let b = TraceDb::generate(&spec, 50, 1);
+        assert_eq!(a, b);
+        let c = TraceDb::generate(&spec, 50, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_items_approximates_spec() {
+        let spec = rm::rm1();
+        let db = TraceDb::generate(&spec, 3000, 11);
+        let mean = db.mean_items();
+        let target = spec.mean_items_per_request;
+        assert!(
+            (mean - target).abs() / target < 0.08,
+            "mean {mean} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn pooling_profile_approximates_spec() {
+        let spec = rm::rm1();
+        let db = TraceDb::generate(&spec, 1200, 3);
+        let profile = db.pooling_profile(1000);
+        let total_est = profile.total();
+        let total_spec = spec.total_pooling_factor();
+        assert!(
+            (total_est - total_spec).abs() / total_spec < 0.10,
+            "estimated {total_est} vs spec {total_spec}"
+        );
+    }
+
+    #[test]
+    fn rm3_dominant_table_has_about_one_lookup() {
+        let spec = rm::rm3();
+        let db = TraceDb::generate(&spec, 500, 5);
+        let mean_dominant: f64 = db
+            .iter()
+            .map(|r| f64::from(r.table_lookups[0]))
+            .sum::<f64>()
+            / db.len() as f64;
+        assert!(
+            (mean_dominant - 1.0).abs() < 0.25,
+            "dominant pooling {mean_dominant}"
+        );
+    }
+
+    #[test]
+    fn request_size_has_a_long_tail() {
+        let spec = rm::rm1();
+        let db = TraceDb::generate(&spec, 2000, 13);
+        let mut items: Vec<u32> = db.iter().map(|r| r.items).collect();
+        items.sort_unstable();
+        let p50 = items[items.len() / 2];
+        let p99 = items[items.len() * 99 / 100];
+        assert!(
+            f64::from(p99) / f64::from(p50) > 2.0,
+            "p50 {p50}, p99 {p99}: tail too short"
+        );
+    }
+
+    #[test]
+    fn lookups_scale_with_request_size() {
+        let spec = rm::rm1();
+        let db = TraceDb::generate(&spec, 500, 17);
+        let mut big = 0f64;
+        let mut big_lookups = 0f64;
+        let mut small = 0f64;
+        let mut small_lookups = 0f64;
+        let mean = db.mean_items();
+        for r in db.iter() {
+            if f64::from(r.items) > mean {
+                big += 1.0;
+                big_lookups += r.total_lookups() as f64;
+            } else {
+                small += 1.0;
+                small_lookups += r.total_lookups() as f64;
+            }
+        }
+        assert!(big_lookups / big > small_lookups / small);
+    }
+
+    #[test]
+    fn num_batches_rounds_up() {
+        let r = RequestShape {
+            id: 0,
+            items: 65,
+            table_lookups: vec![],
+        };
+        assert_eq!(r.num_batches(64), 2);
+        assert_eq!(r.num_batches(65), 1);
+        assert_eq!(r.num_batches(1), 65);
+    }
+
+    #[test]
+    fn diurnal_modulation_changes_sizes_across_trace() {
+        let spec = rm::rm2();
+        let cfg = TraceDbConfig {
+            size_sigma: 0.01,
+            diurnal_amplitude: 0.5,
+            days: 1.0,
+            ..TraceDbConfig::default()
+        };
+        let db = TraceDb::generate_with(&spec, 400, 7, &cfg);
+        // First quarter (rising sine) should be larger than third quarter
+        // (falling below mean).
+        let quarter = db.len() / 4;
+        let mean_slice = |lo: usize, hi: usize| {
+            db.iter()
+                .skip(lo)
+                .take(hi - lo)
+                .map(|r| f64::from(r.items))
+                .sum::<f64>()
+                / (hi - lo) as f64
+        };
+        let rising = mean_slice(0, quarter);
+        let falling = mean_slice(2 * quarter, 3 * quarter);
+        assert!(rising > falling, "rising {rising} vs falling {falling}");
+    }
+}

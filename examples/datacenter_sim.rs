@@ -1,0 +1,85 @@
+//! Datacenter serving simulation: sweep request rates and report
+//! latency percentiles and SLA attainment per sharding strategy.
+//!
+//! ```sh
+//! cargo run --release --example datacenter_sim -- rm1 100
+//! ```
+//!
+//! Arguments: model (`rm1` | `rm2` | `rm3`, default `rm1`) and SLA
+//! budget in milliseconds (default: 2× the singular serial P99).
+
+use dlrm_core::model::rm;
+use dlrm_core::sharding::ShardingStrategy;
+use dlrm_core::Study;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let spec = match args.get(1).map(String::as_str) {
+        Some("rm2") => rm::rm2(),
+        Some("rm3") => rm::rm3(),
+        _ => rm::rm1(),
+    };
+    let requests = 250;
+
+    // Establish the SLA from singular serial behaviour.
+    let mut serial = Study::new(spec.clone()).with_requests(requests);
+    let baseline = serial
+        .run(ShardingStrategy::Singular)
+        .expect("singular runs");
+    let sla_ms: f64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(baseline.e2e.p99 * 1.25);
+    println!(
+        "{}: singular serial e2e {} — SLA budget {sla_ms:.1} ms",
+        spec.name, baseline.e2e
+    );
+
+    let strategies = [
+        ShardingStrategy::Singular,
+        ShardingStrategy::OneShard,
+        ShardingStrategy::LoadBalanced(8),
+        ShardingStrategy::NetSpecificBinPacking(8),
+    ];
+    for qps in [5.0, 25.0, 60.0] {
+        println!("\n--- open-loop load: {qps:.0} QPS ---");
+        println!(
+            "{:<10} {:>9} {:>9} {:>9} {:>10} {:>9}",
+            "strategy", "p50 ms", "p90 ms", "p99 ms", "SLA misses", "attain %"
+        );
+        for strategy in strategies {
+            let mut study = Study::new(spec.clone())
+                .with_requests(requests)
+                .with_qps(qps);
+            let r = match study.run(strategy) {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("{:<10} infeasible: {e}", strategy.label());
+                    continue;
+                }
+            };
+            let misses = r
+                .run
+                .outcomes
+                .iter()
+                .filter(|o| o.e2e_ms > sla_ms)
+                .count();
+            println!(
+                "{:<10} {:>9.2} {:>9.2} {:>9.2} {:>10} {:>8.1}%",
+                strategy.label(),
+                r.e2e.p50,
+                r.e2e.p90,
+                r.e2e.p99,
+                misses,
+                100.0 * (requests - misses) as f64 / requests as f64,
+            );
+        }
+    }
+    println!(
+        "\nAt low rates the serial picture holds (distributed pays the \
+         network floor); as load rises the singular server's co-located \
+         tables hurt its tail and distributed serving overtakes it — the \
+         paper's §VII-A observation. Requests missing the SLA would fall \
+         back to a lower-quality recommendation."
+    );
+}

@@ -1,0 +1,73 @@
+//! Model publishing: serialize a model spec and its sharding plan to
+//! disk, reload them, and verify the republished pair still plans and
+//! partitions identically — the §III-C "serialize the model to storage"
+//! step of the production flow.
+//!
+//! ```sh
+//! cargo run --release --example publish_model -- /tmp/rm1
+//! ```
+
+use dlrm_core::model::{publish as model_publish, rm};
+use dlrm_core::sharding::{plan, publish as plan_publish, ShardingStrategy};
+use dlrm_core::workload::PoolingProfile;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/dlrm_publish_demo".into())
+        .into();
+    std::fs::create_dir_all(&base)?;
+
+    let spec = rm::rm1();
+    let profile = PoolingProfile::from_spec(&spec);
+    let sharding_plan = plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(8))?;
+
+    let model_path = base.join("rm1.model");
+    let plan_path = base.join("rm1.plan");
+    std::fs::write(&model_path, model_publish::spec_to_text(&spec))?;
+    std::fs::write(&plan_path, plan_publish::plan_to_text(&sharding_plan))?;
+    println!(
+        "published {} ({} tables) -> {}",
+        spec.name,
+        spec.tables.len(),
+        model_path.display()
+    );
+    println!(
+        "published {} plan ({} shards) -> {}",
+        sharding_plan.strategy().label(),
+        sharding_plan.num_shards(),
+        plan_path.display()
+    );
+
+    // Reload and verify the round trip end to end.
+    let spec_back = model_publish::spec_from_text(&std::fs::read_to_string(&model_path)?)?;
+    let plan_back = plan_publish::plan_from_text(&std::fs::read_to_string(&plan_path)?)?;
+    assert_eq!(spec_back, spec);
+    assert_eq!(plan_back, sharding_plan);
+    plan_back
+        .validate(&spec_back)
+        .expect("republished plan fits the republished model");
+
+    // The republished pair still drives the real engine.
+    let toy = {
+        let mut s = spec_back.scaled_to_bytes(2 << 20);
+        s.mean_items_per_request = 8.0;
+        s.default_batch_size = 4;
+        s
+    };
+    let toy_plan = plan(
+        &toy,
+        &PoolingProfile::from_spec(&toy),
+        sharding_plan.strategy(),
+    )?;
+    let model = dlrm_core::model::build_model(&toy, 5)?;
+    let dist = dlrm_core::sharding::partition(model, &toy_plan)?;
+    println!(
+        "republished model partitions into {} sparse shards, {} RPC ops/inference",
+        dist.shards.len(),
+        dist.rpc_ops_per_inference()
+    );
+    println!("round trip OK");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: shard a DLRM-style model, verify the distributed graph
+//! computes the same predictions as the singular one, and measure the
+//! serving-latency consequences.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dlrm_core::model::rm;
+use dlrm_core::sharding::ShardingStrategy;
+use dlrm_core::{verify_distributed_equivalence, Study};
+
+fn main() {
+    // 1. Take the paper's RM3 (39 tables, 200 GB, one dominant table)
+    //    and scale it down so the real f32 engine can materialize it —
+    //    the same methodology the paper used to fit its models on one
+    //    256 GB server.
+    let mut spec = rm::rm3().scaled_to_bytes(8 << 20);
+    spec.mean_items_per_request = 24.0;
+    spec.default_batch_size = 16;
+    println!(
+        "model: {} — {} tables, {:.1} MiB scaled (from 200 GB), {} net(s)",
+        spec.name,
+        spec.tables.len(),
+        spec.total_bytes() as f64 / (1 << 20) as f64,
+        spec.nets.len()
+    );
+
+    // 2. Correctness: partition the model graph under a sharding
+    //    strategy and check distributed == singular on real inputs.
+    for strategy in [
+        ShardingStrategy::OneShard,
+        ShardingStrategy::NetSpecificBinPacking(4),
+    ] {
+        let report = verify_distributed_equivalence(&spec, strategy, 3, 42)
+            .expect("verification runs");
+        println!(
+            "verify {:<8} {} batches, row-sharded={}, max |diff|={:.2e} → {}",
+            strategy.label(),
+            report.batches,
+            report.row_sharded,
+            report.max_abs_diff,
+            if report.passed() { "PASS" } else { "FAIL" }
+        );
+        assert!(report.passed());
+    }
+
+    // 3. Performance: replay the paper-scale RM3 against the simulated
+    //    serving tier, singular vs sharded.
+    let mut study = Study::new(rm::rm3()).with_requests(200);
+    println!("\nserving percentiles (serial replay, SC-Large cluster):");
+    for strategy in ShardingStrategy::rm3_sweep() {
+        let r = study.run(strategy).expect("feasible");
+        println!(
+            "  {:<10} e2e {}  | cpu {}  | rpcs/req {:.1}",
+            strategy.label(),
+            r.e2e,
+            r.cpu,
+            r.rpcs_per_request
+        );
+    }
+    println!(
+        "\nRM3's capacity no longer fits one server at production scale; \
+         sharding costs ~2 ms of E2E latency (network floor) and buys \
+         arbitrary capacity."
+    );
+}

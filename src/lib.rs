@@ -1,0 +1,9 @@
+//! `dlrm-dist-inference`: umbrella crate for the capacity-driven
+//! scale-out neural recommendation inference reproduction (ISPASS 2021).
+//!
+//! Re-exports [`dlrm_core`]; see the workspace README for the system
+//! overview and `examples/` for runnable entry points.
+
+#![forbid(unsafe_code)]
+
+pub use dlrm_core::*;

@@ -1,0 +1,254 @@
+//! The paper's qualitative claims, each as an executable test against
+//! the simulated serving tier (the list in DESIGN.md §5).
+//!
+//! These use modest request counts for speed; the bench targets rerun
+//! the same experiments at higher resolution.
+
+use dlrm_core::compress::CompressionPolicy;
+use dlrm_core::model::rm;
+use dlrm_core::serving::Cluster;
+use dlrm_core::sharding::ShardingStrategy;
+use dlrm_core::Study;
+
+const REQUESTS: usize = 120;
+
+fn study(spec: dlrm_core::model::ModelSpec) -> Study {
+    Study::new(spec).with_requests(REQUESTS)
+}
+
+/// Claim 1: under serial blocking replay, every distributed
+/// configuration is slower than singular, and overhead shrinks as
+/// shards increase.
+#[test]
+fn claim1_serial_distributed_always_slower_and_overhead_shrinks() {
+    let mut s = study(rm::rm1());
+    let singular = s.run(ShardingStrategy::Singular).unwrap();
+    let mut last_p50 = f64::INFINITY;
+    for n in [1usize, 2, 4, 8] {
+        let strategy = if n == 1 {
+            ShardingStrategy::OneShard
+        } else {
+            ShardingStrategy::LoadBalanced(n)
+        };
+        let r = s.run(strategy).unwrap();
+        assert!(
+            r.e2e.p50 > singular.e2e.p50,
+            "{strategy} p50 {} vs singular {}",
+            r.e2e.p50,
+            singular.e2e.p50
+        );
+        // Monotone within sampling noise: beyond a few shards the
+        // savings saturate at the network floor (§VI-B2), so allow a
+        // small tolerance.
+        assert!(
+            r.e2e.p50 <= last_p50 * 1.04,
+            "overhead should not grow with shards: {n} shards {} vs prev {last_p50}",
+            r.e2e.p50
+        );
+        last_p50 = last_p50.min(r.e2e.p50);
+    }
+}
+
+/// Claim 2: 8-shard balanced configurations reach single-digit P99
+/// latency overhead for RM1 (paper: ~1% best case).
+#[test]
+fn claim2_eight_shard_p99_overhead_is_small() {
+    let mut s = study(rm::rm1());
+    let singular = s.run(ShardingStrategy::Singular).unwrap();
+    for strategy in [
+        ShardingStrategy::LoadBalanced(8),
+        ShardingStrategy::CapacityBalanced(8),
+    ] {
+        let r = s.run(strategy).unwrap();
+        let overhead = (r.e2e.p99 / singular.e2e.p99 - 1.0) * 100.0;
+        assert!(
+            overhead < 8.0,
+            "{strategy}: P99 overhead {overhead:.1}% too large"
+        );
+    }
+}
+
+/// Claim 3: NSBP has the worst latency among equal-shard-count
+/// strategies (2-shard NSBP behaves like 1-shard) but the lowest
+/// compute.
+#[test]
+fn claim3_nsbp_latency_worst_compute_best() {
+    let mut s = study(rm::rm1());
+    for n in [4usize, 8] {
+        let nsbp = s.run(ShardingStrategy::NetSpecificBinPacking(n)).unwrap();
+        let lb = s.run(ShardingStrategy::LoadBalanced(n)).unwrap();
+        let cb = s.run(ShardingStrategy::CapacityBalanced(n)).unwrap();
+        // The latency penalty concentrates in the tail (the hot net's
+        // unsplit pooling bounds the critical path); P50 differences
+        // are within noise at this sample size, as in the paper where
+        // NSBP-8's P50 is only ~5% above lb-8's.
+        assert!(
+            nsbp.e2e.p99 > lb.e2e.p99 && nsbp.e2e.p99 > cb.e2e.p99,
+            "{n} shards: NSBP p99 {} should exceed lb {} / cb {}",
+            nsbp.e2e.p99,
+            lb.e2e.p99,
+            cb.e2e.p99
+        );
+        assert!(
+            nsbp.cpu.p50 < lb.cpu.p50 && nsbp.cpu.p50 < cb.cpu.p50,
+            "{n} shards: NSBP compute should be lowest"
+        );
+    }
+    // NSBP-2's hot net on one shard ≈ the 1-shard bound.
+    let nsbp2 = s.run(ShardingStrategy::NetSpecificBinPacking(2)).unwrap();
+    let one = s.run(ShardingStrategy::OneShard).unwrap();
+    assert!((nsbp2.e2e.p99 / one.e2e.p99 - 1.0).abs() < 0.05);
+}
+
+/// Claim 4: compute overhead is proportional to RPC count.
+#[test]
+fn claim4_compute_tracks_rpc_count() {
+    let mut s = study(rm::rm1());
+    let singular = s.run(ShardingStrategy::Singular).unwrap();
+    let mut configs: Vec<(f64, f64)> = Vec::new(); // (rpcs, cpu overhead)
+    for strategy in [
+        ShardingStrategy::OneShard,
+        ShardingStrategy::NetSpecificBinPacking(8),
+        ShardingStrategy::LoadBalanced(4),
+        ShardingStrategy::LoadBalanced(8),
+    ] {
+        let r = s.run(strategy).unwrap();
+        configs.push((r.rpcs_per_request, r.cpu.p50 - singular.cpu.p50));
+    }
+    configs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for pair in configs.windows(2) {
+        assert!(
+            pair[1].1 >= pair[0].1 * 0.95,
+            "cpu overhead should rise with rpcs: {configs:?}"
+        );
+    }
+}
+
+/// Claim 5: load-balanced ≈ capacity-balanced for E2E latency.
+#[test]
+fn claim5_lb_and_cb_are_close() {
+    let mut s = study(rm::rm1());
+    for n in [2usize, 4, 8] {
+        let lb = s.run(ShardingStrategy::LoadBalanced(n)).unwrap();
+        let cb = s.run(ShardingStrategy::CapacityBalanced(n)).unwrap();
+        let delta = (lb.e2e.p50 / cb.e2e.p50 - 1.0).abs();
+        assert!(delta < 0.05, "{n} shards: lb vs cb differ {delta:.3}");
+    }
+}
+
+/// Claim 6: RM3 is insensitive to shard count, and only two shards are
+/// touched per inference.
+#[test]
+fn claim6_rm3_insensitive_to_shards() {
+    let mut s = study(rm::rm3());
+    let four = s.run(ShardingStrategy::NetSpecificBinPacking(4)).unwrap();
+    let eight = s.run(ShardingStrategy::NetSpecificBinPacking(8)).unwrap();
+    let delta = (eight.e2e.p50 / four.e2e.p50 - 1.0).abs();
+    assert!(delta < 0.05, "RM3 4 vs 8 shards P50 differ {delta:.3}");
+    assert!(
+        four.rpcs_per_request < 3.0,
+        "RM3 touches ~2 shards per request, saw {:.2} rpcs",
+        four.rpcs_per_request
+    );
+    assert!(eight.rpcs_per_request < 3.0);
+}
+
+/// Claim 7: with a single batch per request, 8-shard balanced
+/// distributed inference stops losing to singular for RM1 — the sparse
+/// work finally outweighs the RPC floor.
+#[test]
+fn claim7_single_batch_crossover() {
+    let mut default_mode = study(rm::rm1());
+    let mut single_mode = study(rm::rm1()).with_batch_size(Some(usize::MAX));
+    let sd = default_mode.run(ShardingStrategy::Singular).unwrap();
+    let dd = default_mode.run(ShardingStrategy::LoadBalanced(8)).unwrap();
+    let ss = single_mode.run(ShardingStrategy::Singular).unwrap();
+    let ds = single_mode.run(ShardingStrategy::LoadBalanced(8)).unwrap();
+    let overhead_default = dd.e2e.p50 / sd.e2e.p50 - 1.0;
+    let overhead_single = ds.e2e.p50 / ss.e2e.p50 - 1.0;
+    assert!(
+        overhead_single < overhead_default - 0.05,
+        "single-batch should slash the overhead: default {overhead_default:.3} vs single {overhead_single:.3}"
+    );
+    assert!(
+        overhead_single < 0.02,
+        "single-batch lb-8 should break even or improve, got {overhead_single:.3}"
+    );
+}
+
+/// Claim 8: at 25 QPS, P99 improves over singular for every strategy.
+#[test]
+fn claim8_high_qps_improves_tail() {
+    let mut s = study(rm::rm1()).with_requests(200).with_qps(25.0);
+    let singular = s.run(ShardingStrategy::Singular).unwrap();
+    for strategy in [
+        ShardingStrategy::OneShard,
+        ShardingStrategy::LoadBalanced(8),
+        ShardingStrategy::NetSpecificBinPacking(8),
+    ] {
+        let r = s.run(strategy).unwrap();
+        assert!(
+            r.e2e.p99 < singular.e2e.p99,
+            "{strategy}: p99 {} should beat singular {}",
+            r.e2e.p99,
+            singular.e2e.p99
+        );
+    }
+}
+
+/// Claim 9: SC-Small sparse shards perform like SC-Large ones.
+#[test]
+fn claim9_sc_small_sparse_shards_equivalent() {
+    let mut on_large = study(rm::rm1());
+    let mut on_small = study(rm::rm1()).with_cluster(Cluster::small_sparse());
+    let large = on_large.run(ShardingStrategy::LoadBalanced(8)).unwrap();
+    let small = on_small.run(ShardingStrategy::LoadBalanced(8)).unwrap();
+    let delta = (small.e2e.p50 / large.e2e.p50 - 1.0).abs();
+    assert!(
+        delta < 0.05,
+        "SC-Small sparse tier should be ~equivalent, differs {delta:.3}"
+    );
+}
+
+/// Claim 10: compression shrinks RM1 ~5.56× with marginally improved
+/// latency — and is insufficient alone for the original scale.
+#[test]
+fn claim10_compression_complementary() {
+    let spec = rm::rm1();
+    let policy = CompressionPolicy::production();
+    let ratio = policy.compression_ratio(&spec);
+    assert!((ratio - 5.56).abs() < 1.2, "ratio {ratio}");
+
+    let mut uncompressed = study(spec.clone());
+    let mut compressed =
+        study(spec.clone()).with_sls_cost_factor(policy.sls_cost_factor(&spec));
+    let u = uncompressed.run(ShardingStrategy::Singular).unwrap();
+    let c = compressed.run(ShardingStrategy::Singular).unwrap();
+    assert!(c.cpu.p50 < u.cpu.p50, "compression should trim CPU slightly");
+    assert!(
+        c.e2e.p50 < u.e2e.p50 * 1.01,
+        "compressed latency should not regress"
+    );
+    // Marginal, not transformative (< 10%).
+    assert!(c.e2e.p50 > u.e2e.p50 * 0.90);
+}
+
+/// §VI-B2: for every distributed configuration, network latency exceeds
+/// shard operator latency — the constant overhead that eventually
+/// dominates.
+#[test]
+fn network_floor_dominates_shard_ops() {
+    let mut s = study(rm::rm1());
+    for strategy in [
+        ShardingStrategy::LoadBalanced(8),
+        ShardingStrategy::CapacityBalanced(8),
+    ] {
+        let r = s.run(strategy).unwrap();
+        assert!(
+            r.embedded_stack.network > r.embedded_stack.sparse_ops,
+            "{strategy}: network {} vs sls {}",
+            r.embedded_stack.network,
+            r.embedded_stack.sparse_ops
+        );
+    }
+}
