@@ -1,8 +1,14 @@
-//! Criterion microbenchmarks of the reproduction's hot kernels:
-//! the SparseLengthsSum family, dense FC matmul, quantization,
-//! sharding planning, and one end-to-end simulated replay.
+//! Microbenchmarks of the reproduction's hot kernels, on the in-tree
+//! timing harness (`dlrm_bench::timing`): the SparseLengthsSum family,
+//! dense FC matmul, quantization, sharding planning, and one
+//! end-to-end simulated replay.
+//!
+//! Run with `cargo bench -p dlrm-bench --offline`. Pass `--quick` (or
+//! set `DLRM_BENCH_QUICK=1`) for a fast smoke run, and an optional
+//! substring filter to select benchmarks by name, e.g.
+//! `cargo bench -p dlrm-bench -- sls`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dlrm_bench::timing::Harness;
 use dlrm_core::compress::QuantizedTable;
 use dlrm_core::model::{rm, EmbeddingTable};
 use dlrm_core::serving::experiment::trace_config_for;
@@ -12,51 +18,76 @@ use dlrm_core::tensor::Matrix;
 use dlrm_core::workload::{PoolingProfile, TraceDb};
 use std::hint::black_box;
 
-fn bench_sls(c: &mut Criterion) {
+struct Runner {
+    harness: Harness,
+    filter: Option<String>,
+}
+
+impl Runner {
+    fn wants(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+fn bench_sls(r: &mut Runner) {
     let table = EmbeddingTable::seeded("bench", 100_000, 64, 7);
     let indices: Vec<u64> = (0..4096).map(|i| (i * 37) % 100_000).collect();
     let lengths = vec![64u32; 64];
-    c.bench_function("sls_4096_lookups_dim64", |b| {
-        b.iter(|| black_box(table.sparse_lengths_sum(black_box(&indices), &lengths)))
-    });
+    if r.wants("sls_4096_lookups_dim64") {
+        r.harness.bench("sls_4096_lookups_dim64", || {
+            black_box(table.sparse_lengths_sum(black_box(&indices), &lengths))
+        });
+    }
 
-    let q8 = QuantizedTable::quantize(&table, 8);
-    c.bench_function("sls_quantized8_4096_lookups", |b| {
-        b.iter(|| black_box(q8.sparse_lengths_sum(black_box(&indices), &lengths)))
-    });
+    if r.wants("sls_quantized8_4096_lookups") {
+        let q8 = QuantizedTable::quantize(&table, 8);
+        r.harness.bench("sls_quantized8_4096_lookups", || {
+            black_box(q8.sparse_lengths_sum(black_box(&indices), &lengths))
+        });
+    }
 }
 
-fn bench_dense(c: &mut Criterion) {
+fn bench_dense(r: &mut Runner) {
+    if !r.wants("fc_64x512_to_256") {
+        return;
+    }
     let x = Matrix::from_vec(64, 512, (0..64 * 512).map(|i| (i % 17) as f32 * 0.1).collect());
     let w = Matrix::from_vec(256, 512, (0..256 * 512).map(|i| (i % 13) as f32 * 0.01).collect());
-    c.bench_function("fc_64x512_to_256", |b| {
-        b.iter(|| black_box(x.matmul_transb(black_box(&w))))
-    });
+    r.harness
+        .bench("fc_64x512_to_256", || black_box(x.matmul_transb(black_box(&w))));
 }
 
-fn bench_planner(c: &mut Criterion) {
+fn bench_planner(r: &mut Runner) {
     let spec = rm::rm1();
     let profile = PoolingProfile::from_spec(&spec);
-    c.bench_function("plan_rm1_lb8", |b| {
-        b.iter(|| plan(&spec, &profile, ShardingStrategy::LoadBalanced(8)).unwrap())
-    });
-    c.bench_function("plan_rm1_nsbp8", |b| {
-        b.iter(|| plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(8)).unwrap())
-    });
+    if r.wants("plan_rm1_lb8") {
+        r.harness.bench("plan_rm1_lb8", || {
+            plan(&spec, &profile, ShardingStrategy::LoadBalanced(8)).unwrap()
+        });
+    }
+    if r.wants("plan_rm1_nsbp8") {
+        r.harness.bench("plan_rm1_nsbp8", || {
+            plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(8)).unwrap()
+        });
+    }
 }
 
-fn bench_quantize(c: &mut Criterion) {
+fn bench_quantize(r: &mut Runner) {
+    if !r.wants("quantize_10k_rows_8bit") {
+        return;
+    }
     let table = EmbeddingTable::seeded("q", 10_000, 64, 3);
-    c.bench_function("quantize_10k_rows_8bit", |b| {
-        b.iter_batched(
-            || table.clone(),
-            |t| black_box(QuantizedTable::quantize(&t, 8)),
-            BatchSize::LargeInput,
-        )
-    });
+    r.harness.bench_batched(
+        "quantize_10k_rows_8bit",
+        || table.clone(),
+        |t| black_box(QuantizedTable::quantize(&t, 8)),
+    );
 }
 
-fn bench_simulate(c: &mut Criterion) {
+fn bench_simulate(r: &mut Runner) {
+    if !r.wants("simulate_rm3_nsbp4_64req") {
+        return;
+    }
     let spec = rm::rm3();
     let db = TraceDb::generate_with(&spec, 64, 1, &trace_config_for(&spec));
     let profile = db.pooling_profile(64);
@@ -66,13 +97,16 @@ fn bench_simulate(c: &mut Criterion) {
     let cluster = Cluster::sc_large();
     let mut cfg = RunConfig::serial(64, 9);
     cfg.collect_traces = false;
-    c.bench_function("simulate_rm3_nsbp4_64req", |b| {
-        b.iter(|| black_box(simulate(&spec, &sharding_plan, &cost, &cluster, &db, &cfg)))
+    r.harness.bench("simulate_rm3_nsbp4_64req", || {
+        black_box(simulate(&spec, &sharding_plan, &cost, &cluster, &db, &cfg))
     });
 }
 
-fn bench_trace_analysis(c: &mut Criterion) {
-    // Analyze a realistic collected trace: one lb-4 RM3 run.
+fn bench_trace_analysis(r: &mut Runner) {
+    if !r.wants("trace_median_latency_stack_64req") {
+        return;
+    }
+    // Analyze a realistic collected trace: one nsbp-4 RM3 run.
     let spec = rm::rm3();
     let db = TraceDb::generate_with(&spec, 64, 2, &trace_config_for(&spec));
     let profile = db.pooling_profile(64);
@@ -87,48 +121,61 @@ fn bench_trace_analysis(c: &mut Criterion) {
         &RunConfig::serial(64, 3),
     );
     let ids = result.collector.trace_ids();
-    c.bench_function("trace_median_latency_stack_64req", |b| {
-        b.iter(|| {
-            let analysis = dlrm_core::trace::TraceAnalysis::new(&result.collector);
-            black_box(analysis.median_latency_stack(black_box(&ids)))
-        })
+    r.harness.bench("trace_median_latency_stack_64req", || {
+        let analysis = dlrm_core::trace::TraceAnalysis::new(&result.collector);
+        black_box(analysis.median_latency_stack(black_box(&ids)))
     });
 }
 
-fn bench_event_queue(c: &mut Criterion) {
+fn bench_event_queue(r: &mut Runner) {
+    if !r.wants("event_queue_push_pop_10k") {
+        return;
+    }
     use dlrm_core::sim::{EventQueue, SimTime};
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.push(SimTime::from_millis(((i * 7919) % 1000) as f64), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = q.pop() {
-                acc = acc.wrapping_add(e);
-            }
-            black_box(acc)
-        })
+    r.harness.bench("event_queue_push_pop_10k", || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_millis(((i * 7919) % 1000) as f64), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        black_box(acc)
     });
 }
 
-fn bench_lru(c: &mut Criterion) {
+fn bench_lru(r: &mut Runner) {
+    if !r.wants("lru_hit_rate_100k_accesses") {
+        return;
+    }
     use dlrm_core::workload::AccessTrace;
     let trace = AccessTrace::zipf(100_000, 100_000, 1.1, 3);
-    c.bench_function("lru_hit_rate_100k_accesses", |b| {
-        b.iter(|| black_box(trace.lru_hit_rate(black_box(5_000))))
+    r.harness.bench("lru_hit_rate_100k_accesses", || {
+        black_box(trace.lru_hit_rate(black_box(5_000)))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_sls,
-    bench_dense,
-    bench_planner,
-    bench_quantize,
-    bench_simulate,
-    bench_trace_analysis,
-    bench_event_queue,
-    bench_lru
-);
-criterion_main!(benches);
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var_os("DLRM_BENCH_QUICK").is_some()
+        // If cargo ever invokes this target in test mode, do a smoke
+        // pass instead of the full measurement.
+        || args.iter().any(|a| a == "--test");
+    let filter = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned();
+    let harness = if quick { Harness::quick() } else { Harness::new() };
+    let mut runner = Runner { harness, filter };
+
+    bench_sls(&mut runner);
+    bench_dense(&mut runner);
+    bench_planner(&mut runner);
+    bench_quantize(&mut runner);
+    bench_simulate(&mut runner);
+    bench_trace_analysis(&mut runner);
+    bench_event_queue(&mut runner);
+    bench_lru(&mut runner);
+}

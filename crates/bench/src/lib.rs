@@ -6,3 +6,4 @@
 
 pub mod paper;
 pub mod report;
+pub mod timing;

@@ -1,0 +1,250 @@
+//! Minimal in-tree timing harness: the workspace's replacement for the
+//! criterion dev-dependency. It keeps the parts the benches actually
+//! used — named benchmarks, warmup, many timed samples, batched setup
+//! for routines that consume their input — and prints a compact
+//! min/median/mean summary per benchmark.
+//!
+//! Methodology: each *sample* times a batch of `iters` back-to-back
+//! calls on a monotonic clock and records the per-call average, which
+//! amortizes `Instant` overhead for nanosecond-scale routines. The
+//! batch size is calibrated once during warmup so that one sample
+//! takes roughly [`Harness::target_sample`]. Median-of-samples is the
+//! headline number because it is robust to scheduler noise.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's collected samples, in per-iteration nanoseconds.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name as passed to [`Harness::bench`].
+    pub name: String,
+    /// Per-iteration nanoseconds, one entry per sample, sorted ascending.
+    pub samples_ns: Vec<f64>,
+    /// Total iterations executed across all samples (excluding warmup).
+    pub total_iters: u64,
+}
+
+impl Measurement {
+    /// Fastest observed sample (per-iteration ns).
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns.first().copied().unwrap_or(0.0)
+    }
+
+    /// Median sample (per-iteration ns) — the headline statistic.
+    pub fn median_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let mid = self.samples_ns.len() / 2;
+        if self.samples_ns.len() % 2 == 1 {
+            self.samples_ns[mid]
+        } else {
+            (self.samples_ns[mid - 1] + self.samples_ns[mid]) / 2.0
+        }
+    }
+
+    /// Mean over all samples (per-iteration ns).
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+}
+
+/// Renders nanoseconds with an auto-selected unit, criterion-style.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark runner: configure once, then call [`Harness::bench`] /
+/// [`Harness::bench_batched`] per benchmark.
+#[derive(Debug)]
+pub struct Harness {
+    /// Wall-clock budget spent warming up (and calibrating) each bench.
+    pub warmup: Duration,
+    /// Number of timed samples collected per bench.
+    pub samples: usize,
+    /// Target wall-clock duration of a single sample.
+    pub target_sample: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            warmup: Duration::from_millis(300),
+            samples: 30,
+            target_sample: Duration::from_millis(15),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Harness {
+    /// A harness with the default warmup/sample configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A harness sized for quick smoke runs (used by the harness's own
+    /// tests and `--quick` invocations).
+    pub fn quick() -> Self {
+        Harness {
+            warmup: Duration::from_millis(20),
+            samples: 8,
+            target_sample: Duration::from_millis(2),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `routine` repeatedly and records a [`Measurement`]. The
+    /// routine's return value is passed through [`black_box`] so the
+    /// optimizer cannot elide the work.
+    pub fn bench<R>(&mut self, name: &str, mut routine: impl FnMut() -> R) -> &Measurement {
+        // Warmup doubles as calibration: count how many calls fit in
+        // the warmup budget to size each timed batch.
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_calls == 0 {
+            black_box(routine());
+            warm_calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / warm_calls as f64;
+        let iters = ((self.target_sample.as_secs_f64() / per_call.max(1e-9)) as u64).max(1);
+
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.record(name, samples_ns, iters * self.samples as u64)
+    }
+
+    /// Like [`Harness::bench`], but re-creates the input via `setup`
+    /// before every call so routines that consume or mutate their input
+    /// (e.g. quantizing a table in place) see fresh data. Setup time is
+    /// excluded from the measurement, so each sample times exactly one
+    /// call.
+    pub fn bench_batched<T, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> T,
+        mut routine: impl FnMut(T) -> R,
+    ) -> &Measurement {
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_calls == 0 {
+            let input = setup();
+            black_box(routine(input));
+            warm_calls += 1;
+        }
+
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            samples_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+        self.record(name, samples_ns, self.samples as u64)
+    }
+
+    fn record(&mut self, name: &str, mut samples_ns: Vec<f64>, total_iters: u64) -> &Measurement {
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let m = Measurement {
+            name: name.to_string(),
+            samples_ns,
+            total_iters,
+        };
+        println!(
+            "{:<36} min {:>11}   median {:>11}   mean {:>11}",
+            m.name,
+            format_ns(m.min_ns()),
+            format_ns(m.median_ns()),
+            format_ns(m.mean_ns()),
+        );
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements collected so far, in execution order.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_positive_timings() {
+        let mut h = Harness::quick();
+        let m = h.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(m.samples_ns.len(), 8);
+        assert!(m.min_ns() > 0.0);
+        assert!(m.min_ns() <= m.median_ns());
+        assert!(m.median_ns() <= m.samples_ns.last().copied().unwrap());
+        assert!(m.total_iters >= 8);
+    }
+
+    #[test]
+    fn bench_batched_times_only_the_routine() {
+        let mut h = Harness::quick();
+        let m = h.bench_batched(
+            "consume",
+            || vec![1u8; 64],
+            |v| v.into_iter().map(u64::from).sum::<u64>(),
+        );
+        assert_eq!(m.samples_ns.len(), 8);
+        assert!(m.min_ns() > 0.0);
+    }
+
+    #[test]
+    fn measurements_accumulate_in_order() {
+        let mut h = Harness::quick();
+        h.bench("a", || 1u32);
+        h.bench("b", || 2u32);
+        let names: Vec<&str> = h.results().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(12_345.0), "12.35 µs");
+        assert_eq!(format_ns(12_345_678.0), "12.35 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+
+    #[test]
+    fn median_handles_even_sample_counts() {
+        let m = Measurement {
+            name: "m".into(),
+            samples_ns: vec![1.0, 2.0, 3.0, 4.0],
+            total_iters: 4,
+        };
+        assert_eq!(m.median_ns(), 2.5);
+        assert_eq!(m.mean_ns(), 2.5);
+        assert_eq!(m.min_ns(), 1.0);
+    }
+}

@@ -1,9 +1,8 @@
 //! Materialized embedding tables and the SparseLengthsSum kernel.
 
 use crate::spec::TableSpec;
+use dlrm_sim::SimRng;
 use dlrm_tensor::Matrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A materialized (in-memory, `f32`) embedding table.
 ///
@@ -50,9 +49,9 @@ impl EmbeddingTable {
     pub fn seeded(name: impl Into<String>, rows: u64, dim: u32, seed: u64) -> Self {
         assert!(rows > 0 && dim > 0, "degenerate table shape {rows}x{dim}");
         let rows_us = usize::try_from(rows).expect("materialized table too large");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from(seed);
         let data: Vec<f32> = (0..rows_us * dim as usize)
-            .map(|_| rng.random::<f32>() - 0.5)
+            .map(|_| rng.next_f32() - 0.5)
             .collect();
         Self {
             name: name.into(),
@@ -60,16 +59,16 @@ impl EmbeddingTable {
         }
     }
 
-    /// Materializes `spec` with weights seeded from `seed` mixed with the
-    /// table id, so different tables get different weights but repeated
-    /// materializations are identical.
+    /// Materializes `spec` with weights from the `(seed, table id)` fork
+    /// of the experiment stream, so different tables get different
+    /// weights but repeated materializations are identical.
     #[must_use]
     pub fn from_spec(spec: &TableSpec, seed: u64) -> Self {
         Self::seeded(
             spec.name.clone(),
             spec.rows,
             spec.dim,
-            seed ^ (spec.id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            SimRng::seed_from(seed).fork(spec.id.0 as u64).seed(),
         )
     }
 

@@ -3,9 +3,8 @@
 use crate::graph::{Blob, GraphError, Operator, Workspace};
 use crate::spec::OpGroup;
 use crate::EmbeddingTable;
+use dlrm_sim::SimRng;
 use dlrm_tensor::{concat_cols, relu_inplace, sigmoid_inplace, Matrix};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Fully-connected layer: `Y = X · Wᵀ + b`.
@@ -60,13 +59,13 @@ impl FullyConnected {
         out_dim: usize,
         seed: u64,
     ) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from(seed);
         let scale = 1.0 / (in_dim.max(1) as f32).sqrt();
         let data: Vec<f32> = (0..in_dim * out_dim)
-            .map(|_| (rng.random::<f32>() - 0.5) * 2.0 * scale)
+            .map(|_| (rng.next_f32() - 0.5) * 2.0 * scale)
             .collect();
         let bias: Vec<f32> = (0..out_dim)
-            .map(|_| (rng.random::<f32>() - 0.5) * 0.1)
+            .map(|_| (rng.next_f32() - 0.5) * 0.1)
             .collect();
         Self::new(
             name,

@@ -22,8 +22,7 @@
 
 use crate::spec::{ModelSpec, NetId, NetSpec, TableId, TableSpec};
 use crate::GIB;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dlrm_sim::SimRng;
 
 /// Parameters for synthesizing one net's table inventory.
 struct NetTables {
@@ -76,7 +75,7 @@ fn waterfill(raw: &[f64], budget: f64, cap: f64) -> Vec<f64> {
     }
 }
 
-fn synth_tables(rng: &mut SmallRng, params: &NetTables, next_id: &mut usize) -> Vec<TableSpec> {
+fn synth_tables(rng: &mut SimRng, params: &NetTables, next_id: &mut usize) -> Vec<TableSpec> {
     assert!(params.count >= 1);
     let dims = [32u32, 64, 64, 128];
 
@@ -86,12 +85,7 @@ fn synth_tables(rng: &mut SmallRng, params: &NetTables, next_id: &mut usize) -> 
     // total matches the published capacity exactly.
     let n_rest = params.count - 1;
     let raw: Vec<f64> = (0..n_rest)
-        .map(|_| {
-            let u1: f64 = 1.0 - rng.random::<f64>();
-            let u2: f64 = rng.random();
-            let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            (params.size_sigma * normal).exp()
-        })
+        .map(|_| (params.size_sigma * rng.next_standard_normal()).exp())
         .collect();
     let rest_budget = (params.total_bytes - params.max_bytes).max(0.0);
     let sizes_rest = waterfill(&raw, rest_budget, params.max_bytes * 0.95);
@@ -101,10 +95,7 @@ fn synth_tables(rng: &mut SmallRng, params: &NetTables, next_id: &mut usize) -> 
     // load-balanced shards are near-perfectly equal (Table II), which is
     // only possible when no table's pooling exceeds a shard's share.
     let raw_pooling: Vec<f64> = (0..params.count)
-        .map(|_| {
-            let u: f64 = rng.random();
-            (1.0 - u).powf(-1.0 / params.pooling_alpha)
-        })
+        .map(|_| (1.0 - rng.next_f64()).powf(-1.0 / params.pooling_alpha))
         .collect();
     let pooling = waterfill(&raw_pooling, params.pooling_sum, params.pooling_sum * 0.10);
 
@@ -164,7 +155,7 @@ fn two_net_mlps() -> Vec<NetSpec> {
 /// ```
 #[must_use]
 pub fn rm1() -> ModelSpec {
-    let mut rng = SmallRng::seed_from_u64(0x0052_4D31); // "RM1"
+    let mut rng = SimRng::seed_from(0x0052_4D31); // "RM1"
     let mut next_id = 0;
     let mut tables = synth_tables(
         &mut rng,
@@ -213,7 +204,7 @@ pub fn rm1() -> ModelSpec {
 /// smaller requests.
 #[must_use]
 pub fn rm2() -> ModelSpec {
-    let mut rng = SmallRng::seed_from_u64(0x0052_4D32);
+    let mut rng = SimRng::seed_from(0x0052_4D32);
     let mut next_id = 0;
     let total = 138.0 * 1e9; // 138 GB in bytes
     let user_share = 0.175; // mirror RM1's capacity split
@@ -262,7 +253,7 @@ pub fn rm2() -> ModelSpec {
 /// parallelize work (§VI-E).
 #[must_use]
 pub fn rm3() -> ModelSpec {
-    let mut rng = SmallRng::seed_from_u64(0x0052_4D33);
+    let mut rng = SimRng::seed_from(0x0052_4D33);
     let mut next_id = 0;
 
     // The dominant table first (id 0): 178.8 GB, dim 64, pooling 1.

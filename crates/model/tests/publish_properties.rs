@@ -1,0 +1,111 @@
+//! Property-style round-trip tests for the model publishing format,
+//! driven by deterministic [`SimRng`] case generation (the workspace's
+//! in-tree replacement for proptest: same invariants, fixed seeds, so
+//! every CI run exercises the identical case set).
+
+use dlrm_model::publish::{spec_from_text, spec_to_text};
+use dlrm_model::{ModelSpec, NetId, NetSpec, TableId, TableSpec};
+use dlrm_sim::SimRng;
+
+const CASES: usize = 128;
+
+/// Generates an arbitrary-but-valid-shaped spec from one RNG stream
+/// (mirrors the old proptest `arb_spec` strategy).
+fn arb_spec(rng: &mut SimRng) -> ModelSpec {
+    let n_nets = 1 + rng.next_index(3);
+    let n_tables = 1 + rng.next_index(29);
+    let tables: Vec<TableSpec> = (0..n_tables)
+        .map(|i| TableSpec {
+            id: TableId(i),
+            name: format!("tbl_{i}"),
+            rows: 1 + rng.next_u64_below(999_999),
+            dim: 1 + rng.next_index(255) as u32,
+            net: NetId(i % n_nets),
+            pooling_factor: rng.next_range(0.0, 1e6),
+        })
+        .collect();
+    let nets = (0..n_nets)
+        .map(|i| NetSpec {
+            id: NetId(i),
+            name: format!("net_{i}"),
+            bottom_mlp: vec![64, 32],
+            top_mlp: vec![64, 1],
+            takes_prev_output: i > 0,
+        })
+        .collect();
+    ModelSpec {
+        name: "prop-model".into(),
+        dense_features: 1 + rng.next_index(511),
+        tables,
+        nets,
+        default_batch_size: 1 + rng.next_index(255),
+        mean_items_per_request: rng.next_range(0.5, 5000.0),
+    }
+}
+
+#[test]
+fn publish_round_trips_exactly() {
+    let mut rng = SimRng::seed_from(0x90_B115).fork(1);
+    for case in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        if spec.validate().is_err() {
+            continue;
+        }
+        let text = spec_to_text(&spec);
+        let back = spec_from_text(&text).expect("parse back");
+        assert_eq!(back, spec, "case {case}");
+    }
+}
+
+#[test]
+fn publish_is_stable_under_reserialization() {
+    let mut rng = SimRng::seed_from(0x90_B115).fork(2);
+    for case in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        if spec.validate().is_err() {
+            continue;
+        }
+        let once = spec_to_text(&spec);
+        let twice = spec_to_text(&spec_from_text(&once).unwrap());
+        assert_eq!(once, twice, "case {case}");
+    }
+}
+
+/// Arbitrary garbage never panics the parser — it errors.
+#[test]
+fn parser_is_total() {
+    let mut rng = SimRng::seed_from(0x90_B115).fork(3);
+    for _ in 0..CASES {
+        let len = rng.next_index(200);
+        let garbage: String = (0..len)
+            .map(|_| {
+                // Printable-ish ASCII plus the format's separators and a
+                // few multi-byte characters.
+                const ALPHABET: &[char] =
+                    &['a', 'Z', '0', '9', ' ', '\t', '\n', '=', ':', ',', '.', '-', '§', '⊕'];
+                ALPHABET[rng.next_index(ALPHABET.len())]
+            })
+            .collect();
+        let _ = spec_from_text(&garbage);
+        let with_header = format!("dlrm-model v1\n{garbage}");
+        let _ = spec_from_text(&with_header);
+    }
+}
+
+/// Mutating single lines of a valid document never panics the parser.
+#[test]
+fn parser_survives_line_corruption() {
+    let mut rng = SimRng::seed_from(0x90_B115).fork(4);
+    let spec = arb_spec(&mut rng);
+    let text = spec_to_text(&spec);
+    let lines: Vec<&str> = text.lines().collect();
+    for drop_line in 0..lines.len() {
+        let corrupted: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop_line)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let _ = spec_from_text(&corrupted);
+    }
+}

@@ -737,7 +737,7 @@ pub fn simulate(
         None => spec.default_batch_size,
     };
     let n_servers = 1 + plan.num_shards();
-    let mut root = SimRng::seed_from(config.seed ^ 0x5e41_71e5);
+    let root = SimRng::seed_from(config.seed ^ 0x5e41_71e5);
     let mut rng_skew = root.fork(1);
     let rng_net = root.fork(2);
     let mut rng_placement = root.fork(5);

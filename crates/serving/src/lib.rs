@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod capacity;
+pub mod channel;
 mod cluster;
 mod cost;
 pub mod experiment;

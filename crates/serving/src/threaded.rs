@@ -10,7 +10,7 @@
 //! shard work — the asynchronous parallelism of Fig. 3 with actual OS
 //! concurrency rather than a simulator.
 
-use crossbeam_channel::{bounded, unbounded, Sender};
+use crate::channel::{bounded, unbounded, Sender};
 use dlrm_sharding::rpc::{ShardRequest, ShardResponse, SparseShardClient};
 use dlrm_sharding::{ShardId, ShardService};
 use std::sync::Arc;

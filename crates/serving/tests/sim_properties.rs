@@ -1,43 +1,40 @@
-//! Property-based tests on simulator invariants: for arbitrary seeds,
+//! Property-style tests on simulator invariants: for arbitrary seeds,
 //! workloads and configurations, the DES must conserve basic accounting
-//! identities.
+//! identities. Cases are generated deterministically from [`SimRng`]
+//! streams (the in-tree replacement for proptest).
 
-use dlrm_core_shim::*;
-use proptest::prelude::*;
+use dlrm_model::rm;
+use dlrm_serving::{
+    simulate, ArrivalProcess, Cluster, CostModel, RunConfig, ShardFault,
+};
+use dlrm_sharding::{plan, ShardingStrategy};
+use dlrm_sim::SimRng;
+use dlrm_workload::TraceDb;
 
-/// Local aliases (this crate can't depend on dlrm-core; pull the pieces
-/// directly).
-mod dlrm_core_shim {
-    pub use dlrm_model::rm;
-    pub use dlrm_serving::{
-        simulate, ArrivalProcess, Cluster, CostModel, RunConfig, ShardFault,
-    };
-    pub use dlrm_sharding::{plan, ShardingStrategy};
-    pub use dlrm_workload::TraceDb;
-}
+const STRATEGIES: [ShardingStrategy; 4] = [
+    ShardingStrategy::Singular,
+    ShardingStrategy::OneShard,
+    ShardingStrategy::NetSpecificBinPacking(4),
+    ShardingStrategy::NetSpecificBinPacking(8),
+];
 
-fn strategies() -> impl Strategy<Value = ShardingStrategy> {
-    prop_oneof![
-        Just(ShardingStrategy::Singular),
-        Just(ShardingStrategy::OneShard),
-        Just(ShardingStrategy::NetSpecificBinPacking(4)),
-        Just(ShardingStrategy::NetSpecificBinPacking(8)),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Core accounting: e2e > 0, cpu > 0, every request completes, and
-    /// per-server busy time equals the cpu total.
-    #[test]
-    fn simulation_accounting_invariants(
-        seed in 0u64..1000,
-        requests in 1usize..40,
-        strategy in strategies(),
-        qps in prop::option::of(1.0f64..200.0),
-    ) {
-        let spec = rm::rm3();
+/// Core accounting: e2e > 0, cpu > 0, every request completes, and
+/// per-server busy time equals the cpu total.
+#[test]
+fn simulation_accounting_invariants() {
+    let spec = rm::rm3();
+    let mut rng = SimRng::seed_from(0x51_4041).fork(1);
+    for case in 0..24 {
+        let seed = rng.next_u64_below(1000);
+        let requests = 1 + rng.next_index(39);
+        let strategy = STRATEGIES[rng.next_index(STRATEGIES.len())];
+        let arrivals = if rng.next_f64() < 0.5 {
+            ArrivalProcess::OpenLoop {
+                qps: rng.next_range(1.0, 200.0),
+            }
+        } else {
+            ArrivalProcess::Serial
+        };
         let db = TraceDb::generate(&spec, requests.max(4), seed);
         let profile = db.pooling_profile(db.len());
         let p = plan(&spec, &profile, strategy).unwrap();
@@ -45,37 +42,38 @@ proptest! {
         let config = RunConfig {
             requests,
             batch_size: None,
-            arrivals: match qps {
-                Some(q) => ArrivalProcess::OpenLoop { qps: q },
-                None => ArrivalProcess::Serial,
-            },
+            arrivals,
             seed,
             collect_traces: false,
             fault: None,
         };
         let result = simulate(&spec, &p, &cost, &Cluster::sc_large(), &db, &config);
-        prop_assert_eq!(result.outcomes.len(), requests);
+        assert_eq!(result.outcomes.len(), requests, "case {case}");
         for o in &result.outcomes {
-            prop_assert!(o.e2e_ms > 0.0);
-            prop_assert!(o.cpu_ms > 0.0);
+            assert!(o.e2e_ms > 0.0, "case {case}");
+            assert!(o.cpu_ms > 0.0, "case {case}");
             // A request can't take longer than the whole run.
-            prop_assert!(o.e2e_ms <= result.makespan_ms + 1e-9);
+            assert!(o.e2e_ms <= result.makespan_ms + 1e-9, "case {case}");
         }
         // Core busy-time across servers equals the cpu spans' total.
         let busy_total = result.main_busy_ms + result.shard_busy_ms.iter().sum::<f64>();
         let cpu_total: f64 = result.outcomes.iter().map(|o| o.cpu_ms).sum();
-        prop_assert!(
+        assert!(
             (busy_total - cpu_total).abs() < 1e-6 * cpu_total.max(1.0),
-            "busy {busy_total} vs cpu {cpu_total}"
+            "case {case}: busy {busy_total} vs cpu {cpu_total}"
         );
     }
+}
 
-    /// Open-loop runs never lose or duplicate requests, and higher QPS
-    /// never *reduces* any request's latency relative to an idle system
-    /// beyond numeric noise (queueing can only hurt).
-    #[test]
-    fn open_loop_queueing_only_hurts(seed in 0u64..200) {
-        let spec = rm::rm3();
+/// Open-loop runs never lose or duplicate requests, and higher QPS never
+/// *reduces* any request's latency relative to an idle system beyond
+/// numeric noise (queueing can only hurt).
+#[test]
+fn open_loop_queueing_only_hurts() {
+    let spec = rm::rm3();
+    let mut rng = SimRng::seed_from(0x51_4041).fork(2);
+    for case in 0..12 {
+        let seed = rng.next_u64_below(200);
         let db = TraceDb::generate(&spec, 24, seed);
         let profile = db.pooling_profile(db.len());
         let p = plan(&spec, &profile, ShardingStrategy::Singular).unwrap();
@@ -94,14 +92,22 @@ proptest! {
         };
         let slow = run(1.0);
         let fast = run(2000.0);
-        prop_assert!(fast >= slow * 0.999, "p99 at load {fast} vs idle {slow}");
+        assert!(
+            fast >= slow * 0.999,
+            "case {case}: p99 at load {fast} vs idle {slow}"
+        );
     }
+}
 
-    /// A fault window in the past (or on singular) changes nothing;
-    /// an active fault never improves latency.
-    #[test]
-    fn faults_are_monotone(seed in 0u64..200, slowdown in 1.5f64..20.0) {
-        let spec = rm::rm3();
+/// A fault window in the past (or on singular) changes nothing; an
+/// active fault never improves latency.
+#[test]
+fn faults_are_monotone() {
+    let spec = rm::rm3();
+    let mut rng = SimRng::seed_from(0x51_4041).fork(3);
+    for case in 0..12 {
+        let seed = rng.next_u64_below(200);
+        let slowdown = rng.next_range(1.5, 20.0);
         let db = TraceDb::generate(&spec, 20, seed);
         let profile = db.pooling_profile(db.len());
         let p = plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(4)).unwrap();
@@ -125,13 +131,19 @@ proptest! {
             duration_ms: 1.0,
             slowdown,
         }));
-        prop_assert!((healthy.0 - past.0).abs() < 1e-9);
+        assert!(
+            (healthy.0 - past.0).abs() < 1e-9,
+            "case {case}: past fault changed the run"
+        );
         let active = run(Some(ShardFault {
             shard: 0,
             start_ms: 0.0,
             duration_ms: 1e9,
             slowdown,
         }));
-        prop_assert!(active.1 >= healthy.1 - 1e-9, "fault improved mean latency");
+        assert!(
+            active.1 >= healthy.1 - 1e-9,
+            "case {case}: fault improved mean latency"
+        );
     }
 }

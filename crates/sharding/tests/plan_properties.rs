@@ -1,0 +1,202 @@
+//! Property-style tests: every strategy must produce structurally valid
+//! plans for arbitrary (well-formed) models, and plan invariants must
+//! hold regardless of model shape. Cases are generated deterministically
+//! from [`SimRng`] streams (the in-tree replacement for proptest), so
+//! every run exercises the identical case set.
+
+use dlrm_model::{ModelSpec, NetId, NetSpec, TableId, TableSpec};
+use dlrm_sharding::{plan, Location, ShardingStrategy};
+use dlrm_sim::SimRng;
+use dlrm_workload::PoolingProfile;
+
+const CASES: usize = 64;
+
+/// Generates a well-formed ModelSpec with 1–2 nets and 2–40 tables of
+/// varied size/pooling, retrying until every net owns a table (mirrors
+/// the old proptest `prop_filter`).
+fn arb_spec(rng: &mut SimRng) -> ModelSpec {
+    loop {
+        let n_nets = 1 + rng.next_index(2);
+        let n_tables = 2 + rng.next_index(38);
+        let dims = [16u32, 32, 64, 128];
+        let tables: Vec<TableSpec> = (0..n_tables)
+            .map(|i| TableSpec {
+                id: TableId(i),
+                name: format!("t{i}"),
+                rows: (1 + rng.next_u64_below(199_999)).max(8),
+                dim: dims[rng.next_index(dims.len())],
+                net: NetId(i % n_nets),
+                pooling_factor: rng.next_range(0.0, 500.0),
+            })
+            .collect();
+        let nets: Vec<NetSpec> = (0..n_nets)
+            .map(|i| NetSpec {
+                id: NetId(i),
+                name: format!("net{i}"),
+                bottom_mlp: vec![32, 16],
+                top_mlp: vec![32, 1],
+                takes_prev_output: i > 0,
+            })
+            .collect();
+        let spec = ModelSpec {
+            name: "prop".into(),
+            dense_features: 16,
+            tables,
+            nets,
+            default_batch_size: 8,
+            mean_items_per_request: 16.0,
+        };
+        let every_net_covered = spec
+            .nets
+            .iter()
+            .all(|n| spec.tables_of_net(n.id).count() > 0);
+        if every_net_covered {
+            return spec;
+        }
+    }
+}
+
+fn strategies(n_tables: usize, n_nets: usize) -> Vec<ShardingStrategy> {
+    let mut out = vec![ShardingStrategy::Singular, ShardingStrategy::OneShard];
+    for n in [2usize, 4] {
+        if n <= n_tables {
+            out.push(ShardingStrategy::CapacityBalanced(n));
+            out.push(ShardingStrategy::LoadBalanced(n));
+            out.push(ShardingStrategy::Auto(n));
+        }
+        if n >= n_nets {
+            out.push(ShardingStrategy::NetSpecificBinPacking(n));
+        }
+    }
+    out
+}
+
+/// Every feasible plan validates, covers each table exactly once, and
+/// conserves capacity and pooling across shards.
+#[test]
+fn plans_conserve_capacity_and_pooling() {
+    let mut rng = SimRng::seed_from(0x5_4A4D).fork(1);
+    for case in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        assert_eq!(spec.validate(), Ok(()), "case {case}");
+        let profile = PoolingProfile::from_spec(&spec);
+        for strategy in strategies(spec.tables.len(), spec.nets.len()) {
+            let Ok(p) = plan(&spec, &profile, strategy) else {
+                continue;
+            };
+            assert_eq!(p.validate(&spec), Ok(()), "case {case}: {strategy}");
+            if !strategy.is_distributed() {
+                continue;
+            }
+            // Capacity conservation across shards.
+            let shard_total: f64 = p
+                .shards()
+                .map(|s| p.shard_capacity_bytes(s, &spec))
+                .sum();
+            let spec_total = spec.total_bytes() as f64;
+            assert!(
+                (shard_total - spec_total).abs() / spec_total < 1e-9,
+                "case {case}: {strategy}: {shard_total} vs {spec_total}"
+            );
+            // Pooling conservation.
+            let shard_pool: f64 = p.shards().map(|s| p.shard_pooling(s, &profile)).sum();
+            assert!(
+                (shard_pool - profile.total()).abs() < 1e-6 * profile.total().max(1.0),
+                "case {case}: {strategy}"
+            );
+            // Each table's shards are distinct and in range.
+            for placement in p.placements() {
+                if let Location::Shards(shards) = &placement.location {
+                    let unique: std::collections::BTreeSet<_> = shards.iter().collect();
+                    assert_eq!(unique.len(), shards.len(), "case {case}: {strategy}");
+                }
+            }
+        }
+    }
+}
+
+/// NSBP never mixes nets on a shard, for any model shape.
+#[test]
+fn nsbp_always_isolates_nets() {
+    let mut rng = SimRng::seed_from(0x5_4A4D).fork(2);
+    for case in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let profile = PoolingProfile::from_spec(&spec);
+        for n in [2usize, 4, 8] {
+            if n < spec.nets.len() {
+                continue;
+            }
+            if let Ok(p) = plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(n)) {
+                assert!(p.nets_are_isolated(&spec), "case {case}: n={n}");
+            }
+        }
+    }
+}
+
+/// Load-balanced placement is greedy list scheduling on pooling, so its
+/// max shard load obeys Graham's list-scheduling bound:
+/// `makespan ≤ total/m + (1 − 1/m) × max_item` — an exact theorem,
+/// unlike the often-quoted 4/3 factor which is relative to the
+/// (uncomputable here) optimum.
+#[test]
+fn lb_respects_grahams_list_scheduling_bound() {
+    let mut rng = SimRng::seed_from(0x5_4A4D).fork(3);
+    for case in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let profile = PoolingProfile::from_spec(&spec);
+        for n in [2usize, 4] {
+            if n > spec.tables.len() {
+                continue;
+            }
+            let lb = plan(&spec, &profile, ShardingStrategy::LoadBalanced(n)).unwrap();
+            let max_load = lb
+                .shards()
+                .map(|s| lb.shard_pooling(s, &profile))
+                .fold(0.0f64, f64::max);
+            let hottest = spec
+                .tables
+                .iter()
+                .map(|t| profile.of(t.id))
+                .fold(0.0f64, f64::max);
+            let bound = profile.total() / n as f64 + (1.0 - 1.0 / n as f64) * hottest;
+            assert!(
+                max_load <= bound + 1e-9,
+                "case {case}: max {max_load} vs list-scheduling bound {bound}"
+            );
+        }
+    }
+}
+
+/// Row-sharded placements distribute capacity equally across parts.
+#[test]
+fn row_shard_parts_split_capacity() {
+    let mut rng = SimRng::seed_from(0x5_4A4D).fork(4);
+    for case in 0..CASES {
+        let spec = arb_spec(&mut rng);
+        let profile = PoolingProfile::from_spec(&spec);
+        for n in [4usize, 8] {
+            if n < spec.nets.len() {
+                continue;
+            }
+            let Ok(p) = plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(n))
+            else {
+                continue;
+            };
+            for placement in p.placements() {
+                if placement.is_row_sharded() {
+                    let t = spec.table(placement.table);
+                    let Location::Shards(shards) = &placement.location else {
+                        unreachable!()
+                    };
+                    for &s in shards {
+                        let contribution = t.bytes() as f64 / shards.len() as f64;
+                        assert!(
+                            p.shard_capacity_bytes(s, &spec) >= contribution - 1e-9,
+                            "case {case}: n={n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,16 +1,38 @@
 //! Seeded random number generation.
+//!
+//! The workspace builds hermetically (no external crates), so the
+//! generator is implemented here: a SplitMix64 seed expander feeding a
+//! xoshiro256++ core — the same construction the `rand` ecosystem's
+//! `SmallRng` family uses, ~100 lines, non-cryptographic, fast, and with
+//! well-studied statistical quality (Blackman & Vigna, 2019).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// SplitMix64 finalizer: a strong 64→64 bit mixer (period-free, used for
+/// seed expansion and salt mixing).
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One step of the SplitMix64 sequence: advances `state` by the golden
+/// gamma and returns the mixed output.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    mix64(*state)
+}
 
 /// A seeded random source for simulation components.
 ///
-/// Wraps a fast non-cryptographic generator and exposes exactly the
-/// primitives the distribution samplers need. Every simulation component
-/// derives its own `SimRng` from an experiment seed plus a component
-/// "salt" ([`SimRng::fork`]) so that adding a component never perturbs
-/// another component's stream — the property that keeps per-configuration
-/// comparisons paired (same requests, same network draws).
+/// The core generator is xoshiro256++ seeded through SplitMix64 (so any
+/// 64-bit seed — including 0 — expands to a full-entropy 256-bit state).
+/// It exposes exactly the primitives the distribution samplers need.
+/// Every simulation component derives its own `SimRng` from an
+/// experiment seed plus a component "salt" ([`SimRng::fork`]) so that
+/// adding a component never perturbs another component's stream — the
+/// property that keeps per-configuration comparisons paired (same
+/// requests, same network draws).
 ///
 /// # Examples
 ///
@@ -23,37 +45,95 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    /// The seed this stream was created from; forks derive from it so a
+    /// child stream never depends on parent consumption.
+    seed: u64,
+    /// xoshiro256++ state (never all-zero by construction).
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         Self {
-            inner: SmallRng::seed_from_u64(seed),
+            seed,
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
     /// Derives an independent generator for a sub-component.
     ///
-    /// The derived stream depends only on `(parent seed, salt)`, not on
-    /// how much the parent has been consumed — callers should fork from
-    /// a fresh root to get reproducible component streams.
+    /// The derived stream depends only on `(parent seed, salt)`, never on
+    /// how much the parent has been consumed, so component streams are
+    /// reproducible regardless of the order in which sibling components
+    /// draw. Forking with the same salt twice yields identical streams;
+    /// distinct salts yield decorrelated streams.
     #[must_use]
-    pub fn fork(&mut self, salt: u64) -> SimRng {
-        let base = self.inner.random::<u64>();
-        SimRng::seed_from(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    pub fn fork(&self, salt: u64) -> SimRng {
+        // Domain-separate the child seed from plain `seed_from` values:
+        // mix the parent seed with an odd constant and the salt scaled by
+        // the golden gamma, then finalize.
+        let child = mix64(
+            self.seed
+                .rotate_left(17)
+                .wrapping_add(0xA076_1D64_78BD_642F)
+                .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        SimRng::seed_from(child)
     }
 
-    /// Uniform `f64` in `[0, 1)`.
-    pub fn next_f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+    /// The seed this generator was created from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
-    /// Uniform `u64` over the full range.
+    /// Uniform `u64` over the full range (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random::<u64>()
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 high bits of one `u64` draw).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` (24 high bits of one `u64` draw).
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `u64` in `[0, n)`, bias-free (Lemire's multiply-shift with
+    /// rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn next_u64_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_u64_below requires a non-empty range");
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(n);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform integer in `[0, n)`.
@@ -63,7 +143,7 @@ impl SimRng {
     /// Panics if `n` is zero.
     pub fn next_index(&mut self, n: usize) -> usize {
         assert!(n > 0, "next_index requires a non-empty range");
-        self.inner.random_range(0..n)
+        usize::try_from(self.next_u64_below(n as u64)).expect("range fits usize")
     }
 
     /// Uniform `f64` in `[lo, hi)`.
@@ -73,7 +153,10 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        let v = lo + (hi - lo) * self.next_f64();
+        // Floating-point rounding can land exactly on `hi`; fold that
+        // measure-zero event back to the inclusive endpoint.
+        if v < hi { v } else { lo }
     }
 
     /// Standard normal deviate (Box–Muller transform).
@@ -107,17 +190,72 @@ mod tests {
     }
 
     #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = SimRng::seed_from(0);
+        let draws: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&v| v != 0));
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
     fn forks_are_deterministic_and_distinct() {
-        let mut root1 = SimRng::seed_from(9);
-        let mut root2 = SimRng::seed_from(9);
+        let root1 = SimRng::seed_from(9);
+        let root2 = SimRng::seed_from(9);
         let mut f1 = root1.fork(1);
         let mut f2 = root2.fork(1);
         assert_eq!(f1.next_u64(), f2.next_u64());
 
-        let mut root3 = SimRng::seed_from(9);
+        let root3 = SimRng::seed_from(9);
         let mut g = root3.fork(2);
         let mut f3 = SimRng::seed_from(9).fork(1);
         assert_ne!(g.next_u64(), f3.next_u64());
+    }
+
+    #[test]
+    fn fork_is_consumption_independent() {
+        // The documented contract: a child stream depends only on
+        // (parent seed, salt), so forking before or after the parent
+        // draws must give the same child.
+        let fresh = SimRng::seed_from(123);
+        let mut consumed = SimRng::seed_from(123);
+        for _ in 0..57 {
+            let _ = consumed.next_u64();
+        }
+        let mut a = fresh.fork(5);
+        let mut b = consumed.fork(5);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_differs_from_parent_stream() {
+        let root = SimRng::seed_from(31);
+        let mut child = root.fork(0);
+        let mut parent = SimRng::seed_from(31);
+        let same = (0..64)
+            .filter(|_| child.next_u64() == parent.next_u64())
+            .count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn nested_forks_are_decorrelated() {
+        // (seed, a).fork(b) must not collide with (seed, b).fork(a) or
+        // with single-level forks — the discipline components rely on.
+        let root = SimRng::seed_from(77);
+        let mut streams = [
+            root.fork(1).fork(2),
+            root.fork(2).fork(1),
+            root.fork(1),
+            root.fork(2),
+        ];
+        let firsts: Vec<u64> = streams.iter_mut().map(SimRng::next_u64).collect();
+        for i in 0..firsts.len() {
+            for j in (i + 1)..firsts.len() {
+                assert_ne!(firsts[i], firsts[j], "streams {i} and {j} collide");
+            }
+        }
     }
 
     #[test]
@@ -126,11 +264,64 @@ mod tests {
         for _ in 0..1000 {
             let v = r.next_f64();
             assert!((0.0..1.0).contains(&v));
+            let f = r.next_f32();
+            assert!((0.0..1.0).contains(&f));
             let i = r.next_index(10);
             assert!(i < 10);
             let x = r.next_range(-2.0, 2.0);
             assert!((-2.0..2.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn next_index_is_unbiased_across_buckets() {
+        // Chi-square-style check over 8 buckets: with 320k draws each
+        // bucket expects 40k (σ ≈ 187, so ±3% is a ~6σ bound — loose
+        // enough that a correct generator essentially never trips it).
+        let mut r = SimRng::seed_from(13);
+        let mut counts = [0u32; 8];
+        let n = 320_000;
+        for _ in 0..n {
+            counts[r.next_index(8)] += 1;
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            let expected = n as f64 / 8.0;
+            assert!(
+                (f64::from(c) - expected).abs() / expected < 0.03,
+                "bucket {b}: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_balance_is_uniform() {
+        // Monobit test: each of the 64 output bit positions should be
+        // set about half the time.
+        let mut r = SimRng::seed_from(17);
+        let n = 10_000;
+        let mut ones = [0u32; 64];
+        for _ in 0..n {
+            let v = r.next_u64();
+            for (bit, count) in ones.iter_mut().enumerate() {
+                *count += ((v >> bit) & 1) as u32;
+            }
+        }
+        for (bit, &count) in ones.iter().enumerate() {
+            let frac = f64::from(count) / f64::from(n);
+            assert!((frac - 0.5).abs() < 0.02, "bit {bit}: {frac}");
+        }
+    }
+
+    #[test]
+    fn f64_moments_match_uniform() {
+        let mut r = SimRng::seed_from(19);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.next_f64()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        // Uniform variance = 1/12.
+        assert!((var - 1.0 / 12.0).abs() < 0.002, "var {var}");
     }
 
     #[test]
@@ -143,4 +334,51 @@ mod tests {
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }
+
+    /// Golden-stream regression: pins the first outputs of the generator
+    /// for several seeds. Every experiment's draws flow from these
+    /// streams — if this test changes, every published `measured=` value
+    /// in the repo changes with it, so any edit here must be a deliberate
+    /// format-versioning decision, not a refactor side effect.
+    #[test]
+    fn golden_streams_are_pinned() {
+        let golden: &[(u64, [u64; 4])] = &[
+            (0, GOLDEN_SEED0),
+            (1, GOLDEN_SEED1),
+            (42, GOLDEN_SEED42),
+            (0xDEAD_BEEF, GOLDEN_SEEDDB),
+        ];
+        for &(seed, expect) in golden {
+            let mut r = SimRng::seed_from(seed);
+            let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+            assert_eq!(got, expect, "stream for seed {seed} shifted");
+        }
+    }
+
+    // Golden values generated once from the reference implementation
+    // (SplitMix64 expansion + xoshiro256++), then frozen.
+    const GOLDEN_SEED0: [u64; 4] = [
+        0x5317_5D61_490B_23DF,
+        0x61DA_6F3D_C380_D507,
+        0x5C0F_DF91_EC9A_7BFC,
+        0x02EE_BF8C_3BBE_5E1A,
+    ];
+    const GOLDEN_SEED1: [u64; 4] = [
+        0xCFC5_D07F_6F03_C29B,
+        0xBF42_4132_963F_E08D,
+        0x19A3_7D57_57AA_F520,
+        0xBF08_119F_05CD_56D6,
+    ];
+    const GOLDEN_SEED42: [u64; 4] = [
+        0xD076_4D4F_4476_689F,
+        0x519E_4174_576F_3791,
+        0xFBE0_7CFB_0C24_ED8C,
+        0xB37D_9F60_0CD8_35B8,
+    ];
+    const GOLDEN_SEEDDB: [u64; 4] = [
+        0x0C52_0EB8_FEA9_8EDE,
+        0x2B74_A633_8B80_E0E2,
+        0xBE23_8770_C379_5322,
+        0x5F23_5F98_A244_EA97,
+    ];
 }

@@ -1,0 +1,129 @@
+//! Property-style tests for the dense kernels, driven by deterministic
+//! [`SimRng`] case generation (the in-tree replacement for proptest).
+
+use dlrm_sim::SimRng;
+use dlrm_tensor::{concat_cols, relu, Matrix};
+
+const CASES: usize = 64;
+
+/// An `r × c` matrix with elements uniform in `[-100, 100)`.
+fn matrix(rng: &mut SimRng, r: usize, c: usize) -> Matrix {
+    let data: Vec<f32> = (0..r * c)
+        .map(|_| rng.next_range(-100.0, 100.0) as f32)
+        .collect();
+    Matrix::from_vec(r, c, data)
+}
+
+/// Dimensions and a conforming (A, B) matmul pair.
+fn matmul_pair(rng: &mut SimRng) -> (Matrix, Matrix) {
+    let m = 1 + rng.next_index(5);
+    let k = 1 + rng.next_index(5);
+    let n = 1 + rng.next_index(5);
+    (matrix(rng, m, k), matrix(rng, k, n))
+}
+
+#[test]
+fn matmul_left_identity() {
+    let mut rng = SimRng::seed_from(0x7E_450B).fork(1);
+    for _ in 0..CASES {
+        let (a, _b) = matmul_pair(&mut rng);
+        let mut id = Matrix::zeros(a.rows(), a.rows());
+        for i in 0..a.rows() {
+            id.set(i, i, 1.0);
+        }
+        assert!(id.matmul(&a).approx_eq(&a, 1e-5));
+    }
+}
+
+#[test]
+fn matmul_distributes_over_addition() {
+    let mut rng = SimRng::seed_from(0x7E_450B).fork(2);
+    for case in 0..CASES {
+        let m = 1 + rng.next_index(4);
+        let k = 1 + rng.next_index(4);
+        let n = 1 + rng.next_index(4);
+        // Bounded elements keep the comparison numerically tame.
+        let gen = |rng: &mut SimRng, r: usize, c: usize| {
+            let data: Vec<f32> = (0..r * c)
+                .map(|_| rng.next_range(-2.0, 2.0) as f32)
+                .collect();
+            Matrix::from_vec(r, c, data)
+        };
+        let a = gen(&mut rng, m, k);
+        let b1 = gen(&mut rng, k, n);
+        let b2 = gen(&mut rng, k, n);
+        let lhs = {
+            let mut sum = b2.clone();
+            sum.add_assign(&b1);
+            a.matmul(&sum)
+        };
+        let mut rhs = a.matmul(&b1);
+        rhs.add_assign(&a.matmul(&b2));
+        assert!(
+            lhs.approx_eq(&rhs, 1e-3),
+            "case {case}: max diff {}",
+            lhs.max_abs_diff(&rhs)
+        );
+    }
+}
+
+#[test]
+fn transpose_swaps_matmul_order() {
+    let mut rng = SimRng::seed_from(0x7E_450B).fork(3);
+    for _ in 0..CASES {
+        let (a, b) = matmul_pair(&mut rng);
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+}
+
+#[test]
+fn matmul_transb_agrees_with_explicit_transpose() {
+    let mut rng = SimRng::seed_from(0x7E_450B).fork(4);
+    for _ in 0..CASES {
+        let (a, b) = matmul_pair(&mut rng);
+        let bt = b.transpose(); // bt has shape n×k, same cols as a when k matches
+        let via_transb = a.matmul_transb(&bt);
+        let direct = a.matmul(&b);
+        assert!(via_transb.approx_eq(&direct, 1e-4));
+    }
+}
+
+#[test]
+fn relu_is_idempotent() {
+    let mut rng = SimRng::seed_from(0x7E_450B).fork(5);
+    for _ in 0..CASES {
+        let m = matrix(&mut rng, 3, 4);
+        let once = relu(&m);
+        let twice = relu(&once);
+        assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn relu_output_nonnegative() {
+    let mut rng = SimRng::seed_from(0x7E_450B).fork(6);
+    for _ in 0..CASES {
+        let m = matrix(&mut rng, 4, 3);
+        assert!(relu(&m).as_slice().iter().all(|&v| v >= 0.0));
+    }
+}
+
+#[test]
+fn concat_preserves_total_width() {
+    let mut rng = SimRng::seed_from(0x7E_450B).fork(7);
+    for _ in 0..CASES {
+        let a = matrix(&mut rng, 2, 3);
+        let b = matrix(&mut rng, 2, 5);
+        let c = concat_cols(&[&a, &b]);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 8);
+        // Left block equals a, right block equals b.
+        for r in 0..2 {
+            assert_eq!(&c.row(r)[..3], a.row(r));
+            assert_eq!(&c.row(r)[3..], b.row(r));
+        }
+    }
+}

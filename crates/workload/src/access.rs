@@ -9,8 +9,7 @@
 //! need: frequency profiles and LRU hit-rate curves (which also back the
 //! SSD-paging cost model's skew parameter empirically).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dlrm_sim::SimRng;
 
 /// A stream of row accesses against one embedding table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +36,7 @@ impl AccessTrace {
         assert!(rows > 0, "table needs rows");
         assert!(n > 0, "trace needs accesses");
         assert!(s > 0.0 && s <= 5.0, "zipf exponent {s} out of range");
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x00AC_CE55);
+        let mut rng = SimRng::seed_from(seed).fork(0x00AC_CE55);
         // Scatter ranks over the index space with a multiplicative
         // permutation (odd multiplier is a bijection mod 2^k; use
         // mod-rows mapping via a large odd co-prime-ish stride, falling
@@ -165,8 +164,8 @@ impl AccessTrace {
 
 /// Samples a 1-based Zipf rank over `n` items with exponent `s` via the
 /// continuous inverse-CDF approximation, returning a 0-based rank.
-fn zipf_rank(rng: &mut SmallRng, n: u64, s: f64) -> u64 {
-    let u: f64 = rng.random::<f64>().max(1e-12);
+fn zipf_rank(rng: &mut SimRng, n: u64, s: f64) -> u64 {
+    let u: f64 = rng.next_f64().max(1e-12);
     let rank = if (s - 1.0).abs() < 1e-9 {
         // H(x) ≈ ln(x): invert ln(x)/ln(n) = u.
         (n as f64).powf(u)

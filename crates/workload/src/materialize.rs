@@ -4,9 +4,12 @@
 use crate::RequestShape;
 use dlrm_model::graph::SparseInput;
 use dlrm_model::ModelSpec;
+use dlrm_sim::SimRng;
 use dlrm_tensor::Matrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+
+/// Salt separating the dense-feature stream from the sparse-index
+/// streams forked off the same `(seed, request)` root.
+const DENSE_SALT: u64 = u64::MAX;
 
 /// Concrete inputs for one inference batch: dense features plus one
 /// sparse input per table (indexed by [`dlrm_model::TableId`]).
@@ -85,7 +88,12 @@ pub fn materialize_request(
         })
         .collect();
 
-    let mut dense_rng = SmallRng::seed_from_u64(seed ^ shape.id.rotate_left(17));
+    // Fork discipline: one root per (seed, request), a dedicated fork for
+    // the dense features, and a fork per (table, batch) for the sparse
+    // indices — each stream is independent of how many other tables or
+    // batches exist.
+    let request_rng = SimRng::seed_from(seed).fork(shape.id);
+    let mut dense_rng = request_rng.fork(DENSE_SALT);
     let mut batches = Vec::with_capacity(n_batches);
     for b in 0..n_batches {
         let lo = b * batch_size;
@@ -93,7 +101,7 @@ pub fn materialize_request(
         let bsz = hi - lo;
 
         let dense_data: Vec<f32> = (0..bsz * spec.dense_features)
-            .map(|_| dense_rng.random::<f32>() - 0.5)
+            .map(|_| dense_rng.next_f32() - 0.5)
             .collect();
         let dense = Matrix::from_vec(bsz, spec.dense_features, dense_data);
 
@@ -104,15 +112,10 @@ pub fn materialize_request(
             .map(|(ti, table)| {
                 let lengths: Vec<u32> = per_item_counts[ti][lo..hi].to_vec();
                 let total: usize = lengths.iter().map(|&l| l as usize).sum();
-                // Seed per (request, table, batch) so each sparse stream
-                // is independent of how many other tables exist.
-                let mut rng = SmallRng::seed_from_u64(
-                    seed ^ shape.id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        ^ ((ti as u64) << 32)
-                        ^ b as u64,
-                );
-                let indices: Vec<u64> =
-                    (0..total).map(|_| rng.random_range(0..table.rows)).collect();
+                let mut rng = request_rng.fork(ti as u64).fork(b as u64);
+                let indices: Vec<u64> = (0..total)
+                    .map(|_| rng.next_u64_below(table.rows))
+                    .collect();
                 SparseInput::new(indices, lengths)
             })
             .collect();

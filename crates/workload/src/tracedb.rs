@@ -1,8 +1,7 @@
 //! The replayable request-trace database.
 
 use dlrm_model::ModelSpec;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dlrm_sim::SimRng;
 
 /// The shape of one inference request: everything the simulator and the
 /// materializer need, without the (irrelevant) concrete feature values.
@@ -106,7 +105,7 @@ impl TraceDb {
     pub fn generate_with(spec: &ModelSpec, n: usize, seed: u64, config: &TraceDbConfig) -> Self {
         assert!(n > 0, "trace must contain at least one request");
         spec.validate().expect("invalid model spec");
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7ace_db00);
+        let mut rng = SimRng::seed_from(seed).fork(0x7ace_db00);
         // E[lognormal(mu, sigma)] = exp(mu + sigma²/2); solve mu so the
         // configured mean is hit.
         let sigma = config.size_sigma;
@@ -118,14 +117,11 @@ impl TraceDb {
                 let t_days = config.days * i as f64 / n as f64;
                 let diurnal =
                     1.0 + config.diurnal_amplitude * (2.0 * std::f64::consts::PI * t_days).sin();
-                let u1: f64 = 1.0 - rng.random::<f64>();
-                let u2: f64 = rng.random();
-                let normal =
-                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let normal = rng.next_standard_normal();
                 let mut items_f = (mu + sigma * normal).exp() * diurnal;
-                if rng.random::<f64>() < config.tail_prob {
+                if rng.next_f64() < config.tail_prob {
                     let (lo, hi) = config.tail_scale;
-                    items_f *= lo + (hi - lo) * rng.random::<f64>();
+                    items_f *= lo + (hi - lo) * rng.next_f64();
                 }
                 items_f =
                     items_f.min(spec.mean_items_per_request * config.max_items_factor);
@@ -139,7 +135,7 @@ impl TraceDb {
                         let expected = t.pooling_factor * ratio;
                         let base = expected.floor();
                         let frac = expected - base;
-                        let extra = u32::from(rng.random::<f64>() < frac);
+                        let extra = u32::from(rng.next_f64() < frac);
                         base as u32 + extra
                     })
                     .collect();

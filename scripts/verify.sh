@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Hermetic verification gate: build, test and lint the whole workspace
+# with the network disabled, then audit the dependency graph to prove
+# nothing outside the workspace is linked in.
+#
+# Usage: scripts/verify.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> dependency audit: cargo tree must list only workspace members"
+# --edges all includes dev- and build-dependencies; every line of the
+# tree (any depth) must name a dlrm-* crate rooted in this workspace.
+bad=$(cargo tree --workspace --offline --edges all --prefix none \
+  | sed 's/ (\*)$//' \
+  | sort -u \
+  | grep -v -E '^dlrm-[a-z-]+ (v[0-9.]+ \(/.*\)|feature ".*"( \(command-line\))?)$' || true)
+if [ -n "$bad" ]; then
+  echo "FAIL: non-workspace crates in the dependency graph:" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+
+echo "==> OK: hermetic build, 0 test failures, 0 lints, workspace-only deps"
