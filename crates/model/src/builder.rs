@@ -18,6 +18,10 @@ pub enum BuildError {
         /// The configured guard.
         limit: u64,
     },
+    /// The constructed graph failed [`Model::validate`]: some operator
+    /// declared an input no earlier operator produces and no external
+    /// load provides.
+    InvalidGraph(String),
 }
 
 impl std::fmt::Display for BuildError {
@@ -29,6 +33,7 @@ impl std::fmt::Display for BuildError {
                 "materializing {bytes} bytes exceeds the {limit}-byte guard; \
                  call ModelSpec::scaled_to_bytes first"
             ),
+            BuildError::InvalidGraph(msg) => write!(f, "builder produced {msg}"),
         }
     }
 }
@@ -284,12 +289,18 @@ pub fn build_model_with_options(
     }
 
     let output_blob = blobs::net_output(spec.nets.last().expect("validated").id);
-    Ok(Model {
+    let model = Model {
         spec: spec.clone(),
         nets,
         tables,
         output_blob,
-    })
+    };
+    // The overlap scheduler trusts declared inputs/outputs; reject a
+    // graph with dishonest declarations here rather than mid-run.
+    model
+        .validate()
+        .map_err(|e| BuildError::InvalidGraph(e.to_string()))?;
+    Ok(model)
 }
 
 #[cfg(test)]
@@ -496,6 +507,22 @@ mod tests {
             build_model(&spec, 1),
             Err(BuildError::InvalidSpec(_))
         ));
+    }
+
+    #[test]
+    fn built_models_pass_graph_validation() {
+        // build_model validates internally; re-validating the returned
+        // model confirms the declarations stay honest post-construction.
+        let model = build_model(&two_net_spec(), 7).unwrap();
+        model.validate().unwrap();
+        let uniform = crate::builder::build_model_with_options(
+            &uniform_spec(),
+            7,
+            DEFAULT_MATERIALIZE_LIMIT,
+            InteractionKind::Dot,
+        )
+        .unwrap();
+        uniform.validate().unwrap();
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Caffe2-style dataflow graph: workspace of named blobs, operator
-//! lists, and a sequential executor with timing hooks.
+//! lists, and two executors with timing hooks.
 //!
 //! Operators within a net execute sequentially ("operators are scheduled
 //! to execute sequentially — unless specifically asynchronous like the
@@ -7,10 +7,28 @@
 //! batch-level parallelism", §IV-A). The sharding partitioner rewrites
 //! these nets, so the representation is deliberately concrete: a vector
 //! of boxed [`Operator`]s reading and writing named [`Blob`]s.
+//!
+//! Two execution modes realize §IV-A's scheduling rule:
+//!
+//! - [`NetDef::run`] is the strictly sequential executor (every operator
+//!   blocks until done) — retained for the simulator's cost model and as
+//!   the bit-exactness reference.
+//! - [`NetDef::run_overlapped`] is the dependency-aware scheduler:
+//!   operators that expose an asynchronous issue/collect form
+//!   ([`AsyncOperator`], i.e. the RPC ops) are *issued* as soon as their
+//!   declared inputs are ready, synchronous operators run in list order
+//!   while those RPCs are in flight, and completions are *collected*
+//!   only when an operator demands one of their outputs. With N sparse
+//!   shards this overlaps all N shard round-trips with each other and
+//!   with the bottom-MLP dense compute, instead of paying them serially.
+//!
+//! The scheduler trusts the operators' declared [`Operator::inputs`] /
+//! [`Operator::outputs`]; [`NetDef::validate`] checks those declarations
+//! against the list order at model-construction time.
 
 use crate::spec::{ModelSpec, OpGroup};
 use dlrm_tensor::Matrix;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -85,6 +103,16 @@ pub enum GraphError {
         /// Failure description.
         message: String,
     },
+    /// Static validation failure: an operator declared an input that no
+    /// earlier operator produces and no external load provides. The
+    /// overlap scheduler depends on honest declarations, so this is
+    /// rejected at model construction rather than discovered mid-run.
+    InvalidGraph {
+        /// The operator with the unsatisfiable input.
+        op: String,
+        /// The input blob nobody produces.
+        blob: String,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -97,6 +125,11 @@ impl std::fmt::Display for GraphError {
                 write!(f, "blob {blob} is not {expected}")
             }
             GraphError::OpFailed { op, message } => write!(f, "operator {op} failed: {message}"),
+            GraphError::InvalidGraph { op, blob } => write!(
+                f,
+                "invalid graph: operator {op} declares input {blob}, which no \
+                 earlier operator produces and no external load provides"
+            ),
         }
     }
 }
@@ -217,13 +250,70 @@ pub trait Operator: std::fmt::Debug + Send + Sync {
     fn as_sparse_lengths_sum(&self) -> Option<&crate::ops::SparseLengthsSum> {
         None
     }
+
+    /// The asynchronous (issue/collect) form of this operator, when it
+    /// has one. RPC operators return `Some`; purely local compute is
+    /// synchronous and returns `None` (the default), so the scheduler
+    /// runs it via [`Operator::run`] in list order.
+    fn as_async(&self) -> Option<&dyn AsyncOperator> {
+        None
+    }
+}
+
+/// An operator that can split execution into a non-blocking *issue*
+/// (read inputs, fire the remote call) and a deferred *collect* (wait
+/// for the reply, write outputs) — the paper's asynchronous RPC ops
+/// (§IV-A). [`NetDef::run_overlapped`] issues every ready async
+/// operator immediately and collects each one only when its outputs are
+/// demanded, overlapping all in-flight calls with local compute.
+pub trait AsyncOperator {
+    /// Reads this operator's inputs from the workspace and starts the
+    /// operation without waiting for it, returning the pending handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing/mistyped input blobs and transport failures
+    /// that surface at send time. Failures of the remote computation
+    /// itself may instead be deferred to [`PendingOp::collect`].
+    fn issue(&self, ws: &Workspace) -> Result<Box<dyn PendingOp>, GraphError>;
+}
+
+/// An issued asynchronous operation whose outputs have not been
+/// collected yet. Dropping a pending operation abandons it (the remote
+/// side completes; the reply is discarded).
+pub trait PendingOp: Send {
+    /// Waits for the operation to finish and writes its output blobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures and malformed responses.
+    fn collect(self: Box<Self>, ws: &mut Workspace) -> Result<(), GraphError>;
 }
 
 /// Observes operator execution; used for the real engine's per-group
 /// compute attribution.
 pub trait ExecutionObserver {
-    /// Called after each operator with its measured wall time.
+    /// Called after each operator with its measured wall time. For
+    /// asynchronous operators under [`NetDef::run_overlapped`], the
+    /// reported time spans issue through collect (the outstanding
+    /// window is *included*); use the RPC hooks below to separate the
+    /// non-CPU outstanding window.
     fn on_op(&mut self, net: &str, op: &dyn Operator, elapsed_secs: f64);
+
+    /// Called when the scheduler issues an asynchronous operator.
+    fn on_rpc_issued(&mut self, _net: &str, _op: &dyn Operator, _at: Instant) {}
+
+    /// Called when the scheduler collects an asynchronous operator:
+    /// `issued_at..collected_at` is the outstanding window (issue to
+    /// response consumed), the span pair Gantt export renders.
+    fn on_rpc_collected(
+        &mut self,
+        _net: &str,
+        _op: &dyn Operator,
+        _issued_at: Instant,
+        _collected_at: Instant,
+    ) {
+    }
 }
 
 /// Observer that ignores everything.
@@ -341,6 +431,186 @@ impl NetDef {
         }
         Ok(())
     }
+
+    /// Checks every operator's declared [`Operator::inputs`] against
+    /// list order: each input must be in `available` (externally loaded
+    /// or produced by an earlier net) or produced by an earlier operator
+    /// of this net. On success, `available` is extended with this net's
+    /// outputs so nets can be validated in sequence.
+    ///
+    /// The overlap scheduler ([`Self::run_overlapped`]) derives blob
+    /// readiness purely from these declarations, so dishonest ones would
+    /// silently reorder execution; this check makes them a hard error at
+    /// model construction.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidGraph`] naming the first unsatisfiable
+    /// (operator, input) pair.
+    pub fn validate(&self, available: &mut HashSet<String>) -> Result<(), GraphError> {
+        for op in &self.ops {
+            for input in op.inputs() {
+                if !available.contains(&input) {
+                    return Err(GraphError::InvalidGraph {
+                        op: op.name().to_string(),
+                        blob: input,
+                    });
+                }
+            }
+            for output in op.outputs() {
+                available.insert(output);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the net under the dependency-aware overlap scheduler.
+    ///
+    /// Repeatedly: (1) every not-yet-started [`AsyncOperator`] whose
+    /// declared inputs are all ready is issued immediately; (2) the
+    /// earliest not-yet-started operator is examined — any of its inputs
+    /// still owed by an in-flight operator forces that operator to be
+    /// collected (demand-driven), then the operator runs (synchronous)
+    /// or is issued on the next pass (asynchronous). Once every operator
+    /// has started, remaining in-flight operators are collected in list
+    /// order.
+    ///
+    /// Blob values are bit-identical to [`Self::run`]: each operator
+    /// computes the same function on the same inputs, and every blob is
+    /// written by exactly one operator (enforced by list-order
+    /// semantics), so only *when* writes land differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first operator failure. Operators still in flight
+    /// at that point are abandoned (their replies are discarded).
+    pub fn run_overlapped(
+        &self,
+        ws: &mut Workspace,
+        observer: &mut dyn ExecutionObserver,
+    ) -> Result<(), GraphError> {
+        let n = self.ops.len();
+        let mut slots: Vec<Slot> = (0..n).map(|_| Slot::Waiting).collect();
+        // Blobs present at entry are the net's external inputs.
+        let mut ready: HashSet<String> = ws.names().map(str::to_string).collect();
+        // Which in-flight operator will produce each not-yet-ready blob.
+        let mut in_flight_producer: HashMap<String, usize> = HashMap::new();
+
+        loop {
+            // Issue every ready asynchronous operator up front (§IV-A:
+            // all sparse-shard requests go out before dense compute
+            // blocks on any of them).
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if !matches!(slot, Slot::Waiting) {
+                    continue;
+                }
+                let op = &self.ops[i];
+                let Some(async_op) = op.as_async() else { continue };
+                if !op.inputs().iter().all(|b| ready.contains(b)) {
+                    continue;
+                }
+                let issued_at = Instant::now();
+                let pending = async_op.issue(ws)?;
+                let issue_secs = issued_at.elapsed().as_secs_f64();
+                observer.on_rpc_issued(&self.name, op.as_ref(), issued_at);
+                for out in op.outputs() {
+                    in_flight_producer.insert(out, i);
+                }
+                *slot = Slot::InFlight {
+                    pending,
+                    issued_at,
+                    issue_secs,
+                };
+            }
+
+            // The earliest unstarted operator drives demand.
+            let Some(i) = slots.iter().position(|s| matches!(s, Slot::Waiting)) else {
+                // Everything issued or done: drain in-flight ops in
+                // list order, then finish.
+                for j in 0..n {
+                    if matches!(slots[j], Slot::InFlight { .. }) {
+                        self.collect_in_flight(j, &mut slots, &mut ready, ws, observer)?;
+                    }
+                }
+                return Ok(());
+            };
+
+            // Collect the in-flight producers of any input it misses.
+            let op = &self.ops[i];
+            for input in op.inputs() {
+                if ready.contains(&input) {
+                    continue;
+                }
+                let Some(&j) = in_flight_producer.get(&input) else {
+                    return Err(GraphError::MissingBlob {
+                        blob: input,
+                        op: op.name().to_string(),
+                    });
+                };
+                self.collect_in_flight(j, &mut slots, &mut ready, ws, observer)?;
+            }
+            if op.as_async().is_some() {
+                // Inputs are ready now; the next pass issues it.
+                continue;
+            }
+            let start = Instant::now();
+            op.run(ws)?;
+            observer.on_op(&self.name, op.as_ref(), start.elapsed().as_secs_f64());
+            for out in op.outputs() {
+                ready.insert(out);
+            }
+            slots[i] = Slot::Done;
+        }
+    }
+
+    /// Collects in-flight operator `j`: waits for it, writes its
+    /// outputs, notifies the observer.
+    fn collect_in_flight(
+        &self,
+        j: usize,
+        slots: &mut [Slot],
+        ready: &mut HashSet<String>,
+        ws: &mut Workspace,
+        observer: &mut dyn ExecutionObserver,
+    ) -> Result<(), GraphError> {
+        let Slot::InFlight {
+            pending,
+            issued_at,
+            issue_secs,
+        } = std::mem::replace(&mut slots[j], Slot::Done)
+        else {
+            unreachable!("collect_in_flight called on a non-in-flight slot");
+        };
+        let collect_start = Instant::now();
+        pending.collect(ws)?;
+        let collected_at = Instant::now();
+        let op = self.ops[j].as_ref();
+        observer.on_rpc_collected(&self.name, op, issued_at, collected_at);
+        observer.on_op(
+            &self.name,
+            op,
+            issue_secs + collected_at.duration_since(collect_start).as_secs_f64(),
+        );
+        for out in op.outputs() {
+            ready.insert(out);
+        }
+        Ok(())
+    }
+}
+
+/// Per-operator execution state of the overlap scheduler.
+enum Slot {
+    /// Not started.
+    Waiting,
+    /// Issued asynchronously; outputs owed.
+    InFlight {
+        pending: Box<dyn PendingOp>,
+        issued_at: Instant,
+        /// CPU seconds spent inside `issue` (request build + send).
+        issue_secs: f64,
+    },
+    /// Ran or collected; outputs ready.
+    Done,
 }
 
 /// A complete executable model: its spec, its nets in execution order,
@@ -376,6 +646,60 @@ impl Model {
         }
         ws.dense(&self.output_blob, "model-output").cloned()
     }
+
+    /// Runs all nets in order under the overlap scheduler
+    /// ([`NetDef::run_overlapped`]); bit-exact with [`Self::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first operator failure.
+    pub fn run_overlapped(
+        &self,
+        ws: &mut Workspace,
+        observer: &mut dyn ExecutionObserver,
+    ) -> Result<Matrix, GraphError> {
+        for net in &self.nets {
+            net.run_overlapped(ws, observer)?;
+        }
+        ws.dense(&self.output_blob, "model-output").cloned()
+    }
+
+    /// Validates every net's declared inputs/outputs against list order
+    /// (see [`NetDef::validate`]), with the spec's externally loaded
+    /// blobs (dense features, per-table sparse inputs) as the starting
+    /// set, and checks the output blob is produced. Run at model
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidGraph`] on the first dishonest declaration.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let mut available = external_input_blobs(&self.spec);
+        for net in &self.nets {
+            net.validate(&mut available)?;
+        }
+        if !available.contains(&self.output_blob) {
+            return Err(GraphError::InvalidGraph {
+                op: "model-output".into(),
+                blob: self.output_blob.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The blobs loaded into the workspace from outside the graph (the
+/// builder's naming convention): the dense-feature matrix plus one
+/// sparse input per table. These seed graph validation's available set.
+#[must_use]
+pub fn external_input_blobs(spec: &ModelSpec) -> HashSet<String> {
+    let mut blobs: HashSet<String> = spec
+        .tables
+        .iter()
+        .map(crate::builder::blobs::sparse_input)
+        .collect();
+    blobs.insert(crate::builder::blobs::DENSE_INPUT.to_string());
+    blobs
 }
 
 #[cfg(test)]
@@ -479,5 +803,359 @@ mod tests {
     #[should_panic(expected = "cover indices")]
     fn sparse_input_bad_lengths_panics() {
         let _ = SparseInput::new(vec![1], vec![3]);
+    }
+
+    use std::sync::Mutex;
+
+    type EventLog = Arc<Mutex<Vec<String>>>;
+
+    fn log(events: &EventLog, entry: impl Into<String>) {
+        events.lock().unwrap().push(entry.into());
+    }
+
+    /// A synchronous op that records its execution in the event log.
+    #[derive(Debug)]
+    struct LoggedAddOne {
+        inner: AddOne,
+        name: String,
+        events: EventLog,
+    }
+
+    impl Operator for LoggedAddOne {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn group(&self) -> OpGroup {
+            OpGroup::Other
+        }
+        fn inputs(&self) -> Vec<String> {
+            self.inner.inputs()
+        }
+        fn outputs(&self) -> Vec<String> {
+            self.inner.outputs()
+        }
+        fn run(&self, ws: &mut Workspace) -> Result<(), GraphError> {
+            log(&self.events, format!("run:{}", self.name));
+            self.inner.run(ws)
+        }
+    }
+
+    /// A fake RPC op: issue reads the input, collect writes input + 10.
+    #[derive(Debug)]
+    struct TestRpc {
+        name: String,
+        input: String,
+        output: String,
+        events: EventLog,
+        fail_at_issue: bool,
+        fail_at_collect: bool,
+    }
+
+    impl TestRpc {
+        fn new(name: &str, input: &str, output: &str, events: &EventLog) -> Self {
+            Self {
+                name: name.into(),
+                input: input.into(),
+                output: output.into(),
+                events: Arc::clone(events),
+                fail_at_issue: false,
+                fail_at_collect: false,
+            }
+        }
+    }
+
+    impl Operator for TestRpc {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn group(&self) -> OpGroup {
+            OpGroup::Sls
+        }
+        fn inputs(&self) -> Vec<String> {
+            vec![self.input.clone()]
+        }
+        fn outputs(&self) -> Vec<String> {
+            vec![self.output.clone()]
+        }
+        fn run(&self, ws: &mut Workspace) -> Result<(), GraphError> {
+            AsyncOperator::issue(self, ws)?.collect(ws)
+        }
+        fn as_async(&self) -> Option<&dyn AsyncOperator> {
+            Some(self)
+        }
+    }
+
+    impl AsyncOperator for TestRpc {
+        fn issue(&self, ws: &Workspace) -> Result<Box<dyn PendingOp>, GraphError> {
+            log(&self.events, format!("issue:{}", self.name));
+            if self.fail_at_issue {
+                return Err(GraphError::OpFailed {
+                    op: self.name.clone(),
+                    message: "injected issue failure".into(),
+                });
+            }
+            let mut m = ws.dense(&self.input, &self.name)?.clone();
+            m.map_inplace(|v| v + 10.0);
+            Ok(Box::new(TestPending {
+                name: self.name.clone(),
+                output: self.output.clone(),
+                result: m,
+                events: Arc::clone(&self.events),
+                fail: self.fail_at_collect,
+            }))
+        }
+    }
+
+    struct TestPending {
+        name: String,
+        output: String,
+        result: Matrix,
+        events: EventLog,
+        fail: bool,
+    }
+
+    impl PendingOp for TestPending {
+        fn collect(self: Box<Self>, ws: &mut Workspace) -> Result<(), GraphError> {
+            log(&self.events, format!("collect:{}", self.name));
+            if self.fail {
+                return Err(GraphError::OpFailed {
+                    op: self.name.clone(),
+                    message: "injected collect failure".into(),
+                });
+            }
+            ws.put(self.output, Blob::Dense(self.result));
+            Ok(())
+        }
+    }
+
+    fn logged_add_one(name: &str, input: &str, output: &str, events: &EventLog) -> LoggedAddOne {
+        LoggedAddOne {
+            inner: AddOne {
+                input: input.into(),
+                output: output.into(),
+            },
+            name: name.into(),
+            events: Arc::clone(events),
+        }
+    }
+
+    #[test]
+    fn overlap_issues_every_ready_async_op_before_collecting() {
+        let events: EventLog = Arc::default();
+        let mut net = NetDef::new("n");
+        net.push(Box::new(TestRpc::new("A", "x", "a", &events)));
+        net.push(Box::new(TestRpc::new("B", "x", "b", &events)));
+        net.push(Box::new(logged_add_one("C", "a", "c", &events)));
+        net.push(Box::new(logged_add_one("D", "b", "d", &events)));
+        let mut ws = Workspace::new();
+        ws.put("x", Blob::Dense(Matrix::zeros(1, 1)));
+        net.run_overlapped(&mut ws, &mut NoopObserver).unwrap();
+        assert_eq!(
+            *events.lock().unwrap(),
+            vec!["issue:A", "issue:B", "collect:A", "run:C", "collect:B", "run:D"],
+            "both RPCs must be in flight before either is collected"
+        );
+        assert_eq!(ws.dense("c", "t").unwrap().get(0, 0), 11.0);
+        assert_eq!(ws.dense("d", "t").unwrap().get(0, 0), 11.0);
+    }
+
+    #[test]
+    fn overlap_runs_sync_ops_while_rpcs_are_in_flight() {
+        let events: EventLog = Arc::default();
+        let mut net = NetDef::new("n");
+        net.push(Box::new(TestRpc::new("A", "x", "a", &events)));
+        net.push(Box::new(logged_add_one("S", "x", "s", &events)));
+        net.push(Box::new(logged_add_one("C", "a", "c", &events)));
+        let mut ws = Workspace::new();
+        ws.put("x", Blob::Dense(Matrix::zeros(1, 1)));
+        net.run_overlapped(&mut ws, &mut NoopObserver).unwrap();
+        assert_eq!(
+            *events.lock().unwrap(),
+            vec!["issue:A", "run:S", "collect:A", "run:C"],
+            "dense compute must run during the outstanding window; the \
+             RPC is collected only when its output is demanded"
+        );
+    }
+
+    #[test]
+    fn overlap_handles_rpc_chains() {
+        // B's input is produced by A: the scheduler must collect A
+        // before it can issue B.
+        let events: EventLog = Arc::default();
+        let mut net = NetDef::new("n");
+        net.push(Box::new(TestRpc::new("A", "x", "a", &events)));
+        net.push(Box::new(TestRpc::new("B", "a", "b", &events)));
+        let mut ws = Workspace::new();
+        ws.put("x", Blob::Dense(Matrix::zeros(1, 1)));
+        net.run_overlapped(&mut ws, &mut NoopObserver).unwrap();
+        assert_eq!(
+            *events.lock().unwrap(),
+            vec!["issue:A", "collect:A", "issue:B", "collect:B"]
+        );
+        assert_eq!(ws.dense("b", "t").unwrap().get(0, 0), 20.0);
+    }
+
+    #[test]
+    fn overlap_matches_sequential_bit_for_bit() {
+        let events: EventLog = Arc::default();
+        let build = |events: &EventLog| {
+            let mut net = NetDef::new("n");
+            net.push(Box::new(logged_add_one("pre", "x", "p", events)));
+            net.push(Box::new(TestRpc::new("A", "p", "a", events)));
+            net.push(Box::new(TestRpc::new("B", "x", "b", events)));
+            net.push(Box::new(logged_add_one("C", "a", "c", events)));
+            net.push(Box::new(logged_add_one("D", "b", "d", events)));
+            net
+        };
+        let net = build(&events);
+        let mut ws_seq = Workspace::new();
+        ws_seq.put("x", Blob::Dense(Matrix::from_rows(&[&[1.5, -2.0]])));
+        let mut ws_ovl = ws_seq.clone();
+        net.run(&mut ws_seq, &mut NoopObserver).unwrap();
+        net.run_overlapped(&mut ws_ovl, &mut NoopObserver).unwrap();
+        for blob in ["p", "a", "b", "c", "d"] {
+            assert_eq!(
+                ws_seq.dense(blob, "t").unwrap(),
+                ws_ovl.dense(blob, "t").unwrap(),
+                "{blob}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_propagates_issue_failure() {
+        let events: EventLog = Arc::default();
+        let mut net = NetDef::new("n");
+        let mut bad = TestRpc::new("bad", "x", "a", &events);
+        bad.fail_at_issue = true;
+        net.push(Box::new(bad));
+        let mut ws = Workspace::new();
+        ws.put("x", Blob::Dense(Matrix::zeros(1, 1)));
+        let err = net.run_overlapped(&mut ws, &mut NoopObserver).unwrap_err();
+        assert!(matches!(err, GraphError::OpFailed { .. }), "{err}");
+    }
+
+    #[test]
+    fn overlap_propagates_collect_failure_with_others_in_flight() {
+        // `bad` fails at collect while `ok` is still outstanding: the
+        // error must propagate and the abandoned RPC must not hang.
+        let events: EventLog = Arc::default();
+        let mut net = NetDef::new("n");
+        let mut bad = TestRpc::new("bad", "x", "a", &events);
+        bad.fail_at_collect = true;
+        net.push(Box::new(bad));
+        net.push(Box::new(TestRpc::new("ok", "x", "b", &events)));
+        net.push(Box::new(logged_add_one("C", "a", "c", &events)));
+        let mut ws = Workspace::new();
+        ws.put("x", Blob::Dense(Matrix::zeros(1, 1)));
+        let err = net.run_overlapped(&mut ws, &mut NoopObserver).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::OpFailed {
+                op: "bad".into(),
+                message: "injected collect failure".into()
+            }
+        );
+        // Both were issued before the failing collect.
+        assert_eq!(
+            *events.lock().unwrap(),
+            vec!["issue:bad", "issue:ok", "collect:bad"]
+        );
+    }
+
+    #[test]
+    fn overlap_reports_missing_blob_like_sequential() {
+        let mut net = NetDef::new("n");
+        net.push(Box::new(AddOne {
+            input: "nope".into(),
+            output: "y".into(),
+        }));
+        let mut ws = Workspace::new();
+        let err = net.run_overlapped(&mut ws, &mut NoopObserver).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::MissingBlob {
+                blob: "nope".into(),
+                op: "add_one".into()
+            }
+        );
+    }
+
+    #[test]
+    fn overlap_observer_sees_rpc_span_pairs() {
+        #[derive(Default)]
+        struct SpanObserver {
+            issued: Vec<String>,
+            collected: Vec<String>,
+            ops: Vec<String>,
+        }
+        impl ExecutionObserver for SpanObserver {
+            fn on_op(&mut self, _net: &str, op: &dyn Operator, _secs: f64) {
+                self.ops.push(op.name().to_string());
+            }
+            fn on_rpc_issued(&mut self, _net: &str, op: &dyn Operator, _at: Instant) {
+                self.issued.push(op.name().to_string());
+            }
+            fn on_rpc_collected(
+                &mut self,
+                _net: &str,
+                op: &dyn Operator,
+                issued_at: Instant,
+                collected_at: Instant,
+            ) {
+                assert!(collected_at >= issued_at);
+                self.collected.push(op.name().to_string());
+            }
+        }
+        let events: EventLog = Arc::default();
+        let mut net = NetDef::new("n");
+        net.push(Box::new(TestRpc::new("A", "x", "a", &events)));
+        net.push(Box::new(logged_add_one("C", "a", "c", &events)));
+        let mut ws = Workspace::new();
+        ws.put("x", Blob::Dense(Matrix::zeros(1, 1)));
+        let mut obs = SpanObserver::default();
+        net.run_overlapped(&mut ws, &mut obs).unwrap();
+        assert_eq!(obs.issued, vec!["A"]);
+        assert_eq!(obs.collected, vec!["A"]);
+        assert_eq!(obs.ops, vec!["A", "C"], "on_op fires for async ops at collect");
+    }
+
+    #[test]
+    fn validate_accepts_honest_declarations() {
+        let mut net = NetDef::new("n");
+        net.push(Box::new(AddOne {
+            input: "x".into(),
+            output: "y".into(),
+        }));
+        net.push(Box::new(AddOne {
+            input: "y".into(),
+            output: "z".into(),
+        }));
+        let mut available: HashSet<String> = ["x".to_string()].into();
+        net.validate(&mut available).unwrap();
+        assert!(available.contains("z"));
+    }
+
+    #[test]
+    fn validate_rejects_unproduced_input() {
+        let mut net = NetDef::new("n");
+        // "y" is produced only *after* the op that reads it.
+        net.push(Box::new(AddOne {
+            input: "y".into(),
+            output: "z".into(),
+        }));
+        net.push(Box::new(AddOne {
+            input: "x".into(),
+            output: "y".into(),
+        }));
+        let mut available: HashSet<String> = ["x".to_string()].into();
+        let err = net.validate(&mut available).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::InvalidGraph {
+                op: "add_one".into(),
+                blob: "y".into()
+            }
+        );
     }
 }

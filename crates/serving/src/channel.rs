@@ -230,10 +230,18 @@ impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
         let mut state = self.shared.state.lock().expect("channel lock");
         state.receiver_alive = false;
+        // Release queued messages: nobody will ever receive them, and
+        // they may own resources whose Drop others block on (a shard
+        // worker's queued envelopes hold reply Senders — dropping them
+        // here turns an issued-but-never-served RPC's collect into an
+        // error instead of a hang).
+        let orphaned: VecDeque<T> = std::mem::take(&mut state.queue);
         drop(state);
         // Wake senders blocked on a full bounded queue so their sends
         // fail instead of hanging.
         self.shared.not_full.notify_all();
+        // Drop outside the lock: a message's Drop may touch the channel.
+        drop(orphaned);
     }
 }
 
@@ -357,5 +365,18 @@ mod tests {
     #[should_panic(expected = "capacity >= 1")]
     fn zero_capacity_rejected() {
         let _ = bounded::<u8>(0);
+    }
+
+    #[test]
+    fn dropping_receiver_releases_queued_messages() {
+        // Queued messages may own the reply side of another channel; the
+        // receiver's Drop must release them so dependents disconnect.
+        let (tx, rx) = unbounded::<Sender<u8>>();
+        let (reply_tx, reply_rx) = bounded::<u8>(1);
+        tx.send(reply_tx).unwrap();
+        drop(rx);
+        // The queued reply sender is gone: its receiver sees disconnect
+        // rather than blocking forever.
+        assert_eq!(reply_rx.recv(), Err(RecvError));
     }
 }

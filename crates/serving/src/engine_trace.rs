@@ -1,0 +1,202 @@
+//! Real-engine trace capture: per-RPC issue/collect span pairs.
+//!
+//! The simulator's cluster model emits Fig. 3-style traces from
+//! simulated timestamps; this module produces the same span vocabulary
+//! from *measured* wall-clock time of the real engine's overlap
+//! scheduler ([`dlrm_model::graph::NetDef::run_overlapped`]). Each
+//! asynchronous RPC operator contributes one
+//! [`SpanKind::RpcOutstanding`] span covering its issue → collect
+//! window (not CPU time — the async op frees the core, §IV-A), so the
+//! Gantt export ([`dlrm_trace::gantt`]) shows shard round-trips
+//! overlapping each other and the dense compute.
+
+use dlrm_model::graph::{ExecutionObserver, Operator};
+use dlrm_model::OpGroup;
+use dlrm_trace::{RpcId, ServerId, Span, SpanKind, TraceCollector, TraceId};
+use std::time::Instant;
+
+/// An [`ExecutionObserver`] that records the overlap scheduler's
+/// execution as trace spans on the main server's timeline.
+///
+/// Synchronous operators become [`SpanKind::DenseOp`] /
+/// [`SpanKind::SparseOp`] CPU spans; each asynchronous operator becomes
+/// one non-CPU [`SpanKind::RpcOutstanding`] span per issue/collect pair,
+/// numbered in collect order. Call [`RpcTracingObserver::finish`] after
+/// the run to close the request-E2E span and take the collector.
+#[derive(Debug)]
+pub struct RpcTracingObserver {
+    origin: Instant,
+    trace: TraceId,
+    next_rpc: u64,
+    collector: TraceCollector,
+}
+
+impl RpcTracingObserver {
+    /// Creates an observer; the request clock (and the E2E span) starts
+    /// now.
+    #[must_use]
+    pub fn new(trace: TraceId) -> Self {
+        Self {
+            origin: Instant::now(),
+            trace,
+            next_rpc: 0,
+            collector: TraceCollector::new(),
+        }
+    }
+
+    /// Milliseconds from the request origin to `at`.
+    fn ms_since_origin(&self, at: Instant) -> f64 {
+        at.duration_since(self.origin).as_secs_f64() * 1e3
+    }
+
+    /// Number of RPC span pairs recorded so far.
+    #[must_use]
+    pub fn rpc_count(&self) -> u64 {
+        self.next_rpc
+    }
+
+    /// Closes the request with a [`SpanKind::RequestE2E`] span ending
+    /// now and returns the collected spans.
+    #[must_use]
+    pub fn finish(mut self) -> TraceCollector {
+        let e2e = self.ms_since_origin(Instant::now());
+        self.collector.record(Span {
+            trace: self.trace,
+            server: ServerId::MAIN,
+            kind: SpanKind::RequestE2E,
+            start: 0.0,
+            duration: e2e,
+            cpu: false,
+        });
+        self.collector
+    }
+}
+
+impl ExecutionObserver for RpcTracingObserver {
+    fn on_op(&mut self, _net: &str, op: &dyn Operator, elapsed_secs: f64) {
+        if op.as_async().is_some() {
+            // Covered by the RpcOutstanding span from on_rpc_collected.
+            return;
+        }
+        let duration = elapsed_secs * 1e3;
+        let end = self.ms_since_origin(Instant::now());
+        let kind = if op.group() == OpGroup::Sls {
+            SpanKind::SparseOp(None)
+        } else {
+            SpanKind::DenseOp
+        };
+        self.collector.record(Span {
+            trace: self.trace,
+            server: ServerId::MAIN,
+            kind,
+            start: (end - duration).max(0.0),
+            duration,
+            cpu: true,
+        });
+    }
+
+    fn on_rpc_collected(
+        &mut self,
+        _net: &str,
+        _op: &dyn Operator,
+        issued_at: Instant,
+        collected_at: Instant,
+    ) {
+        let rpc = RpcId(self.next_rpc);
+        self.next_rpc += 1;
+        let start = self.ms_since_origin(issued_at);
+        self.collector.record(Span {
+            trace: self.trace,
+            server: ServerId::MAIN,
+            kind: SpanKind::RpcOutstanding(rpc),
+            start,
+            duration: self.ms_since_origin(collected_at) - start,
+            cpu: false,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threaded::ThreadedShardPool;
+    use dlrm_model::{build_model, rm, Workspace};
+    use dlrm_sharding::{partition_with_clients, plan, ShardService, ShardingStrategy};
+    use dlrm_trace::gantt;
+    use dlrm_workload::{materialize_request, PoolingProfile, TraceDb};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn overlapped_run_yields_overlapping_outstanding_spans() {
+        let mut spec = rm::rm1().scaled_to_bytes(2 << 20);
+        spec.mean_items_per_request = 8.0;
+        spec.default_batch_size = 8;
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = plan(&spec, &profile, ShardingStrategy::CapacityBalanced(2)).unwrap();
+        let model = build_model(&spec, 3).unwrap();
+        let services: Vec<Arc<ShardService>> = p
+            .shards()
+            .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+            .collect();
+        // The injected delay makes the outstanding windows long enough
+        // that overlap is unambiguous in wall-clock terms.
+        let pool = ThreadedShardPool::spawn_with_delay(services.clone(), Duration::from_millis(15));
+        let dist = partition_with_clients(model, &p, services, pool.clients()).unwrap();
+
+        let db = TraceDb::generate(&spec, 1, 5);
+        let batch = &materialize_request(&spec, db.get(0), 8, 5)[0];
+        let mut ws = Workspace::new();
+        batch.load_into(&spec, &mut ws);
+        let mut obs = RpcTracingObserver::new(TraceId(1));
+        dist.run_overlapped(&mut ws, &mut obs).unwrap();
+        assert!(obs.rpc_count() >= 2, "expected ≥2 RPC span pairs per net");
+        let collector = obs.finish();
+        pool.shutdown();
+
+        let outstanding: Vec<_> = collector
+            .spans()
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::RpcOutstanding(_)))
+            .collect();
+        assert!(outstanding.len() >= 2);
+        assert!(outstanding.iter().all(|s| !s.cpu));
+        // At least one pair of outstanding windows overlaps in time —
+        // the scheduler had both shards in flight at once.
+        let overlapping = outstanding.iter().enumerate().any(|(i, a)| {
+            outstanding[i + 1..]
+                .iter()
+                .any(|b| a.start < b.end() && b.start < a.end())
+        });
+        assert!(overlapping, "no two RPC windows overlapped: {outstanding:#?}");
+
+        // The Gantt export renders the pairs.
+        let text = gantt::render(&collector, TraceId(1), 60);
+        assert!(text.contains("outstanding"), "{text}");
+        assert!(text.contains("request e2e"), "{text}");
+    }
+
+    #[test]
+    fn sync_ops_recorded_as_cpu_spans() {
+        let mut spec = rm::rm3().scaled_to_bytes(1 << 20);
+        spec.mean_items_per_request = 4.0;
+        spec.default_batch_size = 4;
+        let model = build_model(&spec, 2).unwrap();
+        let db = TraceDb::generate(&spec, 1, 2);
+        let batch = &materialize_request(&spec, db.get(0), 4, 2)[0];
+        let mut ws = Workspace::new();
+        batch.load_into(&spec, &mut ws);
+        let mut obs = RpcTracingObserver::new(TraceId(0));
+        model.run_overlapped(&mut ws, &mut obs).unwrap();
+        assert_eq!(obs.rpc_count(), 0, "singular model has no RPC ops");
+        let collector = obs.finish();
+        let spans = collector.spans();
+        assert!(spans.iter().any(|s| s.kind == SpanKind::DenseOp && s.cpu));
+        assert!(spans
+            .iter()
+            .any(|s| s.kind == SpanKind::SparseOp(None) && s.cpu));
+        assert!(spans
+            .iter()
+            .any(|s| s.kind == SpanKind::RequestE2E && !s.cpu));
+    }
+}

@@ -31,6 +31,7 @@ pub mod capacity;
 pub mod channel;
 mod cluster;
 mod cost;
+pub mod engine_trace;
 pub mod experiment;
 pub mod local;
 pub mod paging;

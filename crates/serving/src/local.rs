@@ -30,7 +30,9 @@ impl BatchRanker for Model {
     fn rank(&self, spec: &ModelSpec, batch: &BatchInputs) -> Result<Matrix, GraphError> {
         let mut ws = Workspace::new();
         batch.load_into(spec, &mut ws);
-        self.run(&mut ws, &mut NoopObserver)
+        // The overlap scheduler is bit-exact with sequential `run` and
+        // free of RPC ops here, so one executor serves both model kinds.
+        self.run_overlapped(&mut ws, &mut NoopObserver)
     }
 }
 
@@ -38,7 +40,9 @@ impl BatchRanker for DistributedModel {
     fn rank(&self, spec: &ModelSpec, batch: &BatchInputs) -> Result<Matrix, GraphError> {
         let mut ws = Workspace::new();
         batch.load_into(spec, &mut ws);
-        self.run(&mut ws, &mut NoopObserver)
+        // Overlap scheduler: all shard RPCs of the batch go out before
+        // dense compute blocks on any of them (§IV-A).
+        self.run_overlapped(&mut ws, &mut NoopObserver)
     }
 }
 

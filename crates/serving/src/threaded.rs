@@ -10,11 +10,14 @@
 //! shard work — the asynchronous parallelism of Fig. 3 with actual OS
 //! concurrency rather than a simulator.
 
-use crate::channel::{bounded, unbounded, Sender};
-use dlrm_sharding::rpc::{ShardRequest, ShardResponse, SparseShardClient};
+use crate::channel::{bounded, unbounded, Receiver, Sender};
+use dlrm_metrics::{Histogram, Summary};
+use dlrm_sharding::rpc::{RpcCompletion, ShardRequest, ShardResponse, SparseShardClient};
 use dlrm_sharding::{ShardId, ShardService};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// One in-flight RPC: the request plus the reply channel.
 struct Envelope {
@@ -26,6 +29,83 @@ struct Envelope {
 enum WorkerMsg {
     Call(Envelope),
     Stop,
+}
+
+/// Sub-buckets per power of two in the per-shard latency histograms.
+const LATENCY_SUB_BUCKETS: usize = 16;
+
+/// Per-shard RPC instrumentation shared between the client handles and
+/// the pool: round-trip latency and concurrency watermark.
+#[derive(Debug)]
+struct RpcStats {
+    /// RPCs currently issued and not yet collected.
+    in_flight: AtomicUsize,
+    /// High-watermark of `in_flight` — >1 proves calls overlapped.
+    max_in_flight: AtomicUsize,
+    /// Round-trip latency in milliseconds (issue → reply consumed).
+    latency_ms: Mutex<(Histogram, Summary)>,
+}
+
+impl RpcStats {
+    fn new() -> Self {
+        Self {
+            in_flight: AtomicUsize::new(0),
+            max_in_flight: AtomicUsize::new(0),
+            latency_ms: Mutex::new((Histogram::new(LATENCY_SUB_BUCKETS), Summary::new())),
+        }
+    }
+
+    fn on_issue(&self) {
+        let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.max_in_flight.fetch_max(now, Ordering::SeqCst);
+    }
+
+    fn on_settle(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn record_latency(&self, elapsed: Duration) {
+        let ms = elapsed.as_secs_f64() * 1e3;
+        let mut guard = self.latency_ms.lock().expect("rpc stats lock");
+        guard.0.record(ms);
+        guard.1.record(ms);
+    }
+}
+
+/// A snapshot of one shard's RPC instrumentation, surfaced in run
+/// summaries (see [`ThreadedShardPool::rpc_summaries`]).
+#[derive(Debug, Clone)]
+pub struct ShardRpcSummary {
+    /// The shard.
+    pub shard: ShardId,
+    /// Completed round trips.
+    pub calls: u64,
+    /// Mean round-trip latency in milliseconds.
+    pub mean_ms: f64,
+    /// p50 round-trip latency (histogram bucket upper bound), ms.
+    pub p50_ms: f64,
+    /// p99 round-trip latency (histogram bucket upper bound), ms.
+    pub p99_ms: f64,
+    /// Maximum round-trip latency in milliseconds.
+    pub max_ms: f64,
+    /// High-watermark of concurrently outstanding RPCs to this shard.
+    pub max_in_flight: usize,
+}
+
+impl std::fmt::Display for ShardRpcSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: calls={} mean={:.3}ms p50={:.3}ms p99={:.3}ms max={:.3}ms max_in_flight={}",
+            self.shard,
+            self.calls,
+            self.mean_ms,
+            self.p50_ms,
+            self.p99_ms,
+            self.max_ms,
+            self.max_in_flight
+        )
+    }
 }
 
 /// A pool of shard worker threads, one per sparse shard.
@@ -57,7 +137,7 @@ enum WorkerMsg {
 /// ```
 #[derive(Debug)]
 pub struct ThreadedShardPool {
-    senders: Vec<(ShardId, Sender<WorkerMsg>)>,
+    senders: Vec<(ShardId, Sender<WorkerMsg>, Arc<RpcStats>)>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -65,24 +145,24 @@ impl ThreadedShardPool {
     /// Spawns one worker thread per service.
     #[must_use]
     pub fn spawn(services: Vec<Arc<ShardService>>) -> Self {
+        Self::spawn_with_delay(services, Duration::ZERO)
+    }
+
+    /// Spawns one worker thread per service, sleeping `delay` before
+    /// serving each request — an injected per-shard service delay that
+    /// stands in for network + remote compute time, used to demonstrate
+    /// and test RPC overlap (a serial executor pays `shards × delay`;
+    /// the overlap scheduler pays ≈ one `delay`).
+    #[must_use]
+    pub fn spawn_with_delay(services: Vec<Arc<ShardService>>, delay: Duration) -> Self {
         let mut senders = Vec::with_capacity(services.len());
         let mut handles = Vec::with_capacity(services.len());
         for service in services {
             let (tx, rx) = unbounded::<WorkerMsg>();
-            senders.push((service.shard_id(), tx));
+            senders.push((service.shard_id(), tx, Arc::new(RpcStats::new())));
             let handle = std::thread::Builder::new()
                 .name(format!("{}", service.shard_id()))
-                .spawn(move || {
-                    // The worker drains its queue until it is told to
-                    // stop or every client (sender) is gone — the
-                    // stateless service loop.
-                    while let Ok(WorkerMsg::Call(envelope)) = rx.recv() {
-                        let result = service.execute(&envelope.request);
-                        // A dropped reply channel means the caller gave
-                        // up; nothing to do (stateless).
-                        let _ = envelope.reply.send(result);
-                    }
-                })
+                .spawn(move || worker_loop(&service, &rx, delay))
                 .expect("spawn shard worker");
             handles.push(handle);
         }
@@ -94,11 +174,33 @@ impl ThreadedShardPool {
     pub fn clients(&self) -> Vec<Arc<dyn SparseShardClient>> {
         self.senders
             .iter()
-            .map(|(shard, tx)| {
+            .map(|(shard, tx, stats)| {
                 Arc::new(ThreadedClient {
                     shard: *shard,
                     tx: tx.clone(),
+                    stats: Arc::clone(stats),
                 }) as Arc<dyn SparseShardClient>
+            })
+            .collect()
+    }
+
+    /// Snapshots each shard's RPC instrumentation (latency histogram
+    /// quantiles + concurrency watermark), ordered by [`ShardId`].
+    #[must_use]
+    pub fn rpc_summaries(&self) -> Vec<ShardRpcSummary> {
+        self.senders
+            .iter()
+            .map(|(shard, _, stats)| {
+                let guard = stats.latency_ms.lock().expect("rpc stats lock");
+                ShardRpcSummary {
+                    shard: *shard,
+                    calls: guard.1.count(),
+                    mean_ms: guard.1.mean(),
+                    p50_ms: guard.0.quantile(0.5),
+                    p99_ms: guard.0.quantile(0.99),
+                    max_ms: guard.1.max(),
+                    max_in_flight: stats.max_in_flight.load(Ordering::SeqCst),
+                }
             })
             .collect()
     }
@@ -115,15 +217,19 @@ impl ThreadedShardPool {
         self.handles.is_empty()
     }
 
-    /// Stops every worker and joins it. Safe to call while
-    /// [`ThreadedClient`]s are still alive: their subsequent calls fail
-    /// with a "worker is down" error instead of hanging.
+    /// Stops every worker and joins it. Envelopes already queued (or in
+    /// flight on a worker) when the stop lands are *drained*: the worker
+    /// serves them and delivers their replies before exiting, so an RPC
+    /// issued via [`SparseShardClient::begin_execute`] but not yet
+    /// collected still completes. Safe to call while [`ThreadedClient`]s
+    /// are still alive: their subsequent calls fail with a "worker is
+    /// down" error instead of hanging.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        for (_, tx) in self.senders.drain(..) {
+        for (_, tx, _) in self.senders.drain(..) {
             let _ = tx.send(WorkerMsg::Stop);
         }
         for handle in self.handles.drain(..) {
@@ -132,9 +238,30 @@ impl ThreadedShardPool {
     }
 }
 
-impl Drop for ThreadedShardPool {
-    fn drop(&mut self) {
-        self.stop_and_join();
+/// The shard worker's service loop: serve calls until a stop arrives or
+/// every client is gone, then drain what is already queued.
+fn worker_loop(service: &ShardService, rx: &Receiver<WorkerMsg>, delay: Duration) {
+    let serve = |envelope: Envelope| {
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let result = service.execute(&envelope.request);
+        // A dropped reply channel means the caller gave up; nothing to
+        // do (stateless).
+        let _ = envelope.reply.send(result);
+    };
+    loop {
+        match rx.recv() {
+            Ok(WorkerMsg::Call(envelope)) => serve(envelope),
+            // Stop: drain envelopes that raced in behind the stop
+            // message so issued-but-uncollected RPCs still complete.
+            Ok(WorkerMsg::Stop) => break,
+            // Every client is gone; the queue is already empty.
+            Err(_) => return,
+        }
+    }
+    while let Ok(WorkerMsg::Call(envelope)) = rx.try_recv() {
+        serve(envelope);
     }
 }
 
@@ -143,6 +270,35 @@ impl Drop for ThreadedShardPool {
 pub struct ThreadedClient {
     shard: ShardId,
     tx: Sender<WorkerMsg>,
+    stats: Arc<RpcStats>,
+}
+
+/// An RPC sent to a shard worker whose reply has not been received yet.
+struct ThreadedCompletion {
+    shard: ShardId,
+    reply_rx: Receiver<Result<ShardResponse, String>>,
+    stats: Arc<RpcStats>,
+    issued_at: Instant,
+    settled: bool,
+}
+
+impl RpcCompletion for ThreadedCompletion {
+    fn wait(mut self: Box<Self>) -> Result<ShardResponse, String> {
+        let received = self.reply_rx.recv();
+        self.stats.record_latency(self.issued_at.elapsed());
+        self.stats.on_settle();
+        self.settled = true;
+        received.map_err(|_| format!("{} worker dropped the request", self.shard))?
+    }
+}
+
+impl Drop for ThreadedCompletion {
+    fn drop(&mut self) {
+        // Abandoned without wait(): keep the in-flight gauge honest.
+        if !self.settled {
+            self.stats.on_settle();
+        }
+    }
 }
 
 impl SparseShardClient for ThreadedClient {
@@ -151,16 +307,26 @@ impl SparseShardClient for ThreadedClient {
     }
 
     fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, String> {
+        self.begin_execute(request)?.wait()
+    }
+
+    fn begin_execute(&self, request: &ShardRequest) -> Result<Box<dyn RpcCompletion>, String> {
         let (reply_tx, reply_rx) = bounded(1);
+        let issued_at = Instant::now();
         self.tx
             .send(WorkerMsg::Call(Envelope {
                 request: request.clone(),
                 reply: reply_tx,
             }))
             .map_err(|_| format!("{} worker is down", self.shard))?;
-        reply_rx
-            .recv()
-            .map_err(|_| format!("{} worker dropped the request", self.shard))?
+        self.stats.on_issue();
+        Ok(Box::new(ThreadedCompletion {
+            shard: self.shard,
+            reply_rx,
+            stats: Arc::clone(&self.stats),
+            issued_at,
+            settled: false,
+        }))
     }
 }
 
@@ -267,5 +433,79 @@ mod tests {
         let (dist, pool) = build_threaded(&spec, ShardingStrategy::OneShard, 3);
         drop(dist); // clients dropped first
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn overlapped_matches_sequential_on_threaded_shards() {
+        let spec = toy_spec();
+        let (threaded, pool) = build_threaded(&spec, ShardingStrategy::LoadBalanced(4), 7);
+        let db = TraceDb::generate(&spec, 1, 5);
+        for batch in materialize_request(&spec, db.get(0), 6, 5) {
+            let mut ws_seq = Workspace::new();
+            batch.load_into(&spec, &mut ws_seq);
+            let mut ws_ovl = ws_seq.clone();
+            let a = threaded.run(&mut ws_seq, &mut NoopObserver).unwrap();
+            let b = threaded
+                .run_overlapped(&mut ws_ovl, &mut NoopObserver)
+                .unwrap();
+            assert_eq!(a, b);
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_issued_but_uncollected_requests() {
+        // Regression: an RPC issued via begin_execute before shutdown
+        // must still produce its reply — the worker drains queued
+        // envelopes behind the stop message instead of abandoning them.
+        let spec = toy_spec();
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = plan(&spec, &profile, ShardingStrategy::OneShard).unwrap();
+        let model = build_model(&spec, 1).unwrap();
+        let services: Vec<Arc<ShardService>> = p
+            .shards()
+            .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+            .collect();
+        // A service delay widens the race window: the stop message is
+        // queued while the request is still unserved.
+        let pool =
+            ThreadedShardPool::spawn_with_delay(services, std::time::Duration::from_millis(20));
+        let clients = pool.clients();
+        let request = dlrm_sharding::rpc::ShardRequest {
+            net: dlrm_model::NetId(0),
+            slices: vec![],
+        };
+        let pending_a = clients[0].begin_execute(&request).unwrap();
+        let pending_b = clients[0].begin_execute(&request).unwrap();
+        pool.shutdown();
+        // Both issued calls completed despite the shutdown.
+        assert!(pending_a.wait().is_ok());
+        assert!(pending_b.wait().is_ok());
+        // New calls after shutdown fail cleanly.
+        let err = clients[0].execute(&request).unwrap_err();
+        assert!(err.contains("down") || err.contains("dropped"), "{err}");
+    }
+
+    #[test]
+    fn rpc_summaries_report_latency_and_concurrency() {
+        let spec = toy_spec();
+        let (threaded, pool) = build_threaded(&spec, ShardingStrategy::CapacityBalanced(2), 5);
+        let db = TraceDb::generate(&spec, 1, 3);
+        for batch in materialize_request(&spec, db.get(0), 6, 3) {
+            let mut ws = Workspace::new();
+            batch.load_into(&spec, &mut ws);
+            threaded.run_overlapped(&mut ws, &mut NoopObserver).unwrap();
+        }
+        let summaries = pool.rpc_summaries();
+        assert_eq!(summaries.len(), 2);
+        for s in &summaries {
+            assert!(s.calls > 0, "{s}");
+            assert!(s.max_ms >= s.mean_ms || s.calls == 1, "{s}");
+            assert!(s.p99_ms >= 0.0);
+            assert!(s.max_in_flight >= 1, "{s}");
+            // Display formatting exercised (surfaced in run summaries).
+            assert!(format!("{s}").contains("calls="));
+        }
+        pool.shutdown();
     }
 }

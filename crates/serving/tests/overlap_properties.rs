@@ -1,0 +1,258 @@
+//! Property-style tests on the overlap scheduler: for randomly drawn
+//! model specs, shardings and inputs (deterministic [`SimRng`] streams —
+//! the in-tree replacement for proptest), the dependency-aware executor
+//! must produce bit-identical predictions to the strictly sequential
+//! reference, through in-process and thread-backed transports alike;
+//! and a shard failure while other RPCs are in flight must propagate as
+//! an error, not a hang or a wrong answer.
+
+use dlrm_model::graph::NoopObserver;
+use dlrm_model::{build_model, ModelSpec, NetId, NetSpec, TableId, TableSpec, Workspace};
+use dlrm_serving::threaded::ThreadedShardPool;
+use dlrm_sharding::rpc::{ShardRequest, ShardResponse, SparseShardClient};
+use dlrm_sharding::{
+    partition, partition_with_clients, plan, InProcessClient, ShardId, ShardService,
+    ShardingStrategy,
+};
+use dlrm_sim::SimRng;
+use dlrm_workload::{materialize_request, TraceDb};
+use std::sync::Arc;
+
+/// Draws a small but structurally varied model spec: 1–2 nets, 1–3
+/// tables per net, 1–2 MLP layers per stack.
+fn random_spec(rng: &mut SimRng, case: usize) -> ModelSpec {
+    let num_nets = 1 + rng.next_index(2);
+    let random_mlp = |rng: &mut SimRng| -> Vec<usize> {
+        (0..1 + rng.next_index(2))
+            .map(|_| 2 + rng.next_index(8))
+            .collect()
+    };
+    let nets: Vec<NetSpec> = (0..num_nets)
+        .map(|i| NetSpec {
+            id: NetId(i),
+            name: format!("net{i}"),
+            bottom_mlp: random_mlp(rng),
+            top_mlp: random_mlp(rng),
+            takes_prev_output: i > 0,
+        })
+        .collect();
+    let mut tables = Vec::new();
+    for i in 0..num_nets {
+        for _ in 0..1 + rng.next_index(3) {
+            let id = TableId(tables.len());
+            tables.push(TableSpec {
+                id,
+                name: format!("t{}", id.0),
+                rows: 16 + rng.next_u64_below(64),
+                dim: 2 + rng.next_u64_below(6) as u32,
+                net: NetId(i),
+                pooling_factor: 2.0 + rng.next_f64() * 6.0,
+            });
+        }
+    }
+    ModelSpec {
+        name: format!("prop{case}"),
+        dense_features: 3 + rng.next_index(6),
+        tables,
+        nets,
+        default_batch_size: 1 + rng.next_index(6),
+        mean_items_per_request: 8.0,
+    }
+}
+
+fn random_strategy(rng: &mut SimRng) -> ShardingStrategy {
+    match rng.next_index(5) {
+        0 => ShardingStrategy::Singular,
+        1 => ShardingStrategy::OneShard,
+        2 => ShardingStrategy::CapacityBalanced(1 + rng.next_index(3)),
+        3 => ShardingStrategy::LoadBalanced(1 + rng.next_index(3)),
+        _ => ShardingStrategy::NetSpecificBinPacking(1 + rng.next_index(3)),
+    }
+}
+
+/// Overlap scheduler ≡ sequential executor, bit for bit, across random
+/// specs — singular models and in-process-partitioned models.
+#[test]
+fn overlapped_bit_identical_to_sequential_across_random_specs() {
+    let mut rng = SimRng::seed_from(0x5e_41a9).fork(7);
+    let mut distributed_cases = 0;
+    for case in 0..40 {
+        let spec = random_spec(&mut rng, case);
+        let seed = rng.next_u64();
+        let model = build_model(&spec, seed).unwrap();
+        let db = TraceDb::generate(&spec, 2, seed ^ 1);
+        let batches = materialize_request(&spec, db.get(0), spec.default_batch_size, seed ^ 2);
+
+        // Singular model: run vs run_overlapped.
+        for batch in &batches {
+            let mut ws_seq = Workspace::new();
+            batch.load_into(&spec, &mut ws_seq);
+            let mut ws_ovl = ws_seq.clone();
+            let a = model.run(&mut ws_seq, &mut NoopObserver).unwrap();
+            let b = model.run_overlapped(&mut ws_ovl, &mut NoopObserver).unwrap();
+            assert_eq!(a, b, "case {case}: singular");
+        }
+
+        // Distributed model under a random strategy (skip plans the
+        // strategy cannot produce for this spec shape).
+        let strategy = random_strategy(&mut rng);
+        let profile = db.pooling_profile(db.len());
+        let Ok(p) = plan(&spec, &profile, strategy) else {
+            continue;
+        };
+        let dist = partition(build_model(&spec, seed).unwrap(), &p).unwrap();
+        distributed_cases += 1;
+        for batch in &batches {
+            let mut ws_seq = Workspace::new();
+            batch.load_into(&spec, &mut ws_seq);
+            let mut ws_ovl = ws_seq.clone();
+            let a = dist.run(&mut ws_seq, &mut NoopObserver).unwrap();
+            let b = dist.run_overlapped(&mut ws_ovl, &mut NoopObserver).unwrap();
+            assert_eq!(a, b, "case {case}: distributed under {strategy}");
+        }
+    }
+    assert!(
+        distributed_cases >= 10,
+        "only {distributed_cases} distributed cases exercised"
+    );
+}
+
+/// Same property through the thread-backed transport: real concurrency
+/// must not change a single bit of the predictions.
+#[test]
+fn overlapped_bit_identical_over_threaded_transport() {
+    let mut rng = SimRng::seed_from(0x7472_616e).fork(3);
+    for case in 0..8 {
+        let spec = random_spec(&mut rng, case);
+        let seed = rng.next_u64();
+        let db = TraceDb::generate(&spec, 1, seed);
+        let profile = db.pooling_profile(db.len());
+        let shards = 1 + rng.next_index(3);
+        let Ok(p) = plan(&spec, &profile, ShardingStrategy::CapacityBalanced(shards)) else {
+            continue;
+        };
+        let model = build_model(&spec, seed).unwrap();
+        let services: Vec<Arc<ShardService>> = p
+            .shards()
+            .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+            .collect();
+        let pool = ThreadedShardPool::spawn(services.clone());
+        let dist = partition_with_clients(model, &p, services, pool.clients()).unwrap();
+        for batch in materialize_request(&spec, db.get(0), spec.default_batch_size, seed ^ 5) {
+            let mut ws_seq = Workspace::new();
+            batch.load_into(&spec, &mut ws_seq);
+            let mut ws_ovl = ws_seq.clone();
+            let a = dist.run(&mut ws_seq, &mut NoopObserver).unwrap();
+            let b = dist.run_overlapped(&mut ws_ovl, &mut NoopObserver).unwrap();
+            assert_eq!(a, b, "case {case}");
+        }
+        pool.shutdown();
+    }
+}
+
+/// A client whose shard always fails — either at send time (issue) or
+/// shard-side (surfacing at collect).
+#[derive(Debug)]
+struct FailingClient {
+    shard: ShardId,
+    fail_at_issue: bool,
+}
+
+impl SparseShardClient for FailingClient {
+    fn shard_id(&self) -> ShardId {
+        self.shard
+    }
+    fn execute(&self, _request: &ShardRequest) -> Result<ShardResponse, String> {
+        Err("injected shard failure".into())
+    }
+    fn begin_execute(
+        &self,
+        request: &ShardRequest,
+    ) -> Result<Box<dyn dlrm_sharding::rpc::RpcCompletion>, String> {
+        if self.fail_at_issue {
+            return Err("injected transport failure".into());
+        }
+        // Defer the failure to collect, like a real shard-side error.
+        Ok(Box::new(dlrm_sharding::rpc::ReadyResponse(
+            self.execute(request),
+        )))
+    }
+}
+
+/// One shard failing while the other shards' RPCs are in flight must
+/// surface as `OpFailed` from the overlap scheduler — no hang, no
+/// partial-result success.
+#[test]
+fn shard_failure_propagates_while_other_rpcs_in_flight() {
+    let mut spec = dlrm_model::rm::rm1().scaled_to_bytes(2 << 20);
+    spec.mean_items_per_request = 8.0;
+    spec.default_batch_size = 8;
+    let db = TraceDb::generate(&spec, 1, 3);
+    let profile = db.pooling_profile(db.len());
+    let p = plan(&spec, &profile, ShardingStrategy::CapacityBalanced(3)).unwrap();
+    let model = build_model(&spec, 3).unwrap();
+    let services: Vec<Arc<ShardService>> = p
+        .shards()
+        .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+        .collect();
+
+    for fail_at_issue in [false, true] {
+        // Shard 1 fails; shards 0 and 2 answer in-process.
+        let clients: Vec<Arc<dyn SparseShardClient>> = services
+            .iter()
+            .map(|s| {
+                if s.shard_id() == ShardId(1) {
+                    Arc::new(FailingClient {
+                        shard: ShardId(1),
+                        fail_at_issue,
+                    }) as Arc<dyn SparseShardClient>
+                } else {
+                    Arc::new(InProcessClient::new(Arc::clone(s))) as Arc<dyn SparseShardClient>
+                }
+            })
+            .collect();
+        let model = build_model(&spec, 3).unwrap();
+        let dist = partition_with_clients(model, &p, services.clone(), clients).unwrap();
+
+        let batch = &materialize_request(&spec, db.get(0), 8, 3)[0];
+        let mut ws = Workspace::new();
+        batch.load_into(&spec, &mut ws);
+        let err = dist.run_overlapped(&mut ws, &mut NoopObserver).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("injected"), "fail_at_issue={fail_at_issue}: {msg}");
+    }
+}
+
+/// The same failure also propagates through the threaded transport with
+/// real RPCs genuinely outstanding on the healthy shards.
+#[test]
+fn shard_failure_propagates_over_threaded_transport() {
+    let mut spec = dlrm_model::rm::rm1().scaled_to_bytes(2 << 20);
+    spec.mean_items_per_request = 8.0;
+    spec.default_batch_size = 8;
+    let db = TraceDb::generate(&spec, 1, 9);
+    let profile = db.pooling_profile(db.len());
+    let p = plan(&spec, &profile, ShardingStrategy::CapacityBalanced(2)).unwrap();
+    let model = build_model(&spec, 9).unwrap();
+    let services: Vec<Arc<ShardService>> = p
+        .shards()
+        .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+        .collect();
+    let pool =
+        ThreadedShardPool::spawn_with_delay(services.clone(), std::time::Duration::from_millis(10));
+    // Shard 0 is threaded (slow → genuinely in flight); shard 1 fails.
+    let clients: Vec<Arc<dyn SparseShardClient>> = vec![
+        pool.clients()[0].clone(),
+        Arc::new(FailingClient {
+            shard: ShardId(1),
+            fail_at_issue: false,
+        }),
+    ];
+    let dist = partition_with_clients(model, &p, services, clients).unwrap();
+    let batch = &materialize_request(&spec, db.get(0), 8, 9)[0];
+    let mut ws = Workspace::new();
+    batch.load_into(&spec, &mut ws);
+    let err = dist.run_overlapped(&mut ws, &mut NoopObserver).unwrap_err();
+    assert!(err.to_string().contains("injected"), "{err}");
+    pool.shutdown();
+}

@@ -30,6 +30,9 @@ pub enum PartitionError {
         /// The unknown table name.
         table: String,
     },
+    /// The rewritten nets failed graph validation (a rewrite bug: some
+    /// operator's declared input is produced by nothing).
+    InvalidGraph(String),
 }
 
 impl std::fmt::Display for PartitionError {
@@ -39,6 +42,7 @@ impl std::fmt::Display for PartitionError {
             PartitionError::UnknownTable { op, table } => {
                 write!(f, "operator {op} references unknown table {table}")
             }
+            PartitionError::InvalidGraph(m) => write!(f, "partitioner produced {m}"),
         }
     }
 }
@@ -75,6 +79,27 @@ impl DistributedModel {
     ) -> Result<Matrix, GraphError> {
         for net in &self.nets {
             net.run(ws, observer)?;
+        }
+        ws.dense(&self.output_blob, "distributed-output").cloned()
+    }
+
+    /// Runs all main-shard nets under the overlap scheduler
+    /// ([`NetDef::run_overlapped`]): every [`SparseRpc`] whose inputs
+    /// are ready is issued before anything blocks, so all shard
+    /// round-trips overlap with each other and with the bottom-MLP dense
+    /// compute (§IV-A). Bit-exact with [`Self::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first operator failure; RPCs still in flight are
+    /// abandoned.
+    pub fn run_overlapped(
+        &self,
+        ws: &mut Workspace,
+        observer: &mut dyn ExecutionObserver,
+    ) -> Result<Matrix, GraphError> {
+        for net in &self.nets {
+            net.run_overlapped(ws, observer)?;
         }
         ws.dense(&self.output_blob, "distributed-output").cloned()
     }
@@ -242,6 +267,19 @@ pub fn partition_with_clients(
         new_nets.push(new_net);
     }
 
+    // The rewrite moved and replaced operators; re-validate the nets so
+    // a partitioner bug surfaces here, not inside the overlap scheduler.
+    let mut available = dlrm_model::graph::external_input_blobs(&spec);
+    for net in &new_nets {
+        net.validate(&mut available)
+            .map_err(|e| PartitionError::InvalidGraph(e.to_string()))?;
+    }
+    if !available.contains(&output_blob) {
+        return Err(PartitionError::InvalidGraph(format!(
+            "output blob {output_blob} is produced by no operator"
+        )));
+    }
+
     Ok(DistributedModel {
         spec,
         nets: new_nets,
@@ -359,6 +397,29 @@ mod tests {
         let shard_total: usize = dist.shards.iter().map(|s| s.capacity_bytes()).sum();
         let model_total: usize = spec.tables.iter().map(|t| t.bytes() as usize).sum();
         assert_eq!(shard_total, model_total);
+    }
+
+    #[test]
+    fn overlapped_matches_sequential_on_distributed_nets() {
+        let spec = rm::rm1().scaled_to_bytes(4 << 20);
+        let profile = PoolingProfile::from_spec(&spec);
+        for strategy in [
+            ShardingStrategy::OneShard,
+            ShardingStrategy::CapacityBalanced(4),
+            ShardingStrategy::NetSpecificBinPacking(4),
+        ] {
+            let p = make_plan(&spec, &profile, strategy).unwrap();
+            let dist = partition(build_model(&spec, 42).unwrap(), &p).unwrap();
+            let db = TraceDb::generate(&spec, 2, 5);
+            for batch in materialize_request(&spec, db.get(1), 8, 9) {
+                let mut ws_seq = Workspace::new();
+                batch.load_into(&spec, &mut ws_seq);
+                let mut ws_ovl = ws_seq.clone();
+                let a = dist.run(&mut ws_seq, &mut NoopObserver).unwrap();
+                let b = dist.run_overlapped(&mut ws_ovl, &mut NoopObserver).unwrap();
+                assert_eq!(a, b, "{strategy}");
+            }
+        }
     }
 
     #[test]

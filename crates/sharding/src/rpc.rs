@@ -10,7 +10,9 @@
 //! operator itself.
 
 use crate::plan::ShardId;
-use dlrm_model::graph::{Blob, GraphError, Operator, SparseInput, Workspace};
+use dlrm_model::graph::{
+    AsyncOperator, Blob, GraphError, Operator, PendingOp, SparseInput, Workspace,
+};
 use dlrm_model::{NetId, OpGroup, TableId};
 use dlrm_tensor::Matrix;
 use std::sync::Arc;
@@ -88,6 +90,46 @@ pub trait SparseShardClient: std::fmt::Debug + Send + Sync {
     /// A human-readable message when the shard rejects the request
     /// (unknown table, out-of-range index).
     fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, String>;
+
+    /// Starts one request without waiting for the reply, returning a
+    /// completion handle — the transport half of the asynchronous RPC
+    /// operators (§IV-A). The default implementation executes
+    /// synchronously and wraps the finished result, which is correct
+    /// (though unoverlapped) for direct-call clients; real transports
+    /// (the thread-backed pool) override it to send now and receive at
+    /// [`RpcCompletion::wait`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the request cannot be sent at all
+    /// (transport down). Shard-side failures may instead surface from
+    /// [`RpcCompletion::wait`].
+    fn begin_execute(&self, request: &ShardRequest) -> Result<Box<dyn RpcCompletion>, String> {
+        Ok(Box::new(ReadyResponse(self.execute(request))))
+    }
+}
+
+/// A shard RPC that has been sent but whose response has not been
+/// consumed yet. Dropping a completion abandons the call: the shard
+/// still executes it, the reply is discarded.
+pub trait RpcCompletion: Send {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the shard rejected the request or
+    /// the transport died while the call was in flight.
+    fn wait(self: Box<Self>) -> Result<ShardResponse, String>;
+}
+
+/// An [`RpcCompletion`] that already holds its result — what the default
+/// synchronous [`SparseShardClient::begin_execute`] returns.
+pub struct ReadyResponse(pub Result<ShardResponse, String>);
+
+impl RpcCompletion for ReadyResponse {
+    fn wait(self: Box<Self>) -> Result<ShardResponse, String> {
+        self.0
+    }
 }
 
 /// One table fetched by a [`SparseRpc`] operator.
@@ -172,6 +214,88 @@ impl SparseRpc {
             slices,
         })
     }
+
+    /// Issue half of the operator: builds the request from the
+    /// workspace and sends it without waiting for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing/mistyped input blobs and send-time transport
+    /// failures.
+    pub fn begin(&self, ws: &Workspace) -> Result<PendingSparseRpc, GraphError> {
+        let request = self.build_request(ws)?;
+        let completion =
+            self.client
+                .begin_execute(&request)
+                .map_err(|message| GraphError::OpFailed {
+                    op: self.name.clone(),
+                    message,
+                })?;
+        Ok(PendingSparseRpc {
+            op: self.name.clone(),
+            fetches: self.fetches.clone(),
+            completion,
+        })
+    }
+}
+
+/// A [`SparseRpc`] whose request is in flight: the collect half waits
+/// for the shard's reply, validates it against the fetch list, and
+/// writes the pooled output blobs.
+pub struct PendingSparseRpc {
+    op: String,
+    fetches: Vec<RpcFetch>,
+    completion: Box<dyn RpcCompletion>,
+}
+
+impl PendingSparseRpc {
+    /// Waits for the response and writes the pooled blobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard/transport failures and malformed responses
+    /// (wrong table count or order).
+    pub fn collect(self, ws: &mut Workspace) -> Result<(), GraphError> {
+        let response = self
+            .completion
+            .wait()
+            .map_err(|message| GraphError::OpFailed {
+                op: self.op.clone(),
+                message,
+            })?;
+        if response.pooled.len() != self.fetches.len() {
+            return Err(GraphError::OpFailed {
+                op: self.op.clone(),
+                message: format!(
+                    "shard returned {} tables, expected {}",
+                    response.pooled.len(),
+                    self.fetches.len()
+                ),
+            });
+        }
+        for (f, (table, pooled)) in self.fetches.iter().zip(response.pooled) {
+            if table != f.table {
+                return Err(GraphError::OpFailed {
+                    op: self.op.clone(),
+                    message: format!("shard answered {table}, expected {}", f.table),
+                });
+            }
+            ws.put(f.output_blob.clone(), Blob::Dense(pooled));
+        }
+        Ok(())
+    }
+}
+
+impl PendingOp for PendingSparseRpc {
+    fn collect(self: Box<Self>, ws: &mut Workspace) -> Result<(), GraphError> {
+        PendingSparseRpc::collect(*self, ws)
+    }
+}
+
+impl AsyncOperator for SparseRpc {
+    fn issue(&self, ws: &Workspace) -> Result<Box<dyn PendingOp>, GraphError> {
+        Ok(Box::new(self.begin(ws)?))
+    }
 }
 
 /// Applies modulus routing to one sparse input.
@@ -220,33 +344,11 @@ impl Operator for SparseRpc {
         self.fetches.iter().map(|f| f.output_blob.clone()).collect()
     }
     fn run(&self, ws: &mut Workspace) -> Result<(), GraphError> {
-        let request = self.build_request(ws)?;
-        let response = self.client.execute(&request).map_err(|message| {
-            GraphError::OpFailed {
-                op: self.name.clone(),
-                message,
-            }
-        })?;
-        if response.pooled.len() != self.fetches.len() {
-            return Err(GraphError::OpFailed {
-                op: self.name.clone(),
-                message: format!(
-                    "shard returned {} tables, expected {}",
-                    response.pooled.len(),
-                    self.fetches.len()
-                ),
-            });
-        }
-        for (f, (table, pooled)) in self.fetches.iter().zip(response.pooled) {
-            if table != f.table {
-                return Err(GraphError::OpFailed {
-                    op: self.name.clone(),
-                    message: format!("shard answered {table}, expected {}", f.table),
-                });
-            }
-            ws.put(f.output_blob.clone(), Blob::Dense(pooled));
-        }
-        Ok(())
+        // Sequential form = issue immediately followed by collect.
+        self.begin(ws)?.collect(ws)
+    }
+    fn as_async(&self) -> Option<&dyn AsyncOperator> {
+        Some(self)
     }
 }
 
@@ -306,6 +408,67 @@ mod tests {
             assert!(slice.indices.iter().all(|&i| i <= max_local));
         }
         assert_eq!(total, 100);
+    }
+
+    /// A client that pools nothing: answers every slice with a 1×1 zero
+    /// matrix for its table.
+    #[derive(Debug)]
+    struct ZeroClient;
+
+    impl SparseShardClient for ZeroClient {
+        fn shard_id(&self) -> ShardId {
+            ShardId(0)
+        }
+        fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, String> {
+            Ok(ShardResponse {
+                pooled: request
+                    .slices
+                    .iter()
+                    .map(|s| (s.table, Matrix::zeros(1, 1)))
+                    .collect(),
+            })
+        }
+    }
+
+    #[test]
+    fn default_begin_execute_defers_the_finished_result() {
+        let req = ShardRequest {
+            net: NetId(0),
+            slices: vec![TableSlice {
+                table: TableId(3),
+                indices: vec![0],
+                lengths: vec![1],
+            }],
+        };
+        let completion = ZeroClient.begin_execute(&req).unwrap();
+        let response = completion.wait().unwrap();
+        assert_eq!(response.pooled.len(), 1);
+        assert_eq!(response.pooled[0].0, TableId(3));
+    }
+
+    #[test]
+    fn issue_collect_round_trip_writes_outputs() {
+        let op = SparseRpc::new(
+            "rpc",
+            NetId(0),
+            Arc::new(ZeroClient),
+            vec![RpcFetch {
+                table: TableId(0),
+                input_blob: "in".into(),
+                output_blob: "out".into(),
+                parts: 1,
+                part: 0,
+            }],
+        );
+        let mut ws = Workspace::new();
+        ws.put("in", Blob::Sparse(SparseInput::new(vec![1], vec![1])));
+        let pending = op.begin(&ws).unwrap();
+        pending.collect(&mut ws).unwrap();
+        assert!(ws.dense("out", "t").is_ok());
+        assert!(
+            Operator::as_async(&op).is_some(),
+            "SparseRpc must advertise its async form to the scheduler"
+        );
     }
 
     #[test]

@@ -17,6 +17,9 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> overlap smoke: shard RPCs must overlap under the scheduler"
+cargo run --release --offline -p dlrm-bench --bin overlap_smoke
+
 echo "==> dependency audit: cargo tree must list only workspace members"
 # --edges all includes dev- and build-dependencies; every line of the
 # tree (any depth) must name a dlrm-* crate rooted in this workspace.
