@@ -103,6 +103,47 @@ impl Histogram {
         self.bucket_upper_bound(self.counts.len().saturating_sub(1))
     }
 
+    /// Estimated fraction of observations at or below `threshold` — the
+    /// streaming SLA hit rate. A bucket counts as "below" when its upper
+    /// bound is ≤ `threshold`, so the estimate *under*-reports by at most
+    /// one bucket's worth of samples: a conservative SLA attainment
+    /// figure (it never claims a hit the data cannot support).
+    ///
+    /// Returns 0.0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or NaN.
+    #[must_use]
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        assert!(
+            threshold >= 0.0 && !threshold.is_nan(),
+            "SLA threshold must be a non-negative number, got {threshold}"
+        );
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut below = self.underflow;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if self.bucket_upper_bound(i) <= threshold {
+                below += c;
+            }
+        }
+        below as f64 / self.total as f64
+    }
+
+    /// P50/P90/P99/P99.9 bucket-upper-bound estimates in one call (the
+    /// streaming counterpart of `PercentileSketch::tail_percentiles`).
+    #[must_use]
+    pub fn tail_quantiles(&self) -> crate::TailPercentiles {
+        crate::TailPercentiles {
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+
     /// Iterator over `(bucket_upper_bound, count)` for non-empty buckets.
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         self.counts
@@ -181,5 +222,59 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_rejected() {
         Histogram::new(4).record(-1.0);
+    }
+
+    #[test]
+    fn fraction_below_empty_is_zero() {
+        assert_eq!(Histogram::new(4).fraction_below(1.0), 0.0);
+    }
+
+    #[test]
+    fn fraction_below_brackets_exact_fraction() {
+        let mut h = Histogram::new(16);
+        let data: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        for &v in &data {
+            h.record(v);
+        }
+        for threshold in [100.0f64, 500.0, 900.0] {
+            let exact = threshold / 1000.0;
+            let est = h.fraction_below(threshold);
+            // Conservative: never over-reports the hit rate...
+            assert!(est <= exact + 1e-12, "t={threshold}: est {est} > exact {exact}");
+            // ...and under-reports by at most one bucket's relative width.
+            let floor = (threshold / (1.0 + 2.0 / 16.0)) / 1000.0;
+            assert!(est >= floor - 1e-12, "t={threshold}: est {est} < floor {floor}");
+        }
+        assert_eq!(h.fraction_below(0.0), 0.0);
+        assert_eq!(h.fraction_below(1e9), 1.0);
+    }
+
+    #[test]
+    fn fraction_below_counts_underflow() {
+        let mut h = Histogram::new(4);
+        h.record(0.0);
+        h.record(1e-12);
+        h.record(1000.0);
+        let f = h.fraction_below(1.0);
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_quantiles_upper_bound_true_tails() {
+        let mut h = Histogram::new(16);
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let t = h.tail_quantiles();
+        assert!(t.p50 >= 500.0 && t.p50 <= 500.0 * (1.0 + 2.0 / 16.0));
+        assert!(t.p99 >= 990.0 && t.p99 <= 990.0 * (1.0 + 2.0 / 16.0));
+        assert!(t.p999 >= 999.0 && t.p999 <= 999.0 * (1.0 + 2.0 / 16.0));
+        assert!(t.p50 <= t.p90 && t.p90 <= t.p99 && t.p99 <= t.p999);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn fraction_below_rejects_negative_threshold() {
+        let _ = Histogram::new(4).fraction_below(-1.0);
     }
 }

@@ -39,7 +39,7 @@ mod streaming;
 mod summary;
 
 pub use histogram::Histogram;
-pub use percentile::{PercentileSketch, Percentiles};
+pub use percentile::{PercentileSketch, Percentiles, TailPercentiles};
 pub use streaming::StreamingQuantile;
 pub use summary::Summary;
 

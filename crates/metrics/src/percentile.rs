@@ -41,6 +41,31 @@ impl std::fmt::Display for Percentiles {
     }
 }
 
+/// [`Percentiles`] extended with the p99.9 tail — the quantile
+/// open-loop serving reports (queueing amplifies the extreme tail, so
+/// p99 alone understates SLA risk at high load).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TailPercentiles {
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+impl std::fmt::Display for TailPercentiles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p50={:.2} p90={:.2} p99={:.2} p99.9={:.2}",
+            self.p50, self.p90, self.p99, self.p999
+        )
+    }
+}
+
 /// Exact percentile sketch: records every observation and answers
 /// arbitrary quantile queries by (lazily) sorting.
 ///
@@ -138,6 +163,37 @@ impl PercentileSketch {
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
         }
+    }
+
+    /// P50/P90/P99/P99.9 in one call (the serving frontend's reporting
+    /// unit — open-loop queueing makes the extreme tail load-bearing).
+    #[must_use]
+    pub fn tail_percentiles(&mut self) -> TailPercentiles {
+        TailPercentiles {
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+
+    /// Exact fraction of observations at or below `threshold` — the SLA
+    /// hit rate when samples are latencies and `threshold` is the SLA
+    /// deadline ("latency-bounded throughput" counts exactly these).
+    ///
+    /// Returns 0.0 for an empty sketch. Does not require sorting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is NaN.
+    #[must_use]
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        assert!(!threshold.is_nan(), "SLA threshold cannot be NaN");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let hits = self.samples.iter().filter(|&&v| v <= threshold).count();
+        hits as f64 / self.samples.len() as f64
     }
 
     /// Arithmetic mean of all observations (0.0 when empty).
@@ -274,6 +330,50 @@ mod tests {
         assert_eq!(o.p50, 10.0);
         assert_eq!(o.p90, 20.0);
         assert_eq!(o.p99, -1.0);
+    }
+
+    #[test]
+    fn fraction_below_pinned_on_1_to_1000() {
+        let s: PercentileSketch = (1..=1000).map(f64::from).collect();
+        assert_eq!(s.fraction_below(500.0), 0.5);
+        assert_eq!(s.fraction_below(0.5), 0.0);
+        assert_eq!(s.fraction_below(1000.0), 1.0);
+        assert_eq!(s.fraction_below(1e9), 1.0);
+        // Inclusive at the threshold: exactly one sample equals 1.0.
+        assert_eq!(s.fraction_below(1.0), 0.001);
+    }
+
+    #[test]
+    fn fraction_below_empty_is_zero() {
+        assert_eq!(PercentileSketch::new().fraction_below(10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn fraction_below_rejects_nan() {
+        let s: PercentileSketch = [1.0].into_iter().collect();
+        let _ = s.fraction_below(f64::NAN);
+    }
+
+    #[test]
+    fn tail_percentiles_pinned_on_1_to_1000() {
+        let mut s: PercentileSketch = (1..=1000).map(f64::from).collect();
+        let t = s.tail_percentiles();
+        assert_eq!(t.p50, 500.0);
+        assert_eq!(t.p90, 900.0);
+        assert_eq!(t.p99, 990.0);
+        assert_eq!(t.p999, 999.0);
+    }
+
+    #[test]
+    fn tail_percentiles_display_includes_p999() {
+        let t = TailPercentiles {
+            p50: 1.0,
+            p90: 2.0,
+            p99: 3.0,
+            p999: 4.5,
+        };
+        assert_eq!(t.to_string(), "p50=1.00 p90=2.00 p99=3.00 p99.9=4.50");
     }
 
     #[test]

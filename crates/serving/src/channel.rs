@@ -20,6 +20,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Error returned by [`Sender::send`] when the receiver is gone; carries
 /// the unsent message back to the caller.
@@ -29,6 +30,57 @@ pub struct SendError<T>(pub T);
 impl<T> fmt::Display for SendError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Sender::try_send`]; carries the unsent message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity (the admission-control signal
+    /// load shedding keys off).
+    Full(T),
+    /// The receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// The message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`] / [`Receiver::recv_deadline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The wait expired with the channel still empty but senders alive.
+    /// Distinguishable from [`RecvTimeoutError::Disconnected`] so a
+    /// deadline-driven batcher can tell "close the batch" from "the load
+    /// generator is done".
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "receive timed out on an empty channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty, disconnected channel")
+            }
+        }
     }
 }
 
@@ -140,6 +192,30 @@ impl<T> Sender<T> {
         self.shared.not_empty.notify_one();
         Ok(())
     }
+
+    /// Enqueues `value` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] if a bounded queue is at capacity (the
+    /// caller decides whether to shed, retry, or block),
+    /// [`TrySendError::Disconnected`] if the receiver has been dropped.
+    /// Both variants return the message.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        if !state.receiver_alive {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if state.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -203,6 +279,52 @@ impl<T> Receiver<T> {
                 .wait(state)
                 .expect("channel lock");
         }
+    }
+
+    /// Dequeues the next message, blocking at most until `deadline`.
+    ///
+    /// The disconnect check runs before the deadline check, so a message
+    /// queued behind the last sender's drop is still drained, and a
+    /// dead channel reports [`RecvTimeoutError::Disconnected`] even when
+    /// the deadline has already passed.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] once `deadline` passes with the
+    /// channel still empty; [`RecvTimeoutError::Disconnected`] when the
+    /// channel is empty and every sender is gone.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        let mut state = self.shared.state.lock().expect("channel lock");
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            let Some(wait) = deadline.checked_duration_since(now).filter(|w| !w.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _timeout) = self
+                .shared
+                .not_empty
+                .wait_timeout(state, wait)
+                .expect("channel lock");
+            state = guard;
+        }
+    }
+
+    /// Dequeues the next message, blocking at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Receiver::recv_deadline`].
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.recv_deadline(Instant::now() + timeout)
     }
 
     /// Dequeues the next message without blocking.
@@ -365,6 +487,87 @@ mod tests {
     #[should_panic(expected = "capacity >= 1")]
     fn zero_capacity_rejected() {
         let _ = bounded::<u8>(0);
+    }
+
+    #[test]
+    fn try_send_sheds_on_full_and_reports_disconnect() {
+        let (tx, rx) = bounded::<u8>(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        // At capacity: the message comes back, nothing blocks.
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        assert_eq!(TrySendError::Full(7u8).into_inner(), 7);
+    }
+
+    #[test]
+    fn try_send_on_unbounded_never_reports_full() {
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..1000 {
+            assert_eq!(tx.try_send(i), Ok(()));
+        }
+        assert_eq!(rx.recv(), Ok(0));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_an_open_empty_channel() {
+        let (tx, rx) = unbounded::<u8>();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        // The channel is still usable after a timeout.
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Ok(9));
+    }
+
+    #[test]
+    fn recv_timeout_reports_disconnect_not_timeout() {
+        // The batcher's close condition depends on telling these apart:
+        // Timeout = close the batch, Disconnected = generator finished.
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        // Queued message drains first, even with an expired deadline...
+        assert_eq!(rx.recv_deadline(Instant::now()), Ok(1));
+        // ...then the disconnect is observed (never Timeout).
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+        assert_eq!(
+            rx.recv_deadline(Instant::now()),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_deadline_wakes_on_message_before_deadline() {
+        let (tx, rx) = unbounded::<u64>();
+        let consumer = std::thread::spawn(move || rx.recv_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn recv_deadline_wakes_on_sender_drop_before_deadline() {
+        let (tx, rx) = unbounded::<u64>();
+        let consumer = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            let r = rx.recv_timeout(Duration::from_secs(10));
+            (r, t0.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        let (r, waited) = consumer.join().unwrap();
+        assert_eq!(r, Err(RecvTimeoutError::Disconnected));
+        assert!(waited < Duration::from_secs(5), "hung until deadline");
     }
 
     #[test]

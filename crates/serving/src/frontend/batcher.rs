@@ -1,0 +1,253 @@
+//! Dynamic batch formation: close on max-size OR deadline, first wins.
+//!
+//! Per DeepRecSys, the batcher trades queueing delay against per-item
+//! efficiency: a batch closes as soon as it holds
+//! `max_batch_requests` requests *or* `batch_timeout` has elapsed since
+//! its first (lead) request was picked up — whichever fires first. The
+//! timeout bounds how long a lone request can be held hostage waiting
+//! for co-batched traffic.
+//!
+//! Batching must be semantically invisible. [`merge_inputs`] concatenates
+//! request inputs row-wise and [`split_rows`] slices predictions back;
+//! both are bit-exact because every engine operator is row-independent:
+//! dense GEMMs accumulate strictly within an output row, SLS pools
+//! strictly within a `lengths` segment, and feature interaction is
+//! per-row. The property test in `tests/frontend_properties.rs` pins
+//! this end to end.
+
+use super::arrival::QueuedRequest;
+use super::queue::Dequeuer;
+use crate::channel::{RecvTimeoutError, Sender};
+use dlrm_model::graph::SparseInput;
+use dlrm_tensor::Matrix;
+use dlrm_workload::BatchInputs;
+use std::time::{Duration, Instant};
+
+/// One request inside a formed batch, with its pickup timestamp (the
+/// boundary between queue-wait and batch-assembly time).
+#[derive(Debug)]
+pub struct BatchEntry {
+    /// The queued request.
+    pub queued: QueuedRequest,
+    /// When the batcher dequeued it.
+    pub dequeued_at: Instant,
+}
+
+/// A closed batch ready for a worker.
+#[derive(Debug)]
+pub struct FormedBatch {
+    /// Member requests in pickup order; the first is the *lead* request
+    /// whose trace id labels the batch's execution spans.
+    pub entries: Vec<BatchEntry>,
+    /// When the batch closed (size or deadline reached).
+    pub closed_at: Instant,
+}
+
+/// Runs the batch-formation loop until the admission queue disconnects:
+/// dequeue a lead request (blocking), then fill until `max_requests` or
+/// `lead pickup + timeout`, whichever first, and emit the batch.
+pub fn batcher_loop(
+    dequeuer: Dequeuer<QueuedRequest>,
+    max_requests: usize,
+    timeout: Duration,
+    batches: Sender<FormedBatch>,
+) {
+    assert!(max_requests > 0, "batches must hold at least one request");
+    'outer: loop {
+        let lead = match dequeuer.recv() {
+            Ok(q) => q,
+            Err(_) => break 'outer, // load generator done, queue drained
+        };
+        let deadline = Instant::now() + timeout;
+        let mut entries = vec![BatchEntry {
+            queued: lead,
+            dequeued_at: Instant::now(),
+        }];
+        let mut disconnected = false;
+        while entries.len() < max_requests {
+            match dequeuer.recv_deadline(deadline) {
+                Ok(q) => entries.push(BatchEntry {
+                    queued: q,
+                    dequeued_at: Instant::now(),
+                }),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        let batch = FormedBatch {
+            entries,
+            closed_at: Instant::now(),
+        };
+        if batches.send(batch).is_err() || disconnected {
+            break 'outer; // workers gone, or no more arrivals possible
+        }
+    }
+    // `batches` sender drops here: workers drain and observe disconnect.
+}
+
+/// Row-concatenates request inputs into one engine batch, returning the
+/// merged inputs and each request's row count (for [`split_rows`]).
+///
+/// Dense rows stack in order; each table's sparse indices and lengths
+/// concatenate in the same order. Bit-exact by the row-independence
+/// argument in the module docs.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or the requests disagree on dense feature
+/// width or table count.
+#[must_use]
+pub fn merge_inputs(parts: &[&BatchInputs]) -> (BatchInputs, Vec<usize>) {
+    assert!(!parts.is_empty(), "cannot merge an empty batch");
+    let cols = parts[0].dense.cols();
+    let tables = parts[0].sparse.len();
+    let mut row_counts = Vec::with_capacity(parts.len());
+    let mut dense_data = Vec::new();
+    for p in parts {
+        assert_eq!(p.dense.cols(), cols, "dense feature width mismatch");
+        assert_eq!(p.sparse.len(), tables, "table count mismatch");
+        row_counts.push(p.dense.rows());
+        dense_data.extend_from_slice(p.dense.as_slice());
+    }
+    let total_rows: usize = row_counts.iter().sum();
+    let dense = Matrix::from_vec(total_rows, cols, dense_data);
+    let sparse = (0..tables)
+        .map(|ti| {
+            let mut indices = Vec::new();
+            let mut lengths = Vec::new();
+            for p in parts {
+                indices.extend_from_slice(&p.sparse[ti].indices);
+                lengths.extend_from_slice(&p.sparse[ti].lengths);
+            }
+            SparseInput::new(indices, lengths)
+        })
+        .collect();
+    (BatchInputs { dense, sparse }, row_counts)
+}
+
+/// Slices a merged prediction matrix back into per-request matrices of
+/// `row_counts[i]` rows each — the inverse of [`merge_inputs`]'s row
+/// stacking.
+///
+/// # Panics
+///
+/// Panics if `row_counts` does not sum to the matrix's row count.
+#[must_use]
+pub fn split_rows(merged: &Matrix, row_counts: &[usize]) -> Vec<Matrix> {
+    let total: usize = row_counts.iter().sum();
+    assert_eq!(
+        total,
+        merged.rows(),
+        "row counts do not cover the merged matrix"
+    );
+    let cols = merged.cols();
+    let mut out = Vec::with_capacity(row_counts.len());
+    let mut lo = 0;
+    for &rows in row_counts {
+        let data = merged.as_slice()[lo * cols..(lo + rows) * cols].to_vec();
+        out.push(Matrix::from_vec(rows, cols, data));
+        lo += rows;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel;
+    use crate::frontend::queue::admission_queue;
+    use crate::frontend::FrontendRequest;
+
+    fn inputs(rows: usize, tag: f32) -> BatchInputs {
+        let dense = Matrix::from_vec(rows, 2, (0..rows * 2).map(|i| tag + i as f32).collect());
+        let sparse = vec![SparseInput::new(
+            (0..rows as u64).collect(),
+            vec![1; rows],
+        )];
+        BatchInputs { dense, sparse }
+    }
+
+    fn queued(id: u64, rows: usize) -> QueuedRequest {
+        QueuedRequest {
+            request: FrontendRequest {
+                id,
+                inputs: inputs(rows, id as f32),
+            },
+            arrival_ms: 0.0,
+            enqueued_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn merge_then_split_roundtrips_dense_rows() {
+        let a = inputs(2, 10.0);
+        let b = inputs(3, 90.0);
+        let (merged, counts) = merge_inputs(&[&a, &b]);
+        assert_eq!(counts, vec![2, 3]);
+        assert_eq!(merged.dense.rows(), 5);
+        assert_eq!(merged.sparse[0].lengths.len(), 5);
+        let back = split_rows(&merged.dense, &counts);
+        assert_eq!(back[0], a.dense);
+        assert_eq!(back[1], b.dense);
+    }
+
+    #[test]
+    fn merge_concatenates_sparse_segments_in_order() {
+        let a = inputs(1, 0.0);
+        let b = inputs(2, 0.0);
+        let (merged, _) = merge_inputs(&[&a, &b]);
+        assert_eq!(merged.sparse[0].indices, vec![0, 0, 1]);
+        assert_eq!(merged.sparse[0].lengths, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn size_closes_batch_before_deadline() {
+        let (adm, deq, _stats) = admission_queue(16);
+        let (tx, rx) = channel::unbounded();
+        for i in 0..5 {
+            adm.offer(queued(i, 1)).unwrap();
+        }
+        drop(adm);
+        batcher_loop(deq, 2, Duration::from_secs(60), tx);
+        let sizes: Vec<usize> = std::iter::from_fn(|| rx.recv().ok())
+            .map(|b: FormedBatch| b.entries.len())
+            .collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn deadline_closes_undersized_batch() {
+        let (adm, deq, _stats) = admission_queue(16);
+        let (tx, rx) = channel::unbounded();
+        adm.offer(queued(0, 1)).unwrap();
+        let t = std::thread::spawn(move || batcher_loop(deq, 64, Duration::from_millis(10), tx));
+        let b = rx.recv().expect("deadline should close the batch");
+        assert_eq!(b.entries.len(), 1);
+        drop(adm);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_flushes_partial_batch() {
+        let (adm, deq, _stats) = admission_queue(16);
+        let (tx, rx) = channel::unbounded();
+        for i in 0..3 {
+            adm.offer(queued(i, 1)).unwrap();
+        }
+        drop(adm);
+        batcher_loop(deq, 64, Duration::from_secs(60), tx);
+        let b = rx.recv().unwrap();
+        assert_eq!(b.entries.len(), 3);
+        assert!(rx.recv().is_err(), "batch sender must close after flush");
+    }
+
+    #[test]
+    #[should_panic(expected = "row counts")]
+    fn split_rejects_bad_counts() {
+        let m = Matrix::zeros(3, 1);
+        let _ = split_rows(&m, &[1, 1]);
+    }
+}

@@ -1,0 +1,257 @@
+//! SLA-aware serving frontend over the real distributed engine.
+//!
+//! The paper characterizes sharded inference under serving conditions —
+//! tail latency under production request streams (§V) — but an engine
+//! alone only answers closed-loop questions. This subsystem supplies
+//! the serving tier in front of PR 2's overlapped executor:
+//!
+//! ```text
+//!  ArrivalSchedule ──▶ load generator (open loop, wall clock)
+//!                         │ offer
+//!                  bounded admission queue ── full? ──▶ shed
+//!                         │ recv / recv_deadline
+//!                  dynamic batcher (max-size OR deadline, first wins)
+//!                         │ FormedBatch
+//!                  worker pool (OS threads, run_overlapped)
+//!                         │ split predictions
+//!                  FrontendReport (SLA hit rate, breakdown, trace)
+//! ```
+//!
+//! Determinism: arrival schedules and request inputs are seeded
+//! ([`dlrm_workload::ArrivalSchedule`], [`materialize_frontend_requests`]),
+//! so *what* is offered is exactly reproducible; *measured* latencies
+//! are wall-clock and vary run to run, which is why the smoke gates pin
+//! accounting identities and generous SLA bands rather than exact times.
+//! Batching is semantically invisible — a batch of N requests produces
+//! bit-identical predictions to N single-request runs (property-tested
+//! in `tests/frontend_properties.rs`).
+
+mod arrival;
+mod batcher;
+mod queue;
+mod sla;
+mod worker;
+
+pub use arrival::QueuedRequest;
+pub use batcher::{merge_inputs, split_rows, FormedBatch};
+pub use queue::{admission_queue, Admitter, Dequeuer, QueueStats, QueueStatsHandle};
+pub use sla::{FrontendReport, RequestRecord};
+
+use crate::channel;
+use dlrm_model::ModelSpec;
+use dlrm_sharding::DistributedModel;
+use dlrm_trace::TraceCollector;
+use dlrm_workload::{materialize_request, ArrivalSchedule, BatchInputs, TraceDb};
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Frontend tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendConfig {
+    /// Admission-queue slots; arrivals beyond this are shed.
+    pub queue_capacity: usize,
+    /// Batch closes when it holds this many requests...
+    pub max_batch_requests: usize,
+    /// ...or when this much time has passed since its lead request was
+    /// picked up, whichever happens first.
+    pub batch_timeout: Duration,
+    /// The SLA window end-to-end latency is judged against.
+    pub sla: Duration,
+    /// Worker threads draining formed batches.
+    pub workers: usize,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            max_batch_requests: 8,
+            batch_timeout: Duration::from_millis(2),
+            sla: Duration::from_millis(100),
+            workers: 2,
+        }
+    }
+}
+
+/// One inference request as the frontend sees it: an id (also its trace
+/// id) plus fully materialized inputs.
+#[derive(Debug, Clone)]
+pub struct FrontendRequest {
+    /// Request id; unique per run.
+    pub id: u64,
+    /// The request's dense and sparse inputs (one engine batch).
+    pub inputs: BatchInputs,
+}
+
+/// Materializes every shape in `db` into a [`FrontendRequest`], one
+/// engine batch per request (the frontend's own batcher decides how
+/// requests group, so request inputs are not pre-split).
+#[must_use]
+pub fn materialize_frontend_requests(
+    spec: &ModelSpec,
+    db: &TraceDb,
+    seed: u64,
+) -> Vec<FrontendRequest> {
+    (0..db.len())
+        .map(|i| {
+            let shape = db.get(i);
+            let inputs = materialize_request(spec, shape, usize::MAX, seed)
+                .into_iter()
+                .next()
+                .expect("request shapes have at least one item");
+            FrontendRequest {
+                id: shape.id,
+                inputs,
+            }
+        })
+        .collect()
+}
+
+/// Drives one open-loop serving run to completion: replays `schedule`
+/// against `requests`, batches admitted requests, executes batches on
+/// `cfg.workers` threads via [`DistributedModel::run_overlapped`], and
+/// returns the full [`FrontendReport`].
+///
+/// Shutdown cascades by channel disconnect: the load generator drops
+/// the admitter when the schedule ends, the batcher flushes its partial
+/// batch and drops the batch sender, and the workers drain and join.
+///
+/// # Panics
+///
+/// Panics if `schedule` and `requests` differ in length or `cfg` has a
+/// zero worker count, batch size, or queue capacity.
+#[must_use]
+pub fn run_frontend(
+    model: &DistributedModel,
+    requests: Vec<FrontendRequest>,
+    schedule: &ArrivalSchedule,
+    cfg: &FrontendConfig,
+) -> FrontendReport {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.max_batch_requests > 0, "need a non-zero batch size");
+    assert_eq!(
+        schedule.len(),
+        requests.len(),
+        "arrival schedule and request list must pair 1:1"
+    );
+
+    let (admitter, dequeuer, queue_stats) = admission_queue(cfg.queue_capacity);
+    let (batch_tx, batch_rx) = channel::unbounded();
+    let batch_rx = Mutex::new(batch_rx);
+    let batch_seq = AtomicU64::new(0);
+    let records = Mutex::new(Vec::with_capacity(schedule.len()));
+    let trace = Mutex::new(TraceCollector::new());
+
+    let origin = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            batcher::batcher_loop(dequeuer, cfg.max_batch_requests, cfg.batch_timeout, batch_tx);
+        });
+        for _ in 0..cfg.workers {
+            s.spawn(|| {
+                worker::worker_loop(model, origin, &batch_rx, &batch_seq, &records, &trace);
+            });
+        }
+        // Open-loop generation runs on this thread; when it returns the
+        // admitter is dropped and the shutdown cascade begins.
+        arrival::generate_load(origin, schedule, requests, admitter);
+    });
+    let wall_ms = origin.elapsed().as_secs_f64() * 1e3;
+
+    let mut report = FrontendReport::assemble(
+        queue_stats.snapshot(),
+        records.into_inner().expect("records lock poisoned"),
+        cfg.sla.as_secs_f64() * 1e3,
+        wall_ms,
+    );
+    report.trace = trace.into_inner().expect("trace lock poisoned");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_model::{build_model, rm};
+    use dlrm_sharding::{partition, plan, ShardingStrategy};
+    use dlrm_workload::PoolingProfile;
+
+    fn small_distributed() -> (DistributedModel, TraceDb) {
+        let mut spec = rm::rm1().scaled_to_bytes(1 << 20);
+        spec.mean_items_per_request = 4.0;
+        spec.default_batch_size = 4;
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = plan(&spec, &profile, ShardingStrategy::CapacityBalanced(2)).unwrap();
+        let model = build_model(&spec, 3).unwrap();
+        let dist = partition(model, &p).unwrap();
+        let db = TraceDb::generate(&spec, 12, 5);
+        (dist, db)
+    }
+
+    #[test]
+    fn seeded_run_accounts_for_every_offered_request() {
+        let (dist, db) = small_distributed();
+        let requests = materialize_frontend_requests(&dist.spec, &db, 7);
+        let schedule = ArrivalSchedule::poisson(requests.len(), 2000.0, 7);
+        let cfg = FrontendConfig {
+            queue_capacity: 32,
+            max_batch_requests: 4,
+            batch_timeout: Duration::from_millis(1),
+            sla: Duration::from_millis(250),
+            workers: 2,
+        };
+        let report = run_frontend(&dist, requests, &schedule, &cfg);
+        assert_eq!(report.offered, 12);
+        assert_eq!(report.offered, report.admitted + report.shed);
+        assert_eq!(report.completed + report.failed, report.admitted);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.predictions.len(), report.completed as usize);
+        assert!(report.batches >= 1);
+        // Every completed request has frontend spans in the trace.
+        for (id, _) in &report.predictions {
+            let spans: Vec<_> = report.trace.of_trace(dlrm_trace::TraceId(*id)).collect();
+            assert!(
+                spans
+                    .iter()
+                    .any(|s| s.kind == dlrm_trace::SpanKind::QueueWait),
+                "request {id} missing QueueWait span"
+            );
+            assert!(
+                spans
+                    .iter()
+                    .any(|s| s.kind == dlrm_trace::SpanKind::RequestE2E),
+                "request {id} missing RequestE2E span"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_predictions_match_sequential_runs() {
+        let (dist, db) = small_distributed();
+        let requests = materialize_frontend_requests(&dist.spec, &db, 3);
+        let expected: Vec<(u64, dlrm_tensor::Matrix)> = requests
+            .iter()
+            .map(|r| {
+                let mut ws = dlrm_model::Workspace::new();
+                r.inputs.load_into(&dist.spec, &mut ws);
+                let mut obs = dlrm_model::graph::NoopObserver;
+                (r.id, dist.run_overlapped(&mut ws, &mut obs).unwrap())
+            })
+            .collect();
+        // Arrivals all land at once so batches actually form.
+        let schedule = ArrivalSchedule::poisson(requests.len(), 100_000.0, 3);
+        let cfg = FrontendConfig {
+            queue_capacity: 64,
+            max_batch_requests: 5,
+            batch_timeout: Duration::from_millis(5),
+            sla: Duration::from_millis(250),
+            workers: 2,
+        };
+        let report = run_frontend(&dist, requests, &schedule, &cfg);
+        assert_eq!(report.shed, 0, "queue sized to admit everything");
+        for (id, pred) in &report.predictions {
+            let (_, exp) = expected.iter().find(|(e, _)| e == id).unwrap();
+            assert_eq!(pred, exp, "request {id} batched != sequential");
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! SLA accounting: per-request timelines and the frontend report.
+//!
+//! The figure of merit is *latency-bounded throughput* (DeepRecSys):
+//! the rate of requests completing within the SLA window. Shed and
+//! failed requests count as SLA misses — a request turned away at
+//! admission is a miss the user observed, so the hit-rate denominator
+//! is everything *offered*, not everything served.
+
+use super::queue::QueueStats;
+use dlrm_metrics::{PercentileSketch, Summary, TailPercentiles};
+use dlrm_tensor::Matrix;
+use dlrm_trace::TraceCollector;
+
+/// The measured timeline of one completed (or failed) request, all
+/// timestamps in milliseconds on the frontend clock.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Request id (the trace id of its spans).
+    pub id: u64,
+    /// Scheduled open-loop arrival offset.
+    pub arrival_ms: f64,
+    /// When the load generator enqueued it (E2E clock start).
+    pub enqueued_ms: f64,
+    /// When the batcher picked it up (queue-wait end).
+    pub dequeued_ms: f64,
+    /// When its batch closed.
+    pub batch_closed_ms: f64,
+    /// When its batch started executing on a worker.
+    pub exec_start_ms: f64,
+    /// When predictions were split back (E2E clock end).
+    pub exec_end_ms: f64,
+    /// Sequence number of the batch it rode in (unique per run).
+    pub batch_seq: u64,
+    /// How many requests rode in the same batch.
+    pub batch_requests: usize,
+    /// The request's predictions; `None` if the engine failed.
+    pub prediction: Option<Matrix>,
+}
+
+impl RequestRecord {
+    /// End-to-end latency: admission to predictions split.
+    #[must_use]
+    pub fn e2e_ms(&self) -> f64 {
+        self.exec_end_ms - self.enqueued_ms
+    }
+
+    /// Time spent waiting in the admission queue.
+    #[must_use]
+    pub fn queue_wait_ms(&self) -> f64 {
+        self.dequeued_ms - self.enqueued_ms
+    }
+
+    /// Time spent in batch formation (pickup to batch close, plus any
+    /// wait for a free worker before execution started).
+    #[must_use]
+    pub fn batch_wait_ms(&self) -> f64 {
+        self.exec_start_ms - self.dequeued_ms
+    }
+
+    /// Time spent in batch execution (merge, overlapped run, split).
+    #[must_use]
+    pub fn compute_ms(&self) -> f64 {
+        self.exec_end_ms - self.exec_start_ms
+    }
+}
+
+/// Everything one frontend run reports: admission accounting, the
+/// queueing-vs-compute delay breakdown, latency tails, predictions, and
+/// the collected trace.
+#[derive(Debug)]
+pub struct FrontendReport {
+    /// Requests presented for admission (`admitted + shed`).
+    pub offered: u64,
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests turned away (queue full): SLA misses by definition.
+    pub shed: u64,
+    /// Requests that completed with predictions.
+    pub completed: u64,
+    /// Admitted requests whose batch failed in the engine.
+    pub failed: u64,
+    /// High-water mark of admission-queue depth.
+    pub max_queue_depth: usize,
+    /// The SLA window requests are judged against, milliseconds.
+    pub sla_ms: f64,
+    /// Wall-clock span of the whole run (first arrival to last drain).
+    pub wall_ms: f64,
+    /// Number of batches executed.
+    pub batches: u64,
+    /// Mean requests per executed batch.
+    pub mean_batch_requests: f64,
+    /// Largest batch executed, in requests.
+    pub max_batch_requests: usize,
+    /// Queue-wait breakdown over completed requests.
+    pub queue_wait_ms: Summary,
+    /// Batch-formation breakdown over completed requests.
+    pub batch_wait_ms: Summary,
+    /// Compute breakdown over completed requests.
+    pub compute_ms: Summary,
+    /// End-to-end latency samples over completed requests.
+    pub e2e_ms: PercentileSketch,
+    /// `(request id, predictions)` for every completed request.
+    pub predictions: Vec<(u64, Matrix)>,
+    /// Per-request queue/batch/execute spans plus the lead requests'
+    /// re-based executor spans.
+    pub trace: TraceCollector,
+}
+
+impl FrontendReport {
+    /// Assembles the report from the queue counters and the workers'
+    /// request records.
+    #[must_use]
+    pub(super) fn assemble(
+        queue: QueueStats,
+        mut records: Vec<RequestRecord>,
+        sla_ms: f64,
+        wall_ms: f64,
+    ) -> Self {
+        records.sort_by_key(|r| r.id);
+        let mut queue_wait = Summary::new();
+        let mut batch_wait = Summary::new();
+        let mut compute = Summary::new();
+        let mut e2e = PercentileSketch::with_capacity(records.len());
+        let mut predictions = Vec::new();
+        let mut failed = 0u64;
+        let mut batch_sizes: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        let mut max_batch = 0usize;
+        for mut r in records {
+            batch_sizes.insert(r.batch_seq, r.batch_requests);
+            max_batch = max_batch.max(r.batch_requests);
+            if let Some(prediction) = r.prediction.take() {
+                queue_wait.record(r.queue_wait_ms());
+                batch_wait.record(r.batch_wait_ms());
+                compute.record(r.compute_ms());
+                e2e.record(r.e2e_ms());
+                predictions.push((r.id, prediction));
+            } else {
+                failed += 1;
+            }
+        }
+        let batches = batch_sizes.len() as u64;
+        let batched_requests: usize = batch_sizes.values().sum();
+        FrontendReport {
+            offered: queue.offered,
+            admitted: queue.admitted,
+            shed: queue.shed,
+            completed: predictions.len() as u64,
+            failed,
+            max_queue_depth: queue.max_depth,
+            sla_ms,
+            wall_ms,
+            batches,
+            mean_batch_requests: if batches == 0 {
+                0.0
+            } else {
+                batched_requests as f64 / batches as f64
+            },
+            max_batch_requests: max_batch,
+            queue_wait_ms: queue_wait,
+            batch_wait_ms: batch_wait,
+            compute_ms: compute,
+            e2e_ms: e2e,
+            predictions,
+            trace: TraceCollector::new(),
+        }
+    }
+
+    /// Requests that completed within the SLA window.
+    #[must_use]
+    pub fn sla_hits(&self) -> u64 {
+        let frac = self.e2e_ms.fraction_below(self.sla_ms);
+        // fraction_below is exact over the completed samples, so this
+        // rounds an integer-valued product back to that integer.
+        (frac * self.completed as f64).round() as u64
+    }
+
+    /// Fraction of *offered* requests that completed within the SLA —
+    /// shed and failed requests count as misses. 1.0 when nothing was
+    /// offered (vacuously met).
+    #[must_use]
+    pub fn sla_hit_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.sla_hits() as f64 / self.offered as f64
+    }
+
+    /// Latency-bounded throughput: SLA-meeting completions per second
+    /// of wall time.
+    #[must_use]
+    pub fn latency_bounded_qps(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.sla_hits() as f64 / (self.wall_ms / 1e3)
+    }
+
+    /// End-to-end latency tail percentiles over completed requests.
+    #[must_use]
+    pub fn tail(&mut self) -> TailPercentiles {
+        self.e2e_ms.tail_percentiles()
+    }
+}
+
+impl std::fmt::Display for FrontendReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut e2e = self.e2e_ms.clone();
+        writeln!(
+            f,
+            "offered {} | admitted {} | shed {} | completed {} | failed {}",
+            self.offered, self.admitted, self.shed, self.completed, self.failed
+        )?;
+        writeln!(
+            f,
+            "SLA {:.1}ms: hit rate {:.4} ({} hits) | latency-bounded {:.1} qps | wall {:.1}ms",
+            self.sla_ms,
+            self.sla_hit_rate(),
+            self.sla_hits(),
+            self.latency_bounded_qps(),
+            self.wall_ms
+        )?;
+        writeln!(
+            f,
+            "batches {} | mean {:.2} req/batch | max {} req | max queue depth {}",
+            self.batches, self.mean_batch_requests, self.max_batch_requests, self.max_queue_depth
+        )?;
+        writeln!(f, "e2e      {}", e2e.tail_percentiles())?;
+        writeln!(
+            f,
+            "breakdown: queue-wait mean {:.3}ms | batch-wait mean {:.3}ms | compute mean {:.3}ms",
+            self.queue_wait_ms.mean(),
+            self.batch_wait_ms.mean(),
+            self.compute_ms.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, e2e: f64, ok: bool) -> RequestRecord {
+        RequestRecord {
+            id,
+            arrival_ms: 0.0,
+            enqueued_ms: 0.0,
+            dequeued_ms: e2e * 0.25,
+            batch_closed_ms: e2e * 0.5,
+            exec_start_ms: e2e * 0.5,
+            exec_end_ms: e2e,
+            batch_seq: id,
+            batch_requests: 1,
+            prediction: ok.then(|| Matrix::zeros(1, 1)),
+        }
+    }
+
+    fn stats(offered: u64, admitted: u64) -> QueueStats {
+        QueueStats {
+            offered,
+            admitted,
+            shed: offered - admitted,
+            depth: 0,
+            max_depth: 3,
+        }
+    }
+
+    #[test]
+    fn shed_and_failed_count_as_sla_misses() {
+        // 10 offered: 2 shed, 1 failed, 7 completed (5 within 10ms SLA).
+        let mut records: Vec<RequestRecord> =
+            (0..5).map(|i| rec(i, 5.0, true)).collect();
+        records.push(rec(5, 50.0, true));
+        records.push(rec(6, 60.0, true));
+        records.push(rec(7, 1.0, false));
+        let report = FrontendReport::assemble(stats(10, 8), records, 10.0, 1000.0);
+        assert_eq!(report.offered, 10);
+        assert_eq!(report.shed, 2);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.completed, 7);
+        assert_eq!(report.sla_hits(), 5);
+        assert_eq!(report.sla_hit_rate(), 0.5);
+        assert_eq!(report.latency_bounded_qps(), 5.0);
+        assert_eq!(report.offered, report.admitted + report.shed);
+        assert_eq!(report.completed + report.failed, report.admitted);
+    }
+
+    #[test]
+    fn breakdown_sums_to_e2e() {
+        let r = rec(0, 40.0, true);
+        let total = r.queue_wait_ms() + r.batch_wait_ms() + r.compute_ms();
+        assert!((total - r.e2e_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_vacuously_within_sla() {
+        let report = FrontendReport::assemble(QueueStats::default(), Vec::new(), 10.0, 0.0);
+        assert_eq!(report.sla_hit_rate(), 1.0);
+        assert_eq!(report.latency_bounded_qps(), 0.0);
+        assert_eq!(report.batches, 0);
+    }
+
+    #[test]
+    fn display_mentions_every_accounting_line() {
+        let report = FrontendReport::assemble(stats(2, 2), vec![rec(0, 5.0, true)], 10.0, 100.0);
+        let text = report.to_string();
+        for needle in ["offered", "shed", "hit rate", "batches", "queue-wait"] {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+    }
+}

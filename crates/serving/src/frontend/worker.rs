@@ -1,0 +1,146 @@
+//! Worker pool: OS threads draining formed batches through the
+//! overlapped executor.
+//!
+//! Each worker merges a batch's request inputs ([`merge_inputs`]), runs
+//! the distributed model under [`DistributedModel::run_overlapped`] —
+//! so shard round-trips overlap with dense compute exactly as in PR 2's
+//! executor — then splits the predictions back per request
+//! ([`split_rows`]) and records the request's timeline spans.
+//!
+//! The batch receiver is shared behind a mutex: pickup is serialized
+//! (the blocked `recv` holds the lock) but execution is fully parallel,
+//! which is the right trade for batch-granular work items.
+
+use super::batcher::{merge_inputs, split_rows, FormedBatch};
+use super::sla::RequestRecord;
+use crate::channel::Receiver;
+use crate::engine_trace::RpcTracingObserver;
+use dlrm_sharding::DistributedModel;
+use dlrm_trace::{ServerId, Span, SpanKind, TraceCollector, TraceId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Milliseconds from `origin` to `at` (zero if `at` precedes it).
+fn ms(origin: Instant, at: Instant) -> f64 {
+    at.saturating_duration_since(origin).as_secs_f64() * 1e3
+}
+
+/// Drains batches until the batcher disconnects. Per batch: merge →
+/// `run_overlapped` → split; per member request: push a
+/// [`RequestRecord`] and its QueueWait / BatchAssembly / BatchExecute /
+/// RequestE2E spans (frontend clock, main server). The lead request
+/// additionally carries the executor's re-based per-op and
+/// RpcOutstanding spans, so one Gantt render shows batch formation next
+/// to the overlap rows.
+pub fn worker_loop(
+    model: &DistributedModel,
+    origin: Instant,
+    batches: &Mutex<Receiver<FormedBatch>>,
+    batch_seq: &AtomicU64,
+    records: &Mutex<Vec<RequestRecord>>,
+    trace: &Mutex<TraceCollector>,
+) {
+    loop {
+        let batch = {
+            let rx = batches.lock().expect("batch receiver lock poisoned");
+            match rx.recv() {
+                Ok(b) => b,
+                Err(_) => break, // batcher finished and queue drained
+            }
+        };
+        let seq = batch_seq.fetch_add(1, Ordering::AcqRel);
+        run_batch(model, origin, seq, batch, records, trace);
+    }
+}
+
+fn run_batch(
+    model: &DistributedModel,
+    origin: Instant,
+    seq: u64,
+    batch: FormedBatch,
+    records: &Mutex<Vec<RequestRecord>>,
+    trace: &Mutex<TraceCollector>,
+) {
+    let parts: Vec<&dlrm_workload::BatchInputs> =
+        batch.entries.iter().map(|e| &e.queued.request.inputs).collect();
+    let (merged, row_counts) = merge_inputs(&parts);
+    let mut ws = dlrm_model::Workspace::new();
+    merged.load_into(&model.spec, &mut ws);
+
+    let lead_trace = TraceId(batch.entries[0].queued.request.id);
+    // The observer's clock starts at its construction; capture the same
+    // instant so its spans re-base onto the frontend clock exactly.
+    let exec_start = Instant::now();
+    let mut obs = RpcTracingObserver::new(lead_trace);
+    let result = model.run_overlapped(&mut ws, &mut obs);
+    let exec_end = Instant::now();
+    let engine_spans = obs.finish();
+
+    let predictions: Option<Vec<_>> = result.ok().map(|m| split_rows(&m, &row_counts));
+
+    let exec_start_ms = ms(origin, exec_start);
+    let exec_end_ms = ms(origin, exec_end);
+    let closed_ms = ms(origin, batch.closed_at);
+    let batch_requests = batch.entries.len();
+
+    let mut recs = Vec::with_capacity(batch_requests);
+    let mut spans = Vec::new();
+    for (i, entry) in batch.entries.into_iter().enumerate() {
+        let id = entry.queued.request.id;
+        let rec = RequestRecord {
+            id,
+            arrival_ms: entry.queued.arrival_ms,
+            enqueued_ms: ms(origin, entry.queued.enqueued_at),
+            dequeued_ms: ms(origin, entry.dequeued_at),
+            batch_closed_ms: closed_ms,
+            exec_start_ms,
+            exec_end_ms,
+            batch_seq: seq,
+            batch_requests,
+            prediction: predictions.as_ref().map(|p| p[i].clone()),
+        };
+        let t = TraceId(id);
+        let interval = |kind, start: f64, end: f64| Span {
+            trace: t,
+            server: ServerId::MAIN,
+            kind,
+            start,
+            duration: (end - start).max(0.0),
+            cpu: false,
+        };
+        spans.push(interval(SpanKind::QueueWait, rec.enqueued_ms, rec.dequeued_ms));
+        spans.push(interval(
+            SpanKind::BatchAssembly,
+            rec.dequeued_ms,
+            rec.batch_closed_ms,
+        ));
+        spans.push(interval(SpanKind::BatchExecute, exec_start_ms, exec_end_ms));
+        spans.push(interval(SpanKind::RequestE2E, rec.enqueued_ms, exec_end_ms));
+        recs.push(rec);
+    }
+
+    {
+        let mut tc = trace.lock().expect("trace collector lock poisoned");
+        for s in spans {
+            tc.record(s);
+        }
+        // Re-base the executor's spans (op CPU time, RPC outstanding
+        // windows) onto the frontend clock under the lead request's
+        // trace. Its own RequestE2E is dropped — the frontend's E2E
+        // (admission → predictions split) supersedes it.
+        for s in engine_spans.spans() {
+            if s.kind == SpanKind::RequestE2E {
+                continue;
+            }
+            tc.record(Span {
+                start: s.start + exec_start_ms,
+                ..s.clone()
+            });
+        }
+    }
+    records
+        .lock()
+        .expect("request record lock poisoned")
+        .extend(recs);
+}

@@ -33,6 +33,7 @@ mod cluster;
 mod cost;
 pub mod engine_trace;
 pub mod experiment;
+pub mod frontend;
 pub mod local;
 pub mod paging;
 pub mod threaded;

@@ -1,0 +1,239 @@
+//! Property-style tests on the serving frontend's batching: merging N
+//! requests into one engine batch and splitting the predictions back
+//! must be *semantically invisible* — bit-identical to running each
+//! request alone — across randomly drawn model specs, shardings, batch
+//! groupings, and transports (deterministic [`SimRng`] streams, the
+//! in-tree replacement for proptest). A full open-loop frontend run
+//! must preserve the same property end to end, plus its accounting
+//! identities.
+
+use dlrm_model::graph::NoopObserver;
+use dlrm_model::{build_model, ModelSpec, NetId, NetSpec, TableId, TableSpec, Workspace};
+use dlrm_serving::frontend::{
+    materialize_frontend_requests, merge_inputs, run_frontend, split_rows, FrontendConfig,
+};
+use dlrm_serving::threaded::ThreadedShardPool;
+use dlrm_sharding::{partition, partition_with_clients, plan, ShardService, ShardingStrategy};
+use dlrm_sim::SimRng;
+use dlrm_tensor::Matrix;
+use dlrm_workload::{materialize_request, ArrivalSchedule, BatchInputs, TraceDb};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Draws a small but structurally varied model spec: 1–2 nets, 1–3
+/// tables per net, 1–2 MLP layers per stack (same generator family as
+/// `overlap_properties.rs`).
+fn random_spec(rng: &mut SimRng, case: usize) -> ModelSpec {
+    let num_nets = 1 + rng.next_index(2);
+    let random_mlp = |rng: &mut SimRng| -> Vec<usize> {
+        (0..1 + rng.next_index(2))
+            .map(|_| 2 + rng.next_index(8))
+            .collect()
+    };
+    let nets: Vec<NetSpec> = (0..num_nets)
+        .map(|i| NetSpec {
+            id: NetId(i),
+            name: format!("net{i}"),
+            bottom_mlp: random_mlp(rng),
+            top_mlp: random_mlp(rng),
+            takes_prev_output: i > 0,
+        })
+        .collect();
+    let mut tables = Vec::new();
+    for i in 0..num_nets {
+        for _ in 0..1 + rng.next_index(3) {
+            let id = TableId(tables.len());
+            tables.push(TableSpec {
+                id,
+                name: format!("t{}", id.0),
+                rows: 16 + rng.next_u64_below(64),
+                dim: 2 + rng.next_u64_below(6) as u32,
+                net: NetId(i),
+                pooling_factor: 2.0 + rng.next_f64() * 6.0,
+            });
+        }
+    }
+    ModelSpec {
+        name: format!("fprop{case}"),
+        dense_features: 3 + rng.next_index(6),
+        tables,
+        nets,
+        default_batch_size: 1 + rng.next_index(6),
+        mean_items_per_request: 6.0,
+    }
+}
+
+fn random_strategy(rng: &mut SimRng) -> ShardingStrategy {
+    match rng.next_index(5) {
+        0 => ShardingStrategy::Singular,
+        1 => ShardingStrategy::OneShard,
+        2 => ShardingStrategy::CapacityBalanced(1 + rng.next_index(3)),
+        3 => ShardingStrategy::LoadBalanced(1 + rng.next_index(3)),
+        _ => ShardingStrategy::NetSpecificBinPacking(1 + rng.next_index(3)),
+    }
+}
+
+/// Runs each request alone through the overlapped executor.
+fn sequential_predictions(
+    dist: &dlrm_sharding::DistributedModel,
+    inputs: &[BatchInputs],
+) -> Vec<Matrix> {
+    inputs
+        .iter()
+        .map(|b| {
+            let mut ws = Workspace::new();
+            b.load_into(&dist.spec, &mut ws);
+            dist.run_overlapped(&mut ws, &mut NoopObserver).unwrap()
+        })
+        .collect()
+}
+
+/// Runs a group of requests as ONE merged engine batch and splits back.
+fn batched_predictions(
+    dist: &dlrm_sharding::DistributedModel,
+    inputs: &[BatchInputs],
+) -> Vec<Matrix> {
+    let parts: Vec<&BatchInputs> = inputs.iter().collect();
+    let (merged, counts) = merge_inputs(&parts);
+    let mut ws = Workspace::new();
+    merged.load_into(&dist.spec, &mut ws);
+    let out = dist.run_overlapped(&mut ws, &mut NoopObserver).unwrap();
+    split_rows(&out, &counts)
+}
+
+/// Merged-batch execution ≡ per-request execution, bit for bit, across
+/// random specs, shardings, and random batch-group sizes.
+#[test]
+fn batched_bit_identical_to_sequential_across_random_specs() {
+    let mut rng = SimRng::seed_from(0xf0e_4d11).fork(11);
+    let mut batched_cases = 0;
+    for case in 0..30 {
+        let spec = random_spec(&mut rng, case);
+        let seed = rng.next_u64();
+        let db = TraceDb::generate(&spec, 2 + rng.next_index(4), seed ^ 1);
+        let strategy = random_strategy(&mut rng);
+        let profile = db.pooling_profile(db.len());
+        let Ok(p) = plan(&spec, &profile, strategy) else {
+            continue;
+        };
+        let dist = partition(build_model(&spec, seed).unwrap(), &p).unwrap();
+
+        // Whole requests as the frontend batches them (one engine batch
+        // per request), grouped into a random batch size.
+        let inputs: Vec<BatchInputs> = (0..db.len())
+            .map(|i| {
+                materialize_request(&spec, db.get(i), usize::MAX, seed ^ 2)
+                    .into_iter()
+                    .next()
+                    .unwrap()
+            })
+            .collect();
+        let group = 2 + rng.next_index(inputs.len().max(2));
+        let expected = sequential_predictions(&dist, &inputs);
+        for (chunk_i, chunk) in inputs.chunks(group).enumerate() {
+            let got = batched_predictions(&dist, chunk);
+            for (j, m) in got.iter().enumerate() {
+                let want = &expected[chunk_i * group + j];
+                assert_eq!(
+                    m, want,
+                    "case {case} ({strategy}): request {} diverged in a batch of {}",
+                    chunk_i * group + j,
+                    chunk.len()
+                );
+            }
+        }
+        batched_cases += 1;
+    }
+    assert!(
+        batched_cases >= 10,
+        "only {batched_cases} batched cases exercised"
+    );
+}
+
+/// The same invisibility property through the thread-backed transport:
+/// real shard concurrency must not perturb a single bit.
+#[test]
+fn batched_bit_identical_over_threaded_transport() {
+    let mut rng = SimRng::seed_from(0x0ba7_c4ed).fork(5);
+    for case in 0..6 {
+        let spec = random_spec(&mut rng, case);
+        let seed = rng.next_u64();
+        let db = TraceDb::generate(&spec, 3, seed);
+        let profile = db.pooling_profile(db.len());
+        let shards = 1 + rng.next_index(3);
+        let Ok(p) = plan(&spec, &profile, ShardingStrategy::CapacityBalanced(shards)) else {
+            continue;
+        };
+        let model = build_model(&spec, seed).unwrap();
+        let services: Vec<Arc<ShardService>> = p
+            .shards()
+            .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+            .collect();
+        let pool = ThreadedShardPool::spawn(services.clone());
+        let dist = partition_with_clients(model, &p, services, pool.clients()).unwrap();
+
+        let inputs: Vec<BatchInputs> = (0..db.len())
+            .map(|i| {
+                materialize_request(&spec, db.get(i), usize::MAX, seed ^ 3)
+                    .into_iter()
+                    .next()
+                    .unwrap()
+            })
+            .collect();
+        let expected = sequential_predictions(&dist, &inputs);
+        let got = batched_predictions(&dist, &inputs);
+        assert_eq!(got, expected, "case {case}");
+        pool.shutdown();
+    }
+}
+
+/// A full open-loop frontend run: every completed request's predictions
+/// must match its solo run bit for bit, and the admission accounting
+/// identities must hold exactly.
+#[test]
+fn full_frontend_run_is_bit_exact_and_accounts_exactly() {
+    let mut rng = SimRng::seed_from(0x00f0_7e57).fork(2);
+    for case in 0..4 {
+        let spec = random_spec(&mut rng, case);
+        let seed = rng.next_u64();
+        let db = TraceDb::generate(&spec, 10, seed ^ 1);
+        let profile = db.pooling_profile(db.len());
+        let strategy = random_strategy(&mut rng);
+        let Ok(p) = plan(&spec, &profile, strategy) else {
+            continue;
+        };
+        let dist = partition(build_model(&spec, seed).unwrap(), &p).unwrap();
+        let requests = materialize_frontend_requests(&spec, &db, seed ^ 2);
+        let expected: Vec<(u64, Matrix)> = requests
+            .iter()
+            .map(|r| {
+                let mut ws = Workspace::new();
+                r.inputs.load_into(&spec, &mut ws);
+                (r.id, dist.run_overlapped(&mut ws, &mut NoopObserver).unwrap())
+            })
+            .collect();
+
+        let schedule = ArrivalSchedule::poisson(requests.len(), 20_000.0, seed ^ 4);
+        let cfg = FrontendConfig {
+            queue_capacity: 64,
+            max_batch_requests: 1 + rng.next_index(6),
+            batch_timeout: Duration::from_millis(1),
+            sla: Duration::from_millis(500),
+            workers: 1 + rng.next_index(3),
+        };
+        let report = run_frontend(&dist, requests, &schedule, &cfg);
+
+        assert_eq!(report.offered, report.admitted + report.shed, "case {case}");
+        assert_eq!(
+            report.completed + report.failed,
+            report.admitted,
+            "case {case}"
+        );
+        assert_eq!(report.shed, 0, "case {case}: queue sized for everything");
+        assert_eq!(report.failed, 0, "case {case}");
+        for (id, pred) in &report.predictions {
+            let (_, want) = expected.iter().find(|(e, _)| e == id).unwrap();
+            assert_eq!(pred, want, "case {case}: request {id} batched != solo");
+        }
+    }
+}

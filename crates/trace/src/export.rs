@@ -43,6 +43,9 @@ fn kind_fields(kind: &SpanKind) -> (&'static str, Option<u64>) {
         SpanKind::ShardService(r) => ("shard_service", Some(r.0)),
         SpanKind::ShardDeser(r) => ("shard_deser", Some(r.0)),
         SpanKind::ShardSer(r) => ("shard_ser", Some(r.0)),
+        SpanKind::QueueWait => ("queue_wait", None),
+        SpanKind::BatchAssembly => ("batch_assembly", None),
+        SpanKind::BatchExecute => ("batch_execute", None),
     }
 }
 
@@ -72,6 +75,9 @@ fn kind_from_fields(
         "shard_service" => SpanKind::ShardService(need(line)?),
         "shard_deser" => SpanKind::ShardDeser(need(line)?),
         "shard_ser" => SpanKind::ShardSer(need(line)?),
+        "queue_wait" => SpanKind::QueueWait,
+        "batch_assembly" => SpanKind::BatchAssembly,
+        "batch_execute" => SpanKind::BatchExecute,
         other => {
             return Err(ParseTraceError {
                 line,
@@ -255,6 +261,30 @@ mod tests {
                 kind: SpanKind::SparseOp(Some(RpcId(9))),
                 start: 2.0,
                 duration: 0.25,
+                cpu: true,
+            },
+            Span {
+                trace: TraceId(2),
+                server: ServerId::MAIN,
+                kind: SpanKind::QueueWait,
+                start: 0.5,
+                duration: 4.25,
+                cpu: false,
+            },
+            Span {
+                trace: TraceId(2),
+                server: ServerId::MAIN,
+                kind: SpanKind::BatchAssembly,
+                start: 4.75,
+                duration: 1.5,
+                cpu: false,
+            },
+            Span {
+                trace: TraceId(2),
+                server: ServerId::MAIN,
+                kind: SpanKind::BatchExecute,
+                start: 6.25,
+                duration: 8.0,
                 cpu: true,
             },
         ];

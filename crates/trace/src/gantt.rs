@@ -120,6 +120,9 @@ fn kind_label(kind: &SpanKind) -> String {
         SpanKind::ShardService(r) => format!("rpc{} service", r.0),
         SpanKind::ShardDeser(r) => format!("rpc{} deser", r.0),
         SpanKind::ShardSer(r) => format!("rpc{} ser", r.0),
+        SpanKind::QueueWait => "queue wait".into(),
+        SpanKind::BatchAssembly => "batch assembly".into(),
+        SpanKind::BatchExecute => "batch execute".into(),
     }
 }
 

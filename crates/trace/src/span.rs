@@ -77,6 +77,15 @@ pub enum SpanKind {
     ShardDeser(RpcId),
     /// Sparse shard: serializing the pooled response.
     ShardSer(RpcId),
+    /// Frontend: admission to batcher pickup. *Not* CPU time — the
+    /// request sits in the bounded queue waiting for a batcher slot.
+    QueueWait,
+    /// Frontend: batcher pickup to batch close (the window spent waiting
+    /// for co-batched requests or the batching deadline). Not CPU time.
+    BatchAssembly,
+    /// Frontend: the formed batch's execution window on a worker thread,
+    /// dispatch to predictions split.
+    BatchExecute,
 }
 
 impl SpanKind {

@@ -1,0 +1,234 @@
+//! Open-loop arrival schedules for the serving frontend.
+//!
+//! DeepRecSys-style latency-bounded throughput measurement requires an
+//! *open-loop* request stream: arrival times are decided before the
+//! system responds, so queueing delay under load is observable rather
+//! than masked by closed-loop self-throttling. This module produces the
+//! two arrival processes the frontend drives:
+//!
+//! - [`ArrivalSchedule::poisson`]: memoryless arrivals at a fixed mean
+//!   QPS (exponential inter-arrival gaps), the standard datacenter
+//!   serving assumption;
+//! - [`ArrivalSchedule::trace_replay`]: a non-homogeneous process whose
+//!   instantaneous rate follows the same diurnal sine the trace
+//!   database applies to request *sizes* (§V-B's five-day sampling), so
+//!   arrival position `i/n` sees the same day-phase as shape `i/n` in a
+//!   [`crate::TraceDb`] of equal length.
+//!
+//! Schedules are fully precomputed and deterministic: the same seed
+//! yields the same offsets regardless of wall-clock behavior at replay
+//! time.
+
+use dlrm_sim::dist::{Exponential, Sample};
+use dlrm_sim::SimRng;
+
+/// A precomputed open-loop arrival schedule: monotonically non-decreasing
+/// request-arrival offsets in milliseconds from the start of the run.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_workload::ArrivalSchedule;
+///
+/// let s = ArrivalSchedule::poisson(100, 500.0, 42);
+/// assert_eq!(s.len(), 100);
+/// // Mean gap is 2ms at 500 QPS, so 100 arrivals span roughly 200ms.
+/// assert!(s.duration_ms() > 50.0 && s.duration_ms() < 800.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalSchedule {
+    /// Offset of each arrival from run start, milliseconds, sorted.
+    offsets_ms: Vec<f64>,
+}
+
+impl ArrivalSchedule {
+    /// A homogeneous Poisson process: `n` arrivals at mean rate `qps`,
+    /// gaps drawn i.i.d. exponential from a `SimRng` forked off `seed`
+    /// (consumption-independent, so co-seeded generators elsewhere do
+    /// not perturb the schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps` is not strictly positive.
+    #[must_use]
+    pub fn poisson(n: usize, qps: f64, seed: u64) -> Self {
+        assert!(qps > 0.0, "arrival rate must be positive, got {qps}");
+        let mut rng = SimRng::seed_from(seed).fork(0xa441_7a15_0000_0001);
+        let gap_ms = Exponential::new(qps / 1000.0);
+        let mut t = 0.0;
+        let offsets_ms = (0..n)
+            .map(|_| {
+                t += gap_ms.sample(&mut rng);
+                t
+            })
+            .collect();
+        Self { offsets_ms }
+    }
+
+    /// A trace-replay process: `n` arrivals whose instantaneous rate is
+    /// `mean_qps` modulated by the diurnal sine of [`crate::TraceDbConfig`]
+    /// (`1 + amplitude * sin(2π · days · i/n)`), matching arrival `i` to
+    /// the day-phase of shape `i` in an equally long [`crate::TraceDb`].
+    /// Peak-of-day traffic therefore arrives faster *and* carries the
+    /// larger request shapes — the compounding the paper's five-day
+    /// sampling was designed to capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_qps` is not strictly positive or `amplitude` is
+    /// not in `[0, 1)` (an amplitude ≥ 1 would need a zero/negative
+    /// instantaneous rate).
+    #[must_use]
+    pub fn trace_replay(n: usize, mean_qps: f64, amplitude: f64, days: f64, seed: u64) -> Self {
+        assert!(
+            mean_qps > 0.0,
+            "arrival rate must be positive, got {mean_qps}"
+        );
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "diurnal amplitude must be in [0, 1), got {amplitude}"
+        );
+        let mut rng = SimRng::seed_from(seed).fork(0xa441_7a15_0000_0002);
+        let unit_gap = Exponential::new(1.0);
+        let mut t = 0.0;
+        let offsets_ms = (0..n)
+            .map(|i| {
+                let phase = 2.0 * std::f64::consts::PI * days * i as f64 / n as f64;
+                let rate_per_ms = mean_qps / 1000.0 * (1.0 + amplitude * phase.sin());
+                // Thinning-free non-homogeneous sampling: draw a unit
+                // exponential and scale by the local rate. Exact for a
+                // piecewise-constant rate (constant between arrivals).
+                t += unit_gap.sample(&mut rng) / rate_per_ms;
+                t
+            })
+            .collect();
+        Self { offsets_ms }
+    }
+
+    /// Number of scheduled arrivals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets_ms.len()
+    }
+
+    /// Whether the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.offsets_ms.is_empty()
+    }
+
+    /// Arrival offsets in milliseconds from run start, non-decreasing.
+    #[must_use]
+    pub fn offsets_ms(&self) -> &[f64] {
+        &self.offsets_ms
+    }
+
+    /// Offset of the last arrival (0.0 when empty) — the open-loop span
+    /// of the run, excluding drain time.
+    #[must_use]
+    pub fn duration_ms(&self) -> f64 {
+        self.offsets_ms.last().copied().unwrap_or(0.0)
+    }
+
+    /// Offered load: scheduled arrivals per second over the schedule's
+    /// span (0.0 when fewer than two arrivals).
+    #[must_use]
+    pub fn offered_qps(&self) -> f64 {
+        if self.offsets_ms.len() < 2 || self.duration_ms() <= 0.0 {
+            return 0.0;
+        }
+        self.offsets_ms.len() as f64 / (self.duration_ms() / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_and_monotone() {
+        let a = ArrivalSchedule::poisson(200, 1000.0, 7);
+        let b = ArrivalSchedule::poisson(200, 1000.0, 7);
+        assert_eq!(a, b);
+        assert!(a
+            .offsets_ms()
+            .windows(2)
+            .all(|w| w[1] >= w[0] && w[0] > 0.0));
+    }
+
+    #[test]
+    fn poisson_seeds_diverge() {
+        let a = ArrivalSchedule::poisson(50, 1000.0, 7);
+        let b = ArrivalSchedule::poisson(50, 1000.0, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn poisson_mean_rate_close_to_requested() {
+        let s = ArrivalSchedule::poisson(20_000, 2000.0, 11);
+        let qps = s.offered_qps();
+        assert!(
+            (qps - 2000.0).abs() / 2000.0 < 0.05,
+            "offered {qps} too far from 2000"
+        );
+    }
+
+    #[test]
+    fn trace_replay_is_deterministic_and_monotone() {
+        let a = ArrivalSchedule::trace_replay(300, 800.0, 0.25, 5.0, 3);
+        let b = ArrivalSchedule::trace_replay(300, 800.0, 0.25, 5.0, 3);
+        assert_eq!(a, b);
+        assert!(a.offsets_ms().windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn trace_replay_zero_amplitude_matches_poisson_statistics() {
+        // Same mean rate, no modulation: the long-run offered QPS should
+        // land in the same band as a plain Poisson schedule.
+        let s = ArrivalSchedule::trace_replay(20_000, 1500.0, 0.0, 5.0, 13);
+        let qps = s.offered_qps();
+        assert!(
+            (qps - 1500.0).abs() / 1500.0 < 0.05,
+            "offered {qps} too far from 1500"
+        );
+    }
+
+    #[test]
+    fn trace_replay_peak_gaps_shorter_than_trough() {
+        // With days = 1 over n arrivals, the first quarter sits near the
+        // sine peak and the third quarter near the trough; mean gaps must
+        // reflect the rate modulation.
+        let n = 40_000;
+        let s = ArrivalSchedule::trace_replay(n, 1000.0, 0.5, 1.0, 19);
+        let off = s.offsets_ms();
+        let gap_mean = |lo: usize, hi: usize| -> f64 {
+            (lo..hi).map(|i| off[i + 1] - off[i]).sum::<f64>() / (hi - lo) as f64
+        };
+        let peak = gap_mean(n / 8, 3 * n / 8); // phase ≈ π/2
+        let trough = gap_mean(5 * n / 8, 7 * n / 8); // phase ≈ 3π/2
+        assert!(
+            trough > peak * 1.5,
+            "trough gap {trough} not clearly longer than peak gap {peak}"
+        );
+    }
+
+    #[test]
+    fn empty_schedule_is_well_defined() {
+        let s = ArrivalSchedule::poisson(0, 100.0, 1);
+        assert!(s.is_empty());
+        assert_eq!(s.duration_ms(), 0.0);
+        assert_eq!(s.offered_qps(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rate_rejected() {
+        let _ = ArrivalSchedule::poisson(10, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn saturating_amplitude_rejected() {
+        let _ = ArrivalSchedule::trace_replay(10, 100.0, 1.0, 5.0, 1);
+    }
+}

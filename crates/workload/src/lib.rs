@@ -34,11 +34,13 @@
 #![warn(missing_docs)]
 
 pub mod access;
+mod arrivals;
 mod materialize;
 mod profile;
 mod tracedb;
 
 pub use access::AccessTrace;
+pub use arrivals::ArrivalSchedule;
 pub use materialize::{materialize_request, BatchInputs};
 pub use profile::PoolingProfile;
 pub use tracedb::{RequestShape, TraceDb, TraceDbConfig};

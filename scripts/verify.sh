@@ -20,6 +20,10 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> overlap smoke: shard RPCs must overlap under the scheduler"
 cargo run --release --offline -p dlrm-bench --bin overlap_smoke
 
+echo "==> frontend smoke: open-loop serving must be bit-exact, account"
+echo "    exactly, hold its SLA band under light load, and shed under overload"
+cargo run --release --offline -p dlrm-bench --bin frontend_smoke
+
 echo "==> dependency audit: cargo tree must list only workspace members"
 # --edges all includes dev- and build-dependencies; every line of the
 # tree (any depth) must name a dlrm-* crate rooted in this workspace.
