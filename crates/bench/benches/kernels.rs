@@ -1,16 +1,24 @@
 //! Microbenchmarks of the reproduction's hot kernels, on the in-tree
 //! timing harness (`dlrm_bench::timing`): the SparseLengthsSum family,
-//! dense FC matmul, quantization, sharding planning, and one
-//! end-to-end simulated replay.
+//! dense GEMM (blocked vs naive reference, sequential vs pooled),
+//! quantization, sharding planning, and one end-to-end simulated
+//! replay.
 //!
 //! Run with `cargo bench -p dlrm-bench --offline`. Pass `--quick` (or
 //! set `DLRM_BENCH_QUICK=1`) for a fast smoke run, and an optional
 //! substring filter to select benchmarks by name, e.g.
 //! `cargo bench -p dlrm-bench -- sls`.
+//!
+//! Besides the per-bench console lines, the run writes
+//! `BENCH_kernels.json` (one record per executed bench: p50 ns plus
+//! derived GFLOP/s for GEMMs and bags/s for the SLS family) so scripts
+//! can track kernel throughput across commits.
 
+use dlrm_bench::report::{write_bench_json, BenchRecord};
 use dlrm_bench::timing::Harness;
 use dlrm_core::compress::QuantizedTable;
 use dlrm_core::model::{rm, EmbeddingTable};
+use dlrm_core::runtime::Pool;
 use dlrm_core::serving::experiment::trace_config_for;
 use dlrm_core::serving::{simulate, Cluster, CostModel, RunConfig};
 use dlrm_core::sharding::{plan, ShardingStrategy};
@@ -21,11 +29,35 @@ use std::hint::black_box;
 struct Runner {
     harness: Harness,
     filter: Option<String>,
+    records: Vec<BenchRecord>,
 }
 
 impl Runner {
     fn wants(&self, name: &str) -> bool {
         self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one bench (subject to the name filter) and records its p50.
+    /// `throughput` is `(unit, work-per-iteration)` in the unit's
+    /// numerator — e.g. GFLOPs for `GFLOP/s`, bags for `bags/s` — from
+    /// which the per-second rate is derived.
+    fn bench<R>(
+        &mut self,
+        name: &str,
+        throughput: Option<(&str, f64)>,
+        routine: impl FnMut() -> R,
+    ) {
+        if !self.wants(name) {
+            return;
+        }
+        let median_ns = self.harness.bench(name, routine).median_ns();
+        self.records.push(BenchRecord {
+            name: name.to_string(),
+            median_ns,
+            throughput: throughput.map(|(unit, work)| {
+                (unit.to_string(), work / (median_ns * 1e-9).max(1e-15))
+            }),
+        });
     }
 }
 
@@ -33,43 +65,66 @@ fn bench_sls(r: &mut Runner) {
     let table = EmbeddingTable::seeded("bench", 100_000, 64, 7);
     let indices: Vec<u64> = (0..4096).map(|i| (i * 37) % 100_000).collect();
     let lengths = vec![64u32; 64];
-    if r.wants("sls_4096_lookups_dim64") {
-        r.harness.bench("sls_4096_lookups_dim64", || {
-            black_box(table.sparse_lengths_sum(black_box(&indices), &lengths))
-        });
-    }
+    let bags = lengths.len() as f64;
+    r.bench("sls_4096_lookups_dim64", Some(("bags/s", bags)), || {
+        black_box(table.sparse_lengths_sum(black_box(&indices), &lengths))
+    });
 
-    if r.wants("sls_quantized8_4096_lookups") {
-        let q8 = QuantizedTable::quantize(&table, 8);
-        r.harness.bench("sls_quantized8_4096_lookups", || {
-            black_box(q8.sparse_lengths_sum(black_box(&indices), &lengths))
-        });
-    }
+    let pool = Pool::from_env();
+    let name = format!("sls_4096_lookups_dim64_par{}", pool.threads());
+    r.bench(&name, Some(("bags/s", bags)), || {
+        black_box(table.sparse_lengths_sum_par(black_box(&indices), &lengths, &pool))
+    });
+
+    let q8 = QuantizedTable::quantize(&table, 8);
+    r.bench("sls_quantized8_4096_lookups", Some(("bags/s", bags)), || {
+        black_box(q8.sparse_lengths_sum(black_box(&indices), &lengths))
+    });
 }
 
-fn bench_dense(r: &mut Runner) {
-    if !r.wants("fc_64x512_to_256") {
-        return;
-    }
-    let x = Matrix::from_vec(64, 512, (0..64 * 512).map(|i| (i % 17) as f32 * 0.1).collect());
-    let w = Matrix::from_vec(256, 512, (0..256 * 512).map(|i| (i % 13) as f32 * 0.01).collect());
-    r.harness
-        .bench("fc_64x512_to_256", || black_box(x.matmul_transb(black_box(&w))));
+fn bench_gemm(r: &mut Runner) {
+    // The acceptance shape for the blocked-vs-naive comparison:
+    // 256×512 · 512×512, 2·m·k·n = 0.134 GFLOP per product.
+    let (m, k, n) = (256usize, 512usize, 512usize);
+    let gflop = 2.0 * (m * k * n) as f64 / 1e9;
+    let a = Matrix::from_vec(m, k, (0..m * k).map(|i| (i % 17) as f32 * 0.1).collect());
+    let b = Matrix::from_vec(k, n, (0..k * n).map(|i| (i % 13) as f32 * 0.01).collect());
+    r.bench("gemm_256x512x512_blocked", Some(("GFLOP/s", gflop)), || {
+        black_box(a.matmul(black_box(&b)))
+    });
+    r.bench("gemm_256x512x512_reference", Some(("GFLOP/s", gflop)), || {
+        black_box(a.matmul_reference(black_box(&b)))
+    });
+    let pool = Pool::from_env();
+    let name = format!("gemm_256x512x512_blocked_par{}", pool.threads());
+    r.bench(&name, Some(("GFLOP/s", gflop)), || {
+        black_box(a.matmul_par(black_box(&b), &pool))
+    });
+
+    // The FC layout (B transposed), at the original fc bench shape.
+    let (fm, fk, fn_) = (64usize, 512usize, 256usize);
+    let fc_gflop = 2.0 * (fm * fk * fn_) as f64 / 1e9;
+    let x = Matrix::from_vec(fm, fk, (0..fm * fk).map(|i| (i % 17) as f32 * 0.1).collect());
+    let w = Matrix::from_vec(fn_, fk, (0..fn_ * fk).map(|i| (i % 13) as f32 * 0.01).collect());
+    r.bench("fc_64x512_to_256", Some(("GFLOP/s", fc_gflop)), || {
+        black_box(x.matmul_transb(black_box(&w)))
+    });
+    r.bench(
+        "fc_64x512_to_256_reference",
+        Some(("GFLOP/s", fc_gflop)),
+        || black_box(x.matmul_transb_reference(black_box(&w))),
+    );
 }
 
 fn bench_planner(r: &mut Runner) {
     let spec = rm::rm1();
     let profile = PoolingProfile::from_spec(&spec);
-    if r.wants("plan_rm1_lb8") {
-        r.harness.bench("plan_rm1_lb8", || {
-            plan(&spec, &profile, ShardingStrategy::LoadBalanced(8)).unwrap()
-        });
-    }
-    if r.wants("plan_rm1_nsbp8") {
-        r.harness.bench("plan_rm1_nsbp8", || {
-            plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(8)).unwrap()
-        });
-    }
+    r.bench("plan_rm1_lb8", None, || {
+        plan(&spec, &profile, ShardingStrategy::LoadBalanced(8)).unwrap()
+    });
+    r.bench("plan_rm1_nsbp8", None, || {
+        plan(&spec, &profile, ShardingStrategy::NetSpecificBinPacking(8)).unwrap()
+    });
 }
 
 fn bench_quantize(r: &mut Runner) {
@@ -77,11 +132,19 @@ fn bench_quantize(r: &mut Runner) {
         return;
     }
     let table = EmbeddingTable::seeded("q", 10_000, 64, 3);
-    r.harness.bench_batched(
-        "quantize_10k_rows_8bit",
-        || table.clone(),
-        |t| black_box(QuantizedTable::quantize(&t, 8)),
-    );
+    let median_ns = r
+        .harness
+        .bench_batched(
+            "quantize_10k_rows_8bit",
+            || table.clone(),
+            |t| black_box(QuantizedTable::quantize(&t, 8)),
+        )
+        .median_ns();
+    r.records.push(BenchRecord {
+        name: "quantize_10k_rows_8bit".into(),
+        median_ns,
+        throughput: None,
+    });
 }
 
 fn bench_simulate(r: &mut Runner) {
@@ -97,7 +160,7 @@ fn bench_simulate(r: &mut Runner) {
     let cluster = Cluster::sc_large();
     let mut cfg = RunConfig::serial(64, 9);
     cfg.collect_traces = false;
-    r.harness.bench("simulate_rm3_nsbp4_64req", || {
+    r.bench("simulate_rm3_nsbp4_64req", None, || {
         black_box(simulate(&spec, &sharding_plan, &cost, &cluster, &db, &cfg))
     });
 }
@@ -121,18 +184,15 @@ fn bench_trace_analysis(r: &mut Runner) {
         &RunConfig::serial(64, 3),
     );
     let ids = result.collector.trace_ids();
-    r.harness.bench("trace_median_latency_stack_64req", || {
+    r.bench("trace_median_latency_stack_64req", None, || {
         let analysis = dlrm_core::trace::TraceAnalysis::new(&result.collector);
         black_box(analysis.median_latency_stack(black_box(&ids)))
     });
 }
 
 fn bench_event_queue(r: &mut Runner) {
-    if !r.wants("event_queue_push_pop_10k") {
-        return;
-    }
     use dlrm_core::sim::{EventQueue, SimTime};
-    r.harness.bench("event_queue_push_pop_10k", || {
+    r.bench("event_queue_push_pop_10k", None, || {
         let mut q = EventQueue::new();
         for i in 0..10_000u64 {
             q.push(SimTime::from_millis(((i * 7919) % 1000) as f64), i);
@@ -146,12 +206,9 @@ fn bench_event_queue(r: &mut Runner) {
 }
 
 fn bench_lru(r: &mut Runner) {
-    if !r.wants("lru_hit_rate_100k_accesses") {
-        return;
-    }
     use dlrm_core::workload::AccessTrace;
     let trace = AccessTrace::zipf(100_000, 100_000, 1.1, 3);
-    r.harness.bench("lru_hit_rate_100k_accesses", || {
+    r.bench("lru_hit_rate_100k_accesses", None, || {
         black_box(trace.lru_hit_rate(black_box(5_000)))
     });
 }
@@ -168,14 +225,28 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned();
     let harness = if quick { Harness::quick() } else { Harness::new() };
-    let mut runner = Runner { harness, filter };
+    let mut runner = Runner {
+        harness,
+        filter,
+        records: Vec::new(),
+    };
 
     bench_sls(&mut runner);
-    bench_dense(&mut runner);
+    bench_gemm(&mut runner);
     bench_planner(&mut runner);
     bench_quantize(&mut runner);
     bench_simulate(&mut runner);
     bench_trace_analysis(&mut runner);
     bench_event_queue(&mut runner);
     bench_lru(&mut runner);
+
+    // Emit at the workspace root regardless of the cwd cargo picks for
+    // bench executables.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+    write_bench_json(&path, &runner.records).expect("write BENCH_kernels.json");
+    println!(
+        "\nwrote {} bench records to {}",
+        runner.records.len(),
+        path.display()
+    );
 }

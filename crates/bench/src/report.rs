@@ -45,6 +45,81 @@ pub fn header(id: &str, title: &str) -> String {
     format!("\n==== {id}: {title} ====")
 }
 
+/// One benchmark's machine-readable result: its headline p50 plus an
+/// optional derived throughput (`GFLOP/s` for GEMMs, `bags/s` for the
+/// SparseLengthsSum family).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name, as printed by the timing harness.
+    pub name: String,
+    /// Median (p50) per-iteration nanoseconds.
+    pub median_ns: f64,
+    /// Optional `(unit, value)` throughput derived from the median.
+    pub throughput: Option<(String, f64)>,
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float as a JSON number (JSON has no NaN/∞; those clamp
+/// to 0).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.000".into()
+    }
+}
+
+/// Serializes bench records as a JSON array — the in-tree,
+/// std-only emitter behind `BENCH_kernels.json`.
+#[must_use]
+pub fn bench_records_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"p50_ns\": {}",
+            json_escape(&r.name),
+            json_num(r.median_ns)
+        ));
+        if let Some((unit, value)) = &r.throughput {
+            out.push_str(&format!(
+                ", \"throughput_unit\": \"{}\", \"throughput\": {}",
+                json_escape(unit),
+                json_num(*value)
+            ));
+        }
+        out.push('}');
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// Writes bench records to `path` as JSON.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_bench_json(path: &std::path::Path, records: &[BenchRecord]) -> std::io::Result<()> {
+    std::fs::write(path, bench_records_json(records))
+}
+
 /// Requests replayed per configuration by the reproduction targets.
 /// Override with `DLRM_REPRO_REQUESTS` (more requests → smoother
 /// percentiles, longer runs).
@@ -66,6 +141,30 @@ mod tests {
         assert_eq!(bar(5.0, 10.0, 10), "█████");
         assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
         assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn bench_records_serialize_as_json() {
+        let records = vec![
+            BenchRecord {
+                name: "gemm".into(),
+                median_ns: 1234.5,
+                throughput: Some(("GFLOP/s".into(), 42.25)),
+            },
+            BenchRecord {
+                name: "sls \"quoted\"".into(),
+                median_ns: f64::NAN,
+                throughput: None,
+            },
+        ];
+        let json = bench_records_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"name\": \"gemm\", \"p50_ns\": 1234.500"));
+        assert!(json.contains("\"throughput_unit\": \"GFLOP/s\", \"throughput\": 42.250"));
+        assert!(json.contains("sls \\\"quoted\\\""));
+        assert!(json.contains("\"p50_ns\": 0.000"));
+        // Exactly one separating comma between the two objects.
+        assert_eq!(json.matches("},\n").count(), 1);
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Magnitude-based row pruning.
 
 use dlrm_model::EmbeddingTable;
+use dlrm_runtime::Pool;
 use dlrm_tensor::Matrix;
+
+/// Minimum lookups before the pruned SLS forks the pool.
+const SLS_PAR_MIN_LOOKUPS: usize = 2048;
 
 /// Result of pruning a table: the surviving rows and the remapping.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,23 +34,63 @@ impl PrunedTable {
     /// *original* table's range.
     #[must_use]
     pub fn sparse_lengths_sum(&self, indices: &[u64], lengths: &[u32]) -> Matrix {
+        self.sparse_lengths_sum_par(indices, lengths, &Pool::sequential())
+    }
+
+    /// [`Self::sparse_lengths_sum`] parallelized across bags on `pool`;
+    /// bit-exact with the sequential kernel for any worker count (each
+    /// output row is pooled by exactly one task, indices in order).
+    ///
+    /// # Panics
+    ///
+    /// As for [`Self::sparse_lengths_sum`].
+    #[must_use]
+    pub fn sparse_lengths_sum_par(&self, indices: &[u64], lengths: &[u32], pool: &Pool) -> Matrix {
         let total: usize = lengths.iter().map(|&l| l as usize).sum();
         assert_eq!(total, indices.len(), "lengths must cover indices");
-        let mut out = Matrix::zeros(lengths.len(), self.table.dim());
+        let dim = self.table.dim();
+        let mut out = Matrix::zeros(lengths.len(), dim);
+        if lengths.is_empty() || dim == 0 {
+            return out;
+        }
+        if pool.threads() <= 1 || total < SLS_PAR_MIN_LOOKUPS || lengths.len() <= 1 {
+            self.pool_bags(indices, lengths, out.as_mut_slice());
+            return out;
+        }
+        let mut offsets: Vec<usize> = Vec::with_capacity(lengths.len());
+        let mut cursor = 0usize;
+        for &len in lengths {
+            offsets.push(cursor);
+            cursor += len as usize;
+        }
+        let bags_per_chunk = lengths.len().div_ceil(pool.threads()).max(1);
+        pool.par_chunks_mut(out.as_mut_slice(), bags_per_chunk * dim, |start, chunk| {
+            let b0 = start / dim;
+            let bags = chunk.len() / dim;
+            let lo = offsets[b0];
+            let hi = offsets.get(b0 + bags).copied().unwrap_or(indices.len());
+            self.pool_bags(&indices[lo..hi], &lengths[b0..b0 + bags], chunk);
+        });
+        out
+    }
+
+    /// Pools a contiguous run of bags into `out_rows` (already zeroed).
+    fn pool_bags(&self, indices: &[u64], lengths: &[u32], out_rows: &mut [f32]) {
+        let dim = self.table.dim();
         let mut cursor = 0usize;
         for (b, &len) in lengths.iter().enumerate() {
+            let out_row = &mut out_rows[b * dim..(b + 1) * dim];
             for &idx in &indices[cursor..cursor + len as usize] {
                 let idx = usize::try_from(idx).expect("index fits");
                 if let Some(new) = self.remap[idx] {
                     let row = self.table.row(usize::try_from(new).expect("fits"));
-                    for (o, &v) in out.row_mut(b).iter_mut().zip(row) {
+                    for (o, &v) in out_row.iter_mut().zip(row) {
                         *o += v;
                     }
                 }
             }
             cursor += len as usize;
         }
-        out
     }
 }
 

@@ -1,7 +1,11 @@
 //! Row-wise linear quantization.
 
 use dlrm_model::EmbeddingTable;
+use dlrm_runtime::Pool;
 use dlrm_tensor::Matrix;
+
+/// Minimum lookups before the quantized SLS forks the pool.
+const SLS_PAR_MIN_LOOKUPS: usize = 2048;
 
 /// A row-wise linearly quantized embedding table.
 ///
@@ -151,28 +155,91 @@ impl QuantizedTable {
         EmbeddingTable::from_weights(self.name.clone(), m)
     }
 
+    /// Decodes row `r` on the fly, accumulating it into `out_row`
+    /// without materializing an intermediate `Vec` — the hot inner loop
+    /// of the quantized SLS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    fn accumulate_row(&self, r: usize, out_row: &mut [f32]) {
+        assert!(r < self.rows, "row {r} out of range");
+        let scale = self.scales[r];
+        let bias = self.biases[r];
+        if self.bits == 8 {
+            let codes = &self.codes[r * self.dim..r * self.dim + self.dim];
+            for (o, &code) in out_row.iter_mut().zip(codes) {
+                *o += f32::from(code) * scale + bias;
+            }
+        } else {
+            let packed_row = self.dim.div_ceil(2);
+            let codes = &self.codes[r * packed_row..r * packed_row + packed_row];
+            for (c, o) in out_row.iter_mut().enumerate() {
+                let byte = codes[c / 2];
+                let code = if c % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+                *o += f32::from(code) * scale + bias;
+            }
+        }
+    }
+
     /// SparseLengthsSum with on-the-fly dequantization — what the
-    /// serving stack runs against compressed tables.
+    /// serving stack runs against compressed tables. Rows are decoded
+    /// inline into the accumulator (no per-lookup allocation).
     ///
     /// # Panics
     ///
     /// As for [`EmbeddingTable::sparse_lengths_sum`].
     #[must_use]
     pub fn sparse_lengths_sum(&self, indices: &[u64], lengths: &[u32]) -> Matrix {
+        self.sparse_lengths_sum_par(indices, lengths, &Pool::sequential())
+    }
+
+    /// [`Self::sparse_lengths_sum`] parallelized across bags on `pool`;
+    /// bit-exact with the sequential kernel for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Self::sparse_lengths_sum`].
+    #[must_use]
+    pub fn sparse_lengths_sum_par(&self, indices: &[u64], lengths: &[u32], pool: &Pool) -> Matrix {
         let total: usize = lengths.iter().map(|&l| l as usize).sum();
         assert_eq!(total, indices.len(), "lengths must cover indices");
         let mut out = Matrix::zeros(lengths.len(), self.dim);
+        if lengths.is_empty() || self.dim == 0 {
+            return out;
+        }
+        if pool.threads() <= 1 || total < SLS_PAR_MIN_LOOKUPS || lengths.len() <= 1 {
+            self.pool_bags(indices, lengths, out.as_mut_slice());
+            return out;
+        }
+        let mut offsets: Vec<usize> = Vec::with_capacity(lengths.len());
+        let mut cursor = 0usize;
+        for &len in lengths {
+            offsets.push(cursor);
+            cursor += len as usize;
+        }
+        let dim = self.dim;
+        let bags_per_chunk = lengths.len().div_ceil(pool.threads()).max(1);
+        pool.par_chunks_mut(out.as_mut_slice(), bags_per_chunk * dim, |start, chunk| {
+            let b0 = start / dim;
+            let bags = chunk.len() / dim;
+            let lo = offsets[b0];
+            let hi = offsets.get(b0 + bags).copied().unwrap_or(indices.len());
+            self.pool_bags(&indices[lo..hi], &lengths[b0..b0 + bags], chunk);
+        });
+        out
+    }
+
+    /// Pools a contiguous run of bags into `out_rows` (already zeroed).
+    fn pool_bags(&self, indices: &[u64], lengths: &[u32], out_rows: &mut [f32]) {
         let mut cursor = 0usize;
         for (b, &len) in lengths.iter().enumerate() {
+            let out_row = &mut out_rows[b * self.dim..(b + 1) * self.dim];
             for &idx in &indices[cursor..cursor + len as usize] {
-                let row = self.row(usize::try_from(idx).expect("index fits"));
-                for (o, v) in out.row_mut(b).iter_mut().zip(row) {
-                    *o += v;
-                }
+                self.accumulate_row(usize::try_from(idx).expect("index fits"), out_row);
             }
             cursor += len as usize;
         }
-        out
     }
 
     /// Largest absolute element error versus the original table.

@@ -48,3 +48,5 @@ pub use dlrm_compress as compress;
 pub use dlrm_workload as workload;
 /// Dense tensor kernels.
 pub use dlrm_tensor as tensor;
+/// Intra-op thread pool and recycled-buffer runtime.
+pub use dlrm_runtime as runtime;

@@ -1,8 +1,13 @@
 //! Materialized embedding tables and the SparseLengthsSum kernel.
 
 use crate::spec::TableSpec;
+use dlrm_runtime::Pool;
 use dlrm_sim::SimRng;
 use dlrm_tensor::Matrix;
+
+/// Minimum number of lookups before SparseLengthsSum forks the pool;
+/// below this the fork overhead dominates the pooling work.
+const SLS_PAR_MIN_LOOKUPS: usize = 2048;
 
 /// A materialized (in-memory, `f32`) embedding table.
 ///
@@ -131,6 +136,42 @@ impl EmbeddingTable {
     /// is out of range.
     #[must_use]
     pub fn sparse_lengths_sum(&self, indices: &[u64], lengths: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(lengths.len(), self.dim());
+        self.sparse_lengths_sum_into(indices, lengths, &mut out, &Pool::sequential());
+        out
+    }
+
+    /// [`Self::sparse_lengths_sum`] parallelized across bags (batch
+    /// elements) on `pool`. Each output row is pooled by exactly one
+    /// task with the same sequential, index-ascending inner loop, so the
+    /// result is bit-exact with the sequential kernel for any worker
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Self::sparse_lengths_sum`].
+    #[must_use]
+    pub fn sparse_lengths_sum_par(&self, indices: &[u64], lengths: &[u32], pool: &Pool) -> Matrix {
+        let mut out = Matrix::zeros(lengths.len(), self.dim());
+        self.sparse_lengths_sum_into(indices, lengths, &mut out, pool);
+        out
+    }
+
+    /// [`Self::sparse_lengths_sum`] into a caller-provided output matrix
+    /// (so serving paths reuse recycled backing stores), bag-parallel on
+    /// `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths don't cover `indices` exactly, any index is
+    /// out of range, or `out` is not `lengths.len() × dim`.
+    pub fn sparse_lengths_sum_into(
+        &self,
+        indices: &[u64],
+        lengths: &[u32],
+        out: &mut Matrix,
+        pool: &Pool,
+    ) {
         let total: usize = lengths.iter().map(|&l| l as usize).sum();
         assert_eq!(
             total,
@@ -139,10 +180,50 @@ impl EmbeddingTable {
             indices.len(),
             self.name
         );
-        let mut out = Matrix::zeros(lengths.len(), self.dim());
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (lengths.len(), self.dim()),
+            "SLS output must be {}x{}",
+            lengths.len(),
+            self.dim()
+        );
+        out.as_mut_slice().fill(0.0);
+        let dim = self.dim();
+        if lengths.is_empty() || dim == 0 {
+            return;
+        }
+        if pool.threads() <= 1 || total < SLS_PAR_MIN_LOOKUPS || lengths.len() <= 1 {
+            self.pool_bags(indices, lengths, out.as_mut_slice());
+            return;
+        }
+        // Cursor positions are a prefix sum over lengths, so a chunk of
+        // bags needs its starting offset into `indices`.
+        let mut offsets: Vec<usize> = Vec::with_capacity(lengths.len());
+        let mut cursor = 0usize;
+        for &len in lengths {
+            offsets.push(cursor);
+            cursor += len as usize;
+        }
+        let bags_per_chunk = lengths.len().div_ceil(pool.threads()).max(1);
+        pool.par_chunks_mut(out.as_mut_slice(), bags_per_chunk * dim, |start, chunk| {
+            let b0 = start / dim;
+            let bags = chunk.len() / dim;
+            let lo = offsets[b0];
+            let hi = offsets
+                .get(b0 + bags)
+                .copied()
+                .unwrap_or(indices.len());
+            self.pool_bags(&indices[lo..hi], &lengths[b0..b0 + bags], chunk);
+        });
+    }
+
+    /// Pools a contiguous run of bags into `out_rows` (one row per
+    /// bag, already zeroed).
+    fn pool_bags(&self, indices: &[u64], lengths: &[u32], out_rows: &mut [f32]) {
+        let dim = self.dim();
         let mut cursor = 0usize;
         for (b, &len) in lengths.iter().enumerate() {
-            let out_row = out.row_mut(b);
+            let out_row = &mut out_rows[b * dim..(b + 1) * dim];
             for &idx in &indices[cursor..cursor + len as usize] {
                 let idx = usize::try_from(idx).expect("index exceeds usize");
                 assert!(
@@ -157,7 +238,6 @@ impl EmbeddingTable {
             }
             cursor += len as usize;
         }
-        out
     }
 
     /// SparseLengthsSum with mean pooling instead of sum pooling

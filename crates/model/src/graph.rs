@@ -27,6 +27,7 @@
 //! against the list order at model-construction time.
 
 use crate::spec::{ModelSpec, OpGroup};
+use dlrm_runtime::{Pool, RuntimeCtx};
 use dlrm_tensor::Matrix;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -151,18 +152,112 @@ impl std::error::Error for GraphError {}
 #[derive(Debug, Clone, Default)]
 pub struct Workspace {
     blobs: HashMap<String, Blob>,
+    ctx: RuntimeCtx,
+    /// Static consumer counts (reads per blob across all nets, plus one
+    /// for the model output): the oracle [`Self::take_dense`] consults
+    /// to decide move-vs-clone. Empty (the default) means "unknown", so
+    /// every take falls back to a clone.
+    consumers: Arc<HashMap<String, usize>>,
 }
 
 impl Workspace {
-    /// Creates an empty workspace.
+    /// Creates an empty workspace with a sequential, buffer-pooled
+    /// runtime context.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Inserts or replaces a blob.
+    /// Creates an empty workspace executing on `ctx` — its fork-join
+    /// pool parallelizes the kernels, and its (shared, `Arc`ed) buffer
+    /// pool supplies dense output allocations, so workspaces built from
+    /// clones of one context recycle each other's backing stores.
+    #[must_use]
+    pub fn with_ctx(ctx: RuntimeCtx) -> Self {
+        Self {
+            ctx,
+            ..Self::default()
+        }
+    }
+
+    /// The runtime context this workspace executes on.
+    #[must_use]
+    pub fn ctx(&self) -> &RuntimeCtx {
+        &self.ctx
+    }
+
+    /// The fork-join pool operators parallelize their kernels on.
+    #[must_use]
+    pub fn pool(&self) -> &Pool {
+        &self.ctx.pool
+    }
+
+    /// Installs the static consumer counts [`Self::take_dense`] consults
+    /// (see [`Model::consumer_counts`]). Counts are shared behind an
+    /// `Arc` so per-request workspaces install them without copying.
+    pub fn set_consumer_counts(&mut self, counts: Arc<HashMap<String, usize>>) {
+        self.consumers = counts;
+    }
+
+    /// Inserts or replaces a blob. A replaced dense blob's backing store
+    /// is recycled into the context's buffer pool.
     pub fn put(&mut self, name: impl Into<String>, blob: Blob) {
-        self.blobs.insert(name.into(), blob);
+        if let Some(Blob::Dense(old)) = self.blobs.insert(name.into(), blob) {
+            self.ctx.buffers.release(old.into_vec());
+        }
+    }
+
+    /// A zeroed `rows × cols` dense matrix drawn from the context's
+    /// recycled-buffer pool (a fresh allocation only when no recycled
+    /// store fits).
+    #[must_use]
+    pub fn alloc_dense(&self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.ctx.buffers.acquire(rows * cols))
+    }
+
+    /// Fetches a dense blob *by value*: when the installed consumer
+    /// counts prove this operator is the blob's only reader, the blob is
+    /// moved out of the workspace (no copy); otherwise — including when
+    /// no counts are installed — it is copied into a pooled allocation.
+    /// This is what lets ReLU/Sigmoid run truly in place on the
+    /// single-consumer chains of an MLP stack.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::MissingBlob`] or [`GraphError::TypeMismatch`].
+    pub fn take_dense(&mut self, name: &str, op: &str) -> Result<Matrix, GraphError> {
+        if self.consumers.get(name).is_some_and(|&c| c == 1) {
+            match self.blobs.remove(name) {
+                Some(Blob::Dense(m)) => Ok(m),
+                Some(other) => {
+                    self.blobs.insert(name.to_string(), other);
+                    Err(GraphError::TypeMismatch {
+                        blob: name.into(),
+                        expected: "dense",
+                    })
+                }
+                None => Err(GraphError::MissingBlob {
+                    blob: name.into(),
+                    op: op.into(),
+                }),
+            }
+        } else {
+            let src = self.dense(name, op)?;
+            let mut copy = self.alloc_dense(src.rows(), src.cols());
+            copy.as_mut_slice().copy_from_slice(src.as_slice());
+            Ok(copy)
+        }
+    }
+
+    /// Drains every blob, recycling dense backing stores into the
+    /// context's buffer pool. Serving workers call this between requests
+    /// so the next request's activations reuse this one's allocations.
+    pub fn recycle_all(&mut self) {
+        for (_, blob) in self.blobs.drain() {
+            if let Blob::Dense(m) = blob {
+                self.ctx.buffers.release(m.into_vec());
+            }
+        }
     }
 
     /// Fetches any blob.
@@ -644,7 +739,7 @@ impl Model {
         for net in &self.nets {
             net.run(ws, observer)?;
         }
-        ws.dense(&self.output_blob, "model-output").cloned()
+        ws.take_dense(&self.output_blob, "model-output")
     }
 
     /// Runs all nets in order under the overlap scheduler
@@ -661,7 +756,21 @@ impl Model {
         for net in &self.nets {
             net.run_overlapped(ws, observer)?;
         }
-        ws.dense(&self.output_blob, "model-output").cloned()
+        ws.take_dense(&self.output_blob, "model-output")
+    }
+
+    /// Static consumer counts for [`Workspace::set_consumer_counts`]:
+    /// how many operators (across all nets) read each blob, plus one
+    /// synthetic read of the output blob (the caller's fetch). A blob
+    /// with count 1 has exactly one reader, so that reader may *move*
+    /// the blob out of the workspace instead of cloning it
+    /// ([`Workspace::take_dense`]). Compute once per model and share the
+    /// `Arc` across request workspaces.
+    #[must_use]
+    pub fn consumer_counts(&self) -> HashMap<String, usize> {
+        let mut counts = consumer_counts_of(self.nets.iter());
+        *counts.entry(self.output_blob.clone()).or_insert(0) += 1;
+        counts
     }
 
     /// Validates every net's declared inputs/outputs against list order
@@ -686,6 +795,24 @@ impl Model {
         }
         Ok(())
     }
+}
+
+/// Counts how many operators across `nets` declare each blob as an
+/// input — the shared core of [`Model::consumer_counts`] and the
+/// distributed variant in `dlrm-sharding`.
+#[must_use]
+pub fn consumer_counts_of<'a>(
+    nets: impl Iterator<Item = &'a NetDef>,
+) -> HashMap<String, usize> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for net in nets {
+        for op in net.ops() {
+            for input in op.inputs() {
+                *counts.entry(input).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
 }
 
 /// The blobs loaded into the workspace from outside the graph (the
@@ -1118,6 +1245,78 @@ mod tests {
         assert_eq!(obs.issued, vec!["A"]);
         assert_eq!(obs.collected, vec!["A"]);
         assert_eq!(obs.ops, vec!["A", "C"], "on_op fires for async ops at collect");
+    }
+
+    #[test]
+    fn take_dense_clones_without_consumer_counts() {
+        let mut ws = Workspace::new();
+        ws.put("x", Blob::Dense(Matrix::from_rows(&[&[3.0]])));
+        let taken = ws.take_dense("x", "op").unwrap();
+        assert_eq!(taken.get(0, 0), 3.0);
+        assert!(ws.blob("x").is_some(), "unknown counts must fall back to clone");
+    }
+
+    #[test]
+    fn take_dense_moves_single_consumer_blobs() {
+        let mut ws = Workspace::new();
+        ws.set_consumer_counts(Arc::new(
+            [("x".to_string(), 1), ("y".to_string(), 2)].into(),
+        ));
+        ws.put("x", Blob::Dense(Matrix::from_rows(&[&[3.0]])));
+        ws.put("y", Blob::Dense(Matrix::from_rows(&[&[4.0]])));
+        let _ = ws.take_dense("x", "op").unwrap();
+        assert!(ws.blob("x").is_none(), "single-consumer blob must move out");
+        let _ = ws.take_dense("y", "op").unwrap();
+        assert!(ws.blob("y").is_some(), "multi-consumer blob must stay");
+    }
+
+    #[test]
+    fn take_dense_preserves_mistyped_blob() {
+        let mut ws = Workspace::new();
+        ws.set_consumer_counts(Arc::new([("s".to_string(), 1)].into()));
+        ws.put("s", Blob::Sparse(SparseInput::new(vec![], vec![])));
+        let err = ws.take_dense("s", "op").unwrap_err();
+        assert!(matches!(err, GraphError::TypeMismatch { .. }));
+        assert!(ws.blob("s").is_some(), "mistyped blob must not be dropped");
+    }
+
+    #[test]
+    fn put_and_recycle_feed_the_buffer_pool() {
+        let mut ws = Workspace::new();
+        ws.put("x", Blob::Dense(Matrix::zeros(2, 2)));
+        // Overwriting recycles the old store…
+        ws.put("x", Blob::Dense(Matrix::zeros(2, 2)));
+        assert_eq!(ws.ctx().buffers.pooled_buffers(), 1);
+        // …and draining recycles the rest.
+        ws.recycle_all();
+        assert!(ws.is_empty());
+        assert_eq!(ws.ctx().buffers.pooled_buffers(), 2);
+        let reuses_before = ws.ctx().buffers.reuses();
+        let m = ws.alloc_dense(2, 2);
+        assert_eq!(m, Matrix::zeros(2, 2));
+        assert_eq!(ws.ctx().buffers.reuses(), reuses_before + 1);
+    }
+
+    #[test]
+    fn consumer_counts_of_counts_reads_across_nets() {
+        let mut a = NetDef::new("a");
+        a.push(Box::new(AddOne {
+            input: "x".into(),
+            output: "y".into(),
+        }));
+        let mut b = NetDef::new("b");
+        b.push(Box::new(AddOne {
+            input: "y".into(),
+            output: "z".into(),
+        }));
+        b.push(Box::new(AddOne {
+            input: "y".into(),
+            output: "w".into(),
+        }));
+        let counts = consumer_counts_of([a, b].iter());
+        assert_eq!(counts.get("x"), Some(&1));
+        assert_eq!(counts.get("y"), Some(&2));
+        assert_eq!(counts.get("z"), None);
     }
 
     #[test]

@@ -37,8 +37,9 @@ pub mod rm;
 pub mod spec;
 
 pub use builder::{build_model, build_model_with_options, InteractionKind};
+pub use dlrm_runtime::{Pool, RuntimeCtx};
 pub use embedding::EmbeddingTable;
-pub use graph::{Blob, Model, NetDef, Workspace};
+pub use graph::{consumer_counts_of, Blob, Model, NetDef, Workspace};
 pub use spec::{ModelSpec, NetId, NetSpec, OpGroup, TableId, TableSpec};
 
 /// Bytes per single-precision float; all paper models are served

@@ -4,7 +4,7 @@ use crate::graph::{Blob, GraphError, Operator, Workspace};
 use crate::spec::OpGroup;
 use crate::EmbeddingTable;
 use dlrm_sim::SimRng;
-use dlrm_tensor::{concat_cols, relu_inplace, sigmoid_inplace, Matrix};
+use dlrm_tensor::{concat_cols_into, matmul_transb_into, relu_inplace, sigmoid_inplace, Matrix};
 use std::sync::Arc;
 
 /// Fully-connected layer: `Y = X · Wᵀ + b`.
@@ -108,7 +108,8 @@ impl Operator for FullyConnected {
                 ),
             });
         }
-        let mut y = x.matmul_transb(&self.weights);
+        let mut y = ws.alloc_dense(x.rows(), self.weights.rows());
+        matmul_transb_into(x, &self.weights, &mut y, ws.pool());
         y.add_row_bias(&self.bias);
         ws.put(self.output.clone(), Blob::Dense(y));
         Ok(())
@@ -153,7 +154,7 @@ impl Operator for Relu {
         vec![self.output.clone()]
     }
     fn run(&self, ws: &mut Workspace) -> Result<(), GraphError> {
-        let mut m = ws.dense(&self.input, &self.name)?.clone();
+        let mut m = ws.take_dense(&self.input, &self.name)?;
         relu_inplace(&mut m);
         ws.put(self.output.clone(), Blob::Dense(m));
         Ok(())
@@ -198,7 +199,7 @@ impl Operator for Sigmoid {
         vec![self.output.clone()]
     }
     fn run(&self, ws: &mut Workspace) -> Result<(), GraphError> {
-        let mut m = ws.dense(&self.input, &self.name)?.clone();
+        let mut m = ws.take_dense(&self.input, &self.name)?;
         sigmoid_inplace(&mut m);
         ws.put(self.output.clone(), Blob::Dense(m));
         Ok(())
@@ -260,7 +261,10 @@ impl Operator for Concat {
                 message: "concat inputs disagree on batch size".into(),
             });
         }
-        let out = concat_cols(&parts);
+        let total_cols: usize = parts.iter().map(|p| p.cols()).sum();
+        let mut out = ws.alloc_dense(rows, total_cols);
+        concat_cols_into(&parts, &mut out);
+        drop(parts);
         ws.put(self.output.clone(), Blob::Dense(out));
         Ok(())
     }
@@ -345,7 +349,9 @@ impl Operator for SparseLengthsSum {
                 ),
             });
         }
-        let out = self.table.sparse_lengths_sum(&s.indices, &s.lengths);
+        let mut out = ws.alloc_dense(s.lengths.len(), self.table.dim());
+        self.table
+            .sparse_lengths_sum_into(&s.indices, &s.lengths, &mut out, ws.pool());
         ws.put(self.output.clone(), Blob::Dense(out));
         Ok(())
     }
@@ -430,7 +436,7 @@ impl Operator for DotInteraction {
         }
         let n = parts.len();
         let width = Self::output_width(n, d);
-        let mut out = Matrix::zeros(batch, width);
+        let mut out = ws.alloc_dense(batch, width);
         for b in 0..batch {
             let row = out.row_mut(b);
             row[..d].copy_from_slice(&parts[0].row(b)[..d]);
@@ -500,7 +506,7 @@ impl Operator for ElementwiseSum {
         vec![self.output.clone()]
     }
     fn run(&self, ws: &mut Workspace) -> Result<(), GraphError> {
-        let mut acc = ws.dense(&self.inputs[0], &self.name)?.clone();
+        let mut acc = ws.take_dense(&self.inputs[0], &self.name)?;
         for i in &self.inputs[1..] {
             let next = ws.dense(i, &self.name)?;
             if (next.rows(), next.cols()) != (acc.rows(), acc.cols()) {

@@ -1,0 +1,170 @@
+//! Recycled `Vec<f32>` backing stores for dense activations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Largest number of idle buffers kept for reuse; beyond this,
+/// released buffers are simply dropped. A DLRM net holds on the order
+/// of tens of live dense blobs, so this comfortably covers the steady
+/// state without hoarding memory after a burst.
+const MAX_POOLED: usize = 64;
+
+/// A free list of `Vec<f32>` backing stores.
+///
+/// [`acquire`](Self::acquire) returns a zeroed vector of the requested
+/// length, reusing a recycled allocation when one is large enough;
+/// [`release`](Self::release) returns a store to the free list. After
+/// one warm-up request has populated the list with every activation
+/// shape the model produces, subsequent identical requests allocate
+/// nothing — the property the [`fresh_allocs`](Self::fresh_allocs)
+/// counter lets tests assert.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_runtime::BufferPool;
+///
+/// let pool = BufferPool::new();
+/// let a = pool.acquire(128);
+/// pool.release(a);
+/// let b = pool.acquire(100); // reuses the 128-capacity store
+/// assert_eq!(b.len(), 100);
+/// assert_eq!(pool.fresh_allocs(), 1);
+/// assert_eq!(pool.reuses(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<f32>>>,
+    fresh_allocs: AtomicU64,
+    reuses: AtomicU64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a zeroed `Vec<f32>` of exactly `len` elements, reusing
+    /// the best-fitting recycled store when one has sufficient
+    /// capacity (smallest adequate capacity wins, keeping big stores
+    /// available for big requests).
+    #[must_use]
+    pub fn acquire(&self, len: usize) -> Vec<f32> {
+        let reclaimed = {
+            let mut free = self.free.lock().expect("buffer pool poisoned");
+            let best = free
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.capacity() >= len)
+                .min_by_key(|(_, v)| v.capacity())
+                .map(|(i, _)| i);
+            best.map(|i| free.swap_remove(i))
+        };
+        match reclaimed {
+            Some(mut v) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                v.clear();
+                v.resize(len, 0.0);
+                v
+            }
+            None => {
+                self.fresh_allocs.fetch_add(1, Ordering::Relaxed);
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Returns a backing store to the free list (dropped instead once
+    /// the list holds [`MAX_POOLED`] buffers, and zero-capacity stores
+    /// are never pooled).
+    pub fn release(&self, buffer: Vec<f32>) {
+        if buffer.capacity() == 0 {
+            return;
+        }
+        let mut free = self.free.lock().expect("buffer pool poisoned");
+        if free.len() < MAX_POOLED {
+            free.push(buffer);
+        }
+    }
+
+    /// Number of `vec![0.0; len]` heap allocations performed because no
+    /// recycled store fit. Flat across steady-state requests.
+    #[must_use]
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Number of acquisitions served from the free list.
+    #[must_use]
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Buffers currently idle on the free list.
+    #[must_use]
+    pub fn pooled_buffers(&self) -> usize {
+        self.free.lock().expect("buffer pool poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_zeroes_recycled_contents() {
+        let pool = BufferPool::new();
+        pool.release(vec![7.0; 32]);
+        let v = pool.acquire(16);
+        assert_eq!(v, vec![0.0; 16]);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_adequate_store() {
+        let pool = BufferPool::new();
+        pool.release(Vec::with_capacity(1000));
+        pool.release(Vec::with_capacity(10));
+        let v = pool.acquire(8);
+        assert!(v.capacity() < 1000, "should have reused the 10-cap store");
+        assert_eq!(pool.pooled_buffers(), 1);
+    }
+
+    #[test]
+    fn undersized_stores_are_not_reused() {
+        let pool = BufferPool::new();
+        pool.release(vec![0.0; 4]);
+        let _ = pool.acquire(1000);
+        assert_eq!(pool.fresh_allocs(), 1);
+        assert_eq!(pool.reuses(), 0);
+        assert_eq!(pool.pooled_buffers(), 1, "small store stays pooled");
+    }
+
+    #[test]
+    fn pool_caps_idle_inventory() {
+        let pool = BufferPool::new();
+        for _ in 0..(MAX_POOLED + 10) {
+            pool.release(vec![0.0; 8]);
+        }
+        assert_eq!(pool.pooled_buffers(), MAX_POOLED);
+    }
+
+    #[test]
+    fn steady_state_allocates_nothing() {
+        let pool = BufferPool::new();
+        // Warm-up: three shapes.
+        let (a, b, c) = (pool.acquire(64), pool.acquire(128), pool.acquire(32));
+        pool.release(a);
+        pool.release(b);
+        pool.release(c);
+        let after_warmup = pool.fresh_allocs();
+        for _ in 0..10 {
+            let (a, b, c) = (pool.acquire(64), pool.acquire(128), pool.acquire(32));
+            pool.release(a);
+            pool.release(b);
+            pool.release(c);
+        }
+        assert_eq!(pool.fresh_allocs(), after_warmup);
+    }
+}

@@ -15,10 +15,12 @@ use super::batcher::{merge_inputs, split_rows, FormedBatch};
 use super::sla::RequestRecord;
 use crate::channel::Receiver;
 use crate::engine_trace::RpcTracingObserver;
+use dlrm_model::RuntimeCtx;
 use dlrm_sharding::DistributedModel;
 use dlrm_trace::{ServerId, Span, SpanKind, TraceCollector, TraceId};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Milliseconds from `origin` to `at` (zero if `at` precedes it).
@@ -41,6 +43,13 @@ pub fn worker_loop(
     records: &Mutex<Vec<RequestRecord>>,
     trace: &Mutex<TraceCollector>,
 ) {
+    // Per-worker runtime context: after the first few batches the
+    // buffer pool holds every dense store the model needs, so
+    // steady-state batches allocate no f32 backing stores. Consumer
+    // counts are static per graph — computed once, shared by every
+    // batch workspace.
+    let ctx = RuntimeCtx::from_env();
+    let consumers = Arc::new(model.consumer_counts());
     loop {
         let batch = {
             let rx = batches.lock().expect("batch receiver lock poisoned");
@@ -50,12 +59,15 @@ pub fn worker_loop(
             }
         };
         let seq = batch_seq.fetch_add(1, Ordering::AcqRel);
-        run_batch(model, origin, seq, batch, records, trace);
+        run_batch(model, &ctx, &consumers, origin, seq, batch, records, trace);
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_batch(
     model: &DistributedModel,
+    ctx: &RuntimeCtx,
+    consumers: &Arc<HashMap<String, usize>>,
     origin: Instant,
     seq: u64,
     batch: FormedBatch,
@@ -65,7 +77,8 @@ fn run_batch(
     let parts: Vec<&dlrm_workload::BatchInputs> =
         batch.entries.iter().map(|e| &e.queued.request.inputs).collect();
     let (merged, row_counts) = merge_inputs(&parts);
-    let mut ws = dlrm_model::Workspace::new();
+    let mut ws = dlrm_model::Workspace::with_ctx(ctx.clone());
+    ws.set_consumer_counts(Arc::clone(consumers));
     merged.load_into(&model.spec, &mut ws);
 
     let lead_trace = TraceId(batch.entries[0].queued.request.id);
@@ -77,7 +90,16 @@ fn run_batch(
     let exec_end = Instant::now();
     let engine_spans = obs.finish();
 
-    let predictions: Option<Vec<_>> = result.ok().map(|m| split_rows(&m, &row_counts));
+    let predictions: Option<Vec<_>> = result.ok().map(|m| {
+        let rows = split_rows(&m, &row_counts);
+        // Predictions are copied out per request above; hand the
+        // batch-level store back for the next batch to reuse.
+        ctx.buffers.release(m.into_vec());
+        rows
+    });
+    // Every leftover blob (inputs, multi-consumer intermediates) feeds
+    // the buffer pool before the workspace drops.
+    ws.recycle_all();
 
     let exec_start_ms = ms(origin, exec_start);
     let exec_end_ms = ms(origin, exec_end);

@@ -8,27 +8,59 @@
 //! singular or partitioned. Sparse-shard services are stateless
 //! (§III-A1), so concurrent batch RPCs against the same shard need no
 //! synchronization.
+//!
+//! Batch-level threads compose with the intra-op kernel pool
+//! (`DLRM_THREADS`): every workspace shares one [`RuntimeCtx`], so its
+//! buffer pool recycles dense stores across batches, and because every
+//! kernel is bit-exact for any worker count the thread configuration
+//! never changes predictions.
 
 use dlrm_model::graph::{GraphError, NoopObserver};
-use dlrm_model::{Model, ModelSpec, Workspace};
+use dlrm_model::{Model, ModelSpec, RuntimeCtx, Workspace};
 use dlrm_sharding::DistributedModel;
 use dlrm_tensor::Matrix;
 use dlrm_workload::BatchInputs;
+use std::sync::Arc;
 
 /// Anything that can rank one batch: the singular [`Model`] or a
 /// [`DistributedModel`].
 pub trait BatchRanker: Sync {
-    /// Runs one batch's inputs to predictions.
+    /// Runs one batch's inputs to predictions on the given runtime
+    /// context (intra-op pool + recycled buffers). Intra-op kernels are
+    /// bit-exact for any worker count, so the context never changes
+    /// predictions.
     ///
     /// # Errors
     ///
     /// Propagates graph-execution failures.
-    fn rank(&self, spec: &ModelSpec, batch: &BatchInputs) -> Result<Matrix, GraphError>;
+    fn rank_in(
+        &self,
+        spec: &ModelSpec,
+        batch: &BatchInputs,
+        ctx: &RuntimeCtx,
+    ) -> Result<Matrix, GraphError>;
+
+    /// Runs one batch's inputs to predictions on a fresh
+    /// [`RuntimeCtx::from_env`] context (`DLRM_THREADS` intra-op
+    /// workers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-execution failures.
+    fn rank(&self, spec: &ModelSpec, batch: &BatchInputs) -> Result<Matrix, GraphError> {
+        self.rank_in(spec, batch, &RuntimeCtx::from_env())
+    }
 }
 
 impl BatchRanker for Model {
-    fn rank(&self, spec: &ModelSpec, batch: &BatchInputs) -> Result<Matrix, GraphError> {
-        let mut ws = Workspace::new();
+    fn rank_in(
+        &self,
+        spec: &ModelSpec,
+        batch: &BatchInputs,
+        ctx: &RuntimeCtx,
+    ) -> Result<Matrix, GraphError> {
+        let mut ws = Workspace::with_ctx(ctx.clone());
+        ws.set_consumer_counts(Arc::new(self.consumer_counts()));
         batch.load_into(spec, &mut ws);
         // The overlap scheduler is bit-exact with sequential `run` and
         // free of RPC ops here, so one executor serves both model kinds.
@@ -37,8 +69,14 @@ impl BatchRanker for Model {
 }
 
 impl BatchRanker for DistributedModel {
-    fn rank(&self, spec: &ModelSpec, batch: &BatchInputs) -> Result<Matrix, GraphError> {
-        let mut ws = Workspace::new();
+    fn rank_in(
+        &self,
+        spec: &ModelSpec,
+        batch: &BatchInputs,
+        ctx: &RuntimeCtx,
+    ) -> Result<Matrix, GraphError> {
+        let mut ws = Workspace::with_ctx(ctx.clone());
+        ws.set_consumer_counts(Arc::new(self.consumer_counts()));
         batch.load_into(spec, &mut ws);
         // Overlap scheduler: all shard RPCs of the batch go out before
         // dense compute blocks on any of them (§IV-A).
@@ -85,16 +123,21 @@ pub fn rank_request_parallel<R: BatchRanker>(
     let threads = threads.min(batches.len());
     let mut results: Vec<Option<Result<Matrix, GraphError>>> = Vec::new();
     results.resize_with(batches.len(), || None);
+    // One shared context: all batch workspaces recycle through the same
+    // buffer pool, and the intra-op pool (`DLRM_THREADS`) composes with
+    // the batch-level threads here.
+    let ctx = RuntimeCtx::from_env();
 
     // Static round-robin assignment of batches to threads; each thread
     // writes disjoint slots.
     std::thread::scope(|scope| {
         let chunks = split_slots(&mut results, threads);
         for (tid, mut slot_chunk) in chunks.into_iter().enumerate() {
+            let ctx = &ctx;
             scope.spawn(move || {
                 for (local_idx, slot) in slot_chunk.iter_mut().enumerate() {
                     let batch_idx = tid + local_idx * threads;
-                    **slot = Some(model.rank(spec, &batches[batch_idx]));
+                    **slot = Some(model.rank_in(spec, &batches[batch_idx], ctx));
                 }
             });
         }

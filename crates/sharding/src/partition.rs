@@ -80,7 +80,7 @@ impl DistributedModel {
         for net in &self.nets {
             net.run(ws, observer)?;
         }
-        ws.dense(&self.output_blob, "distributed-output").cloned()
+        ws.take_dense(&self.output_blob, "distributed-output")
     }
 
     /// Runs all main-shard nets under the overlap scheduler
@@ -101,7 +101,18 @@ impl DistributedModel {
         for net in &self.nets {
             net.run_overlapped(ws, observer)?;
         }
-        ws.dense(&self.output_blob, "distributed-output").cloned()
+        ws.take_dense(&self.output_blob, "distributed-output")
+    }
+
+    /// Static consumer counts for [`Workspace::set_consumer_counts`]:
+    /// reads per blob across the rewritten main-shard nets, plus one
+    /// synthetic read of the output blob. See
+    /// [`Model::consumer_counts`](dlrm_model::Model::consumer_counts).
+    #[must_use]
+    pub fn consumer_counts(&self) -> std::collections::HashMap<String, usize> {
+        let mut counts = dlrm_model::consumer_counts_of(self.nets.iter());
+        *counts.entry(self.output_blob.clone()).or_insert(0) += 1;
+        counts
     }
 
     /// Number of RPC operators across all nets — one RPC issued per

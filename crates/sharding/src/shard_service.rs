@@ -2,7 +2,7 @@
 
 use crate::plan::{ShardId, ShardingPlan};
 use crate::rpc::{ShardRequest, ShardResponse, SparseShardClient};
-use dlrm_model::{EmbeddingTable, TableId};
+use dlrm_model::{EmbeddingTable, Pool, TableId};
 use dlrm_tensor::Matrix;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -19,6 +19,10 @@ use std::sync::Arc;
 pub struct ShardService {
     shard: ShardId,
     tables: HashMap<TableId, Arc<EmbeddingTable>>,
+    /// Intra-op pool the SLS kernels fan out on (sequential unless
+    /// configured via [`Self::with_pool`]). Bag-parallel pooling is
+    /// bit-exact for any worker count, so this never changes results.
+    pool: Pool,
 }
 
 impl ShardService {
@@ -66,7 +70,18 @@ impl ShardService {
             };
             tables.insert(placement.table, local);
         }
-        Self { shard, tables }
+        Self {
+            shard,
+            tables,
+            pool: Pool::sequential(),
+        }
+    }
+
+    /// Returns the service with its SLS kernels fanning out on `pool`.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The shard this service implements.
@@ -111,7 +126,7 @@ impl ShardService {
             }
             pooled.push((
                 slice.table,
-                table.sparse_lengths_sum(&slice.indices, &slice.lengths),
+                table.sparse_lengths_sum_par(&slice.indices, &slice.lengths, &self.pool),
             ));
         }
         Ok(ShardResponse { pooled })

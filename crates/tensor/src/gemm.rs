@@ -1,0 +1,324 @@
+//! Blocked, register-tiled, row-parallel GEMM kernels.
+//!
+//! Two layouts cover every dense matrix product in the DLRM operator
+//! vocabulary:
+//!
+//! - [`matmul_into`]: `out = A · B` — the i/k/j ("saxpy") order with a
+//!   4-wide k-unroll, streaming rows of `B` while the current output
+//!   row stays hot. The inner j-loop is lane-independent, so the
+//!   autovectorizer turns it into SIMD without reassociating anything.
+//! - [`matmul_transb_into`]: `out = A · Bᵀ` — the FC layout (`B` is
+//!   one output neuron per row). Register-tiled 4×2: eight independent
+//!   accumulator chains share each weight-row load, hiding FP-add
+//!   latency that serializes the naive one-accumulator dot product.
+//!
+//! # Bit-exactness
+//!
+//! Both kernels keep **one accumulator per output element**, folding
+//! `k` in ascending order — the exact float-op sequence of the naive
+//! reference kernels ([`Matrix::matmul_reference`],
+//! [`Matrix::matmul_transb_reference`]). Blocking and tiling only
+//! regroup *independent* output elements, and parallelism partitions
+//! output rows (each row owned by one task), so results are bit-exact
+//! across blocked/naive and across any worker count. The property
+//! suite in `crates/tensor/tests/kernel_properties.rs` asserts both.
+
+use crate::Matrix;
+use dlrm_runtime::Pool;
+
+/// Rows of `A` processed per register tile in the `A · Bᵀ` kernel.
+const TRANSB_ROW_TILE: usize = 4;
+
+/// Minimum multiply-add count before a GEMM forks the pool; below
+/// this the fork overhead dominates and the kernel runs inline.
+const PAR_MIN_MACS: usize = 1 << 18;
+
+/// Rows per parallel chunk for an `m`-row output on `pool`: one
+/// contiguous chunk per worker, floored at one row. Chunking only
+/// groups independent rows, so the choice affects scheduling, never
+/// results.
+fn rows_per_chunk(m: usize, macs: usize, pool: &Pool) -> usize {
+    if pool.threads() <= 1 || macs < PAR_MIN_MACS {
+        m
+    } else {
+        m.div_ceil(pool.threads()).max(1)
+    }
+}
+
+/// `out = a · b`, row-parallel on `pool`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()` or `out` is not `a.rows() × b.cols()`.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, pool: &Pool) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {}x{} × {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(
+        (out.rows(), out.cols()),
+        (a.rows(), b.cols()),
+        "matmul output must be {}x{}",
+        a.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    out.as_mut_slice().fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let chunk_rows = rows_per_chunk(m, m * n * k, pool);
+    let a_data = a.as_slice();
+    pool.par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |start, chunk| {
+        let i0 = start / n;
+        let rows = chunk.len() / n;
+        matmul_rows(&a_data[i0 * k..(i0 + rows) * k], k, b, chunk);
+    });
+}
+
+/// Sequential i/k/j kernel over a contiguous block of `A` rows and the
+/// matching (pre-zeroed) block of output rows.
+fn matmul_rows(a_rows: &[f32], k: usize, b: &Matrix, out_rows: &mut [f32]) {
+    let n = b.cols();
+    let b_data = b.as_slice();
+    for (a_row, out_row) in a_rows.chunks_exact(k).zip(out_rows.chunks_exact_mut(n)) {
+        let mut kk = 0;
+        // 4-wide k-unroll: one pass over the output row folds four B
+        // rows, in ascending-k order per element.
+        while kk + 4 <= k {
+            let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+            let b0 = &b_data[kk * n..kk * n + n];
+            let b1 = &b_data[(kk + 1) * n..(kk + 1) * n + n];
+            let b2 = &b_data[(kk + 2) * n..(kk + 2) * n + n];
+            let b3 = &b_data[(kk + 3) * n..(kk + 3) * n + n];
+            for j in 0..n {
+                let mut x = out_row[j];
+                x += a0 * b0[j];
+                x += a1 * b1[j];
+                x += a2 * b2[j];
+                x += a3 * b3[j];
+                out_row[j] = x;
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let av = a_row[kk];
+            let b_row = &b_data[kk * n..kk * n + n];
+            for j in 0..n {
+                out_row[j] += av * b_row[j];
+            }
+            kk += 1;
+        }
+    }
+}
+
+/// `out = a · bᵀ` (the FC layout: `b` stores one output neuron per
+/// row), row-parallel on `pool`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()` or `out` is not `a.rows() × b.rows()`.
+pub fn matmul_transb_into(a: &Matrix, b: &Matrix, out: &mut Matrix, pool: &Pool) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_transb shape mismatch: {}x{} × ({}x{})ᵀ",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(
+        (out.rows(), out.cols()),
+        (a.rows(), b.rows()),
+        "matmul_transb output must be {}x{}",
+        a.rows(),
+        b.rows()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.as_mut_slice().fill(0.0);
+        return;
+    }
+    let chunk_rows = rows_per_chunk(m, m * n * k, pool);
+    let a_data = a.as_slice();
+    pool.par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |start, chunk| {
+        let i0 = start / n;
+        let rows = chunk.len() / n;
+        transb_rows(&a_data[i0 * k..(i0 + rows) * k], k, b, chunk);
+    });
+}
+
+/// Sequential register-tiled kernel over a contiguous block of `A`
+/// rows and the matching block of output rows (every element written).
+fn transb_rows(a_rows: &[f32], k: usize, b: &Matrix, out_rows: &mut [f32]) {
+    let n = b.rows();
+    let rows = a_rows.len() / k;
+    let mut i = 0;
+    while i + TRANSB_ROW_TILE <= rows {
+        let a0 = &a_rows[i * k..i * k + k];
+        let a1 = &a_rows[(i + 1) * k..(i + 1) * k + k];
+        let a2 = &a_rows[(i + 2) * k..(i + 2) * k + k];
+        let a3 = &a_rows[(i + 3) * k..(i + 3) * k + k];
+        let mut j = 0;
+        while j + 2 <= n {
+            let b0 = &b.row(j)[..k];
+            let b1 = &b.row(j + 1)[..k];
+            let acc = tile4x2(a0, a1, a2, a3, b0, b1, k);
+            out_rows[i * n + j] = acc[0];
+            out_rows[i * n + j + 1] = acc[1];
+            out_rows[(i + 1) * n + j] = acc[2];
+            out_rows[(i + 1) * n + j + 1] = acc[3];
+            out_rows[(i + 2) * n + j] = acc[4];
+            out_rows[(i + 2) * n + j + 1] = acc[5];
+            out_rows[(i + 3) * n + j] = acc[6];
+            out_rows[(i + 3) * n + j + 1] = acc[7];
+            j += 2;
+        }
+        if j < n {
+            let b0 = &b.row(j)[..k];
+            out_rows[i * n + j] = dot(a0, b0);
+            out_rows[(i + 1) * n + j] = dot(a1, b0);
+            out_rows[(i + 2) * n + j] = dot(a2, b0);
+            out_rows[(i + 3) * n + j] = dot(a3, b0);
+        }
+        i += TRANSB_ROW_TILE;
+    }
+    while i < rows {
+        let a0 = &a_rows[i * k..i * k + k];
+        let out_row = &mut out_rows[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 2 <= n {
+            let acc = tile1x2(a0, &b.row(j)[..k], &b.row(j + 1)[..k], k);
+            out_row[j] = acc[0];
+            out_row[j + 1] = acc[1];
+            j += 2;
+        }
+        if j < n {
+            out_row[j] = dot(a0, &b.row(j)[..k]);
+        }
+        i += 1;
+    }
+}
+
+/// Eight independent dot-product chains (4 activation rows × 2 weight
+/// rows), each folding `k` in ascending order with one accumulator —
+/// the same float-op sequence per element as the naive dot product.
+#[inline]
+fn tile4x2(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b0: &[f32], b1: &[f32], k: usize) -> [f32; 8] {
+    let (a0, a1, a2, a3) = (&a0[..k], &a1[..k], &a2[..k], &a3[..k]);
+    let (b0, b1) = (&b0[..k], &b1[..k]);
+    let mut acc = [0.0f32; 8];
+    for kk in 0..k {
+        let (w0, w1) = (b0[kk], b1[kk]);
+        acc[0] += a0[kk] * w0;
+        acc[1] += a0[kk] * w1;
+        acc[2] += a1[kk] * w0;
+        acc[3] += a1[kk] * w1;
+        acc[4] += a2[kk] * w0;
+        acc[5] += a2[kk] * w1;
+        acc[6] += a3[kk] * w0;
+        acc[7] += a3[kk] * w1;
+    }
+    acc
+}
+
+/// Two independent dot-product chains (1 activation row × 2 weight rows).
+#[inline]
+fn tile1x2(a0: &[f32], b0: &[f32], b1: &[f32], k: usize) -> [f32; 2] {
+    let a0 = &a0[..k];
+    let (b0, b1) = (&b0[..k], &b1[..k]);
+    let mut acc = [0.0f32; 2];
+    for kk in 0..k {
+        acc[0] += a0[kk] * b0[kk];
+        acc[1] += a0[kk] * b1[kk];
+    }
+    acc
+}
+
+/// Single sequential-accumulator dot product (ascending `k`).
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(rows: usize, cols: usize, salt: u32) -> Matrix {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(salt) % 1000) as f32 * 0.013 - 6.5)
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_bitwise() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (4, 8, 2), (9, 13, 11), (16, 32, 24)] {
+            let a = filled(m, k, 1);
+            let b = filled(k, n, 2);
+            let mut out = Matrix::zeros(m, n);
+            matmul_into(&a, &b, &mut out, &Pool::sequential());
+            assert_eq!(out, a.matmul_reference(&b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn tiled_transb_matches_reference_bitwise() {
+        for (m, k, n) in [(1, 1, 1), (4, 8, 2), (5, 7, 3), (9, 16, 9), (13, 33, 17)] {
+            let a = filled(m, k, 3);
+            let b = filled(n, k, 4);
+            let mut out = Matrix::zeros(m, n);
+            matmul_transb_into(&a, &b, &mut out, &Pool::sequential());
+            assert_eq!(out, a.matmul_transb_reference(&b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn into_kernels_overwrite_dirty_outputs() {
+        let a = filled(3, 4, 5);
+        let b = filled(4, 2, 6);
+        let mut out = Matrix::from_vec(3, 2, vec![f32::NAN; 6]);
+        matmul_into(&a, &b, &mut out, &Pool::sequential());
+        assert_eq!(out, a.matmul_reference(&b));
+        let bt = filled(2, 4, 7);
+        let mut out = Matrix::from_vec(3, 2, vec![f32::NAN; 6]);
+        matmul_transb_into(&a, &bt, &mut out, &Pool::sequential());
+        assert_eq!(out, a.matmul_transb_reference(&bt));
+    }
+
+    #[test]
+    fn degenerate_k_zero_yields_zeros() {
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        let mut out = Matrix::from_vec(2, 3, vec![9.0; 6]);
+        matmul_into(&a, &b, &mut out, &Pool::sequential());
+        assert_eq!(out, Matrix::zeros(2, 3));
+        let bt = Matrix::zeros(3, 0);
+        let mut out = Matrix::from_vec(2, 3, vec![9.0; 6]);
+        matmul_transb_into(&a, &bt, &mut out, &Pool::sequential());
+        assert_eq!(out, Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "output must be")]
+    fn into_rejects_wrong_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 3);
+        matmul_into(&a, &b, &mut out, &Pool::sequential());
+    }
+}

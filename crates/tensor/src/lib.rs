@@ -6,10 +6,14 @@
 //! ReLU/Sigmoid activations, feature concatenation, and the sparse
 //! `SparseLengthsSum` gather-and-pool (which lives in `dlrm-model` on top
 //! of this crate's [`Matrix`] storage). This crate provides exactly those
-//! dense kernels — row-major, no SIMD intrinsics, no unsafe — prioritizing
-//! determinism and auditability over peak FLOPs, since the reproduction's
-//! performance results come from the calibrated simulator rather than from
-//! these kernels.
+//! dense kernels — row-major, safe Rust only, no SIMD intrinsics. The
+//! GEMMs are cache-blocked and register-tiled (see [`matmul_into`] and
+//! [`matmul_transb_into`]) and optionally output-row-parallel on a
+//! `dlrm_runtime::Pool`, while staying **bit-exact** with the naive
+//! reference kernels ([`Matrix::matmul_reference`],
+//! [`Matrix::matmul_transb_reference`]) and across any worker count: the
+//! fast kernels keep one accumulator per output element folded in
+//! ascending-`k` order, and parallelism only partitions output rows.
 //!
 //! # Examples
 //!
@@ -25,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod gemm;
 mod matrix;
 mod ops;
 
+pub use gemm::{matmul_into, matmul_transb_into};
 pub use matrix::Matrix;
-pub use ops::{concat_cols, relu, relu_inplace, sigmoid, sigmoid_inplace};
+pub use ops::{concat_cols, concat_cols_into, relu, relu_inplace, sigmoid, sigmoid_inplace};
 
 /// Absolute tolerance used by [`Matrix::approx_eq`] in tests and
 /// verification paths.

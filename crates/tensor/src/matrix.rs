@@ -1,5 +1,7 @@
 //! Row-major dense `f32` matrix.
 
+use dlrm_runtime::Pool;
+
 /// A dense, row-major `rows × cols` matrix of `f32`.
 ///
 /// This is the only tensor rank the DLRM operator vocabulary needs: a
@@ -154,13 +156,39 @@ impl Matrix {
         self.data
     }
 
-    /// Matrix product `self × rhs`.
+    /// Matrix product `self × rhs` via the blocked kernel
+    /// ([`crate::matmul_into`]), sequentially.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     #[must_use]
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_par(rhs, &Pool::sequential())
+    }
+
+    /// Matrix product `self × rhs`, output-row-parallel on `pool`.
+    /// Bit-exact with [`Self::matmul`] for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    #[must_use]
+    pub fn matmul_par(&self, rhs: &Matrix, pool: &Pool) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        crate::matmul_into(self, rhs, &mut out, pool);
+        out
+    }
+
+    /// Naive triple-loop `self × rhs`: the bit-exactness oracle for the
+    /// blocked kernel. One accumulator per output element, `k`
+    /// ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    #[must_use]
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} × {}x{}",
@@ -168,16 +196,12 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+            for j in 0..rhs.cols {
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += self.get(i, k) * rhs.get(k, j);
                 }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
+                out.set(i, j, acc);
             }
         }
         out
@@ -185,13 +209,38 @@ impl Matrix {
 
     /// Matrix product `self × rhsᵀ` — the natural layout for a
     /// fully-connected layer whose weights are stored one output neuron
-    /// per row.
+    /// per row — via the register-tiled kernel
+    /// ([`crate::matmul_transb_into`]), sequentially.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.cols()`.
     #[must_use]
     pub fn matmul_transb(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_transb_par(rhs, &Pool::sequential())
+    }
+
+    /// Matrix product `self × rhsᵀ`, output-row-parallel on `pool`.
+    /// Bit-exact with [`Self::matmul_transb`] for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    #[must_use]
+    pub fn matmul_transb_par(&self, rhs: &Matrix, pool: &Pool) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        crate::matmul_transb_into(self, rhs, &mut out, pool);
+        out
+    }
+
+    /// Naive dot-product `self × rhsᵀ`: the bit-exactness oracle for
+    /// the register-tiled kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    #[must_use]
+    pub fn matmul_transb_reference(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_transb shape mismatch: {}x{} × ({}x{})ᵀ",
@@ -212,13 +261,26 @@ impl Matrix {
         out
     }
 
-    /// Transposed copy.
+    /// Transposed copy, blocked `TRANSPOSE_BLOCK × TRANSPOSE_BLOCK` so
+    /// both source reads and destination writes stay within a few cache
+    /// lines per block; source elements are read through row slices
+    /// rather than per-element `get`.
     #[must_use]
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
+        const TRANSPOSE_BLOCK: usize = 32;
+        let (n_rows, n_cols) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(n_cols, n_rows);
+        let dst = out.as_mut_slice();
+        for r0 in (0..n_rows).step_by(TRANSPOSE_BLOCK) {
+            let r_end = (r0 + TRANSPOSE_BLOCK).min(n_rows);
+            for c0 in (0..n_cols).step_by(TRANSPOSE_BLOCK) {
+                let c_end = (c0 + TRANSPOSE_BLOCK).min(n_cols);
+                for r in r0..r_end {
+                    let src = &self.data[r * n_cols + c0..r * n_cols + c_end];
+                    for (c, &v) in (c0..c_end).zip(src.iter()) {
+                        dst[c * n_rows + r] = v;
+                    }
+                }
             }
         }
         out
@@ -346,6 +408,29 @@ mod tests {
     fn transpose_involution() {
         let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
         assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_handles_blocks_and_remainders() {
+        // 40x70 spans more than one 32-wide block in each dimension
+        // plus ragged remainders.
+        let a = Matrix::from_vec(40, 70, (0..40 * 70).map(|i| i as f32).collect());
+        let t = a.transpose();
+        assert_eq!((t.rows(), t.cols()), (70, 40));
+        for r in 0..40 {
+            for c in 0..70 {
+                assert_eq!(t.get(c, r), a.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_products_match_reference_bitwise() {
+        let a = Matrix::from_vec(7, 13, (0..7 * 13).map(|i| (i as f32) * 0.37 - 3.0).collect());
+        let b = Matrix::from_vec(13, 9, (0..13 * 9).map(|i| (i as f32) * -0.21 + 1.0).collect());
+        assert_eq!(a.matmul(&b), a.matmul_reference(&b));
+        let w = Matrix::from_vec(9, 13, (0..9 * 13).map(|i| (i as f32) * 0.11 - 0.6).collect());
+        assert_eq!(a.matmul_transb(&w), a.matmul_transb_reference(&w));
     }
 
     #[test]

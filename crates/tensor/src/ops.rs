@@ -72,6 +72,22 @@ pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
     assert!(!parts.is_empty(), "concat_cols requires at least one part");
     let rows = parts[0].rows();
     let total_cols: usize = parts.iter().map(|p| p.cols()).sum();
+    let mut out = Matrix::zeros(rows, total_cols);
+    concat_cols_into(parts, &mut out);
+    out
+}
+
+/// [`concat_cols`] into a caller-provided output matrix, so serving
+/// paths can reuse a recycled backing store instead of allocating.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty, the parts disagree on row count, or
+/// `out` is not `rows × Σ cols`.
+pub fn concat_cols_into(parts: &[&Matrix], out: &mut Matrix) {
+    assert!(!parts.is_empty(), "concat_cols requires at least one part");
+    let rows = parts[0].rows();
+    let total_cols: usize = parts.iter().map(|p| p.cols()).sum();
     for (i, p) in parts.iter().enumerate() {
         assert_eq!(
             p.rows(),
@@ -80,7 +96,11 @@ pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
             p.rows()
         );
     }
-    let mut out = Matrix::zeros(rows, total_cols);
+    assert_eq!(
+        (out.rows(), out.cols()),
+        (rows, total_cols),
+        "concat output must be {rows}x{total_cols}"
+    );
     for r in 0..rows {
         let out_row = out.row_mut(r);
         let mut offset = 0;
@@ -90,7 +110,6 @@ pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
             offset += src.len();
         }
     }
-    out
 }
 
 #[cfg(test)]

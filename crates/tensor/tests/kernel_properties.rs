@@ -1,0 +1,152 @@
+//! Property-style tests for the blocked/parallel kernel runtime,
+//! driven by deterministic [`SimRng`] case generation.
+//!
+//! Two contracts from DESIGN §3.3 are asserted here, **bitwise**:
+//!
+//! 1. The blocked/register-tiled kernels compute the exact same floats
+//!    as the naive `_reference` oracles (one accumulator per output
+//!    element, ascending-k fold).
+//! 2. Results are identical for any worker count — row partitioning
+//!    assigns each output row to exactly one task, so 1, 2, 4 and 8
+//!    workers produce the same bits.
+
+use dlrm_runtime::Pool;
+use dlrm_sim::SimRng;
+use dlrm_tensor::{concat_cols, concat_cols_into, Matrix};
+
+const CASES: usize = 48;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// An `r × c` matrix with elements uniform in `[-4, 4)` — small enough
+/// to keep products finite, irregular enough to expose ordering bugs.
+fn matrix(rng: &mut SimRng, r: usize, c: usize) -> Matrix {
+    let data: Vec<f32> = (0..r * c)
+        .map(|_| rng.next_range(-4.0, 4.0) as f32)
+        .collect();
+    Matrix::from_vec(r, c, data)
+}
+
+/// A random GEMM shape spanning the kernel's edge cases: below one
+/// tile, straddling tile boundaries, and multi-tile.
+fn shape(rng: &mut SimRng) -> (usize, usize, usize) {
+    (
+        1 + rng.next_index(40),
+        1 + rng.next_index(40),
+        1 + rng.next_index(40),
+    )
+}
+
+#[test]
+fn blocked_matmul_matches_reference_bitwise() {
+    let mut rng = SimRng::seed_from(0x0B10_C4ED).fork(1);
+    for case in 0..CASES {
+        let (m, k, n) = shape(&mut rng);
+        let a = matrix(&mut rng, m, k);
+        let b = matrix(&mut rng, k, n);
+        assert_eq!(
+            a.matmul(&b),
+            a.matmul_reference(&b),
+            "case {case}: {m}x{k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn tiled_transb_matches_reference_bitwise() {
+    let mut rng = SimRng::seed_from(0x0B10_C4ED).fork(2);
+    for case in 0..CASES {
+        let (m, k, n) = shape(&mut rng);
+        let a = matrix(&mut rng, m, k);
+        let b = matrix(&mut rng, n, k);
+        assert_eq!(
+            a.matmul_transb(&b),
+            a.matmul_transb_reference(&b),
+            "case {case}: {m}x{k}x({n}x{k})T"
+        );
+    }
+}
+
+#[test]
+fn matmul_bit_exact_across_worker_counts() {
+    let mut rng = SimRng::seed_from(0x0B10_C4ED).fork(3);
+    // The fixed shape clears the parallel-grain threshold (2^18 MACs),
+    // so multi-worker pools genuinely fork; the random shapes cover the
+    // inline fast path and uneven row partitions.
+    let mut shapes = vec![(96, 64, 64)];
+    for _ in 0..12 {
+        shapes.push(shape(&mut rng));
+    }
+    for (m, k, n) in shapes {
+        let a = matrix(&mut rng, m, k);
+        let b = matrix(&mut rng, k, n);
+        let oracle = a.matmul_reference(&b);
+        for workers in WORKER_COUNTS {
+            assert_eq!(
+                a.matmul_par(&b, &Pool::new(workers)),
+                oracle,
+                "{m}x{k}x{n} at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn transb_bit_exact_across_worker_counts() {
+    let mut rng = SimRng::seed_from(0x0B10_C4ED).fork(4);
+    let mut shapes = vec![(96, 64, 64)];
+    for _ in 0..12 {
+        shapes.push(shape(&mut rng));
+    }
+    for (m, k, n) in shapes {
+        let a = matrix(&mut rng, m, k);
+        let b = matrix(&mut rng, n, k);
+        let oracle = a.matmul_transb_reference(&b);
+        for workers in WORKER_COUNTS {
+            assert_eq!(
+                a.matmul_transb_par(&b, &Pool::new(workers)),
+                oracle,
+                "{m}x{k}x({n}x{k})T at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn blocked_transpose_roundtrips_and_relocates_every_element() {
+    let mut rng = SimRng::seed_from(0x0B10_C4ED).fork(5);
+    // Shapes chosen around the 32-element transpose block: exact
+    // multiples, remainders on one axis, and tiny matrices.
+    for (r, c) in [(1, 1), (32, 32), (33, 31), (64, 40), (7, 100), (100, 7)] {
+        let _ = rng.next_u64();
+        let m = matrix(&mut rng, r, c);
+        let t = m.transpose();
+        assert_eq!((t.rows(), t.cols()), (c, r));
+        for i in 0..r {
+            for j in 0..c {
+                assert_eq!(t.get(j, i), m.get(i, j), "({i}, {j}) of {r}x{c}");
+            }
+        }
+        assert_eq!(t.transpose(), m, "{r}x{c} roundtrip");
+    }
+}
+
+#[test]
+fn concat_cols_into_matches_allocating_concat() {
+    let mut rng = SimRng::seed_from(0x0B10_C4ED).fork(6);
+    for case in 0..CASES {
+        let rows = 1 + rng.next_index(8);
+        let n_parts = 1 + rng.next_index(4);
+        let parts: Vec<Matrix> = (0..n_parts)
+            .map(|_| {
+                let cols = 1 + rng.next_index(6);
+                matrix(&mut rng, rows, cols)
+            })
+            .collect();
+        let refs: Vec<&Matrix> = parts.iter().collect();
+        let total: usize = parts.iter().map(Matrix::cols).sum();
+        // Dirty output: the into-variant must overwrite every element.
+        let mut out = Matrix::from_vec(rows, total, vec![f32::NAN; rows * total]);
+        concat_cols_into(&refs, &mut out);
+        assert_eq!(out, concat_cols(&refs), "case {case}");
+    }
+}

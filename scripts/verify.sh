@@ -17,6 +17,10 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> runtime smoke: predictions bit-exact across worker counts,"
+echo "    blocked GEMM >= 3x the naive reference (parallel speedup gated on cores)"
+cargo run --release --offline -p dlrm-bench --bin runtime_smoke
+
 echo "==> overlap smoke: shard RPCs must overlap under the scheduler"
 cargo run --release --offline -p dlrm-bench --bin overlap_smoke
 
