@@ -10,7 +10,7 @@
 
 use crate::QuantizedTable;
 use dlrm_model::EmbeddingTable;
-use dlrm_sharding::rpc::{ShardRequest, ShardResponse, SparseShardClient};
+use dlrm_sharding::rpc::{RpcError, ShardRequest, ShardResponse, SparseShardClient};
 use dlrm_sharding::{ShardId, ShardService, ShardingPlan};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -92,22 +92,26 @@ impl QuantizedShardService {
     ///
     /// # Errors
     ///
-    /// A message naming the offending table when it is not hosted here
-    /// or an index is out of range.
-    pub fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, String> {
+    /// A non-retryable [`RpcError::ShardFault`] naming the offending
+    /// table when it is not hosted here or an index is out of range.
+    pub fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, RpcError> {
+        let fault = |message: String| RpcError::ShardFault {
+            shard: self.shard,
+            message,
+        };
         let mut pooled = Vec::with_capacity(request.slices.len());
         for slice in &request.slices {
             let table = self
                 .tables
                 .get(&slice.table)
-                .ok_or_else(|| format!("{} not hosted on {}", slice.table, self.shard))?;
+                .ok_or_else(|| fault(format!("{} not hosted on {}", slice.table, self.shard)))?;
             if let Some(&max) = slice.indices.iter().max() {
                 if max as usize >= table.rows() {
-                    return Err(format!(
+                    return Err(fault(format!(
                         "index {max} out of range for {} ({} local rows)",
                         slice.table,
                         table.rows()
-                    ));
+                    )));
                 }
             }
             pooled.push((
@@ -138,7 +142,7 @@ impl SparseShardClient for QuantizedClient {
         self.service.shard_id()
     }
 
-    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, String> {
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, RpcError> {
         self.service.execute(request)
     }
 }
@@ -253,6 +257,8 @@ mod tests {
                 lengths: vec![],
             }],
         });
-        assert!(missing.unwrap_err().contains("not hosted"));
+        let err = missing.unwrap_err();
+        assert!(!err.is_retryable(), "{err}");
+        assert!(err.to_string().contains("not hosted"), "{err}");
     }
 }

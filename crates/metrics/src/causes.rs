@@ -1,0 +1,125 @@
+//! Failure accounting by cause.
+
+use std::collections::BTreeMap;
+
+/// A counter per failure cause (keyed by a stable short string such as
+/// `"timeout"` or `"transport"`), used by serving reports to break
+/// failed requests down by why they failed. Keys are ordered, so
+/// iteration and [`std::fmt::Display`] output are deterministic.
+///
+/// # Examples
+///
+/// ```
+/// let mut c = dlrm_metrics::CauseCounts::new();
+/// c.record("timeout");
+/// c.record("timeout");
+/// c.record("transport");
+/// assert_eq!(c.get("timeout"), 2);
+/// assert_eq!(c.total(), 3);
+/// assert_eq!(c.to_string(), "timeout=2 transport=1");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CauseCounts {
+    counts: BTreeMap<String, u64>,
+}
+
+impl CauseCounts {
+    /// An empty set of counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter for `cause` by one.
+    pub fn record(&mut self, cause: &str) {
+        self.record_n(cause, 1);
+    }
+
+    /// Increments the counter for `cause` by `n`.
+    pub fn record_n(&mut self, cause: &str, n: u64) {
+        if n > 0 {
+            *self.counts.entry(cause.to_string()).or_insert(0) += n;
+        }
+    }
+
+    /// The count for `cause` (zero if never recorded).
+    #[must_use]
+    pub fn get(&self, cause: &str) -> u64 {
+        self.counts.get(cause).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates `(cause, count)` in cause order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &CauseCounts) {
+        for (cause, count) in other.iter() {
+            self.record_n(cause, count);
+        }
+    }
+}
+
+impl std::fmt::Display for CauseCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.counts.is_empty() {
+            return write!(f, "none");
+        }
+        let mut first = true;
+        for (cause, count) in &self.counts {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{cause}={count}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_merges() {
+        let mut a = CauseCounts::new();
+        a.record("timeout");
+        let mut b = CauseCounts::new();
+        b.record("timeout");
+        b.record("poisoned");
+        a.merge(&b);
+        assert_eq!(a.get("timeout"), 2);
+        assert_eq!(a.get("poisoned"), 1);
+        assert_eq!(a.get("unknown"), 0);
+        assert_eq!(a.total(), 3);
+        let collected: Vec<_> = a.iter().collect();
+        assert_eq!(collected, vec![("poisoned", 1), ("timeout", 2)]);
+    }
+
+    #[test]
+    fn empty_displays_as_none() {
+        assert_eq!(CauseCounts::new().to_string(), "none");
+        assert!(CauseCounts::new().is_empty());
+    }
+
+    #[test]
+    fn record_n_zero_is_a_noop() {
+        let mut c = CauseCounts::new();
+        c.record_n("x", 0);
+        assert!(c.is_empty());
+    }
+}

@@ -13,6 +13,8 @@
 //!   monitors where storing every observation is undesirable,
 //! - [`Histogram`]: log-bucketed latency histogram,
 //! - [`Summary`]: count/mean/min/max/stddev accumulator,
+//! - [`CauseCounts`]: failure counters keyed by cause, for the serving
+//!   tier's failure-by-cause breakdowns,
 //! - [`overhead_pct`]: the overhead-vs-baseline arithmetic used by the
 //!   figure reproductions.
 //!
@@ -33,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod causes;
 mod histogram;
 mod percentile;
 mod streaming;
 mod summary;
 
+pub use causes::CauseCounts;
 pub use histogram::Histogram;
 pub use percentile::{PercentileSketch, Percentiles, TailPercentiles};
 pub use streaming::StreamingQuantile;

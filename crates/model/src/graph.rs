@@ -353,6 +353,14 @@ pub trait Operator: std::fmt::Debug + Send + Sync {
     fn as_async(&self) -> Option<&dyn AsyncOperator> {
         None
     }
+
+    /// Mutable downcast hook for post-construction configuration (e.g.
+    /// the serving layer injecting a retry/hedge policy into RPC
+    /// operators after partitioning). Operators with no mutable
+    /// configuration return `None` (the default).
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// An operator that can split execution into a non-blocking *issue*
@@ -378,11 +386,64 @@ pub trait AsyncOperator {
 /// side completes; the reply is discarded).
 pub trait PendingOp: Send {
     /// Waits for the operation to finish and writes its output blobs.
+    /// Operations with retry/hedge/fallback machinery return a
+    /// [`RpcOutcome`] describing what it took to settle; plain
+    /// operations return `None`.
     ///
     /// # Errors
     ///
     /// Propagates remote failures and malformed responses.
-    fn collect(self: Box<Self>, ws: &mut Workspace) -> Result<(), GraphError>;
+    fn collect(self: Box<Self>, ws: &mut Workspace) -> Result<Option<RpcOutcome>, GraphError>;
+}
+
+/// What role one transmission played in settling an asynchronous
+/// operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcAttemptKind {
+    /// The first transmission.
+    Primary,
+    /// A re-transmission after a failed or timed-out attempt.
+    Retry,
+    /// A duplicate transmission racing a straggler (first reply wins).
+    Hedge,
+}
+
+/// One transmission of an asynchronous operation: its wall-clock window
+/// and how it ended.
+#[derive(Debug, Clone)]
+pub struct RpcAttempt {
+    /// Role of this transmission.
+    pub kind: RpcAttemptKind,
+    /// When the attempt was handed to the transport.
+    pub issued_at: Instant,
+    /// When the attempt settled: reply consumed, error observed, or
+    /// abandoned (a losing hedge, a timed-out attempt).
+    pub settled_at: Instant,
+    /// Whether this attempt's reply was the one used.
+    pub winner: bool,
+    /// The error that ended the attempt, when it did not win
+    /// (`None` for the winner and for abandoned still-healthy hedges).
+    pub error: Option<String>,
+}
+
+/// How an asynchronous operation settled: every transmission it took,
+/// and whether the output is real or a degraded fallback. Forwarded to
+/// [`ExecutionObserver::on_rpc_outcome`] by the overlap scheduler so
+/// serving layers can count retries/hedges and trace attempt windows.
+#[derive(Debug, Clone, Default)]
+pub struct RpcOutcome {
+    /// Every transmission, in issue order (empty for plain local ops).
+    pub attempts: Vec<RpcAttempt>,
+    /// Re-transmissions after failure/timeout.
+    pub retries: u32,
+    /// Duplicate transmissions racing stragglers.
+    pub hedges: u32,
+    /// Whether the operation exhausted its attempts and substituted a
+    /// degraded fallback output instead of failing.
+    pub degraded: bool,
+    /// Classification of the terminal error when `degraded` (e.g.
+    /// "timeout", "transport").
+    pub error_kind: Option<String>,
 }
 
 /// Observes operator execution; used for the real engine's per-group
@@ -409,6 +470,11 @@ pub trait ExecutionObserver {
         _collected_at: Instant,
     ) {
     }
+
+    /// Called right after [`Self::on_rpc_collected`] when the collected
+    /// operation reported how it settled: retries, hedges, per-attempt
+    /// windows, degraded fallback. Default: ignored.
+    fn on_rpc_outcome(&mut self, _net: &str, _op: &dyn Operator, _outcome: &RpcOutcome) {}
 }
 
 /// Observer that ignores everything.
@@ -494,6 +560,12 @@ impl NetDef {
     #[must_use]
     pub fn ops(&self) -> &[Box<dyn Operator>] {
         &self.ops
+    }
+
+    /// Mutable access to the operators, for post-construction
+    /// configuration via [`Operator::as_any_mut`].
+    pub fn ops_mut(&mut self) -> &mut [Box<dyn Operator>] {
+        &mut self.ops
     }
 
     /// Replaces the operator list (used by the partitioner).
@@ -677,10 +749,13 @@ impl NetDef {
             unreachable!("collect_in_flight called on a non-in-flight slot");
         };
         let collect_start = Instant::now();
-        pending.collect(ws)?;
+        let outcome = pending.collect(ws)?;
         let collected_at = Instant::now();
         let op = self.ops[j].as_ref();
         observer.on_rpc_collected(&self.name, op, issued_at, collected_at);
+        if let Some(outcome) = outcome {
+            observer.on_rpc_outcome(&self.name, op, &outcome);
+        }
         observer.on_op(
             &self.name,
             op,
@@ -1005,7 +1080,7 @@ mod tests {
             vec![self.output.clone()]
         }
         fn run(&self, ws: &mut Workspace) -> Result<(), GraphError> {
-            AsyncOperator::issue(self, ws)?.collect(ws)
+            AsyncOperator::issue(self, ws)?.collect(ws).map(|_| ())
         }
         fn as_async(&self) -> Option<&dyn AsyncOperator> {
             Some(self)
@@ -1042,7 +1117,7 @@ mod tests {
     }
 
     impl PendingOp for TestPending {
-        fn collect(self: Box<Self>, ws: &mut Workspace) -> Result<(), GraphError> {
+        fn collect(self: Box<Self>, ws: &mut Workspace) -> Result<Option<RpcOutcome>, GraphError> {
             log(&self.events, format!("collect:{}", self.name));
             if self.fail {
                 return Err(GraphError::OpFailed {
@@ -1051,7 +1126,7 @@ mod tests {
                 });
             }
             ws.put(self.output, Blob::Dense(self.result));
-            Ok(())
+            Ok(None)
         }
     }
 

@@ -318,13 +318,18 @@ impl<T> Receiver<T> {
         }
     }
 
-    /// Dequeues the next message, blocking at most `timeout`.
+    /// Dequeues the next message, blocking at most `timeout`. A timeout
+    /// too large to represent as a deadline (`Instant::now() + timeout`
+    /// would overflow, e.g. `Duration::MAX`) means "wait forever".
     ///
     /// # Errors
     ///
     /// Same contract as [`Receiver::recv_deadline`].
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        self.recv_deadline(Instant::now() + timeout)
+        match Instant::now().checked_add(timeout) {
+            Some(deadline) => self.recv_deadline(deadline),
+            None => self.recv().map_err(|_| RecvTimeoutError::Disconnected),
+        }
     }
 
     /// Dequeues the next message without blocking.
@@ -568,6 +573,20 @@ mod tests {
         let (r, waited) = consumer.join().unwrap();
         assert_eq!(r, Err(RecvTimeoutError::Disconnected));
         assert!(waited < Duration::from_secs(5), "hung until deadline");
+    }
+
+    #[test]
+    fn recv_timeout_with_overflowing_timeout_waits_instead_of_panicking() {
+        // Regression: `Instant::now() + Duration::MAX` panics; an
+        // unrepresentable deadline must degrade to "wait forever".
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::MAX), Ok(9));
+        // And a disconnect still wakes it rather than hanging.
+        let consumer = std::thread::spawn(move || rx.recv_timeout(Duration::MAX));
+        std::thread::sleep(Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! Gantt export ([`dlrm_trace::gantt`]) shows shard round-trips
 //! overlapping each other and the dense compute.
 
-use dlrm_model::graph::{ExecutionObserver, Operator};
+use dlrm_model::graph::{ExecutionObserver, Operator, RpcAttemptKind, RpcOutcome};
 use dlrm_model::OpGroup;
 use dlrm_trace::{RpcId, ServerId, Span, SpanKind, TraceCollector, TraceId};
 use std::time::Instant;
@@ -28,6 +28,9 @@ pub struct RpcTracingObserver {
     origin: Instant,
     trace: TraceId,
     next_rpc: u64,
+    rpc_retries: u64,
+    rpc_hedges: u64,
+    degraded_rpcs: u64,
     collector: TraceCollector,
 }
 
@@ -40,6 +43,9 @@ impl RpcTracingObserver {
             origin: Instant::now(),
             trace,
             next_rpc: 0,
+            rpc_retries: 0,
+            rpc_hedges: 0,
+            degraded_rpcs: 0,
             collector: TraceCollector::new(),
         }
     }
@@ -53,6 +59,24 @@ impl RpcTracingObserver {
     #[must_use]
     pub fn rpc_count(&self) -> u64 {
         self.next_rpc
+    }
+
+    /// Retry attempts across all RPCs observed so far.
+    #[must_use]
+    pub fn rpc_retries(&self) -> u64 {
+        self.rpc_retries
+    }
+
+    /// Hedge attempts across all RPCs observed so far.
+    #[must_use]
+    pub fn rpc_hedges(&self) -> u64 {
+        self.rpc_hedges
+    }
+
+    /// RPCs that settled in degraded mode (zero-embedding fallback).
+    #[must_use]
+    pub fn degraded_rpcs(&self) -> u64 {
+        self.degraded_rpcs
     }
 
     /// Closes the request with a [`SpanKind::RequestE2E`] span ending
@@ -114,6 +138,33 @@ impl ExecutionObserver for RpcTracingObserver {
             cpu: false,
         });
     }
+
+    fn on_rpc_outcome(&mut self, _net: &str, _op: &dyn Operator, outcome: &RpcOutcome) {
+        // Called right after on_rpc_collected, which already advanced
+        // the counter — the RPC being described is the previous one.
+        let rpc = RpcId(self.next_rpc.saturating_sub(1));
+        self.rpc_retries += u64::from(outcome.retries);
+        self.rpc_hedges += u64::from(outcome.hedges);
+        self.degraded_rpcs += u64::from(outcome.degraded);
+        for attempt in &outcome.attempts {
+            let kind = match attempt.kind {
+                // The primary attempt's window is the RpcOutstanding
+                // span recorded by on_rpc_collected.
+                RpcAttemptKind::Primary => continue,
+                RpcAttemptKind::Retry => SpanKind::RpcRetry(rpc),
+                RpcAttemptKind::Hedge => SpanKind::RpcHedge(rpc),
+            };
+            let start = self.ms_since_origin(attempt.issued_at);
+            self.collector.record(Span {
+                trace: self.trace,
+                server: ServerId::MAIN,
+                kind,
+                start,
+                duration: self.ms_since_origin(attempt.settled_at) - start,
+                cpu: false,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +225,55 @@ mod tests {
         let text = gantt::render(&collector, TraceId(1), 60);
         assert!(text.contains("outstanding"), "{text}");
         assert!(text.contains("request e2e"), "{text}");
+    }
+
+    #[test]
+    fn retry_attempts_recorded_as_spans() {
+        use crate::fault::{FaultAction, FaultPlan, ReplicaFaultSchedule};
+        use dlrm_sharding::RpcPolicy;
+
+        let mut spec = rm::rm1().scaled_to_bytes(2 << 20);
+        spec.mean_items_per_request = 8.0;
+        spec.default_batch_size = 4;
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = plan(&spec, &profile, ShardingStrategy::OneShard).unwrap();
+        let model = build_model(&spec, 3).unwrap();
+        let services: Vec<Arc<ShardService>> = p
+            .shards()
+            .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+            .collect();
+        // The shard's first request fails with an injected transient
+        // error; the resilient policy retries and succeeds.
+        let faults = FaultPlan::none().with(
+            0,
+            0,
+            ReplicaFaultSchedule::none().with(0, FaultAction::TransientError),
+        );
+        let pool = ThreadedShardPool::spawn_with_faults(services.clone(), Duration::ZERO, &faults);
+        let mut dist = partition_with_clients(model, &p, services, pool.clients()).unwrap();
+        assert!(dist.set_rpc_policy(RpcPolicy::resilient()) >= 1);
+
+        let db = TraceDb::generate(&spec, 1, 5);
+        let batch = &materialize_request(&spec, db.get(0), 4, 5)[0];
+        let mut ws = Workspace::new();
+        batch.load_into(&spec, &mut ws);
+        let mut obs = RpcTracingObserver::new(TraceId(2));
+        dist.run_overlapped(&mut ws, &mut obs).unwrap();
+        assert!(obs.rpc_retries() >= 1, "the injected fault forces a retry");
+        assert_eq!(obs.degraded_rpcs(), 0);
+        let collector = obs.finish();
+        pool.shutdown();
+
+        let retries: Vec<_> = collector
+            .spans()
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::RpcRetry(_)))
+            .collect();
+        assert!(!retries.is_empty());
+        assert!(retries.iter().all(|s| !s.cpu && s.duration >= 0.0));
+        // The retry window starts after the failed primary was issued.
+        let text = gantt::render(&collector, TraceId(2), 60);
+        assert!(text.contains("retry"), "{text}");
     }
 
     #[test]

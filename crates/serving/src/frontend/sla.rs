@@ -7,9 +7,23 @@
 //! is everything *offered*, not everything served.
 
 use super::queue::QueueStats;
-use dlrm_metrics::{PercentileSketch, Summary, TailPercentiles};
+use crate::replica::TransportSummary;
+use dlrm_metrics::{CauseCounts, PercentileSketch, Summary, TailPercentiles};
 use dlrm_tensor::Matrix;
 use dlrm_trace::TraceCollector;
+
+/// Maps an engine failure message to the stable cause vocabulary of
+/// [`dlrm_sharding::RpcError::kind`] (the typed error is stringified by
+/// the time it crosses the graph boundary as a `GraphError`). Failures
+/// that did not originate in the RPC taxonomy classify as `"engine"`.
+pub(crate) fn classify_failure(message: &str) -> &'static str {
+    for kind in ["timeout", "poisoned", "shard-fault", "transport"] {
+        if message.contains(kind) {
+            return kind;
+        }
+    }
+    "engine"
+}
 
 /// The measured timeline of one completed (or failed) request, all
 /// timestamps in milliseconds on the frontend clock.
@@ -33,6 +47,19 @@ pub struct RequestRecord {
     pub batch_seq: u64,
     /// How many requests rode in the same batch.
     pub batch_requests: usize,
+    /// Whether any RPC in the request's batch settled via the
+    /// zero-embedding degraded fallback — the predictions exist but were
+    /// computed without (some of) the sparse features.
+    pub degraded: bool,
+    /// RPC retry attempts during the batch this request rode in
+    /// (batch-level: shared by all members).
+    pub rpc_retries: u64,
+    /// RPC hedge attempts during the batch this request rode in
+    /// (batch-level: shared by all members).
+    pub rpc_hedges: u64,
+    /// Failure cause ([`classify_failure`] vocabulary) when the engine
+    /// failed the batch; `None` on success.
+    pub failure_cause: Option<&'static str>,
     /// The request's predictions; `None` if the engine failed.
     pub prediction: Option<Matrix>,
 }
@@ -79,6 +106,22 @@ pub struct FrontendReport {
     pub completed: u64,
     /// Admitted requests whose batch failed in the engine.
     pub failed: u64,
+    /// Completed requests served in degraded mode (zero-embedding
+    /// fallback for at least one shard RPC). A subset of `completed`.
+    pub degraded: u64,
+    /// Completed requests within the SLA window *and* not degraded.
+    pub sla_hit_count: u64,
+    /// Failed requests broken down by cause (`timeout`, `transport`,
+    /// `shard-fault`, `poisoned`, `engine`).
+    pub failed_by_cause: CauseCounts,
+    /// RPC retry attempts across all executed batches.
+    pub rpc_retries: u64,
+    /// RPC hedge attempts across all executed batches.
+    pub rpc_hedges: u64,
+    /// Replica-transport activity (failovers, ejections, probes,
+    /// recoveries), when the run used a replicated pool. Attached by the
+    /// caller after the run; `None` over non-replicated transports.
+    pub transport: Option<TransportSummary>,
     /// High-water mark of admission-queue depth.
     pub max_queue_depth: usize,
     /// The SLA window requests are judged against, milliseconds.
@@ -123,30 +166,55 @@ impl FrontendReport {
         let mut e2e = PercentileSketch::with_capacity(records.len());
         let mut predictions = Vec::new();
         let mut failed = 0u64;
+        let mut degraded = 0u64;
+        let mut sla_hit_count = 0u64;
+        let mut failed_by_cause = CauseCounts::new();
+        // Retry/hedge counters are batch-level (every member record of a
+        // batch carries the same totals), so dedupe by batch sequence.
+        let mut batch_attempts: std::collections::HashMap<u64, (u64, u64)> =
+            std::collections::HashMap::new();
         let mut batch_sizes: std::collections::HashMap<u64, usize> =
             std::collections::HashMap::new();
         let mut max_batch = 0usize;
         for mut r in records {
             batch_sizes.insert(r.batch_seq, r.batch_requests);
+            batch_attempts.insert(r.batch_seq, (r.rpc_retries, r.rpc_hedges));
             max_batch = max_batch.max(r.batch_requests);
             if let Some(prediction) = r.prediction.take() {
                 queue_wait.record(r.queue_wait_ms());
                 batch_wait.record(r.batch_wait_ms());
                 compute.record(r.compute_ms());
                 e2e.record(r.e2e_ms());
+                if r.degraded {
+                    degraded += 1;
+                } else if r.e2e_ms() < sla_ms {
+                    // Degraded responses never count as SLA hits: the
+                    // user got an answer, but not the model's answer.
+                    sla_hit_count += 1;
+                }
                 predictions.push((r.id, prediction));
             } else {
                 failed += 1;
+                failed_by_cause.record(r.failure_cause.unwrap_or("engine"));
             }
         }
         let batches = batch_sizes.len() as u64;
         let batched_requests: usize = batch_sizes.values().sum();
+        let (rpc_retries, rpc_hedges) = batch_attempts
+            .values()
+            .fold((0, 0), |(r, h), &(br, bh)| (r + br, h + bh));
         FrontendReport {
             offered: queue.offered,
             admitted: queue.admitted,
             shed: queue.shed,
             completed: predictions.len() as u64,
             failed,
+            degraded,
+            sla_hit_count,
+            failed_by_cause,
+            rpc_retries,
+            rpc_hedges,
+            transport: None,
             max_queue_depth: queue.max_depth,
             sla_ms,
             wall_ms,
@@ -166,13 +234,34 @@ impl FrontendReport {
         }
     }
 
-    /// Requests that completed within the SLA window.
+    /// Requests that completed within the SLA window, excluding
+    /// degraded responses (counted exactly at assembly).
     #[must_use]
     pub fn sla_hits(&self) -> u64 {
-        let frac = self.e2e_ms.fraction_below(self.sla_ms);
-        // fraction_below is exact over the completed samples, so this
-        // rounds an integer-valued product back to that integer.
-        (frac * self.completed as f64).round() as u64
+        self.sla_hit_count
+    }
+
+    /// Fraction of *offered* requests that received a response at all
+    /// (degraded or not): `completed / offered`. This is the
+    /// fault-tolerance figure of merit — distinct from the SLA hit
+    /// rate, which also demands timeliness and full fidelity. 1.0 when
+    /// nothing was offered.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.offered as f64
+    }
+
+    /// Fraction of completed requests served degraded (0.0 when nothing
+    /// completed).
+    #[must_use]
+    pub fn degraded_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.degraded as f64 / self.completed as f64
     }
 
     /// Fraction of *offered* requests that completed within the SLA —
@@ -210,6 +299,24 @@ impl std::fmt::Display for FrontendReport {
             f,
             "offered {} | admitted {} | shed {} | completed {} | failed {}",
             self.offered, self.admitted, self.shed, self.completed, self.failed
+        )?;
+        writeln!(
+            f,
+            "availability {:.4} | degraded {} ({:.4} of completed) | failed by cause: {}",
+            self.availability(),
+            self.degraded,
+            self.degraded_rate(),
+            self.failed_by_cause
+        )?;
+        writeln!(
+            f,
+            "rpc retries {} | rpc hedges {}{}",
+            self.rpc_retries,
+            self.rpc_hedges,
+            match &self.transport {
+                Some(t) => format!(" | transport: {t}"),
+                None => String::new(),
+            }
         )?;
         writeln!(
             f,
@@ -251,6 +358,10 @@ mod tests {
             exec_end_ms: e2e,
             batch_seq: id,
             batch_requests: 1,
+            degraded: false,
+            rpc_retries: 0,
+            rpc_hedges: 0,
+            failure_cause: (!ok).then_some("engine"),
             prediction: ok.then(|| Matrix::zeros(1, 1)),
         }
     }
@@ -283,6 +394,69 @@ mod tests {
         assert_eq!(report.latency_bounded_qps(), 5.0);
         assert_eq!(report.offered, report.admitted + report.shed);
         assert_eq!(report.completed + report.failed, report.admitted);
+        assert_eq!(report.availability(), 0.7);
+        assert_eq!(report.failed_by_cause.get("engine"), 1);
+        assert_eq!(report.failed_by_cause.total(), report.failed);
+    }
+
+    #[test]
+    fn degraded_responses_count_toward_availability_but_not_sla() {
+        // 4 offered/admitted: 2 fast+full, 1 fast+degraded, 1 failed
+        // with a classified cause.
+        let mut records = vec![rec(0, 5.0, true), rec(1, 5.0, true)];
+        let mut degraded = rec(2, 5.0, true);
+        degraded.degraded = true;
+        degraded.rpc_retries = 2;
+        degraded.rpc_hedges = 1;
+        records.push(degraded);
+        let mut failed = rec(3, 5.0, false);
+        failed.failure_cause = Some(classify_failure(
+            "op sparse0: timeout on sparse shard 0: no reply within 1ms",
+        ));
+        records.push(failed);
+        let report = FrontendReport::assemble(stats(4, 4), records, 10.0, 1000.0);
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.degraded, 1);
+        assert_eq!(report.availability(), 0.75);
+        assert_eq!(report.degraded_rate(), 1.0 / 3.0);
+        // The degraded response arrived in time but is not a hit.
+        assert_eq!(report.sla_hits(), 2);
+        assert_eq!(report.failed_by_cause.get("timeout"), 1);
+        assert_eq!(report.rpc_retries, 2);
+        assert_eq!(report.rpc_hedges, 1);
+        let text = report.to_string();
+        for needle in ["availability", "degraded", "timeout=1", "retries 2"] {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+    }
+
+    #[test]
+    fn batch_level_attempt_counters_dedupe_by_batch_seq() {
+        // Three requests riding the same batch each carry the batch's
+        // totals; the report must count them once.
+        let mut records: Vec<RequestRecord> = (0..3).map(|i| rec(i, 5.0, true)).collect();
+        for r in &mut records {
+            r.batch_seq = 42;
+            r.batch_requests = 3;
+            r.rpc_retries = 4;
+            r.rpc_hedges = 2;
+        }
+        let report = FrontendReport::assemble(stats(3, 3), records, 10.0, 100.0);
+        assert_eq!(report.rpc_retries, 4);
+        assert_eq!(report.rpc_hedges, 2);
+        assert_eq!(report.batches, 1);
+    }
+
+    #[test]
+    fn failure_classification_vocabulary() {
+        assert_eq!(classify_failure("timeout on sparse3: ..."), "timeout");
+        assert_eq!(classify_failure("transport error on sparse0: down"), "transport");
+        assert_eq!(classify_failure("shard-fault on sparse1: not hosted"), "shard-fault");
+        assert_eq!(
+            classify_failure("poisoned on sparse2: worker panicked: boom"),
+            "poisoned"
+        );
+        assert_eq!(classify_failure("blob missing"), "engine");
     }
 
     #[test]

@@ -88,6 +88,13 @@ fn run_batch(
     let mut obs = RpcTracingObserver::new(lead_trace);
     let result = model.run_overlapped(&mut ws, &mut obs);
     let exec_end = Instant::now();
+    let batch_retries = obs.rpc_retries();
+    let batch_hedges = obs.rpc_hedges();
+    let batch_degraded = obs.degraded_rpcs() > 0;
+    let failure_cause = result
+        .as_ref()
+        .err()
+        .map(|e| super::sla::classify_failure(&e.to_string()));
     let engine_spans = obs.finish();
 
     let predictions: Option<Vec<_>> = result.ok().map(|m| {
@@ -120,6 +127,10 @@ fn run_batch(
             exec_end_ms,
             batch_seq: seq,
             batch_requests,
+            degraded: batch_degraded,
+            rpc_retries: batch_retries,
+            rpc_hedges: batch_hedges,
+            failure_cause,
             prediction: predictions.as_ref().map(|p| p[i].clone()),
         };
         let t = TraceId(id);

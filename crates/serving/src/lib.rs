@@ -33,9 +33,11 @@ mod cluster;
 mod cost;
 pub mod engine_trace;
 pub mod experiment;
+pub mod fault;
 pub mod frontend;
 pub mod local;
 pub mod paging;
+pub mod replica;
 pub mod threaded;
 mod platform;
 pub mod replication;

@@ -1,0 +1,710 @@
+//! Live replica groups with failover, health tracking, and probing.
+//!
+//! §VII-C of the paper plans *replication* for sparse shards: a QPS
+//! target is met by running each shard on several servers. The
+//! [`crate::replication`] module sizes those replica sets on paper;
+//! this module makes them real. [`ReplicatedShardPool`] spawns one
+//! worker thread per (shard, replica) — every replica of a shard
+//! serving the same [`ShardService`] — and [`ReplicatedClient`] is the
+//! connection the partitioned graph sees: one logical client per shard
+//! that round-robins across healthy replicas, fails over when a replica
+//! errors or its worker dies, ejects replicas after consecutive
+//! failures, and probes ejected replicas back to health. Together with
+//! the retry/hedge policy in `dlrm_sharding::rpc`, this is the
+//! transport that keeps availability up when individual replicas crash.
+
+use crate::channel::Sender;
+use crate::fault::FaultPlan;
+use crate::threaded::{spawn_worker, RpcStats, ShardRpcSummary, ThreadedClient, WorkerMsg};
+use dlrm_metrics::CauseCounts;
+use dlrm_sharding::rpc::{
+    RpcCompletion, RpcError, ShardRequest, ShardResponse, SparseShardClient, WaitOutcome,
+};
+use dlrm_sharding::{ShardId, ShardService};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// When a replica is ejected from rotation and when it is probed back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive retryable failures before the replica is ejected.
+    pub eject_after: u32,
+    /// How long an ejected replica sits out before one probe request is
+    /// allowed through (half-open circuit).
+    pub probe_after: Duration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self {
+            eject_after: 3,
+            probe_after: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Mutable health state of one replica.
+#[derive(Debug, Default)]
+struct HealthState {
+    consecutive_failures: u32,
+    /// `Some` while ejected; the instant the ejection (or last failed
+    /// probe) happened, which starts the probe timer.
+    ejected_at: Option<Instant>,
+}
+
+/// Shared per-replica health record.
+#[derive(Debug, Default)]
+struct ReplicaHealth {
+    state: Mutex<HealthState>,
+}
+
+/// What the selection pass decided about a replica.
+#[derive(Debug, PartialEq, Eq)]
+enum Selection {
+    /// In rotation.
+    Healthy,
+    /// Ejected, but its probe timer expired: let one request through.
+    Probe,
+    /// Ejected and not yet due for a probe.
+    Skip,
+}
+
+impl ReplicaHealth {
+    fn try_select(&self, now: Instant, policy: &HealthPolicy) -> Selection {
+        let mut s = self.state.lock().expect("replica health lock");
+        match s.ejected_at {
+            None => Selection::Healthy,
+            Some(at) if now.duration_since(at) >= policy.probe_after => {
+                // Restart the timer so concurrent callers don't
+                // stampede an unhealthy replica with probes.
+                s.ejected_at = Some(now);
+                Selection::Probe
+            }
+            Some(_) => Selection::Skip,
+        }
+    }
+
+    fn record_success(&self, counters: &TransportCounters) {
+        let mut s = self.state.lock().expect("replica health lock");
+        s.consecutive_failures = 0;
+        if s.ejected_at.take().is_some() {
+            counters.recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn record_failure(&self, policy: &HealthPolicy, counters: &TransportCounters) {
+        let mut s = self.state.lock().expect("replica health lock");
+        s.consecutive_failures = s.consecutive_failures.saturating_add(1);
+        if s.ejected_at.is_none() && s.consecutive_failures >= policy.eject_after {
+            s.ejected_at = Some(Instant::now());
+            counters.ejections.fetch_add(1, Ordering::Relaxed);
+        } else if s.ejected_at.is_some() {
+            // A failed probe: restart the sit-out timer.
+            s.ejected_at = Some(Instant::now());
+        }
+    }
+
+    fn is_ejected(&self) -> bool {
+        self.state
+            .lock()
+            .expect("replica health lock")
+            .ejected_at
+            .is_some()
+    }
+}
+
+/// Shared failover/health counters for the whole pool.
+#[derive(Debug, Default)]
+struct TransportCounters {
+    failovers: AtomicU64,
+    ejections: AtomicU64,
+    probes: AtomicU64,
+    recoveries: AtomicU64,
+    errors: Mutex<CauseCounts>,
+}
+
+impl TransportCounters {
+    fn record_error(&self, kind: &str) {
+        self.errors.lock().expect("transport counters lock").record(kind);
+    }
+}
+
+/// A snapshot of the pool's failover and health activity, attached to
+/// serving reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportSummary {
+    /// Requests that were issued to a later candidate because earlier
+    /// replicas in rotation were ejected or refused the send.
+    pub failovers: u64,
+    /// Replicas ejected from rotation after consecutive failures.
+    pub ejections: u64,
+    /// Probe requests let through to ejected replicas.
+    pub probes: u64,
+    /// Ejected replicas restored to rotation by a successful reply.
+    pub recoveries: u64,
+    /// Replica-level errors observed, by [`RpcError::kind`].
+    pub errors_by_kind: CauseCounts,
+}
+
+impl std::fmt::Display for TransportSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "failovers={} ejections={} probes={} recoveries={} errors: {}",
+            self.failovers, self.ejections, self.probes, self.recoveries, self.errors_by_kind
+        )
+    }
+}
+
+/// One replica's server side, as held by the pool.
+#[derive(Debug)]
+struct ReplicaSeat {
+    tx: Sender<WorkerMsg>,
+    stats: Arc<RpcStats>,
+    health: Arc<ReplicaHealth>,
+}
+
+/// All replicas of one shard.
+#[derive(Debug)]
+struct Group {
+    shard: ShardId,
+    replicas: Vec<ReplicaSeat>,
+}
+
+/// A pool of shard worker threads with `replicas ≥ 1` workers per
+/// shard, every replica of a shard serving the same (shared, stateless)
+/// [`ShardService`]. The [`clients`](ReplicatedShardPool::clients) are
+/// [`ReplicatedClient`]s that spread load and fail over inside each
+/// replica set.
+#[derive(Debug)]
+pub struct ReplicatedShardPool {
+    groups: Vec<Group>,
+    handles: Vec<JoinHandle<()>>,
+    counters: Arc<TransportCounters>,
+    policy: HealthPolicy,
+}
+
+impl ReplicatedShardPool {
+    /// Spawns `replicas_per_shard` workers for every service.
+    #[must_use]
+    pub fn spawn(
+        services: Vec<Arc<ShardService>>,
+        replicas_per_shard: usize,
+        delay: Duration,
+        faults: &FaultPlan,
+        policy: HealthPolicy,
+    ) -> Self {
+        let counts = vec![replicas_per_shard; services.len()];
+        Self::spawn_per_shard(services, &counts, delay, faults, policy)
+    }
+
+    /// Spawns `counts[i]` replica workers for the i-th service (at
+    /// least one each) — the shape a
+    /// [`crate::replication::ReplicationPlan`]'s `shard_replicas`
+    /// prescribes. Fault schedules are looked up in `faults` by
+    /// `(service index, replica index)`; `delay` is a uniform injected
+    /// service delay as in
+    /// [`ThreadedShardPool::spawn_with_delay`](crate::threaded::ThreadedShardPool::spawn_with_delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` differs from `services.len()`.
+    #[must_use]
+    pub fn spawn_per_shard(
+        services: Vec<Arc<ShardService>>,
+        counts: &[usize],
+        delay: Duration,
+        faults: &FaultPlan,
+        policy: HealthPolicy,
+    ) -> Self {
+        assert_eq!(
+            counts.len(),
+            services.len(),
+            "one replica count per shard service"
+        );
+        let mut groups = Vec::with_capacity(services.len());
+        let mut handles = Vec::new();
+        for (index, service) in services.into_iter().enumerate() {
+            let shard = service.shard_id();
+            let replicas = counts[index].max(1);
+            let mut seats = Vec::with_capacity(replicas);
+            for r in 0..replicas {
+                let schedule = faults.schedule(index, r).cloned().unwrap_or_default();
+                let (tx, stats, handle) = spawn_worker(
+                    Arc::clone(&service),
+                    delay,
+                    schedule,
+                    format!("{shard}r{r}"),
+                );
+                seats.push(ReplicaSeat {
+                    tx,
+                    stats,
+                    health: Arc::new(ReplicaHealth::default()),
+                });
+                handles.push(handle);
+            }
+            groups.push(Group {
+                shard,
+                replicas: seats,
+            });
+        }
+        Self {
+            groups,
+            handles,
+            counters: Arc::new(TransportCounters::default()),
+            policy,
+        }
+    }
+
+    /// One [`ReplicatedClient`] per shard for the partitioner, ordered
+    /// by [`ShardId`].
+    #[must_use]
+    pub fn clients(&self) -> Vec<Arc<dyn SparseShardClient>> {
+        self.groups
+            .iter()
+            .map(|g| {
+                Arc::new(ReplicatedClient {
+                    shard: g.shard,
+                    replicas: g
+                        .replicas
+                        .iter()
+                        .map(|seat| ReplicaConn {
+                            client: ThreadedClient::new(
+                                g.shard,
+                                seat.tx.clone(),
+                                Arc::clone(&seat.stats),
+                            ),
+                            health: Arc::clone(&seat.health),
+                        })
+                        .collect(),
+                    next: AtomicUsize::new(0),
+                    policy: self.policy,
+                    counters: Arc::clone(&self.counters),
+                }) as Arc<dyn SparseShardClient>
+            })
+            .collect()
+    }
+
+    /// Replica counts per shard, in [`ShardId`] order.
+    #[must_use]
+    pub fn replica_counts(&self) -> Vec<usize> {
+        self.groups.iter().map(|g| g.replicas.len()).collect()
+    }
+
+    /// Snapshot of failover/ejection/probe/recovery activity.
+    #[must_use]
+    pub fn transport_summary(&self) -> TransportSummary {
+        TransportSummary {
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+            ejections: self.counters.ejections.load(Ordering::Relaxed),
+            probes: self.counters.probes.load(Ordering::Relaxed),
+            recoveries: self.counters.recoveries.load(Ordering::Relaxed),
+            errors_by_kind: self
+                .counters
+                .errors
+                .lock()
+                .expect("transport counters lock")
+                .clone(),
+        }
+    }
+
+    /// Per-replica RPC instrumentation, flattened in (shard, replica)
+    /// order; the `shard` field repeats for each replica of a shard.
+    #[must_use]
+    pub fn replica_rpc_summaries(&self) -> Vec<ShardRpcSummary> {
+        self.groups
+            .iter()
+            .flat_map(|g| g.replicas.iter().map(|seat| seat.stats.summarize(g.shard)))
+            .collect()
+    }
+
+    /// Current ejection state per replica: `(shard, replica index,
+    /// ejected)` in (shard, replica) order.
+    #[must_use]
+    pub fn replica_states(&self) -> Vec<(ShardId, usize, bool)> {
+        self.groups
+            .iter()
+            .flat_map(|g| {
+                g.replicas
+                    .iter()
+                    .enumerate()
+                    .map(|(r, seat)| (g.shard, r, seat.health.is_ejected()))
+            })
+            .collect()
+    }
+
+    /// Total worker threads across all replica sets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the pool has no workers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Stops every replica worker and joins it (queued envelopes are
+    /// drained, as in the single-replica pool).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        for group in self.groups.drain(..) {
+            for seat in group.replicas {
+                let _ = seat.tx.send(WorkerMsg::Stop);
+            }
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One replica as seen from the client side.
+#[derive(Debug)]
+struct ReplicaConn {
+    client: ThreadedClient,
+    health: Arc<ReplicaHealth>,
+}
+
+/// The logical per-shard client: round-robins requests across healthy
+/// replicas, fails over past ejected or refusing replicas, and feeds
+/// reply outcomes back into the health records. Retry/backoff and
+/// hedging live one layer up, in the `SparseRpc` policy — each
+/// `begin_execute` here issues exactly one attempt to one replica, and
+/// because the round-robin pointer advances per call, a retry or hedge
+/// naturally lands on a *different* replica.
+#[derive(Debug)]
+pub struct ReplicatedClient {
+    shard: ShardId,
+    replicas: Vec<ReplicaConn>,
+    next: AtomicUsize,
+    policy: HealthPolicy,
+    counters: Arc<TransportCounters>,
+}
+
+impl SparseShardClient for ReplicatedClient {
+    fn shard_id(&self) -> ShardId {
+        self.shard
+    }
+
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, RpcError> {
+        self.begin_execute(request)?.wait()
+    }
+
+    fn begin_execute(&self, request: &ShardRequest) -> Result<Box<dyn RpcCompletion>, RpcError> {
+        let n = self.replicas.len();
+        if n == 0 {
+            return Err(RpcError::Transport {
+                shard: self.shard,
+                message: "replica group is empty".to_string(),
+            });
+        }
+        let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
+        let now = Instant::now();
+        let mut bypassed: u64 = 0;
+        let mut last_err: Option<RpcError> = None;
+        for i in 0..n {
+            let idx = (start + i) % n;
+            let conn = &self.replicas[idx];
+            match conn.health.try_select(now, &self.policy) {
+                Selection::Skip => {
+                    bypassed += 1;
+                    continue;
+                }
+                Selection::Probe => {
+                    self.counters.probes.fetch_add(1, Ordering::Relaxed);
+                }
+                Selection::Healthy => {}
+            }
+            match self.issue_on(conn, request, bypassed) {
+                Ok(tracked) => return Ok(tracked),
+                Err(e) => {
+                    last_err = Some(e);
+                    bypassed += 1;
+                }
+            }
+        }
+        if last_err.is_none() {
+            // Every replica is ejected and none is due for a probe.
+            // Force one anyway: with the whole set down, sitting out
+            // the probe timer only converts requests that might succeed
+            // into guaranteed failures.
+            let conn = &self.replicas[start];
+            self.counters.probes.fetch_add(1, Ordering::Relaxed);
+            match self.issue_on(conn, request, bypassed) {
+                Ok(tracked) => return Ok(tracked),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one issue attempt was made"))
+    }
+}
+
+impl ReplicatedClient {
+    /// Issues one attempt on `conn`; on success wraps the completion so
+    /// the reply outcome feeds the replica's health record. A send-side
+    /// refusal (worker dead) is charged to the replica immediately.
+    fn issue_on(
+        &self,
+        conn: &ReplicaConn,
+        request: &ShardRequest,
+        bypassed: u64,
+    ) -> Result<Box<dyn RpcCompletion>, RpcError> {
+        match conn.client.begin_execute(request) {
+            Ok(inner) => {
+                if bypassed > 0 {
+                    self.counters.failovers.fetch_add(bypassed, Ordering::Relaxed);
+                }
+                Ok(Box::new(TrackedCompletion {
+                    inner: Some(inner),
+                    health: Arc::clone(&conn.health),
+                    policy: self.policy,
+                    counters: Arc::clone(&self.counters),
+                }))
+            }
+            Err(e) => {
+                conn.health.record_failure(&self.policy, &self.counters);
+                self.counters.record_error(e.kind());
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Wraps a replica's completion so the eventual reply (or its absence)
+/// updates that replica's health record and the pool counters.
+struct TrackedCompletion {
+    inner: Option<Box<dyn RpcCompletion>>,
+    health: Arc<ReplicaHealth>,
+    policy: HealthPolicy,
+    counters: Arc<TransportCounters>,
+}
+
+impl TrackedCompletion {
+    fn observe(&self, result: &Result<ShardResponse, RpcError>) {
+        match result {
+            Ok(_) => self.health.record_success(&self.counters),
+            Err(e) => {
+                // A ShardFault is a deterministic application-level
+                // rejection — the replica itself is healthy.
+                if e.is_retryable() {
+                    self.health.record_failure(&self.policy, &self.counters);
+                }
+                self.counters.record_error(e.kind());
+            }
+        }
+    }
+}
+
+impl RpcCompletion for TrackedCompletion {
+    fn wait(mut self: Box<Self>) -> Result<ShardResponse, RpcError> {
+        let result = self.inner.take().expect("completion waited twice").wait();
+        self.observe(&result);
+        result
+    }
+
+    fn wait_deadline(mut self: Box<Self>, deadline: Instant) -> WaitOutcome {
+        match self
+            .inner
+            .take()
+            .expect("completion waited twice")
+            .wait_deadline(deadline)
+        {
+            WaitOutcome::Ready(result) => {
+                self.observe(&result);
+                WaitOutcome::Ready(result)
+            }
+            WaitOutcome::Pending(inner) => {
+                self.inner = Some(inner);
+                WaitOutcome::Pending(self)
+            }
+        }
+    }
+
+    fn abandon_timed_out(mut self: Box<Self>) {
+        // The caller's deadline passed with no reply: charge the
+        // replica, unlike dropping a losing hedge (plain drop).
+        self.health.record_failure(&self.policy, &self.counters);
+        self.counters.record_error("timeout");
+        if let Some(inner) = self.inner.take() {
+            inner.abandon_timed_out();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultAction, ReplicaFaultSchedule};
+    use dlrm_model::{build_model, rm, ModelSpec};
+    use dlrm_sharding::{plan, ShardingStrategy};
+    use dlrm_workload::PoolingProfile;
+
+    fn toy_spec() -> ModelSpec {
+        let mut s = rm::rm1().scaled_to_bytes(2 << 20);
+        s.mean_items_per_request = 12.0;
+        s.default_batch_size = 6;
+        s
+    }
+
+    fn one_shard_services() -> Vec<Arc<ShardService>> {
+        let spec = toy_spec();
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = plan(&spec, &profile, ShardingStrategy::OneShard).unwrap();
+        let model = build_model(&spec, 1).unwrap();
+        p.shards()
+            .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+            .collect()
+    }
+
+    fn empty_request() -> ShardRequest {
+        ShardRequest {
+            net: dlrm_model::NetId(0),
+            slices: vec![],
+        }
+    }
+
+    #[test]
+    fn spreads_requests_across_replicas() {
+        let pool = ReplicatedShardPool::spawn(
+            one_shard_services(),
+            3,
+            Duration::ZERO,
+            &FaultPlan::none(),
+            HealthPolicy::default(),
+        );
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.replica_counts(), vec![3]);
+        let clients = pool.clients();
+        for _ in 0..9 {
+            assert!(clients[0].execute(&empty_request()).is_ok());
+        }
+        let per_replica = pool.replica_rpc_summaries();
+        assert_eq!(per_replica.len(), 3);
+        for s in &per_replica {
+            assert_eq!(s.calls, 3, "round robin should balance: {s}");
+        }
+        assert_eq!(pool.transport_summary(), TransportSummary::default());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn fails_over_past_a_crashed_replica() {
+        // Replica 0 crashes on its first request; every subsequent call
+        // must succeed by failing over to replica 1.
+        let faults = FaultPlan::none().with(0, 0, ReplicaFaultSchedule::crash_at(0));
+        let pool = ReplicatedShardPool::spawn(
+            one_shard_services(),
+            2,
+            Duration::ZERO,
+            &faults,
+            HealthPolicy {
+                eject_after: 1,
+                probe_after: Duration::from_secs(3600),
+            },
+        );
+        let clients = pool.clients();
+        let mut failures = 0;
+        for _ in 0..12 {
+            if clients[0].execute(&empty_request()).is_err() {
+                failures += 1;
+            }
+        }
+        // Only the crash victim itself may fail; after the dead worker
+        // is detected the client routes around it.
+        assert!(failures <= 1, "failures={failures}");
+        let summary = pool.transport_summary();
+        assert!(summary.failovers > 0, "{summary}");
+        assert!(summary.ejections >= 1, "{summary}");
+        let states = pool.replica_states();
+        assert!(states.iter().any(|(_, r, ejected)| *r == 0 && *ejected));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn probe_recovers_a_transiently_bad_replica() {
+        // Replica 0 serves two injected transient errors, gets ejected
+        // (eject_after=2), then — after the probe window — a probe
+        // succeeds and restores it to rotation.
+        let faults = FaultPlan::none().with(
+            0,
+            0,
+            ReplicaFaultSchedule::none()
+                .with(0, FaultAction::TransientError)
+                .with(1, FaultAction::TransientError),
+        );
+        let pool = ReplicatedShardPool::spawn(
+            one_shard_services(),
+            2,
+            Duration::ZERO,
+            &faults,
+            HealthPolicy {
+                eject_after: 2,
+                probe_after: Duration::from_millis(5),
+            },
+        );
+        let clients = pool.clients();
+        // Drive enough traffic to trip both injected errors (the other
+        // replica absorbs the rest via failover/rotation).
+        for _ in 0..8 {
+            let _ = clients[0].execute(&empty_request());
+        }
+        assert!(
+            pool.replica_states().iter().any(|(_, _, e)| *e),
+            "replica 0 should be ejected"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        for _ in 0..8 {
+            assert!(clients[0].execute(&empty_request()).is_ok());
+        }
+        let summary = pool.transport_summary();
+        assert!(summary.probes >= 1, "{summary}");
+        assert!(summary.recoveries >= 1, "{summary}");
+        assert!(
+            pool.replica_states().iter().all(|(_, _, e)| !*e),
+            "replica 0 should be back in rotation"
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn total_outage_yields_retryable_transport_errors() {
+        // Both replicas crash immediately: every call must fail with a
+        // *retryable* error (so the policy layer can degrade), never
+        // hang, and never panic.
+        let faults = FaultPlan::none()
+            .with(0, 0, ReplicaFaultSchedule::crash_at(0))
+            .with(0, 1, ReplicaFaultSchedule::crash_at(0));
+        let pool = ReplicatedShardPool::spawn(
+            one_shard_services(),
+            2,
+            Duration::ZERO,
+            &faults,
+            HealthPolicy {
+                eject_after: 1,
+                probe_after: Duration::from_millis(1),
+            },
+        );
+        let clients = pool.clients();
+        let mut saw_error = false;
+        for _ in 0..10 {
+            match clients[0].execute(&empty_request()) {
+                Ok(_) => {}
+                Err(e) => {
+                    saw_error = true;
+                    assert!(e.is_retryable(), "{e}");
+                }
+            }
+        }
+        assert!(saw_error);
+        let summary = pool.transport_summary();
+        assert!(summary.errors_by_kind.get("transport") > 0, "{summary}");
+        pool.shutdown();
+    }
+}

@@ -9,10 +9,19 @@
 //! so concurrent batch execution ([`crate::local`]) genuinely overlaps
 //! shard work — the asynchronous parallelism of Fig. 3 with actual OS
 //! concurrency rather than a simulator.
+//!
+//! Workers are fault-aware: each consults a
+//! [`ReplicaFaultSchedule`](crate::fault::ReplicaFaultSchedule) by
+//! request ordinal (latency spikes, dropped replies, injected transient
+//! errors, panics, hard crashes), and panics while serving are caught
+//! and surfaced as [`RpcError::Poisoned`] instead of killing the worker.
 
-use crate::channel::{bounded, unbounded, Receiver, Sender};
+use crate::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::fault::{FaultAction, FaultPlan, ReplicaFaultSchedule};
 use dlrm_metrics::{Histogram, Summary};
-use dlrm_sharding::rpc::{RpcCompletion, ShardRequest, ShardResponse, SparseShardClient};
+use dlrm_sharding::rpc::{
+    RpcCompletion, RpcError, ShardRequest, ShardResponse, SparseShardClient, WaitOutcome,
+};
 use dlrm_sharding::{ShardId, ShardService};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -20,13 +29,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// One in-flight RPC: the request plus the reply channel.
-struct Envelope {
+pub(crate) struct Envelope {
     request: ShardRequest,
-    reply: Sender<Result<ShardResponse, String>>,
+    reply: Sender<Result<ShardResponse, RpcError>>,
 }
 
 /// A message to a shard worker: a call, or an orderly stop.
-enum WorkerMsg {
+pub(crate) enum WorkerMsg {
     Call(Envelope),
     Stop,
 }
@@ -37,7 +46,7 @@ const LATENCY_SUB_BUCKETS: usize = 16;
 /// Per-shard RPC instrumentation shared between the client handles and
 /// the pool: round-trip latency and concurrency watermark.
 #[derive(Debug)]
-struct RpcStats {
+pub(crate) struct RpcStats {
     /// RPCs currently issued and not yet collected.
     in_flight: AtomicUsize,
     /// High-watermark of `in_flight` — >1 proves calls overlapped.
@@ -47,7 +56,7 @@ struct RpcStats {
 }
 
 impl RpcStats {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             in_flight: AtomicUsize::new(0),
             max_in_flight: AtomicUsize::new(0),
@@ -69,6 +78,20 @@ impl RpcStats {
         let mut guard = self.latency_ms.lock().expect("rpc stats lock");
         guard.0.record(ms);
         guard.1.record(ms);
+    }
+
+    /// Snapshot as a [`ShardRpcSummary`] for `shard`.
+    pub(crate) fn summarize(&self, shard: ShardId) -> ShardRpcSummary {
+        let guard = self.latency_ms.lock().expect("rpc stats lock");
+        ShardRpcSummary {
+            shard,
+            calls: guard.1.count(),
+            mean_ms: guard.1.mean(),
+            p50_ms: guard.0.quantile(0.5),
+            p99_ms: guard.0.quantile(0.99),
+            max_ms: guard.1.max(),
+            max_in_flight: self.max_in_flight.load(Ordering::SeqCst),
+        }
     }
 }
 
@@ -106,6 +129,25 @@ impl std::fmt::Display for ShardRpcSummary {
             self.max_in_flight
         )
     }
+}
+
+/// Spawns one shard worker thread serving `service` with the given
+/// injected base `delay` and fault schedule. Shared between
+/// [`ThreadedShardPool`] (one worker per shard) and the replicated pool
+/// (one worker per replica of each shard).
+pub(crate) fn spawn_worker(
+    service: Arc<ShardService>,
+    delay: Duration,
+    faults: ReplicaFaultSchedule,
+    thread_name: String,
+) -> (Sender<WorkerMsg>, Arc<RpcStats>, JoinHandle<()>) {
+    let (tx, rx) = unbounded::<WorkerMsg>();
+    let stats = Arc::new(RpcStats::new());
+    let handle = std::thread::Builder::new()
+        .name(thread_name)
+        .spawn(move || worker_loop(&service, &rx, delay, &faults))
+        .expect("spawn shard worker");
+    (tx, stats, handle)
 }
 
 /// A pool of shard worker threads, one per sparse shard.
@@ -155,15 +197,30 @@ impl ThreadedShardPool {
     /// the overlap scheduler pays ≈ one `delay`).
     #[must_use]
     pub fn spawn_with_delay(services: Vec<Arc<ShardService>>, delay: Duration) -> Self {
+        Self::spawn_with_faults(services, delay, &FaultPlan::none())
+    }
+
+    /// Spawns one worker thread per service with an injected fault
+    /// plan. Each shard's worker runs the plan's schedule for replica 0
+    /// of that shard (a plain pool has exactly one replica per shard;
+    /// the replicated pool consults every replica index).
+    #[must_use]
+    pub fn spawn_with_faults(
+        services: Vec<Arc<ShardService>>,
+        delay: Duration,
+        faults: &FaultPlan,
+    ) -> Self {
         let mut senders = Vec::with_capacity(services.len());
         let mut handles = Vec::with_capacity(services.len());
-        for service in services {
-            let (tx, rx) = unbounded::<WorkerMsg>();
-            senders.push((service.shard_id(), tx, Arc::new(RpcStats::new())));
-            let handle = std::thread::Builder::new()
-                .name(format!("{}", service.shard_id()))
-                .spawn(move || worker_loop(&service, &rx, delay))
-                .expect("spawn shard worker");
+        for (index, service) in services.into_iter().enumerate() {
+            let shard = service.shard_id();
+            let schedule = faults
+                .schedule(index, 0)
+                .cloned()
+                .unwrap_or_default();
+            let (tx, stats, handle) =
+                spawn_worker(service, delay, schedule, format!("{shard}"));
+            senders.push((shard, tx, stats));
             handles.push(handle);
         }
         Self { senders, handles }
@@ -175,11 +232,8 @@ impl ThreadedShardPool {
         self.senders
             .iter()
             .map(|(shard, tx, stats)| {
-                Arc::new(ThreadedClient {
-                    shard: *shard,
-                    tx: tx.clone(),
-                    stats: Arc::clone(stats),
-                }) as Arc<dyn SparseShardClient>
+                Arc::new(ThreadedClient::new(*shard, tx.clone(), Arc::clone(stats)))
+                    as Arc<dyn SparseShardClient>
             })
             .collect()
     }
@@ -190,18 +244,7 @@ impl ThreadedShardPool {
     pub fn rpc_summaries(&self) -> Vec<ShardRpcSummary> {
         self.senders
             .iter()
-            .map(|(shard, _, stats)| {
-                let guard = stats.latency_ms.lock().expect("rpc stats lock");
-                ShardRpcSummary {
-                    shard: *shard,
-                    calls: guard.1.count(),
-                    mean_ms: guard.1.mean(),
-                    p50_ms: guard.0.quantile(0.5),
-                    p99_ms: guard.0.quantile(0.99),
-                    max_ms: guard.1.max(),
-                    max_in_flight: stats.max_in_flight.load(Ordering::SeqCst),
-                }
-            })
+            .map(|(shard, _, stats)| stats.summarize(*shard))
             .collect()
     }
 
@@ -238,21 +281,84 @@ impl ThreadedShardPool {
     }
 }
 
+/// Stringifies a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The shard worker's service loop: serve calls until a stop arrives or
-/// every client is gone, then drain what is already queued.
-fn worker_loop(service: &ShardService, rx: &Receiver<WorkerMsg>, delay: Duration) {
-    let serve = |envelope: Envelope| {
+/// every client is gone, then drain what is already queued. Faults from
+/// `faults` are injected by request ordinal; a
+/// [`FaultAction::Crash`] kills the worker outright (queued and future
+/// requests fail as transport errors). Panics while serving — injected
+/// or organic — are caught and returned as [`RpcError::Poisoned`].
+fn worker_loop(
+    service: &ShardService,
+    rx: &Receiver<WorkerMsg>,
+    delay: Duration,
+    faults: &ReplicaFaultSchedule,
+) {
+    let mut ordinal: u64 = 0;
+    // Serves one envelope; `false` means the worker crashed.
+    let mut serve = |envelope: Envelope| -> bool {
+        let action = faults.action_at(ordinal);
+        ordinal += 1;
+        if action == Some(FaultAction::Crash) {
+            // Hard crash before serving: the envelope's reply sender is
+            // dropped (caller sees a transport loss) and the worker
+            // dies, so every later send to this replica fails too.
+            return false;
+        }
         if !delay.is_zero() {
             std::thread::sleep(delay);
         }
-        let result = service.execute(&envelope.request);
+        match action {
+            Some(FaultAction::Delay(spike)) => std::thread::sleep(spike),
+            Some(FaultAction::DropReply) => {
+                // Serve, then lose the reply: the caller's receive sees
+                // a disconnect, exactly like a connection reset after
+                // the request was accepted.
+                let _ = service.execute(&envelope.request);
+                return true;
+            }
+            Some(FaultAction::TransientError) => {
+                let _ = envelope.reply.send(Err(RpcError::Transport {
+                    shard: service.shard_id(),
+                    message: "injected transient fault".to_string(),
+                }));
+                return true;
+            }
+            _ => {}
+        }
+        let inject_panic = action == Some(FaultAction::Panic);
+        let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            assert!(!inject_panic, "injected worker panic");
+            service.execute(&envelope.request)
+        }));
+        let result = served.unwrap_or_else(|payload| {
+            Err(RpcError::Poisoned {
+                shard: service.shard_id(),
+                message: panic_message(payload.as_ref()),
+            })
+        });
         // A dropped reply channel means the caller gave up; nothing to
         // do (stateless).
         let _ = envelope.reply.send(result);
+        true
     };
     loop {
         match rx.recv() {
-            Ok(WorkerMsg::Call(envelope)) => serve(envelope),
+            Ok(WorkerMsg::Call(envelope)) => {
+                if !serve(envelope) {
+                    return; // crashed: no drain, queued envelopes die
+                }
+            }
             // Stop: drain envelopes that raced in behind the stop
             // message so issued-but-uncollected RPCs still complete.
             Ok(WorkerMsg::Stop) => break,
@@ -261,7 +367,9 @@ fn worker_loop(service: &ShardService, rx: &Receiver<WorkerMsg>, delay: Duration
         }
     }
     while let Ok(WorkerMsg::Call(envelope)) = rx.try_recv() {
-        serve(envelope);
+        if !serve(envelope) {
+            return;
+        }
     }
 }
 
@@ -273,22 +381,45 @@ pub struct ThreadedClient {
     stats: Arc<RpcStats>,
 }
 
+impl ThreadedClient {
+    pub(crate) fn new(shard: ShardId, tx: Sender<WorkerMsg>, stats: Arc<RpcStats>) -> Self {
+        Self { shard, tx, stats }
+    }
+}
+
 /// An RPC sent to a shard worker whose reply has not been received yet.
 struct ThreadedCompletion {
     shard: ShardId,
-    reply_rx: Receiver<Result<ShardResponse, String>>,
+    reply_rx: Receiver<Result<ShardResponse, RpcError>>,
     stats: Arc<RpcStats>,
     issued_at: Instant,
     settled: bool,
 }
 
-impl RpcCompletion for ThreadedCompletion {
-    fn wait(mut self: Box<Self>) -> Result<ShardResponse, String> {
-        let received = self.reply_rx.recv();
+impl ThreadedCompletion {
+    fn settle(&mut self, received: Result<Result<ShardResponse, RpcError>, ()>) -> Result<ShardResponse, RpcError> {
         self.stats.record_latency(self.issued_at.elapsed());
         self.stats.on_settle();
         self.settled = true;
-        received.map_err(|_| format!("{} worker dropped the request", self.shard))?
+        received.map_err(|()| RpcError::Transport {
+            shard: self.shard,
+            message: "worker dropped the request".to_string(),
+        })?
+    }
+}
+
+impl RpcCompletion for ThreadedCompletion {
+    fn wait(mut self: Box<Self>) -> Result<ShardResponse, RpcError> {
+        let received = self.reply_rx.recv().map_err(|_| ());
+        self.settle(received)
+    }
+
+    fn wait_deadline(mut self: Box<Self>, deadline: Instant) -> WaitOutcome {
+        match self.reply_rx.recv_deadline(deadline) {
+            Ok(result) => WaitOutcome::Ready(self.settle(Ok(result))),
+            Err(RecvTimeoutError::Timeout) => WaitOutcome::Pending(self),
+            Err(RecvTimeoutError::Disconnected) => WaitOutcome::Ready(self.settle(Err(()))),
+        }
     }
 }
 
@@ -306,11 +437,11 @@ impl SparseShardClient for ThreadedClient {
         self.shard
     }
 
-    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, String> {
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, RpcError> {
         self.begin_execute(request)?.wait()
     }
 
-    fn begin_execute(&self, request: &ShardRequest) -> Result<Box<dyn RpcCompletion>, String> {
+    fn begin_execute(&self, request: &ShardRequest) -> Result<Box<dyn RpcCompletion>, RpcError> {
         let (reply_tx, reply_rx) = bounded(1);
         let issued_at = Instant::now();
         self.tx
@@ -318,7 +449,10 @@ impl SparseShardClient for ThreadedClient {
                 request: request.clone(),
                 reply: reply_tx,
             }))
-            .map_err(|_| format!("{} worker is down", self.shard))?;
+            .map_err(|_| RpcError::Transport {
+                shard: self.shard,
+                message: "worker is down".to_string(),
+            })?;
         self.stats.on_issue();
         Ok(Box::new(ThreadedCompletion {
             shard: self.shard,
@@ -360,6 +494,23 @@ mod tests {
         let pool = ThreadedShardPool::spawn(services.clone());
         let dist = partition_with_clients(model, &p, services, pool.clients()).unwrap();
         (dist, pool)
+    }
+
+    fn one_shard_pool_with_faults(faults: &FaultPlan) -> (ThreadedShardPool, ShardRequest) {
+        let spec = toy_spec();
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = plan(&spec, &profile, ShardingStrategy::OneShard).unwrap();
+        let model = build_model(&spec, 1).unwrap();
+        let services: Vec<Arc<ShardService>> = p
+            .shards()
+            .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+            .collect();
+        let pool = ThreadedShardPool::spawn_with_faults(services, Duration::ZERO, faults);
+        let request = ShardRequest {
+            net: dlrm_model::NetId(0),
+            slices: vec![],
+        };
+        (pool, request)
     }
 
     #[test]
@@ -407,24 +558,14 @@ mod tests {
 
     #[test]
     fn client_reports_dead_worker() {
-        let spec = toy_spec();
-        let profile = PoolingProfile::from_spec(&spec);
-        let p = plan(&spec, &profile, ShardingStrategy::OneShard).unwrap();
-        let model = build_model(&spec, 1).unwrap();
-        let services: Vec<Arc<ShardService>> = p
-            .shards()
-            .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
-            .collect();
-        let pool = ThreadedShardPool::spawn(services);
+        let (pool, request) = one_shard_pool_with_faults(&FaultPlan::none());
         let clients = pool.clients();
         pool.shutdown();
-        let err = clients[0]
-            .execute(&dlrm_sharding::rpc::ShardRequest {
-                net: dlrm_model::NetId(0),
-                slices: vec![],
-            })
-            .unwrap_err();
-        assert!(err.contains("down") || err.contains("dropped"), "{err}");
+        let err = clients[0].execute(&request).unwrap_err();
+        assert!(matches!(err, RpcError::Transport { .. }), "{err}");
+        assert!(err.is_retryable());
+        let msg = err.to_string();
+        assert!(msg.contains("down") || msg.contains("dropped"), "{msg}");
     }
 
     #[test]
@@ -483,7 +624,8 @@ mod tests {
         assert!(pending_b.wait().is_ok());
         // New calls after shutdown fail cleanly.
         let err = clients[0].execute(&request).unwrap_err();
-        assert!(err.contains("down") || err.contains("dropped"), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("down") || msg.contains("dropped"), "{msg}");
     }
 
     #[test]
@@ -505,6 +647,110 @@ mod tests {
             assert!(s.max_in_flight >= 1, "{s}");
             // Display formatting exercised (surfaced in run summaries).
             assert!(format!("{s}").contains("calls="));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn worker_panic_is_caught_as_poisoned_error() {
+        // Regression: a panic inside the shard worker must not kill the
+        // worker or poison the pool — it surfaces as a typed
+        // RpcError::Poisoned carrying the shard id, and the worker keeps
+        // serving subsequent requests.
+        use crate::fault::ReplicaFaultSchedule;
+        let plan = FaultPlan::none()
+            .with(0, 0, ReplicaFaultSchedule::none().with(0, FaultAction::Panic));
+        let (pool, request) = one_shard_pool_with_faults(&plan);
+        let clients = pool.clients();
+        let err = clients[0].execute(&request).unwrap_err();
+        match &err {
+            RpcError::Poisoned { shard, message } => {
+                assert_eq!(*shard, clients[0].shard_id());
+                assert!(message.contains("injected worker panic"), "{message}");
+            }
+            other => panic!("expected Poisoned, got {other}"),
+        }
+        assert!(err.is_retryable());
+        assert_eq!(err.kind(), "poisoned");
+        // The worker survived the panic and serves the next call.
+        assert!(clients[0].execute(&request).is_ok());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn crashed_worker_fails_queued_and_future_calls() {
+        let plan = FaultPlan::none().with(0, 0, ReplicaFaultSchedule::crash_at(0));
+        let (pool, request) = one_shard_pool_with_faults(&plan);
+        let clients = pool.clients();
+        // The crash victim's reply is lost: transport error, retryable.
+        let err = clients[0].execute(&request).unwrap_err();
+        assert!(matches!(err, RpcError::Transport { .. }), "{err}");
+        assert!(err.is_retryable());
+        // Wait for the worker thread to die, then sends fail outright.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match clients[0].execute(&request) {
+                Err(RpcError::Transport { message, .. }) if message.contains("down") => break,
+                Err(_) | Ok(_) => {
+                    assert!(Instant::now() < deadline, "worker never died");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        drop(pool); // must not hang joining the dead worker
+    }
+
+    #[test]
+    fn injected_transient_fault_then_recovery() {
+        let plan = FaultPlan::none().with(
+            0,
+            0,
+            ReplicaFaultSchedule::none().with(0, FaultAction::TransientError),
+        );
+        let (pool, request) = one_shard_pool_with_faults(&plan);
+        let clients = pool.clients();
+        let err = clients[0].execute(&request).unwrap_err();
+        assert_eq!(err.kind(), "transport");
+        assert!(err.to_string().contains("injected transient fault"));
+        assert!(clients[0].execute(&request).is_ok());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn dropped_reply_surfaces_as_transport_loss() {
+        let plan = FaultPlan::none().with(
+            0,
+            0,
+            ReplicaFaultSchedule::none().with(0, FaultAction::DropReply),
+        );
+        let (pool, request) = one_shard_pool_with_faults(&plan);
+        let clients = pool.clients();
+        let err = clients[0].execute(&request).unwrap_err();
+        assert!(matches!(err, RpcError::Transport { .. }), "{err}");
+        assert!(err.to_string().contains("dropped"), "{err}");
+        assert!(clients[0].execute(&request).is_ok());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn wait_deadline_returns_pending_then_ready() {
+        let plan = FaultPlan::none().with(
+            0,
+            0,
+            ReplicaFaultSchedule::none().with(0, FaultAction::Delay(Duration::from_millis(50))),
+        );
+        let (pool, request) = one_shard_pool_with_faults(&plan);
+        let clients = pool.clients();
+        let completion = clients[0].begin_execute(&request).unwrap();
+        // Deadline in the near past: the slow reply cannot be there yet.
+        let pending = match completion.wait_deadline(Instant::now()) {
+            WaitOutcome::Pending(p) => p,
+            WaitOutcome::Ready(r) => panic!("50ms reply arrived instantly: {r:?}"),
+        };
+        // A generous deadline settles it.
+        match pending.wait_deadline(Instant::now() + Duration::from_secs(10)) {
+            WaitOutcome::Ready(r) => assert!(r.is_ok(), "{r:?}"),
+            WaitOutcome::Pending(_) => panic!("reply never arrived"),
         }
         pool.shutdown();
     }

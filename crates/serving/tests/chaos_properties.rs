@@ -1,0 +1,292 @@
+//! Chaos properties: the fault-tolerant transport under seeded fault
+//! plans must stay *correct*, not merely available.
+//!
+//! Three properties, each driven by deterministic [`FaultPlan`]s:
+//!
+//! 1. **Bit-exactness** — completions that did not degrade are
+//!    bit-identical to a fault-free run. Failover, retries and crashed
+//!    replicas may change *which* replica answers, never *what* it
+//!    answers (every replica of a shard serves the same
+//!    [`ShardService`]).
+//! 2. **Determinism** — the same fault seed reproduces the same
+//!    per-request outcome sequence (completed / degraded / retry
+//!    counts), run to run, with wall-clock-sensitive knobs (attempt
+//!    deadlines, hedging, ejection) disabled.
+//! 3. **Accounting** — the frontend's identities close under faults:
+//!    `offered == admitted + shed`, `completed + failed == admitted`,
+//!    one prediction per completion (retries and hedges never
+//!    double-count), and the degraded/availability figures are
+//!    consistent with the counts they summarize.
+
+use dlrm_model::graph::NoopObserver;
+use dlrm_model::{build_model, ModelSpec, Workspace};
+use dlrm_serving::engine_trace::RpcTracingObserver;
+use dlrm_serving::fault::{FaultPlan, FaultSpec};
+use dlrm_serving::frontend::{materialize_frontend_requests, run_frontend, FrontendConfig};
+use dlrm_serving::replica::{HealthPolicy, ReplicatedShardPool};
+use dlrm_sharding::{
+    partition, partition_with_clients, plan, DistributedModel, RpcPolicy, ShardService,
+    ShardingStrategy,
+};
+use dlrm_tensor::Matrix;
+use dlrm_trace::TraceId;
+use dlrm_workload::{materialize_request, ArrivalSchedule, BatchInputs, PoolingProfile, TraceDb};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 41;
+
+fn chaos_spec() -> ModelSpec {
+    let mut spec = dlrm_model::rm::rm1().scaled_to_bytes(1 << 20);
+    spec.mean_items_per_request = 6.0;
+    spec.default_batch_size = 4;
+    spec
+}
+
+fn services_for(
+    spec: &ModelSpec,
+    shards: usize,
+) -> (dlrm_sharding::ShardingPlan, Vec<Arc<ShardService>>) {
+    let profile = PoolingProfile::from_spec(spec);
+    let p = plan(spec, &profile, ShardingStrategy::CapacityBalanced(shards)).expect("plan");
+    let model = build_model(spec, SEED).expect("build");
+    let services: Vec<Arc<ShardService>> = p
+        .shards()
+        .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+        .collect();
+    (p, services)
+}
+
+/// A policy whose outcomes depend only on the fault schedule, never the
+/// wall clock: no per-attempt deadline, no hedging, fallback on.
+fn deterministic_policy() -> RpcPolicy {
+    RpcPolicy {
+        attempt_timeout: None,
+        max_attempts: 4,
+        backoff_base: Duration::from_micros(100),
+        backoff_cap: Duration::from_millis(1),
+        hedge_after: None,
+        degraded_fallback: true,
+    }
+}
+
+/// Health knobs that never eject: ejection/probe timing is wall-clock,
+/// so the determinism properties pin rotation to pure round-robin.
+fn no_ejection() -> HealthPolicy {
+    HealthPolicy {
+        eject_after: u32::MAX,
+        probe_after: Duration::from_secs(3600),
+    }
+}
+
+fn request_inputs(spec: &ModelSpec, n: usize) -> Vec<BatchInputs> {
+    let db = TraceDb::generate(spec, n, SEED);
+    (0..n)
+        .map(|i| {
+            materialize_request(spec, db.get(i), usize::MAX, SEED ^ 9)
+                .into_iter()
+                .next()
+                .expect("one engine batch per request")
+        })
+        .collect()
+}
+
+/// One closed-loop pass: each request run to completion in order.
+/// Returns `(prediction, degraded rpc count, retry count)` per request.
+fn closed_loop(
+    dist: &DistributedModel,
+    inputs: &[BatchInputs],
+) -> Vec<(Option<Matrix>, u64, u64)> {
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(i, inputs)| {
+            let mut ws = Workspace::new();
+            inputs.load_into(&dist.spec, &mut ws);
+            let mut obs = RpcTracingObserver::new(TraceId(i as u64));
+            let out = dist.run_overlapped(&mut ws, &mut obs).ok();
+            (out, obs.degraded_rpcs(), obs.rpc_retries())
+        })
+        .collect()
+}
+
+#[test]
+fn non_degraded_completions_are_bit_exact_under_faults() {
+    let spec = chaos_spec();
+    let inputs = request_inputs(&spec, 16);
+
+    // Fault-free baseline through the in-process transport.
+    let (p, _) = services_for(&spec, 2);
+    let baseline_dist = partition(build_model(&spec, SEED).expect("build"), &p).expect("partition");
+    let baseline: Vec<Matrix> = inputs
+        .iter()
+        .map(|inp| {
+            let mut ws = Workspace::new();
+            inp.load_into(&spec, &mut ws);
+            baseline_dist
+                .run_overlapped(&mut ws, &mut NoopObserver)
+                .expect("fault-free run")
+        })
+        .collect();
+
+    // Chaos run: 2 replicas per shard under a sampled fault plan with
+    // a deliberately high crash rate.
+    let (p, services) = services_for(&spec, 2);
+    let faults = FaultPlan::sample(
+        SEED ^ 0xC4A0,
+        services.len(),
+        2,
+        &FaultSpec {
+            crash_prob: 0.5,
+            ..FaultSpec::default()
+        },
+    );
+    let pool = ReplicatedShardPool::spawn(
+        services.clone(),
+        2,
+        Duration::ZERO,
+        &faults,
+        no_ejection(),
+    );
+    let mut dist =
+        partition_with_clients(build_model(&spec, SEED).expect("build"), &p, services, pool.clients())
+            .expect("partition");
+    assert!(dist.set_rpc_policy(deterministic_policy()) >= 1);
+
+    let outcomes = closed_loop(&dist, &inputs);
+    pool.shutdown();
+
+    let mut clean = 0;
+    for (i, (out, degraded, _)) in outcomes.iter().enumerate() {
+        let Some(out) = out else { continue };
+        if *degraded > 0 {
+            // Zero-embedding fallback: allowed to differ.
+            continue;
+        }
+        assert_eq!(out, &baseline[i], "request {i} diverged without degrading");
+        clean += 1;
+    }
+    // The plan must not have degraded everything, or the property is
+    // vacuous — with 2 replicas per shard most requests survive.
+    assert!(clean >= 8, "only {clean}/16 non-degraded completions");
+}
+
+#[test]
+fn same_fault_seed_reproduces_per_request_outcomes() {
+    let spec = chaos_spec();
+    let inputs = request_inputs(&spec, 12);
+
+    let run = || {
+        let (p, services) = services_for(&spec, 2);
+        let faults = FaultPlan::sample(
+            SEED ^ 0xFA11,
+            services.len(),
+            2,
+            &FaultSpec {
+                crash_prob: 0.4,
+                transient_prob: 0.1,
+                drop_prob: 0.05,
+                ..FaultSpec::default()
+            },
+        );
+        let pool = ReplicatedShardPool::spawn(
+            services.clone(),
+            2,
+            Duration::ZERO,
+            &faults,
+            no_ejection(),
+        );
+        let mut dist = partition_with_clients(
+            build_model(&spec, SEED).expect("build"),
+            &p,
+            services,
+            pool.clients(),
+        )
+        .expect("partition");
+        assert!(dist.set_rpc_policy(deterministic_policy()) >= 1);
+        let outcomes: Vec<(bool, u64, u64)> = closed_loop(&dist, &inputs)
+            .into_iter()
+            .map(|(out, degraded, retries)| (out.is_some(), degraded, retries))
+            .collect();
+        pool.shutdown();
+        outcomes
+    };
+
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "same fault seed must reproduce the same outcome sequence"
+    );
+    // The schedule must actually bite, or determinism is trivial.
+    assert!(
+        first.iter().any(|(_, d, r)| *d > 0 || *r > 0),
+        "fault plan injected nothing observable: {first:?}"
+    );
+}
+
+#[test]
+fn frontend_accounting_identities_hold_under_faults() {
+    let spec = chaos_spec();
+    let (p, services) = services_for(&spec, 2);
+    let faults = FaultPlan::sample(
+        SEED ^ 0xACC7,
+        services.len(),
+        2,
+        &FaultSpec {
+            crash_prob: 0.5,
+            transient_prob: 0.05,
+            ..FaultSpec::default()
+        },
+    );
+    let pool = ReplicatedShardPool::spawn(
+        services.clone(),
+        2,
+        Duration::ZERO,
+        &faults,
+        HealthPolicy::default(),
+    );
+    let mut dist =
+        partition_with_clients(build_model(&spec, SEED).expect("build"), &p, services, pool.clients())
+            .expect("partition");
+    assert!(dist.set_rpc_policy(RpcPolicy::resilient()) >= 1);
+
+    let db = TraceDb::generate(&spec, 20, SEED ^ 4);
+    let requests = materialize_frontend_requests(&spec, &db, SEED ^ 5);
+    let n = requests.len();
+    let schedule = ArrivalSchedule::poisson(n, 1500.0, SEED ^ 6);
+    let cfg = FrontendConfig {
+        queue_capacity: n,
+        max_batch_requests: 4,
+        batch_timeout: Duration::from_millis(2),
+        sla: Duration::from_millis(250),
+        workers: 2,
+    };
+    let mut report = run_frontend(&dist, requests, &schedule, &cfg);
+    report.transport = Some(pool.transport_summary());
+    pool.shutdown();
+
+    assert_eq!(report.offered, n as u64);
+    assert_eq!(report.offered, report.admitted + report.shed);
+    assert_eq!(report.completed + report.failed, report.admitted);
+    // Retries/hedges add attempts, never completions: exactly one
+    // prediction per completed request, all ids distinct.
+    assert_eq!(report.predictions.len(), report.completed as usize);
+    let mut ids: Vec<u64> = report.predictions.iter().map(|(id, _)| *id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), report.completed as usize, "duplicate completions");
+    assert!(report.degraded <= report.completed);
+    assert!(report.sla_hits() <= report.completed - report.degraded);
+    assert_eq!(report.failed_by_cause.total(), report.failed);
+    let availability = report.availability();
+    assert!((0.0..=1.0).contains(&availability));
+    assert!(
+        (availability - report.completed as f64 / report.offered as f64).abs() < 1e-12,
+        "availability must be completed/offered"
+    );
+    // The report renders, including the transport summary line.
+    let text = report.to_string();
+    assert!(text.contains("availability"), "{text}");
+    assert!(text.contains("transport:"), "{text}");
+}

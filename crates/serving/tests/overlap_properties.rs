@@ -9,7 +9,7 @@
 use dlrm_model::graph::NoopObserver;
 use dlrm_model::{build_model, ModelSpec, NetId, NetSpec, TableId, TableSpec, Workspace};
 use dlrm_serving::threaded::ThreadedShardPool;
-use dlrm_sharding::rpc::{ShardRequest, ShardResponse, SparseShardClient};
+use dlrm_sharding::rpc::{RpcError, ShardRequest, ShardResponse, SparseShardClient};
 use dlrm_sharding::{
     partition, partition_with_clients, plan, InProcessClient, ShardId, ShardService,
     ShardingStrategy,
@@ -162,15 +162,23 @@ impl SparseShardClient for FailingClient {
     fn shard_id(&self) -> ShardId {
         self.shard
     }
-    fn execute(&self, _request: &ShardRequest) -> Result<ShardResponse, String> {
-        Err("injected shard failure".into())
+    fn execute(&self, _request: &ShardRequest) -> Result<ShardResponse, RpcError> {
+        // A deterministic shard-side rejection: not retryable, so the
+        // default policy surfaces it directly.
+        Err(RpcError::ShardFault {
+            shard: self.shard,
+            message: "injected shard failure".to_string(),
+        })
     }
     fn begin_execute(
         &self,
         request: &ShardRequest,
-    ) -> Result<Box<dyn dlrm_sharding::rpc::RpcCompletion>, String> {
+    ) -> Result<Box<dyn dlrm_sharding::rpc::RpcCompletion>, RpcError> {
         if self.fail_at_issue {
-            return Err("injected transport failure".into());
+            return Err(RpcError::Transport {
+                shard: self.shard,
+                message: "injected transport failure".to_string(),
+            });
         }
         // Defer the failure to collect, like a real shard-side error.
         Ok(Box::new(dlrm_sharding::rpc::ReadyResponse(

@@ -47,6 +47,7 @@ mod shard_service;
 mod strategy;
 
 pub use partition::{partition, partition_with_clients, DistributedModel, PartitionError};
+pub use rpc::{RpcError, RpcPolicy};
 pub use plan::{Location, ShardId, ShardingPlan, TablePlacement};
 pub use planner::{plan, PlanError};
 pub use shard_service::{InProcessClient, ShardService};

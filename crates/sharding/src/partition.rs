@@ -115,6 +115,24 @@ impl DistributedModel {
         counts
     }
 
+    /// Applies one fault-tolerance [`RpcPolicy`] to every [`SparseRpc`]
+    /// operator across all nets (via the [`Operator::as_any_mut`]
+    /// downcast hook), and returns how many operators were configured.
+    /// Call after partitioning, before serving.
+    pub fn set_rpc_policy(&mut self, policy: crate::rpc::RpcPolicy) -> usize {
+        let mut configured = 0;
+        for net in &mut self.nets {
+            for op in net.ops_mut() {
+                let Some(any) = op.as_any_mut() else { continue };
+                if let Some(rpc) = any.downcast_mut::<SparseRpc>() {
+                    rpc.set_policy(policy);
+                    configured += 1;
+                }
+            }
+        }
+        configured
+    }
+
     /// Number of RPC operators across all nets — one RPC issued per
     /// operator per batch, the quantity compute overhead is proportional
     /// to (§VI-C1).
@@ -241,6 +259,7 @@ pub fn partition_with_clients(
                     output_blob,
                     parts,
                     part,
+                    dim: spec.table(table_id).dim as usize,
                 });
             }
             if parts > 1 {

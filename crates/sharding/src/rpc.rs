@@ -6,16 +6,116 @@
 //! shard and receives the pooled embedding vectors back. This module
 //! defines those request/response types, the client abstraction (so the
 //! same operator runs against an in-process shard, a thread-backed
-//! shard, or the simulator's cost model), and the [`SparseRpc`] graph
-//! operator itself.
+//! shard, or the simulator's cost model), the typed [`RpcError`]
+//! taxonomy, the per-RPC [`RpcPolicy`] (deadline, capped-backoff
+//! retries, tail hedging, degraded fallback), and the [`SparseRpc`]
+//! graph operator itself.
 
 use crate::plan::ShardId;
 use dlrm_model::graph::{
-    AsyncOperator, Blob, GraphError, Operator, PendingOp, SparseInput, Workspace,
+    AsyncOperator, Blob, GraphError, Operator, PendingOp, RpcAttempt, RpcAttemptKind, RpcOutcome,
+    SparseInput, Workspace,
 };
 use dlrm_model::{NetId, OpGroup, TableId};
 use dlrm_tensor::Matrix;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a shard RPC failed — the typed taxonomy the whole transport
+/// stack speaks (replacing stringly errors). Retry policy hangs off the
+/// classification: [`RpcError::is_retryable`] is `true` for everything
+/// except [`RpcError::ShardFault`], which is a deterministic
+/// application-level rejection that would fail identically on any
+/// replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The reply did not arrive within the attempt deadline.
+    Timeout {
+        /// The shard that was called.
+        shard: ShardId,
+        /// How long the caller waited before giving up.
+        waited: Duration,
+    },
+    /// The transport could not deliver the request or lost the reply
+    /// (worker down, connection dropped, reply channel closed).
+    Transport {
+        /// The shard that was called.
+        shard: ShardId,
+        /// Human-readable transport detail.
+        message: String,
+    },
+    /// The shard rejected the request (unknown table, out-of-range
+    /// index): deterministic, *not* retryable.
+    ShardFault {
+        /// The shard that rejected the request.
+        shard: ShardId,
+        /// The rejection message.
+        message: String,
+    },
+    /// The shard worker panicked while serving the request. The service
+    /// is stateless (§III-A1), so a retry — on this or another replica —
+    /// is safe.
+    Poisoned {
+        /// The shard whose worker panicked.
+        shard: ShardId,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl RpcError {
+    /// The shard the failing call addressed.
+    #[must_use]
+    pub fn shard(&self) -> ShardId {
+        match *self {
+            RpcError::Timeout { shard, .. }
+            | RpcError::Transport { shard, .. }
+            | RpcError::ShardFault { shard, .. }
+            | RpcError::Poisoned { shard, .. } => shard,
+        }
+    }
+
+    /// Whether retrying (possibly on another replica) can succeed.
+    /// Timeouts, transport losses and panics are environmental;
+    /// shard faults are deterministic rejections.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, RpcError::ShardFault { .. })
+    }
+
+    /// Stable short classification, used as the failure-by-cause key in
+    /// serving reports.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RpcError::Timeout { .. } => "timeout",
+            RpcError::Transport { .. } => "transport",
+            RpcError::ShardFault { .. } => "shard-fault",
+            RpcError::Poisoned { .. } => "poisoned",
+        }
+    }
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Timeout { shard, waited } => {
+                write!(f, "timeout on {shard}: no reply within {waited:?}")
+            }
+            RpcError::Transport { shard, message } => {
+                write!(f, "transport error on {shard}: {message}")
+            }
+            RpcError::ShardFault { shard, message } => {
+                write!(f, "shard-fault on {shard}: {message}")
+            }
+            RpcError::Poisoned { shard, message } => {
+                write!(f, "poisoned on {shard}: worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
 
 /// The lookups destined for one table (or one row-partition of a table)
 /// on one shard. Indices are already *local* to the shard: for a table
@@ -78,7 +178,8 @@ impl ShardResponse {
 ///
 /// Implementations: [`crate::InProcessClient`] (direct call, used for
 /// correctness verification) and the serving crate's thread-backed
-/// client (real concurrency).
+/// client (real concurrency) and replicated client (failover across a
+/// replica set).
 pub trait SparseShardClient: std::fmt::Debug + Send + Sync {
     /// The shard this client reaches.
     fn shard_id(&self) -> ShardId;
@@ -87,9 +188,9 @@ pub trait SparseShardClient: std::fmt::Debug + Send + Sync {
     ///
     /// # Errors
     ///
-    /// A human-readable message when the shard rejects the request
-    /// (unknown table, out-of-range index).
-    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, String>;
+    /// A typed [`RpcError`] when the shard rejects the request or the
+    /// transport fails.
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, RpcError>;
 
     /// Starts one request without waiting for the reply, returning a
     /// completion handle — the transport half of the asynchronous RPC
@@ -101,12 +202,22 @@ pub trait SparseShardClient: std::fmt::Debug + Send + Sync {
     ///
     /// # Errors
     ///
-    /// A human-readable message when the request cannot be sent at all
+    /// A typed [`RpcError`] when the request cannot be sent at all
     /// (transport down). Shard-side failures may instead surface from
     /// [`RpcCompletion::wait`].
-    fn begin_execute(&self, request: &ShardRequest) -> Result<Box<dyn RpcCompletion>, String> {
+    fn begin_execute(&self, request: &ShardRequest) -> Result<Box<dyn RpcCompletion>, RpcError> {
         Ok(Box::new(ReadyResponse(self.execute(request))))
     }
+}
+
+/// What a bounded wait on an [`RpcCompletion`] produced: either the
+/// settled call, or the still-pending completion handed back so the
+/// caller can keep waiting (or race it against a hedge).
+pub enum WaitOutcome {
+    /// The call settled (reply or error).
+    Ready(Result<ShardResponse, RpcError>),
+    /// The deadline passed first; the completion is returned untouched.
+    Pending(Box<dyn RpcCompletion>),
 }
 
 /// A shard RPC that has been sent but whose response has not been
@@ -117,18 +228,104 @@ pub trait RpcCompletion: Send {
     ///
     /// # Errors
     ///
-    /// A human-readable message when the shard rejected the request or
-    /// the transport died while the call was in flight.
-    fn wait(self: Box<Self>) -> Result<ShardResponse, String>;
+    /// A typed [`RpcError`] when the shard rejected the request or the
+    /// transport died while the call was in flight.
+    fn wait(self: Box<Self>) -> Result<ShardResponse, RpcError>;
+
+    /// Blocks until the response arrives or `deadline` passes,
+    /// whichever happens first. The default implementation ignores the
+    /// deadline and waits — correct for completions that already hold
+    /// their result; real transports override it.
+    fn wait_deadline(self: Box<Self>, _deadline: Instant) -> WaitOutcome {
+        WaitOutcome::Ready(self.wait())
+    }
+
+    /// Notifies the transport that the caller is giving up on this call
+    /// because its deadline passed (as opposed to dropping a losing
+    /// hedge whose replica is healthy). Replica-aware transports use
+    /// this to debit the replica's health. Default: plain drop.
+    fn abandon_timed_out(self: Box<Self>) {}
 }
 
 /// An [`RpcCompletion`] that already holds its result — what the default
 /// synchronous [`SparseShardClient::begin_execute`] returns.
-pub struct ReadyResponse(pub Result<ShardResponse, String>);
+pub struct ReadyResponse(pub Result<ShardResponse, RpcError>);
 
 impl RpcCompletion for ReadyResponse {
-    fn wait(self: Box<Self>) -> Result<ShardResponse, String> {
+    fn wait(self: Box<Self>) -> Result<ShardResponse, RpcError> {
         self.0
+    }
+}
+
+/// Per-RPC fault-tolerance policy: attempt deadline, retry budget with
+/// capped exponential backoff, straggler hedging, and degraded
+/// fallback. The default is the pre-fault-tolerance behavior: one
+/// attempt, no deadline, fail hard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcPolicy {
+    /// Per-attempt reply deadline (`None` = wait forever).
+    pub attempt_timeout: Option<Duration>,
+    /// Total transmission budget (primary + retries + hedges), ≥ 1.
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Issue a duplicate attempt if the primary has not settled within
+    /// this delay (first reply wins). `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// When every attempt is exhausted on a retryable error, substitute
+    /// zero embeddings for this RPC's outputs and mark the result
+    /// degraded instead of failing the request.
+    pub degraded_fallback: bool,
+}
+
+impl Default for RpcPolicy {
+    fn default() -> Self {
+        Self {
+            attempt_timeout: None,
+            max_attempts: 1,
+            backoff_base: Duration::from_micros(500),
+            backoff_cap: Duration::from_millis(20),
+            hedge_after: None,
+            degraded_fallback: false,
+        }
+    }
+}
+
+impl RpcPolicy {
+    /// A production-shaped policy: 3 attempts under a 1s per-attempt
+    /// deadline with capped backoff and degraded fallback, no hedging.
+    #[must_use]
+    pub fn resilient() -> Self {
+        Self {
+            attempt_timeout: Some(Duration::from_secs(1)),
+            max_attempts: 3,
+            backoff_base: Duration::from_micros(500),
+            backoff_cap: Duration::from_millis(20),
+            hedge_after: None,
+            degraded_fallback: true,
+        }
+    }
+
+    /// Derives the hedge delay from an observed p99 round-trip (the
+    /// paper's tail-at-scale recipe: duplicate only the straggler tail).
+    /// Clamped below by 100µs so a cold/zero estimate cannot hedge
+    /// every call.
+    #[must_use]
+    pub fn with_hedge_from_p99_ms(mut self, p99_ms: f64) -> Self {
+        let us = (p99_ms * 1e3).max(100.0);
+        self.hedge_after = Some(Duration::from_micros(us as u64));
+        self
+    }
+
+    /// Backoff before retry number `retry` (1-based): base × 2^(retry−1),
+    /// capped.
+    #[must_use]
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = retry.saturating_sub(1).min(16);
+        let raw = self.backoff_base.saturating_mul(1u32 << exp);
+        raw.min(self.backoff_cap)
     }
 }
 
@@ -145,6 +342,10 @@ pub struct RpcFetch {
     pub parts: usize,
     /// Which partition this shard serves.
     pub part: usize,
+    /// Embedding dimension of the table — the width of the pooled
+    /// output, needed to shape the zero-fallback matrix when every
+    /// replica is down.
+    pub dim: usize,
 }
 
 /// The RPC operator inserted by the partitioner: gathers this shard's
@@ -160,10 +361,11 @@ pub struct SparseRpc {
     net: NetId,
     client: Arc<dyn SparseShardClient>,
     fetches: Vec<RpcFetch>,
+    policy: RpcPolicy,
 }
 
 impl SparseRpc {
-    /// Creates an RPC operator.
+    /// Creates an RPC operator with the default (fail-hard) policy.
     ///
     /// # Panics
     ///
@@ -182,7 +384,20 @@ impl SparseRpc {
             net,
             client,
             fetches,
+            policy: RpcPolicy::default(),
         }
+    }
+
+    /// Replaces the fault-tolerance policy.
+    pub fn set_policy(&mut self, policy: RpcPolicy) {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        self.policy = policy;
+    }
+
+    /// The active fault-tolerance policy.
+    #[must_use]
+    pub fn policy(&self) -> &RpcPolicy {
+        &self.policy
     }
 
     /// The shard this operator calls.
@@ -218,51 +433,354 @@ impl SparseRpc {
     /// Issue half of the operator: builds the request from the
     /// workspace and sends it without waiting for the reply.
     ///
+    /// When the send itself fails with a retryable error and the policy
+    /// has attempts or a degraded fallback left, the failure is
+    /// *deferred* to the collect half (which owns the retry loop)
+    /// instead of failing the whole run at issue time.
+    ///
     /// # Errors
     ///
-    /// Propagates missing/mistyped input blobs and send-time transport
-    /// failures.
+    /// Propagates missing/mistyped input blobs, and send-time transport
+    /// failures the policy cannot absorb.
     pub fn begin(&self, ws: &Workspace) -> Result<PendingSparseRpc, GraphError> {
         let request = self.build_request(ws)?;
-        let completion =
-            self.client
-                .begin_execute(&request)
-                .map_err(|message| GraphError::OpFailed {
-                    op: self.name.clone(),
-                    message,
-                })?;
+        let (attempt, first_error) = match self.client.begin_execute(&request) {
+            Ok(completion) => (
+                Some(InFlightAttempt {
+                    completion,
+                    issued_at: Instant::now(),
+                    kind: RpcAttemptKind::Primary,
+                }),
+                None,
+            ),
+            Err(e) => {
+                let absorbable =
+                    e.is_retryable() && (self.policy.max_attempts > 1 || self.policy.degraded_fallback);
+                if !absorbable {
+                    return Err(GraphError::OpFailed {
+                        op: self.name.clone(),
+                        message: e.to_string(),
+                    });
+                }
+                (None, Some(e))
+            }
+        };
         Ok(PendingSparseRpc {
             op: self.name.clone(),
             fetches: self.fetches.clone(),
-            completion,
+            client: Arc::clone(&self.client),
+            request,
+            policy: self.policy,
+            attempt,
+            first_error,
         })
     }
 }
 
+/// One in-flight transmission tracked by the collect half.
+struct InFlightAttempt {
+    completion: Box<dyn RpcCompletion>,
+    issued_at: Instant,
+    kind: RpcAttemptKind,
+}
+
 /// A [`SparseRpc`] whose request is in flight: the collect half waits
-/// for the shard's reply, validates it against the fetch list, and
-/// writes the pooled output blobs.
+/// for a reply under the operator's [`RpcPolicy`] — enforcing the
+/// per-attempt deadline, retrying with capped backoff, hedging the
+/// straggler tail, and falling back to zero embeddings when every
+/// attempt is exhausted — then validates the reply against the fetch
+/// list and writes the pooled output blobs.
 pub struct PendingSparseRpc {
     op: String,
     fetches: Vec<RpcFetch>,
-    completion: Box<dyn RpcCompletion>,
+    client: Arc<dyn SparseShardClient>,
+    request: ShardRequest,
+    policy: RpcPolicy,
+    /// The primary attempt, when the send succeeded.
+    attempt: Option<InFlightAttempt>,
+    /// The send-time error when it did not (collect retries from here).
+    first_error: Option<RpcError>,
 }
 
+/// How long each bounded poll lasts when two attempts are being raced
+/// (the scheduler alternates between them at this granularity).
+const RACE_POLL_SLICE: Duration = Duration::from_micros(200);
+
 impl PendingSparseRpc {
-    /// Waits for the response and writes the pooled blobs.
+    /// Waits for a winning response under the policy and writes the
+    /// pooled blobs (real or zero-fallback).
     ///
     /// # Errors
     ///
-    /// Propagates shard/transport failures and malformed responses
-    /// (wrong table count or order).
-    pub fn collect(self, ws: &mut Workspace) -> Result<(), GraphError> {
-        let response = self
-            .completion
-            .wait()
-            .map_err(|message| GraphError::OpFailed {
-                op: self.op.clone(),
-                message,
-            })?;
+    /// Propagates shard/transport failures the policy cannot absorb and
+    /// malformed responses (wrong table count or order).
+    pub fn collect(mut self, ws: &mut Workspace) -> Result<RpcOutcome, GraphError> {
+        let mut outcome = RpcOutcome::default();
+        let mut in_flight: Vec<InFlightAttempt> = Vec::with_capacity(2);
+        // Transmissions used so far (primary counts even if its send
+        // failed — the wire was tried).
+        let mut attempts_used: u32 = 1;
+        let mut last_error: Option<RpcError> = match self.first_error.take() {
+            Some(e) => {
+                outcome.attempts.push(RpcAttempt {
+                    kind: RpcAttemptKind::Primary,
+                    issued_at: Instant::now(),
+                    settled_at: Instant::now(),
+                    winner: false,
+                    error: Some(e.to_string()),
+                });
+                Some(e)
+            }
+            None => {
+                in_flight.push(self.attempt.take().expect("attempt or error"));
+                None
+            }
+        };
+
+        loop {
+            // Re-transmit (retry) after a failure when budget remains.
+            if in_flight.is_empty() {
+                let Some(err) = last_error.take() else {
+                    unreachable!("no attempt in flight and no error recorded")
+                };
+                if !err.is_retryable() || attempts_used >= self.policy.max_attempts {
+                    return self.settle_exhausted(ws, outcome, err);
+                }
+                let retry_no = outcome.retries + 1;
+                let backoff = self.policy.backoff(retry_no);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                attempts_used += 1;
+                outcome.retries += 1;
+                match self.client.begin_execute(&self.request) {
+                    Ok(completion) => in_flight.push(InFlightAttempt {
+                        completion,
+                        issued_at: Instant::now(),
+                        kind: RpcAttemptKind::Retry,
+                    }),
+                    Err(e) => {
+                        outcome.attempts.push(RpcAttempt {
+                            kind: RpcAttemptKind::Retry,
+                            issued_at: Instant::now(),
+                            settled_at: Instant::now(),
+                            winner: false,
+                            error: Some(e.to_string()),
+                        });
+                        last_error = Some(e);
+                        continue;
+                    }
+                }
+            }
+
+            // The current attempt's deadline (the oldest in-flight
+            // transmission anchors the window).
+            let anchor = in_flight[0].issued_at;
+            let attempt_deadline = self.policy.attempt_timeout.and_then(|t| anchor.checked_add(t));
+            // When does the hedge fire? Only one duplicate at a time,
+            // and only if transmission budget remains.
+            let hedge_at = match self.policy.hedge_after {
+                Some(d) if in_flight.len() == 1 && attempts_used < self.policy.max_attempts => {
+                    anchor.checked_add(d)
+                }
+                _ => None,
+            };
+
+            // Wait for the next event: a settled attempt, the hedge
+            // timer, or the attempt deadline.
+            match Self::race(&mut in_flight, attempt_deadline, hedge_at) {
+                RaceResult::Settled {
+                    kind,
+                    issued_at,
+                    result: Ok(response),
+                } => {
+                    let now = Instant::now();
+                    outcome.attempts.push(RpcAttempt {
+                        kind,
+                        issued_at,
+                        settled_at: now,
+                        winner: true,
+                        error: None,
+                    });
+                    // Losing hedges are abandoned (their replicas are
+                    // healthy — the reply just lost the race).
+                    for loser in in_flight.drain(..) {
+                        outcome.attempts.push(RpcAttempt {
+                            kind: loser.kind,
+                            issued_at: loser.issued_at,
+                            settled_at: now,
+                            winner: false,
+                            error: None,
+                        });
+                    }
+                    self.write_response(ws, response)?;
+                    return Ok(outcome);
+                }
+                RaceResult::Settled {
+                    kind,
+                    issued_at,
+                    result: Err(e),
+                } => {
+                    outcome.attempts.push(RpcAttempt {
+                        kind,
+                        issued_at,
+                        settled_at: Instant::now(),
+                        winner: false,
+                        error: Some(e.to_string()),
+                    });
+                    if !e.is_retryable() {
+                        // Deterministic rejection: abandon everything
+                        // and fail now.
+                        return self.settle_exhausted(ws, outcome, e);
+                    }
+                    if in_flight.is_empty() {
+                        last_error = Some(e);
+                    }
+                    // Else: the other transmission may still win; loop
+                    // and keep waiting on it.
+                }
+                RaceResult::HedgeDue => {
+                    attempts_used += 1;
+                    outcome.hedges += 1;
+                    match self.client.begin_execute(&self.request) {
+                        Ok(completion) => in_flight.push(InFlightAttempt {
+                            completion,
+                            issued_at: Instant::now(),
+                            kind: RpcAttemptKind::Hedge,
+                        }),
+                        Err(e) => {
+                            outcome.attempts.push(RpcAttempt {
+                                kind: RpcAttemptKind::Hedge,
+                                issued_at: Instant::now(),
+                                settled_at: Instant::now(),
+                                winner: false,
+                                error: Some(e.to_string()),
+                            });
+                        }
+                    }
+                }
+                RaceResult::DeadlinePassed => {
+                    // Every in-flight transmission of this attempt window
+                    // timed out together.
+                    let now = Instant::now();
+                    let waited = now.saturating_duration_since(anchor);
+                    let err = RpcError::Timeout {
+                        shard: self.client.shard_id(),
+                        waited,
+                    };
+                    for attempt in in_flight.drain(..) {
+                        outcome.attempts.push(RpcAttempt {
+                            kind: attempt.kind,
+                            issued_at: attempt.issued_at,
+                            settled_at: now,
+                            winner: false,
+                            error: Some(err.to_string()),
+                        });
+                        attempt.completion.abandon_timed_out();
+                    }
+                    last_error = Some(err);
+                }
+            }
+        }
+    }
+
+    /// Waits until one in-flight attempt settles, the hedge timer
+    /// fires, or the attempt deadline passes — whichever is first. A
+    /// settled attempt is removed from `in_flight`; any remaining
+    /// entries are still pending.
+    fn race(
+        in_flight: &mut Vec<InFlightAttempt>,
+        attempt_deadline: Option<Instant>,
+        hedge_at: Option<Instant>,
+    ) -> RaceResult {
+        loop {
+            let now = Instant::now();
+            if let Some(d) = attempt_deadline {
+                if now >= d {
+                    return RaceResult::DeadlinePassed;
+                }
+            }
+            if let Some(h) = hedge_at {
+                if now >= h {
+                    return RaceResult::HedgeDue;
+                }
+            }
+            // One transmission and no timers: block until it settles.
+            if in_flight.len() == 1 && attempt_deadline.is_none() && hedge_at.is_none() {
+                let attempt = in_flight.remove(0);
+                return RaceResult::Settled {
+                    kind: attempt.kind,
+                    issued_at: attempt.issued_at,
+                    result: attempt.completion.wait(),
+                };
+            }
+            // Bounded wait: straight to the next timer when there is
+            // only one transmission, otherwise a short slice so the
+            // racing transmissions are polled alternately.
+            let mut until = if in_flight.len() == 1 {
+                Instant::now() + Duration::from_secs(3600)
+            } else {
+                now + RACE_POLL_SLICE
+            };
+            if let Some(d) = attempt_deadline {
+                until = until.min(d);
+            }
+            if let Some(h) = hedge_at {
+                until = until.min(h);
+            }
+            for index in 0..in_flight.len() {
+                let attempt = in_flight.remove(index);
+                let kind = attempt.kind;
+                let issued_at = attempt.issued_at;
+                match attempt.completion.wait_deadline(until) {
+                    WaitOutcome::Ready(result) => {
+                        return RaceResult::Settled {
+                            kind,
+                            issued_at,
+                            result,
+                        };
+                    }
+                    WaitOutcome::Pending(completion) => {
+                        in_flight.insert(
+                            index,
+                            InFlightAttempt {
+                                completion,
+                                issued_at,
+                                kind,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Terminal path: the budget is spent (or the error is not
+    /// retryable). Either substitute the degraded zero-embedding
+    /// fallback or surface the typed error as an operator failure.
+    fn settle_exhausted(
+        &self,
+        ws: &mut Workspace,
+        mut outcome: RpcOutcome,
+        err: RpcError,
+    ) -> Result<RpcOutcome, GraphError> {
+        if self.policy.degraded_fallback && err.is_retryable() {
+            for (f, slice) in self.fetches.iter().zip(&self.request.slices) {
+                let rows = slice.lengths.len();
+                ws.put(f.output_blob.clone(), Blob::Dense(Matrix::zeros(rows, f.dim)));
+            }
+            outcome.degraded = true;
+            outcome.error_kind = Some(err.kind().to_string());
+            return Ok(outcome);
+        }
+        Err(GraphError::OpFailed {
+            op: self.op.clone(),
+            message: err.to_string(),
+        })
+    }
+
+    /// Validates the winning response and writes the pooled blobs.
+    fn write_response(&self, ws: &mut Workspace, response: ShardResponse) -> Result<(), GraphError> {
         if response.pooled.len() != self.fetches.len() {
             return Err(GraphError::OpFailed {
                 op: self.op.clone(),
@@ -286,9 +804,24 @@ impl PendingSparseRpc {
     }
 }
 
+/// What ended one bounded wait in the collect loop.
+enum RaceResult {
+    /// One in-flight transmission settled (and was removed from the
+    /// in-flight set).
+    Settled {
+        kind: RpcAttemptKind,
+        issued_at: Instant,
+        result: Result<ShardResponse, RpcError>,
+    },
+    /// The hedge timer fired before anything settled.
+    HedgeDue,
+    /// The per-attempt deadline passed before anything settled.
+    DeadlinePassed,
+}
+
 impl PendingOp for PendingSparseRpc {
-    fn collect(self: Box<Self>, ws: &mut Workspace) -> Result<(), GraphError> {
-        PendingSparseRpc::collect(*self, ws)
+    fn collect(self: Box<Self>, ws: &mut Workspace) -> Result<Option<RpcOutcome>, GraphError> {
+        PendingSparseRpc::collect(*self, ws).map(Some)
     }
 }
 
@@ -345,9 +878,12 @@ impl Operator for SparseRpc {
     }
     fn run(&self, ws: &mut Workspace) -> Result<(), GraphError> {
         // Sequential form = issue immediately followed by collect.
-        self.begin(ws)?.collect(ws)
+        self.begin(ws)?.collect(ws).map(|_| ())
     }
     fn as_async(&self) -> Option<&dyn AsyncOperator> {
+        Some(self)
+    }
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }
 }
@@ -355,16 +891,22 @@ impl Operator for SparseRpc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
-    #[test]
-    fn route_whole_table_is_identity() {
-        let f = RpcFetch {
+    fn fetch() -> RpcFetch {
+        RpcFetch {
             table: TableId(0),
             input_blob: "in".into(),
             output_blob: "out".into(),
             parts: 1,
             part: 0,
-        };
+            dim: 1,
+        }
+    }
+
+    #[test]
+    fn route_whole_table_is_identity() {
+        let f = fetch();
         let s = SparseInput::new(vec![5, 9, 2], vec![2, 1]);
         let slice = route_slice(&f, &s);
         assert_eq!(slice.indices, vec![5, 9, 2]);
@@ -374,11 +916,9 @@ mod tests {
     #[test]
     fn route_modulus_filters_and_localizes() {
         let f = RpcFetch {
-            table: TableId(0),
-            input_blob: "in".into(),
-            output_blob: "out".into(),
             parts: 2,
             part: 1,
+            ..fetch()
         };
         // Element 0: indices {0,1,2}; element 1: {3,4}.
         let s = SparseInput::new(vec![0, 1, 2, 3, 4], vec![3, 2]);
@@ -396,11 +936,9 @@ mod tests {
         let mut total = 0;
         for part in 0..parts {
             let f = RpcFetch {
-                table: TableId(0),
-                input_blob: "in".into(),
-                output_blob: "out".into(),
                 parts,
                 part,
+                ..fetch()
             };
             let slice = route_slice(&f, &s);
             total += slice.indices.len();
@@ -419,7 +957,7 @@ mod tests {
         fn shard_id(&self) -> ShardId {
             ShardId(0)
         }
-        fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, String> {
+        fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, RpcError> {
             Ok(ShardResponse {
                 pooled: request
                     .slices
@@ -428,6 +966,93 @@ mod tests {
                     .collect(),
             })
         }
+    }
+
+    /// A client that fails with `error` the first `failures` calls, then
+    /// answers like [`ZeroClient`].
+    #[derive(Debug)]
+    struct FlakyClient {
+        failures: AtomicU32,
+        error: RpcError,
+    }
+
+    impl FlakyClient {
+        fn failing(failures: u32, error: RpcError) -> Self {
+            Self {
+                failures: AtomicU32::new(failures),
+                error,
+            }
+        }
+    }
+
+    impl SparseShardClient for FlakyClient {
+        fn shard_id(&self) -> ShardId {
+            ShardId(0)
+        }
+        fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, RpcError> {
+            let left = self.failures.load(Ordering::SeqCst);
+            if left > 0 {
+                self.failures.store(left - 1, Ordering::SeqCst);
+                return Err(self.error.clone());
+            }
+            ZeroClient.execute(request)
+        }
+    }
+
+    fn transient() -> RpcError {
+        RpcError::Transport {
+            shard: ShardId(0),
+            message: "injected transient".into(),
+        }
+    }
+
+    fn rpc_with(client: Arc<dyn SparseShardClient>, policy: RpcPolicy) -> SparseRpc {
+        let mut op = SparseRpc::new("rpc", NetId(0), client, vec![fetch()]);
+        op.set_policy(policy);
+        op
+    }
+
+    fn ws_with_input() -> Workspace {
+        let mut ws = Workspace::new();
+        ws.put("in", Blob::Sparse(SparseInput::new(vec![1], vec![1])));
+        ws
+    }
+
+    #[test]
+    fn error_taxonomy_classification() {
+        let t = RpcError::Timeout {
+            shard: ShardId(2),
+            waited: Duration::from_millis(5),
+        };
+        assert!(t.is_retryable());
+        assert_eq!(t.kind(), "timeout");
+        assert_eq!(t.shard(), ShardId(2));
+        assert!(t.to_string().contains("timeout"));
+        let f = RpcError::ShardFault {
+            shard: ShardId(1),
+            message: "t9 not hosted".into(),
+        };
+        assert!(!f.is_retryable());
+        assert_eq!(f.kind(), "shard-fault");
+        assert!(f.to_string().contains("not hosted"));
+        assert!(RpcError::Poisoned {
+            shard: ShardId(0),
+            message: "boom".into()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RpcPolicy {
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(3),
+            ..RpcPolicy::default()
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(1));
+        assert_eq!(p.backoff(2), Duration::from_millis(2));
+        assert_eq!(p.backoff(3), Duration::from_millis(3)); // capped (4 → 3)
+        assert_eq!(p.backoff(9), Duration::from_millis(3));
     }
 
     #[test]
@@ -448,27 +1073,134 @@ mod tests {
 
     #[test]
     fn issue_collect_round_trip_writes_outputs() {
-        let op = SparseRpc::new(
-            "rpc",
-            NetId(0),
-            Arc::new(ZeroClient),
-            vec![RpcFetch {
-                table: TableId(0),
-                input_blob: "in".into(),
-                output_blob: "out".into(),
-                parts: 1,
-                part: 0,
-            }],
-        );
-        let mut ws = Workspace::new();
-        ws.put("in", Blob::Sparse(SparseInput::new(vec![1], vec![1])));
+        let op = SparseRpc::new("rpc", NetId(0), Arc::new(ZeroClient), vec![fetch()]);
+        let mut ws = ws_with_input();
         let pending = op.begin(&ws).unwrap();
-        pending.collect(&mut ws).unwrap();
+        let outcome = pending.collect(&mut ws).unwrap();
         assert!(ws.dense("out", "t").is_ok());
+        assert_eq!(outcome.retries, 0);
+        assert!(!outcome.degraded);
+        assert_eq!(outcome.attempts.len(), 1);
+        assert!(outcome.attempts[0].winner);
         assert!(
             Operator::as_async(&op).is_some(),
             "SparseRpc must advertise its async form to the scheduler"
         );
+    }
+
+    #[test]
+    fn transient_failures_are_retried_within_budget() {
+        let client = Arc::new(FlakyClient::failing(2, transient()));
+        let op = rpc_with(
+            client,
+            RpcPolicy {
+                max_attempts: 3,
+                backoff_base: Duration::ZERO,
+                ..RpcPolicy::default()
+            },
+        );
+        let mut ws = ws_with_input();
+        let outcome = op.begin(&ws).unwrap().collect(&mut ws).unwrap();
+        assert_eq!(outcome.retries, 2);
+        assert!(!outcome.degraded);
+        assert!(ws.dense("out", "t").is_ok());
+        assert!(outcome.attempts.last().unwrap().winner);
+    }
+
+    #[test]
+    fn budget_exhaustion_fails_hard_without_fallback() {
+        let client = Arc::new(FlakyClient::failing(5, transient()));
+        let op = rpc_with(
+            client,
+            RpcPolicy {
+                max_attempts: 2,
+                backoff_base: Duration::ZERO,
+                ..RpcPolicy::default()
+            },
+        );
+        let mut ws = ws_with_input();
+        let err = op.begin(&ws).unwrap().collect(&mut ws).unwrap_err();
+        assert!(err.to_string().contains("transport"), "{err}");
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_with_fallback() {
+        let client = Arc::new(FlakyClient::failing(5, transient()));
+        let op = rpc_with(
+            client,
+            RpcPolicy {
+                max_attempts: 2,
+                backoff_base: Duration::ZERO,
+                degraded_fallback: true,
+                ..RpcPolicy::default()
+            },
+        );
+        let mut ws = ws_with_input();
+        let outcome = op.begin(&ws).unwrap().collect(&mut ws).unwrap();
+        assert!(outcome.degraded);
+        assert_eq!(outcome.error_kind.as_deref(), Some("transport"));
+        assert_eq!(outcome.retries, 1);
+        // The fallback is a zero matrix with one row per batch element
+        // and the table's dim.
+        let out = ws.dense("out", "t").unwrap();
+        assert_eq!((out.rows(), out.cols()), (1, 1));
+        assert_eq!(out.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn shard_fault_is_not_retried_and_not_degraded() {
+        let calls = Arc::new(FlakyClient::failing(
+            9,
+            RpcError::ShardFault {
+                shard: ShardId(0),
+                message: "t0 not hosted".into(),
+            },
+        ));
+        let op = rpc_with(
+            Arc::clone(&calls) as Arc<dyn SparseShardClient>,
+            RpcPolicy {
+                max_attempts: 3,
+                degraded_fallback: true,
+                backoff_base: Duration::ZERO,
+                ..RpcPolicy::default()
+            },
+        );
+        let mut ws = ws_with_input();
+        let err = op.begin(&ws).unwrap().collect(&mut ws).unwrap_err();
+        assert!(err.to_string().contains("not hosted"), "{err}");
+        // Exactly one call went out: deterministic rejections burn no
+        // retry budget.
+        assert_eq!(calls.failures.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn send_failure_is_deferred_and_retried() {
+        // begin_execute itself fails (default impl wraps execute).
+        let client = Arc::new(FlakyClient::failing(1, transient()));
+        let op = rpc_with(
+            client,
+            RpcPolicy {
+                max_attempts: 2,
+                backoff_base: Duration::ZERO,
+                ..RpcPolicy::default()
+            },
+        );
+        let mut ws = ws_with_input();
+        // ReadyResponse defers the error to collect, so this exercises
+        // the settled-error retry path.
+        let outcome = op.begin(&ws).unwrap().collect(&mut ws).unwrap();
+        assert_eq!(outcome.retries, 1);
+        assert!(ws.dense("out", "t").is_ok());
+    }
+
+    #[test]
+    fn policy_injection_via_downcast() {
+        let mut op: Box<dyn Operator> =
+            Box::new(SparseRpc::new("rpc", NetId(0), Arc::new(ZeroClient), vec![fetch()]));
+        let any = op.as_any_mut().expect("SparseRpc downcasts");
+        let rpc = any.downcast_mut::<SparseRpc>().unwrap();
+        rpc.set_policy(RpcPolicy::resilient());
+        assert_eq!(rpc.policy().max_attempts, 3);
     }
 
     #[test]

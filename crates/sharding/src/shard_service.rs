@@ -1,7 +1,7 @@
 //! Sparse-shard services: the remote side of the RPC operators.
 
 use crate::plan::{ShardId, ShardingPlan};
-use crate::rpc::{ShardRequest, ShardResponse, SparseShardClient};
+use crate::rpc::{RpcError, ShardRequest, ShardResponse, SparseShardClient};
 use dlrm_model::{EmbeddingTable, Pool, TableId};
 use dlrm_tensor::Matrix;
 use std::collections::HashMap;
@@ -106,22 +106,27 @@ impl ShardService {
     ///
     /// # Errors
     ///
-    /// A message naming the offending table when it is not hosted here
-    /// or an index is out of range.
-    pub fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, String> {
+    /// [`RpcError::ShardFault`] naming the offending table when it is
+    /// not hosted here or an index is out of range — deterministic
+    /// rejections, never retried.
+    pub fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, RpcError> {
+        let fault = |message: String| RpcError::ShardFault {
+            shard: self.shard,
+            message,
+        };
         let mut pooled = Vec::with_capacity(request.slices.len());
         for slice in &request.slices {
             let table = self
                 .tables
                 .get(&slice.table)
-                .ok_or_else(|| format!("{} not hosted on {}", slice.table, self.shard))?;
+                .ok_or_else(|| fault(format!("{} not hosted on {}", slice.table, self.shard)))?;
             if let Some(&max) = slice.indices.iter().max() {
                 if max as usize >= table.rows() {
-                    return Err(format!(
+                    return Err(fault(format!(
                         "index {max} out of range for {} ({} local rows)",
                         slice.table,
                         table.rows()
-                    ));
+                    )));
                 }
             }
             pooled.push((
@@ -154,7 +159,7 @@ impl SparseShardClient for InProcessClient {
         self.service.shard_id()
     }
 
-    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, String> {
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, RpcError> {
         self.service.execute(request)
     }
 }
@@ -247,7 +252,8 @@ mod tests {
                 }],
             })
             .unwrap_err();
-        assert!(err.contains("not hosted"));
+        assert!(err.to_string().contains("not hosted"));
+        assert!(!err.is_retryable());
     }
 
     #[test]
@@ -265,7 +271,8 @@ mod tests {
                 }],
             })
             .unwrap_err();
-        assert!(err.contains("out of range"));
+        assert!(err.to_string().contains("out of range"));
+        assert_eq!(err.kind(), "shard-fault");
     }
 
     #[test]

@@ -46,6 +46,8 @@ fn kind_fields(kind: &SpanKind) -> (&'static str, Option<u64>) {
         SpanKind::QueueWait => ("queue_wait", None),
         SpanKind::BatchAssembly => ("batch_assembly", None),
         SpanKind::BatchExecute => ("batch_execute", None),
+        SpanKind::RpcRetry(r) => ("rpc_retry", Some(r.0)),
+        SpanKind::RpcHedge(r) => ("rpc_hedge", Some(r.0)),
     }
 }
 
@@ -78,6 +80,8 @@ fn kind_from_fields(
         "queue_wait" => SpanKind::QueueWait,
         "batch_assembly" => SpanKind::BatchAssembly,
         "batch_execute" => SpanKind::BatchExecute,
+        "rpc_retry" => SpanKind::RpcRetry(need(line)?),
+        "rpc_hedge" => SpanKind::RpcHedge(need(line)?),
         other => {
             return Err(ParseTraceError {
                 line,
@@ -286,6 +290,22 @@ mod tests {
                 start: 6.25,
                 duration: 8.0,
                 cpu: true,
+            },
+            Span {
+                trace: TraceId(3),
+                server: ServerId::MAIN,
+                kind: SpanKind::RpcRetry(RpcId(1)),
+                start: 2.5,
+                duration: 0.75,
+                cpu: false,
+            },
+            Span {
+                trace: TraceId(3),
+                server: ServerId::MAIN,
+                kind: SpanKind::RpcHedge(RpcId(1)),
+                start: 3.0,
+                duration: 0.5,
+                cpu: false,
             },
         ];
         for s in spans {

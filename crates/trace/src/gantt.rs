@@ -123,6 +123,8 @@ fn kind_label(kind: &SpanKind) -> String {
         SpanKind::QueueWait => "queue wait".into(),
         SpanKind::BatchAssembly => "batch assembly".into(),
         SpanKind::BatchExecute => "batch execute".into(),
+        SpanKind::RpcRetry(r) => format!("rpc{} retry", r.0),
+        SpanKind::RpcHedge(r) => format!("rpc{} hedge", r.0),
     }
 }
 

@@ -86,6 +86,12 @@ pub enum SpanKind {
     /// Frontend: the formed batch's execution window on a worker thread,
     /// dispatch to predictions split.
     BatchExecute,
+    /// Main shard: a retry attempt of an RPC after its previous attempt
+    /// failed or timed out — issue to settle of the retry. Not CPU time.
+    RpcRetry(RpcId),
+    /// Main shard: a hedge attempt of an RPC (a duplicate issue racing
+    /// the straggling primary) — issue to settle. Not CPU time.
+    RpcHedge(RpcId),
 }
 
 impl SpanKind {
@@ -97,6 +103,8 @@ impl SpanKind {
             SpanKind::RpcSerialize(r)
             | SpanKind::RpcOutstanding(r)
             | SpanKind::RpcDeserialize(r)
+            | SpanKind::RpcRetry(r)
+            | SpanKind::RpcHedge(r)
             | SpanKind::ShardE2E(r)
             | SpanKind::ShardService(r)
             | SpanKind::ShardDeser(r)

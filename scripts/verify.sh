@@ -28,6 +28,10 @@ echo "==> frontend smoke: open-loop serving must be bit-exact, account"
 echo "    exactly, hold its SLA band under light load, and shed under overload"
 cargo run --release --offline -p dlrm-bench --bin frontend_smoke
 
+echo "==> chaos smoke: replica crashes must not dent availability or change"
+echo "    answers; a total outage must degrade, not fail; same seed, same counts"
+cargo run --release --offline -p dlrm-bench --bin chaos_smoke
+
 echo "==> dependency audit: cargo tree must list only workspace members"
 # --edges all includes dev- and build-dependencies; every line of the
 # tree (any depth) must name a dlrm-* crate rooted in this workspace.
