@@ -1,0 +1,74 @@
+//! The control-plane binary: loads a published model spec + sharding
+//! plan and serves registration, routing, and orchestrated shutdown for
+//! a shard-server fleet.
+//!
+//! Usage:
+//!
+//! ```text
+//! control_plane --spec SPEC_FILE --plan PLAN_FILE --seed N --replicas N
+//! ```
+//!
+//! Prints `control_plane listening on HOST:PORT` (ephemeral port) on
+//! stdout; clients and shard servers take that address. Runs until a
+//! wire `Shutdown` frame arrives, at which point it drains and stops
+//! every registered shard server, acks, and exits.
+
+use dlrm_serving::control::ControlPlane;
+
+fn usage() -> ! {
+    eprintln!("usage: control_plane --spec FILE --plan FILE --seed N --replicas N");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut spec_path: Option<String> = None;
+    let mut plan_path: Option<String> = None;
+    let mut seed: u64 = 1;
+    let mut replicas: usize = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => spec_path = args.next(),
+            "--plan" => plan_path = args.next(),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--replicas" => {
+                replicas = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(spec_path), Some(plan_path)) = (spec_path, plan_path) else {
+        usage()
+    };
+
+    let spec_text = std::fs::read_to_string(&spec_path).unwrap_or_else(|e| {
+        eprintln!("control_plane: read {spec_path}: {e}");
+        std::process::exit(1)
+    });
+    let plan_text = std::fs::read_to_string(&plan_path).unwrap_or_else(|e| {
+        eprintln!("control_plane: read {plan_path}: {e}");
+        std::process::exit(1)
+    });
+    // Validate the spec here so a bad file fails fast with a message
+    // (the plan is validated inside ControlPlane::spawn).
+    if let Err(e) = dlrm_model::publish::spec_from_text(&spec_text) {
+        eprintln!("control_plane: bad spec {spec_path}: {e}");
+        std::process::exit(1)
+    }
+
+    let cp = ControlPlane::spawn(&spec_text, &plan_text, seed, replicas).unwrap_or_else(|e| {
+        eprintln!("control_plane: {e}");
+        std::process::exit(1)
+    });
+    println!("control_plane listening on {}", cp.addr());
+    cp.wait();
+    println!("control_plane stopped");
+}

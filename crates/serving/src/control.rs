@@ -1,0 +1,475 @@
+//! The control plane: shard-server registration, (shard, replica) →
+//! address assignment, routing tables for clients, and orchestrated
+//! drain/shutdown.
+//!
+//! The paper's deployment has an implicit control plane — something
+//! decides which server hosts which shard and tells clients where to
+//! send lookups. [`ControlPlane`] makes it explicit and minimal: it
+//! loads a published model spec + sharding plan, and over the
+//! [`crate::wire`] protocol it
+//!
+//! 1. answers a shard server's [`Message::Register`] with a
+//!    [`Message::Assign`] — registration order decides placement: the
+//!    k-th server to register hosts **replica k of every shard**, and
+//!    receives the spec/plan text + weight seed to rebuild its tables
+//!    deterministically (no weight shipping; shards are stateless,
+//!    §III-A1);
+//! 2. answers clients' [`Message::GetRoutes`] with the versioned
+//!    [`RoutingTable`] (ephemeral ports included — every listener binds
+//!    `127.0.0.1:0`) and [`Message::FetchMeta`] with the cluster
+//!    metadata they need to build the main-shard model;
+//! 3. on [`Message::Shutdown`], walks every registered server with a
+//!    graceful `Drain` (finish in-flight, refuse new) followed by
+//!    `Shutdown`, then acks and exits — the whole fleet stops without
+//!    dropping an admitted request.
+//!
+//! [`connect_cluster`] is the client-side bootstrap: poll routes until
+//! complete, fetch metadata, and build one replicated TCP client per
+//! shard on a shared [`ReplicaGroupSet`] — the exact failover stack the
+//! in-process pools use.
+
+use crate::replica::{HealthPolicy, ReplicaGroupSet, TransportSummary};
+use crate::tcp::TcpShardClient;
+use crate::threaded::ShardRpcSummary;
+use crate::wire::{
+    self, Assignment, ClusterMeta, Message, ReadError, RouteEntry, RoutingTable,
+};
+use dlrm_sharding::rpc::SparseShardClient;
+use dlrm_sharding::ShardId;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads and route polls wake up.
+const POLL_TICK: Duration = Duration::from_millis(20);
+
+/// A control-plane or cluster-bootstrap failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ControlError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "control plane: {}", self.message)
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+/// Mutable control-plane state behind one lock.
+struct CpState {
+    /// Registered shard-server addresses, in registration order.
+    servers: Vec<String>,
+    routes: RoutingTable,
+}
+
+struct CpShared {
+    meta: ClusterMeta,
+    state: Mutex<CpState>,
+    stop: AtomicBool,
+}
+
+/// The control-plane server. See the module docs.
+pub struct ControlPlane {
+    addr: SocketAddr,
+    shared: Arc<CpShared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ControlPlane {
+    /// Binds `127.0.0.1:0` and serves the control protocol for a
+    /// cluster of `replicas` servers. `spec_text`/`plan_text` are the
+    /// published v1 texts; the plan is parsed here to learn the shard
+    /// count (and to fail fast on a bad plan).
+    ///
+    /// # Errors
+    ///
+    /// [`ControlError`] on an unparsable plan or a bind failure.
+    pub fn spawn(
+        spec_text: &str,
+        plan_text: &str,
+        seed: u64,
+        replicas: usize,
+    ) -> Result<Self, ControlError> {
+        let plan = dlrm_sharding::publish::plan_from_text(plan_text)
+            .map_err(|e| ControlError::new(format!("bad plan: {e}")))?;
+        let meta = ClusterMeta {
+            spec_text: spec_text.to_string(),
+            plan_text: plan_text.to_string(),
+            seed,
+            shards: plan.num_shards(),
+            replicas: replicas.max(1),
+        };
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| ControlError::new(format!("bind: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ControlError::new(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ControlError::new(format!("nonblocking: {e}")))?;
+        let shared = Arc::new(CpShared {
+            meta,
+            state: Mutex::new(CpState {
+                servers: Vec::new(),
+                routes: RoutingTable::default(),
+            }),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name(format!("control-plane:{}", addr.port()))
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn control accept loop");
+        Ok(Self {
+            addr,
+            shared,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound (ephemeral) address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current routing table snapshot.
+    #[must_use]
+    pub fn routes(&self) -> RoutingTable {
+        self.shared.state.lock().expect("cp state lock").routes.clone()
+    }
+
+    /// Whether a `Shutdown` has been processed.
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the control plane stops (the binary parks here).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops the control plane without touching the shard servers.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ControlPlane {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<CpShared>) {
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((conn, _peer)) => {
+                let conn_shared = Arc::clone(shared);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("control-conn".to_string())
+                    .spawn(move || serve_connection(conn, &conn_shared))
+                {
+                    handles.push(h);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_TICK);
+            }
+            Err(_) => break,
+        }
+        handles.retain(|h| !h.is_finished());
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+fn serve_connection(mut conn: TcpStream, shared: &Arc<CpShared>) {
+    let _ = conn.set_nodelay(true);
+    let _ = conn.set_read_timeout(Some(POLL_TICK));
+    let mut scratch = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let message = match wire::read_message(&mut conn, &mut scratch) {
+            Ok(frame) => frame.message,
+            Err(ReadError::TimedOut) => continue,
+            Err(_) => return,
+        };
+        let reply = match message {
+            Message::Register { addr } => Some(register_server(shared, addr)),
+            Message::GetRoutes => Some(Message::Routes(
+                shared.state.lock().expect("cp state lock").routes.clone(),
+            )),
+            Message::FetchMeta => Some(Message::Meta(shared.meta.clone())),
+            Message::Ping => Some(Message::Pong),
+            Message::Shutdown => {
+                orchestrate_shutdown(shared);
+                let _ = wire::write_message(&mut conn, &Message::ShutdownAck);
+                shared.stop.store(true, Ordering::SeqCst);
+                return;
+            }
+            _ => return, // protocol violation
+        };
+        if let Some(reply) = reply {
+            if wire::write_message(&mut conn, &reply).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Handles one registration: assigns seats, updates the routing table.
+fn register_server(shared: &Arc<CpShared>, addr: String) -> Message {
+    let mut state = shared.state.lock().expect("cp state lock");
+    let k = state.servers.len();
+    state.servers.push(addr.clone());
+    // The k-th registrant hosts replica k of every shard. Registrants
+    // beyond the replica count are standbys with no seats (they can be
+    // assigned on a future re-registration protocol; for now they idle).
+    let seats: Vec<(ShardId, usize)> = if k < shared.meta.replicas {
+        (0..shared.meta.shards).map(|s| (ShardId(s), k)).collect()
+    } else {
+        Vec::new()
+    };
+    for &(shard, replica) in &seats {
+        state.routes.entries.push(RouteEntry {
+            shard,
+            replica,
+            addr: addr.clone(),
+        });
+    }
+    state.routes.version += 1;
+    let expected = shared.meta.shards * shared.meta.replicas;
+    state.routes.complete = state.routes.entries.len() >= expected;
+    Message::Assign(Assignment {
+        seats,
+        spec_text: shared.meta.spec_text.clone(),
+        plan_text: shared.meta.plan_text.clone(),
+        seed: shared.meta.seed,
+    })
+}
+
+/// Gracefully stops every registered shard server: drain, then
+/// shutdown. Dead servers are skipped (their drain just fails).
+fn orchestrate_shutdown(shared: &Arc<CpShared>) {
+    let servers = shared
+        .state
+        .lock()
+        .expect("cp state lock")
+        .servers
+        .clone();
+    for addr in servers {
+        let drained = matches!(
+            call(&addr, &Message::Drain, Duration::from_secs(10)),
+            Ok(Message::DrainAck { .. })
+        );
+        // Shut the server down whether or not the drain acked — a
+        // crashed server cannot drain, and a drained one must stop.
+        let _ = call(&addr, &Message::Shutdown, Duration::from_secs(5));
+        let _ = drained;
+    }
+}
+
+/// One request/reply exchange with `addr` over a fresh connection.
+///
+/// # Errors
+///
+/// [`ControlError`] on connect/send/receive failure or timeout.
+pub fn call(addr: &str, msg: &Message, timeout: Duration) -> Result<Message, ControlError> {
+    let sock: SocketAddr = addr
+        .parse()
+        .map_err(|_| ControlError::new(format!("bad address {addr:?}")))?;
+    let mut conn = TcpStream::connect_timeout(&sock, timeout)
+        .map_err(|e| ControlError::new(format!("connect {addr}: {e}")))?;
+    conn.set_nodelay(true).ok();
+    conn.set_read_timeout(Some(timeout))
+        .map_err(|e| ControlError::new(format!("arm timeout: {e}")))?;
+    wire::write_message(&mut conn, msg)
+        .map_err(|e| ControlError::new(format!("send to {addr}: {e}")))?;
+    let mut scratch = Vec::new();
+    let deadline = Instant::now() + timeout;
+    loop {
+        match wire::read_message(&mut conn, &mut scratch) {
+            Ok(frame) => return Ok(frame.message),
+            Err(ReadError::TimedOut) if Instant::now() < deadline => continue,
+            Err(ReadError::TimedOut) => {
+                return Err(ControlError::new(format!("{addr} reply timed out")))
+            }
+            Err(e) => return Err(ControlError::new(format!("recv from {addr}: {e}"))),
+        }
+    }
+}
+
+/// Registers a shard server with the control plane and returns its
+/// assignment.
+///
+/// # Errors
+///
+/// [`ControlError`] on transport failure or an unexpected reply.
+pub fn register(
+    control_addr: &str,
+    my_addr: &str,
+    timeout: Duration,
+) -> Result<Assignment, ControlError> {
+    match call(
+        control_addr,
+        &Message::Register {
+            addr: my_addr.to_string(),
+        },
+        timeout,
+    )? {
+        Message::Assign(a) => Ok(a),
+        other => Err(ControlError::new(format!(
+            "expected Assign, got frame kind {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Asks the control plane to gracefully stop the whole cluster (drain +
+/// shutdown every shard server, then itself).
+///
+/// # Errors
+///
+/// [`ControlError`] on transport failure or an unexpected reply.
+pub fn shutdown_cluster(control_addr: &str, timeout: Duration) -> Result<(), ControlError> {
+    match call(control_addr, &Message::Shutdown, timeout)? {
+        Message::ShutdownAck => Ok(()),
+        other => Err(ControlError::new(format!(
+            "expected ShutdownAck, got frame kind {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// A client-side handle to a TCP shard cluster: the cluster metadata
+/// plus one replicated client per shard.
+#[derive(Debug)]
+pub struct TcpCluster {
+    /// Spec/plan text, weight seed, and fleet shape from the control
+    /// plane.
+    pub meta: ClusterMeta,
+    /// The routing table the clients were built from.
+    pub routes: RoutingTable,
+    set: ReplicaGroupSet,
+}
+
+impl TcpCluster {
+    /// One replicated client per shard, ordered by [`ShardId`] — feed
+    /// these to `partition_with_clients`.
+    #[must_use]
+    pub fn clients(&self) -> Vec<Arc<dyn SparseShardClient>> {
+        self.set.clients()
+    }
+
+    /// Snapshot of failover/ejection/probe/recovery activity plus wire
+    /// totals across every shard-server connection.
+    #[must_use]
+    pub fn transport_summary(&self) -> TransportSummary {
+        self.set.transport_summary()
+    }
+
+    /// Per-replica RPC instrumentation in (shard, replica) order.
+    #[must_use]
+    pub fn replica_rpc_summaries(&self) -> Vec<ShardRpcSummary> {
+        self.set.replica_rpc_summaries()
+    }
+}
+
+/// Client bootstrap: polls the control plane until the routing table is
+/// complete (every (shard, replica) seat assigned), fetches the cluster
+/// metadata, and builds one replicated [`TcpShardClient`] group per
+/// shard under `health`.
+///
+/// # Errors
+///
+/// [`ControlError`] when the table never completes within `timeout` or
+/// any exchange fails.
+pub fn connect_cluster(
+    control_addr: &str,
+    timeout: Duration,
+    health: HealthPolicy,
+) -> Result<TcpCluster, ControlError> {
+    let deadline = Instant::now() + timeout;
+    let routes = loop {
+        match call(control_addr, &Message::GetRoutes, timeout)? {
+            Message::Routes(t) if t.complete => break t,
+            Message::Routes(t) => {
+                if Instant::now() >= deadline {
+                    return Err(ControlError::new(format!(
+                        "routing table incomplete after {timeout:?} ({} of expected entries)",
+                        t.entries.len()
+                    )));
+                }
+                std::thread::sleep(POLL_TICK);
+            }
+            other => {
+                return Err(ControlError::new(format!(
+                    "expected Routes, got frame kind {}",
+                    other.kind()
+                )))
+            }
+        }
+    };
+    let meta = match call(control_addr, &Message::FetchMeta, timeout)? {
+        Message::Meta(m) => m,
+        other => {
+            return Err(ControlError::new(format!(
+                "expected Meta, got frame kind {}",
+                other.kind()
+            )))
+        }
+    };
+    let mut set = ReplicaGroupSet::new(health);
+    for shard in 0..meta.shards {
+        let shard = ShardId(shard);
+        let addrs = routes.replicas_of(shard);
+        if addrs.is_empty() {
+            return Err(ControlError::new(format!("no routes for {shard}")));
+        }
+        let mut seats = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let client = TcpShardClient::new(shard, addr, Duration::from_secs(1))
+                .map_err(|e| ControlError::new(e.to_string()))?;
+            let stats = client.stats();
+            seats.push((Arc::new(client) as Arc<dyn SparseShardClient>, stats));
+        }
+        set.add_group(shard, seats);
+    }
+    Ok(TcpCluster { meta, routes, set })
+}

@@ -37,10 +37,14 @@ pub mod fault;
 pub mod frontend;
 pub mod local;
 pub mod paging;
+pub mod control;
 pub mod replica;
+pub mod shard_server;
+pub mod tcp;
 pub mod threaded;
 mod platform;
 pub mod replication;
+pub mod wire;
 
 pub use cluster::{simulate, ArrivalProcess, Cluster, RunConfig, RunResult, ShardFault};
 pub use cost::CostModel;

@@ -15,7 +15,7 @@
 
 use crate::channel::Sender;
 use crate::fault::FaultPlan;
-use crate::threaded::{spawn_worker, RpcStats, ShardRpcSummary, ThreadedClient, WorkerMsg};
+use crate::threaded::{spawn_worker, RpcStats, ShardRpcSummary, ThreadedClient, WireTotals, WorkerMsg};
 use dlrm_metrics::CauseCounts;
 use dlrm_sharding::rpc::{
     RpcCompletion, RpcError, ShardRequest, ShardResponse, SparseShardClient, WaitOutcome,
@@ -146,6 +146,9 @@ pub struct TransportSummary {
     pub recoveries: u64,
     /// Replica-level errors observed, by [`RpcError::kind`].
     pub errors_by_kind: CauseCounts,
+    /// Wire-level accounting summed over every replica client (zero for
+    /// in-process transports; real frames/bytes/serde time over TCP).
+    pub wire: WireTotals,
 }
 
 impl std::fmt::Display for TransportSummary {
@@ -154,23 +157,147 @@ impl std::fmt::Display for TransportSummary {
             f,
             "failovers={} ejections={} probes={} recoveries={} errors: {}",
             self.failovers, self.ejections, self.probes, self.recoveries, self.errors_by_kind
-        )
+        )?;
+        if !self.wire.is_zero() {
+            write!(f, " wire: {}", self.wire)?;
+        }
+        Ok(())
     }
 }
 
-/// One replica's server side, as held by the pool.
-#[derive(Debug)]
-struct ReplicaSeat {
-    tx: Sender<WorkerMsg>,
+/// One replica seat as seen from the client side: the transport client,
+/// its instrumentation, and its health record. Transport-agnostic — the
+/// client may be a [`ThreadedClient`] (in-process worker thread) or a
+/// [`crate::tcp::TcpShardClient`] (socket to a shard-server process).
+#[derive(Debug, Clone)]
+pub(crate) struct SeatConn {
+    client: Arc<dyn SparseShardClient>,
     stats: Arc<RpcStats>,
     health: Arc<ReplicaHealth>,
 }
 
-/// All replicas of one shard.
+/// Replica groups for every shard behind one shared health policy and
+/// one shared counter set: the transport-agnostic core of replicated
+/// serving. Both pools — [`ReplicatedShardPool`] (worker threads) and
+/// the TCP pools in [`crate::shard_server`]/[`crate::control`] — build
+/// one of these and hand out its [`ReplicatedClient`]s, so failover,
+/// ejection, half-open probing, and wire accounting behave identically
+/// whether a replica is a thread or a process across a socket.
 #[derive(Debug)]
-struct Group {
-    shard: ShardId,
-    replicas: Vec<ReplicaSeat>,
+pub struct ReplicaGroupSet {
+    policy: HealthPolicy,
+    counters: Arc<TransportCounters>,
+    groups: Vec<(ShardId, Vec<SeatConn>)>,
+}
+
+impl ReplicaGroupSet {
+    /// An empty set under `policy`.
+    #[must_use]
+    pub fn new(policy: HealthPolicy) -> Self {
+        Self {
+            policy,
+            counters: Arc::new(TransportCounters::default()),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Adds one shard's replica set: per-replica `(client, stats)`
+    /// pairs in replica order. Groups must be added in [`ShardId`]
+    /// order (the partitioner indexes clients by shard).
+    pub(crate) fn add_group(
+        &mut self,
+        shard: ShardId,
+        seats: Vec<(Arc<dyn SparseShardClient>, Arc<RpcStats>)>,
+    ) {
+        let seats = seats
+            .into_iter()
+            .map(|(client, stats)| SeatConn {
+                client,
+                stats,
+                health: Arc::new(ReplicaHealth::default()),
+            })
+            .collect();
+        self.groups.push((shard, seats));
+    }
+
+    /// One [`ReplicatedClient`] per shard, ordered by [`ShardId`].
+    #[must_use]
+    pub fn clients(&self) -> Vec<Arc<dyn SparseShardClient>> {
+        self.groups
+            .iter()
+            .map(|(shard, seats)| {
+                Arc::new(ReplicatedClient {
+                    shard: *shard,
+                    replicas: seats
+                        .iter()
+                        .map(|seat| ReplicaConn {
+                            client: Arc::clone(&seat.client),
+                            health: Arc::clone(&seat.health),
+                        })
+                        .collect(),
+                    next: AtomicUsize::new(0),
+                    policy: self.policy,
+                    counters: Arc::clone(&self.counters),
+                }) as Arc<dyn SparseShardClient>
+            })
+            .collect()
+    }
+
+    /// Replica counts per shard, in [`ShardId`] order.
+    #[must_use]
+    pub fn replica_counts(&self) -> Vec<usize> {
+        self.groups.iter().map(|(_, seats)| seats.len()).collect()
+    }
+
+    /// Snapshot of failover/ejection/probe/recovery activity plus the
+    /// summed wire accounting of every replica client.
+    #[must_use]
+    pub fn transport_summary(&self) -> TransportSummary {
+        let mut wire = WireTotals::default();
+        for (_, seats) in &self.groups {
+            for seat in seats {
+                wire.merge(&seat.stats.wire_totals());
+            }
+        }
+        TransportSummary {
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+            ejections: self.counters.ejections.load(Ordering::Relaxed),
+            probes: self.counters.probes.load(Ordering::Relaxed),
+            recoveries: self.counters.recoveries.load(Ordering::Relaxed),
+            errors_by_kind: self
+                .counters
+                .errors
+                .lock()
+                .expect("transport counters lock")
+                .clone(),
+            wire,
+        }
+    }
+
+    /// Per-replica RPC instrumentation, flattened in (shard, replica)
+    /// order; the `shard` field repeats for each replica of a shard.
+    #[must_use]
+    pub fn replica_rpc_summaries(&self) -> Vec<ShardRpcSummary> {
+        self.groups
+            .iter()
+            .flat_map(|(shard, seats)| seats.iter().map(|seat| seat.stats.summarize(*shard)))
+            .collect()
+    }
+
+    /// Current ejection state per replica: `(shard, replica index,
+    /// ejected)` in (shard, replica) order.
+    #[must_use]
+    pub fn replica_states(&self) -> Vec<(ShardId, usize, bool)> {
+        self.groups
+            .iter()
+            .flat_map(|(shard, seats)| {
+                seats
+                    .iter()
+                    .enumerate()
+                    .map(|(r, seat)| (*shard, r, seat.health.is_ejected()))
+            })
+            .collect()
+    }
 }
 
 /// A pool of shard worker threads with `replicas ≥ 1` workers per
@@ -180,10 +307,9 @@ struct Group {
 /// replica set.
 #[derive(Debug)]
 pub struct ReplicatedShardPool {
-    groups: Vec<Group>,
+    set: ReplicaGroupSet,
+    senders: Vec<Sender<WorkerMsg>>,
     handles: Vec<JoinHandle<()>>,
-    counters: Arc<TransportCounters>,
-    policy: HealthPolicy,
 }
 
 impl ReplicatedShardPool {
@@ -224,12 +350,14 @@ impl ReplicatedShardPool {
             services.len(),
             "one replica count per shard service"
         );
-        let mut groups = Vec::with_capacity(services.len());
+        let mut set = ReplicaGroupSet::new(policy);
+        let mut senders = Vec::new();
         let mut handles = Vec::new();
         for (index, service) in services.into_iter().enumerate() {
             let shard = service.shard_id();
             let replicas = counts[index].max(1);
-            let mut seats = Vec::with_capacity(replicas);
+            let mut seats: Vec<(Arc<dyn SparseShardClient>, Arc<RpcStats>)> =
+                Vec::with_capacity(replicas);
             for r in 0..replicas {
                 let schedule = faults.schedule(index, r).cloned().unwrap_or_default();
                 let (tx, stats, handle) = spawn_worker(
@@ -238,23 +366,18 @@ impl ReplicatedShardPool {
                     schedule,
                     format!("{shard}r{r}"),
                 );
-                seats.push(ReplicaSeat {
-                    tx,
-                    stats,
-                    health: Arc::new(ReplicaHealth::default()),
-                });
+                let client =
+                    ThreadedClient::new(shard, tx.clone(), Arc::clone(&stats));
+                seats.push((Arc::new(client), stats));
+                senders.push(tx);
                 handles.push(handle);
             }
-            groups.push(Group {
-                shard,
-                replicas: seats,
-            });
+            set.add_group(shard, seats);
         }
         Self {
-            groups,
+            set,
+            senders,
             handles,
-            counters: Arc::new(TransportCounters::default()),
-            policy,
         }
     }
 
@@ -262,77 +385,33 @@ impl ReplicatedShardPool {
     /// by [`ShardId`].
     #[must_use]
     pub fn clients(&self) -> Vec<Arc<dyn SparseShardClient>> {
-        self.groups
-            .iter()
-            .map(|g| {
-                Arc::new(ReplicatedClient {
-                    shard: g.shard,
-                    replicas: g
-                        .replicas
-                        .iter()
-                        .map(|seat| ReplicaConn {
-                            client: ThreadedClient::new(
-                                g.shard,
-                                seat.tx.clone(),
-                                Arc::clone(&seat.stats),
-                            ),
-                            health: Arc::clone(&seat.health),
-                        })
-                        .collect(),
-                    next: AtomicUsize::new(0),
-                    policy: self.policy,
-                    counters: Arc::clone(&self.counters),
-                }) as Arc<dyn SparseShardClient>
-            })
-            .collect()
+        self.set.clients()
     }
 
     /// Replica counts per shard, in [`ShardId`] order.
     #[must_use]
     pub fn replica_counts(&self) -> Vec<usize> {
-        self.groups.iter().map(|g| g.replicas.len()).collect()
+        self.set.replica_counts()
     }
 
     /// Snapshot of failover/ejection/probe/recovery activity.
     #[must_use]
     pub fn transport_summary(&self) -> TransportSummary {
-        TransportSummary {
-            failovers: self.counters.failovers.load(Ordering::Relaxed),
-            ejections: self.counters.ejections.load(Ordering::Relaxed),
-            probes: self.counters.probes.load(Ordering::Relaxed),
-            recoveries: self.counters.recoveries.load(Ordering::Relaxed),
-            errors_by_kind: self
-                .counters
-                .errors
-                .lock()
-                .expect("transport counters lock")
-                .clone(),
-        }
+        self.set.transport_summary()
     }
 
     /// Per-replica RPC instrumentation, flattened in (shard, replica)
     /// order; the `shard` field repeats for each replica of a shard.
     #[must_use]
     pub fn replica_rpc_summaries(&self) -> Vec<ShardRpcSummary> {
-        self.groups
-            .iter()
-            .flat_map(|g| g.replicas.iter().map(|seat| seat.stats.summarize(g.shard)))
-            .collect()
+        self.set.replica_rpc_summaries()
     }
 
     /// Current ejection state per replica: `(shard, replica index,
     /// ejected)` in (shard, replica) order.
     #[must_use]
     pub fn replica_states(&self) -> Vec<(ShardId, usize, bool)> {
-        self.groups
-            .iter()
-            .flat_map(|g| {
-                g.replicas
-                    .iter()
-                    .enumerate()
-                    .map(|(r, seat)| (g.shard, r, seat.health.is_ejected()))
-            })
-            .collect()
+        self.set.replica_states()
     }
 
     /// Total worker threads across all replica sets.
@@ -354,10 +433,8 @@ impl ReplicatedShardPool {
     }
 
     fn stop_and_join(&mut self) {
-        for group in self.groups.drain(..) {
-            for seat in group.replicas {
-                let _ = seat.tx.send(WorkerMsg::Stop);
-            }
+        for tx in self.senders.drain(..) {
+            let _ = tx.send(WorkerMsg::Stop);
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -368,7 +445,7 @@ impl ReplicatedShardPool {
 /// One replica as seen from the client side.
 #[derive(Debug)]
 struct ReplicaConn {
-    client: ThreadedClient,
+    client: Arc<dyn SparseShardClient>,
     health: Arc<ReplicaHealth>,
 }
 

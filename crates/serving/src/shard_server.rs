@@ -1,0 +1,544 @@
+//! The shard server: hosts one or more [`ShardService`]s behind a TCP
+//! listener speaking the [`crate::wire`] protocol.
+//!
+//! This is the missing process boundary of the paper's deployment: "each
+//! shard runs a full service handler and ML framework instance"
+//! (§III-A2) as its *own server*. [`TcpShardServer`] is that server,
+//! embeddable in-process (tests, [`TcpShardPool`]) or hosted by the
+//! `shard_server` binary as a real OS process.
+//!
+//! Protocol per connection: clients send [`Message::Request`] frames and
+//! get a correlated `ReplyOk`/`ReplyErr` each; `Ping` gets `Pong`.
+//! Control connections may send [`Message::Drain`] — the server stops
+//! admitting new requests (refusals are retryable transport errors, so
+//! clients fail over), finishes every admitted one, then answers
+//! `DrainAck` — and [`Message::Shutdown`], which stops the listener.
+//! No admitted request is ever dropped by a graceful drain.
+//!
+//! Listeners always bind `127.0.0.1:0`: the OS picks an ephemeral port,
+//! [`TcpShardServer::addr`] reports it, and the control plane's routing
+//! table propagates it — tests never collide on fixed ports.
+//!
+//! Fault injection mirrors the in-process worker exactly (same
+//! [`ReplicaFaultSchedule`] consulted by per-seat request ordinal), with
+//! [`FaultAction::Crash`] escalated to whole-server death — the listener
+//! closes, in-flight replies are lost, later connects are refused —
+//! because a process, unlike a thread, takes all its seats with it.
+
+use crate::fault::{FaultAction, ReplicaFaultSchedule};
+use crate::wire::{self, Message, ReadError};
+use dlrm_sharding::rpc::{RpcError, ShardRequest};
+use dlrm_sharding::{ShardId, ShardService};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked reads wake up to check the server state.
+const POLL_TICK: Duration = Duration::from_millis(20);
+
+/// Server lifecycle states (stored in an `AtomicU8`).
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
+
+/// One (shard, replica) seat hosted by a server.
+struct Seat {
+    service: Arc<ShardService>,
+    faults: ReplicaFaultSchedule,
+    /// Receive-order ordinal driving the fault schedule.
+    ordinal: AtomicU64,
+    /// Injected base service delay (stands in for remote compute).
+    delay: Duration,
+}
+
+/// State shared by the accept loop and every connection thread.
+struct ServerShared {
+    seats: Mutex<HashMap<usize, Arc<Seat>>>,
+    state: AtomicU8,
+    /// Admitted-but-unfinished requests; drain completes at zero.
+    in_flight: AtomicU64,
+    /// Lifetime completed requests (reported in `DrainAck`).
+    served: AtomicU64,
+}
+
+impl ServerShared {
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::SeqCst)
+    }
+
+    /// Raises the lifecycle state (never lowers it).
+    fn raise_state(&self, to: u8) {
+        self.state.fetch_max(to, Ordering::SeqCst);
+    }
+}
+
+/// A TCP server hosting shard seats. See the module docs for protocol
+/// and lifecycle.
+pub struct TcpShardServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TcpShardServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpShardServer")
+            .field("addr", &self.addr)
+            .field("state", &self.shared.state())
+            .finish()
+    }
+}
+
+impl TcpShardServer {
+    /// Binds `127.0.0.1:0` and starts serving the given seats. Each
+    /// seat is `(service, fault schedule)`; the replica index a seat
+    /// represents only matters to the control plane's routing table,
+    /// not to the server.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, if the loopback listener cannot be created.
+    pub fn spawn(
+        seats: Vec<(Arc<ShardService>, ReplicaFaultSchedule)>,
+        delay: Duration,
+    ) -> io::Result<Self> {
+        let server = Self::spawn_empty()?;
+        server.install_seats(seats, delay);
+        Ok(server)
+    }
+
+    /// Binds `127.0.0.1:0` and starts serving with no seats yet —
+    /// requests are refused (retryably) until [`Self::install_seats`].
+    /// The `shard_server` binary uses this to learn its address, then
+    /// registers with the control plane and installs the seats it is
+    /// assigned.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, if the loopback listener cannot be created.
+    pub fn spawn_empty() -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ServerShared {
+            seats: Mutex::new(HashMap::new()),
+            state: AtomicU8::new(RUNNING),
+            in_flight: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name(format!("shard-server:{}", addr.port()))
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept loop");
+        Ok(Self {
+            addr,
+            shared,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// Installs (or replaces) the hosted seats.
+    pub fn install_seats(
+        &self,
+        seats: Vec<(Arc<ShardService>, ReplicaFaultSchedule)>,
+        delay: Duration,
+    ) {
+        let mut map = self.shared.seats.lock().expect("seat map lock");
+        map.clear();
+        for (service, faults) in seats {
+            map.insert(
+                service.shard_id().0,
+                Arc::new(Seat {
+                    service,
+                    faults,
+                    ordinal: AtomicU64::new(0),
+                    delay,
+                }),
+            );
+        }
+    }
+
+    /// The bound (ephemeral) address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shards hosted, ascending.
+    #[must_use]
+    pub fn shards(&self) -> Vec<ShardId> {
+        let mut v: Vec<ShardId> = self
+            .shared
+            .seats
+            .lock()
+            .expect("seat map lock")
+            .keys()
+            .map(|&s| ShardId(s))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Lifetime completed requests.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::SeqCst)
+    }
+
+    /// Whether the server has stopped (crashed or shut down).
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.shared.state() == STOPPED
+    }
+
+    /// Kills the server abruptly, as a process crash would: the
+    /// listener closes, connection threads die at their next tick,
+    /// in-flight replies are lost. Test/chaos hook — graceful stop is a
+    /// [`Message::Drain`] + [`Message::Shutdown`] over the wire.
+    pub fn crash(&self) {
+        self.shared.raise_state(STOPPED);
+    }
+
+    /// Stops serving and joins the accept loop. Does not drain — send
+    /// [`Message::Drain`] first for a graceful stop.
+    pub fn shutdown(mut self) {
+        self.shared.raise_state(STOPPED);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the server stops (the `shard_server` binary's main
+    /// thread parks here).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpShardServer {
+    fn drop(&mut self) {
+        self.shared.raise_state(STOPPED);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Accepts connections until the server stops. Nonblocking accept +
+/// sleep keeps the loop responsive to [`TcpShardServer::crash`] without
+/// needing a self-connect to unblock.
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    let mut conn_handles: Vec<JoinHandle<()>> = Vec::new();
+    while shared.state() != STOPPED {
+        match listener.accept() {
+            Ok((conn, _peer)) => {
+                let conn_shared = Arc::clone(shared);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("shard-conn".to_string())
+                    .spawn(move || serve_connection(conn, &conn_shared))
+                {
+                    conn_handles.push(handle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_TICK);
+            }
+            Err(_) => break,
+        }
+        // Reap finished connection threads so the vec stays bounded.
+        conn_handles.retain(|h| !h.is_finished());
+    }
+    for h in conn_handles {
+        let _ = h.join();
+    }
+    // Listener drops here: later connects are refused.
+}
+
+/// Serves one connection until it closes, errors, or the server stops.
+fn serve_connection(mut conn: TcpStream, shared: &Arc<ServerShared>) {
+    let _ = conn.set_nodelay(true);
+    let _ = conn.set_read_timeout(Some(POLL_TICK));
+    let mut scratch = Vec::new();
+    loop {
+        if shared.state() == STOPPED {
+            return; // abrupt: in-flight replies on this conn are lost
+        }
+        let message = match wire::read_message(&mut conn, &mut scratch) {
+            Ok(frame) => frame.message,
+            Err(ReadError::TimedOut) => continue,
+            // Peer closed, transport died, or sent garbage: a stateless
+            // server just drops the connection.
+            Err(ReadError::Closed | ReadError::Io(_) | ReadError::Malformed(_)) => return,
+        };
+        match message {
+            Message::Request { id, shard, request } => {
+                if !serve_request(&mut conn, shared, id, shard, &request) {
+                    return;
+                }
+            }
+            Message::Ping => {
+                if wire::write_message(&mut conn, &Message::Pong).is_err() {
+                    return;
+                }
+            }
+            Message::Drain => {
+                shared.raise_state(DRAINING);
+                // Admitted requests run on other connection threads;
+                // wait for all of them to finish.
+                while shared.in_flight.load(Ordering::SeqCst) > 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let served = shared.served.load(Ordering::SeqCst);
+                if wire::write_message(&mut conn, &Message::DrainAck { served }).is_err() {
+                    return;
+                }
+            }
+            Message::Shutdown => {
+                shared.raise_state(STOPPED);
+                let _ = wire::write_message(&mut conn, &Message::ShutdownAck);
+                return;
+            }
+            // Anything else is a protocol violation; drop the peer.
+            _ => return,
+        }
+    }
+}
+
+/// Serves one data-plane request. Returns `false` when the connection
+/// must close (crash fault, dropped reply, dead peer).
+fn serve_request(
+    conn: &mut TcpStream,
+    shared: &Arc<ServerShared>,
+    id: u64,
+    shard: ShardId,
+    request: &ShardRequest,
+) -> bool {
+    // Admission: increment in_flight *before* checking the drain flag,
+    // so the drainer (which raises the flag, then waits for in_flight
+    // to hit zero) can never ack while an admitted request is running.
+    // A request that loses the race is refused with a retryable error
+    // and the client fails over — refused, never dropped.
+    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    if shared.state() != RUNNING {
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let error = RpcError::Transport {
+            shard,
+            message: "server is draining".to_string(),
+        };
+        return wire::write_message(conn, &Message::ReplyErr { id, error }).is_ok();
+    }
+    let (reply, keep_conn) = execute_with_faults(shared, id, shard, request);
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    shared.served.fetch_add(1, Ordering::SeqCst);
+    match reply {
+        Some(msg) => keep_conn && wire::write_message(conn, &msg).is_ok(),
+        None => keep_conn,
+    }
+}
+
+/// Runs the seat lookup, fault schedule, and service execution.
+/// Returns the reply to write (`None` = deliberately dropped) and
+/// whether the connection stays open.
+fn execute_with_faults(
+    shared: &Arc<ServerShared>,
+    id: u64,
+    shard: ShardId,
+    request: &ShardRequest,
+) -> (Option<Message>, bool) {
+    let reply_err = |error: RpcError| (Some(Message::ReplyErr { id, error }), true);
+    let seat = {
+        let map = shared.seats.lock().expect("seat map lock");
+        map.get(&shard.0).map(Arc::clone)
+    };
+    let Some(seat) = seat else {
+        // No seat for this shard (not assigned, or assignment still in
+        // flight): retryable, the client should try another replica.
+        return reply_err(RpcError::Transport {
+            shard,
+            message: format!("{shard} is not hosted on this server"),
+        });
+    };
+    let action = seat.faults.action_at(seat.ordinal.fetch_add(1, Ordering::SeqCst));
+    if action == Some(FaultAction::Crash) {
+        // A process crash takes the whole server: stop the listener and
+        // every connection, lose this reply.
+        shared.raise_state(STOPPED);
+        return (None, false);
+    }
+    if !seat.delay.is_zero() {
+        std::thread::sleep(seat.delay);
+    }
+    match action {
+        Some(FaultAction::Delay(spike)) => std::thread::sleep(spike),
+        Some(FaultAction::DropReply) => {
+            // Serve, then lose the reply by closing the connection —
+            // exactly a connection reset after the request was accepted.
+            let _ = seat.service.execute(request);
+            return (None, false);
+        }
+        Some(FaultAction::TransientError) => {
+            return reply_err(RpcError::Transport {
+                shard: seat.service.shard_id(),
+                message: "injected transient fault".to_string(),
+            });
+        }
+        _ => {}
+    }
+    let inject_panic = action == Some(FaultAction::Panic);
+    let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        assert!(!inject_panic, "injected worker panic");
+        seat.service.execute(request)
+    }));
+    let result = served.unwrap_or_else(|payload| {
+        Err(RpcError::Poisoned {
+            shard: seat.service.shard_id(),
+            message: panic_message(payload.as_ref()),
+        })
+    });
+    match result {
+        Ok(response) => (Some(Message::ReplyOk { id, response }), true),
+        Err(error) => reply_err(error),
+    }
+}
+
+/// Stringifies a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// TcpShardPool: the socket-backed twin of ReplicatedShardPool
+// ---------------------------------------------------------------------
+
+use crate::fault::FaultPlan;
+use crate::replica::{HealthPolicy, ReplicaGroupSet, TransportSummary};
+use crate::tcp::TcpShardClient;
+use crate::threaded::ShardRpcSummary;
+use dlrm_sharding::rpc::SparseShardClient;
+
+/// A pool of in-process [`TcpShardServer`]s — one per (shard, replica)
+/// on its own ephemeral loopback port — fronted by the same replicated
+/// clients as [`crate::replica::ReplicatedShardPool`]. Drop-in for the
+/// threaded pool in tests and benches: every RPC genuinely crosses a
+/// socket, and the chaos stack (failover, ejection, half-open probing,
+/// degraded serving) runs unchanged on top.
+#[derive(Debug)]
+pub struct TcpShardPool {
+    /// Servers in (shard, replica) order.
+    servers: Vec<TcpShardServer>,
+    replicas_per_shard: usize,
+    set: ReplicaGroupSet,
+}
+
+impl TcpShardPool {
+    /// Spawns `replicas_per_shard` servers per service, each hosting a
+    /// single seat, with fault schedules drawn from `faults` by
+    /// `(service index, replica index)` — mirroring
+    /// [`ReplicatedShardPool::spawn`](crate::replica::ReplicatedShardPool::spawn).
+    ///
+    /// # Errors
+    ///
+    /// Bind or address errors while standing up the loopback servers.
+    pub fn spawn(
+        services: Vec<Arc<ShardService>>,
+        replicas_per_shard: usize,
+        delay: Duration,
+        faults: &FaultPlan,
+        policy: HealthPolicy,
+    ) -> io::Result<Self> {
+        let replicas_per_shard = replicas_per_shard.max(1);
+        let mut servers = Vec::with_capacity(services.len() * replicas_per_shard);
+        let mut set = ReplicaGroupSet::new(policy);
+        for (index, service) in services.into_iter().enumerate() {
+            let shard = service.shard_id();
+            let mut seats = Vec::with_capacity(replicas_per_shard);
+            for r in 0..replicas_per_shard {
+                let schedule = faults.schedule(index, r).cloned().unwrap_or_default();
+                let server =
+                    TcpShardServer::spawn(vec![(Arc::clone(&service), schedule)], delay)?;
+                let client = TcpShardClient::new(
+                    shard,
+                    &server.addr().to_string(),
+                    Duration::from_secs(1),
+                )
+                .map_err(|e| io::Error::other(e.to_string()))?;
+                let stats = client.stats();
+                seats.push((
+                    Arc::new(client) as Arc<dyn SparseShardClient>,
+                    stats,
+                ));
+                servers.push(server);
+            }
+            set.add_group(shard, seats);
+        }
+        Ok(Self {
+            servers,
+            replicas_per_shard,
+            set,
+        })
+    }
+
+    /// One replicated client per shard, ordered by [`ShardId`].
+    #[must_use]
+    pub fn clients(&self) -> Vec<Arc<dyn SparseShardClient>> {
+        self.set.clients()
+    }
+
+    /// Snapshot of failover/ejection/probe/recovery activity plus wire
+    /// totals.
+    #[must_use]
+    pub fn transport_summary(&self) -> TransportSummary {
+        self.set.transport_summary()
+    }
+
+    /// Per-replica RPC instrumentation in (shard, replica) order.
+    #[must_use]
+    pub fn replica_rpc_summaries(&self) -> Vec<ShardRpcSummary> {
+        self.set.replica_rpc_summaries()
+    }
+
+    /// Current ejection state per replica.
+    #[must_use]
+    pub fn replica_states(&self) -> Vec<(ShardId, usize, bool)> {
+        self.set.replica_states()
+    }
+
+    /// The server hosting `(shard index, replica)` — chaos hook for
+    /// crashing a specific replica server.
+    #[must_use]
+    pub fn server(&self, shard_index: usize, replica: usize) -> &TcpShardServer {
+        &self.servers[shard_index * self.replicas_per_shard + replica]
+    }
+
+    /// Total servers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the pool has no servers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Stops every server.
+    pub fn shutdown(self) {
+        for server in self.servers {
+            server.shutdown();
+        }
+    }
+}

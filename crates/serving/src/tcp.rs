@@ -1,0 +1,431 @@
+//! TCP shard transport: [`TcpShardClient`] speaks the
+//! [`crate::wire`] frame format to a shard server over `std::net`.
+//!
+//! This is the process-boundary twin of
+//! [`ThreadedClient`](crate::threaded::ThreadedClient): the same
+//! [`SparseShardClient`] contract (send now, collect at
+//! [`RpcCompletion::wait`]), the same [`RpcStats`] instrumentation, but
+//! the request crosses a real socket — serde and kernel time are paid,
+//! not simulated, and recorded in the client's
+//! [`WireTotals`](crate::threaded::WireTotals).
+//!
+//! Connection discipline: a small per-client pool of idle connections.
+//! Each in-flight RPC owns one connection exclusively (one request, one
+//! reply — no multiplexing), so a hedge naturally rides a second
+//! connection and the first reply wins. A connection is returned to the
+//! pool only when its call settled cleanly; dropping an unsettled
+//! completion (losing hedge, abandoned call) closes the socket, which
+//! is how the server learns the reply is unwanted. Every transport
+//! failure — connect refused, reset, malformed frame, mismatched reply
+//! — surfaces as a retryable [`RpcError::Transport`], never a panic,
+//! so the retry/hedge/failover stack above behaves exactly as it does
+//! in-process.
+
+use crate::threaded::RpcStats;
+use crate::wire::{self, Message, ReadError};
+use dlrm_sharding::rpc::{
+    RpcCompletion, RpcError, ShardRequest, ShardResponse, SparseShardClient, WaitOutcome,
+};
+use dlrm_sharding::ShardId;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Idle connections kept per client; excess connections are closed on
+/// check-in. Two covers the steady state (primary + one hedge).
+const POOL_CAP: usize = 4;
+
+/// Floor for socket read timeouts: `set_read_timeout(0)` is an error,
+/// and sub-100µs timeouts just burn syscalls.
+const MIN_READ_TIMEOUT: Duration = Duration::from_micros(100);
+
+/// A pool of idle connections to one shard-server address.
+#[derive(Debug)]
+struct ConnPool {
+    addr: SocketAddr,
+    connect_timeout: Duration,
+    idle: Mutex<Vec<TcpStream>>,
+}
+
+impl ConnPool {
+    /// Checks out an idle connection or dials a new one.
+    fn checkout(&self) -> std::io::Result<TcpStream> {
+        if let Some(conn) = self.idle.lock().expect("conn pool lock").pop() {
+            return Ok(conn);
+        }
+        let conn = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+        conn.set_nodelay(true)?;
+        Ok(conn)
+    }
+
+    /// Returns a connection whose call settled cleanly.
+    fn checkin(&self, conn: TcpStream) {
+        let mut idle = self.idle.lock().expect("conn pool lock");
+        if idle.len() < POOL_CAP {
+            idle.push(conn);
+        }
+        // Else: drop closes the excess connection.
+    }
+}
+
+/// A connection object to one remote shard seat (one `host:port`).
+///
+/// Cloneable and cheap to share; clones share the connection pool and
+/// stats. Usually wrapped per-replica inside a
+/// [`ReplicatedClient`](crate::replica::ReplicaGroupSet) rather than
+/// used directly.
+#[derive(Debug, Clone)]
+pub struct TcpShardClient {
+    shard: ShardId,
+    pool: Arc<ConnPool>,
+    stats: Arc<RpcStats>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl TcpShardClient {
+    /// A client for `shard` served at `addr` (e.g. `"127.0.0.1:4170"`).
+    ///
+    /// Dialing is lazy: no connection is made until the first call, so
+    /// constructing clients from a routing table never blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Transport`] when `addr` does not parse.
+    pub fn new(
+        shard: ShardId,
+        addr: &str,
+        connect_timeout: Duration,
+    ) -> Result<Self, RpcError> {
+        let addr: SocketAddr = addr.parse().map_err(|_| RpcError::Transport {
+            shard,
+            message: format!("bad shard server address {addr:?}"),
+        })?;
+        Ok(Self {
+            shard,
+            pool: Arc::new(ConnPool {
+                addr,
+                connect_timeout,
+                idle: Mutex::new(Vec::new()),
+            }),
+            stats: Arc::new(RpcStats::new()),
+            next_id: Arc::new(AtomicU64::new(1)),
+        })
+    }
+
+    /// The client's instrumentation handle, shared with the pool layer.
+    pub(crate) fn stats(&self) -> Arc<RpcStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The address this client dials.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.pool.addr
+    }
+
+    fn transport_err(&self, message: impl Into<String>) -> RpcError {
+        RpcError::Transport {
+            shard: self.shard,
+            message: message.into(),
+        }
+    }
+}
+
+impl SparseShardClient for TcpShardClient {
+    fn shard_id(&self) -> ShardId {
+        self.shard
+    }
+
+    fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, RpcError> {
+        self.begin_execute(request)?.wait()
+    }
+
+    fn begin_execute(&self, request: &ShardRequest) -> Result<Box<dyn RpcCompletion>, RpcError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let frame = wire::encode_request_frame(id, self.shard, request);
+        self.stats.add_serde(t0.elapsed());
+
+        let mut conn = self
+            .pool
+            .checkout()
+            .map_err(|e| self.transport_err(format!("connect {}: {e}", self.pool.addr)))?;
+        let issued_at = Instant::now();
+        {
+            use std::io::Write as _;
+            conn.write_all(&frame)
+                .and_then(|()| conn.flush())
+                .map_err(|e| self.transport_err(format!("send to {}: {e}", self.pool.addr)))?;
+        }
+        self.stats.on_wire_sent(frame.len());
+        self.stats.on_issue();
+        Ok(Box::new(TcpCompletion {
+            shard: self.shard,
+            id,
+            conn: Some(conn),
+            scratch: Vec::new(),
+            pool: Arc::clone(&self.pool),
+            stats: Arc::clone(&self.stats),
+            issued_at,
+            settled: false,
+        }))
+    }
+}
+
+/// A request written to a socket whose reply has not been read yet.
+struct TcpCompletion {
+    shard: ShardId,
+    id: u64,
+    /// The connection this call owns; `None` after settling.
+    conn: Option<TcpStream>,
+    /// Partial reply bytes carried across bounded waits.
+    scratch: Vec<u8>,
+    pool: Arc<ConnPool>,
+    stats: Arc<RpcStats>,
+    issued_at: Instant,
+    settled: bool,
+}
+
+impl TcpCompletion {
+    fn transport_err(&self, message: impl Into<String>) -> RpcError {
+        RpcError::Transport {
+            shard: self.shard,
+            message: message.into(),
+        }
+    }
+
+    /// Marks the call settled and updates stats. `reusable` says the
+    /// connection finished the exchange cleanly and may be pooled.
+    fn settle(
+        &mut self,
+        result: Result<ShardResponse, RpcError>,
+        reusable: bool,
+    ) -> Result<ShardResponse, RpcError> {
+        self.stats.record_latency(self.issued_at.elapsed());
+        self.stats.on_settle();
+        self.settled = true;
+        match self.conn.take() {
+            Some(conn) if reusable && self.scratch.is_empty() => self.pool.checkin(conn),
+            _ => {} // drop closes it
+        }
+        result
+    }
+
+    /// One bounded attempt to read the reply. `None` timeout = wait
+    /// forever.
+    fn poll_reply(&mut self, timeout: Option<Duration>) -> Option<Result<ShardResponse, RpcError>> {
+        let conn = self.conn.as_mut().expect("unsettled completion has a conn");
+        if conn.set_read_timeout(timeout).is_err() {
+            return Some(Err(RpcError::Transport {
+                shard: self.shard,
+                message: "could not arm read timeout".to_string(),
+            }));
+        }
+        match wire::read_message(conn, &mut self.scratch) {
+            Ok(frame) => {
+                self.stats.on_wire_received(frame.bytes);
+                self.stats.add_serde(frame.decode_time);
+                Some(match frame.message {
+                    Message::ReplyOk { id, response } if id == self.id => Ok(response),
+                    Message::ReplyErr { id, error } if id == self.id => Err(error),
+                    Message::ReplyOk { id, .. } | Message::ReplyErr { id, .. } => {
+                        Err(self.transport_err(format!(
+                            "reply correlation mismatch: sent {}, got {id}",
+                            self.id
+                        )))
+                    }
+                    other => Err(self.transport_err(format!(
+                        "unexpected frame kind {} awaiting reply",
+                        other.kind()
+                    ))),
+                })
+            }
+            Err(ReadError::TimedOut) => None,
+            Err(ReadError::Closed) => Some(Err(
+                self.transport_err("connection closed before the reply")
+            )),
+            Err(ReadError::Io(e)) => Some(Err(self.transport_err(format!("recv: {e}")))),
+            Err(ReadError::Malformed(e)) => Some(Err(self.transport_err(format!("{e}")))),
+        }
+    }
+
+    /// Whether this result leaves the connection at a clean frame
+    /// boundary (only a correlated reply does).
+    fn reusable(result: &Result<ShardResponse, RpcError>) -> bool {
+        match result {
+            Ok(_) => true,
+            // A typed server-side error still completed the exchange.
+            Err(RpcError::ShardFault { .. })
+            | Err(RpcError::Poisoned { .. })
+            | Err(RpcError::Timeout { .. }) => true,
+            Err(RpcError::Transport { .. }) => false,
+        }
+    }
+}
+
+impl RpcCompletion for TcpCompletion {
+    fn wait(mut self: Box<Self>) -> Result<ShardResponse, RpcError> {
+        loop {
+            if let Some(result) = self.poll_reply(None) {
+                let reusable = Self::reusable(&result);
+                return self.settle(result, reusable);
+            }
+            // None with an unbounded timeout can only mean a spurious
+            // WouldBlock; retry.
+        }
+    }
+
+    fn wait_deadline(mut self: Box<Self>, deadline: Instant) -> WaitOutcome {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return WaitOutcome::Pending(self);
+            }
+            let remaining = (deadline - now).max(MIN_READ_TIMEOUT);
+            if let Some(result) = self.poll_reply(Some(remaining)) {
+                let reusable = Self::reusable(&result);
+                return WaitOutcome::Ready(self.settle(result, reusable));
+            }
+        }
+    }
+}
+
+impl Drop for TcpCompletion {
+    fn drop(&mut self) {
+        // Abandoned without settling (losing hedge, timed-out call):
+        // keep the in-flight gauge honest and close the socket — the
+        // server sees the hangup and discards the reply.
+        if !self.settled {
+            self.stats.on_settle();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::TcpListener;
+
+    fn empty_request() -> ShardRequest {
+        ShardRequest {
+            net: dlrm_model::NetId(0),
+            slices: vec![],
+        }
+    }
+
+    #[test]
+    fn bad_address_is_a_transport_error() {
+        let err = TcpShardClient::new(ShardId(0), "not-an-addr", Duration::from_millis(10))
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.kind(), "transport");
+    }
+
+    #[test]
+    fn connection_refused_is_a_retryable_transport_error() {
+        // Bind and immediately drop to learn a port nobody listens on.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let client = TcpShardClient::new(
+            ShardId(0),
+            &format!("127.0.0.1:{port}"),
+            Duration::from_millis(200),
+        )
+        .unwrap();
+        let err = client.execute(&empty_request()).unwrap_err();
+        assert_eq!(err.kind(), "transport");
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn garbage_reply_surfaces_as_transport_error_not_panic() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            // Ignore the request; answer with bytes that are not a frame.
+            conn.write_all(b"HTTP/1.1 200 OK\r\n\r\n").unwrap();
+        });
+        let client =
+            TcpShardClient::new(ShardId(0), &addr.to_string(), Duration::from_secs(1)).unwrap();
+        let err = client.execute(&empty_request()).unwrap_err();
+        assert_eq!(err.kind(), "transport");
+        assert!(err.to_string().contains("malformed"), "{err}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn mismatched_correlation_id_rejected_and_connection_not_reused() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut scratch = Vec::new();
+            let frame = wire::read_message(&mut conn, &mut scratch).unwrap();
+            let Message::Request { id, .. } = frame.message else {
+                panic!("expected request");
+            };
+            let reply = Message::ReplyOk {
+                id: id + 999,
+                response: ShardResponse { pooled: vec![] },
+            };
+            wire::write_message(&mut conn, &reply).unwrap();
+        });
+        let client =
+            TcpShardClient::new(ShardId(0), &addr.to_string(), Duration::from_secs(1)).unwrap();
+        let err = client.execute(&empty_request()).unwrap_err();
+        assert!(err.to_string().contains("correlation"), "{err}");
+        server.join().unwrap();
+        // The poisoned connection was closed, not pooled.
+        assert!(client.pool.idle.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn wait_deadline_pends_then_settles_and_reuses_the_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut scratch = Vec::new();
+            for _ in 0..2 {
+                let frame = wire::read_message(&mut conn, &mut scratch).unwrap();
+                let Message::Request { id, .. } = frame.message else {
+                    panic!("expected request");
+                };
+                std::thread::sleep(Duration::from_millis(30));
+                let reply = Message::ReplyOk {
+                    id,
+                    response: ShardResponse { pooled: vec![] },
+                };
+                wire::write_message(&mut conn, &reply).unwrap();
+            }
+        });
+        let client =
+            TcpShardClient::new(ShardId(0), &addr.to_string(), Duration::from_secs(1)).unwrap();
+        let pending = match client
+            .begin_execute(&empty_request())
+            .unwrap()
+            .wait_deadline(Instant::now() + Duration::from_millis(1))
+        {
+            WaitOutcome::Pending(p) => p,
+            WaitOutcome::Ready(r) => panic!("30ms reply arrived in 1ms: {r:?}"),
+        };
+        match pending.wait_deadline(Instant::now() + Duration::from_secs(10)) {
+            WaitOutcome::Ready(r) => assert!(r.is_ok(), "{r:?}"),
+            WaitOutcome::Pending(_) => panic!("reply never arrived"),
+        }
+        // The settled connection went back to the pool; the second call
+        // must reuse it (the server only accepts once).
+        assert_eq!(client.pool.idle.lock().unwrap().len(), 1);
+        assert!(client.execute(&empty_request()).is_ok());
+        server.join().unwrap();
+        let wire_totals = client.stats.wire_totals();
+        assert_eq!(wire_totals.frames_sent, 2);
+        assert_eq!(wire_totals.frames_received, 2);
+        assert!(wire_totals.bytes_sent > 0 && wire_totals.bytes_received > 0);
+    }
+}

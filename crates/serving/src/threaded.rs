@@ -23,10 +23,68 @@ use dlrm_sharding::rpc::{
     RpcCompletion, RpcError, ShardRequest, ShardResponse, SparseShardClient, WaitOutcome,
 };
 use dlrm_sharding::{ShardId, ShardService};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Per-client wire-level accounting: frames and bytes crossing the
+/// transport, plus time spent encoding/decoding them. An in-process
+/// transport moves no bytes, so its totals stay zero; the TCP transport
+/// pays (and records) real serde and socket traffic — the serialization
+/// cost layer the paper's cross-layer breakdown calls out (§IV-B).
+///
+/// Serde time is kept in integer nanoseconds so summaries stay `Eq`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireTotals {
+    /// Frames written to the transport.
+    pub frames_sent: u64,
+    /// Frames read from the transport.
+    pub frames_received: u64,
+    /// Bytes written (headers + payloads).
+    pub bytes_sent: u64,
+    /// Bytes read (headers + payloads).
+    pub bytes_received: u64,
+    /// Nanoseconds spent encoding requests and decoding replies.
+    pub serde_ns: u64,
+}
+
+impl WireTotals {
+    /// Whether any wire activity was recorded.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Serde time in milliseconds.
+    #[must_use]
+    pub fn serde_ms(&self) -> f64 {
+        self.serde_ns as f64 / 1e6
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &WireTotals) {
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.serde_ns += other.serde_ns;
+    }
+}
+
+impl std::fmt::Display for WireTotals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frames tx/rx={}/{} bytes tx/rx={}/{} serde={:.3}ms",
+            self.frames_sent,
+            self.frames_received,
+            self.bytes_sent,
+            self.bytes_received,
+            self.serde_ms()
+        )
+    }
+}
 
 /// One in-flight RPC: the request plus the reply channel.
 pub(crate) struct Envelope {
@@ -53,6 +111,12 @@ pub(crate) struct RpcStats {
     max_in_flight: AtomicUsize,
     /// Round-trip latency in milliseconds (issue → reply consumed).
     latency_ms: Mutex<(Histogram, Summary)>,
+    /// Wire accounting (stays zero for in-process transports).
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    serde_ns: AtomicU64,
 }
 
 impl RpcStats {
@@ -61,23 +125,57 @@ impl RpcStats {
             in_flight: AtomicUsize::new(0),
             max_in_flight: AtomicUsize::new(0),
             latency_ms: Mutex::new((Histogram::new(LATENCY_SUB_BUCKETS), Summary::new())),
+            frames_sent: AtomicU64::new(0),
+            frames_received: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            serde_ns: AtomicU64::new(0),
         }
     }
 
-    fn on_issue(&self) {
+    pub(crate) fn on_issue(&self) {
         let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         self.max_in_flight.fetch_max(now, Ordering::SeqCst);
     }
 
-    fn on_settle(&self) {
+    pub(crate) fn on_settle(&self) {
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 
-    fn record_latency(&self, elapsed: Duration) {
+    pub(crate) fn record_latency(&self, elapsed: Duration) {
         let ms = elapsed.as_secs_f64() * 1e3;
         let mut guard = self.latency_ms.lock().expect("rpc stats lock");
         guard.0.record(ms);
         guard.1.record(ms);
+    }
+
+    /// One frame of `bytes` written to the wire.
+    pub(crate) fn on_wire_sent(&self, bytes: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// One frame of `bytes` read from the wire.
+    pub(crate) fn on_wire_received(&self, bytes: usize) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Time spent encoding or decoding frames.
+    pub(crate) fn add_serde(&self, elapsed: Duration) {
+        self.serde_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the wire accounting.
+    pub(crate) fn wire_totals(&self) -> WireTotals {
+        WireTotals {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            serde_ns: self.serde_ns.load(Ordering::Relaxed),
+        }
     }
 
     /// Snapshot as a [`ShardRpcSummary`] for `shard`.
@@ -91,6 +189,7 @@ impl RpcStats {
             p99_ms: guard.0.quantile(0.99),
             max_ms: guard.1.max(),
             max_in_flight: self.max_in_flight.load(Ordering::SeqCst),
+            wire: self.wire_totals(),
         }
     }
 }
@@ -113,6 +212,8 @@ pub struct ShardRpcSummary {
     pub max_ms: f64,
     /// High-watermark of concurrently outstanding RPCs to this shard.
     pub max_in_flight: usize,
+    /// Wire accounting (zero for in-process transports).
+    pub wire: WireTotals,
 }
 
 impl std::fmt::Display for ShardRpcSummary {
@@ -127,7 +228,11 @@ impl std::fmt::Display for ShardRpcSummary {
             self.p99_ms,
             self.max_ms,
             self.max_in_flight
-        )
+        )?;
+        if !self.wire.is_zero() {
+            write!(f, " wire[{}]", self.wire)?;
+        }
+        Ok(())
     }
 }
 

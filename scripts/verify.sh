@@ -32,6 +32,14 @@ echo "==> chaos smoke: replica crashes must not dent availability or change"
 echo "    answers; a total outage must degrade, not fail; same seed, same counts"
 cargo run --release --offline -p dlrm-bench --bin chaos_smoke
 
+echo "==> net smoke: real control-plane + shard-server processes over TCP;"
+echo "    killing one replica host mid-run must hold availability >= 99%"
+echo "    with bit-exact predictions and an orchestrated shutdown"
+cargo run --release --offline -p dlrm-bench --bin net_smoke
+
+echo "==> net bench: in-process vs TCP loopback percentiles -> BENCH_net.json"
+cargo run --release --offline -p dlrm-bench --bin net_bench
+
 echo "==> dependency audit: cargo tree must list only workspace members"
 # --edges all includes dev- and build-dependencies; every line of the
 # tree (any depth) must name a dlrm-* crate rooted in this workspace.
