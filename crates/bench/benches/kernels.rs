@@ -51,13 +51,10 @@ impl Runner {
             return;
         }
         let median_ns = self.harness.bench(name, routine).median_ns();
-        self.records.push(BenchRecord {
-            name: name.to_string(),
-            median_ns,
-            throughput: throughput.map(|(unit, work)| {
-                (unit.to_string(), work / (median_ns * 1e-9).max(1e-15))
-            }),
-        });
+        let mut record = BenchRecord::p50(name, median_ns);
+        record.throughput = throughput
+            .map(|(unit, work)| (unit.to_string(), work / (median_ns * 1e-9).max(1e-15)));
+        self.records.push(record);
     }
 }
 
@@ -140,11 +137,7 @@ fn bench_quantize(r: &mut Runner) {
             |t| black_box(QuantizedTable::quantize(&t, 8)),
         )
         .median_ns();
-    r.records.push(BenchRecord {
-        name: "quantize_10k_rows_8bit".into(),
-        median_ns,
-        throughput: None,
-    });
+    r.records.push(BenchRecord::p50("quantize_10k_rows_8bit", median_ns));
 }
 
 fn bench_simulate(r: &mut Runner) {

@@ -120,13 +120,11 @@ fn main() {
             p50 / 1e6,
             p99 / 1e6
         );
-        for (pct, value) in [("p50", p50), ("p99", p99)] {
-            records.push(BenchRecord {
-                name: format!("chaos_slow_replica_{label}_{pct}"),
-                median_ns: value,
-                throughput: None,
-            });
-        }
+        records.push(BenchRecord::tail(
+            format!("chaos_slow_replica_{label}"),
+            p50,
+            p99,
+        ));
     }
 
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_chaos.json");

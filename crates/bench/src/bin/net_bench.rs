@@ -147,47 +147,18 @@ fn main() {
         serde_per_rpc / 1e3
     );
 
+    let mut serde_record = BenchRecord::p50("net_tcp_serde_per_rpc", serde_per_rpc);
+    serde_record.throughput = Some(("percent_of_wall".into(), serde_share));
     let records = vec![
-        BenchRecord {
-            name: "net_request_inprocess_p50".into(),
-            median_ns: inproc_p50,
-            throughput: None,
-        },
-        BenchRecord {
-            name: "net_request_inprocess_p99".into(),
-            median_ns: inproc_p99,
-            throughput: None,
-        },
-        BenchRecord {
-            name: "net_request_tcp_p50".into(),
-            median_ns: tcp_p50,
-            throughput: None,
-        },
-        BenchRecord {
-            name: "net_request_tcp_p99".into(),
-            median_ns: tcp_p99,
-            throughput: None,
-        },
-        BenchRecord {
-            name: "net_tcp_overhead_p50".into(),
-            median_ns: tcp_p50 - inproc_p50,
-            throughput: None,
-        },
-        BenchRecord {
-            name: "net_tcp_overhead_p99".into(),
-            median_ns: tcp_p99 - inproc_p99,
-            throughput: None,
-        },
-        BenchRecord {
-            name: "net_tcp_serde_per_rpc".into(),
-            median_ns: serde_per_rpc,
-            throughput: Some(("percent_of_wall".into(), serde_share)),
-        },
-        BenchRecord {
-            name: "net_tcp_bytes_per_rpc".into(),
-            median_ns: bytes_per_rpc,
-            throughput: None,
-        },
+        BenchRecord::tail("net_request_inprocess", inproc_p50, inproc_p99),
+        BenchRecord::tail("net_request_tcp", tcp_p50, tcp_p99),
+        BenchRecord::tail(
+            "net_tcp_overhead",
+            tcp_p50 - inproc_p50,
+            tcp_p99 - inproc_p99,
+        ),
+        serde_record,
+        BenchRecord::scalar("net_tcp_bytes_per_rpc", bytes_per_rpc, "bytes"),
     ];
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_net.json");
     write_bench_json(&path, &records).expect("write BENCH_net.json");

@@ -45,17 +45,57 @@ pub fn header(id: &str, title: &str) -> String {
     format!("\n==== {id}: {title} ====")
 }
 
-/// One benchmark's machine-readable result: its headline p50 plus an
-/// optional derived throughput (`GFLOP/s` for GEMMs, `bags/s` for the
-/// SparseLengthsSum family).
+/// One benchmark's machine-readable result: its headline p50, an
+/// optional p99 tail, and an optional derived throughput (`GFLOP/s`
+/// for GEMMs, `bags/s` for the SparseLengthsSum family).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Benchmark name, as printed by the timing harness.
     pub name: String,
-    /// Median (p50) per-iteration nanoseconds.
+    /// Median (p50) per-iteration value — nanoseconds unless `unit`
+    /// says otherwise.
     pub median_ns: f64,
+    /// Tail (p99) value in the same unit, when the harness collected
+    /// enough samples to report one.
+    pub p99_ns: Option<f64>,
+    /// Unit of the headline values; `None` means nanoseconds. Set this
+    /// for records whose quantity is not a latency (bytes, row counts)
+    /// so consumers stop reading everything as `p50_ns`.
+    pub unit: Option<String>,
     /// Optional `(unit, value)` throughput derived from the median.
     pub throughput: Option<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// A latency record: p50 only, in nanoseconds.
+    #[must_use]
+    pub fn p50(name: impl Into<String>, median_ns: f64) -> Self {
+        BenchRecord {
+            name: name.into(),
+            median_ns,
+            p99_ns: None,
+            unit: None,
+            throughput: None,
+        }
+    }
+
+    /// A latency record carrying both the median and the p99 tail.
+    #[must_use]
+    pub fn tail(name: impl Into<String>, median_ns: f64, p99_ns: f64) -> Self {
+        BenchRecord {
+            p99_ns: Some(p99_ns),
+            ..Self::p50(name, median_ns)
+        }
+    }
+
+    /// A non-latency scalar (bytes, rows, ...) labeled with its unit.
+    #[must_use]
+    pub fn scalar(name: impl Into<String>, value: f64, unit: impl Into<String>) -> Self {
+        BenchRecord {
+            unit: Some(unit.into()),
+            ..Self::p50(name, value)
+        }
+    }
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -88,11 +128,20 @@ fn json_num(v: f64) -> String {
 pub fn bench_records_json(records: &[BenchRecord]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
+        // Historical key names: `p50_ns`/`p99_ns` keep their suffix even
+        // when `unit` overrides the quantity — the unit field is the
+        // source of truth for non-latency records.
         out.push_str(&format!(
             "  {{\"name\": \"{}\", \"p50_ns\": {}",
             json_escape(&r.name),
             json_num(r.median_ns)
         ));
+        if let Some(p99) = r.p99_ns {
+            out.push_str(&format!(", \"p99_ns\": {}", json_num(p99)));
+        }
+        if let Some(unit) = &r.unit {
+            out.push_str(&format!(", \"unit\": \"{}\"", json_escape(unit)));
+        }
         if let Some((unit, value)) = &r.throughput {
             out.push_str(&format!(
                 ", \"throughput_unit\": \"{}\", \"throughput\": {}",
@@ -145,26 +194,25 @@ mod tests {
 
     #[test]
     fn bench_records_serialize_as_json() {
+        let mut gemm = BenchRecord::tail("gemm", 1234.5, 5678.25);
+        gemm.throughput = Some(("GFLOP/s".into(), 42.25));
         let records = vec![
-            BenchRecord {
-                name: "gemm".into(),
-                median_ns: 1234.5,
-                throughput: Some(("GFLOP/s".into(), 42.25)),
-            },
-            BenchRecord {
-                name: "sls \"quoted\"".into(),
-                median_ns: f64::NAN,
-                throughput: None,
-            },
+            gemm,
+            BenchRecord::p50("sls \"quoted\"", f64::NAN),
+            BenchRecord::scalar("wire_bytes", 4096.0, "bytes"),
         ];
         let json = bench_records_json(&records);
         assert!(json.starts_with("[\n"));
-        assert!(json.contains("\"name\": \"gemm\", \"p50_ns\": 1234.500"));
+        assert!(json.contains("\"name\": \"gemm\", \"p50_ns\": 1234.500, \"p99_ns\": 5678.250"));
         assert!(json.contains("\"throughput_unit\": \"GFLOP/s\", \"throughput\": 42.250"));
         assert!(json.contains("sls \\\"quoted\\\""));
         assert!(json.contains("\"p50_ns\": 0.000"));
-        // Exactly one separating comma between the two objects.
-        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(json.contains("\"name\": \"wire_bytes\", \"p50_ns\": 4096.000, \"unit\": \"bytes\""));
+        // A p50-only record carries no phantom p99 key.
+        let sls_line = json.lines().find(|l| l.contains("sls")).unwrap();
+        assert!(!sls_line.contains("p99_ns"));
+        // Exactly two separating commas between the three objects.
+        assert_eq!(json.matches("},\n").count(), 2);
     }
 
     #[test]

@@ -444,6 +444,13 @@ pub struct RpcOutcome {
     /// Classification of the terminal error when `degraded` (e.g.
     /// "timeout", "transport").
     pub error_kind: Option<String>,
+    /// Bags pooled entirely from the main shard's hot-row cache
+    /// (no wire traffic for them).
+    pub cache_hits: u64,
+    /// Bags with at least one cold row, sent to the shard whole.
+    pub cache_misses: u64,
+    /// Row lookups served from the hot-row cache instead of the wire.
+    pub cache_local_rows: u64,
 }
 
 /// Observes operator execution; used for the real engine's per-group

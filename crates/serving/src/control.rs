@@ -404,6 +404,12 @@ impl TcpCluster {
         self.set.transport_summary()
     }
 
+    /// Attaches a hot-row cache so its counters appear in
+    /// [`Self::transport_summary`].
+    pub fn attach_cache(&self, cache: std::sync::Arc<dlrm_sharding::HotRowCache>) {
+        self.set.attach_cache(cache);
+    }
+
     /// Per-replica RPC instrumentation in (shard, replica) order.
     #[must_use]
     pub fn replica_rpc_summaries(&self) -> Vec<ShardRpcSummary> {

@@ -31,6 +31,9 @@ pub struct RpcTracingObserver {
     rpc_retries: u64,
     rpc_hedges: u64,
     degraded_rpcs: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_local_rows: u64,
     collector: TraceCollector,
 }
 
@@ -46,6 +49,9 @@ impl RpcTracingObserver {
             rpc_retries: 0,
             rpc_hedges: 0,
             degraded_rpcs: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_local_rows: 0,
             collector: TraceCollector::new(),
         }
     }
@@ -77,6 +83,25 @@ impl RpcTracingObserver {
     #[must_use]
     pub fn degraded_rpcs(&self) -> u64 {
         self.degraded_rpcs
+    }
+
+    /// Bags served entirely from the hot-row cache across all RPCs
+    /// observed so far.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Bags that needed the wire (at least one cold row).
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Row lookups served from the hot-row cache instead of the wire.
+    #[must_use]
+    pub fn cache_local_rows(&self) -> u64 {
+        self.cache_local_rows
     }
 
     /// Closes the request with a [`SpanKind::RequestE2E`] span ending
@@ -146,6 +171,9 @@ impl ExecutionObserver for RpcTracingObserver {
         self.rpc_retries += u64::from(outcome.retries);
         self.rpc_hedges += u64::from(outcome.hedges);
         self.degraded_rpcs += u64::from(outcome.degraded);
+        self.cache_hits += outcome.cache_hits;
+        self.cache_misses += outcome.cache_misses;
+        self.cache_local_rows += outcome.cache_local_rows;
         for attempt in &outcome.attempts {
             let kind = match attempt.kind {
                 // The primary attempt's window is the RpcOutstanding

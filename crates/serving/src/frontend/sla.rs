@@ -57,6 +57,16 @@ pub struct RequestRecord {
     /// RPC hedge attempts during the batch this request rode in
     /// (batch-level: shared by all members).
     pub rpc_hedges: u64,
+    /// Bags served entirely from the hot-row cache during the batch this
+    /// request rode in (batch-level: shared by all members).
+    pub cache_hits: u64,
+    /// Bags that went over the wire because at least one of their rows
+    /// was cold (batch-level: shared by all members).
+    pub cache_misses: u64,
+    /// Embedding rows pooled locally instead of fetched remotely during
+    /// the batch this request rode in (batch-level: shared by all
+    /// members).
+    pub cache_local_rows: u64,
     /// Failure cause ([`classify_failure`] vocabulary) when the engine
     /// failed the batch; `None` on success.
     pub failure_cause: Option<&'static str>,
@@ -118,6 +128,15 @@ pub struct FrontendReport {
     pub rpc_retries: u64,
     /// RPC hedge attempts across all executed batches.
     pub rpc_hedges: u64,
+    /// Bags served entirely from the hot-row cache across all executed
+    /// batches.
+    pub cache_hits: u64,
+    /// Bags sent over the wire (cold rows present) across all executed
+    /// batches, counted only for cached tables.
+    pub cache_misses: u64,
+    /// Embedding rows pooled locally from the hot-row cache across all
+    /// executed batches.
+    pub cache_local_rows: u64,
     /// Replica-transport activity (failovers, ejections, probes,
     /// recoveries), when the run used a replicated pool. Attached by the
     /// caller after the run; `None` over non-replicated transports.
@@ -169,16 +188,26 @@ impl FrontendReport {
         let mut degraded = 0u64;
         let mut sla_hit_count = 0u64;
         let mut failed_by_cause = CauseCounts::new();
-        // Retry/hedge counters are batch-level (every member record of a
-        // batch carries the same totals), so dedupe by batch sequence.
-        let mut batch_attempts: std::collections::HashMap<u64, (u64, u64)> =
+        // Retry/hedge/cache counters are batch-level (every member record
+        // of a batch carries the same totals), so dedupe by batch
+        // sequence.
+        let mut batch_attempts: std::collections::HashMap<u64, (u64, u64, u64, u64, u64)> =
             std::collections::HashMap::new();
         let mut batch_sizes: std::collections::HashMap<u64, usize> =
             std::collections::HashMap::new();
         let mut max_batch = 0usize;
         for mut r in records {
             batch_sizes.insert(r.batch_seq, r.batch_requests);
-            batch_attempts.insert(r.batch_seq, (r.rpc_retries, r.rpc_hedges));
+            batch_attempts.insert(
+                r.batch_seq,
+                (
+                    r.rpc_retries,
+                    r.rpc_hedges,
+                    r.cache_hits,
+                    r.cache_misses,
+                    r.cache_local_rows,
+                ),
+            );
             max_batch = max_batch.max(r.batch_requests);
             if let Some(prediction) = r.prediction.take() {
                 queue_wait.record(r.queue_wait_ms());
@@ -200,9 +229,13 @@ impl FrontendReport {
         }
         let batches = batch_sizes.len() as u64;
         let batched_requests: usize = batch_sizes.values().sum();
-        let (rpc_retries, rpc_hedges) = batch_attempts
-            .values()
-            .fold((0, 0), |(r, h), &(br, bh)| (r + br, h + bh));
+        let (rpc_retries, rpc_hedges, cache_hits, cache_misses, cache_local_rows) =
+            batch_attempts.values().fold(
+                (0, 0, 0, 0, 0),
+                |(r, h, ch, cm, cl), &(br, bh, bch, bcm, bcl)| {
+                    (r + br, h + bh, ch + bch, cm + bcm, cl + bcl)
+                },
+            );
         FrontendReport {
             offered: queue.offered,
             admitted: queue.admitted,
@@ -214,6 +247,9 @@ impl FrontendReport {
             failed_by_cause,
             rpc_retries,
             rpc_hedges,
+            cache_hits,
+            cache_misses,
+            cache_local_rows,
             transport: None,
             max_queue_depth: queue.max_depth,
             sla_ms,
@@ -310,9 +346,17 @@ impl std::fmt::Display for FrontendReport {
         )?;
         writeln!(
             f,
-            "rpc retries {} | rpc hedges {}{}",
+            "rpc retries {} | rpc hedges {}{}{}",
             self.rpc_retries,
             self.rpc_hedges,
+            if self.cache_hits + self.cache_misses > 0 {
+                format!(
+                    " | cache hits {} misses {} ({} local rows)",
+                    self.cache_hits, self.cache_misses, self.cache_local_rows
+                )
+            } else {
+                String::new()
+            },
             match &self.transport {
                 Some(t) => format!(" | transport: {t}"),
                 None => String::new(),
@@ -361,6 +405,9 @@ mod tests {
             degraded: false,
             rpc_retries: 0,
             rpc_hedges: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_local_rows: 0,
             failure_cause: (!ok).then_some("engine"),
             prediction: ok.then(|| Matrix::zeros(1, 1)),
         }
@@ -440,11 +487,19 @@ mod tests {
             r.batch_requests = 3;
             r.rpc_retries = 4;
             r.rpc_hedges = 2;
+            r.cache_hits = 6;
+            r.cache_misses = 3;
+            r.cache_local_rows = 11;
         }
         let report = FrontendReport::assemble(stats(3, 3), records, 10.0, 100.0);
         assert_eq!(report.rpc_retries, 4);
         assert_eq!(report.rpc_hedges, 2);
+        assert_eq!(report.cache_hits, 6);
+        assert_eq!(report.cache_misses, 3);
+        assert_eq!(report.cache_local_rows, 11);
         assert_eq!(report.batches, 1);
+        let text = report.to_string();
+        assert!(text.contains("cache hits 6 misses 3"), "missing cache line in {text}");
     }
 
     #[test]

@@ -90,6 +90,9 @@ fn run_batch(
     let exec_end = Instant::now();
     let batch_retries = obs.rpc_retries();
     let batch_hedges = obs.rpc_hedges();
+    let batch_cache_hits = obs.cache_hits();
+    let batch_cache_misses = obs.cache_misses();
+    let batch_cache_local_rows = obs.cache_local_rows();
     let batch_degraded = obs.degraded_rpcs() > 0;
     let failure_cause = result
         .as_ref()
@@ -130,6 +133,9 @@ fn run_batch(
             degraded: batch_degraded,
             rpc_retries: batch_retries,
             rpc_hedges: batch_hedges,
+            cache_hits: batch_cache_hits,
+            cache_misses: batch_cache_misses,
+            cache_local_rows: batch_cache_local_rows,
             failure_cause,
             prediction: predictions.as_ref().map(|p| p[i].clone()),
         };

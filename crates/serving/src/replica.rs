@@ -20,7 +20,7 @@ use dlrm_metrics::CauseCounts;
 use dlrm_sharding::rpc::{
     RpcCompletion, RpcError, ShardRequest, ShardResponse, SparseShardClient, WaitOutcome,
 };
-use dlrm_sharding::{ShardId, ShardService};
+use dlrm_sharding::{CacheTotals, HotRowCache, ShardId, ShardService};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -149,6 +149,14 @@ pub struct TransportSummary {
     /// Wire-level accounting summed over every replica client (zero for
     /// in-process transports; real frames/bytes/serde time over TCP).
     pub wire: WireTotals,
+    /// Embedding-row lookups shipped in requests, summed over every
+    /// replica client — the per-request fan-out quantity hot-row-aware
+    /// placement reduces. Counts on every transport, including ones
+    /// whose [`WireTotals`] stay zero.
+    pub rows_sent: u64,
+    /// Hot-row cache activity, when a cache is attached to the pool
+    /// (see [`ReplicaGroupSet::attach_cache`]); zero otherwise.
+    pub cache: CacheTotals,
 }
 
 impl std::fmt::Display for TransportSummary {
@@ -158,6 +166,12 @@ impl std::fmt::Display for TransportSummary {
             "failovers={} ejections={} probes={} recoveries={} errors: {}",
             self.failovers, self.ejections, self.probes, self.recoveries, self.errors_by_kind
         )?;
+        if self.rows_sent > 0 {
+            write!(f, " rows_sent={}", self.rows_sent)?;
+        }
+        if !self.cache.is_zero() {
+            write!(f, " cache[{}]", self.cache)?;
+        }
         if !self.wire.is_zero() {
             write!(f, " wire: {}", self.wire)?;
         }
@@ -188,6 +202,10 @@ pub struct ReplicaGroupSet {
     policy: HealthPolicy,
     counters: Arc<TransportCounters>,
     groups: Vec<(ShardId, Vec<SeatConn>)>,
+    /// The main shard's hot-row cache, when the serving model was
+    /// partitioned under a hot-row-aware plan; its totals are folded
+    /// into [`TransportSummary`].
+    cache: Mutex<Option<Arc<HotRowCache>>>,
 }
 
 impl ReplicaGroupSet {
@@ -198,7 +216,16 @@ impl ReplicaGroupSet {
             policy,
             counters: Arc::new(TransportCounters::default()),
             groups: Vec::new(),
+            cache: Mutex::new(None),
         }
+    }
+
+    /// Attaches the partitioned model's hot-row cache so its hit/miss
+    /// counters appear in [`Self::transport_summary`]. Call after
+    /// partitioning, with
+    /// [`DistributedModel::cache`](dlrm_sharding::DistributedModel).
+    pub fn attach_cache(&self, cache: Arc<HotRowCache>) {
+        *self.cache.lock().expect("cache slot lock") = Some(cache);
     }
 
     /// Adds one shard's replica set: per-replica `(client, stats)`
@@ -254,11 +281,20 @@ impl ReplicaGroupSet {
     #[must_use]
     pub fn transport_summary(&self) -> TransportSummary {
         let mut wire = WireTotals::default();
+        let mut rows_sent = 0u64;
         for (_, seats) in &self.groups {
             for seat in seats {
                 wire.merge(&seat.stats.wire_totals());
+                rows_sent += seat.stats.rows_sent();
             }
         }
+        let cache = self
+            .cache
+            .lock()
+            .expect("cache slot lock")
+            .as_ref()
+            .map(|c| c.totals())
+            .unwrap_or_default();
         TransportSummary {
             failovers: self.counters.failovers.load(Ordering::Relaxed),
             ejections: self.counters.ejections.load(Ordering::Relaxed),
@@ -271,6 +307,8 @@ impl ReplicaGroupSet {
                 .expect("transport counters lock")
                 .clone(),
             wire,
+            rows_sent,
+            cache,
         }
     }
 
@@ -398,6 +436,12 @@ impl ReplicatedShardPool {
     #[must_use]
     pub fn transport_summary(&self) -> TransportSummary {
         self.set.transport_summary()
+    }
+
+    /// Attaches a hot-row cache so its counters appear in
+    /// [`Self::transport_summary`].
+    pub fn attach_cache(&self, cache: Arc<HotRowCache>) {
+        self.set.attach_cache(cache);
     }
 
     /// Per-replica RPC instrumentation, flattened in (shard, replica)

@@ -160,6 +160,7 @@ impl SparseShardClient for TcpShardClient {
         }
         self.stats.on_wire_sent(frame.len());
         self.stats.on_issue();
+        self.stats.add_rows_sent(request.total_lookups() as u64);
         Ok(Box::new(TcpCompletion {
             shard: self.shard,
             id,

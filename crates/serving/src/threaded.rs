@@ -117,6 +117,11 @@ pub(crate) struct RpcStats {
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     serde_ns: AtomicU64,
+    /// Embedding-row lookups shipped in requests through this client —
+    /// the fan-out quantity the hot-row cache exists to shrink. Tracked
+    /// outside [`WireTotals`] because it counts on every transport,
+    /// including in-process ones that move no bytes.
+    rows_sent: AtomicU64,
 }
 
 impl RpcStats {
@@ -130,6 +135,7 @@ impl RpcStats {
             bytes_sent: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
             serde_ns: AtomicU64::new(0),
+            rows_sent: AtomicU64::new(0),
         }
     }
 
@@ -165,6 +171,16 @@ impl RpcStats {
     pub(crate) fn add_serde(&self, elapsed: Duration) {
         self.serde_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Row lookups carried by one issued request.
+    pub(crate) fn add_rows_sent(&self, rows: u64) {
+        self.rows_sent.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Row lookups shipped through this client so far.
+    pub(crate) fn rows_sent(&self) -> u64 {
+        self.rows_sent.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the wire accounting.
@@ -559,6 +575,7 @@ impl SparseShardClient for ThreadedClient {
                 message: "worker is down".to_string(),
             })?;
         self.stats.on_issue();
+        self.stats.add_rows_sent(request.total_lookups() as u64);
         Ok(Box::new(ThreadedCompletion {
             shard: self.shard,
             reply_rx,

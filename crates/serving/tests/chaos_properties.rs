@@ -290,3 +290,195 @@ fn frontend_accounting_identities_hold_under_faults() {
     assert!(text.contains("availability"), "{text}");
     assert!(text.contains("transport:"), "{text}");
 }
+
+// ---------------------------------------------------------------------
+// Hot-row cache tier under chaos
+// ---------------------------------------------------------------------
+
+/// A `HotRowAware` plan for `chaos_spec` with a budget generous enough
+/// that skewed traffic reliably serves whole bags from the cache.
+fn hot_plan_for(spec: &ModelSpec, shards: usize, skew: f64) -> dlrm_sharding::ShardingPlan {
+    let profile = PoolingProfile::from_spec(spec);
+    let stats = dlrm_workload::RowStats::for_spec(spec, 4_000, skew, SEED);
+    dlrm_sharding::plan_with_stats(
+        spec,
+        &profile,
+        ShardingStrategy::HotRowAware(shards),
+        &stats,
+        &dlrm_sharding::HotRowConfig {
+            coverage: 0.95,
+            budget_fraction: 0.5,
+        },
+    )
+    .expect("hot-row plan")
+}
+
+fn skewed_chaos_inputs(spec: &ModelSpec, n: usize, skew: f64) -> Vec<BatchInputs> {
+    let db = TraceDb::generate(spec, n, SEED ^ 2);
+    (0..n)
+        .map(|i| {
+            dlrm_workload::materialize_request_with(
+                spec,
+                db.get(i),
+                usize::MAX,
+                SEED ^ 9,
+                dlrm_workload::IndexDist::Zipf(skew),
+            )
+            .into_iter()
+            .next()
+            .expect("one engine batch per request")
+        })
+        .collect()
+}
+
+#[test]
+fn hot_row_cache_survives_replica_crashes() {
+    let spec = chaos_spec();
+    let skew = 1.2;
+    let inputs = skewed_chaos_inputs(&spec, 16, skew);
+    let p = hot_plan_for(&spec, 2, skew);
+    assert!(p.has_hot_rows());
+
+    let services_for_plan = || -> Vec<Arc<ShardService>> {
+        let model = build_model(&spec, SEED).expect("build");
+        p.shards()
+            .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+            .collect()
+    };
+
+    // Fault-free run: baseline predictions and baseline cache totals.
+    let dist = partition(build_model(&spec, SEED).expect("build"), &p).expect("partition");
+    let baseline: Vec<Matrix> = inputs
+        .iter()
+        .map(|inp| {
+            let mut ws = Workspace::new();
+            inp.load_into(&spec, &mut ws);
+            dist.run_overlapped(&mut ws, &mut NoopObserver)
+                .expect("fault-free run")
+        })
+        .collect();
+    let clean_totals = dist.cache.as_ref().expect("cache installed").totals();
+    assert!(clean_totals.hits > 0, "skewed traffic must hit: {clean_totals}");
+
+    // Chaos run: same traffic, same plan, replicas crashing underneath.
+    let services = services_for_plan();
+    let faults = FaultPlan::sample(
+        SEED ^ 0xCAC4E,
+        services.len(),
+        2,
+        &FaultSpec {
+            crash_prob: 0.5,
+            ..FaultSpec::default()
+        },
+    );
+    let pool = ReplicatedShardPool::spawn(services.clone(), 2, Duration::ZERO, &faults, no_ejection());
+    let mut dist = partition_with_clients(
+        build_model(&spec, SEED).expect("build"),
+        &p,
+        services,
+        pool.clients(),
+    )
+    .expect("partition");
+    let cache = Arc::clone(dist.cache.as_ref().expect("cache installed"));
+    pool.attach_cache(Arc::clone(&cache));
+    assert!(dist.set_rpc_policy(deterministic_policy()) >= 1);
+
+    let outcomes = closed_loop(&dist, &inputs);
+    let summary = pool.transport_summary();
+    pool.shutdown();
+
+    // Cache serving happens before any wire attempt, so crashing
+    // replicas cannot change what the cache absorbs: the faulted run's
+    // cache totals equal the fault-free run's, hit for hit.
+    assert_eq!(cache.totals(), clean_totals, "faults leaked into the cache tier");
+    assert_eq!(summary.cache, clean_totals);
+
+    // Cache-served rows are never part of the degraded fallback: a
+    // request that reports zero degraded RPCs is bit-exact, cached bags
+    // included.
+    let mut clean = 0;
+    for (i, (out, degraded, _)) in outcomes.iter().enumerate() {
+        let Some(out) = out else { continue };
+        if *degraded > 0 {
+            continue; // zero-embedding fallback on the *remote* slices
+        }
+        assert_eq!(out, &baseline[i], "request {i} diverged without degrading");
+        clean += 1;
+    }
+    assert!(clean >= 8, "only {clean}/16 non-degraded completions");
+}
+
+#[test]
+fn frontend_identities_hold_with_cache_under_faults() {
+    let spec = chaos_spec();
+    let skew = 1.2;
+    let p = hot_plan_for(&spec, 2, skew);
+    let model = build_model(&spec, SEED).expect("build");
+    let services: Vec<Arc<ShardService>> = p
+        .shards()
+        .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
+        .collect();
+    let faults = FaultPlan::sample(
+        SEED ^ 0xFACADE,
+        services.len(),
+        2,
+        &FaultSpec {
+            crash_prob: 0.5,
+            transient_prob: 0.05,
+            ..FaultSpec::default()
+        },
+    );
+    let pool = ReplicatedShardPool::spawn(
+        services.clone(),
+        2,
+        Duration::ZERO,
+        &faults,
+        HealthPolicy::default(),
+    );
+    let mut dist = partition_with_clients(model, &p, services, pool.clients()).expect("partition");
+    pool.attach_cache(Arc::clone(dist.cache.as_ref().expect("cache installed")));
+    assert!(dist.set_rpc_policy(RpcPolicy::resilient()) >= 1);
+
+    let db = TraceDb::generate(&spec, 20, SEED ^ 4);
+    let requests = materialize_frontend_requests(&spec, &db, SEED ^ 5);
+    let n = requests.len();
+    let schedule = ArrivalSchedule::poisson(n, 1500.0, SEED ^ 6);
+    let cfg = FrontendConfig {
+        queue_capacity: n,
+        max_batch_requests: 4,
+        batch_timeout: Duration::from_millis(2),
+        sla: Duration::from_millis(250),
+        workers: 2,
+    };
+    let mut report = run_frontend(&dist, requests, &schedule, &cfg);
+    report.transport = Some(pool.transport_summary());
+    pool.shutdown();
+
+    // The PR-5 identities are untouched by the cache tier.
+    assert_eq!(report.offered, n as u64);
+    assert_eq!(report.offered, report.admitted + report.shed);
+    assert_eq!(report.completed + report.failed, report.admitted);
+    assert_eq!(report.predictions.len(), report.completed as usize);
+    assert!(report.degraded <= report.completed);
+    assert_eq!(report.failed_by_cause.total(), report.failed);
+
+    // The cache counters flowed batch-deduped into the report and agree
+    // with the transport's view of the same cache. A failed batch's ops
+    // record into the cache at issue time but never reach the observer,
+    // so the report may undercount — never overcount — under faults.
+    let transport = report.transport.as_ref().expect("transport attached");
+    assert!(!transport.cache.is_zero(), "no cache activity recorded");
+    if report.failed == 0 {
+        assert_eq!(report.cache_hits, transport.cache.hits);
+        assert_eq!(report.cache_misses, transport.cache.misses);
+        assert_eq!(report.cache_local_rows, transport.cache.local_rows);
+    } else {
+        assert!(report.cache_hits <= transport.cache.hits);
+        assert!(report.cache_misses <= transport.cache.misses);
+        assert!(report.cache_local_rows <= transport.cache.local_rows);
+    }
+    assert!(report.cache_hits > 0, "no cache hits surfaced in the report");
+    let text = report.to_string();
+    assert!(text.contains("cache hits"), "{text}");
+    assert!(text.contains("cache["), "{text}");
+}

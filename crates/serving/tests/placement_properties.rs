@@ -1,0 +1,313 @@
+//! Placement properties: the hot-row cache tier must be an *invisible*
+//! optimization. A `HotRowAware` plan changes where embedding rows are
+//! served from — never what any request computes. Every test here pins
+//! that contract:
+//!
+//! - **Statistics determinism** — the same sampling seed yields the
+//!   same `RowStats` (ranked rows, CDF, hot set), so a plan computed on
+//!   one host reproduces on another.
+//! - **Bit-exactness** — cached serving matches the pure-RPC path
+//!   bit for bit across model specs, shard counts, and Zipf skews, on
+//!   both the threaded (in-process replica) and TCP loopback
+//!   transports. The TCP variant round-trips the plan through the v2
+//!   text format first, exactly as the control plane would publish it.
+//! - **Fan-out reduction** — at high skew the cache tier sends fewer
+//!   embedding rows over the wire than a capacity-only plan for the
+//!   same traffic, which is the whole point.
+
+use dlrm_model::graph::NoopObserver;
+use dlrm_model::{build_model, rm, ModelSpec, Workspace};
+use dlrm_serving::fault::FaultPlan;
+use dlrm_serving::replica::{HealthPolicy, ReplicatedShardPool};
+use dlrm_serving::shard_server::TcpShardPool;
+use dlrm_sharding::publish::{plan_from_text, plan_to_text};
+use dlrm_sharding::{
+    partition, partition_with_clients, plan, plan_with_stats, DistributedModel, HotRowConfig,
+    ShardService, ShardingPlan, ShardingStrategy,
+};
+use dlrm_tensor::Matrix;
+use dlrm_workload::{
+    materialize_request_with, BatchInputs, IndexDist, PoolingProfile, RowStats, TraceDb,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 53;
+
+/// Zipf-skewed request batches for `spec` (the distribution the
+/// placement planner profiled).
+fn skewed_inputs(spec: &ModelSpec, requests: usize, skew: f64) -> Vec<BatchInputs> {
+    let db = TraceDb::generate(spec, requests, SEED ^ 2);
+    (0..requests)
+        .flat_map(|i| materialize_request_with(spec, db.get(i), 8, SEED ^ 3, IndexDist::Zipf(skew)))
+        .collect()
+}
+
+/// Runs every input through `dist`, returning predictions.
+fn run_all(dist: &DistributedModel, inputs: &[BatchInputs]) -> Vec<Matrix> {
+    inputs
+        .iter()
+        .map(|inp| {
+            let mut ws = Workspace::new();
+            inp.load_into(&dist.spec, &mut ws);
+            dist.run_overlapped(&mut ws, &mut NoopObserver)
+                .expect("request")
+        })
+        .collect()
+}
+
+/// Cache budget for the property runs: generous enough that skewed
+/// traffic reliably lands whole bags in the hot set (the all-or-nothing
+/// serving rule needs every row of a bag resident). The *default*
+/// config's hit-rate band is pinned by the `cache_smoke` gate instead.
+fn test_config() -> HotRowConfig {
+    HotRowConfig {
+        coverage: 0.95,
+        budget_fraction: 0.5,
+    }
+}
+
+fn hot_plan(spec: &ModelSpec, shards: usize, skew: f64) -> ShardingPlan {
+    let profile = PoolingProfile::from_spec(spec);
+    let stats = RowStats::for_spec(spec, 4_000, skew, SEED);
+    plan_with_stats(
+        spec,
+        &profile,
+        ShardingStrategy::HotRowAware(shards),
+        &stats,
+        &test_config(),
+    )
+    .expect("hot-row plan")
+}
+
+fn services_for(spec: &ModelSpec, p: &ShardingPlan) -> Vec<Arc<ShardService>> {
+    let model = build_model(spec, SEED).expect("build");
+    p.shards()
+        .map(|s| Arc::new(ShardService::build(&model.tables, p, s)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Statistics determinism
+// ---------------------------------------------------------------------
+
+#[test]
+fn row_stats_same_seed_is_deterministic() {
+    let spec = rm::rm1().scaled_to_bytes(1 << 20);
+    let a = RowStats::for_spec(&spec, 5_000, 1.2, 11);
+    let b = RowStats::for_spec(&spec, 5_000, 1.2, 11);
+    assert_eq!(a, b, "same seed must reproduce identical statistics");
+    let c = RowStats::for_spec(&spec, 5_000, 1.2, 12);
+    assert_ne!(a, c, "a different seed should sample differently");
+
+    for stats in &a {
+        // The CDF is a proper cumulative distribution: monotone
+        // nondecreasing over ranked rows, reaching exactly 1.
+        let cdf = stats.cdf();
+        assert!(!cdf.is_empty());
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]), "CDF not monotone");
+        let last = *cdf.last().unwrap();
+        assert!((last - 1.0).abs() < 1e-9, "CDF ends at {last}, not 1.0");
+
+        // The serialized hot-set summary round-trips the hot prefix.
+        let k = 16.min(stats.ranked().len());
+        let rt = RowStats::from_summary_text(&stats.summary_text(k)).expect("summary round trip");
+        assert_eq!(rt.hot_rows(k), stats.hot_rows(k));
+        assert_eq!(rt.rows(), stats.rows());
+        assert_eq!(rt.total_accesses(), stats.total_accesses());
+    }
+}
+
+#[test]
+fn same_stats_produce_the_same_plan() {
+    let spec = rm::rm2().scaled_to_bytes(1 << 20);
+    let a = hot_plan(&spec, 3, 1.1);
+    let b = hot_plan(&spec, 3, 1.1);
+    assert_eq!(a, b, "planning must be a pure function of its inputs");
+    assert!(a.has_hot_rows(), "skewed stats must elect hot rows");
+}
+
+// ---------------------------------------------------------------------
+// Bit-exactness: threaded transport, across specs and skews
+// ---------------------------------------------------------------------
+
+#[test]
+fn threaded_cache_tier_is_bit_exact_across_specs_and_skews() {
+    let cases = [
+        (rm::rm1().scaled_to_bytes(1 << 20), 2, 0.7),
+        (rm::rm1().scaled_to_bytes(1 << 20), 3, 1.2),
+        (rm::rm2().scaled_to_bytes(1 << 20), 2, 1.2),
+    ];
+    for (mut spec, shards, skew) in cases {
+        spec.mean_items_per_request = 6.0;
+        spec.default_batch_size = 4;
+        let inputs = skewed_inputs(&spec, 6, skew);
+        let label = format!("{} shards={shards} skew={skew}", spec.name);
+
+        // Ground truth: the unsharded model.
+        let singular = build_model(&spec, SEED).expect("build");
+        let baseline: Vec<Matrix> = inputs
+            .iter()
+            .map(|inp| {
+                let mut ws = Workspace::new();
+                inp.load_into(&spec, &mut ws);
+                singular.run(&mut ws, &mut NoopObserver).expect("singular")
+            })
+            .collect();
+
+        let p = hot_plan(&spec, shards, skew);
+        assert!(p.has_hot_rows(), "{label}: no hot rows elected");
+
+        // In-process clients (the `partition` default path).
+        let dist = partition(build_model(&spec, SEED).expect("build"), &p).expect("partition");
+        assert_eq!(run_all(&dist, &inputs), baseline, "{label}: in-process diverged");
+
+        // Threaded replica transport with the cache attached to the pool.
+        let services = services_for(&spec, &p);
+        let pool = ReplicatedShardPool::spawn(
+            services.clone(),
+            2,
+            Duration::ZERO,
+            &FaultPlan::none(),
+            HealthPolicy::default(),
+        );
+        let dist = partition_with_clients(
+            build_model(&spec, SEED).expect("build"),
+            &p,
+            services,
+            pool.clients(),
+        )
+        .expect("partition");
+        let cache = dist.cache.as_ref().expect("hot plan installs a cache");
+        pool.attach_cache(Arc::clone(cache));
+        assert_eq!(run_all(&dist, &inputs), baseline, "{label}: threaded diverged");
+
+        let summary = pool.transport_summary();
+        assert!(
+            summary.cache.hits > 0,
+            "{label}: Zipf traffic never hit the hot set: {}",
+            summary.cache
+        );
+        assert_eq!(summary.cache, cache.totals());
+        pool.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit-exactness: TCP transport through the published v2 plan
+// ---------------------------------------------------------------------
+
+#[test]
+fn tcp_cache_tier_round_trips_the_plan_and_stays_bit_exact() {
+    let mut spec = rm::rm1().scaled_to_bytes(1 << 20);
+    spec.mean_items_per_request = 6.0;
+    spec.default_batch_size = 4;
+    let skew = 1.2;
+    let inputs = skewed_inputs(&spec, 6, skew);
+
+    // The plan crosses the control plane as text; the server side must
+    // reconstruct the identical placement, hot rows included.
+    let p = hot_plan(&spec, 2, skew);
+    let text = plan_to_text(&p);
+    assert!(text.starts_with("dlrm-plan v2\n"), "hot plans publish as v2: {text}");
+    let p = plan_from_text(&text).expect("plan round trip");
+    assert_eq!(p, hot_plan(&spec, 2, skew), "round trip changed the plan");
+    assert!(p.hot_row_count() > 0);
+
+    let singular = build_model(&spec, SEED).expect("build");
+    let baseline: Vec<Matrix> = inputs
+        .iter()
+        .map(|inp| {
+            let mut ws = Workspace::new();
+            inp.load_into(&spec, &mut ws);
+            singular.run(&mut ws, &mut NoopObserver).expect("singular")
+        })
+        .collect();
+
+    let services = services_for(&spec, &p);
+    let pool = TcpShardPool::spawn(
+        services.clone(),
+        1,
+        Duration::ZERO,
+        &FaultPlan::none(),
+        HealthPolicy::default(),
+    )
+    .expect("spawn tcp pool");
+    let dist = partition_with_clients(
+        build_model(&spec, SEED).expect("build"),
+        &p,
+        services,
+        pool.clients(),
+    )
+    .expect("partition");
+    let cache = dist.cache.as_ref().expect("hot plan installs a cache");
+    pool.attach_cache(Arc::clone(cache));
+
+    assert_eq!(run_all(&dist, &inputs), baseline, "TCP cache tier diverged");
+
+    let summary = pool.transport_summary();
+    assert!(!summary.wire.is_zero(), "cold rows must still cross the wire");
+    assert!(summary.cache.hits > 0, "no cache hits under Zipf traffic");
+    assert!(summary.cache.local_rows > 0);
+    pool.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Fan-out reduction
+// ---------------------------------------------------------------------
+
+#[test]
+fn hot_row_plan_sends_fewer_rows_over_the_wire_at_high_skew() {
+    let mut spec = rm::rm1().scaled_to_bytes(1 << 20);
+    spec.mean_items_per_request = 6.0;
+    spec.default_batch_size = 4;
+    let skew = 1.2;
+    let inputs = skewed_inputs(&spec, 8, skew);
+
+    // The same traffic through a capacity-only plan and the hot-row
+    // plan, both over the threaded replica transport.
+    let rows_sent = |p: &ShardingPlan| {
+        let services = services_for(&spec, p);
+        let pool = ReplicatedShardPool::spawn(
+            services.clone(),
+            1,
+            Duration::ZERO,
+            &FaultPlan::none(),
+            HealthPolicy::default(),
+        );
+        let dist = partition_with_clients(
+            build_model(&spec, SEED).expect("build"),
+            p,
+            services,
+            pool.clients(),
+        )
+        .expect("partition");
+        if let Some(cache) = &dist.cache {
+            pool.attach_cache(Arc::clone(cache));
+        }
+        let out = run_all(&dist, &inputs);
+        let summary = pool.transport_summary();
+        pool.shutdown();
+        (out, summary)
+    };
+
+    let profile = PoolingProfile::from_spec(&spec);
+    let capacity =
+        plan(&spec, &profile, ShardingStrategy::CapacityBalanced(2)).expect("capacity plan");
+    let (base_out, base) = rows_sent(&capacity);
+    let (hot_out, hot) = rows_sent(&hot_plan(&spec, 2, skew));
+
+    assert_eq!(hot_out, base_out, "plans must agree bit for bit");
+    assert_eq!(base.cache, Default::default(), "capacity plan has no cache");
+    assert!(
+        hot.rows_sent < base.rows_sent,
+        "hot-row plan must shrink wire traffic: {} vs {}",
+        hot.rows_sent,
+        base.rows_sent
+    );
+    assert_eq!(
+        hot.rows_sent + hot.cache.local_rows,
+        base.rows_sent,
+        "every looked-up row is either wired or cache-served"
+    );
+}

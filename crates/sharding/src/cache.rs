@@ -1,0 +1,292 @@
+//! Hot-row cache tier: main-shard-resident copies of the hottest
+//! embedding rows.
+//!
+//! RecShard-style placement (see [`crate::plan_with_stats`]) marks a
+//! small, access-CDF-chosen set of rows per table as *hot*. This module
+//! materializes those rows into a read-only cache living on the main
+//! shard, so the RPC layer ([`crate::rpc::SparseRpc`]) can pool a bag
+//! entirely locally whenever every one of its rows is resident —
+//! cutting the rows shipped over the wire without changing a single
+//! output bit. Bags are strictly all-or-nothing: a bag with even one
+//! cold row goes to its shard whole, because splitting a bag would
+//! change float summation order.
+//!
+//! The cache holds *copies*: shards still host their full tables, so
+//! retries, hedges, failover, and degraded fallback behave exactly as
+//! without a cache — except that fully-local bags can never be lost to
+//! a shard outage.
+
+use crate::plan::ShardingPlan;
+use dlrm_model::{EmbeddingTable, TableId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache-tier counters: how much lookup traffic the hot-row cache
+/// absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheTotals {
+    /// Bags pooled entirely from the cache (no wire traffic).
+    pub hits: u64,
+    /// Bags with at least one cold row (went to a shard whole).
+    pub misses: u64,
+    /// Row lookups served from the cache (the rows kept off the wire).
+    pub local_rows: u64,
+}
+
+impl CacheTotals {
+    /// Whether nothing was counted.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &CacheTotals) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.local_rows += other.local_rows;
+    }
+
+    /// Fraction of counted bags served entirely from the cache (0.0
+    /// when nothing was counted).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+impl std::fmt::Display for CacheTotals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits {} misses {} ({:.4} hit rate), {} local rows",
+            self.hits,
+            self.misses,
+            self.hit_rate(),
+            self.local_rows
+        )
+    }
+}
+
+/// One table's resident hot rows: sorted global row ids plus their
+/// weights, bit-copied from the source table.
+#[derive(Debug)]
+pub(crate) struct TableCache {
+    /// Resident global row ids, strictly ascending.
+    rows: Vec<u64>,
+    dim: usize,
+    /// Row weights in `rows` order, `dim` floats per row.
+    data: Vec<f32>,
+}
+
+impl TableCache {
+    /// The resident slot of `row`, if cached.
+    fn slot(&self, row: u64) -> Option<usize> {
+        self.rows.binary_search(&row).ok()
+    }
+
+    /// Whether every index of `bag` is resident.
+    pub(crate) fn covers(&self, bag: &[u64]) -> bool {
+        bag.iter().all(|&r| self.slot(r).is_some())
+    }
+
+    /// Pools `bag` (global row ids) into `out` by summing resident rows
+    /// in index order — the same sequential accumulation the shard-side
+    /// SLS kernel uses per bag, so the result is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row is not resident or `out` is not `dim` wide.
+    pub(crate) fn pool_into(&self, bag: &[u64], out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "cache pool output width");
+        for &row in bag {
+            let slot = self.slot(row).expect("pooled row must be resident");
+            for (o, &w) in out.iter_mut().zip(&self.data[slot * self.dim..(slot + 1) * self.dim]) {
+                *o += w;
+            }
+        }
+    }
+}
+
+/// The main shard's read-only hot-row cache, built from a plan's
+/// hot-row sets against the full embedding tables.
+#[derive(Debug)]
+pub struct HotRowCache {
+    /// Per-table residency, indexed by table id (`None` = no hot set).
+    tables: Vec<Option<TableCache>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    local_rows: AtomicU64,
+}
+
+impl HotRowCache {
+    /// Materializes the plan's hot-row sets from `tables` (indexed by
+    /// table id, as built by the model builder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan and tables disagree in count or a hot row is
+    /// out of range.
+    #[must_use]
+    pub fn build(tables: &[Arc<EmbeddingTable>], plan: &ShardingPlan) -> Self {
+        assert_eq!(
+            tables.len(),
+            plan.placements().len(),
+            "plan and tables must cover the same model"
+        );
+        let tables = tables
+            .iter()
+            .enumerate()
+            .map(|(ti, table)| {
+                let rows = plan.hot_rows(TableId(ti));
+                if rows.is_empty() {
+                    return None;
+                }
+                let dim = table.dim();
+                let mut data = Vec::with_capacity(rows.len() * dim);
+                for &r in rows {
+                    let r = usize::try_from(r).expect("row exceeds usize");
+                    assert!(
+                        r < table.rows(),
+                        "hot row {r} out of range for table {ti} ({} rows)",
+                        table.rows()
+                    );
+                    data.extend_from_slice(table.row(r));
+                }
+                Some(TableCache {
+                    rows: rows.to_vec(),
+                    dim,
+                    data,
+                })
+            })
+            .collect();
+        Self {
+            tables,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            local_rows: AtomicU64::new(0),
+        }
+    }
+
+    /// The residency of one table, if it has a hot set.
+    pub(crate) fn table(&self, table: TableId) -> Option<&TableCache> {
+        self.tables.get(table.0).and_then(Option::as_ref)
+    }
+
+    /// Whether `row` of `table` is resident.
+    #[must_use]
+    pub fn covers(&self, table: TableId, row: u64) -> bool {
+        self.table(table).is_some_and(|t| t.slot(row).is_some())
+    }
+
+    /// Total resident rows across all tables.
+    #[must_use]
+    pub fn resident_rows(&self) -> usize {
+        self.tables
+            .iter()
+            .flatten()
+            .map(|t| t.rows.len())
+            .sum()
+    }
+
+    /// Total resident bytes (f32 weights only).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .flatten()
+            .map(|t| t.data.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Records one RPC op's split: `hits` fully-local bags, `misses`
+    /// bags that went remote, `local_rows` row lookups kept off the
+    /// wire.
+    pub(crate) fn record(&self, hits: u64, misses: u64, local_rows: u64) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        self.local_rows.fetch_add(local_rows, Ordering::Relaxed);
+    }
+
+    /// Counters accumulated since construction.
+    #[must_use]
+    pub fn totals(&self) -> CacheTotals {
+        CacheTotals {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            local_rows: self.local_rows.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Location, ShardId, TablePlacement};
+    use crate::ShardingStrategy;
+    use dlrm_tensor::Matrix;
+
+    fn table(rows: usize, dim: usize, salt: f32) -> Arc<EmbeddingTable> {
+        let data: Vec<f32> = (0..rows * dim).map(|i| salt + i as f32).collect();
+        Arc::new(EmbeddingTable::from_weights(
+            "t",
+            Matrix::from_vec(rows, dim, data),
+        ))
+    }
+
+    fn one_table_plan(hot: Vec<u64>) -> ShardingPlan {
+        ShardingPlan::new(
+            ShardingStrategy::OneShard,
+            1,
+            vec![TablePlacement {
+                table: TableId(0),
+                location: Location::Shards(vec![ShardId(0)]),
+            }],
+        )
+        .with_hot_rows(vec![hot])
+    }
+
+    #[test]
+    fn cached_pooling_matches_the_table_kernel_bit_for_bit() {
+        let t = table(10, 4, 0.25);
+        let cache = HotRowCache::build(std::slice::from_ref(&t), &one_table_plan(vec![1, 3, 7]));
+        let tc = cache.table(TableId(0)).unwrap();
+        assert!(tc.covers(&[3, 1, 7, 1]));
+        assert!(!tc.covers(&[3, 2]));
+        let mut out = vec![0.0f32; 4];
+        tc.pool_into(&[3, 1, 7, 1], &mut out);
+        let expect = t.sparse_lengths_sum(&[3, 1, 7, 1], &[4]);
+        assert_eq!(out.as_slice(), expect.row(0));
+    }
+
+    #[test]
+    fn residency_and_counters() {
+        let t = table(6, 2, 0.0);
+        let cache = HotRowCache::build(std::slice::from_ref(&t), &one_table_plan(vec![0, 5]));
+        assert!(cache.covers(TableId(0), 5));
+        assert!(!cache.covers(TableId(0), 4));
+        assert_eq!(cache.resident_rows(), 2);
+        assert_eq!(cache.resident_bytes(), 2 * 2 * 4);
+        assert!(cache.totals().is_zero());
+        cache.record(3, 1, 9);
+        cache.record(1, 0, 2);
+        let totals = cache.totals();
+        assert_eq!(totals.hits, 4);
+        assert_eq!(totals.misses, 1);
+        assert_eq!(totals.local_rows, 11);
+        assert!((totals.hit_rate() - 0.8).abs() < 1e-12);
+        let text = totals.to_string();
+        assert!(text.contains("hits 4") && text.contains("11 local rows"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn build_rejects_out_of_range_hot_rows() {
+        let t = table(4, 2, 0.0);
+        let _ = HotRowCache::build(std::slice::from_ref(&t), &one_table_plan(vec![9]));
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod auto;
+mod cache;
 mod partition;
 mod plan;
 mod planner;
@@ -46,9 +47,10 @@ pub mod rpc;
 mod shard_service;
 mod strategy;
 
+pub use cache::{CacheTotals, HotRowCache};
 pub use partition::{partition, partition_with_clients, DistributedModel, PartitionError};
 pub use rpc::{RpcError, RpcPolicy};
 pub use plan::{Location, ShardId, ShardingPlan, TablePlacement};
-pub use planner::{plan, PlanError};
+pub use planner::{plan, plan_with_stats, HotRowConfig, PlanError};
 pub use shard_service::{InProcessClient, ShardService};
 pub use strategy::ShardingStrategy;

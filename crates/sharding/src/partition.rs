@@ -8,6 +8,7 @@
 //! nets contain [`SparseRpc`] operators in place of the relocated
 //! `SparseLengthsSum` operators, plus per-shard [`ShardService`]s.
 
+use crate::cache::HotRowCache;
 use crate::plan::{ShardId, ShardingPlan};
 use crate::rpc::{RpcFetch, SparseRpc, SparseShardClient};
 use crate::{InProcessClient, ShardService};
@@ -63,6 +64,11 @@ pub struct DistributedModel {
     pub plan: ShardingPlan,
     /// Name of the final prediction blob.
     pub output_blob: String,
+    /// The main shard's hot-row cache, when the plan carries hot-row
+    /// sets (see [`crate::plan_with_stats`]). Shared by every
+    /// [`SparseRpc`] operator; its [`HotRowCache::totals`] accumulate
+    /// across requests.
+    pub cache: Option<Arc<HotRowCache>>,
 }
 
 impl DistributedModel {
@@ -210,6 +216,14 @@ pub fn partition_with_clients(
         )));
     }
 
+    // Materialize the plan's hot-row sets while the full tables are
+    // still at hand; every RPC operator below shares this cache.
+    let cache = if plan.has_hot_rows() {
+        Some(Arc::new(HotRowCache::build(&model.tables, plan)))
+    } else {
+        None
+    };
+
     let spec = model.spec.clone();
     let output_blob = model.output_blob.clone();
     // Table lookup by name (builder names tables uniquely).
@@ -275,12 +289,16 @@ pub fn partition_with_clients(
         if let Some(pos) = insert_at {
             let mut inserted: Vec<Box<dyn Operator>> = Vec::new();
             for (shard, fetches) in fetches_by_shard {
-                inserted.push(Box::new(SparseRpc::new(
+                let mut rpc = SparseRpc::new(
                     format!("{net_name}/rpc/{shard}"),
                     net_id,
                     Arc::clone(&clients[shard.0]),
                     fetches,
-                )));
+                );
+                if let Some(cache) = &cache {
+                    rpc.set_cache(Arc::clone(cache));
+                }
+                inserted.push(Box::new(rpc));
             }
             for (table_name, parts, output) in combines {
                 inserted.push(Box::new(ElementwiseSum::new(
@@ -316,6 +334,7 @@ pub fn partition_with_clients(
         shards: services,
         plan: plan.clone(),
         output_blob,
+        cache,
     })
 }
 
@@ -450,6 +469,46 @@ mod tests {
                 assert_eq!(a, b, "{strategy}");
             }
         }
+    }
+
+    #[test]
+    fn hot_row_aware_cache_matches_singular_bit_for_bit() {
+        use crate::{plan_with_stats, HotRowConfig};
+        use dlrm_workload::{materialize_request_with, IndexDist, RowStats};
+
+        let spec = rm::rm1().scaled_to_bytes(4 << 20);
+        let profile = PoolingProfile::from_spec(&spec);
+        let stats = RowStats::for_spec(&spec, 4_000, 1.1, 7);
+        let p = plan_with_stats(
+            &spec,
+            &profile,
+            ShardingStrategy::HotRowAware(4),
+            &stats,
+            &HotRowConfig::default(),
+        )
+        .unwrap();
+        let singular = build_model(&spec, 42).unwrap();
+        let dist = partition(build_model(&spec, 42).unwrap(), &p).unwrap();
+        let cache = dist.cache.as_ref().expect("hot plan installs a cache");
+        assert!(cache.resident_rows() > 0);
+
+        // Zipf traffic matching the profiled skew, so the hot set is
+        // actually exercised.
+        let db = TraceDb::generate(&spec, 2, 5);
+        for batch in materialize_request_with(&spec, db.get(0), 8, 9, IndexDist::Zipf(1.1)) {
+            let mut ws_a = Workspace::new();
+            batch.load_into(&spec, &mut ws_a);
+            let mut ws_b = ws_a.clone();
+            let mut ws_c = ws_a.clone();
+            let a = singular.run(&mut ws_a, &mut NoopObserver).unwrap();
+            let b = dist.run(&mut ws_b, &mut NoopObserver).unwrap();
+            let c = dist.run_overlapped(&mut ws_c, &mut NoopObserver).unwrap();
+            assert_eq!(a, b, "cache tier must be bit-exact with singular");
+            assert_eq!(a, c, "overlapped cache tier must be bit-exact too");
+        }
+        let totals = cache.totals();
+        assert!(totals.hits > 0, "skewed traffic must hit the hot set: {totals}");
+        assert!(totals.local_rows > 0);
     }
 
     #[test]

@@ -85,6 +85,12 @@ pub struct ShardingPlan {
     strategy: ShardingStrategy,
     num_shards: usize,
     placements: Vec<TablePlacement>,
+    /// Per-table hot-row sets (parallel to `placements`; all empty for
+    /// strategies without row statistics). A listed row stays *placed*
+    /// on its shard per `placements` — the hot set marks a read-only
+    /// main-shard copy the serving layer may consult instead of the
+    /// wire.
+    hot_rows: Vec<Vec<u64>>,
 }
 
 impl ShardingPlan {
@@ -112,11 +118,61 @@ impl ShardingPlan {
                 assert_eq!(unique.len(), shards.len(), "duplicate shards for {}", p.table);
             }
         }
+        let hot_rows = vec![Vec::new(); placements.len()];
         Self {
             strategy,
             num_shards,
             placements,
+            hot_rows,
         }
+    }
+
+    /// Attaches per-table hot-row sets (indexed by table id, each
+    /// sorted ascending) to the plan — the row-placement layer the
+    /// `HotRowAware` planner emits and the serving cache tier consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot_rows` is not parallel to the placements or a
+    /// table's set is not strictly ascending (sorted, no duplicates).
+    #[must_use]
+    pub fn with_hot_rows(mut self, hot_rows: Vec<Vec<u64>>) -> Self {
+        assert_eq!(
+            hot_rows.len(),
+            self.placements.len(),
+            "hot-row sets must be parallel to placements"
+        );
+        for (t, rows) in hot_rows.iter().enumerate() {
+            assert!(
+                rows.windows(2).all(|w| w[0] < w[1]),
+                "hot rows for table {t} must be strictly ascending"
+            );
+        }
+        self.hot_rows = hot_rows;
+        self
+    }
+
+    /// The hot-row set of one table (sorted ascending; empty when the
+    /// plan carries no row placement for it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of range.
+    #[must_use]
+    pub fn hot_rows(&self, table: TableId) -> &[u64] {
+        &self.hot_rows[table.0]
+    }
+
+    /// Whether any table carries a hot-row set.
+    #[must_use]
+    pub fn has_hot_rows(&self) -> bool {
+        self.hot_rows.iter().any(|r| !r.is_empty())
+    }
+
+    /// Total hot rows across all tables.
+    #[must_use]
+    pub fn hot_row_count(&self) -> usize {
+        self.hot_rows.iter().map(Vec::len).sum()
     }
 
     /// The strategy that produced this plan.
@@ -328,6 +384,47 @@ mod tests {
             .collect();
         let plan = ShardingPlan::new(ShardingStrategy::CapacityBalanced(2), 2, placements);
         assert!(plan.validate(&spec).unwrap_err().contains("hosts no tables"));
+    }
+
+    #[test]
+    fn hot_rows_attach_and_read_back() {
+        let spec = two_table_spec();
+        let placements: Vec<TablePlacement> = spec
+            .tables
+            .iter()
+            .map(|t| TablePlacement {
+                table: t.id,
+                location: Location::Shards(vec![ShardId(0)]),
+            })
+            .collect();
+        let n = placements.len();
+        let plan = ShardingPlan::new(ShardingStrategy::OneShard, 1, placements);
+        assert!(!plan.has_hot_rows());
+        assert!(plan.hot_rows(TableId(0)).is_empty());
+        let mut hot = vec![Vec::new(); n];
+        hot[0] = vec![3, 9, 40];
+        let plan = plan.with_hot_rows(hot);
+        assert!(plan.has_hot_rows());
+        assert_eq!(plan.hot_rows(TableId(0)), &[3, 9, 40]);
+        assert_eq!(plan.hot_row_count(), 3);
+        assert!(plan.hot_rows(TableId(1)).is_empty());
+        // Hot rows are serving-layer copies, not placements: the plan
+        // still validates as-is.
+        assert_eq!(plan.validate(&spec), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn hot_rows_must_be_sorted_and_unique() {
+        let plan = ShardingPlan::new(
+            ShardingStrategy::OneShard,
+            1,
+            vec![TablePlacement {
+                table: TableId(0),
+                location: Location::Shards(vec![ShardId(0)]),
+            }],
+        );
+        let _ = plan.with_hot_rows(vec![vec![5, 5]]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::plan::{Location, ShardId, ShardingPlan, TablePlacement};
 use crate::ShardingStrategy;
 use dlrm_model::{ModelSpec, NetId, TableId};
-use dlrm_workload::PoolingProfile;
+use dlrm_workload::{PoolingProfile, RowStats};
 
 /// Errors from sharding-plan construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,7 +102,149 @@ pub fn plan(
             let config = crate::auto::AutoConfig::for_model(spec, n);
             crate::auto::auto_plan(spec, profile, &config)
         }
+        ShardingStrategy::HotRowAware(_) => Err(PlanError::Infeasible(
+            "HotRowAware placement requires row statistics; plan via plan_with_stats".to_string(),
+        )),
     }
+}
+
+/// Tuning for [`plan_with_stats`] hot-row selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotRowConfig {
+    /// Per-table CDF coverage cap: a table contributes hot-row
+    /// candidates only up to this fraction of its sampled accesses
+    /// (the CDF tail past this point is not worth caching).
+    pub coverage: f64,
+    /// Cache byte budget as a fraction of the model's total
+    /// embedding-table bytes.
+    pub budget_fraction: f64,
+}
+
+impl Default for HotRowConfig {
+    fn default() -> Self {
+        Self {
+            coverage: 0.9,
+            budget_fraction: 0.05,
+        }
+    }
+}
+
+/// [`plan`] extended with per-table row statistics, enabling the
+/// [`ShardingStrategy::HotRowAware`] strategy (RecShard-style): rows
+/// are ranked by expected accesses saved per cached byte
+/// (`pooling-weighted frequency / row bytes`), greedily selected across
+/// all tables under the byte budget and per-table coverage cap of
+/// `cfg`, and recorded as the plan's hot-row sets. Whole tables are
+/// then LPT-balanced across the `n` shards by *residual* (uncovered)
+/// access weight, so the shards split the cold traffic evenly.
+///
+/// Tables stay whole (no row-sharding), which keeps per-bag summation
+/// order identical to the singular model — the property that makes the
+/// serving cache tier bit-exact.
+///
+/// Strategies other than `HotRowAware` ignore `stats` and `cfg` and
+/// defer to [`plan`].
+///
+/// # Errors
+///
+/// Returns [`PlanError`] when the strategy/shard-count combination is
+/// infeasible, or when `stats` does not match `spec`'s tables.
+pub fn plan_with_stats(
+    spec: &ModelSpec,
+    profile: &PoolingProfile,
+    strategy: ShardingStrategy,
+    stats: &[RowStats],
+    cfg: &HotRowConfig,
+) -> Result<ShardingPlan, PlanError> {
+    let ShardingStrategy::HotRowAware(n) = strategy else {
+        return plan(spec, profile, strategy);
+    };
+    if stats.len() != spec.tables.len() {
+        return Err(PlanError::Infeasible(format!(
+            "row stats cover {} tables, model has {}",
+            stats.len(),
+            spec.tables.len()
+        )));
+    }
+    for (t, s) in spec.tables.iter().zip(stats) {
+        if s.rows() != t.rows {
+            return Err(PlanError::Infeasible(format!(
+                "row stats for {} profile {} rows, table has {}",
+                t.id,
+                s.rows(),
+                t.rows
+            )));
+        }
+    }
+    if !(cfg.coverage > 0.0 && cfg.coverage <= 1.0) {
+        return Err(PlanError::Infeasible(format!(
+            "coverage {} outside (0, 1]",
+            cfg.coverage
+        )));
+    }
+    if !(cfg.budget_fraction > 0.0 && cfg.budget_fraction <= 1.0) {
+        return Err(PlanError::Infeasible(format!(
+            "budget fraction {} outside (0, 1]",
+            cfg.budget_fraction
+        )));
+    }
+
+    // Candidate rows: each table's CDF prefix up to the coverage cap,
+    // scored by expected accesses saved per cached byte. The pooling
+    // profile weighs tables by how much traffic they actually see.
+    struct Candidate {
+        table: usize,
+        row: u64,
+        count: u64,
+        score: f64,
+    }
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for (ti, (t, s)) in spec.tables.iter().zip(stats).enumerate() {
+        let row_bytes = (t.bytes() as f64 / t.rows as f64).max(1.0);
+        let weight = profile.of(t.id) / s.total_accesses() as f64;
+        let keep = s.rows_for_coverage(cfg.coverage);
+        for &(row, count) in s.ranked().iter().take(keep) {
+            candidates.push(Candidate {
+                table: ti,
+                row,
+                count,
+                score: count as f64 * weight / row_bytes,
+            });
+        }
+    }
+    // Deterministic order: score descending, then table/row ascending.
+    candidates.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then(a.table.cmp(&b.table))
+            .then(a.row.cmp(&b.row))
+    });
+
+    let budget = cfg.budget_fraction * spec.total_bytes() as f64;
+    let mut spent = 0.0f64;
+    let mut hot: Vec<Vec<u64>> = vec![Vec::new(); spec.tables.len()];
+    let mut covered: Vec<u64> = vec![0; spec.tables.len()];
+    for c in candidates {
+        let row_bytes = spec.tables[c.table].bytes() as f64 / spec.tables[c.table].rows as f64;
+        if spent + row_bytes > budget {
+            break;
+        }
+        spent += row_bytes;
+        hot[c.table].push(c.row);
+        covered[c.table] += c.count;
+    }
+    for rows in &mut hot {
+        rows.sort_unstable();
+    }
+
+    // Balance whole tables across shards by the access weight the cache
+    // does NOT absorb.
+    let residual = |t: &dlrm_model::TableSpec| {
+        let s = &stats[t.id.0];
+        let cold = (s.total_accesses() - covered[t.id.0]) as f64 / s.total_accesses() as f64;
+        profile.of(t.id) * cold
+    };
+    Ok(balanced_plan(spec, strategy, n, residual)?.with_hot_rows(hot))
 }
 
 /// Longest-processing-time greedy balance: sort tables by descending
@@ -573,5 +715,96 @@ mod tests {
             let b = plan(&spec, &prof, strat).unwrap();
             assert_eq!(a, b, "{strat}");
         }
+    }
+
+    fn stats_for(spec: &ModelSpec, s: f64, seed: u64) -> Vec<RowStats> {
+        RowStats::for_spec(spec, 4_000, s, seed)
+    }
+
+    #[test]
+    fn hot_row_aware_requires_stats() {
+        let spec = rm::rm3().scaled_to_bytes(8 << 20);
+        let prof = profile_for(&spec);
+        assert!(matches!(
+            plan(&spec, &prof, ShardingStrategy::HotRowAware(2)),
+            Err(PlanError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn hot_row_aware_plans_whole_tables_with_hot_sets_under_budget() {
+        let spec = rm::rm1().scaled_to_bytes(32 << 20);
+        let prof = profile_for(&spec);
+        let stats = stats_for(&spec, 1.2, 17);
+        let cfg = HotRowConfig::default();
+        let p = plan_with_stats(&spec, &prof, ShardingStrategy::HotRowAware(2), &stats, &cfg)
+            .unwrap();
+        assert_eq!(p.validate(&spec), Ok(()));
+        assert!(p.has_hot_rows(), "skewed stats must select hot rows");
+        // Whole-table placement only (bit-exactness depends on it).
+        for pl in p.placements() {
+            assert_eq!(pl.parts(), 1, "{} row-sharded", pl.table);
+        }
+        // Hot rows are in range, sorted, and within the byte budget.
+        let mut cached_bytes = 0.0;
+        for t in &spec.tables {
+            let rows = p.hot_rows(t.id);
+            assert!(rows.windows(2).all(|w| w[0] < w[1]));
+            assert!(rows.iter().all(|&r| r < t.rows), "{} out of range", t.id);
+            cached_bytes += rows.len() as f64 * t.bytes() as f64 / t.rows as f64;
+        }
+        assert!(cached_bytes <= cfg.budget_fraction * spec.total_bytes() as f64);
+    }
+
+    #[test]
+    fn hot_row_aware_is_deterministic_and_stats_sensitive() {
+        let spec = rm::rm2().scaled_to_bytes(16 << 20);
+        let prof = profile_for(&spec);
+        let cfg = HotRowConfig::default();
+        let stats = stats_for(&spec, 1.1, 5);
+        let a = plan_with_stats(&spec, &prof, ShardingStrategy::HotRowAware(2), &stats, &cfg)
+            .unwrap();
+        let b = plan_with_stats(&spec, &prof, ShardingStrategy::HotRowAware(2), &stats, &cfg)
+            .unwrap();
+        assert_eq!(a, b);
+        let other = stats_for(&spec, 1.1, 6);
+        let c = plan_with_stats(&spec, &prof, ShardingStrategy::HotRowAware(2), &other, &cfg)
+            .unwrap();
+        assert_ne!(a, c, "different samples should move the hot set");
+    }
+
+    #[test]
+    fn plan_with_stats_defers_for_other_strategies() {
+        let spec = rm::rm3().scaled_to_bytes(8 << 20);
+        let prof = profile_for(&spec);
+        let stats = stats_for(&spec, 1.0, 3);
+        let cfg = HotRowConfig::default();
+        let via_stats = plan_with_stats(
+            &spec,
+            &prof,
+            ShardingStrategy::CapacityBalanced(2),
+            &stats,
+            &cfg,
+        )
+        .unwrap();
+        let direct = plan(&spec, &prof, ShardingStrategy::CapacityBalanced(2)).unwrap();
+        assert_eq!(via_stats, direct);
+    }
+
+    #[test]
+    fn plan_with_stats_rejects_mismatched_stats() {
+        let spec = rm::rm3().scaled_to_bytes(8 << 20);
+        let prof = profile_for(&spec);
+        let short = vec![RowStats::sample_zipf(100, 100, 1.0, 1)];
+        assert!(matches!(
+            plan_with_stats(
+                &spec,
+                &prof,
+                ShardingStrategy::HotRowAware(2),
+                &short,
+                &HotRowConfig::default()
+            ),
+            Err(PlanError::Infeasible(_))
+        ));
     }
 }

@@ -28,9 +28,15 @@ impl std::fmt::Display for ParsePlanError {
 impl std::error::Error for ParsePlanError {}
 
 const HEADER: &str = "dlrm-plan v1";
+/// v2 adds optional `hot <table> <row>...` records carrying the
+/// hot-row placement layer; emitted only when the plan has one, so v1
+/// consumers keep reading v1 documents unchanged.
+const HEADER_V2: &str = "dlrm-plan v2";
 
 /// Serializes a plan: one `place` record per table, `main` or a
 /// comma-separated shard list (order = part order for row-sharding).
+/// Plans carrying hot-row sets serialize as format v2, appending one
+/// `hot` record per table with a non-empty set (rows ascending).
 ///
 /// # Examples
 ///
@@ -49,7 +55,8 @@ const HEADER: &str = "dlrm-plan v1";
 pub fn plan_to_text(plan: &ShardingPlan) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "{HEADER}");
+    let header = if plan.has_hot_rows() { HEADER_V2 } else { HEADER };
+    let _ = writeln!(out, "{header}");
     let _ = writeln!(out, "strategy {}", plan.strategy().label());
     let _ = writeln!(out, "shards {}", plan.num_shards());
     for p in plan.placements() {
@@ -66,6 +73,18 @@ pub fn plan_to_text(plan: &ShardingPlan) -> String {
                 let _ = writeln!(out, "place {} {list}", p.table.0);
             }
         }
+    }
+    for p in plan.placements() {
+        let rows = plan.hot_rows(p.table);
+        if rows.is_empty() {
+            continue;
+        }
+        let list = rows
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "hot {} {list}", p.table.0);
     }
     out
 }
@@ -90,11 +109,12 @@ fn strategy_from_label(label: &str, line: usize) -> Result<ShardingStrategy, Par
         "lb" => Ok(ShardingStrategy::LoadBalanced(n)),
         "nsbp" => Ok(ShardingStrategy::NetSpecificBinPacking(n)),
         "auto" => Ok(ShardingStrategy::Auto(n)),
+        "hra" => Ok(ShardingStrategy::HotRowAware(n)),
         other => Err(bad(format!("unknown strategy family {other:?}"))),
     }
 }
 
-/// Parses the v1 plan format.
+/// Parses the v1 or v2 plan format (v2 = v1 plus `hot` records).
 ///
 /// # Errors
 ///
@@ -105,15 +125,20 @@ pub fn plan_from_text(text: &str) -> Result<ShardingPlan, ParsePlanError> {
         line: 0,
         message: "empty file".into(),
     })?;
-    if header.trim() != HEADER {
-        return Err(ParsePlanError {
-            line: 1,
-            message: format!("expected header {HEADER:?}, got {header:?}"),
-        });
-    }
+    let v2 = match header.trim() {
+        h if h == HEADER => false,
+        h if h == HEADER_V2 => true,
+        _ => {
+            return Err(ParsePlanError {
+                line: 1,
+                message: format!("expected header {HEADER:?} or {HEADER_V2:?}, got {header:?}"),
+            })
+        }
+    };
     let mut strategy = None;
     let mut num_shards = None;
     let mut placements: Vec<TablePlacement> = Vec::new();
+    let mut hot: std::collections::BTreeMap<usize, Vec<u64>> = Default::default();
     for (idx, raw) in lines {
         let line = idx + 1;
         let trimmed = raw.trim();
@@ -170,6 +195,32 @@ pub fn plan_from_text(text: &str) -> Result<ShardingPlan, ParsePlanError> {
                 };
                 placements.push(TablePlacement { table, location });
             }
+            "hot" => {
+                if !v2 {
+                    return Err(bad("hot records need the v2 header".into()));
+                }
+                if rest.len() < 2 {
+                    return Err(bad("hot needs a table id and at least one row".into()));
+                }
+                let table: usize = rest[0]
+                    .parse()
+                    .map_err(|_| bad(format!("bad table id {:?}", rest[0])))?;
+                let rows = rest[1..]
+                    .iter()
+                    .map(|r| {
+                        r.parse::<u64>()
+                            .map_err(|_| bad(format!("bad hot row {r:?}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if !rows.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(bad(format!(
+                        "hot rows for table {table} must be strictly ascending"
+                    )));
+                }
+                if hot.insert(table, rows).is_some() {
+                    return Err(bad(format!("duplicate hot record for table {table}")));
+                }
+            }
             other => return Err(bad(format!("unknown record kind {other:?}"))),
         }
     }
@@ -208,7 +259,19 @@ pub fn plan_from_text(text: &str) -> Result<ShardingPlan, ParsePlanError> {
             }
         }
     }
-    Ok(ShardingPlan::new(strategy, num_shards, placements))
+    if let Some((&table, _)) = hot.iter().next_back() {
+        if table >= placements.len() {
+            return Err(ParsePlanError {
+                line: 0,
+                message: format!("hot record for table {table} beyond the placements"),
+            });
+        }
+    }
+    let mut hot_rows = vec![Vec::new(); placements.len()];
+    for (table, rows) in hot {
+        hot_rows[table] = rows;
+    }
+    Ok(ShardingPlan::new(strategy, num_shards, placements).with_hot_rows(hot_rows))
 }
 
 #[cfg(test)]
@@ -254,6 +317,52 @@ mod tests {
             strategy_from_label("auto-8", 1).unwrap(),
             ShardingStrategy::Auto(8)
         );
+    }
+
+    #[test]
+    fn hot_row_plans_round_trip_as_v2() {
+        use crate::{plan_with_stats, HotRowConfig};
+        use dlrm_workload::RowStats;
+        let spec = rm::rm1().scaled_to_bytes(32 << 20);
+        let profile = PoolingProfile::from_spec(&spec);
+        let stats = RowStats::for_spec(&spec, 4_000, 1.2, 17);
+        let p = plan_with_stats(
+            &spec,
+            &profile,
+            ShardingStrategy::HotRowAware(2),
+            &stats,
+            &HotRowConfig::default(),
+        )
+        .unwrap();
+        assert!(p.has_hot_rows());
+        let text = plan_to_text(&p);
+        assert!(text.starts_with("dlrm-plan v2\n"), "{text}");
+        assert!(text.contains("strategy hra-2"), "{text}");
+        assert!(text.contains("\nhot "), "{text}");
+        let back = plan_from_text(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn plans_without_hot_rows_stay_v1() {
+        let spec = rm::rm3();
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = make_plan(&spec, &profile, ShardingStrategy::CapacityBalanced(2)).unwrap();
+        assert!(plan_to_text(&p).starts_with("dlrm-plan v1\n"));
+    }
+
+    #[test]
+    fn hot_records_rejected_under_v1_header() {
+        let text = "dlrm-plan v1\nstrategy 1-shard\nshards 1\nplace 0 0\nhot 0 1 2\n";
+        let err = plan_from_text(text).unwrap_err();
+        assert!(err.message.contains("v2"), "{err}");
+    }
+
+    #[test]
+    fn unsorted_hot_rows_rejected() {
+        let text = "dlrm-plan v2\nstrategy 1-shard\nshards 1\nplace 0 0\nhot 0 5 3\n";
+        let err = plan_from_text(text).unwrap_err();
+        assert!(err.message.contains("ascending"), "{err}");
     }
 
     #[test]

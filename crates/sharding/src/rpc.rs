@@ -11,6 +11,7 @@
 //! retries, tail hedging, degraded fallback), and the [`SparseRpc`]
 //! graph operator itself.
 
+use crate::cache::HotRowCache;
 use crate::plan::ShardId;
 use dlrm_model::graph::{
     AsyncOperator, Blob, GraphError, Operator, PendingOp, RpcAttempt, RpcAttemptKind, RpcOutcome,
@@ -355,6 +356,13 @@ pub struct RpcFetch {
 /// For row-sharded tables it performs the modulus routing of §III-A1:
 /// only indices with `idx % parts == part` are sent, translated to local
 /// rows `idx / parts`.
+///
+/// With a hot-row cache attached ([`SparseRpc::set_cache`]), each bag
+/// whose routed indices are *all* cache-resident is pooled locally and
+/// dropped from the wire request; bags with any cold row go to the
+/// shard whole, so per-bag float summation order — and therefore every
+/// output bit — is unchanged. An operator whose bags are all local
+/// skips the network entirely.
 #[derive(Debug)]
 pub struct SparseRpc {
     name: String,
@@ -362,6 +370,7 @@ pub struct SparseRpc {
     client: Arc<dyn SparseShardClient>,
     fetches: Vec<RpcFetch>,
     policy: RpcPolicy,
+    cache: Option<Arc<HotRowCache>>,
 }
 
 impl SparseRpc {
@@ -385,6 +394,7 @@ impl SparseRpc {
             client,
             fetches,
             policy: RpcPolicy::default(),
+            cache: None,
         }
     }
 
@@ -392,6 +402,12 @@ impl SparseRpc {
     pub fn set_policy(&mut self, policy: RpcPolicy) {
         assert!(policy.max_attempts >= 1, "need at least one attempt");
         self.policy = policy;
+    }
+
+    /// Attaches the main shard's hot-row cache: fully-resident bags are
+    /// pooled locally instead of going over the wire.
+    pub fn set_cache(&mut self, cache: Arc<HotRowCache>) {
+        self.cache = Some(cache);
     }
 
     /// The active fault-tolerance policy.
@@ -430,6 +446,88 @@ impl SparseRpc {
         })
     }
 
+    /// Splits the operator's bags against the attached cache: pools
+    /// fully-resident bags locally and builds the compacted wire
+    /// request holding only the remote remainder. Returns `None` for
+    /// the split when no cache is attached or no fetched table has a
+    /// hot set — the request is then the unsplit [`Self::build_request`]
+    /// and every byte of behavior matches the cacheless operator.
+    fn build_request_and_split(
+        &self,
+        ws: &Workspace,
+    ) -> Result<(ShardRequest, Option<LocalSplit>), GraphError> {
+        let Some(cache) = &self.cache else {
+            return Ok((self.build_request(ws)?, None));
+        };
+        if !self.fetches.iter().any(|f| cache.table(f.table).is_some()) {
+            return Ok((self.build_request(ws)?, None));
+        }
+        let mut split = LocalSplit {
+            outs: Vec::with_capacity(self.fetches.len()),
+            remote_fetches: Vec::new(),
+            remote_bags: Vec::new(),
+            hits: 0,
+            misses: 0,
+            local_rows: 0,
+        };
+        let mut slices = Vec::new();
+        for (fi, f) in self.fetches.iter().enumerate() {
+            let sparse = ws.sparse(&f.input_blob, &self.name)?;
+            let bags = route_bags_global(f, sparse);
+            let mut out = Matrix::zeros(bags.len(), f.dim);
+            let mut remote: Vec<usize> = Vec::new();
+            match cache.table(f.table) {
+                Some(tc) => {
+                    for (b, bag) in bags.iter().enumerate() {
+                        if tc.covers(bag) {
+                            // Empty routed bags are vacuously local but
+                            // say nothing about the cache — skip counts.
+                            if !bag.is_empty() {
+                                split.hits += 1;
+                                split.local_rows += bag.len() as u64;
+                            }
+                            tc.pool_into(bag, out.row_mut(b));
+                        } else {
+                            split.misses += 1;
+                            remote.push(b);
+                        }
+                    }
+                }
+                None => remote.extend(0..bags.len()),
+            }
+            split.outs.push(out);
+            if remote.is_empty() {
+                continue;
+            }
+            let mut indices = Vec::new();
+            let mut lengths = Vec::with_capacity(remote.len());
+            for &b in &remote {
+                let bag = &bags[b];
+                lengths.push(u32::try_from(bag.len()).expect("bag length fits u32"));
+                if f.parts == 1 {
+                    indices.extend_from_slice(bag);
+                } else {
+                    indices.extend(bag.iter().map(|&idx| idx / f.parts as u64));
+                }
+            }
+            slices.push(TableSlice {
+                table: f.table,
+                indices,
+                lengths,
+            });
+            split.remote_fetches.push(fi);
+            split.remote_bags.push(remote);
+        }
+        cache.record(split.hits, split.misses, split.local_rows);
+        Ok((
+            ShardRequest {
+                net: self.net,
+                slices,
+            },
+            Some(split),
+        ))
+    }
+
     /// Issue half of the operator: builds the request from the
     /// workspace and sends it without waiting for the reply.
     ///
@@ -443,7 +541,21 @@ impl SparseRpc {
     /// Propagates missing/mistyped input blobs, and send-time transport
     /// failures the policy cannot absorb.
     pub fn begin(&self, ws: &Workspace) -> Result<PendingSparseRpc, GraphError> {
-        let request = self.build_request(ws)?;
+        let (request, split) = self.build_request_and_split(ws)?;
+        if request.slices.is_empty() {
+            // Every bag was pooled from the cache: nothing to send, the
+            // collect half just writes the locally-pooled outputs.
+            return Ok(PendingSparseRpc {
+                op: self.name.clone(),
+                fetches: self.fetches.clone(),
+                client: Arc::clone(&self.client),
+                request,
+                policy: self.policy,
+                attempt: None,
+                first_error: None,
+                split,
+            });
+        }
         let (attempt, first_error) = match self.client.begin_execute(&request) {
             Ok(completion) => (
                 Some(InFlightAttempt {
@@ -473,8 +585,31 @@ impl SparseRpc {
             policy: self.policy,
             attempt,
             first_error,
+            split,
         })
     }
+}
+
+/// The hot/cold bag split of one issued operator: per-fetch output
+/// matrices pre-filled with the locally-pooled bags, plus the mapping
+/// from compacted wire-response rows back to output rows.
+struct LocalSplit {
+    /// One `total_bags × dim` output per fetch; local bags already
+    /// pooled, remote bags zero until the reply (or left zero when
+    /// degraded).
+    outs: Vec<Matrix>,
+    /// Indices into `fetches` that still need the wire (≥ 1 cold bag),
+    /// in fetch order — parallel to the request's slices.
+    remote_fetches: Vec<usize>,
+    /// For each remote fetch, the output-row index of every bag that
+    /// went remote, in wire order.
+    remote_bags: Vec<Vec<usize>>,
+    /// Bags pooled entirely locally (non-empty ones).
+    hits: u64,
+    /// Bags with at least one cold row.
+    misses: u64,
+    /// Row lookups served from the cache.
+    local_rows: u64,
 }
 
 /// One in-flight transmission tracked by the collect half.
@@ -496,10 +631,14 @@ pub struct PendingSparseRpc {
     client: Arc<dyn SparseShardClient>,
     request: ShardRequest,
     policy: RpcPolicy,
-    /// The primary attempt, when the send succeeded.
+    /// The primary attempt, when the send succeeded. `None` together
+    /// with no `first_error` means the op was fully served from the
+    /// hot-row cache and nothing was sent.
     attempt: Option<InFlightAttempt>,
     /// The send-time error when it did not (collect retries from here).
     first_error: Option<RpcError>,
+    /// The hot/cold bag split when a cache absorbed part of the op.
+    split: Option<LocalSplit>,
 }
 
 /// How long each bounded poll lasts when two attempts are being raced
@@ -516,6 +655,20 @@ impl PendingSparseRpc {
     /// malformed responses (wrong table count or order).
     pub fn collect(mut self, ws: &mut Workspace) -> Result<RpcOutcome, GraphError> {
         let mut outcome = RpcOutcome::default();
+        if let Some(split) = &self.split {
+            outcome.cache_hits = split.hits;
+            outcome.cache_misses = split.misses;
+            outcome.cache_local_rows = split.local_rows;
+        }
+        // Fully cache-served op: nothing was sent, write the locally
+        // pooled outputs and settle without any attempt.
+        if self.attempt.is_none() && self.first_error.is_none() {
+            let split = self.split.take().expect("sendless op implies a split");
+            for (f, out) in self.fetches.iter().zip(split.outs) {
+                ws.put(f.output_blob.clone(), Blob::Dense(out));
+            }
+            return Ok(outcome);
+        }
         let mut in_flight: Vec<InFlightAttempt> = Vec::with_capacity(2);
         // Transmissions used so far (primary counts even if its send
         // failed — the wire was tried).
@@ -759,15 +912,23 @@ impl PendingSparseRpc {
     /// retryable). Either substitute the degraded zero-embedding
     /// fallback or surface the typed error as an operator failure.
     fn settle_exhausted(
-        &self,
+        &mut self,
         ws: &mut Workspace,
         mut outcome: RpcOutcome,
         err: RpcError,
     ) -> Result<RpcOutcome, GraphError> {
         if self.policy.degraded_fallback && err.is_retryable() {
-            for (f, slice) in self.fetches.iter().zip(&self.request.slices) {
-                let rows = slice.lengths.len();
-                ws.put(f.output_blob.clone(), Blob::Dense(Matrix::zeros(rows, f.dim)));
+            if let Some(split) = self.split.take() {
+                // Cache-served bags keep their real values; only the
+                // remote positions stay zero.
+                for (f, out) in self.fetches.iter().zip(split.outs) {
+                    ws.put(f.output_blob.clone(), Blob::Dense(out));
+                }
+            } else {
+                for (f, slice) in self.fetches.iter().zip(&self.request.slices) {
+                    let rows = slice.lengths.len();
+                    ws.put(f.output_blob.clone(), Blob::Dense(Matrix::zeros(rows, f.dim)));
+                }
             }
             outcome.degraded = true;
             outcome.error_kind = Some(err.kind().to_string());
@@ -780,7 +941,55 @@ impl PendingSparseRpc {
     }
 
     /// Validates the winning response and writes the pooled blobs.
-    fn write_response(&self, ws: &mut Workspace, response: ShardResponse) -> Result<(), GraphError> {
+    ///
+    /// With a hot/cold split in play the response is *compacted*: one
+    /// entry per remote fetch, one row per remote bag. Those rows are
+    /// scattered back into the pre-pooled output matrices; without a
+    /// split the response maps 1:1 onto the fetch list as before.
+    fn write_response(&mut self, ws: &mut Workspace, response: ShardResponse) -> Result<(), GraphError> {
+        if let Some(split) = self.split.take() {
+            if response.pooled.len() != split.remote_fetches.len() {
+                return Err(GraphError::OpFailed {
+                    op: self.op.clone(),
+                    message: format!(
+                        "shard returned {} tables, expected {} remote",
+                        response.pooled.len(),
+                        split.remote_fetches.len()
+                    ),
+                });
+            }
+            let mut outs = split.outs;
+            for (k, (table, pooled)) in response.pooled.into_iter().enumerate() {
+                let fi = split.remote_fetches[k];
+                let f = &self.fetches[fi];
+                if table != f.table {
+                    return Err(GraphError::OpFailed {
+                        op: self.op.clone(),
+                        message: format!("shard answered {table}, expected {}", f.table),
+                    });
+                }
+                let bags = &split.remote_bags[k];
+                if pooled.rows() != bags.len() || pooled.cols() != f.dim {
+                    return Err(GraphError::OpFailed {
+                        op: self.op.clone(),
+                        message: format!(
+                            "shard returned {}x{} for {table}, expected {}x{}",
+                            pooled.rows(),
+                            pooled.cols(),
+                            bags.len(),
+                            f.dim
+                        ),
+                    });
+                }
+                for (j, &b) in bags.iter().enumerate() {
+                    outs[fi].row_mut(b).copy_from_slice(pooled.row(j));
+                }
+            }
+            for (f, out) in self.fetches.iter().zip(outs) {
+                ws.put(f.output_blob.clone(), Blob::Dense(out));
+            }
+            return Ok(());
+        }
         if response.pooled.len() != self.fetches.len() {
             return Err(GraphError::OpFailed {
                 op: self.op.clone(),
@@ -861,6 +1070,29 @@ fn route_slice(fetch: &RpcFetch, sparse: &SparseInput) -> TableSlice {
         indices,
         lengths,
     }
+}
+
+/// Modulus routing that keeps bag structure and *global* row ids: for
+/// each batch element, the global indices belonging to this fetch's
+/// part, in input order. The cache split needs global ids (the cache
+/// is keyed by them) and per-bag boundaries (local serving is
+/// all-or-nothing per bag).
+fn route_bags_global(fetch: &RpcFetch, sparse: &SparseInput) -> Vec<Vec<u64>> {
+    let parts = fetch.parts as u64;
+    let part = fetch.part as u64;
+    let mut bags = Vec::with_capacity(sparse.lengths.len());
+    let mut cursor = 0usize;
+    for &len in &sparse.lengths {
+        let slice = &sparse.indices[cursor..cursor + len as usize];
+        let bag = if fetch.parts == 1 {
+            slice.to_vec()
+        } else {
+            slice.iter().copied().filter(|&i| i % parts == part).collect()
+        };
+        bags.push(bag);
+        cursor += len as usize;
+    }
+    bags
 }
 
 impl Operator for SparseRpc {
@@ -1191,6 +1423,200 @@ mod tests {
         let outcome = op.begin(&ws).unwrap().collect(&mut ws).unwrap();
         assert_eq!(outcome.retries, 1);
         assert!(ws.dense("out", "t").is_ok());
+    }
+
+    use crate::plan::{Location, ShardingPlan, TablePlacement};
+    use crate::ShardingStrategy;
+    use dlrm_model::EmbeddingTable;
+
+    fn test_table(rows: usize, dim: usize) -> EmbeddingTable {
+        let data: Vec<f32> = (0..rows * dim).map(|i| 0.5 + i as f32).collect();
+        EmbeddingTable::from_weights("t", Matrix::from_vec(rows, dim, data))
+    }
+
+    fn cache_for(table: &EmbeddingTable, hot: Vec<u64>) -> Arc<HotRowCache> {
+        let plan = ShardingPlan::new(
+            ShardingStrategy::OneShard,
+            1,
+            vec![TablePlacement {
+                table: TableId(0),
+                location: Location::Shards(vec![crate::ShardId(0)]),
+            }],
+        )
+        .with_hot_rows(vec![hot]);
+        let tables = vec![Arc::new(table.clone())];
+        Arc::new(HotRowCache::build(&tables, &plan))
+    }
+
+    /// A client that really pools against a table and counts calls and
+    /// lookups, so tests can assert what crossed the "wire".
+    #[derive(Debug)]
+    struct PoolingClient {
+        table: EmbeddingTable,
+        calls: AtomicU32,
+        lookups: AtomicU32,
+    }
+
+    impl PoolingClient {
+        fn new(table: EmbeddingTable) -> Self {
+            Self {
+                table,
+                calls: AtomicU32::new(0),
+                lookups: AtomicU32::new(0),
+            }
+        }
+    }
+
+    impl SparseShardClient for PoolingClient {
+        fn shard_id(&self) -> ShardId {
+            ShardId(0)
+        }
+        fn execute(&self, request: &ShardRequest) -> Result<ShardResponse, RpcError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            self.lookups
+                .fetch_add(request.total_lookups() as u32, Ordering::SeqCst);
+            Ok(ShardResponse {
+                pooled: request
+                    .slices
+                    .iter()
+                    .map(|s| (s.table, self.table.sparse_lengths_sum(&s.indices, &s.lengths)))
+                    .collect(),
+            })
+        }
+    }
+
+    fn dim2_fetch() -> RpcFetch {
+        RpcFetch {
+            dim: 2,
+            ..fetch()
+        }
+    }
+
+    #[test]
+    fn cache_split_pools_hot_bags_locally_and_is_bit_exact() {
+        // Bags: [1,2] (all hot), [1,5] (5 is cold), [] (empty).
+        let input = SparseInput::new(vec![1, 2, 1, 5], vec![2, 2, 0]);
+        let table = test_table(8, 2);
+        let mut ws = Workspace::new();
+        ws.put("in", Blob::Sparse(input));
+
+        // Pure path: no cache attached.
+        let pure_client = Arc::new(PoolingClient::new(table.clone()));
+        let mut pure = SparseRpc::new("rpc", NetId(0), pure_client, vec![dim2_fetch()]);
+        pure.fetches[0].output_blob = "out_pure".into();
+        pure.begin(&ws).unwrap().collect(&mut ws).unwrap();
+
+        // Cached path.
+        let client = Arc::new(PoolingClient::new(table.clone()));
+        let cache = cache_for(&table, vec![1, 2]);
+        let mut op = SparseRpc::new("rpc", NetId(0), Arc::clone(&client) as _, vec![dim2_fetch()]);
+        op.set_cache(Arc::clone(&cache));
+        let outcome = op.begin(&ws).unwrap().collect(&mut ws).unwrap();
+
+        let cached = ws.dense("out", "t").unwrap().clone();
+        let expect = ws.dense("out_pure", "t").unwrap();
+        assert_eq!(&cached, expect, "cache tier must be bit-exact");
+        // Only the cold bag crossed the wire.
+        assert_eq!(client.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(client.lookups.load(Ordering::SeqCst), 2);
+        assert_eq!(outcome.cache_hits, 1);
+        assert_eq!(outcome.cache_misses, 1);
+        assert_eq!(outcome.cache_local_rows, 2);
+        let totals = cache.totals();
+        assert_eq!((totals.hits, totals.misses, totals.local_rows), (1, 1, 2));
+    }
+
+    #[test]
+    fn fully_cached_op_skips_the_network_entirely() {
+        /// A client whose execute must never be reached.
+        #[derive(Debug)]
+        struct NoWire;
+        impl SparseShardClient for NoWire {
+            fn shard_id(&self) -> ShardId {
+                ShardId(0)
+            }
+            fn execute(&self, _request: &ShardRequest) -> Result<ShardResponse, RpcError> {
+                panic!("fully-cached op must not touch the transport")
+            }
+        }
+        let table = test_table(8, 2);
+        let mut ws = Workspace::new();
+        ws.put("in", Blob::Sparse(SparseInput::new(vec![1, 2, 2], vec![1, 2])));
+        let mut op = SparseRpc::new("rpc", NetId(0), Arc::new(NoWire), vec![dim2_fetch()]);
+        op.set_cache(cache_for(&table, vec![1, 2]));
+        let outcome = op.begin(&ws).unwrap().collect(&mut ws).unwrap();
+        assert!(outcome.attempts.is_empty(), "nothing should have been sent");
+        assert_eq!(outcome.cache_hits, 2);
+        assert_eq!(outcome.cache_local_rows, 3);
+        let out = ws.dense("out", "t").unwrap();
+        let expect = table.sparse_lengths_sum(&[1, 2, 2], &[1, 2]);
+        assert_eq!(out, &expect);
+    }
+
+    #[test]
+    fn degraded_fallback_keeps_cache_served_bags_real() {
+        let table = test_table(8, 2);
+        let mut ws = Workspace::new();
+        // Bag 0 fully hot, bag 1 cold.
+        ws.put("in", Blob::Sparse(SparseInput::new(vec![1, 2, 5], vec![2, 1])));
+        let client = Arc::new(FlakyClient::failing(9, transient()));
+        let mut op = SparseRpc::new("rpc", NetId(0), client, vec![dim2_fetch()]);
+        op.set_cache(cache_for(&table, vec![1, 2]));
+        op.set_policy(RpcPolicy {
+            max_attempts: 2,
+            backoff_base: Duration::ZERO,
+            degraded_fallback: true,
+            ..RpcPolicy::default()
+        });
+        let outcome = op.begin(&ws).unwrap().collect(&mut ws).unwrap();
+        assert!(outcome.degraded);
+        assert_eq!(outcome.cache_hits, 1);
+        assert_eq!(outcome.cache_misses, 1);
+        let out = ws.dense("out", "t").unwrap();
+        let expect = table.sparse_lengths_sum(&[1, 2], &[2]);
+        assert_eq!(out.row(0), expect.row(0), "cached bag keeps real values");
+        assert_eq!(out.row(1), &[0.0, 0.0][..], "remote bag degrades to zero");
+    }
+
+    #[test]
+    fn uncached_tables_under_a_split_still_match_the_pure_wire_shape() {
+        // Two fetches, only table 0 has a hot set; table 1's slice must
+        // come out identical to the cacheless routing.
+        let table = test_table(8, 2);
+        let mut ws = Workspace::new();
+        ws.put("in0", Blob::Sparse(SparseInput::new(vec![1, 2], vec![2])));
+        ws.put("in1", Blob::Sparse(SparseInput::new(vec![4, 6, 3], vec![2, 1])));
+        let fetches = vec![
+            RpcFetch {
+                table: TableId(0),
+                input_blob: "in0".into(),
+                output_blob: "out0".into(),
+                parts: 1,
+                part: 0,
+                dim: 2,
+            },
+            RpcFetch {
+                table: TableId(1),
+                input_blob: "in1".into(),
+                output_blob: "out1".into(),
+                parts: 1,
+                part: 0,
+                dim: 2,
+            },
+        ];
+        let client = Arc::new(PoolingClient::new(table.clone()));
+        let mut op = SparseRpc::new("rpc", NetId(0), client, fetches);
+        // Cache keyed to table 0 only (the plan has one table; attach a
+        // cache whose table 1 entry is absent).
+        op.set_cache(cache_for(&table, vec![1, 2]));
+        let (request, split) = op.build_request_and_split(&ws).unwrap();
+        let split = split.expect("table 0 has a hot set");
+        assert_eq!(split.remote_fetches, vec![1]);
+        assert_eq!(request.slices.len(), 1);
+        let pure = op.build_request(&ws).unwrap();
+        assert_eq!(request.slices[0], pure.slices[1], "uncached slice unchanged");
+        // Uncached-table bags are not counted as misses.
+        assert_eq!((split.hits, split.misses), (1, 0));
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub enum ShardingStrategy {
     /// paper's future work, [`crate::auto`]): load balancing with net
     /// affinity and capacity caps.
     Auto(usize),
+    /// Statistics-driven placement (RecShard-style, reproduction
+    /// extension): per-row access CDFs pick a hot-row set that stays
+    /// resident on the main shard (served from a local read-only cache),
+    /// while cold traffic balances across shards by residual access
+    /// weight. Requires row statistics — plan via
+    /// [`crate::plan_with_stats`].
+    HotRowAware(usize),
 }
 
 impl ShardingStrategy {
@@ -37,7 +44,8 @@ impl ShardingStrategy {
             ShardingStrategy::CapacityBalanced(n)
             | ShardingStrategy::LoadBalanced(n)
             | ShardingStrategy::NetSpecificBinPacking(n)
-            | ShardingStrategy::Auto(n) => n,
+            | ShardingStrategy::Auto(n)
+            | ShardingStrategy::HotRowAware(n) => n,
         }
     }
 
@@ -57,6 +65,7 @@ impl ShardingStrategy {
             ShardingStrategy::LoadBalanced(n) => format!("lb-{n}"),
             ShardingStrategy::NetSpecificBinPacking(n) => format!("nsbp-{n}"),
             ShardingStrategy::Auto(n) => format!("auto-{n}"),
+            ShardingStrategy::HotRowAware(n) => format!("hra-{n}"),
         }
     }
 
@@ -81,6 +90,11 @@ impl ShardingStrategy {
             ShardingStrategy::Auto(_) => {
                 "Automatic greedy placement: load balancing with net affinity and \
                  per-shard capacity caps (reproduction extension)."
+            }
+            ShardingStrategy::HotRowAware(_) => {
+                "Statistics-driven placement: hot rows (by access CDF) cached on the \
+                 main shard, cold traffic balanced across shards (reproduction \
+                 extension)."
             }
         }
     }

@@ -9,6 +9,7 @@
 //! need: frequency profiles and LRU hit-rate curves (which also back the
 //! SSD-paging cost model's skew parameter empirically).
 
+use dlrm_model::ModelSpec;
 use dlrm_sim::SimRng;
 
 /// A stream of row accesses against one embedding table.
@@ -37,24 +38,7 @@ impl AccessTrace {
         assert!(n > 0, "trace needs accesses");
         assert!(s > 0.0 && s <= 5.0, "zipf exponent {s} out of range");
         let mut rng = SimRng::seed_from(seed).fork(0x00AC_CE55);
-        // Scatter ranks over the index space with a multiplicative
-        // permutation (odd multiplier is a bijection mod 2^k; use
-        // mod-rows mapping via a large odd co-prime-ish stride, falling
-        // back to identity for tiny tables).
-        let stride = 0x9E37_79B9_7F4A_7C15u64 | 1;
-        let scatter = |rank: u64| -> u64 {
-            if rows <= 2 {
-                rank % rows
-            } else {
-                (rank.wrapping_mul(stride)) % rows
-            }
-        };
-        let accesses = (0..n)
-            .map(|_| {
-                let rank = zipf_rank(&mut rng, rows, s);
-                scatter(rank)
-            })
-            .collect();
+        let accesses = (0..n).map(|_| zipf_index(&mut rng, rows, s)).collect();
         Self { rows, accesses }
     }
 
@@ -162,6 +146,29 @@ impl AccessTrace {
     }
 }
 
+/// Maps a popularity rank onto a row id by scattering ranks over the
+/// index space with a multiplicative permutation (a large odd stride,
+/// falling back to identity for tiny tables) — hot rows land scattered
+/// across the index space, as hashing scatters hot features. The map
+/// depends only on `rows`, so every consumer of the same table agrees
+/// on which row holds each rank.
+pub(crate) fn scatter_rank(rank: u64, rows: u64) -> u64 {
+    let stride = 0x9E37_79B9_7F4A_7C15u64 | 1;
+    if rows <= 2 {
+        rank % rows
+    } else {
+        (rank.wrapping_mul(stride)) % rows
+    }
+}
+
+/// Samples one Zipf(`s`)-distributed row id over a `rows`-row table:
+/// the shared sampler behind [`AccessTrace::zipf`], [`RowStats`]
+/// sampling, and skewed request materialization — all three see the
+/// same rank-to-row scatter, so their hot sets coincide.
+pub(crate) fn zipf_index(rng: &mut SimRng, rows: u64, s: f64) -> u64 {
+    scatter_rank(zipf_rank(rng, rows, s), rows)
+}
+
 /// Samples a 1-based Zipf rank over `n` items with exponent `s` via the
 /// continuous inverse-CDF approximation, returning a 0-based rank.
 fn zipf_rank(rng: &mut SimRng, n: u64, s: f64) -> u64 {
@@ -176,6 +183,219 @@ fn zipf_rank(rng: &mut SimRng, n: u64, s: f64) -> u64 {
         (1.0 + u * hn * one_minus_s).powf(1.0 / one_minus_s)
     };
     (rank.floor() as u64).clamp(1, n) - 1
+}
+
+/// Per-table row-access frequency statistics: the ranked access counts
+/// and their CDF, distilled from an [`AccessTrace`].
+///
+/// This is the RecShard-style input to statistics-driven placement: the
+/// planner reads the CDF to decide which rows deserve main-shard
+/// residency ([`dlrm_sharding`]'s `HotRowAware` strategy), and the
+/// hot-set summary serializes so a control plane can ship it alongside
+/// the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowStats {
+    rows: u64,
+    total: u64,
+    /// `(row, count)` sorted by count descending, row ascending — the
+    /// frequency profile. Rows never accessed are absent.
+    ranked: Vec<(u64, u64)>,
+}
+
+impl RowStats {
+    /// Distills frequency statistics from a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn from_trace(trace: &AccessTrace) -> Self {
+        assert!(!trace.is_empty(), "row stats need accesses");
+        let mut counts: std::collections::HashMap<u64, u64> = Default::default();
+        for &a in trace.accesses() {
+            *counts.entry(a).or_insert(0) += 1;
+        }
+        let mut ranked: Vec<(u64, u64)> = counts.into_iter().collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Self {
+            rows: trace.rows,
+            total: trace.len() as u64,
+            ranked,
+        }
+    }
+
+    /// Samples `n` Zipf(`s`) accesses over a `rows`-row table and
+    /// distills them — the offline profiling pass in one call. Uses the
+    /// same sampler (and the same rank-to-row scatter) as skewed request
+    /// materialization, so the hot set here is the hot set requests
+    /// actually touch.
+    #[must_use]
+    pub fn sample_zipf(rows: u64, n: usize, s: f64, seed: u64) -> Self {
+        Self::from_trace(&AccessTrace::zipf(rows, n, s, seed))
+    }
+
+    /// One [`RowStats`] per table of `spec` (indexed by table id), each
+    /// from `n` sampled Zipf(`s`) accesses with a per-table seed fork.
+    #[must_use]
+    pub fn for_spec(spec: &ModelSpec, n: usize, s: f64, seed: u64) -> Vec<Self> {
+        spec.tables
+            .iter()
+            .enumerate()
+            .map(|(ti, t)| {
+                let table_seed = seed ^ (ti as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                Self::sample_zipf(t.rows, n, s, table_seed)
+            })
+            .collect()
+    }
+
+    /// Number of rows in the profiled table.
+    #[must_use]
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Total accesses behind these statistics.
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// The frequency profile: `(row, count)` by count descending (ties
+    /// broken by row id ascending).
+    #[must_use]
+    pub fn ranked(&self) -> &[(u64, u64)] {
+        &self.ranked
+    }
+
+    /// The access CDF by popularity rank: entry `k` is the fraction of
+    /// accesses covered by the `k + 1` hottest rows. Monotone, ends at
+    /// 1.0.
+    #[must_use]
+    pub fn cdf(&self) -> Vec<f64> {
+        let mut acc = 0u64;
+        self.ranked
+            .iter()
+            .map(|&(_, c)| {
+                acc += c;
+                acc as f64 / self.total as f64
+            })
+            .collect()
+    }
+
+    /// Fraction of accesses covered by the `k` hottest rows.
+    #[must_use]
+    pub fn coverage_of_top(&self, k: usize) -> f64 {
+        let covered: u64 = self.ranked.iter().take(k).map(|&(_, c)| c).sum();
+        covered as f64 / self.total as f64
+    }
+
+    /// The smallest hot-set size whose coverage reaches `target`
+    /// (clamped to the number of distinct rows accessed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is outside `(0, 1]`.
+    #[must_use]
+    pub fn rows_for_coverage(&self, target: f64) -> usize {
+        assert!(target > 0.0 && target <= 1.0, "coverage target {target}");
+        let goal = (target * self.total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (k, &(_, c)) in self.ranked.iter().enumerate() {
+            acc += c;
+            if acc >= goal {
+                return k + 1;
+            }
+        }
+        self.ranked.len()
+    }
+
+    /// The `k` hottest row ids, sorted ascending (deterministic given
+    /// the ranking's tie-break).
+    #[must_use]
+    pub fn hot_rows(&self, k: usize) -> Vec<u64> {
+        let mut rows: Vec<u64> = self.ranked.iter().take(k).map(|&(r, _)| r).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Serializes the table size, access total, and the `k` hottest
+    /// rows with their counts into a line-oriented text summary.
+    #[must_use]
+    pub fn summary_text(&self, k: usize) -> String {
+        let mut out = String::from("rowstats v1\n");
+        out.push_str(&format!("rows {}\n", self.rows));
+        out.push_str(&format!("total {}\n", self.total));
+        for &(row, count) in self.ranked.iter().take(k) {
+            out.push_str(&format!("hot {row} {count}\n"));
+        }
+        out
+    }
+
+    /// Parses a [`Self::summary_text`] document back into (truncated)
+    /// statistics: the hot set is exact, cold rows are absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_summary_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("rowstats v1") {
+            return Err("missing rowstats v1 header".to_string());
+        }
+        let mut rows = None;
+        let mut total = None;
+        let mut ranked = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("rows") => {
+                    rows = Some(
+                        parts
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| format!("bad rows record {line:?}"))?,
+                    );
+                }
+                Some("total") => {
+                    total = Some(
+                        parts
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| format!("bad total record {line:?}"))?,
+                    );
+                }
+                Some("hot") => {
+                    let row: u64 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("bad hot record {line:?}"))?;
+                    let count: u64 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("bad hot record {line:?}"))?;
+                    ranked.push((row, count));
+                }
+                _ => return Err(format!("unknown record {line:?}")),
+            }
+        }
+        let rows = rows.ok_or("missing rows record")?;
+        let total = total.ok_or("missing total record")?;
+        if ranked.windows(2).any(|w| w[0].1 < w[1].1) {
+            return Err("hot records not sorted by count descending".to_string());
+        }
+        if ranked.iter().any(|&(r, _)| r >= rows) {
+            return Err("hot row out of range".to_string());
+        }
+        Ok(Self {
+            rows,
+            total,
+            ranked,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -254,5 +474,62 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn from_accesses_validates() {
         let _ = AccessTrace::from_accesses(2, vec![5]);
+    }
+
+    #[test]
+    fn row_stats_rank_and_cdf() {
+        // 0 ×3, 2 ×2, 1 ×1.
+        let t = AccessTrace::from_accesses(4, vec![0, 2, 0, 1, 2, 0]);
+        let s = RowStats::from_trace(&t);
+        assert_eq!(s.ranked(), &[(0, 3), (2, 2), (1, 1)]);
+        assert_eq!(s.total_accesses(), 6);
+        let cdf = s.cdf();
+        assert!((cdf[0] - 0.5).abs() < 1e-12);
+        assert!((cdf[2] - 1.0).abs() < 1e-12);
+        assert!((s.coverage_of_top(2) - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.rows_for_coverage(0.5), 1);
+        assert_eq!(s.rows_for_coverage(1.0), 3);
+        assert_eq!(s.hot_rows(2), vec![0, 2]);
+    }
+
+    #[test]
+    fn row_stats_tie_break_is_deterministic() {
+        let t = AccessTrace::from_accesses(5, vec![3, 1, 4, 1, 3, 4]);
+        let s = RowStats::from_trace(&t);
+        // All counts equal: rank by row id ascending.
+        assert_eq!(s.ranked(), &[(1, 2), (3, 2), (4, 2)]);
+    }
+
+    #[test]
+    fn row_stats_same_seed_same_stats() {
+        let a = RowStats::sample_zipf(10_000, 30_000, 1.1, 99);
+        let b = RowStats::sample_zipf(10_000, 30_000, 1.1, 99);
+        assert_eq!(a, b);
+        assert_eq!(a.cdf(), b.cdf());
+        let c = RowStats::sample_zipf(10_000, 30_000, 1.1, 98);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn row_stats_skew_concentrates_the_hot_set() {
+        let s = RowStats::sample_zipf(50_000, 60_000, 1.2, 7);
+        // A few hundred rows out of 50k cover most of the traffic.
+        let k = s.rows_for_coverage(0.8);
+        assert!(k < 2_500, "needed {k} rows for 80% coverage");
+        assert!(s.coverage_of_top(k) >= 0.8);
+    }
+
+    #[test]
+    fn hot_set_summary_round_trips() {
+        let s = RowStats::sample_zipf(5_000, 20_000, 1.1, 13);
+        let k = 100;
+        let text = s.summary_text(k);
+        let parsed = RowStats::from_summary_text(&text).unwrap();
+        assert_eq!(parsed.rows(), s.rows());
+        assert_eq!(parsed.total_accesses(), s.total_accesses());
+        assert_eq!(parsed.ranked(), &s.ranked()[..k.min(s.ranked().len())]);
+        assert_eq!(parsed.hot_rows(k), s.hot_rows(k));
+        assert!(RowStats::from_summary_text("nope").is_err());
+        assert!(RowStats::from_summary_text("rowstats v1\nrows 2\ntotal 1\nhot 7 1\n").is_err());
     }
 }

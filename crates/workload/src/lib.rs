@@ -39,8 +39,8 @@ mod materialize;
 mod profile;
 mod tracedb;
 
-pub use access::AccessTrace;
+pub use access::{AccessTrace, RowStats};
 pub use arrivals::ArrivalSchedule;
-pub use materialize::{materialize_request, BatchInputs};
+pub use materialize::{materialize_request, materialize_request_with, BatchInputs, IndexDist};
 pub use profile::PoolingProfile;
 pub use tracedb::{RequestShape, TraceDb, TraceDbConfig};

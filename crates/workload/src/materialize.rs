@@ -1,6 +1,7 @@
 //! Materializes request shapes into concrete batch inputs for the
 //! executable engine.
 
+use crate::access::zipf_index;
 use crate::RequestShape;
 use dlrm_model::graph::SparseInput;
 use dlrm_model::ModelSpec;
@@ -42,6 +43,17 @@ impl BatchInputs {
     }
 }
 
+/// How embedding-row indices are drawn during materialization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IndexDist {
+    /// Every row equally likely — the original materialization.
+    Uniform,
+    /// Zipf-skewed popularity with the given exponent, sharing the
+    /// rank-to-row scatter of [`crate::RowStats`] sampling so the
+    /// profiled hot set is the hot set requests actually touch.
+    Zipf(f64),
+}
+
 /// Materializes `shape` into per-batch concrete inputs for `spec`.
 ///
 /// The request's `items` split into `ceil(items / batch_size)` batches;
@@ -62,6 +74,27 @@ pub fn materialize_request(
     shape: &RequestShape,
     batch_size: usize,
     seed: u64,
+) -> Vec<BatchInputs> {
+    materialize_request_with(spec, shape, batch_size, seed, IndexDist::Uniform)
+}
+
+/// [`materialize_request`] with an explicit index distribution:
+/// [`IndexDist::Uniform`] reproduces it bit-for-bit,
+/// [`IndexDist::Zipf`] draws skewed indices for placement and cache
+/// studies. Everything else (dense features, per-item lookup counts,
+/// batching, the fork discipline) is identical.
+///
+/// # Panics
+///
+/// Panics if `shape.table_lookups` does not cover `spec.tables` or
+/// `batch_size` is zero.
+#[must_use]
+pub fn materialize_request_with(
+    spec: &ModelSpec,
+    shape: &RequestShape,
+    batch_size: usize,
+    seed: u64,
+    dist: IndexDist,
 ) -> Vec<BatchInputs> {
     assert!(batch_size > 0, "batch size must be non-zero");
     assert_eq!(
@@ -114,7 +147,10 @@ pub fn materialize_request(
                 let total: usize = lengths.iter().map(|&l| l as usize).sum();
                 let mut rng = request_rng.fork(ti as u64).fork(b as u64);
                 let indices: Vec<u64> = (0..total)
-                    .map(|_| rng.next_u64_below(table.rows))
+                    .map(|_| match dist {
+                        IndexDist::Uniform => rng.next_u64_below(table.rows),
+                        IndexDist::Zipf(s) => zipf_index(&mut rng, table.rows, s),
+                    })
                     .collect();
                 SparseInput::new(indices, lengths)
             })
@@ -184,6 +220,47 @@ mod tests {
         let batches = materialize_request(&spec, shape, usize::MAX, 1);
         assert_eq!(batches.len(), 1);
         assert_eq!(batches[0].batch_size(), shape.items as usize);
+    }
+
+    #[test]
+    fn uniform_dist_matches_the_original_entry_point() {
+        let spec = small_spec();
+        let db = TraceDb::generate(&spec, 2, 5);
+        let a = materialize_request(&spec, db.get(0), 32, 7);
+        let b = materialize_request_with(&spec, db.get(0), 32, 7, IndexDist::Uniform);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_dist_is_deterministic_in_range_and_skewed_to_the_profiled_hot_set() {
+        use crate::access::RowStats;
+        let spec = small_spec();
+        let db = TraceDb::generate(&spec, 2, 5);
+        let s = 1.2;
+        let a = materialize_request_with(&spec, db.get(0), 32, 7, IndexDist::Zipf(s));
+        let b = materialize_request_with(&spec, db.get(0), 32, 7, IndexDist::Zipf(s));
+        assert_eq!(a, b);
+        for (ti, table) in spec.tables.iter().enumerate() {
+            let stats = RowStats::sample_zipf(table.rows, 20_000, s, 999);
+            let hot: std::collections::HashSet<u64> =
+                stats.hot_rows(stats.rows_for_coverage(0.8)).into_iter().collect();
+            let (mut in_hot, mut total) = (0usize, 0usize);
+            for batch in &a {
+                for &i in &batch.sparse[ti].indices {
+                    assert!(i < table.rows, "table {ti}");
+                    total += 1;
+                    in_hot += usize::from(hot.contains(&i));
+                }
+            }
+            // The profiled 80%-coverage hot set should capture most of
+            // the skewed traffic (different seeds, same distribution).
+            if total >= 50 {
+                assert!(
+                    in_hot as f64 >= 0.5 * total as f64,
+                    "table {ti}: {in_hot}/{total} in hot set"
+                );
+            }
+        }
     }
 
     #[test]

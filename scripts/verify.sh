@@ -40,6 +40,10 @@ cargo run --release --offline -p dlrm-bench --bin net_smoke
 echo "==> net bench: in-process vs TCP loopback percentiles -> BENCH_net.json"
 cargo run --release --offline -p dlrm-bench --bin net_bench
 
+echo "==> cache smoke: hot-row cache tier must be bit-exact vs the capacity-only"
+echo "    plan, hold its pinned hit-rate band, and shrink rows over the wire"
+cargo run --release --offline -p dlrm-bench --bin cache_smoke
+
 echo "==> dependency audit: cargo tree must list only workspace members"
 # --edges all includes dev- and build-dependencies; every line of the
 # tree (any depth) must name a dlrm-* crate rooted in this workspace.
