@@ -21,6 +21,9 @@ use dlrm_sharding::ShardService;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// How often a standby asks the control plane for vacated seats.
+const STANDBY_POLL: Duration = Duration::from_millis(100);
+
 fn usage() -> ! {
     eprintln!("usage: shard_server --control HOST:PORT [--delay-us N]");
     std::process::exit(2)
@@ -54,11 +57,37 @@ fn main() {
     let my_addr = server.addr().to_string();
     println!("shard_server listening on {my_addr}");
 
-    let assignment = control::register(&control_addr, &my_addr, Duration::from_secs(10))
+    let mut assignment = control::register(&control_addr, &my_addr, Duration::from_secs(10))
         .unwrap_or_else(|e| {
             eprintln!("shard_server: registration with {control_addr} failed: {e}");
             std::process::exit(1)
         });
+
+    // Registered beyond the cluster's replica count: we are a standby.
+    // Poll the control plane until a seated server dies and its seats
+    // are vacated to us (the listener is already up, so the moment the
+    // routing table points here we can serve).
+    if assignment.seats.is_empty() {
+        println!("shard_server standing by (no seats assigned)");
+        loop {
+            if server.is_stopped() {
+                println!("shard_server stopped");
+                return;
+            }
+            std::thread::sleep(STANDBY_POLL);
+            match control::poll_seats(&control_addr, &my_addr, Duration::from_secs(2)) {
+                Ok(offer) if !offer.seats.is_empty() => {
+                    assignment = offer;
+                    break;
+                }
+                Ok(_) => {} // nothing vacated yet; keep standing by
+                Err(e) => {
+                    eprintln!("shard_server: seat poll failed ({e}); control plane gone");
+                    std::process::exit(1)
+                }
+            }
+        }
+    }
 
     let spec = dlrm_model::publish::spec_from_text(&assignment.spec_text).unwrap_or_else(|e| {
         eprintln!("shard_server: bad spec from control plane: {e}");
@@ -88,7 +117,14 @@ fn main() {
         .iter()
         .map(|(s, r)| format!("{s}r{r}"))
         .collect();
-    server.install_seats(seats, delay);
+    if !server.install_seats_epoch(seats, delay, plan.epoch()) {
+        eprintln!(
+            "shard_server: refusing stale assignment (plan epoch {} < installed {})",
+            plan.epoch(),
+            server.plan_epoch()
+        );
+        std::process::exit(1)
+    }
     println!("shard_server serving seats [{}]", seat_names.join(", "));
 
     // Park until a control-frame shutdown stops the accept loop.

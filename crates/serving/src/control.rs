@@ -232,6 +232,7 @@ fn serve_connection(mut conn: TcpStream, shared: &Arc<CpShared>) {
         };
         let reply = match message {
             Message::Register { addr } => Some(register_server(shared, addr)),
+            Message::PollSeats { addr } => Some(reseat_standby(shared, addr)),
             Message::GetRoutes => Some(Message::Routes(
                 shared.state.lock().expect("cp state lock").routes.clone(),
             )),
@@ -276,6 +277,65 @@ fn register_server(shared: &Arc<CpShared>, addr: String) -> Message {
     state.routes.version += 1;
     let expected = shared.meta.shards * shared.meta.replicas;
     state.routes.complete = state.routes.entries.len() >= expected;
+    Message::Assign(Assignment {
+        seats,
+        spec_text: shared.meta.spec_text.clone(),
+        plan_text: shared.meta.plan_text.clone(),
+        seed: shared.meta.seed,
+    })
+}
+
+/// How long a seated server has to answer a liveness probe before its
+/// seats are considered vacated.
+const RESEAT_PROBE_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Handles a standby's [`Message::PollSeats`]: probes every *other*
+/// server currently holding seats, vacates the seats of any that fail
+/// the probe, and re-offers all vacated seats to the poller in one
+/// [`Message::Assign`] (with the spec/plan/seed it needs to rebuild the
+/// shards from scratch — stateless takeover, no weight shipping). The
+/// routing-table version bumps exactly when seats actually moved; a
+/// healthy fleet yields an empty assignment and no version change.
+fn reseat_standby(shared: &Arc<CpShared>, poller: String) -> Message {
+    // Probe outside the state lock: a slow/dead server must not stall
+    // registrations and route fetches for the probe timeout.
+    let seated: Vec<String> = {
+        let state = shared.state.lock().expect("cp state lock");
+        let mut addrs: Vec<String> = state
+            .routes
+            .entries
+            .iter()
+            .map(|e| e.addr.clone())
+            .filter(|a| *a != poller)
+            .collect();
+        addrs.sort();
+        addrs.dedup();
+        addrs
+    };
+    let dead: Vec<String> = seated
+        .into_iter()
+        .filter(|addr| {
+            !matches!(
+                call(addr, &Message::Ping, RESEAT_PROBE_TIMEOUT),
+                Ok(Message::Pong)
+            )
+        })
+        .collect();
+    let mut state = shared.state.lock().expect("cp state lock");
+    let mut seats: Vec<(ShardId, usize)> = Vec::new();
+    if !dead.is_empty() {
+        for entry in &mut state.routes.entries {
+            if dead.contains(&entry.addr) {
+                seats.push((entry.shard, entry.replica));
+                entry.addr = poller.clone();
+            }
+        }
+    }
+    if !seats.is_empty() {
+        state.routes.version += 1;
+        let expected = shared.meta.shards * shared.meta.replicas;
+        state.routes.complete = state.routes.entries.len() >= expected;
+    }
     Message::Assign(Assignment {
         seats,
         spec_text: shared.meta.spec_text.clone(),
@@ -349,6 +409,34 @@ pub fn register(
     match call(
         control_addr,
         &Message::Register {
+            addr: my_addr.to_string(),
+        },
+        timeout,
+    )? {
+        Message::Assign(a) => Ok(a),
+        other => Err(ControlError::new(format!(
+            "expected Assign, got frame kind {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Standby-side half of the re-seating protocol: asks the control plane
+/// whether any seated server has died, receiving the vacated seats (and
+/// the spec/plan/seed to rebuild them) if so. An empty-seat assignment
+/// means the fleet is healthy — poll again later.
+///
+/// # Errors
+///
+/// [`ControlError`] on transport failure or an unexpected reply.
+pub fn poll_seats(
+    control_addr: &str,
+    my_addr: &str,
+    timeout: Duration,
+) -> Result<Assignment, ControlError> {
+    match call(
+        control_addr,
+        &Message::PollSeats {
             addr: my_addr.to_string(),
         },
         timeout,

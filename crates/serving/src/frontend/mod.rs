@@ -169,6 +169,68 @@ pub fn run_frontend(
     report
 }
 
+/// [`run_frontend`] over an [`EpochSwitch`](crate::rebalance::EpochSwitch)
+/// instead of a pinned model: workers resolve the current serving epoch
+/// once per batch, so a rebalance controller can cut the tier over to a
+/// new sharding plan *while this run is in flight* — completed requests
+/// land in [`FrontendReport::epochs_served`] under the epoch that
+/// actually executed them. When `profiler` is given, every admitted
+/// batch's sparse lookups feed it, closing the re-profiling loop the
+/// controller replans from.
+///
+/// # Panics
+///
+/// Panics if `schedule` and `requests` differ in length or `cfg` has a
+/// zero worker count, batch size, or queue capacity.
+#[must_use]
+pub fn run_frontend_live(
+    switch: &crate::rebalance::EpochSwitch,
+    requests: Vec<FrontendRequest>,
+    schedule: &ArrivalSchedule,
+    cfg: &FrontendConfig,
+    profiler: Option<&dlrm_workload::OnlineProfiler>,
+) -> FrontendReport {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.max_batch_requests > 0, "need a non-zero batch size");
+    assert_eq!(
+        schedule.len(),
+        requests.len(),
+        "arrival schedule and request list must pair 1:1"
+    );
+
+    let (admitter, dequeuer, queue_stats) = admission_queue(cfg.queue_capacity);
+    let (batch_tx, batch_rx) = channel::unbounded();
+    let batch_rx = Mutex::new(batch_rx);
+    let batch_seq = AtomicU64::new(0);
+    let records = Mutex::new(Vec::with_capacity(schedule.len()));
+    let trace = Mutex::new(TraceCollector::new());
+
+    let origin = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            batcher::batcher_loop(dequeuer, cfg.max_batch_requests, cfg.batch_timeout, batch_tx);
+        });
+        for _ in 0..cfg.workers {
+            s.spawn(|| {
+                worker::worker_loop_live(
+                    switch, profiler, origin, &batch_rx, &batch_seq, &records, &trace,
+                );
+            });
+        }
+        arrival::generate_load(origin, schedule, requests, admitter);
+    });
+    let wall_ms = origin.elapsed().as_secs_f64() * 1e3;
+
+    let mut report = FrontendReport::assemble(
+        queue_stats.snapshot(),
+        records.into_inner().expect("records lock poisoned"),
+        cfg.sla.as_secs_f64() * 1e3,
+        wall_ms,
+    );
+    report.trace = trace.into_inner().expect("trace lock poisoned");
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,6 +47,10 @@ pub struct RequestRecord {
     pub batch_seq: u64,
     /// How many requests rode in the same batch.
     pub batch_requests: usize,
+    /// Serving epoch whose model executed the request's batch (0 on the
+    /// static path). Each batch resolves its epoch exactly once, so all
+    /// members of a batch share this value.
+    pub epoch: u64,
     /// Whether any RPC in the request's batch settled via the
     /// zero-embedding degraded fallback — the predictions exist but were
     /// computed without (some of) the sparse features.
@@ -141,6 +145,10 @@ pub struct FrontendReport {
     /// recoveries), when the run used a replicated pool. Attached by the
     /// caller after the run; `None` over non-replicated transports.
     pub transport: Option<TransportSummary>,
+    /// Completed requests per serving epoch, epoch-ordered. One entry
+    /// (epoch 0 or the initial plan's epoch) on a static run; a live
+    /// run that cut over mid-stream shows every epoch that served.
+    pub epochs_served: Vec<(u64, u64)>,
     /// High-water mark of admission-queue depth.
     pub max_queue_depth: usize,
     /// The SLA window requests are judged against, milliseconds.
@@ -195,6 +203,7 @@ impl FrontendReport {
             std::collections::HashMap::new();
         let mut batch_sizes: std::collections::HashMap<u64, usize> =
             std::collections::HashMap::new();
+        let mut by_epoch: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
         let mut max_batch = 0usize;
         for mut r in records {
             batch_sizes.insert(r.batch_seq, r.batch_requests);
@@ -210,6 +219,7 @@ impl FrontendReport {
             );
             max_batch = max_batch.max(r.batch_requests);
             if let Some(prediction) = r.prediction.take() {
+                *by_epoch.entry(r.epoch).or_insert(0) += 1;
                 queue_wait.record(r.queue_wait_ms());
                 batch_wait.record(r.batch_wait_ms());
                 compute.record(r.compute_ms());
@@ -251,6 +261,7 @@ impl FrontendReport {
             cache_misses,
             cache_local_rows,
             transport: None,
+            epochs_served: by_epoch.into_iter().collect(),
             max_queue_depth: queue.max_depth,
             sla_ms,
             wall_ms,
@@ -376,6 +387,14 @@ impl std::fmt::Display for FrontendReport {
             "batches {} | mean {:.2} req/batch | max {} req | max queue depth {}",
             self.batches, self.mean_batch_requests, self.max_batch_requests, self.max_queue_depth
         )?;
+        if self.epochs_served.len() > 1 || self.epochs_served.first().is_some_and(|(e, _)| *e > 0) {
+            let parts: Vec<String> = self
+                .epochs_served
+                .iter()
+                .map(|(e, n)| format!("epoch {e}: {n}"))
+                .collect();
+            writeln!(f, "served by {}", parts.join(" | "))?;
+        }
         writeln!(f, "e2e      {}", e2e.tail_percentiles())?;
         writeln!(
             f,
@@ -402,6 +421,7 @@ mod tests {
             exec_end_ms: e2e,
             batch_seq: id,
             batch_requests: 1,
+            epoch: 0,
             degraded: false,
             rpc_retries: 0,
             rpc_hedges: 0,
@@ -500,6 +520,23 @@ mod tests {
         assert_eq!(report.batches, 1);
         let text = report.to_string();
         assert!(text.contains("cache hits 6 misses 3"), "missing cache line in {text}");
+    }
+
+    #[test]
+    fn completed_requests_are_attributed_to_their_epoch() {
+        let mut records: Vec<RequestRecord> = (0..4).map(|i| rec(i, 5.0, true)).collect();
+        records[2].epoch = 1;
+        records[3].epoch = 1;
+        records.push(rec(4, 5.0, false)); // failed requests are not attributed
+        let report = FrontendReport::assemble(stats(5, 5), records, 10.0, 100.0);
+        assert_eq!(report.epochs_served, vec![(0, 2), (1, 2)]);
+        let text = report.to_string();
+        assert!(text.contains("served by epoch 0: 2 | epoch 1: 2"), "{text}");
+
+        // A pure epoch-0 run keeps the display quiet.
+        let quiet = FrontendReport::assemble(stats(1, 1), vec![rec(0, 5.0, true)], 10.0, 100.0);
+        assert_eq!(quiet.epochs_served, vec![(0, 1)]);
+        assert!(!quiet.to_string().contains("served by"));
     }
 
     #[test]

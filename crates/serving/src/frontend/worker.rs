@@ -15,9 +15,11 @@ use super::batcher::{merge_inputs, split_rows, FormedBatch};
 use super::sla::RequestRecord;
 use crate::channel::Receiver;
 use crate::engine_trace::RpcTracingObserver;
+use crate::rebalance::EpochSwitch;
 use dlrm_model::RuntimeCtx;
 use dlrm_sharding::DistributedModel;
 use dlrm_trace::{ServerId, Span, SpanKind, TraceCollector, TraceId};
+use dlrm_workload::OnlineProfiler;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -59,13 +61,67 @@ pub fn worker_loop(
             }
         };
         let seq = batch_seq.fetch_add(1, Ordering::AcqRel);
-        run_batch(model, &ctx, &consumers, origin, seq, batch, records, trace);
+        run_batch(model, 0, &ctx, &consumers, origin, seq, batch, records, trace);
+    }
+}
+
+/// [`worker_loop`] over an [`EpochSwitch`] instead of a pinned model:
+/// every batch resolves the *current* epoch exactly once — a cutover
+/// published mid-run takes effect at the next batch pickup, and no
+/// batch ever mixes two epochs' state. Batches optionally feed the
+/// shared [`OnlineProfiler`], closing the loop the rebalance controller
+/// replans from. Consumer counts are cached per epoch (they are static
+/// per partitioned graph).
+pub fn worker_loop_live(
+    switch: &EpochSwitch,
+    profiler: Option<&OnlineProfiler>,
+    origin: Instant,
+    batches: &Mutex<Receiver<FormedBatch>>,
+    batch_seq: &AtomicU64,
+    records: &Mutex<Vec<RequestRecord>>,
+    trace: &Mutex<TraceCollector>,
+) {
+    let ctx = RuntimeCtx::from_env();
+    let mut consumers_by_epoch: HashMap<u64, Arc<HashMap<String, usize>>> = HashMap::new();
+    loop {
+        let batch = {
+            let rx = batches.lock().expect("batch receiver lock poisoned");
+            match rx.recv() {
+                Ok(b) => b,
+                Err(_) => break,
+            }
+        };
+        // Resolve the serving epoch once per batch and hold it for the
+        // batch's whole execution: the drain protocol depends on this
+        // Arc being released promptly after the batch completes.
+        let epoch = switch.current();
+        if let Some(p) = profiler {
+            for entry in &batch.entries {
+                p.observe(&entry.queued.request.inputs);
+            }
+        }
+        let consumers = consumers_by_epoch
+            .entry(epoch.epoch)
+            .or_insert_with(|| Arc::new(epoch.model.consumer_counts()));
+        let seq = batch_seq.fetch_add(1, Ordering::AcqRel);
+        run_batch(
+            &epoch.model,
+            epoch.epoch,
+            &ctx,
+            consumers,
+            origin,
+            seq,
+            batch,
+            records,
+            trace,
+        );
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_batch(
     model: &DistributedModel,
+    epoch: u64,
     ctx: &RuntimeCtx,
     consumers: &Arc<HashMap<String, usize>>,
     origin: Instant,
@@ -130,6 +186,7 @@ fn run_batch(
             exec_end_ms,
             batch_seq: seq,
             batch_requests,
+            epoch,
             degraded: batch_degraded,
             rpc_retries: batch_retries,
             rpc_hedges: batch_hedges,

@@ -38,6 +38,7 @@ pub mod frontend;
 pub mod local;
 pub mod paging;
 pub mod control;
+pub mod rebalance;
 pub mod replica;
 pub mod shard_server;
 pub mod tcp;

@@ -1,0 +1,148 @@
+//! Epoch-versioned serving state: the atomically-swappable routing
+//! table behind live resharding.
+//!
+//! One *epoch* is one immutable serving configuration — a partitioned
+//! [`DistributedModel`] wired to its replica pool, stamped with the
+//! plan's epoch number. Cutting over to a new plan is publishing a new
+//! epoch: an atomic `Arc` swap that takes effect on the next batch any
+//! frontend worker picks up. Workers resolve the current epoch *once
+//! per batch*, so no batch ever mixes two epochs' state — the invariant
+//! the chaos tests pin. The retired epoch's `Arc` drains naturally:
+//! when the last in-flight batch holding it completes, the controller
+//! observes the refcount reach one and shuts the vacated pool down
+//! gracefully (workers finish queued envelopes before exiting).
+
+use crate::replica::ReplicatedShardPool;
+use dlrm_sharding::DistributedModel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One immutable serving epoch: the partitioned model and the replica
+/// pool backing its shard clients.
+#[derive(Debug)]
+pub struct EpochServing {
+    /// The plan epoch this configuration serves (see
+    /// [`dlrm_sharding::ShardingPlan::epoch`]).
+    pub epoch: u64,
+    /// The model partitioned under this epoch's plan, its RPC operators
+    /// wired to `pool`'s replicated clients.
+    pub model: DistributedModel,
+    /// The worker pool behind `model`'s shard clients. `None` when the
+    /// epoch serves over a transport the controller does not own (e.g.
+    /// TCP seats managed by a control plane).
+    pub pool: Option<ReplicatedShardPool>,
+}
+
+/// The atomically-swappable pointer to the current [`EpochServing`].
+///
+/// Readers ([`current`](Self::current)) take a short read lock to clone
+/// the `Arc`; the write lock is held only for the pointer swap itself,
+/// so cutover never blocks behind request execution.
+#[derive(Debug)]
+pub struct EpochSwitch {
+    current: RwLock<Arc<EpochServing>>,
+    cutovers: AtomicU64,
+}
+
+impl EpochSwitch {
+    /// A switch serving `initial`.
+    #[must_use]
+    pub fn new(initial: EpochServing) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(initial)),
+            cutovers: AtomicU64::new(0),
+        }
+    }
+
+    /// The current epoch's serving state. Callers hold the returned
+    /// `Arc` for exactly one batch — holding it longer delays the
+    /// retired epoch's drain after a cutover.
+    #[must_use]
+    pub fn current(&self) -> Arc<EpochServing> {
+        Arc::clone(&self.current.read().expect("epoch switch lock"))
+    }
+
+    /// The current epoch number.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.current().epoch
+    }
+
+    /// Atomically cuts over to `next` and returns the retired epoch for
+    /// the caller to drain (see
+    /// [`Rebalancer::drain_retired`](super::Rebalancer::drain_retired)).
+    pub fn publish(&self, next: EpochServing) -> Arc<EpochServing> {
+        let mut slot = self.current.write().expect("epoch switch lock");
+        let old = std::mem::replace(&mut *slot, Arc::new(next));
+        drop(slot);
+        self.cutovers.fetch_add(1, Ordering::Relaxed);
+        old
+    }
+
+    /// How many cutovers this switch has published.
+    #[must_use]
+    pub fn cutovers(&self) -> u64 {
+        self.cutovers.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::replica::HealthPolicy;
+    use dlrm_model::{build_model, rm};
+    use dlrm_sharding::{partition_with_clients, plan, ShardingStrategy};
+    use dlrm_workload::PoolingProfile;
+    use std::time::Duration;
+
+    fn epoch_state(epoch: u64) -> EpochServing {
+        let mut spec = rm::rm1().scaled_to_bytes(1 << 20);
+        spec.mean_items_per_request = 4.0;
+        spec.default_batch_size = 4;
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = plan(&spec, &profile, ShardingStrategy::OneShard).unwrap();
+        let model = build_model(&spec, 1).unwrap();
+        let services: Vec<_> = p
+            .shards()
+            .map(|s| {
+                std::sync::Arc::new(dlrm_sharding::ShardService::build(&model.tables, &p, s))
+            })
+            .collect();
+        let pool = ReplicatedShardPool::spawn(
+            services.clone(),
+            1,
+            Duration::ZERO,
+            &FaultPlan::none(),
+            HealthPolicy::default(),
+        );
+        let dist = partition_with_clients(model, &p, services, pool.clients()).unwrap();
+        EpochServing {
+            epoch,
+            model: dist,
+            pool: Some(pool),
+        }
+    }
+
+    #[test]
+    fn publish_swaps_atomically_and_returns_the_retiree() {
+        let switch = EpochSwitch::new(epoch_state(0));
+        assert_eq!(switch.epoch(), 0);
+        assert_eq!(switch.cutovers(), 0);
+        let held = switch.current();
+        let old = switch.publish(epoch_state(1));
+        assert_eq!(old.epoch, 0);
+        assert_eq!(switch.epoch(), 1);
+        assert_eq!(switch.cutovers(), 1);
+        // The held Arc still serves epoch 0 — a batch that resolved the
+        // switch before the cutover finishes on the old state.
+        assert_eq!(held.epoch, 0);
+        drop(held);
+        // With the last outside reference gone, the retiree is
+        // exclusively ours and can be drained.
+        let retired = Arc::try_unwrap(old).expect("no other holders");
+        if let Some(pool) = retired.pool {
+            pool.shutdown();
+        }
+    }
+}

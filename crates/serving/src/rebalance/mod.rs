@@ -1,0 +1,679 @@
+//! Online resharding and replica autoscaling under live traffic.
+//!
+//! The paper's capacity-driven scale-out story is *static*: a plan is
+//! profiled, published, and served (§III). This subsystem closes the
+//! loop while the tier keeps serving. A [`Rebalancer`] watches live
+//! per-shard load (replica RPC call deltas) and a continuously
+//! re-profiled access distribution ([`OnlineProfiler`]), and drives two
+//! control actions:
+//!
+//! 1. **Live migration.** When the observed hot set has drifted, it
+//!    computes a successor [`ShardingPlan`] (`plan_with_stats`, the
+//!    RecShard-style hot-row-aware planner), *warms* the target in the
+//!    background — shards are stateless (§III-A1), so the successor
+//!    epoch's weights rebuild deterministically from spec + plan + seed
+//!    with no weight shipping — runs a **dual-read verification
+//!    window** (seeded probe requests executed against both epochs,
+//!    compared for bit-exactness), and only then publishes the new
+//!    epoch through the [`EpochSwitch`]. Cutover is one atomic pointer
+//!    swap; the vacated epoch drains gracefully (its last in-flight
+//!    batch releases the `Arc`, then its pool shuts down).
+//! 2. **Replica autoscaling.** Per shard, sustained call pressure above
+//!    a threshold adds a replica to the live pool (the §VII-C
+//!    replication planner's decision, taken online); sustained idleness
+//!    removes one, never below the floor.
+//!
+//! Every decision is recorded — [`MigrationRecord`]s with per-phase
+//! timings and moved bytes, [`ScaleEvent`]s — and surfaced in the
+//! [`RebalanceReport`] next to the retired epochs' absorbed transport
+//! summaries, so a run shows exactly which requests were served by
+//! which epoch and what each cutover cost.
+
+pub mod epoch;
+
+pub use epoch::{EpochServing, EpochSwitch};
+
+use crate::engine_trace::RpcTracingObserver;
+use crate::fault::FaultPlan;
+use crate::replica::{HealthPolicy, ReplicatedShardPool, TransportSummary};
+use dlrm_model::{build_model, ModelSpec, Workspace};
+use dlrm_sharding::rpc::RpcPolicy;
+use dlrm_sharding::{
+    partition_with_clients, plan_with_stats, HotRowConfig, ShardId, ShardService,
+    ShardingPlan, ShardingStrategy,
+};
+use dlrm_trace::TraceId;
+use dlrm_workload::{materialize_request, OnlineProfiler, PoolingProfile, TraceDb};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the rebalance controller.
+#[derive(Debug, Clone)]
+pub struct RebalanceConfig {
+    /// A migration is considered only once every table has at least
+    /// this many profiled accesses in the current window — the planner
+    /// needs coverage before its hot sets mean anything.
+    pub profile_min_accesses: u64,
+    /// Seeded probe requests executed against both epochs before a
+    /// cutover; any error, degraded response, or prediction mismatch
+    /// aborts the migration.
+    pub dual_read_requests: usize,
+    /// Seed for the dual-read probe inputs.
+    pub dual_read_seed: u64,
+    /// Hot-row budget/coverage for the successor plans.
+    pub hot_rows: HotRowConfig,
+    /// Shard count of successor plans
+    /// ([`ShardingStrategy::HotRowAware`]).
+    pub strategy_shards: usize,
+    /// Scale **up** a shard when its per-replica call delta per tick
+    /// sustains at or above this.
+    pub scale_up_calls_per_tick: u64,
+    /// Scale **down** a shard when its *total* call delta per tick
+    /// sustains at or below this.
+    pub scale_down_calls_per_tick: u64,
+    /// Consecutive ticks a pressure/idle condition must hold before the
+    /// controller acts on it (anti-flap).
+    pub sustain_ticks: u32,
+    /// Replica floor per shard (scale-down never goes below).
+    pub min_replicas: usize,
+    /// Replica ceiling per shard (scale-up never goes above).
+    pub max_replicas: usize,
+    /// Ticks after a cutover (or a no-op/aborted attempt) before the
+    /// next migration is considered.
+    pub cooldown_ticks: u32,
+    /// Hard cap on *completed* migrations (`usize::MAX` = unlimited).
+    pub max_migrations: usize,
+    /// Injected service delay for warmed pools' workers (match the live
+    /// pool's).
+    pub worker_delay: Duration,
+    /// Fault schedules for warmed pools' workers, by `(shard index,
+    /// replica index)` — how chaos tests crash a replica mid-migration.
+    pub warm_faults: FaultPlan,
+    /// Health policy for warmed pools.
+    pub health: HealthPolicy,
+    /// RPC retry/hedge policy applied to warmed epochs' models; `None`
+    /// keeps the partitioner default.
+    pub rpc_policy: Option<RpcPolicy>,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        Self {
+            profile_min_accesses: 2_000,
+            dual_read_requests: 4,
+            dual_read_seed: 17,
+            hot_rows: HotRowConfig::default(),
+            strategy_shards: 2,
+            scale_up_calls_per_tick: 200,
+            scale_down_calls_per_tick: 10,
+            sustain_ticks: 2,
+            min_replicas: 1,
+            max_replicas: 4,
+            cooldown_ticks: 3,
+            max_migrations: usize::MAX,
+            worker_delay: Duration::ZERO,
+            warm_faults: FaultPlan::none(),
+            health: HealthPolicy::default(),
+            rpc_policy: None,
+        }
+    }
+}
+
+/// One migration attempt, completed or aborted.
+#[derive(Debug, Clone)]
+pub struct MigrationRecord {
+    /// Epoch served when the attempt started.
+    pub from_epoch: u64,
+    /// Epoch of the successor plan (published only if not aborted).
+    pub to_epoch: u64,
+    /// Tables whose placement or hot set changed.
+    pub moved_tables: usize,
+    /// Embedding bytes of those tables — the capacity the cutover
+    /// re-homed (rebuilt from seed, not shipped).
+    pub moved_bytes: u64,
+    /// Background warm phase: model rebuild, service construction, pool
+    /// spawn, partition.
+    pub warm_ms: f64,
+    /// Dual-read verification window.
+    pub dual_read_ms: f64,
+    /// Whole attempt, warm start to publish (or abort).
+    pub total_ms: f64,
+    /// Whether the attempt was abandoned before publishing.
+    pub aborted: bool,
+    /// Why it aborted (`None` when published).
+    pub abort_reason: Option<String>,
+}
+
+/// Scale direction of a [`ScaleEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDirection {
+    /// A replica was added.
+    Up,
+    /// A replica was removed.
+    Down,
+}
+
+/// One replica-autoscaling action.
+#[derive(Debug, Clone)]
+pub struct ScaleEvent {
+    /// Epoch whose pool was scaled.
+    pub epoch: u64,
+    /// The shard scaled.
+    pub shard: ShardId,
+    /// Added or removed.
+    pub direction: ScaleDirection,
+    /// Replica count after the action.
+    pub replicas_after: usize,
+    /// The call delta per tick that triggered it (per replica for up,
+    /// total for down).
+    pub calls_per_tick: u64,
+}
+
+/// Everything a rebalancer run did, for reports and gates.
+#[derive(Debug)]
+pub struct RebalanceReport {
+    /// Every migration attempt in order, aborted ones included.
+    pub migrations: Vec<MigrationRecord>,
+    /// Every autoscaling action in order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Cutovers actually published (`migrations` minus aborts).
+    pub cutovers: u64,
+    /// Epoch serving when the controller stopped.
+    pub final_epoch: u64,
+    /// Transport activity of every drained epoch, folded together.
+    pub retired_transport: TransportSummary,
+    /// Retired epochs still undrained at shutdown (0 in a clean run).
+    pub undrained: usize,
+}
+
+impl RebalanceReport {
+    /// Completed (non-aborted) migrations.
+    #[must_use]
+    pub fn completed_migrations(&self) -> usize {
+        self.migrations.iter().filter(|m| !m.aborted).count()
+    }
+
+    /// Aborted migration attempts.
+    #[must_use]
+    pub fn aborted_migrations(&self) -> usize {
+        self.migrations.iter().filter(|m| m.aborted).count()
+    }
+
+    /// Scale-ups and scale-downs, respectively.
+    #[must_use]
+    pub fn scale_counts(&self) -> (usize, usize) {
+        let up = self
+            .scale_events
+            .iter()
+            .filter(|e| e.direction == ScaleDirection::Up)
+            .count();
+        (up, self.scale_events.len() - up)
+    }
+}
+
+impl std::fmt::Display for RebalanceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (up, down) = self.scale_counts();
+        writeln!(
+            f,
+            "rebalance: {} cutovers ({} aborted attempts) | final epoch {} | scale-ups {} | scale-downs {} | undrained {}",
+            self.cutovers,
+            self.aborted_migrations(),
+            self.final_epoch,
+            up,
+            down,
+            self.undrained
+        )?;
+        for m in &self.migrations {
+            writeln!(
+                f,
+                "  epoch {} -> {}: {} tables / {:.1} MiB {} | warm {:.1}ms | dual-read {:.1}ms | total {:.1}ms{}",
+                m.from_epoch,
+                m.to_epoch,
+                m.moved_tables,
+                m.moved_bytes as f64 / (1 << 20) as f64,
+                if m.aborted { "ABORTED" } else { "moved" },
+                m.warm_ms,
+                m.dual_read_ms,
+                m.total_ms,
+                match &m.abort_reason {
+                    Some(r) => format!(" ({r})"),
+                    None => String::new(),
+                }
+            )?;
+        }
+        write!(f, "  retired transport: {}", self.retired_transport)
+    }
+}
+
+/// Builds one serving epoch from first principles: deterministic model
+/// weights from `seed`, one stateless [`ShardService`] per plan shard,
+/// a replicated worker pool, and the partitioned model wired to the
+/// pool's clients (hot-row cache attached when the plan carries hot
+/// sets). The epoch number is the plan's.
+///
+/// # Errors
+///
+/// Returns the builder's or partitioner's error message.
+pub fn build_epoch_serving(
+    spec: &ModelSpec,
+    plan: &ShardingPlan,
+    seed: u64,
+    replicas_per_shard: usize,
+    cfg: &RebalanceConfig,
+) -> Result<EpochServing, String> {
+    let model = build_model(spec, seed).map_err(|e| e.to_string())?;
+    let services: Vec<Arc<ShardService>> = plan
+        .shards()
+        .map(|s| Arc::new(ShardService::build(&model.tables, plan, s)))
+        .collect();
+    let pool = ReplicatedShardPool::spawn(
+        services.clone(),
+        replicas_per_shard,
+        cfg.worker_delay,
+        &cfg.warm_faults,
+        cfg.health,
+    );
+    let mut dist = partition_with_clients(model, plan, services, pool.clients())
+        .map_err(|e| e.to_string())?;
+    if let Some(cache) = &dist.cache {
+        pool.attach_cache(Arc::clone(cache));
+    }
+    if let Some(policy) = cfg.rpc_policy {
+        dist.set_rpc_policy(policy);
+    }
+    Ok(EpochServing {
+        epoch: plan.epoch(),
+        model: dist,
+        pool: Some(pool),
+    })
+}
+
+/// The control loop: watches live load, migrates plans, scales
+/// replicas. Single-threaded — drive it with [`Rebalancer::tick`] from
+/// your own loop, or hand it to a thread with [`Rebalancer::spawn`].
+#[derive(Debug)]
+pub struct Rebalancer {
+    spec: ModelSpec,
+    seed: u64,
+    profile: PoolingProfile,
+    switch: Arc<EpochSwitch>,
+    profiler: Arc<OnlineProfiler>,
+    cfg: RebalanceConfig,
+    dual_inputs: Vec<dlrm_workload::BatchInputs>,
+    draining: Vec<Arc<EpochServing>>,
+    migrations: Vec<MigrationRecord>,
+    scale_events: Vec<ScaleEvent>,
+    retired_transport: TransportSummary,
+    /// Autoscaler state, valid for `last_epoch` only.
+    last_epoch: u64,
+    last_calls: Vec<u64>,
+    streak_up: Vec<u32>,
+    streak_down: Vec<u32>,
+    cooldown: u32,
+}
+
+impl Rebalancer {
+    /// A controller for the tier behind `switch`, profiling via
+    /// `profiler` (share it with the frontend — see
+    /// `run_frontend_live`). `seed` must be the seed the *serving*
+    /// model was built from: successor epochs rebuild weights from it,
+    /// which is what makes cutovers bit-exact.
+    #[must_use]
+    pub fn new(
+        spec: ModelSpec,
+        seed: u64,
+        switch: Arc<EpochSwitch>,
+        profiler: Arc<OnlineProfiler>,
+        cfg: RebalanceConfig,
+    ) -> Self {
+        let profile = PoolingProfile::from_spec(&spec);
+        let db = TraceDb::generate(&spec, cfg.dual_read_requests, cfg.dual_read_seed);
+        let dual_inputs = (0..db.len())
+            .map(|i| {
+                materialize_request(&spec, db.get(i), usize::MAX, cfg.dual_read_seed)
+                    .into_iter()
+                    .next()
+                    .expect("request shapes have at least one item")
+            })
+            .collect();
+        Self {
+            spec,
+            seed,
+            profile,
+            switch,
+            profiler,
+            cfg,
+            dual_inputs,
+            draining: Vec::new(),
+            migrations: Vec::new(),
+            scale_events: Vec::new(),
+            retired_transport: TransportSummary::default(),
+            last_epoch: u64::MAX,
+            last_calls: Vec::new(),
+            streak_up: Vec::new(),
+            streak_down: Vec::new(),
+            cooldown: 0,
+        }
+    }
+
+    /// One control-loop iteration: drain retired epochs whose last
+    /// in-flight batch has completed, consider a migration, then apply
+    /// autoscaling decisions.
+    pub fn tick(&mut self) {
+        self.drain_retired();
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+        } else {
+            self.maybe_migrate();
+        }
+        self.autoscale();
+    }
+
+    /// Shuts down every retired epoch whose `Arc` refcount has reached
+    /// one (no batch in flight on it anymore), absorbing its transport
+    /// summary. Epochs still referenced stay queued for the next tick.
+    pub fn drain_retired(&mut self) {
+        let pending = std::mem::take(&mut self.draining);
+        for entry in pending {
+            match Arc::try_unwrap(entry) {
+                Ok(retired) => {
+                    if let Some(pool) = retired.pool {
+                        self.retired_transport
+                            .absorb_retired(&pool.transport_summary());
+                        pool.shutdown();
+                    }
+                }
+                Err(still_held) => self.draining.push(still_held),
+            }
+        }
+    }
+
+    /// Retired epochs not yet drained.
+    #[must_use]
+    pub fn undrained(&self) -> usize {
+        self.draining.len()
+    }
+
+    fn maybe_migrate(&mut self) {
+        if self.migrations.iter().filter(|m| !m.aborted).count() >= self.cfg.max_migrations {
+            return;
+        }
+        if self.profiler.min_table_accesses() < self.cfg.profile_min_accesses {
+            return;
+        }
+        let Some(stats) = self.profiler.snapshot() else {
+            return;
+        };
+        let Ok(candidate) = plan_with_stats(
+            &self.spec,
+            &self.profile,
+            ShardingStrategy::HotRowAware(self.cfg.strategy_shards),
+            &stats,
+            &self.cfg.hot_rows,
+        ) else {
+            return;
+        };
+        let current = self.switch.current();
+        if candidate.same_layout(&current.model.plan) {
+            // Traffic still matches the serving plan: start a fresh
+            // window so the next decision sees only new drift.
+            self.profiler.reset();
+            self.cooldown = self.cfg.cooldown_ticks;
+            return;
+        }
+        let started = Instant::now();
+        let versioned = candidate.succeed(&current.model.plan);
+        let (moved_tables, moved_bytes) =
+            moved_capacity(&self.spec, &current.model.plan, &versioned);
+        let mut record = MigrationRecord {
+            from_epoch: current.epoch,
+            to_epoch: versioned.epoch(),
+            moved_tables,
+            moved_bytes,
+            warm_ms: 0.0,
+            dual_read_ms: 0.0,
+            total_ms: 0.0,
+            aborted: false,
+            abort_reason: None,
+        };
+
+        // Background warm: stateless rebuild from spec + plan + seed.
+        let warmed = build_epoch_serving(
+            &self.spec,
+            &versioned,
+            self.seed,
+            self.cfg.min_replicas.max(1),
+            &self.cfg,
+        );
+        record.warm_ms = started.elapsed().as_secs_f64() * 1e3;
+        let next = match warmed {
+            Ok(next) => next,
+            Err(reason) => {
+                record.aborted = true;
+                record.abort_reason = Some(format!("warm failed: {reason}"));
+                record.total_ms = started.elapsed().as_secs_f64() * 1e3;
+                self.migrations.push(record);
+                self.cooldown = self.cfg.cooldown_ticks;
+                return;
+            }
+        };
+
+        // Dual-read verification: both epochs must answer every probe
+        // non-degraded and bit-exactly alike.
+        let dual_started = Instant::now();
+        let verdict = self.dual_read(&current.model, &next.model);
+        record.dual_read_ms = dual_started.elapsed().as_secs_f64() * 1e3;
+        if let Err(reason) = verdict {
+            record.aborted = true;
+            record.abort_reason = Some(reason);
+            record.total_ms = started.elapsed().as_secs_f64() * 1e3;
+            if let Some(pool) = next.pool {
+                pool.shutdown();
+            }
+            self.migrations.push(record);
+            self.cooldown = self.cfg.cooldown_ticks;
+            return;
+        }
+
+        // Atomic cutover; the old epoch joins the drain queue.
+        drop(current);
+        let old = self.switch.publish(next);
+        self.draining.push(old);
+        record.total_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.migrations.push(record);
+        self.profiler.reset();
+        self.cooldown = self.cfg.cooldown_ticks;
+        // Autoscaler state belongs to the retired epoch now.
+        self.last_epoch = u64::MAX;
+    }
+
+    /// Runs every probe input against both epochs' models. `Err`
+    /// carries the first discrepancy.
+    fn dual_read(
+        &self,
+        old: &dlrm_sharding::DistributedModel,
+        new: &dlrm_sharding::DistributedModel,
+    ) -> Result<(), String> {
+        for (i, inputs) in self.dual_inputs.iter().enumerate() {
+            let a = probe(&self.spec, old, inputs)
+                .map_err(|e| format!("probe {i} on serving epoch: {e}"))?;
+            let b = probe(&self.spec, new, inputs)
+                .map_err(|e| format!("probe {i} on warmed epoch: {e}"))?;
+            if a != b {
+                return Err(format!("probe {i}: predictions diverge between epochs"));
+            }
+        }
+        Ok(())
+    }
+
+    fn autoscale(&mut self) {
+        let current = self.switch.current();
+        let Some(pool) = &current.pool else { return };
+        // Aggregate per-shard call totals and replica counts, in the
+        // pool's shard order (flattened summaries repeat the shard per
+        // replica).
+        let mut shards: Vec<(ShardId, u64, usize)> = Vec::new();
+        for s in pool.replica_rpc_summaries() {
+            match shards.last_mut() {
+                Some(entry) if entry.0 == s.shard => {
+                    entry.1 += s.calls;
+                    entry.2 += 1;
+                }
+                _ => shards.push((s.shard, s.calls, 1)),
+            }
+        }
+        if current.epoch != self.last_epoch || self.last_calls.len() != shards.len() {
+            // First tick on this epoch: baseline only.
+            self.last_epoch = current.epoch;
+            self.last_calls = shards.iter().map(|s| s.1).collect();
+            self.streak_up = vec![0; shards.len()];
+            self.streak_down = vec![0; shards.len()];
+            return;
+        }
+        for (i, (shard, calls, replicas)) in shards.into_iter().enumerate() {
+            let delta = calls.saturating_sub(self.last_calls[i]);
+            self.last_calls[i] = calls;
+            let per_replica = delta / replicas as u64;
+            if per_replica >= self.cfg.scale_up_calls_per_tick
+                && replicas < self.cfg.max_replicas
+            {
+                self.streak_down[i] = 0;
+                self.streak_up[i] += 1;
+                if self.streak_up[i] >= self.cfg.sustain_ticks {
+                    self.streak_up[i] = 0;
+                    let after = pool.scale_up(i);
+                    self.scale_events.push(ScaleEvent {
+                        epoch: current.epoch,
+                        shard,
+                        direction: ScaleDirection::Up,
+                        replicas_after: after,
+                        calls_per_tick: per_replica,
+                    });
+                }
+            } else if delta <= self.cfg.scale_down_calls_per_tick
+                && replicas > self.cfg.min_replicas.max(1)
+            {
+                self.streak_up[i] = 0;
+                self.streak_down[i] += 1;
+                if self.streak_down[i] >= self.cfg.sustain_ticks {
+                    self.streak_down[i] = 0;
+                    if let Some(after) = pool.scale_down(i) {
+                        self.scale_events.push(ScaleEvent {
+                            epoch: current.epoch,
+                            shard,
+                            direction: ScaleDirection::Down,
+                            replicas_after: after,
+                            calls_per_tick: delta,
+                        });
+                    }
+                }
+            } else {
+                self.streak_up[i] = 0;
+                self.streak_down[i] = 0;
+            }
+        }
+    }
+
+    /// Drains remaining retired epochs (waiting briefly for in-flight
+    /// batches to release them) and returns the run's report. The
+    /// *current* epoch is left serving — shut it down via the switch's
+    /// owner.
+    #[must_use]
+    pub fn finish(mut self) -> RebalanceReport {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            self.drain_retired();
+            if self.draining.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let cutovers = self.switch.cutovers();
+        RebalanceReport {
+            migrations: self.migrations,
+            scale_events: self.scale_events,
+            cutovers,
+            final_epoch: self.switch.epoch(),
+            retired_transport: self.retired_transport,
+            undrained: self.draining.len(),
+        }
+    }
+
+    /// Moves the controller onto its own thread, ticking every `tick`.
+    /// Stop it (and collect the report) with [`RebalanceHandle::stop`].
+    #[must_use]
+    pub fn spawn(mut self, tick: Duration) -> RebalanceHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("rebalancer".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    self.tick();
+                    std::thread::sleep(tick);
+                }
+                self.finish()
+            })
+            .expect("spawn rebalancer thread");
+        RebalanceHandle { stop, handle }
+    }
+}
+
+/// Handle to a spawned [`Rebalancer`] thread.
+#[derive(Debug)]
+pub struct RebalanceHandle {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<RebalanceReport>,
+}
+
+impl RebalanceHandle {
+    /// Signals the controller to stop and returns its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller thread panicked.
+    #[must_use]
+    pub fn stop(self) -> RebalanceReport {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().expect("rebalancer thread panicked")
+    }
+}
+
+/// Runs one probe request through `model`, demanding a full-fidelity
+/// answer: any engine error or degraded RPC is a verification failure.
+fn probe(
+    spec: &ModelSpec,
+    model: &dlrm_sharding::DistributedModel,
+    inputs: &dlrm_workload::BatchInputs,
+) -> Result<dlrm_tensor::Matrix, String> {
+    let mut ws = Workspace::new();
+    inputs.load_into(spec, &mut ws);
+    let mut obs = RpcTracingObserver::new(TraceId(u64::MAX));
+    let out = model.run_overlapped(&mut ws, &mut obs).map_err(|e| e.to_string())?;
+    if obs.degraded_rpcs() > 0 {
+        return Err("degraded response during dual read".to_string());
+    }
+    Ok(out)
+}
+
+/// Tables whose placement or hot set differs between `old` and `new`,
+/// and their total embedding bytes — the capacity a cutover re-homes.
+fn moved_capacity(spec: &ModelSpec, old: &ShardingPlan, new: &ShardingPlan) -> (usize, u64) {
+    let mut tables = 0usize;
+    let mut bytes = 0u64;
+    for (t, (po, pn)) in old
+        .placements()
+        .iter()
+        .zip(new.placements().iter())
+        .enumerate()
+    {
+        let table = dlrm_model::TableId(t);
+        if po != pn || old.hot_rows(table) != new.hot_rows(table) {
+            tables += 1;
+            bytes += spec.table(table).bytes();
+        }
+    }
+    (tables, bytes)
+}

@@ -22,7 +22,7 @@ use dlrm_sharding::rpc::{
 };
 use dlrm_sharding::{CacheTotals, HotRowCache, ShardId, ShardService};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -155,8 +155,43 @@ pub struct TransportSummary {
     /// whose [`WireTotals`] stay zero.
     pub rows_sent: u64,
     /// Hot-row cache activity, when a cache is attached to the pool
-    /// (see [`ReplicaGroupSet::attach_cache`]); zero otherwise.
+    /// (see [`ReplicaGroupSet::attach_cache`]); zero otherwise. When the
+    /// cache has been refreshed, this is the *current* cache's activity —
+    /// post-refresh hits live here, pre-refresh hits in `cache_retired`.
     pub cache: CacheTotals,
+    /// Activity of caches retired by [`ReplicaGroupSet::attach_cache`]
+    /// replacements — the pre-refresh hit/miss totals, folded forward so
+    /// conservation identities keep holding across refreshes.
+    pub cache_retired: CacheTotals,
+    /// How many times the attached cache was replaced by a fresh one
+    /// (plan cutovers re-profiling the hot set).
+    pub cache_refreshes: u64,
+}
+
+impl TransportSummary {
+    /// Folds a retired transport's summary into this one — the
+    /// aggregation a rebalance controller applies when an epoch's pool
+    /// is drained: counters add, the retired epoch's cache activity
+    /// (current *and* already-retired) moves under `cache_retired`, and
+    /// the handoff counts as one cache refresh when the retiree served
+    /// from a cache at all.
+    pub fn absorb_retired(&mut self, retired: &TransportSummary) {
+        self.failovers += retired.failovers;
+        self.ejections += retired.ejections;
+        self.probes += retired.probes;
+        self.recoveries += retired.recoveries;
+        for (cause, n) in retired.errors_by_kind.iter() {
+            self.errors_by_kind.record_n(cause, n);
+        }
+        self.wire.merge(&retired.wire);
+        self.rows_sent += retired.rows_sent;
+        self.cache_retired.merge(&retired.cache);
+        self.cache_retired.merge(&retired.cache_retired);
+        self.cache_refreshes += retired.cache_refreshes;
+        if !retired.cache.is_zero() {
+            self.cache_refreshes += 1;
+        }
+    }
 }
 
 impl std::fmt::Display for TransportSummary {
@@ -171,6 +206,13 @@ impl std::fmt::Display for TransportSummary {
         }
         if !self.cache.is_zero() {
             write!(f, " cache[{}]", self.cache)?;
+        }
+        if self.cache_refreshes > 0 {
+            write!(
+                f,
+                " cache_refreshes={} pre_refresh[{}]",
+                self.cache_refreshes, self.cache_retired
+            )?;
         }
         if !self.wire.is_zero() {
             write!(f, " wire: {}", self.wire)?;
@@ -201,11 +243,19 @@ pub(crate) struct SeatConn {
 pub struct ReplicaGroupSet {
     policy: HealthPolicy,
     counters: Arc<TransportCounters>,
-    groups: Vec<(ShardId, Vec<SeatConn>)>,
+    /// Each shard's seats behind a shared lock: [`ReplicatedClient`]s
+    /// hold the same `Arc`, so a seat added or removed here (replica
+    /// autoscaling, standby re-seating) is visible to live clients on
+    /// their next request — no client rebuild, no request dropped.
+    groups: Vec<(ShardId, Arc<RwLock<Vec<SeatConn>>>)>,
     /// The main shard's hot-row cache, when the serving model was
     /// partitioned under a hot-row-aware plan; its totals are folded
     /// into [`TransportSummary`].
     cache: Mutex<Option<Arc<HotRowCache>>>,
+    /// Totals of caches replaced by [`Self::attach_cache`] — the
+    /// pre-refresh activity.
+    retired_cache: Mutex<CacheTotals>,
+    cache_refreshes: AtomicU64,
 }
 
 impl ReplicaGroupSet {
@@ -217,6 +267,8 @@ impl ReplicaGroupSet {
             counters: Arc::new(TransportCounters::default()),
             groups: Vec::new(),
             cache: Mutex::new(None),
+            retired_cache: Mutex::new(CacheTotals::default()),
+            cache_refreshes: AtomicU64::new(0),
         }
     }
 
@@ -224,8 +276,19 @@ impl ReplicaGroupSet {
     /// counters appear in [`Self::transport_summary`]. Call after
     /// partitioning, with
     /// [`DistributedModel::cache`](dlrm_sharding::DistributedModel).
+    /// Replacing an already-attached cache counts as a *refresh*: the
+    /// old cache's totals fold into the pre-refresh bucket so the
+    /// summary distinguishes hits served before and after the hot set
+    /// was re-profiled.
     pub fn attach_cache(&self, cache: Arc<HotRowCache>) {
-        *self.cache.lock().expect("cache slot lock") = Some(cache);
+        let mut slot = self.cache.lock().expect("cache slot lock");
+        if let Some(old) = slot.replace(cache) {
+            self.retired_cache
+                .lock()
+                .expect("retired cache lock")
+                .merge(&old.totals());
+            self.cache_refreshes.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Adds one shard's replica set: per-replica `(client, stats)`
@@ -244,7 +307,58 @@ impl ReplicaGroupSet {
                 health: Arc::new(ReplicaHealth::default()),
             })
             .collect();
-        self.groups.push((shard, seats));
+        self.groups.push((shard, Arc::new(RwLock::new(seats))));
+    }
+
+    /// Adds one replica seat to an existing shard group, live: clients
+    /// built before this call start rotating onto the new seat on their
+    /// next request. Returns the new replica count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` has no group.
+    pub(crate) fn add_seat(
+        &self,
+        shard: ShardId,
+        client: Arc<dyn SparseShardClient>,
+        stats: Arc<RpcStats>,
+    ) -> usize {
+        let (_, seats) = self
+            .groups
+            .iter()
+            .find(|(s, _)| *s == shard)
+            .unwrap_or_else(|| panic!("no replica group for {shard}"));
+        let mut seats = seats.write().expect("seat list lock");
+        seats.push(SeatConn {
+            client,
+            stats,
+            health: Arc::new(ReplicaHealth::default()),
+        });
+        seats.len()
+    }
+
+    /// Removes the highest-indexed replica seat of `shard`, live —
+    /// in-flight requests issued on it complete normally (their
+    /// completions hold their own references); new requests stop
+    /// rotating onto it immediately. Refuses to empty a group: returns
+    /// `None` when only one seat remains, otherwise the removed seat's
+    /// replica index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` has no group.
+    pub(crate) fn remove_seat(&self, shard: ShardId) -> Option<usize> {
+        let (_, seats) = self
+            .groups
+            .iter()
+            .find(|(s, _)| *s == shard)
+            .unwrap_or_else(|| panic!("no replica group for {shard}"));
+        let mut seats = seats.write().expect("seat list lock");
+        if seats.len() <= 1 {
+            return None;
+        }
+        seats.pop();
+        Some(seats.len())
     }
 
     /// One [`ReplicatedClient`] per shard, ordered by [`ShardId`].
@@ -255,13 +369,7 @@ impl ReplicaGroupSet {
             .map(|(shard, seats)| {
                 Arc::new(ReplicatedClient {
                     shard: *shard,
-                    replicas: seats
-                        .iter()
-                        .map(|seat| ReplicaConn {
-                            client: Arc::clone(&seat.client),
-                            health: Arc::clone(&seat.health),
-                        })
-                        .collect(),
+                    replicas: Arc::clone(seats),
                     next: AtomicUsize::new(0),
                     policy: self.policy,
                     counters: Arc::clone(&self.counters),
@@ -273,7 +381,10 @@ impl ReplicaGroupSet {
     /// Replica counts per shard, in [`ShardId`] order.
     #[must_use]
     pub fn replica_counts(&self) -> Vec<usize> {
-        self.groups.iter().map(|(_, seats)| seats.len()).collect()
+        self.groups
+            .iter()
+            .map(|(_, seats)| seats.read().expect("seat list lock").len())
+            .collect()
     }
 
     /// Snapshot of failover/ejection/probe/recovery activity plus the
@@ -283,7 +394,7 @@ impl ReplicaGroupSet {
         let mut wire = WireTotals::default();
         let mut rows_sent = 0u64;
         for (_, seats) in &self.groups {
-            for seat in seats {
+            for seat in seats.read().expect("seat list lock").iter() {
                 wire.merge(&seat.stats.wire_totals());
                 rows_sent += seat.stats.rows_sent();
             }
@@ -309,6 +420,8 @@ impl ReplicaGroupSet {
             wire,
             rows_sent,
             cache,
+            cache_retired: *self.retired_cache.lock().expect("retired cache lock"),
+            cache_refreshes: self.cache_refreshes.load(Ordering::Relaxed),
         }
     }
 
@@ -318,7 +431,14 @@ impl ReplicaGroupSet {
     pub fn replica_rpc_summaries(&self) -> Vec<ShardRpcSummary> {
         self.groups
             .iter()
-            .flat_map(|(shard, seats)| seats.iter().map(|seat| seat.stats.summarize(*shard)))
+            .flat_map(|(shard, seats)| {
+                seats
+                    .read()
+                    .expect("seat list lock")
+                    .iter()
+                    .map(|seat| seat.stats.summarize(*shard))
+                    .collect::<Vec<_>>()
+            })
             .collect()
     }
 
@@ -330,13 +450,19 @@ impl ReplicaGroupSet {
             .iter()
             .flat_map(|(shard, seats)| {
                 seats
+                    .read()
+                    .expect("seat list lock")
                     .iter()
                     .enumerate()
                     .map(|(r, seat)| (*shard, r, seat.health.is_ejected()))
+                    .collect::<Vec<_>>()
             })
             .collect()
     }
 }
+
+/// One live worker thread: its control sender and join handle.
+type WorkerHandle = (Sender<WorkerMsg>, JoinHandle<()>);
 
 /// A pool of shard worker threads with `replicas ≥ 1` workers per
 /// shard, every replica of a shard serving the same (shared, stateless)
@@ -346,8 +472,18 @@ impl ReplicaGroupSet {
 #[derive(Debug)]
 pub struct ReplicatedShardPool {
     set: ReplicaGroupSet,
-    senders: Vec<Sender<WorkerMsg>>,
-    handles: Vec<JoinHandle<()>>,
+    /// The shared, stateless per-shard services — retained so
+    /// [`Self::scale_up`] can spawn extra replicas of a shard after the
+    /// pool is live.
+    services: Vec<Arc<ShardService>>,
+    delay: Duration,
+    /// `workers[shard index][replica index]` — each worker's control
+    /// sender and join handle, kept parallel to the seat lists in
+    /// `set` so scale-down can stop exactly the vacated worker.
+    workers: Mutex<Vec<Vec<WorkerHandle>>>,
+    /// Total replicas ever spawned per shard — labels new workers so a
+    /// scale-down + scale-up pair never reuses a thread name.
+    spawned: Mutex<Vec<usize>>,
 }
 
 impl ReplicatedShardPool {
@@ -389,17 +525,18 @@ impl ReplicatedShardPool {
             "one replica count per shard service"
         );
         let mut set = ReplicaGroupSet::new(policy);
-        let mut senders = Vec::new();
-        let mut handles = Vec::new();
-        for (index, service) in services.into_iter().enumerate() {
+        let mut workers = Vec::with_capacity(services.len());
+        let mut spawned = Vec::with_capacity(services.len());
+        for (index, service) in services.iter().enumerate() {
             let shard = service.shard_id();
             let replicas = counts[index].max(1);
             let mut seats: Vec<(Arc<dyn SparseShardClient>, Arc<RpcStats>)> =
                 Vec::with_capacity(replicas);
+            let mut shard_workers = Vec::with_capacity(replicas);
             for r in 0..replicas {
                 let schedule = faults.schedule(index, r).cloned().unwrap_or_default();
                 let (tx, stats, handle) = spawn_worker(
-                    Arc::clone(&service),
+                    Arc::clone(service),
                     delay,
                     schedule,
                     format!("{shard}r{r}"),
@@ -407,16 +544,80 @@ impl ReplicatedShardPool {
                 let client =
                     ThreadedClient::new(shard, tx.clone(), Arc::clone(&stats));
                 seats.push((Arc::new(client), stats));
-                senders.push(tx);
-                handles.push(handle);
+                shard_workers.push((tx, handle));
             }
             set.add_group(shard, seats);
+            workers.push(shard_workers);
+            spawned.push(replicas);
         }
         Self {
             set,
-            senders,
-            handles,
+            services,
+            delay,
+            workers: Mutex::new(workers),
+            spawned: Mutex::new(spawned),
         }
+    }
+
+    /// Adds one replica worker to shard `index` (position in the
+    /// original `services` vector), live: a fresh worker thread starts
+    /// on the shared service and the seat joins the rotation every
+    /// existing [`ReplicatedClient`] sees. Returns the new replica
+    /// count. This is the scale-*up* arm of replica autoscaling
+    /// (§VII-C made live).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn scale_up(&self, index: usize) -> usize {
+        self.scale_up_with_faults(index, crate::fault::ReplicaFaultSchedule::none())
+    }
+
+    /// [`Self::scale_up`] with an injected fault schedule on the new
+    /// worker — lets chaos tests crash a replica that joined mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn scale_up_with_faults(
+        &self,
+        index: usize,
+        schedule: crate::fault::ReplicaFaultSchedule,
+    ) -> usize {
+        let service = Arc::clone(&self.services[index]);
+        let shard = service.shard_id();
+        let label = {
+            let mut spawned = self.spawned.lock().expect("spawn counter lock");
+            let r = spawned[index];
+            spawned[index] += 1;
+            format!("{shard}r{r}")
+        };
+        let (tx, stats, handle) = spawn_worker(service, self.delay, schedule, label);
+        let client = ThreadedClient::new(shard, tx.clone(), Arc::clone(&stats));
+        // Register the worker before the seat: once the seat is
+        // visible, a racing scale_down must find a worker to stop.
+        self.workers.lock().expect("worker table lock")[index].push((tx, handle));
+        self.set.add_seat(shard, Arc::new(client), stats)
+    }
+
+    /// Removes the most recently added replica of shard `index` and
+    /// stops its worker (queued envelopes drain first, exactly like
+    /// shutdown). Refuses to drop the last replica; returns the new
+    /// replica count, or `None` if the shard is already at one. The
+    /// scale-*down* arm of replica autoscaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn scale_down(&self, index: usize) -> Option<usize> {
+        let shard = self.services[index].shard_id();
+        let remaining = self.set.remove_seat(shard)?;
+        let worker = self.workers.lock().expect("worker table lock")[index].pop();
+        if let Some((tx, handle)) = worker {
+            let _ = tx.send(WorkerMsg::Stop);
+            let _ = handle.join();
+        }
+        Some(remaining)
     }
 
     /// One [`ReplicatedClient`] per shard for the partitioner, ordered
@@ -461,13 +662,18 @@ impl ReplicatedShardPool {
     /// Total worker threads across all replica sets.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.handles.len()
+        self.workers
+            .lock()
+            .expect("worker table lock")
+            .iter()
+            .map(Vec::len)
+            .sum()
     }
 
     /// Whether the pool has no workers.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.handles.is_empty()
+        self.len() == 0
     }
 
     /// Stops every replica worker and joins it (queued envelopes are
@@ -477,20 +683,18 @@ impl ReplicatedShardPool {
     }
 
     fn stop_and_join(&mut self) {
-        for tx in self.senders.drain(..) {
-            let _ = tx.send(WorkerMsg::Stop);
+        let mut workers = self.workers.lock().expect("worker table lock");
+        for shard_workers in workers.iter_mut() {
+            for (tx, _) in shard_workers.iter() {
+                let _ = tx.send(WorkerMsg::Stop);
+            }
         }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        for shard_workers in workers.iter_mut() {
+            for (_, handle) in shard_workers.drain(..) {
+                let _ = handle.join();
+            }
         }
     }
-}
-
-/// One replica as seen from the client side.
-#[derive(Debug)]
-struct ReplicaConn {
-    client: Arc<dyn SparseShardClient>,
-    health: Arc<ReplicaHealth>,
 }
 
 /// The logical per-shard client: round-robins requests across healthy
@@ -500,10 +704,14 @@ struct ReplicaConn {
 /// `begin_execute` here issues exactly one attempt to one replica, and
 /// because the round-robin pointer advances per call, a retry or hedge
 /// naturally lands on a *different* replica.
+///
+/// The seat list is the *shared* one owned by [`ReplicaGroupSet`]: a
+/// seat added or removed there mid-flight changes this client's
+/// rotation on the very next request.
 #[derive(Debug)]
 pub struct ReplicatedClient {
     shard: ShardId,
-    replicas: Vec<ReplicaConn>,
+    replicas: Arc<RwLock<Vec<SeatConn>>>,
     next: AtomicUsize,
     policy: HealthPolicy,
     counters: Arc<TransportCounters>,
@@ -519,7 +727,11 @@ impl SparseShardClient for ReplicatedClient {
     }
 
     fn begin_execute(&self, request: &ShardRequest) -> Result<Box<dyn RpcCompletion>, RpcError> {
-        let n = self.replicas.len();
+        // Snapshot the seat list so a concurrent scale-up/scale-down
+        // never blocks behind request IO (each seat is a bundle of
+        // `Arc`s — the clone is cheap).
+        let seats: Vec<SeatConn> = self.replicas.read().expect("seat list lock").clone();
+        let n = seats.len();
         if n == 0 {
             return Err(RpcError::Transport {
                 shard: self.shard,
@@ -532,7 +744,7 @@ impl SparseShardClient for ReplicatedClient {
         let mut last_err: Option<RpcError> = None;
         for i in 0..n {
             let idx = (start + i) % n;
-            let conn = &self.replicas[idx];
+            let conn = &seats[idx];
             match conn.health.try_select(now, &self.policy) {
                 Selection::Skip => {
                     bypassed += 1;
@@ -556,7 +768,7 @@ impl SparseShardClient for ReplicatedClient {
             // Force one anyway: with the whole set down, sitting out
             // the probe timer only converts requests that might succeed
             // into guaranteed failures.
-            let conn = &self.replicas[start];
+            let conn = &seats[start];
             self.counters.probes.fetch_add(1, Ordering::Relaxed);
             match self.issue_on(conn, request, bypassed) {
                 Ok(tracked) => return Ok(tracked),
@@ -573,7 +785,7 @@ impl ReplicatedClient {
     /// refusal (worker dead) is charged to the replica immediately.
     fn issue_on(
         &self,
-        conn: &ReplicaConn,
+        conn: &SeatConn,
         request: &ShardRequest,
         bypassed: u64,
     ) -> Result<Box<dyn RpcCompletion>, RpcError> {
@@ -792,6 +1004,108 @@ mod tests {
             "replica 0 should be back in rotation"
         );
         pool.shutdown();
+    }
+
+    #[test]
+    fn scale_up_and_down_rebalance_live_clients() {
+        // Clients are built once, against a single replica; the pool
+        // then scales to three and back to two without the clients
+        // being rebuilt — the rotation must follow the seat list.
+        let pool = ReplicatedShardPool::spawn(
+            one_shard_services(),
+            1,
+            Duration::ZERO,
+            &FaultPlan::none(),
+            HealthPolicy::default(),
+        );
+        let clients = pool.clients();
+        assert!(clients[0].execute(&empty_request()).is_ok());
+        assert_eq!(pool.scale_up(0), 2);
+        assert_eq!(pool.scale_up(0), 3);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.replica_counts(), vec![3]);
+        for _ in 0..9 {
+            assert!(clients[0].execute(&empty_request()).is_ok());
+        }
+        let per_replica = pool.replica_rpc_summaries();
+        assert_eq!(per_replica.len(), 3);
+        assert!(
+            per_replica.iter().all(|s| s.calls >= 3),
+            "every replica (including the scaled-up ones) should serve: {per_replica:?}"
+        );
+        assert_eq!(pool.scale_down(0), Some(2));
+        assert_eq!(pool.len(), 2);
+        for _ in 0..4 {
+            assert!(clients[0].execute(&empty_request()).is_ok());
+        }
+        // The floor: the last replica of a shard cannot be removed.
+        assert_eq!(pool.scale_down(0), Some(1));
+        assert_eq!(pool.scale_down(0), None);
+        assert_eq!(pool.replica_counts(), vec![1]);
+        assert!(clients[0].execute(&empty_request()).is_ok());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn cache_refresh_counts_replacements() {
+        // The first attach is not a refresh; each replacement is one.
+        let spec = toy_spec();
+        let profile = PoolingProfile::from_spec(&spec);
+        let p = plan(&spec, &profile, ShardingStrategy::OneShard).unwrap();
+        let model = build_model(&spec, 1).unwrap();
+        let pool = ReplicatedShardPool::spawn(
+            one_shard_services(),
+            1,
+            Duration::ZERO,
+            &FaultPlan::none(),
+            HealthPolicy::default(),
+        );
+        pool.attach_cache(Arc::new(HotRowCache::build(&model.tables, &p)));
+        assert_eq!(pool.transport_summary().cache_refreshes, 0);
+        pool.attach_cache(Arc::new(HotRowCache::build(&model.tables, &p)));
+        let summary = pool.transport_summary();
+        assert_eq!(summary.cache_refreshes, 1, "{summary}");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn absorb_retired_splits_pre_and_post_refresh_totals() {
+        // A retired epoch served 5 cache hits from its live cache and
+        // 3 from an earlier already-retired one; absorbing it moves all
+        // 8 under the pre-refresh bucket and counts the handoff itself
+        // as a refresh on top of the retiree's own.
+        let retired = TransportSummary {
+            failovers: 2,
+            cache: CacheTotals {
+                hits: 5,
+                misses: 1,
+                local_rows: 10,
+            },
+            cache_retired: CacheTotals {
+                hits: 3,
+                misses: 0,
+                local_rows: 6,
+            },
+            cache_refreshes: 1,
+            rows_sent: 40,
+            ..TransportSummary::default()
+        };
+        let mut merged = TransportSummary::default();
+        merged.absorb_retired(&retired);
+        assert_eq!(merged.failovers, 2);
+        assert_eq!(merged.rows_sent, 40);
+        assert_eq!(merged.cache_refreshes, 2);
+        assert_eq!(merged.cache_retired.hits, 8);
+        assert_eq!(merged.cache_retired.local_rows, 16);
+        assert!(
+            merged.cache.is_zero(),
+            "the absorber's own live cache is untouched"
+        );
+
+        // A retiree that never served from a cache adds no refresh.
+        let mut quiet = TransportSummary::default();
+        quiet.absorb_retired(&TransportSummary::default());
+        assert_eq!(quiet.cache_refreshes, 0);
     }
 
     #[test]

@@ -32,6 +32,12 @@ const HEADER: &str = "dlrm-plan v1";
 /// hot-row placement layer; emitted only when the plan has one, so v1
 /// consumers keep reading v1 documents unchanged.
 const HEADER_V2: &str = "dlrm-plan v2";
+/// v3 adds migration versioning: an `epoch <n>` record and per-shard
+/// `gen <shard> <generation>` records, so a server can reject an
+/// assignment carrying a stale-epoch plan. Emitted only when the plan
+/// has been through a migration (non-zero epoch or generation), so v1
+/// and v2 consumers keep reading pre-migration documents unchanged.
+const HEADER_V3: &str = "dlrm-plan v3";
 
 /// Serializes a plan: one `place` record per table, `main` or a
 /// comma-separated shard list (order = part order for row-sharding).
@@ -55,10 +61,25 @@ const HEADER_V2: &str = "dlrm-plan v2";
 pub fn plan_to_text(plan: &ShardingPlan) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let header = if plan.has_hot_rows() { HEADER_V2 } else { HEADER };
+    let versioned = plan.epoch() > 0 || plan.generations().iter().any(|&g| g > 0);
+    let header = if versioned {
+        HEADER_V3
+    } else if plan.has_hot_rows() {
+        HEADER_V2
+    } else {
+        HEADER
+    };
     let _ = writeln!(out, "{header}");
     let _ = writeln!(out, "strategy {}", plan.strategy().label());
     let _ = writeln!(out, "shards {}", plan.num_shards());
+    if versioned {
+        let _ = writeln!(out, "epoch {}", plan.epoch());
+        for (s, &g) in plan.generations().iter().enumerate() {
+            if g > 0 {
+                let _ = writeln!(out, "gen {s} {g}");
+            }
+        }
+    }
     for p in plan.placements() {
         match &p.location {
             Location::Main => {
@@ -125,13 +146,16 @@ pub fn plan_from_text(text: &str) -> Result<ShardingPlan, ParsePlanError> {
         line: 0,
         message: "empty file".into(),
     })?;
-    let v2 = match header.trim() {
-        h if h == HEADER => false,
-        h if h == HEADER_V2 => true,
+    let version = match header.trim() {
+        h if h == HEADER => 1,
+        h if h == HEADER_V2 => 2,
+        h if h == HEADER_V3 => 3,
         _ => {
             return Err(ParsePlanError {
                 line: 1,
-                message: format!("expected header {HEADER:?} or {HEADER_V2:?}, got {header:?}"),
+                message: format!(
+                    "expected header {HEADER:?}, {HEADER_V2:?}, or {HEADER_V3:?}, got {header:?}"
+                ),
             })
         }
     };
@@ -139,6 +163,8 @@ pub fn plan_from_text(text: &str) -> Result<ShardingPlan, ParsePlanError> {
     let mut num_shards = None;
     let mut placements: Vec<TablePlacement> = Vec::new();
     let mut hot: std::collections::BTreeMap<usize, Vec<u64>> = Default::default();
+    let mut epoch: Option<u64> = None;
+    let mut gens: std::collections::BTreeMap<usize, u64> = Default::default();
     for (idx, raw) in lines {
         let line = idx + 1;
         let trimmed = raw.trim();
@@ -195,8 +221,37 @@ pub fn plan_from_text(text: &str) -> Result<ShardingPlan, ParsePlanError> {
                 };
                 placements.push(TablePlacement { table, location });
             }
+            "epoch" => {
+                if version < 3 {
+                    return Err(bad("epoch records need the v3 header".into()));
+                }
+                let value = rest
+                    .first()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or_else(|| bad("bad epoch record".into()))?;
+                if epoch.replace(value).is_some() {
+                    return Err(bad("duplicate epoch record".into()));
+                }
+            }
+            "gen" => {
+                if version < 3 {
+                    return Err(bad("gen records need the v3 header".into()));
+                }
+                if rest.len() != 2 {
+                    return Err(bad(format!("gen needs 2 fields, got {}", rest.len())));
+                }
+                let shard: usize = rest[0]
+                    .parse()
+                    .map_err(|_| bad(format!("bad shard id {:?}", rest[0])))?;
+                let g: u64 = rest[1]
+                    .parse()
+                    .map_err(|_| bad(format!("bad generation {:?}", rest[1])))?;
+                if gens.insert(shard, g).is_some() {
+                    return Err(bad(format!("duplicate gen record for shard {shard}")));
+                }
+            }
             "hot" => {
-                if !v2 {
+                if version < 2 {
                     return Err(bad("hot records need the v2 header".into()));
                 }
                 if rest.len() < 2 {
@@ -271,7 +326,21 @@ pub fn plan_from_text(text: &str) -> Result<ShardingPlan, ParsePlanError> {
     for (table, rows) in hot {
         hot_rows[table] = rows;
     }
-    Ok(ShardingPlan::new(strategy, num_shards, placements).with_hot_rows(hot_rows))
+    if let Some((&shard, _)) = gens.iter().next_back() {
+        if shard >= num_shards {
+            return Err(ParsePlanError {
+                line: 0,
+                message: format!("gen record for shard {shard} beyond the {num_shards} shards"),
+            });
+        }
+    }
+    let mut generations = vec![0u64; num_shards];
+    for (shard, g) in gens {
+        generations[shard] = g;
+    }
+    Ok(ShardingPlan::new(strategy, num_shards, placements)
+        .with_hot_rows(hot_rows)
+        .with_versioning(epoch.unwrap_or(0), generations))
 }
 
 #[cfg(test)]
@@ -349,6 +418,67 @@ mod tests {
         let profile = PoolingProfile::from_spec(&spec);
         let p = make_plan(&spec, &profile, ShardingStrategy::CapacityBalanced(2)).unwrap();
         assert!(plan_to_text(&p).starts_with("dlrm-plan v1\n"));
+    }
+
+    #[test]
+    fn migrated_plans_round_trip_as_v3() {
+        let spec = rm::rm1();
+        let profile = PoolingProfile::from_spec(&spec);
+        let old = make_plan(&spec, &profile, ShardingStrategy::CapacityBalanced(2)).unwrap();
+        let new = make_plan(&spec, &profile, ShardingStrategy::LoadBalanced(2))
+            .unwrap()
+            .succeed(&old);
+        assert_eq!(new.epoch(), 1);
+        let text = plan_to_text(&new);
+        assert!(text.starts_with("dlrm-plan v3\n"), "{text}");
+        assert!(text.contains("\nepoch 1\n"), "{text}");
+        let back = plan_from_text(&text).unwrap();
+        assert_eq!(back, new);
+        assert_eq!(back.epoch(), 1);
+        assert_eq!(back.generations(), new.generations());
+    }
+
+    #[test]
+    fn v3_carries_hot_rows_and_versioning_together() {
+        use crate::{plan_with_stats, HotRowConfig};
+        use dlrm_workload::RowStats;
+        let spec = rm::rm1().scaled_to_bytes(32 << 20);
+        let profile = PoolingProfile::from_spec(&spec);
+        let old = make_plan(&spec, &profile, ShardingStrategy::CapacityBalanced(2)).unwrap();
+        let stats = RowStats::for_spec(&spec, 4_000, 1.2, 17);
+        let p = plan_with_stats(
+            &spec,
+            &profile,
+            ShardingStrategy::HotRowAware(2),
+            &stats,
+            &HotRowConfig::default(),
+        )
+        .unwrap()
+        .succeed(&old);
+        assert!(p.has_hot_rows());
+        let text = plan_to_text(&p);
+        assert!(text.starts_with("dlrm-plan v3\n"), "{text}");
+        assert!(text.contains("\nhot "), "{text}");
+        assert_eq!(plan_from_text(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn epoch_and_gen_records_rejected_under_old_headers() {
+        for header in ["dlrm-plan v1", "dlrm-plan v2"] {
+            let text = format!("{header}\nstrategy 1-shard\nshards 1\nepoch 1\nplace 0 0\n");
+            let err = plan_from_text(&text).unwrap_err();
+            assert!(err.message.contains("v3"), "{err}");
+            let text = format!("{header}\nstrategy 1-shard\nshards 1\ngen 0 1\nplace 0 0\n");
+            let err = plan_from_text(&text).unwrap_err();
+            assert!(err.message.contains("v3"), "{err}");
+        }
+    }
+
+    #[test]
+    fn gen_record_beyond_shards_rejected() {
+        let text = "dlrm-plan v3\nstrategy 1-shard\nshards 1\nepoch 1\ngen 3 1\nplace 0 0\n";
+        let err = plan_from_text(text).unwrap_err();
+        assert!(err.message.contains("beyond"), "{err}");
     }
 
     #[test]

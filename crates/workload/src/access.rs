@@ -224,6 +224,25 @@ impl RowStats {
         }
     }
 
+    /// Distills statistics from raw `(row, count)` access counts — the
+    /// online-profiling entry point, where counts come from observed
+    /// serving traffic rather than a synthetic trace. Returns `None`
+    /// when the counts are empty or all zero (no statistics to rank).
+    #[must_use]
+    pub fn from_counts(rows: u64, counts: impl IntoIterator<Item = (u64, u64)>) -> Option<Self> {
+        let mut ranked: Vec<(u64, u64)> = counts.into_iter().filter(|&(_, c)| c > 0).collect();
+        if ranked.is_empty() {
+            return None;
+        }
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let total = ranked.iter().map(|&(_, c)| c).sum();
+        Some(Self {
+            rows,
+            total,
+            ranked,
+        })
+    }
+
     /// Samples `n` Zipf(`s`) accesses over a `rows`-row table and
     /// distills them — the offline profiling pass in one call. Uses the
     /// same sampler (and the same rank-to-row scatter) as skewed request

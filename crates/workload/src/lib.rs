@@ -37,10 +37,12 @@ pub mod access;
 mod arrivals;
 mod materialize;
 mod profile;
+mod profiler;
 mod tracedb;
 
 pub use access::{AccessTrace, RowStats};
 pub use arrivals::ArrivalSchedule;
 pub use materialize::{materialize_request, materialize_request_with, BatchInputs, IndexDist};
 pub use profile::PoolingProfile;
+pub use profiler::OnlineProfiler;
 pub use tracedb::{RequestShape, TraceDb, TraceDbConfig};

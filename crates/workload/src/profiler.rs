@@ -1,0 +1,180 @@
+//! Online access profiling: per-table row-frequency counts accumulated
+//! from live serving traffic.
+//!
+//! The offline path samples a synthetic Zipf trace ([`RowStats::
+//! sample_zipf`]) before the model is ever deployed; this module is its
+//! live twin. A serving tier shares one [`OnlineProfiler`] across its
+//! workers, calls [`OnlineProfiler::observe`] on every batch it
+//! executes, and a rebalance controller snapshots the accumulated
+//! counts into fresh [`RowStats`] to re-derive placement when the hot
+//! set the traffic actually touches has drifted away from the profiled
+//! one (RecShard's premise, made continuous).
+
+use crate::{BatchInputs, RowStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-table row-access accumulator for live traffic. Thread-safe:
+/// workers observe concurrently, a controller snapshots concurrently.
+#[derive(Debug)]
+pub struct OnlineProfiler {
+    /// Row count per table (indexed by table id) — carried into every
+    /// snapshot so the planner can validate coverage.
+    rows: Vec<u64>,
+    /// Accumulated `(row → count)` per table.
+    counts: Mutex<Vec<HashMap<u64, u64>>>,
+    /// Total accesses observed since the last [`Self::reset`].
+    observed: AtomicU64,
+}
+
+impl OnlineProfiler {
+    /// An empty profiler shaped for `spec`'s tables.
+    #[must_use]
+    pub fn for_spec(spec: &dlrm_model::ModelSpec) -> Self {
+        Self {
+            rows: spec.tables.iter().map(|t| t.rows).collect(),
+            counts: Mutex::new(vec![HashMap::new(); spec.tables.len()]),
+            observed: AtomicU64::new(0),
+        }
+    }
+
+    /// Folds one batch's sparse lookups into the per-table counts.
+    pub fn observe(&self, inputs: &BatchInputs) {
+        let mut counts = self.counts.lock().expect("profiler counts lock");
+        let mut seen = 0u64;
+        for (t, sparse) in inputs.sparse.iter().enumerate() {
+            if t >= counts.len() {
+                break;
+            }
+            let table = &mut counts[t];
+            for &row in &sparse.indices {
+                *table.entry(row).or_insert(0) += 1;
+            }
+            seen += sparse.indices.len() as u64;
+        }
+        drop(counts);
+        self.observed.fetch_add(seen, Ordering::Relaxed);
+    }
+
+    /// Total lookups observed since construction or the last reset.
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.observed.load(Ordering::Relaxed)
+    }
+
+    /// The smallest per-table access total — the coverage floor a
+    /// controller gates replanning on (a table nobody touched yet
+    /// cannot be profiled).
+    #[must_use]
+    pub fn min_table_accesses(&self) -> u64 {
+        let counts = self.counts.lock().expect("profiler counts lock");
+        counts
+            .iter()
+            .map(|t| t.values().sum::<u64>())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Snapshots the accumulated counts into one [`RowStats`] per table
+    /// (indexed by table id), or `None` until *every* table has at
+    /// least one observed access — `plan_with_stats` requires full
+    /// coverage. The accumulator keeps counting; use [`Self::reset`] to
+    /// start a fresh window after a cutover.
+    #[must_use]
+    pub fn snapshot(&self) -> Option<Vec<RowStats>> {
+        let counts = self.counts.lock().expect("profiler counts lock");
+        counts
+            .iter()
+            .zip(&self.rows)
+            .map(|(table, &rows)| {
+                RowStats::from_counts(rows, table.iter().map(|(&r, &c)| (r, c)))
+            })
+            .collect()
+    }
+
+    /// Clears the accumulated counts — the start of a fresh profiling
+    /// window (typically right after a plan cutover, so the next
+    /// migration decision reflects post-cutover traffic only).
+    pub fn reset(&self) {
+        let mut counts = self.counts.lock().expect("profiler counts lock");
+        for table in counts.iter_mut() {
+            table.clear();
+        }
+        drop(counts);
+        self.observed.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{materialize_request_with, IndexDist, TraceDb};
+
+    fn spec() -> dlrm_model::ModelSpec {
+        let mut s = dlrm_model::rm::rm1().scaled_to_bytes(1 << 20);
+        s.mean_items_per_request = 6.0;
+        s.default_batch_size = 4;
+        s
+    }
+
+    #[test]
+    fn snapshot_is_none_until_every_table_observed() {
+        let spec = spec();
+        let profiler = OnlineProfiler::for_spec(&spec);
+        assert!(profiler.snapshot().is_none());
+        assert_eq!(profiler.total_accesses(), 0);
+        let db = TraceDb::generate(&spec, 4, 11);
+        for i in 0..4 {
+            for b in materialize_request_with(&spec, db.get(i), 8, 13, IndexDist::Zipf(1.2)) {
+                profiler.observe(&b);
+            }
+        }
+        let stats = profiler.snapshot().expect("all tables touched");
+        assert_eq!(stats.len(), spec.tables.len());
+        let total: u64 = stats.iter().map(RowStats::total_accesses).sum();
+        assert_eq!(total, profiler.total_accesses());
+        assert!(profiler.min_table_accesses() > 0);
+        for (t, s) in stats.iter().enumerate() {
+            assert_eq!(s.rows(), spec.tables[t].rows, "table {t} row count");
+        }
+    }
+
+    #[test]
+    fn observed_hot_set_matches_traffic_skew() {
+        // Heavily skewed traffic: the top-ranked rows must cover a
+        // disproportionate share of accesses.
+        let spec = spec();
+        let profiler = OnlineProfiler::for_spec(&spec);
+        let db = TraceDb::generate(&spec, 32, 7);
+        for i in 0..32 {
+            for b in materialize_request_with(&spec, db.get(i), 8, 5, IndexDist::Zipf(1.4)) {
+                profiler.observe(&b);
+            }
+        }
+        let stats = profiler.snapshot().unwrap();
+        let biggest = stats
+            .iter()
+            .max_by_key(|s| s.total_accesses())
+            .unwrap();
+        assert!(
+            biggest.coverage_of_top(16) > 0.3,
+            "top-16 coverage {:.3} too flat for Zipf(1.4)",
+            biggest.coverage_of_top(16)
+        );
+    }
+
+    #[test]
+    fn reset_starts_a_fresh_window() {
+        let spec = spec();
+        let profiler = OnlineProfiler::for_spec(&spec);
+        let db = TraceDb::generate(&spec, 2, 3);
+        for b in materialize_request_with(&spec, db.get(0), 8, 5, IndexDist::Uniform) {
+            profiler.observe(&b);
+        }
+        assert!(profiler.total_accesses() > 0);
+        profiler.reset();
+        assert_eq!(profiler.total_accesses(), 0);
+        assert!(profiler.snapshot().is_none());
+    }
+}

@@ -44,6 +44,15 @@ echo "==> cache smoke: hot-row cache tier must be bit-exact vs the capacity-only
 echo "    plan, hold its pinned hit-rate band, and shrink rows over the wire"
 cargo run --release --offline -p dlrm-bench --bin cache_smoke
 
+echo "==> rebalance smoke: live resharding + replica autoscaling under diurnal"
+echo "    traffic; >= 2 cutovers, scale up and down, 0 shed/failed/degraded,"
+echo "    bit-exact across epochs, retired cache counters survive the handoff"
+cargo run --release --offline -p dlrm-bench --bin rebalance_smoke
+
+echo "==> rebalance bench: cutover vs steady-state percentiles, migration"
+echo "    duration vs re-homed bytes -> BENCH_rebalance.json"
+cargo run --release --offline -p dlrm-bench --bin rebalance_bench
+
 echo "==> dependency audit: cargo tree must list only workspace members"
 # --edges all includes dev- and build-dependencies; every line of the
 # tree (any depth) must name a dlrm-* crate rooted in this workspace.
