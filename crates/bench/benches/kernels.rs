@@ -1,8 +1,10 @@
 //! Microbenchmarks of the reproduction's hot kernels, on the in-tree
-//! timing harness (`dlrm_bench::timing`): the SparseLengthsSum family,
-//! dense GEMM (blocked vs naive reference, sequential vs pooled),
-//! quantization, sharding planning, and one end-to-end simulated
-//! replay.
+//! timing harness (`dlrm_bench::timing`): the SparseLengthsSum family
+//! (plain f32, pruned, 8/4-bit quantized) and dense GEMM (plain and
+//! FC-transposed), each swept across the dispatch tiers the host
+//! supports (scalar / exact AVX2 / FMA-contracted) plus the naive
+//! reference, then quantization, sharding planning, and one
+//! end-to-end simulated replay.
 //!
 //! Run with `cargo bench -p dlrm-bench --offline`. Pass `--quick` (or
 //! set `DLRM_BENCH_QUICK=1`) for a fast smoke run, and an optional
@@ -16,9 +18,10 @@
 
 use dlrm_bench::report::{write_bench_json, BenchRecord};
 use dlrm_bench::timing::Harness;
+use dlrm_core::compress::prune::prune_by_magnitude;
 use dlrm_core::compress::QuantizedTable;
 use dlrm_core::model::{rm, EmbeddingTable};
-use dlrm_core::runtime::Pool;
+use dlrm_core::runtime::{KernelDispatch, Pool};
 use dlrm_core::serving::experiment::trace_config_for;
 use dlrm_core::serving::{simulate, Cluster, CostModel, RunConfig};
 use dlrm_core::sharding::{plan, ShardingStrategy};
@@ -58,24 +61,63 @@ impl Runner {
     }
 }
 
+/// The dispatch tiers the kernel matrix covers: a 1-worker pool pinned
+/// to each level the host supports. `scalar` is always present; `avx2`
+/// and `fma` appear only on capable hardware, so the emitted JSON is
+/// honest about what actually ran.
+fn dispatch_tiers() -> Vec<(&'static str, Pool)> {
+    let mut tiers = vec![("scalar", Pool::with_dispatch(1, KernelDispatch::scalar()))];
+    if let Some(avx2) = KernelDispatch::forced_avx2() {
+        tiers.push(("avx2", Pool::with_dispatch(1, avx2)));
+    }
+    if let Some(fma) = KernelDispatch::forced_fma() {
+        tiers.push(("fma", Pool::with_dispatch(1, fma)));
+    }
+    tiers
+}
+
 fn bench_sls(r: &mut Runner) {
     let table = EmbeddingTable::seeded("bench", 100_000, 64, 7);
     let indices: Vec<u64> = (0..4096).map(|i| (i * 37) % 100_000).collect();
     let lengths = vec![64u32; 64];
     let bags = lengths.len() as f64;
-    r.bench("sls_4096_lookups_dim64", Some(("bags/s", bags)), || {
-        black_box(table.sparse_lengths_sum(black_box(&indices), &lengths))
-    });
+
+    // Plain f32, pruned, and 8/4-bit quantized SLS, each per dispatch
+    // tier (the SLS kernels have no FMA path — the fma tier measures
+    // the same exact kernel the avx2 tier does, so skip it).
+    let pruned = prune_by_magnitude(&table, 0.5);
+    let q8 = QuantizedTable::quantize(&table, 8);
+    let q4 = QuantizedTable::quantize(&table, 4);
+    for (tier, pool) in dispatch_tiers() {
+        if tier == "fma" {
+            continue;
+        }
+        r.bench(
+            &format!("sls_4096_lookups_dim64_{tier}"),
+            Some(("bags/s", bags)),
+            || black_box(table.sparse_lengths_sum_par(black_box(&indices), &lengths, &pool)),
+        );
+        r.bench(
+            &format!("sls_pruned50_4096_lookups_{tier}"),
+            Some(("bags/s", bags)),
+            || black_box(pruned.sparse_lengths_sum_par(black_box(&indices), &lengths, &pool)),
+        );
+        r.bench(
+            &format!("sls_quantized8_4096_lookups_{tier}"),
+            Some(("bags/s", bags)),
+            || black_box(q8.sparse_lengths_sum_par(black_box(&indices), &lengths, &pool)),
+        );
+        r.bench(
+            &format!("sls_quantized4_4096_lookups_{tier}"),
+            Some(("bags/s", bags)),
+            || black_box(q4.sparse_lengths_sum_par(black_box(&indices), &lengths, &pool)),
+        );
+    }
 
     let pool = Pool::from_env();
     let name = format!("sls_4096_lookups_dim64_par{}", pool.threads());
     r.bench(&name, Some(("bags/s", bags)), || {
         black_box(table.sparse_lengths_sum_par(black_box(&indices), &lengths, &pool))
-    });
-
-    let q8 = QuantizedTable::quantize(&table, 8);
-    r.bench("sls_quantized8_4096_lookups", Some(("bags/s", bags)), || {
-        black_box(q8.sparse_lengths_sum(black_box(&indices), &lengths))
     });
 }
 
@@ -86,14 +128,20 @@ fn bench_gemm(r: &mut Runner) {
     let gflop = 2.0 * (m * k * n) as f64 / 1e9;
     let a = Matrix::from_vec(m, k, (0..m * k).map(|i| (i % 17) as f32 * 0.1).collect());
     let b = Matrix::from_vec(k, n, (0..k * n).map(|i| (i % 13) as f32 * 0.01).collect());
-    r.bench("gemm_256x512x512_blocked", Some(("GFLOP/s", gflop)), || {
-        black_box(a.matmul(black_box(&b)))
-    });
     r.bench("gemm_256x512x512_reference", Some(("GFLOP/s", gflop)), || {
         black_box(a.matmul_reference(black_box(&b)))
     });
+    for (tier, pool) in dispatch_tiers() {
+        let name = match tier {
+            "scalar" => "gemm_256x512x512_blocked".to_string(),
+            _ => format!("gemm_256x512x512_{tier}"),
+        };
+        r.bench(&name, Some(("GFLOP/s", gflop)), || {
+            black_box(a.matmul_par(black_box(&b), &pool))
+        });
+    }
     let pool = Pool::from_env();
-    let name = format!("gemm_256x512x512_blocked_par{}", pool.threads());
+    let name = format!("gemm_256x512x512_par{}", pool.threads());
     r.bench(&name, Some(("GFLOP/s", gflop)), || {
         black_box(a.matmul_par(black_box(&b), &pool))
     });
@@ -103,14 +151,20 @@ fn bench_gemm(r: &mut Runner) {
     let fc_gflop = 2.0 * (fm * fk * fn_) as f64 / 1e9;
     let x = Matrix::from_vec(fm, fk, (0..fm * fk).map(|i| (i % 17) as f32 * 0.1).collect());
     let w = Matrix::from_vec(fn_, fk, (0..fn_ * fk).map(|i| (i % 13) as f32 * 0.01).collect());
-    r.bench("fc_64x512_to_256", Some(("GFLOP/s", fc_gflop)), || {
-        black_box(x.matmul_transb(black_box(&w)))
-    });
     r.bench(
         "fc_64x512_to_256_reference",
         Some(("GFLOP/s", fc_gflop)),
         || black_box(x.matmul_transb_reference(black_box(&w))),
     );
+    for (tier, pool) in dispatch_tiers() {
+        let name = match tier {
+            "scalar" => "fc_64x512_to_256".to_string(),
+            _ => format!("fc_64x512_to_256_{tier}"),
+        };
+        r.bench(&name, Some(("GFLOP/s", fc_gflop)), || {
+            black_box(x.matmul_transb_par(black_box(&w), &pool))
+        });
+    }
 }
 
 fn bench_planner(r: &mut Runner) {

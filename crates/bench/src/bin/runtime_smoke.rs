@@ -1,26 +1,42 @@
 //! Runtime smoke test: the CI gate for the intra-op parallel kernel
-//! runtime (DESIGN §3.3).
+//! runtime (DESIGN §3.3, §3.8).
 //!
-//! Three bounds, checked on a fixed model and a fixed GEMM shape:
+//! Four bounds, checked on a fixed model and a fixed GEMM shape:
 //!
 //! 1. **Determinism** — predictions from the full model are bit-exact
 //!    across explicit 1-worker and 4-worker pools (and against the
 //!    plain sequential executor). Always asserted: the contract holds
 //!    on any machine.
 //! 2. **Single-thread GEMM throughput** — the blocked/register-tiled
-//!    kernel must beat the naive reference by ≥3× at 256×512×512.
-//!    Always asserted: this is an ILP/locality win, not a core-count
-//!    win.
-//! 3. **Parallel speedup** — a large-batch model run on a 4-worker
+//!    *scalar* kernel (dispatch pinned to scalar) must beat the naive
+//!    reference by ≥3× at 256×512×512. Always asserted: this is an
+//!    ILP/locality win, not a core-count or SIMD win.
+//! 3. **SIMD GEMM throughput** — the exact AVX2 tier must stay
+//!    bit-exact with the reference, and the *fastest* available SIMD
+//!    tier (FMA-contracted where the host has it, exact AVX2
+//!    otherwise) must beat the scalar blocked kernel by ≥2× on the
+//!    same shape. The FMA result is tolerance-checked against the
+//!    reference rather than bitwise (DESIGN §3.8: contraction is the
+//!    one documented departure from the exact fold). The exact tier
+//!    alone cannot carry the ratio gate: separate mul/add peaks at
+//!    exactly 2× the SSE throughput the autovectorized scalar kernel
+//!    already sustains, so 2× is its theoretical ceiling, not a
+//!    passable bound. Auto-skipped on hosts without AVX2 (the ratio
+//!    gate only; bit-exactness has nothing to check there since the
+//!    tier cannot run).
+//! 4. **Parallel speedup** — a large-batch model run on a 4-worker
 //!    pool must be ≥1.5× faster than on a 1-worker pool. Only asserted
 //!    when the host actually has ≥4 cores (otherwise printed as SKIP —
 //!    forking 4 ways on 1 core cannot speed anything up).
 //!
 //! Exits non-zero on any violated bound — invoked from
-//! `scripts/verify.sh` as the runtime gate.
+//! `scripts/verify.sh` as the runtime gate, once under the default
+//! dispatch and once under `DLRM_SIMD=off` so both code paths stay
+//! exercised.
 
 use dlrm_core::model::graph::NoopObserver;
 use dlrm_core::model::{build_model, rm, Pool, RuntimeCtx, Workspace};
+use dlrm_core::runtime::KernelDispatch;
 use dlrm_core::tensor::Matrix;
 use dlrm_core::workload::{materialize_request, TraceDb};
 use std::sync::Arc;
@@ -28,6 +44,12 @@ use std::time::Instant;
 
 /// Single-thread blocked-vs-naive GEMM bound (acceptance criterion).
 const GEMM_SPEEDUP_BOUND: f64 = 3.0;
+/// Fastest SIMD tier vs scalar-blocked GEMM bound (only on AVX2 hosts).
+const SIMD_SPEEDUP_BOUND: f64 = 2.0;
+/// Relative error budget for the FMA-contracted tier against the
+/// reference kernel (mirrors the property-suite tolerance: one
+/// contraction per mul/add pair over a k-long fold).
+const FMA_REL_TOL: f32 = 1e-4;
 /// 4-worker vs 1-worker model-run bound (only on ≥4-core hosts).
 const PAR_SPEEDUP_BOUND: f64 = 1.5;
 /// GEMM acceptance shape.
@@ -51,6 +73,11 @@ fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
 
 fn main() {
     let mut failures = 0usize;
+    println!(
+        "dispatch: {} (DLRM_SIMD={})",
+        KernelDispatch::detect().level(),
+        std::env::var("DLRM_SIMD").unwrap_or_else(|_| "<unset>".into())
+    );
 
     // --- Fixed model: a scaled RM3 with a large batch, so FC and SLS
     // --- kernels clear their parallel-grain thresholds.
@@ -92,15 +119,17 @@ fn main() {
         failures += 1;
     }
 
-    // --- 2. Blocked vs naive GEMM, single thread.
+    // --- 2. Blocked vs naive GEMM, single thread, dispatch pinned to
+    // --- scalar so the bound measures blocking/tiling, not SIMD.
     let (m, k, n) = GEMM_SHAPE;
+    let scalar_pool = Pool::with_dispatch(1, KernelDispatch::scalar());
     let a = Matrix::from_vec(m, k, (0..m * k).map(|i| (i % 17) as f32 * 0.1).collect());
     let b = Matrix::from_vec(k, n, (0..k * n).map(|i| (i % 13) as f32 * 0.01).collect());
-    if a.matmul(&b) != a.matmul_reference(&b) {
+    if a.matmul_par(&b, &scalar_pool) != a.matmul_reference(&b) {
         println!("FAIL gemm: blocked kernel is not bit-exact with the reference");
         failures += 1;
     }
-    let blocked = time_median(5, || a.matmul(&b));
+    let blocked = time_median(5, || a.matmul_par(&b, &scalar_pool));
     let naive = time_median(5, || a.matmul_reference(&b));
     let gemm_speedup = naive / blocked.max(1e-12);
     let gflop = 2.0 * (m * k * n) as f64 / 1e9;
@@ -115,7 +144,53 @@ fn main() {
         failures += 1;
     }
 
-    // --- 3. 4-worker vs 1-worker model run (needs real cores).
+    // --- 3. SIMD tiers vs scalar blocked kernel (needs AVX2 hardware;
+    // --- the ratio gate auto-skips elsewhere).
+    if let Some(avx2) = KernelDispatch::forced_avx2() {
+        let reference = a.matmul_reference(&b);
+        let avx2_pool = Pool::with_dispatch(1, avx2);
+        if a.matmul_par(&b, &avx2_pool) != reference {
+            println!("FAIL simd gemm: exact AVX2 tier is not bit-exact with the reference");
+            failures += 1;
+        }
+        // Ratio gate rides on the fastest tier the host offers: the
+        // FMA-contracted kernel where available (tolerance-checked),
+        // the exact tier otherwise.
+        let (tier, fast_pool) = match KernelDispatch::forced_fma() {
+            Some(fma) => ("fma", Pool::with_dispatch(1, fma)),
+            None => ("avx2", avx2_pool),
+        };
+        let fast = a.matmul_par(&b, &fast_pool);
+        let max_rel = reference
+            .as_slice()
+            .iter()
+            .zip(fast.as_slice())
+            .map(|(r, f)| (r - f).abs() / r.abs().max(1.0))
+            .fold(0.0f32, f32::max);
+        if max_rel > FMA_REL_TOL {
+            println!(
+                "FAIL simd gemm: {tier} tier off by {max_rel:.2e} relative \
+                 (tolerance {FMA_REL_TOL:.0e})"
+            );
+            failures += 1;
+        }
+        let simd = time_median(5, || a.matmul_par(&b, &fast_pool));
+        let simd_speedup = blocked / simd.max(1e-12);
+        println!(
+            "{} simd gemm {m}x{k}x{n}: {tier} {:.2} GFLOP/s vs scalar blocked {:.2} GFLOP/s — \
+             {simd_speedup:.2}x (bound {SIMD_SPEEDUP_BOUND}x)",
+            if simd_speedup >= SIMD_SPEEDUP_BOUND { "PASS" } else { "FAIL" },
+            gflop / simd,
+            gflop / blocked,
+        );
+        if simd_speedup < SIMD_SPEEDUP_BOUND {
+            failures += 1;
+        }
+    } else {
+        println!("SKIP simd gemm: host lacks AVX2, ratio gate not applicable");
+    }
+
+    // --- 4. 4-worker vs 1-worker model run (needs real cores).
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     if cores >= 4 {
         let t1 = time_median(5, || run_on(Pool::new(1)));

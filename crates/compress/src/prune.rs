@@ -1,8 +1,8 @@
 //! Magnitude-based row pruning.
 
 use dlrm_model::EmbeddingTable;
-use dlrm_runtime::Pool;
-use dlrm_tensor::Matrix;
+use dlrm_runtime::{KernelStats, Pool, SimdLevel};
+use dlrm_tensor::{simd, Matrix};
 
 /// Minimum lookups before the pruned SLS forks the pool.
 const SLS_PAR_MIN_LOOKUPS: usize = 2048;
@@ -53,8 +53,10 @@ impl PrunedTable {
         if lengths.is_empty() || dim == 0 {
             return out;
         }
+        let level = simd::effective_level(pool.dispatch().level());
+        KernelStats::global().record_sls(level);
         if pool.threads() <= 1 || total < SLS_PAR_MIN_LOOKUPS || lengths.len() <= 1 {
-            self.pool_bags(indices, lengths, out.as_mut_slice());
+            self.pool_bags(indices, lengths, out.as_mut_slice(), level);
             return out;
         }
         let mut offsets: Vec<usize> = Vec::with_capacity(lengths.len());
@@ -69,13 +71,13 @@ impl PrunedTable {
             let bags = chunk.len() / dim;
             let lo = offsets[b0];
             let hi = offsets.get(b0 + bags).copied().unwrap_or(indices.len());
-            self.pool_bags(&indices[lo..hi], &lengths[b0..b0 + bags], chunk);
+            self.pool_bags(&indices[lo..hi], &lengths[b0..b0 + bags], chunk, level);
         });
         out
     }
 
     /// Pools a contiguous run of bags into `out_rows` (already zeroed).
-    fn pool_bags(&self, indices: &[u64], lengths: &[u32], out_rows: &mut [f32]) {
+    fn pool_bags(&self, indices: &[u64], lengths: &[u32], out_rows: &mut [f32], level: SimdLevel) {
         let dim = self.table.dim();
         let mut cursor = 0usize;
         for (b, &len) in lengths.iter().enumerate() {
@@ -84,9 +86,7 @@ impl PrunedTable {
                 let idx = usize::try_from(idx).expect("index fits");
                 if let Some(new) = self.remap[idx] {
                     let row = self.table.row(usize::try_from(new).expect("fits"));
-                    for (o, &v) in out_row.iter_mut().zip(row) {
-                        *o += v;
-                    }
+                    simd::add_assign(level, out_row, row);
                 }
             }
             cursor += len as usize;

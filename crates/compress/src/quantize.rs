@@ -1,8 +1,8 @@
 //! Row-wise linear quantization.
 
 use dlrm_model::EmbeddingTable;
-use dlrm_runtime::Pool;
-use dlrm_tensor::Matrix;
+use dlrm_runtime::{KernelDispatch, KernelStats, Pool, SimdLevel};
+use dlrm_tensor::{simd, Matrix};
 
 /// Minimum lookups before the quantized SLS forks the pool.
 const SLS_PAR_MIN_LOOKUPS: usize = 2048;
@@ -113,36 +113,41 @@ impl QuantizedTable {
         self.codes.len() + self.rows * 8
     }
 
-    /// Decodes one row.
+    /// Decodes one row into a fresh `Vec`. Allocating — serving-path
+    /// callers (hot-row cache build, per-lookup decode) should use
+    /// [`Self::row_into`] to keep the zero-steady-state-alloc
+    /// invariant.
     ///
     /// # Panics
     ///
     /// Panics if `r` is out of range.
     #[must_use]
     pub fn row(&self, r: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        self.row_into(r, &mut out);
+        out
+    }
+
+    /// Decodes row `r` into a caller-provided buffer, allocation-free
+    /// and SIMD-accelerated under the process dispatch (bitwise equal
+    /// to the scalar decode either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or `out.len() != dim`.
+    pub fn row_into(&self, r: usize, out: &mut [f32]) {
         assert!(r < self.rows, "row {r} out of range");
-        let scale = self.scales[r];
-        let bias = self.biases[r];
-        let packed_row = if self.bits == 4 {
-            self.dim.div_ceil(2)
+        assert_eq!(out.len(), self.dim, "row buffer must be dim-sized");
+        let level = simd::effective_level(KernelDispatch::detect().level());
+        let (scale, bias) = (self.scales[r], self.biases[r]);
+        if self.bits == 8 {
+            let codes = &self.codes[r * self.dim..r * self.dim + self.dim];
+            simd::decode_row_u8(level, codes, scale, bias, out);
         } else {
-            self.dim
-        };
-        (0..self.dim)
-            .map(|c| {
-                let code = if self.bits == 8 {
-                    self.codes[r * packed_row + c]
-                } else {
-                    let byte = self.codes[r * packed_row + c / 2];
-                    if c % 2 == 0 {
-                        byte & 0x0F
-                    } else {
-                        byte >> 4
-                    }
-                };
-                f32::from(code) * scale + bias
-            })
-            .collect()
+            let packed_row = self.dim.div_ceil(2);
+            let codes = &self.codes[r * packed_row..r * packed_row + packed_row];
+            simd::decode_row_u4(level, codes, scale, bias, out);
+        }
     }
 
     /// Decodes the whole table back to `f32`.
@@ -150,35 +155,31 @@ impl QuantizedTable {
     pub fn dequantize(&self) -> EmbeddingTable {
         let mut m = Matrix::zeros(self.rows, self.dim);
         for r in 0..self.rows {
-            m.row_mut(r).copy_from_slice(&self.row(r));
+            self.row_into(r, m.row_mut(r));
         }
         EmbeddingTable::from_weights(self.name.clone(), m)
     }
 
     /// Decodes row `r` on the fly, accumulating it into `out_row`
     /// without materializing an intermediate `Vec` — the hot inner loop
-    /// of the quantized SLS.
+    /// of the quantized SLS. The vectorized tier widens 8 codes at a
+    /// time (u8→f32) and applies the same `code * scale + bias` then
+    /// accumulate sequence per element as the scalar loop, so results
+    /// are bitwise equal.
     ///
     /// # Panics
     ///
     /// Panics if `r` is out of range.
-    fn accumulate_row(&self, r: usize, out_row: &mut [f32]) {
+    fn accumulate_row(&self, r: usize, out_row: &mut [f32], level: SimdLevel) {
         assert!(r < self.rows, "row {r} out of range");
-        let scale = self.scales[r];
-        let bias = self.biases[r];
+        let (scale, bias) = (self.scales[r], self.biases[r]);
         if self.bits == 8 {
             let codes = &self.codes[r * self.dim..r * self.dim + self.dim];
-            for (o, &code) in out_row.iter_mut().zip(codes) {
-                *o += f32::from(code) * scale + bias;
-            }
+            simd::decode_accumulate_u8(level, codes, scale, bias, out_row);
         } else {
             let packed_row = self.dim.div_ceil(2);
             let codes = &self.codes[r * packed_row..r * packed_row + packed_row];
-            for (c, o) in out_row.iter_mut().enumerate() {
-                let byte = codes[c / 2];
-                let code = if c % 2 == 0 { byte & 0x0F } else { byte >> 4 };
-                *o += f32::from(code) * scale + bias;
-            }
+            simd::decode_accumulate_u4(level, codes, scale, bias, out_row);
         }
     }
 
@@ -208,8 +209,10 @@ impl QuantizedTable {
         if lengths.is_empty() || self.dim == 0 {
             return out;
         }
+        let level = simd::effective_level(pool.dispatch().level());
+        KernelStats::global().record_qsls(level);
         if pool.threads() <= 1 || total < SLS_PAR_MIN_LOOKUPS || lengths.len() <= 1 {
-            self.pool_bags(indices, lengths, out.as_mut_slice());
+            self.pool_bags(indices, lengths, out.as_mut_slice(), level);
             return out;
         }
         let mut offsets: Vec<usize> = Vec::with_capacity(lengths.len());
@@ -225,18 +228,18 @@ impl QuantizedTable {
             let bags = chunk.len() / dim;
             let lo = offsets[b0];
             let hi = offsets.get(b0 + bags).copied().unwrap_or(indices.len());
-            self.pool_bags(&indices[lo..hi], &lengths[b0..b0 + bags], chunk);
+            self.pool_bags(&indices[lo..hi], &lengths[b0..b0 + bags], chunk, level);
         });
         out
     }
 
     /// Pools a contiguous run of bags into `out_rows` (already zeroed).
-    fn pool_bags(&self, indices: &[u64], lengths: &[u32], out_rows: &mut [f32]) {
+    fn pool_bags(&self, indices: &[u64], lengths: &[u32], out_rows: &mut [f32], level: SimdLevel) {
         let mut cursor = 0usize;
         for (b, &len) in lengths.iter().enumerate() {
             let out_row = &mut out_rows[b * self.dim..(b + 1) * self.dim];
             for &idx in &indices[cursor..cursor + len as usize] {
-                self.accumulate_row(usize::try_from(idx).expect("index fits"), out_row);
+                self.accumulate_row(usize::try_from(idx).expect("index fits"), out_row, level);
             }
             cursor += len as usize;
         }
@@ -251,9 +254,11 @@ impl QuantizedTable {
     pub fn max_dequantization_error(&self, original: &EmbeddingTable) -> f32 {
         assert_eq!(self.rows, original.rows());
         assert_eq!(self.dim, original.dim());
+        let mut decoded = vec![0.0f32; self.dim];
         let mut max = 0.0f32;
         for r in 0..self.rows {
-            for (a, &b) in self.row(r).iter().zip(original.row(r)) {
+            self.row_into(r, &mut decoded);
+            for (a, &b) in decoded.iter().zip(original.row(r)) {
                 max = max.max((a - b).abs());
             }
         }

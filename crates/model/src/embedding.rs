@@ -1,9 +1,9 @@
 //! Materialized embedding tables and the SparseLengthsSum kernel.
 
 use crate::spec::TableSpec;
-use dlrm_runtime::Pool;
+use dlrm_runtime::{KernelStats, Pool, SimdLevel};
 use dlrm_sim::SimRng;
-use dlrm_tensor::Matrix;
+use dlrm_tensor::{simd, Matrix};
 
 /// Minimum number of lookups before SparseLengthsSum forks the pool;
 /// below this the fork overhead dominates the pooling work.
@@ -192,8 +192,10 @@ impl EmbeddingTable {
         if lengths.is_empty() || dim == 0 {
             return;
         }
+        let level = simd::effective_level(pool.dispatch().level());
+        KernelStats::global().record_sls(level);
         if pool.threads() <= 1 || total < SLS_PAR_MIN_LOOKUPS || lengths.len() <= 1 {
-            self.pool_bags(indices, lengths, out.as_mut_slice());
+            self.pool_bags(indices, lengths, out.as_mut_slice(), level);
             return;
         }
         // Cursor positions are a prefix sum over lengths, so a chunk of
@@ -213,13 +215,15 @@ impl EmbeddingTable {
                 .get(b0 + bags)
                 .copied()
                 .unwrap_or(indices.len());
-            self.pool_bags(&indices[lo..hi], &lengths[b0..b0 + bags], chunk);
+            self.pool_bags(&indices[lo..hi], &lengths[b0..b0 + bags], chunk, level);
         });
     }
 
     /// Pools a contiguous run of bags into `out_rows` (one row per
-    /// bag, already zeroed).
-    fn pool_bags(&self, indices: &[u64], lengths: &[u32], out_rows: &mut [f32]) {
+    /// bag, already zeroed). The row-accumulate step is element-wise,
+    /// so the vectorized tier keeps the exact per-element row order —
+    /// bitwise-equal to the scalar loop.
+    fn pool_bags(&self, indices: &[u64], lengths: &[u32], out_rows: &mut [f32], level: SimdLevel) {
         let dim = self.dim();
         let mut cursor = 0usize;
         for (b, &len) in lengths.iter().enumerate() {
@@ -232,9 +236,7 @@ impl EmbeddingTable {
                     self.name,
                     self.weights.rows()
                 );
-                for (o, &w) in out_row.iter_mut().zip(self.weights.row(idx)) {
-                    *o += w;
-                }
+                simd::add_assign(level, out_row, self.weights.row(idx));
             }
             cursor += len as usize;
         }

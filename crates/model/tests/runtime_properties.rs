@@ -7,9 +7,10 @@
 use dlrm_model::builder::blobs;
 use dlrm_model::graph::{NoopObserver, SparseInput};
 use dlrm_model::{
-    build_model, Blob, Model, ModelSpec, NetId, NetSpec, Pool, RuntimeCtx, TableId, TableSpec,
-    Workspace,
+    build_model, Blob, EmbeddingTable, Model, ModelSpec, NetId, NetSpec, Pool, RuntimeCtx,
+    TableId, TableSpec, Workspace,
 };
+use dlrm_runtime::KernelDispatch;
 use dlrm_sim::SimRng;
 use dlrm_tensor::Matrix;
 use std::collections::HashMap;
@@ -111,6 +112,57 @@ fn predictions_bit_exact_across_worker_counts() {
         let pred = run_once(&model, &ctx, None, &dense, &sparse);
         assert_eq!(pred, oracle, "{workers} workers vs sequential oracle");
     }
+}
+
+/// The SparseLengthsSum row-accumulate is element-wise, so the AVX2
+/// tier must be bitwise-equal to the scalar kernel — across ragged
+/// embedding dims (not multiples of 8), empty bags, and every worker
+/// count. Skips on hosts without AVX2.
+#[test]
+fn sls_avx2_matches_scalar_bitwise_with_empty_bags_and_ragged_dims() {
+    let Some(avx2) = KernelDispatch::forced_avx2() else {
+        return;
+    };
+    let mut rng = SimRng::seed_from(0x52_55_4E).fork(4);
+    for dim in [1u32, 3, 8, 13, 16, 27, 64] {
+        let table = EmbeddingTable::seeded("simd-sls", 500, dim, 7 + u64::from(dim));
+        // 300 bags averaging ~10 lookups clears the 2048-lookup parallel
+        // threshold; every 5th bag is empty (absent-feature semantics).
+        let lengths: Vec<u32> = (0..300)
+            .map(|b| if b % 5 == 0 { 0 } else { 8 + rng.next_index(8) as u32 })
+            .collect();
+        let total: usize = lengths.iter().map(|&l| l as usize).sum();
+        let indices: Vec<u64> = (0..total).map(|_| rng.next_u64_below(500)).collect();
+        let oracle = table.sparse_lengths_sum_par(
+            &indices,
+            &lengths,
+            &Pool::with_dispatch(1, KernelDispatch::scalar()),
+        );
+        for workers in [1, 2, 4, 8] {
+            let got =
+                table.sparse_lengths_sum_par(&indices, &lengths, &Pool::with_dispatch(workers, avx2));
+            assert_eq!(got, oracle, "dim {dim} at {workers} workers");
+        }
+    }
+}
+
+/// Whole-model predictions under forced-AVX2 dispatch are bitwise
+/// identical to forced-scalar dispatch: every kernel tier the graph
+/// touches (GEMM, transb GEMM, SLS) is exact by construction.
+#[test]
+fn predictions_bit_exact_across_dispatch_tiers() {
+    let Some(avx2) = KernelDispatch::forced_avx2() else {
+        return;
+    };
+    let spec = spec(4);
+    let model = build_model(&spec, 41).expect("build");
+    let mut rng = SimRng::seed_from(0x52_55_4E).fork(5);
+    let (dense, sparse) = inputs(&mut rng, &spec, 128);
+    let scalar_ctx = RuntimeCtx::new(Pool::with_dispatch(2, KernelDispatch::scalar()));
+    let simd_ctx = RuntimeCtx::new(Pool::with_dispatch(2, avx2));
+    let scalar_pred = run_once(&model, &scalar_ctx, None, &dense, &sparse);
+    let simd_pred = run_once(&model, &simd_ctx, None, &dense, &sparse);
+    assert_eq!(simd_pred, scalar_pred);
 }
 
 #[test]

@@ -1,0 +1,404 @@
+//! Runtime SIMD kernel dispatch: feature detection, the `DLRM_SIMD`
+//! override, and process-wide dispatch counters.
+//!
+//! The hot kernels (GEMM, SparseLengthsSum, quantized
+//! decode-accumulate) exist in two or three tiers: the portable scalar
+//! kernels that double as bit-exactness oracles, an AVX2 tier whose
+//! per-output-element float-op sequence is *identical* to the scalar
+//! kernels (vectorization across output columns with separate mul/add —
+//! bitwise-equal results), and an FMA-contracted GEMM tier that changes
+//! rounding and is therefore never auto-selected (tolerance-checked
+//! mode for the simulator only).
+//!
+//! Which tier runs is decided **once per process** by
+//! [`KernelDispatch::detect`]: `is_x86_feature_detected!("avx2")`
+//! gated by the `DLRM_SIMD` environment variable (`off`/`scalar`,
+//! `avx2`, `fma`; unset = auto: AVX2 when the CPU has it). The resolved
+//! decision rides on every [`Pool`](crate::Pool) — and thereby on
+//! [`RuntimeCtx`](crate::RuntimeCtx) — so kernels read it from the pool
+//! they already receive. On non-x86_64 targets detection always
+//! resolves to [`SimdLevel::Scalar`].
+//!
+//! Every top-level kernel invocation records which tier it took in the
+//! process-wide [`KernelStats`], surfaced as a [`KernelSummary`] (the
+//! `TransportSummary` idiom) on serving reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The kernel tier a dispatch decision selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar kernels — the bit-exactness oracles.
+    Scalar,
+    /// AVX2 column-vectorized kernels, bitwise-equal to scalar
+    /// (separate mul/add, per-element fold order preserved).
+    Avx2,
+    /// AVX2 + FMA-contracted GEMM: fused multiply-add changes rounding,
+    /// so this tier is only reachable through the explicit `DLRM_SIMD=fma`
+    /// override or [`KernelDispatch::forced_fma`] — the tolerance-checked
+    /// mode for the simulator. Non-GEMM kernels still take their exact
+    /// AVX2 paths under this level.
+    Avx2Fma,
+}
+
+impl SimdLevel {
+    /// Whether this level runs vectorized kernels at all.
+    #[must_use]
+    pub fn is_simd(self) -> bool {
+        self != SimdLevel::Scalar
+    }
+
+    /// Short name used in logs and bench records.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx2Fma => "avx2+fma",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether the running CPU supports the instructions a level needs.
+/// `is_x86_feature_detected!` caches internally, so this is one atomic
+/// load after the first call.
+#[must_use]
+pub fn level_supported(level: SimdLevel) -> bool {
+    match level {
+        SimdLevel::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma => {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// The resolved kernel-dispatch decision threaded through
+/// [`Pool`](crate::Pool) and [`RuntimeCtx`](crate::RuntimeCtx).
+///
+/// Constructors never hand out a level the CPU cannot execute: forcing
+/// an unsupported tier yields `None`, and [`Self::detect`] falls back
+/// to scalar. Kernels may therefore trust `level()` — and still
+/// re-verify cheaply at the unsafe boundary.
+///
+/// # Examples
+///
+/// ```
+/// use dlrm_runtime::KernelDispatch;
+///
+/// let d = KernelDispatch::detect();
+/// // Whatever was resolved, the scalar oracle is always available.
+/// assert!(KernelDispatch::scalar().level().name() == "scalar");
+/// let _ = d.level();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelDispatch {
+    level: SimdLevel,
+}
+
+impl Default for KernelDispatch {
+    /// The process-wide detected dispatch (`DLRM_SIMD`-aware).
+    fn default() -> Self {
+        Self::detect()
+    }
+}
+
+impl KernelDispatch {
+    /// The process-wide dispatch decision, resolved exactly once:
+    /// `DLRM_SIMD=off|scalar` forces scalar, `DLRM_SIMD=avx2` requests
+    /// AVX2, `DLRM_SIMD=fma` requests the FMA-contracted GEMM tier, and
+    /// unset/unrecognized auto-selects AVX2 when the CPU supports it.
+    /// Requested tiers the CPU lacks fall back to scalar; FMA is never
+    /// chosen without the explicit override.
+    #[must_use]
+    pub fn detect() -> Self {
+        static RESOLVED: OnceLock<SimdLevel> = OnceLock::new();
+        let level = *RESOLVED.get_or_init(|| {
+            let requested = std::env::var("DLRM_SIMD").ok();
+            let requested = requested.as_deref().map(str::trim);
+            let candidate = match requested {
+                Some("off" | "scalar" | "0") => SimdLevel::Scalar,
+                Some("fma" | "avx2+fma" | "avx2-fma") => SimdLevel::Avx2Fma,
+                // `avx2`, unset, or unrecognized: auto (exact SIMD only).
+                _ => SimdLevel::Avx2,
+            };
+            if level_supported(candidate) {
+                candidate
+            } else {
+                SimdLevel::Scalar
+            }
+        });
+        Self { level }
+    }
+
+    /// A dispatch pinned to the scalar oracle kernels.
+    #[must_use]
+    pub fn scalar() -> Self {
+        Self {
+            level: SimdLevel::Scalar,
+        }
+    }
+
+    /// A dispatch pinned to the exact AVX2 tier, or `None` when the CPU
+    /// lacks AVX2 (callers — typically tests and benches — skip).
+    #[must_use]
+    pub fn forced_avx2() -> Option<Self> {
+        level_supported(SimdLevel::Avx2).then_some(Self {
+            level: SimdLevel::Avx2,
+        })
+    }
+
+    /// A dispatch pinned to the FMA-contracted GEMM tier (tolerance
+    /// mode), or `None` when the CPU lacks AVX2+FMA.
+    #[must_use]
+    pub fn forced_fma() -> Option<Self> {
+        level_supported(SimdLevel::Avx2Fma).then_some(Self {
+            level: SimdLevel::Avx2Fma,
+        })
+    }
+
+    /// The resolved tier.
+    #[must_use]
+    pub fn level(self) -> SimdLevel {
+        self.level
+    }
+}
+
+/// Process-wide dispatch counters: how many top-level kernel
+/// invocations took each tier. Incremented once per kernel *call* (not
+/// per row), so the cost is one relaxed atomic add against an entire
+/// GEMM or SLS pass.
+#[derive(Debug, Default)]
+pub struct KernelStats {
+    gemm_scalar: AtomicU64,
+    gemm_avx2: AtomicU64,
+    gemm_fma: AtomicU64,
+    sls_scalar: AtomicU64,
+    sls_avx2: AtomicU64,
+    qsls_scalar: AtomicU64,
+    qsls_avx2: AtomicU64,
+}
+
+/// The single process-wide counter set.
+static KERNEL_STATS: KernelStats = KernelStats {
+    gemm_scalar: AtomicU64::new(0),
+    gemm_avx2: AtomicU64::new(0),
+    gemm_fma: AtomicU64::new(0),
+    sls_scalar: AtomicU64::new(0),
+    sls_avx2: AtomicU64::new(0),
+    qsls_scalar: AtomicU64::new(0),
+    qsls_avx2: AtomicU64::new(0),
+};
+
+impl KernelStats {
+    /// The process-wide counters.
+    #[must_use]
+    pub fn global() -> &'static KernelStats {
+        &KERNEL_STATS
+    }
+
+    /// Records one dense GEMM dispatch.
+    pub fn record_gemm(&self, level: SimdLevel) {
+        match level {
+            SimdLevel::Scalar => &self.gemm_scalar,
+            SimdLevel::Avx2 => &self.gemm_avx2,
+            SimdLevel::Avx2Fma => &self.gemm_fma,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one f32 SparseLengthsSum dispatch (pruned tables count
+    /// here too — same accumulate kernel).
+    pub fn record_sls(&self, level: SimdLevel) {
+        if level.is_simd() {
+            &self.sls_avx2
+        } else {
+            &self.sls_scalar
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one quantized decode-accumulate SLS dispatch. The
+    /// quantized path keeps its exact mul/add sequence even under the
+    /// FMA level, so it only distinguishes scalar from AVX2.
+    pub fn record_qsls(&self, level: SimdLevel) {
+        if level.is_simd() {
+            &self.qsls_avx2
+        } else {
+            &self.qsls_scalar
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot of the counters.
+    #[must_use]
+    pub fn summary(&self) -> KernelSummary {
+        KernelSummary {
+            level: KernelDispatch::detect().level(),
+            gemm_scalar: self.gemm_scalar.load(Ordering::Relaxed),
+            gemm_avx2: self.gemm_avx2.load(Ordering::Relaxed),
+            gemm_fma: self.gemm_fma.load(Ordering::Relaxed),
+            sls_scalar: self.sls_scalar.load(Ordering::Relaxed),
+            sls_avx2: self.sls_avx2.load(Ordering::Relaxed),
+            qsls_scalar: self.qsls_scalar.load(Ordering::Relaxed),
+            qsls_avx2: self.qsls_avx2.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of the process-wide kernel-dispatch counters — the
+/// `TransportSummary`-style record serving reports attach so operators
+/// can see which tier actually served their traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelSummary {
+    /// The process's detected dispatch level at snapshot time.
+    pub level: SimdLevel,
+    /// Dense GEMMs that ran the scalar kernels.
+    pub gemm_scalar: u64,
+    /// Dense GEMMs that ran the exact AVX2 kernels.
+    pub gemm_avx2: u64,
+    /// Dense GEMMs that ran the FMA-contracted (tolerance-mode) kernels.
+    pub gemm_fma: u64,
+    /// f32 SLS passes (plain and pruned tables) on the scalar kernel.
+    pub sls_scalar: u64,
+    /// f32 SLS passes on the AVX2 accumulate kernel.
+    pub sls_avx2: u64,
+    /// Quantized decode-accumulate SLS passes on the scalar kernel.
+    pub qsls_scalar: u64,
+    /// Quantized decode-accumulate SLS passes on the AVX2 kernel.
+    pub qsls_avx2: u64,
+}
+
+impl KernelSummary {
+    /// Counter-wise difference against an earlier snapshot (saturating,
+    /// so windowed reports never underflow); the level is taken from
+    /// `self`.
+    #[must_use]
+    pub fn since(&self, earlier: &KernelSummary) -> KernelSummary {
+        KernelSummary {
+            level: self.level,
+            gemm_scalar: self.gemm_scalar.saturating_sub(earlier.gemm_scalar),
+            gemm_avx2: self.gemm_avx2.saturating_sub(earlier.gemm_avx2),
+            gemm_fma: self.gemm_fma.saturating_sub(earlier.gemm_fma),
+            sls_scalar: self.sls_scalar.saturating_sub(earlier.sls_scalar),
+            sls_avx2: self.sls_avx2.saturating_sub(earlier.sls_avx2),
+            qsls_scalar: self.qsls_scalar.saturating_sub(earlier.qsls_scalar),
+            qsls_avx2: self.qsls_avx2.saturating_sub(earlier.qsls_avx2),
+        }
+    }
+
+    /// Total kernel invocations counted in this snapshot.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.gemm_scalar
+            + self.gemm_avx2
+            + self.gemm_fma
+            + self.sls_scalar
+            + self.sls_avx2
+            + self.qsls_scalar
+            + self.qsls_avx2
+    }
+
+    /// Fraction of counted invocations that took a vectorized path
+    /// (0.0 when nothing was counted).
+    #[must_use]
+    pub fn simd_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let simd = self.gemm_avx2 + self.gemm_fma + self.sls_avx2 + self.qsls_avx2;
+        simd as f64 / total as f64
+    }
+}
+
+impl std::fmt::Display for KernelSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dispatch {}: gemm {}/{}/{} (scalar/avx2/fma), sls {}/{} (scalar/avx2), \
+             qsls {}/{} (scalar/avx2), {:.3} simd fraction",
+            self.level,
+            self.gemm_scalar,
+            self.gemm_avx2,
+            self.gemm_fma,
+            self.sls_scalar,
+            self.sls_avx2,
+            self.qsls_scalar,
+            self.qsls_avx2,
+            self.simd_fraction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_dispatch_is_always_available() {
+        assert_eq!(KernelDispatch::scalar().level(), SimdLevel::Scalar);
+        assert!(level_supported(SimdLevel::Scalar));
+    }
+
+    #[test]
+    fn detect_is_stable_across_calls() {
+        assert_eq!(KernelDispatch::detect(), KernelDispatch::detect());
+    }
+
+    #[test]
+    fn forced_tiers_match_cpu_support() {
+        match KernelDispatch::forced_avx2() {
+            Some(d) => {
+                assert_eq!(d.level(), SimdLevel::Avx2);
+                assert!(level_supported(SimdLevel::Avx2));
+            }
+            None => assert!(!level_supported(SimdLevel::Avx2)),
+        }
+        match KernelDispatch::forced_fma() {
+            Some(d) => assert_eq!(d.level(), SimdLevel::Avx2Fma),
+            None => assert!(!level_supported(SimdLevel::Avx2Fma)),
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let before = KernelStats::global().summary();
+        KernelStats::global().record_gemm(SimdLevel::Scalar);
+        KernelStats::global().record_gemm(SimdLevel::Avx2);
+        KernelStats::global().record_gemm(SimdLevel::Avx2Fma);
+        KernelStats::global().record_sls(SimdLevel::Avx2);
+        KernelStats::global().record_qsls(SimdLevel::Scalar);
+        let delta = KernelStats::global().summary().since(&before);
+        assert!(delta.gemm_scalar >= 1);
+        assert!(delta.gemm_avx2 >= 1);
+        assert!(delta.gemm_fma >= 1);
+        assert!(delta.sls_avx2 >= 1);
+        assert!(delta.qsls_scalar >= 1);
+        assert!(delta.total() >= 5);
+        let line = delta.to_string();
+        assert!(line.contains("gemm"), "{line}");
+    }
+
+    #[test]
+    fn fma_level_counts_exact_paths_for_non_gemm() {
+        let before = KernelStats::global().summary();
+        KernelStats::global().record_sls(SimdLevel::Avx2Fma);
+        KernelStats::global().record_qsls(SimdLevel::Avx2Fma);
+        let delta = KernelStats::global().summary().since(&before);
+        assert!(delta.sls_avx2 >= 1);
+        assert!(delta.qsls_avx2 >= 1);
+    }
+}

@@ -47,9 +47,11 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod dispatch;
 mod pool;
 
 pub use buffer::BufferPool;
+pub use dispatch::{level_supported, KernelDispatch, KernelStats, KernelSummary, SimdLevel};
 pub use pool::Pool;
 
 use std::sync::Arc;
@@ -92,6 +94,14 @@ impl RuntimeCtx {
     #[must_use]
     pub fn sequential() -> Self {
         Self::new(Pool::sequential())
+    }
+
+    /// The SIMD kernel-dispatch decision this context's kernels run
+    /// under — carried by the pool, resolved once per process (see
+    /// [`KernelDispatch::detect`]).
+    #[must_use]
+    pub fn dispatch(&self) -> KernelDispatch {
+        self.pool.dispatch()
     }
 }
 

@@ -2,13 +2,14 @@
 //!
 //! The pool is a *scope-style* fork-join runtime: a parallel region
 //! partitions its work into contiguous chunks, forks the chunks onto
-//! OS threads, and joins before returning. Because the workspace is
+//! OS threads, and joins before returning. Because this crate is
 //! `#![forbid(unsafe_code)]`, regions borrow their inputs through
 //! [`std::thread::scope`] — the only sound fork-join over borrowed
 //! data in safe Rust — rather than handing lifetime-erased closures to
 //! long-lived threads. The [`Pool`] handle itself is persistent: it
-//! carries the worker count (the `DLRM_THREADS` knob) and the grain
-//! thresholds kernels consult, and forking is only performed when a
+//! carries the worker count (the `DLRM_THREADS` knob), the resolved
+//! SIMD [`KernelDispatch`] decision (the `DLRM_SIMD` knob), and the
+//! grain thresholds kernels consult; forking is only performed when a
 //! region's work is large enough to amortize the fork.
 //!
 //! # Determinism
@@ -20,6 +21,7 @@
 //! row-parallel kernel in this workspace) is bit-exact across thread
 //! counts.
 
+use crate::dispatch::KernelDispatch;
 use std::ops::Range;
 
 /// Fork-join worker pool; see the [module docs](self) for the
@@ -36,6 +38,7 @@ use std::ops::Range;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pool {
     threads: usize,
+    dispatch: KernelDispatch,
 }
 
 impl Default for Pool {
@@ -46,15 +49,37 @@ impl Default for Pool {
 
 impl Pool {
     /// A pool that forks parallel regions across up to `threads`
-    /// workers (the forking thread counts as one of them).
+    /// workers (the forking thread counts as one of them), running the
+    /// process-detected SIMD dispatch.
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
     #[must_use]
     pub fn new(threads: usize) -> Self {
+        Self::with_dispatch(threads, KernelDispatch::detect())
+    }
+
+    /// A pool with an explicit SIMD dispatch decision — how tests and
+    /// benches pin a kernel tier independently of the host CPU and the
+    /// `DLRM_SIMD` environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_dispatch(threads: usize, dispatch: KernelDispatch) -> Self {
         assert!(threads > 0, "pool needs at least one worker");
-        Self { threads }
+        Self { threads, dispatch }
+    }
+
+    /// The SIMD kernel-dispatch decision kernels forked on this pool
+    /// consult. Dispatch never changes *what* is computed for the exact
+    /// tiers (scalar and AVX2 are bitwise-equal by construction), only
+    /// how fast.
+    #[must_use]
+    pub fn dispatch(&self) -> KernelDispatch {
+        self.dispatch
     }
 
     /// A single-worker pool: every region runs inline on the calling

@@ -9,6 +9,7 @@
 use super::queue::QueueStats;
 use crate::replica::TransportSummary;
 use dlrm_metrics::{CauseCounts, PercentileSketch, Summary, TailPercentiles};
+use dlrm_runtime::{KernelStats, KernelSummary};
 use dlrm_tensor::Matrix;
 use dlrm_trace::TraceCollector;
 
@@ -145,6 +146,9 @@ pub struct FrontendReport {
     /// recoveries), when the run used a replicated pool. Attached by the
     /// caller after the run; `None` over non-replicated transports.
     pub transport: Option<TransportSummary>,
+    /// SIMD kernel-dispatch activity (process-wide counter snapshot at
+    /// assembly): which tier GEMM/SLS/quantized-SLS calls ran under.
+    pub kernels: KernelSummary,
     /// Completed requests per serving epoch, epoch-ordered. One entry
     /// (epoch 0 or the initial plan's epoch) on a static run; a live
     /// run that cut over mid-stream shows every epoch that served.
@@ -261,6 +265,7 @@ impl FrontendReport {
             cache_misses,
             cache_local_rows,
             transport: None,
+            kernels: KernelStats::global().summary(),
             epochs_served: by_epoch.into_iter().collect(),
             max_queue_depth: queue.max_depth,
             sla_ms,
@@ -373,6 +378,7 @@ impl std::fmt::Display for FrontendReport {
                 None => String::new(),
             }
         )?;
+        writeln!(f, "kernels: {}", self.kernels)?;
         writeln!(
             f,
             "SLA {:.1}ms: hit rate {:.4} ({} hits) | latency-bounded {:.1} qps | wall {:.1}ms",

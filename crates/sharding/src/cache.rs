@@ -18,6 +18,7 @@
 
 use crate::plan::ShardingPlan;
 use dlrm_model::{EmbeddingTable, TableId};
+use dlrm_tensor::simd;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -103,11 +104,10 @@ impl TableCache {
     /// Panics if a row is not resident or `out` is not `dim` wide.
     pub(crate) fn pool_into(&self, bag: &[u64], out: &mut [f32]) {
         assert_eq!(out.len(), self.dim, "cache pool output width");
+        let level = simd::effective_level(simd::KernelDispatch::detect().level());
         for &row in bag {
             let slot = self.slot(row).expect("pooled row must be resident");
-            for (o, &w) in out.iter_mut().zip(&self.data[slot * self.dim..(slot + 1) * self.dim]) {
-                *o += w;
-            }
+            simd::add_assign(level, out, &self.data[slot * self.dim..(slot + 1) * self.dim]);
         }
     }
 }

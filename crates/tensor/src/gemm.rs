@@ -23,8 +23,8 @@
 //! across blocked/naive and across any worker count. The property
 //! suite in `crates/tensor/tests/kernel_properties.rs` asserts both.
 
-use crate::Matrix;
-use dlrm_runtime::Pool;
+use crate::{simd, Matrix};
+use dlrm_runtime::{KernelStats, Pool, SimdLevel};
 
 /// Rows of `A` processed per register tile in the `A · Bᵀ` kernel.
 const TRANSB_ROW_TILE: usize = 4;
@@ -74,10 +74,17 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, pool: &Pool) {
     }
     let chunk_rows = rows_per_chunk(m, m * n * k, pool);
     let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let level = simd::effective_level(pool.dispatch().level());
+    KernelStats::global().record_gemm(level);
     pool.par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |start, chunk| {
         let i0 = start / n;
         let rows = chunk.len() / n;
-        matmul_rows(&a_data[i0 * k..(i0 + rows) * k], k, b, chunk);
+        let a_block = &a_data[i0 * k..(i0 + rows) * k];
+        if level == SimdLevel::Scalar || !simd::matmul_rows_simd(level, a_block, k, b_data, n, chunk)
+        {
+            matmul_rows(a_block, k, b, chunk);
+        }
     });
 }
 
@@ -150,10 +157,17 @@ pub fn matmul_transb_into(a: &Matrix, b: &Matrix, out: &mut Matrix, pool: &Pool)
     }
     let chunk_rows = rows_per_chunk(m, m * n * k, pool);
     let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let level = simd::effective_level(pool.dispatch().level());
+    KernelStats::global().record_gemm(level);
     pool.par_chunks_mut(out.as_mut_slice(), chunk_rows * n, |start, chunk| {
         let i0 = start / n;
         let rows = chunk.len() / n;
-        transb_rows(&a_data[i0 * k..(i0 + rows) * k], k, b, chunk);
+        let a_block = &a_data[i0 * k..(i0 + rows) * k];
+        if level == SimdLevel::Scalar || !simd::transb_rows_simd(level, a_block, k, b_data, n, chunk)
+        {
+            transb_rows(a_block, k, b, chunk);
+        }
     });
 }
 

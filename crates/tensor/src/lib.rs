@@ -6,14 +6,20 @@
 //! ReLU/Sigmoid activations, feature concatenation, and the sparse
 //! `SparseLengthsSum` gather-and-pool (which lives in `dlrm-model` on top
 //! of this crate's [`Matrix`] storage). This crate provides exactly those
-//! dense kernels — row-major, safe Rust only, no SIMD intrinsics. The
-//! GEMMs are cache-blocked and register-tiled (see [`matmul_into`] and
-//! [`matmul_transb_into`]) and optionally output-row-parallel on a
-//! `dlrm_runtime::Pool`, while staying **bit-exact** with the naive
-//! reference kernels ([`Matrix::matmul_reference`],
-//! [`Matrix::matmul_transb_reference`]) and across any worker count: the
-//! fast kernels keep one accumulator per output element folded in
-//! ascending-`k` order, and parallelism only partitions output rows.
+//! dense kernels — row-major, with every `unsafe` block confined to the
+//! audited AVX2/FMA tier in [`simd`]. The GEMMs are cache-blocked and
+//! register-tiled (see [`matmul_into`] and [`matmul_transb_into`]),
+//! optionally output-row-parallel on a `dlrm_runtime::Pool`, and pick a
+//! vectorized inner tile when the pool's `KernelDispatch` allows it —
+//! while staying **bit-exact** with the naive reference kernels
+//! ([`Matrix::matmul_reference`], [`Matrix::matmul_transb_reference`])
+//! and across any worker count: every kernel tier keeps one accumulator
+//! per output element folded in ascending-`k` order (the exact AVX2
+//! tier vectorizes across output *columns*, one element per lane, with
+//! separate mul/add — see the [`simd`] module docs), and parallelism
+//! only partitions output rows. The FMA-contracted tier is the one
+//! deliberate exception, gated behind `DLRM_SIMD=fma` and
+//! tolerance-checked rather than bit-checked.
 //!
 //! # Examples
 //!
@@ -26,12 +32,16 @@
 //! assert_eq!(y, x);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one audited SIMD module can opt back in
+// with an inner `#![allow(unsafe_code)]`; everywhere else unsafe is
+// still a hard error.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod gemm;
 mod matrix;
 mod ops;
+pub mod simd;
 
 pub use gemm::{matmul_into, matmul_transb_into};
 pub use matrix::Matrix;

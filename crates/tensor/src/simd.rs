@@ -1,0 +1,856 @@
+//! AVX2/FMA SIMD kernel tier (`core::arch::x86_64`, std-only).
+//!
+//! Every `unsafe` block in the workspace lives in this module, behind
+//! safe dispatch wrappers. The wrappers take the resolved
+//! [`SimdLevel`] (see `dlrm_runtime::KernelDispatch`) and *re-verify*
+//! CPU support at the boundary — `is_x86_feature_detected!` caches, so
+//! the re-check is one atomic load — which makes every public function
+//! here sound even if a caller fabricates a level the host cannot run:
+//! it simply falls back to the scalar loop.
+//!
+//! # Bit-exactness by construction
+//!
+//! The exact AVX2 tier vectorizes across **output columns** (one
+//! output element per SIMD lane) with *separate* multiply and add
+//! instructions — never FMA contraction. Each lane therefore performs
+//! exactly the float-op sequence of the scalar kernel for that output
+//! element: one accumulator, folding `k` (GEMM) or bag rows (SLS) in
+//! ascending order, one rounding per multiply and one per add. Lanes
+//! never interact (no horizontal reductions), so results are
+//! **bitwise identical** to the scalar oracles for every shape,
+//! including ragged tails, which run the scalar loop itself. The
+//! `A · Bᵀ` kernel packs 8-row panels of `B` into column-major scratch
+//! first; packing is pure data movement and changes no bits.
+//!
+//! The FMA tier ([`SimdLevel::Avx2Fma`], GEMM only) contracts each
+//! mul/add pair into `vfmaddps`, dropping one rounding per
+//! multiply-add. That *changes* low-order bits, so it is never
+//! auto-selected and is property-tested against the scalar oracle
+//! within a documented tolerance instead (see
+//! `crates/tensor/tests/kernel_properties.rs`).
+//!
+//! # Unsafe audit notes
+//!
+//! Each `#[target_feature]` function documents its safety contract:
+//! slice-length preconditions are asserted in the safe wrappers, all
+//! pointer arithmetic stays inside the asserted bounds (the loop
+//! conditions `j + LANES <= n` guarantee every 32-byte load/store is
+//! in-bounds), and unaligned load/store intrinsics (`loadu`/`storeu`)
+//! are used throughout so no alignment assumption exists. The only
+//! remaining obligation — the CPU actually supports AVX2 — is
+//! discharged by `level_supported` before every unsafe call. On
+//! non-x86_64 targets the module compiles to the scalar fallbacks
+//! only.
+
+#![allow(unsafe_code)]
+
+pub use dlrm_runtime::{level_supported, KernelDispatch, SimdLevel};
+
+/// Downgrades a requested level to what the running CPU can execute:
+/// the tier kernels will actually take (and counters should record).
+#[must_use]
+pub fn effective_level(level: SimdLevel) -> SimdLevel {
+    match level {
+        SimdLevel::Scalar => SimdLevel::Scalar,
+        SimdLevel::Avx2Fma => {
+            if level_supported(SimdLevel::Avx2Fma) {
+                SimdLevel::Avx2Fma
+            } else if level_supported(SimdLevel::Avx2) {
+                SimdLevel::Avx2
+            } else {
+                SimdLevel::Scalar
+            }
+        }
+        SimdLevel::Avx2 => {
+            if level_supported(SimdLevel::Avx2) {
+                SimdLevel::Avx2
+            } else {
+                SimdLevel::Scalar
+            }
+        }
+    }
+}
+
+/// Whether `level` should take the vectorized paths on this CPU.
+#[inline]
+fn usable(level: SimdLevel) -> bool {
+    level.is_simd() && level_supported(SimdLevel::Avx2)
+}
+
+/// `out[i] += src[i]` — the SparseLengthsSum row-accumulate step.
+/// Element-wise, so the vectorized path is trivially bitwise-equal to
+/// the scalar loop.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn add_assign(level: SimdLevel, out: &mut [f32], src: &[f32]) {
+    assert_eq!(out.len(), src.len(), "add_assign length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if usable(level) {
+        // SAFETY: AVX2 verified by `usable`; slices are equal-length
+        // and the kernel only touches indices < out.len().
+        unsafe { x86::add_assign_avx2(out, src) };
+        return;
+    }
+    let _ = level;
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o += v;
+    }
+}
+
+/// Quantized 8-bit decode-accumulate — the hot inner loop of the
+/// quantized SLS: `out[i] += f32(codes[i]) * scale + bias`. Widen
+/// (u8→f32), multiply, add bias, accumulate: the same three roundings
+/// per element as the scalar expression, so bitwise-equal.
+///
+/// # Panics
+///
+/// Panics if `codes.len() != out.len()`.
+pub fn decode_accumulate_u8(level: SimdLevel, codes: &[u8], scale: f32, bias: f32, out: &mut [f32]) {
+    assert_eq!(codes.len(), out.len(), "u8 decode length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if usable(level) {
+        // SAFETY: AVX2 verified; codes.len() == out.len() asserted, and
+        // the kernel's 8-byte loads stop at out.len() - 8.
+        unsafe { x86::decode_u8_accumulate_avx2(codes, scale, bias, out) };
+        return;
+    }
+    let _ = level;
+    for (o, &code) in out.iter_mut().zip(codes) {
+        *o += f32::from(code) * scale + bias;
+    }
+}
+
+/// Quantized 8-bit decode (overwrite): `out[i] = f32(codes[i]) * scale
+/// + bias` — the `row_into` primitive.
+///
+/// # Panics
+///
+/// Panics if `codes.len() != out.len()`.
+pub fn decode_row_u8(level: SimdLevel, codes: &[u8], scale: f32, bias: f32, out: &mut [f32]) {
+    assert_eq!(codes.len(), out.len(), "u8 decode length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if usable(level) {
+        // SAFETY: as for `decode_accumulate_u8`.
+        unsafe { x86::decode_u8_store_avx2(codes, scale, bias, out) };
+        return;
+    }
+    let _ = level;
+    for (o, &code) in out.iter_mut().zip(codes) {
+        *o = f32::from(code) * scale + bias;
+    }
+}
+
+/// Quantized 4-bit decode-accumulate over packed nibbles: column `c`
+/// reads the low (even `c`) or high (odd `c`) nibble of `codes[c / 2]`.
+///
+/// # Panics
+///
+/// Panics if `codes.len() != out.len().div_ceil(2)`.
+pub fn decode_accumulate_u4(level: SimdLevel, codes: &[u8], scale: f32, bias: f32, out: &mut [f32]) {
+    assert_eq!(
+        codes.len(),
+        out.len().div_ceil(2),
+        "u4 decode length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if usable(level) {
+        // SAFETY: AVX2 verified; the kernel's 8-byte loads at c/2 stop
+        // at c + 16 <= out.len(), i.e. c/2 + 8 <= codes.len().
+        unsafe { x86::decode_u4_accumulate_avx2(codes, scale, bias, out) };
+        return;
+    }
+    let _ = level;
+    decode_u4_scalar::<true>(codes, scale, bias, out, 0);
+}
+
+/// Quantized 4-bit decode (overwrite) over packed nibbles.
+///
+/// # Panics
+///
+/// Panics if `codes.len() != out.len().div_ceil(2)`.
+pub fn decode_row_u4(level: SimdLevel, codes: &[u8], scale: f32, bias: f32, out: &mut [f32]) {
+    assert_eq!(
+        codes.len(),
+        out.len().div_ceil(2),
+        "u4 decode length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if usable(level) {
+        // SAFETY: as for `decode_accumulate_u4`.
+        unsafe { x86::decode_u4_store_avx2(codes, scale, bias, out) };
+        return;
+    }
+    let _ = level;
+    decode_u4_scalar::<false>(codes, scale, bias, out, 0);
+}
+
+/// Scalar nibble decode from absolute column `from` — also the ragged
+/// tail of the vectorized 4-bit kernels.
+fn decode_u4_scalar<const ACCUM: bool>(
+    codes: &[u8],
+    scale: f32,
+    bias: f32,
+    out: &mut [f32],
+    from: usize,
+) {
+    for (c, o) in out.iter_mut().enumerate().skip(from) {
+        let byte = codes[c / 2];
+        let code = if c % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+        let t = f32::from(code) * scale + bias;
+        if ACCUM {
+            *o += t;
+        } else {
+            *o = t;
+        }
+    }
+}
+
+/// Vectorized `out = A · B` over a contiguous block of `A` rows
+/// (`a_rows`, `rows × k`) against `b` (`k × n`), writing the matching
+/// output block (`rows × n`). Returns `false` (computing nothing) when
+/// `level` resolves to scalar on this CPU — the caller then runs the
+/// scalar kernel.
+///
+/// Packs `B`'s vectorizable columns panel-major in one sequential
+/// sweep (pure data movement, no arithmetic), then runs
+/// register-accumulator panel kernels: 16-column panels on the main
+/// path, one 8-column panel for the remainder, scalar ascending-k dots
+/// for ragged tail columns. Register accumulators fold `k` in
+/// ascending order — one accumulator per output element — so the exact
+/// tier is bitwise-equal to the scalar kernel, and the output row is
+/// touched once per panel instead of once per k-step.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `(k, n)`.
+pub(crate) fn matmul_rows_simd(
+    level: SimdLevel,
+    a_rows: &[f32],
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out_rows: &mut [f32],
+) -> bool {
+    if k == 0 || n == 0 {
+        return false;
+    }
+    assert_eq!(a_rows.len() % k, 0, "a block must be whole rows");
+    let rows = a_rows.len() / k;
+    assert_eq!(b.len(), k * n, "b must be k x n");
+    assert_eq!(out_rows.len(), rows * n, "output block must be rows x n");
+    let fma = effective_level(level) == SimdLevel::Avx2Fma;
+    #[cfg(target_arch = "x86_64")]
+    if fma || usable(level) {
+        let n16 = n / 16 * 16;
+        let n8 = n / 8 * 8;
+        // Panel-major pack: pack[p·k·16 + kk·16 + l] = B[kk][16p + l]
+        // for the 16-wide panels, then (at most) one 8-wide panel at
+        // offset k·n16. One sequential pass over B keeps the pack
+        // prefetch-friendly; the kernels then read each panel
+        // contiguously. The pack start is nudged to a 64-byte boundary
+        // so each 16-wide k-step reads exactly one cache line — a
+        // 16-byte-aligned Vec would split half the 32-byte loads
+        // across lines.
+        let mut buf = vec![0.0f32; k * n8 + 15];
+        let misalign = (buf.as_ptr() as usize) % 64;
+        let skip = if misalign == 0 { 0 } else { (64 - misalign) / 4 };
+        let pack = &mut buf[skip..skip + k * n8];
+        for kk in 0..k {
+            let brow = &b[kk * n..kk * n + n8];
+            let mut j = 0usize;
+            while j + 16 <= n8 {
+                let dst = (j / 16) * k * 16 + kk * 16;
+                pack[dst..dst + 16].copy_from_slice(&brow[j..j + 16]);
+                j += 16;
+            }
+            if j < n8 {
+                let dst = k * n16 + kk * 8;
+                pack[dst..dst + 8].copy_from_slice(&brow[j..j + 8]);
+            }
+        }
+        let mut j = 0usize;
+        while j + 16 <= n {
+            let panel = &pack[(j / 16) * k * 16..(j / 16) * k * 16 + k * 16];
+            if fma {
+                // SAFETY: AVX2+FMA verified via effective_level; panel
+                // holds k full 16-lane groups and j + 16 <= n bounds
+                // every output store.
+                unsafe { x86::panel16_fma(a_rows, k, panel, out_rows, n, j) };
+            } else {
+                // SAFETY: AVX2 verified; bounds as above.
+                unsafe { x86::panel16_avx2(a_rows, k, panel, out_rows, n, j) };
+            }
+            j += 16;
+        }
+        if j + 8 <= n {
+            let panel = &pack[k * n16..k * n16 + k * 8];
+            if fma {
+                // SAFETY: AVX2+FMA verified; panel holds k full 8-lane
+                // groups and j + 8 <= n bounds every output store.
+                unsafe { x86::panel8_fma(a_rows, k, panel, out_rows, n, j) };
+            } else {
+                // SAFETY: AVX2 verified; bounds as above.
+                unsafe { x86::panel8_avx2(a_rows, k, panel, out_rows, n, j) };
+            }
+            j += 8;
+        }
+        // Ragged tail columns: single-accumulator ascending-k dots, the
+        // scalar kernel's own sequence.
+        for i in 0..rows {
+            let a = &a_rows[i * k..(i + 1) * k];
+            for jj in j..n {
+                let mut acc = 0.0f32;
+                for (kk, &x) in a.iter().enumerate() {
+                    acc += x * b[kk * n + jj];
+                }
+                out_rows[i * n + jj] = acc;
+            }
+        }
+        return true;
+    }
+    let _ = (level, fma, rows);
+    false
+}
+
+/// Vectorized `out = A · Bᵀ` over a contiguous block of `A` rows
+/// against `b` stored row-major `n × k` (the FC weight layout), writing
+/// the matching `rows × n` output block. Packs 8-row panels of `B` into
+/// column-major scratch (pure data movement), then runs the same
+/// broadcast-multiply-accumulate inner loop as [`matmul_rows_simd`].
+/// Returns `false` when `level` resolves to scalar.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `(k, n)`.
+pub(crate) fn transb_rows_simd(
+    level: SimdLevel,
+    a_rows: &[f32],
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out_rows: &mut [f32],
+) -> bool {
+    if k == 0 || n == 0 {
+        return false;
+    }
+    assert_eq!(a_rows.len() % k, 0, "a block must be whole rows");
+    let rows = a_rows.len() / k;
+    assert_eq!(b.len(), n * k, "b must be n x k");
+    assert_eq!(out_rows.len(), rows * n, "output block must be rows x n");
+    let fma = effective_level(level) == SimdLevel::Avx2Fma;
+    #[cfg(target_arch = "x86_64")]
+    if fma || usable(level) {
+        let mut pack = vec![0.0f32; k * 8];
+        let mut j = 0usize;
+        while j + 8 <= n {
+            // Pack B rows j..j+8 column-major: pack[kk*8 + l] holds
+            // B[j+l][kk]. Bit-copy only — no arithmetic.
+            for l in 0..8 {
+                let brow = &b[(j + l) * k..(j + l + 1) * k];
+                for (kk, &w) in brow.iter().enumerate() {
+                    pack[kk * 8 + l] = w;
+                }
+            }
+            if fma {
+                // SAFETY: AVX2+FMA verified; pack holds k full 8-lane
+                // groups and j + 8 <= n bounds every output store.
+                unsafe { x86::panel8_fma(a_rows, k, &pack, out_rows, n, j) };
+            } else {
+                // SAFETY: AVX2 verified; bounds as above.
+                unsafe { x86::panel8_avx2(a_rows, k, &pack, out_rows, n, j) };
+            }
+            j += 8;
+        }
+        // Ragged tail columns: single-accumulator ascending-k dots, the
+        // scalar kernel's own sequence.
+        for i in 0..rows {
+            let a = &a_rows[i * k..(i + 1) * k];
+            for jj in j..n {
+                let brow = &b[jj * k..(jj + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a.iter().zip(brow) {
+                    acc += x * y;
+                }
+                out_rows[i * n + jj] = acc;
+            }
+        }
+        return true;
+    }
+    let _ = (fma, rows);
+    false
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_cvtepi32_ps, _mm256_cvtepu8_epi32, _mm256_fmadd_ps,
+        _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+        _mm_and_si128, _mm_loadl_epi64, _mm_set1_epi8, _mm_srli_epi16, _mm_srli_si128,
+        _mm_unpacklo_epi8,
+    };
+
+    /// `acc + a*b`: contracted when `FMA`, two rounded ops otherwise.
+    #[inline(always)]
+    unsafe fn mad<const FMA: bool>(a: __m256, b: __m256, acc: __m256) -> __m256 {
+        if FMA {
+            _mm256_fmadd_ps(a, b, acc)
+        } else {
+            _mm256_add_ps(acc, _mm256_mul_ps(a, b))
+        }
+    }
+
+    /// Shared 16-column panel body for `A · B`: 6 `A` rows per
+    /// register tile, 12 accumulator vectors, one contiguous packed
+    /// panel read per k-step shared by all six rows (15 of 16 vector
+    /// registers live — the widest tile that doesn't spill).
+    /// Accumulators fold `k` in ascending order — one per output
+    /// element — so the exact tier matches the scalar kernel bitwise.
+    /// The `ROWS` const loops are fully unrolled by the compiler, so
+    /// the accumulator array lives entirely in registers.
+    #[inline(always)]
+    unsafe fn panel16_body<const FMA: bool>(
+        a_rows: &[f32],
+        k: usize,
+        pack: &[f32],
+        out: &mut [f32],
+        n: usize,
+        j: usize,
+    ) {
+        const ROWS: usize = 6;
+        let rows = a_rows.len() / k;
+        let ap = a_rows.as_ptr();
+        let pp = pack.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i = 0usize;
+        while i + ROWS <= rows {
+            let mut a = [core::ptr::null::<f32>(); ROWS];
+            for (r, slot) in a.iter_mut().enumerate() {
+                *slot = ap.add((i + r) * k);
+            }
+            let mut c0 = [_mm256_setzero_ps(); ROWS];
+            let mut c1 = [_mm256_setzero_ps(); ROWS];
+            // 2-deep k-unroll keeps issue under the 4-wide frontend
+            // limit; per-element fold order stays strictly ascending k.
+            let mut kk = 0usize;
+            while kk + 2 <= k {
+                let vb0 = _mm256_loadu_ps(pp.add(kk * 16));
+                let vb1 = _mm256_loadu_ps(pp.add(kk * 16 + 8));
+                for r in 0..ROWS {
+                    let va = _mm256_set1_ps(*a[r].add(kk));
+                    c0[r] = mad::<FMA>(va, vb0, c0[r]);
+                    c1[r] = mad::<FMA>(va, vb1, c1[r]);
+                }
+                let wb0 = _mm256_loadu_ps(pp.add(kk * 16 + 16));
+                let wb1 = _mm256_loadu_ps(pp.add(kk * 16 + 24));
+                for r in 0..ROWS {
+                    let wa = _mm256_set1_ps(*a[r].add(kk + 1));
+                    c0[r] = mad::<FMA>(wa, wb0, c0[r]);
+                    c1[r] = mad::<FMA>(wa, wb1, c1[r]);
+                }
+                kk += 2;
+            }
+            if kk < k {
+                let vb0 = _mm256_loadu_ps(pp.add(kk * 16));
+                let vb1 = _mm256_loadu_ps(pp.add(kk * 16 + 8));
+                for r in 0..ROWS {
+                    let va = _mm256_set1_ps(*a[r].add(kk));
+                    c0[r] = mad::<FMA>(va, vb0, c0[r]);
+                    c1[r] = mad::<FMA>(va, vb1, c1[r]);
+                }
+            }
+            for r in 0..ROWS {
+                _mm256_storeu_ps(op.add((i + r) * n + j), c0[r]);
+                _mm256_storeu_ps(op.add((i + r) * n + j + 8), c1[r]);
+            }
+            i += ROWS;
+        }
+        while i < rows {
+            let a = ap.add(i * k);
+            let mut c0 = _mm256_setzero_ps();
+            let mut c1 = _mm256_setzero_ps();
+            for kk in 0..k {
+                let va = _mm256_set1_ps(*a.add(kk));
+                c0 = mad::<FMA>(va, _mm256_loadu_ps(pp.add(kk * 16)), c0);
+                c1 = mad::<FMA>(va, _mm256_loadu_ps(pp.add(kk * 16 + 8)), c1);
+            }
+            _mm256_storeu_ps(op.add(i * n + j), c0);
+            _mm256_storeu_ps(op.add(i * n + j + 8), c1);
+            i += 1;
+        }
+    }
+
+    /// Exact-tier 16-column panel kernel (separate mul/add).
+    ///
+    /// # Safety
+    ///
+    /// Caller verifies AVX2 support, `a_rows.len() = rows·k` with
+    /// `k > 0`, `pack.len() ≥ k·16`, `out.len() = rows·n`, and
+    /// `j + 16 ≤ n` (asserted/maintained by the safe wrapper).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn panel16_avx2(
+        a_rows: &[f32],
+        k: usize,
+        pack: &[f32],
+        out: &mut [f32],
+        n: usize,
+        j: usize,
+    ) {
+        panel16_body::<false>(a_rows, k, pack, out, n, j);
+    }
+
+    /// FMA-contracted 16-column panel kernel (tolerance mode).
+    ///
+    /// # Safety
+    ///
+    /// As [`panel16_avx2`], plus FMA support.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn panel16_fma(
+        a_rows: &[f32],
+        k: usize,
+        pack: &[f32],
+        out: &mut [f32],
+        n: usize,
+        j: usize,
+    ) {
+        panel16_body::<true>(a_rows, k, pack, out, n, j);
+    }
+
+    /// Shared 8-column panel body over pre-packed columns `j..j+8`
+    /// (`pack[kk·8 + l]` = column `j+l` at row `kk`, whatever the
+    /// source layout); 4 `A` rows per register tile for ILP. The
+    /// remainder panel of `A · B` and the main path of `A · Bᵀ`.
+    #[inline(always)]
+    unsafe fn panel8_body<const FMA: bool>(
+        a_rows: &[f32],
+        k: usize,
+        pack: &[f32],
+        out: &mut [f32],
+        n: usize,
+        j: usize,
+    ) {
+        let rows = a_rows.len() / k;
+        let ap = a_rows.as_ptr();
+        let pp = pack.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i = 0usize;
+        while i + 4 <= rows {
+            let a0 = ap.add(i * k);
+            let a1 = ap.add((i + 1) * k);
+            let a2 = ap.add((i + 2) * k);
+            let a3 = ap.add((i + 3) * k);
+            let mut c0 = _mm256_setzero_ps();
+            let mut c1 = _mm256_setzero_ps();
+            let mut c2 = _mm256_setzero_ps();
+            let mut c3 = _mm256_setzero_ps();
+            for kk in 0..k {
+                let vb = _mm256_loadu_ps(pp.add(kk * 8));
+                c0 = mad::<FMA>(_mm256_set1_ps(*a0.add(kk)), vb, c0);
+                c1 = mad::<FMA>(_mm256_set1_ps(*a1.add(kk)), vb, c1);
+                c2 = mad::<FMA>(_mm256_set1_ps(*a2.add(kk)), vb, c2);
+                c3 = mad::<FMA>(_mm256_set1_ps(*a3.add(kk)), vb, c3);
+            }
+            _mm256_storeu_ps(op.add(i * n + j), c0);
+            _mm256_storeu_ps(op.add((i + 1) * n + j), c1);
+            _mm256_storeu_ps(op.add((i + 2) * n + j), c2);
+            _mm256_storeu_ps(op.add((i + 3) * n + j), c3);
+            i += 4;
+        }
+        while i < rows {
+            let a = ap.add(i * k);
+            let mut acc = _mm256_setzero_ps();
+            for kk in 0..k {
+                acc = mad::<FMA>(_mm256_set1_ps(*a.add(kk)), _mm256_loadu_ps(pp.add(kk * 8)), acc);
+            }
+            _mm256_storeu_ps(op.add(i * n + j), acc);
+            i += 1;
+        }
+    }
+
+    /// Exact-tier 8-column panel kernel (separate mul/add).
+    ///
+    /// # Safety
+    ///
+    /// Caller verifies AVX2 support, `a_rows.len() = rows·k` with
+    /// `k > 0`, `pack.len() ≥ k·8`, `out.len() = rows·n`, and
+    /// `j + 8 ≤ n` (asserted/maintained by the safe wrapper).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn panel8_avx2(
+        a_rows: &[f32],
+        k: usize,
+        pack: &[f32],
+        out: &mut [f32],
+        n: usize,
+        j: usize,
+    ) {
+        panel8_body::<false>(a_rows, k, pack, out, n, j);
+    }
+
+    /// FMA-contracted 8-column panel kernel (tolerance mode).
+    ///
+    /// # Safety
+    ///
+    /// As [`panel8_avx2`], plus FMA support.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn panel8_fma(
+        a_rows: &[f32],
+        k: usize,
+        pack: &[f32],
+        out: &mut [f32],
+        n: usize,
+        j: usize,
+    ) {
+        panel8_body::<true>(a_rows, k, pack, out, n, j);
+    }
+
+    /// 8-lane `out += src`.
+    ///
+    /// # Safety
+    ///
+    /// Caller verifies AVX2 support and `out.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_assign_avx2(out: &mut [f32], src: &[f32]) {
+        let n = out.len();
+        let op = out.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let sum = _mm256_add_ps(_mm256_loadu_ps(op.add(j)), _mm256_loadu_ps(sp.add(j)));
+            _mm256_storeu_ps(op.add(j), sum);
+            j += 8;
+        }
+        while j < n {
+            *op.add(j) += *sp.add(j);
+            j += 1;
+        }
+    }
+
+    /// Shared 8-bit decode body: widen u8→f32, `t = w·scale + bias`,
+    /// then accumulate or store.
+    #[inline(always)]
+    unsafe fn decode_u8_body<const ACCUM: bool>(
+        codes: &[u8],
+        scale: f32,
+        bias: f32,
+        out: &mut [f32],
+    ) {
+        let n = out.len();
+        let vs = _mm256_set1_ps(scale);
+        let vb = _mm256_set1_ps(bias);
+        let cp = codes.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let raw = _mm_loadl_epi64(cp.add(j).cast());
+            let w = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(raw));
+            let t = _mm256_add_ps(_mm256_mul_ps(w, vs), vb);
+            let v = if ACCUM {
+                _mm256_add_ps(_mm256_loadu_ps(op.add(j)), t)
+            } else {
+                t
+            };
+            _mm256_storeu_ps(op.add(j), v);
+            j += 8;
+        }
+        while j < n {
+            let t = f32::from(*cp.add(j)) * scale + bias;
+            if ACCUM {
+                *op.add(j) += t;
+            } else {
+                *op.add(j) = t;
+            }
+            j += 1;
+        }
+    }
+
+    /// 8-bit decode-accumulate.
+    ///
+    /// # Safety
+    ///
+    /// Caller verifies AVX2 support and `codes.len() == out.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn decode_u8_accumulate_avx2(
+        codes: &[u8],
+        scale: f32,
+        bias: f32,
+        out: &mut [f32],
+    ) {
+        decode_u8_body::<true>(codes, scale, bias, out);
+    }
+
+    /// 8-bit decode-overwrite (`row_into`).
+    ///
+    /// # Safety
+    ///
+    /// As [`decode_u8_accumulate_avx2`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn decode_u8_store_avx2(
+        codes: &[u8],
+        scale: f32,
+        bias: f32,
+        out: &mut [f32],
+    ) {
+        decode_u8_body::<false>(codes, scale, bias, out);
+    }
+
+    /// Shared 4-bit decode body: 8 packed bytes → 16 nibbles in column
+    /// order (low nibble = even column), widened and decoded as two
+    /// 8-lane groups.
+    #[inline(always)]
+    unsafe fn decode_u4_body<const ACCUM: bool>(
+        codes: &[u8],
+        scale: f32,
+        bias: f32,
+        out: &mut [f32],
+    ) {
+        let n = out.len();
+        let vs = _mm256_set1_ps(scale);
+        let vb = _mm256_set1_ps(bias);
+        let nibble = _mm_set1_epi8(0x0F);
+        let cp = codes.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut c = 0usize;
+        while c + 16 <= n {
+            let raw = _mm_loadl_epi64(cp.add(c / 2).cast());
+            let lo = _mm_and_si128(raw, nibble);
+            let hi = _mm_and_si128(_mm_srli_epi16::<4>(raw), nibble);
+            // Interleave low/high nibbles back into column order:
+            // c, c+1, c+2, ... for 16 consecutive columns.
+            let codes16 = _mm_unpacklo_epi8(lo, hi);
+            let w0 = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(codes16));
+            let w1 = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_srli_si128::<8>(codes16)));
+            let t0 = _mm256_add_ps(_mm256_mul_ps(w0, vs), vb);
+            let t1 = _mm256_add_ps(_mm256_mul_ps(w1, vs), vb);
+            if ACCUM {
+                _mm256_storeu_ps(op.add(c), _mm256_add_ps(_mm256_loadu_ps(op.add(c)), t0));
+                _mm256_storeu_ps(
+                    op.add(c + 8),
+                    _mm256_add_ps(_mm256_loadu_ps(op.add(c + 8)), t1),
+                );
+            } else {
+                _mm256_storeu_ps(op.add(c), t0);
+                _mm256_storeu_ps(op.add(c + 8), t1);
+            }
+            c += 16;
+        }
+        super::decode_u4_scalar::<ACCUM>(codes, scale, bias, out, c);
+    }
+
+    /// 4-bit decode-accumulate.
+    ///
+    /// # Safety
+    ///
+    /// Caller verifies AVX2 support and `codes.len() ==
+    /// out.len().div_ceil(2)` — the kernel's 8-byte loads at `c/2` then
+    /// stay in bounds because `c + 16 ≤ out.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn decode_u4_accumulate_avx2(
+        codes: &[u8],
+        scale: f32,
+        bias: f32,
+        out: &mut [f32],
+    ) {
+        decode_u4_body::<true>(codes, scale, bias, out);
+    }
+
+    /// 4-bit decode-overwrite (`row_into`).
+    ///
+    /// # Safety
+    ///
+    /// As [`decode_u4_accumulate_avx2`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn decode_u4_store_avx2(
+        codes: &[u8],
+        scale: f32,
+        bias: f32,
+        out: &mut [f32],
+    ) {
+        decode_u4_body::<false>(codes, scale, bias, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avx2() -> Option<SimdLevel> {
+        level_supported(SimdLevel::Avx2).then_some(SimdLevel::Avx2)
+    }
+
+    #[test]
+    fn add_assign_matches_scalar_on_ragged_lengths() {
+        for n in [0, 1, 7, 8, 9, 15, 16, 17, 64, 101] {
+            let src: Vec<f32> = (0..n).map(|i| i as f32 * 0.37 - 3.0).collect();
+            let mut scalar: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+            let mut simd = scalar.clone();
+            add_assign(SimdLevel::Scalar, &mut scalar, &src);
+            let Some(level) = avx2() else {
+                return;
+            };
+            add_assign(level, &mut simd, &src);
+            assert_eq!(
+                scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                simd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn u8_decode_matches_scalar_bitwise() {
+        let Some(level) = avx2() else { return };
+        for n in [1, 5, 8, 13, 16, 33, 64, 100] {
+            let codes: Vec<u8> = (0..n).map(|i| (i * 37 % 256) as u8).collect();
+            let (scale, bias) = (0.017_f32, -1.3_f32);
+            let mut scalar = vec![0.25f32; n];
+            let mut simd = scalar.clone();
+            decode_accumulate_u8(SimdLevel::Scalar, &codes, scale, bias, &mut scalar);
+            decode_accumulate_u8(level, &codes, scale, bias, &mut simd);
+            assert_eq!(
+                scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                simd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "accumulate n={n}"
+            );
+            let mut scalar_row = vec![f32::NAN; n];
+            let mut simd_row = vec![f32::NAN; n];
+            decode_row_u8(SimdLevel::Scalar, &codes, scale, bias, &mut scalar_row);
+            decode_row_u8(level, &codes, scale, bias, &mut simd_row);
+            assert_eq!(scalar_row, simd_row, "store n={n}");
+        }
+    }
+
+    #[test]
+    fn u4_decode_matches_scalar_bitwise_including_odd_dims() {
+        let Some(level) = avx2() else { return };
+        for n in [1usize, 2, 7, 15, 16, 17, 31, 32, 33, 63] {
+            let codes: Vec<u8> = (0..n.div_ceil(2)).map(|i| (i * 73 % 256) as u8).collect();
+            let (scale, bias) = (0.21_f32, 0.4_f32);
+            let mut scalar = vec![1.5f32; n];
+            let mut simd = scalar.clone();
+            decode_accumulate_u4(SimdLevel::Scalar, &codes, scale, bias, &mut scalar);
+            decode_accumulate_u4(level, &codes, scale, bias, &mut simd);
+            assert_eq!(
+                scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                simd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "accumulate n={n}"
+            );
+            let mut scalar_row = vec![f32::NAN; n];
+            let mut simd_row = vec![f32::NAN; n];
+            decode_row_u4(SimdLevel::Scalar, &codes, scale, bias, &mut scalar_row);
+            decode_row_u4(level, &codes, scale, bias, &mut simd_row);
+            assert_eq!(scalar_row, simd_row, "store n={n}");
+        }
+    }
+
+    #[test]
+    fn effective_level_downgrades_only_when_unsupported() {
+        assert_eq!(effective_level(SimdLevel::Scalar), SimdLevel::Scalar);
+        if level_supported(SimdLevel::Avx2) {
+            assert_eq!(effective_level(SimdLevel::Avx2), SimdLevel::Avx2);
+        } else {
+            assert_eq!(effective_level(SimdLevel::Avx2), SimdLevel::Scalar);
+            assert_eq!(effective_level(SimdLevel::Avx2Fma), SimdLevel::Scalar);
+        }
+    }
+}

@@ -10,9 +10,9 @@
 //!    assigns each output row to exactly one task, so 1, 2, 4 and 8
 //!    workers produce the same bits.
 
-use dlrm_runtime::Pool;
+use dlrm_runtime::{KernelDispatch, Pool};
 use dlrm_sim::SimRng;
-use dlrm_tensor::{concat_cols, concat_cols_into, Matrix};
+use dlrm_tensor::{concat_cols, concat_cols_into, matmul_into, matmul_transb_into, Matrix};
 
 const CASES: usize = 48;
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -108,6 +108,116 @@ fn transb_bit_exact_across_worker_counts() {
                 "{m}x{k}x({n}x{k})T at {workers} workers"
             );
         }
+    }
+}
+
+/// The exact AVX2 tier must be bitwise-equal to the scalar kernel:
+/// it vectorizes across output columns with separate mul/add, so each
+/// element's ascending-k fold is unchanged (DESIGN §3.8). Shapes from
+/// `shape()` include plenty of dims that are not multiples of 8, so
+/// every ragged-tail path is exercised. Skips (vacuously passes) on
+/// hosts without AVX2.
+#[test]
+fn avx2_matmul_matches_scalar_bitwise_including_ragged_tails() {
+    let Some(avx2) = KernelDispatch::forced_avx2() else {
+        return;
+    };
+    let scalar = Pool::with_dispatch(1, KernelDispatch::scalar());
+    let simd = Pool::with_dispatch(1, avx2);
+    let mut rng = SimRng::seed_from(0x0B10_C4ED).fork(7);
+    for case in 0..CASES {
+        let (m, k, n) = shape(&mut rng);
+        let a = matrix(&mut rng, m, k);
+        let b = matrix(&mut rng, k, n);
+        let mut expect = Matrix::zeros(m, n);
+        let mut got = Matrix::zeros(m, n);
+        matmul_into(&a, &b, &mut expect, &scalar);
+        matmul_into(&a, &b, &mut got, &simd);
+        assert_eq!(got, expect, "case {case}: {m}x{k}x{n}");
+    }
+}
+
+/// As above for the `A · Bᵀ` kernel: the 8-column panel packing is pure
+/// data movement, so the vectorized kernel must match the scalar tiles
+/// bit for bit on every shape, ragged tails included.
+#[test]
+fn avx2_transb_matches_scalar_bitwise_including_ragged_tails() {
+    let Some(avx2) = KernelDispatch::forced_avx2() else {
+        return;
+    };
+    let scalar = Pool::with_dispatch(1, KernelDispatch::scalar());
+    let simd = Pool::with_dispatch(1, avx2);
+    let mut rng = SimRng::seed_from(0x0B10_C4ED).fork(8);
+    for case in 0..CASES {
+        let (m, k, n) = shape(&mut rng);
+        let a = matrix(&mut rng, m, k);
+        let b = matrix(&mut rng, n, k);
+        let mut expect = Matrix::zeros(m, n);
+        let mut got = Matrix::zeros(m, n);
+        matmul_transb_into(&a, &b, &mut expect, &scalar);
+        matmul_transb_into(&a, &b, &mut got, &simd);
+        assert_eq!(got, expect, "case {case}: {m}x{k}x({n}x{k})T");
+    }
+}
+
+/// SIMD dispatch composes with row-parallelism: the vectorized kernels
+/// must stay bit-exact with the reference oracle for every worker
+/// count, because chunking still only partitions output rows.
+#[test]
+fn avx2_kernels_bit_exact_across_worker_counts() {
+    let Some(avx2) = KernelDispatch::forced_avx2() else {
+        return;
+    };
+    let mut rng = SimRng::seed_from(0x0B10_C4ED).fork(9);
+    let mut shapes = vec![(96, 64, 64)];
+    for _ in 0..8 {
+        shapes.push(shape(&mut rng));
+    }
+    for (m, k, n) in shapes {
+        let a = matrix(&mut rng, m, k);
+        let b = matrix(&mut rng, k, n);
+        let bt = matrix(&mut rng, n, k);
+        let oracle = a.matmul_reference(&b);
+        let oracle_t = a.matmul_transb_reference(&bt);
+        for workers in WORKER_COUNTS {
+            let pool = Pool::with_dispatch(workers, avx2);
+            let mut out = Matrix::zeros(m, n);
+            matmul_into(&a, &b, &mut out, &pool);
+            assert_eq!(out, oracle, "{m}x{k}x{n} at {workers} workers");
+            let mut out = Matrix::zeros(m, n);
+            matmul_transb_into(&a, &bt, &mut out, &pool);
+            assert_eq!(out, oracle_t, "{m}x{k}x({n}x{k})T at {workers} workers");
+        }
+    }
+}
+
+/// The FMA-contracted tier drops one rounding per multiply-add, so it
+/// is *not* bit-exact — but it must stay within the documented bound.
+/// With elements in `[-4, 4)` every product is `< 16`, partial sums are
+/// `< 16k`, and each of the `k` contractions perturbs the running sum
+/// by at most one ulp, so `32 · k · ε_f32 · 16` is a conservative
+/// absolute bound (DESIGN §3.8). Skips on hosts without AVX2+FMA.
+#[test]
+fn fma_gemm_matches_scalar_within_documented_tolerance() {
+    let Some(fma) = KernelDispatch::forced_fma() else {
+        return;
+    };
+    let pool = Pool::with_dispatch(1, fma);
+    let mut rng = SimRng::seed_from(0x0B10_C4ED).fork(10);
+    for case in 0..CASES {
+        let (m, k, n) = shape(&mut rng);
+        let tol = 32.0 * k as f32 * f32::EPSILON * 16.0;
+        let a = matrix(&mut rng, m, k);
+        let b = matrix(&mut rng, k, n);
+        let oracle = a.matmul_reference(&b);
+        let mut got = Matrix::zeros(m, n);
+        matmul_into(&a, &b, &mut got, &pool);
+        assert!(got.approx_eq(&oracle, tol), "case {case}: {m}x{k}x{n}");
+        let bt = matrix(&mut rng, n, k);
+        let oracle_t = a.matmul_transb_reference(&bt);
+        let mut got = Matrix::zeros(m, n);
+        matmul_transb_into(&a, &bt, &mut got, &pool);
+        assert!(got.approx_eq(&oracle_t, tol), "case {case}: {m}x{k}x({n}x{k})T");
     }
 }
 

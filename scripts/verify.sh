@@ -18,8 +18,13 @@ echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "==> runtime smoke: predictions bit-exact across worker counts,"
-echo "    blocked GEMM >= 3x the naive reference (parallel speedup gated on cores)"
+echo "    blocked GEMM >= 3x the naive reference, SIMD GEMM >= 2x blocked"
+echo "    (parallel speedup gated on cores, SIMD ratio gated on AVX2)"
 cargo run --release --offline -p dlrm-bench --bin runtime_smoke
+
+echo "==> runtime smoke under DLRM_SIMD=off: the scalar-dispatch path must"
+echo "    hold the same determinism and blocked-GEMM bounds"
+DLRM_SIMD=off cargo run --release --offline -p dlrm-bench --bin runtime_smoke
 
 echo "==> overlap smoke: shard RPCs must overlap under the scheduler"
 cargo run --release --offline -p dlrm-bench --bin overlap_smoke
