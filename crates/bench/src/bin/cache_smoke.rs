@@ -18,20 +18,17 @@
 //!    identity `wired + cache-served == capacity-plan wired` must hold
 //!    exactly.
 
+use dlrm_bench::harness::{fail, replicated_cluster, smoke_spec};
 use dlrm_core::model::graph::NoopObserver;
-use dlrm_core::model::{build_model, rm, ModelSpec, Workspace};
+use dlrm_core::model::{rm, ModelSpec, Workspace};
 use dlrm_core::serving::fault::FaultPlan;
-use dlrm_core::serving::replica::{HealthPolicy, ReplicatedShardPool};
 use dlrm_core::sharding::{
-    partition_with_clients, plan, plan_with_stats, HotRowConfig, ShardService, ShardingPlan,
-    ShardingStrategy,
+    plan, plan_with_stats, HotRowConfig, ShardingPlan, ShardingStrategy,
 };
 use dlrm_core::tensor::Matrix;
 use dlrm_core::workload::{
     materialize_request_with, BatchInputs, IndexDist, PoolingProfile, RowStats, TraceDb,
 };
-use std::sync::Arc;
-use std::time::Duration;
 
 const SEED: u64 = 61;
 const SHARDS: usize = 2;
@@ -43,16 +40,8 @@ const SKEW: f64 = 1.2;
 const HIT_RATE_FLOOR: f64 = 0.20;
 const HIT_RATE_CEIL: f64 = 0.98;
 
-fn fail(msg: &str) -> ! {
-    eprintln!("FAIL: {msg}");
-    std::process::exit(1);
-}
-
 fn spec() -> ModelSpec {
-    let mut spec = rm::rm1().scaled_to_bytes(1 << 20);
-    spec.mean_items_per_request = 6.0;
-    spec.default_batch_size = 4;
-    spec
+    smoke_spec(rm::rm1(), 1 << 20, 6.0, 4)
 }
 
 fn skewed_inputs(spec: &ModelSpec) -> Vec<BatchInputs> {
@@ -69,22 +58,7 @@ fn run_plan(
     p: &ShardingPlan,
     inputs: &[BatchInputs],
 ) -> (Vec<Matrix>, dlrm_core::serving::replica::TransportSummary) {
-    let model = build_model(spec, SEED).expect("build");
-    let services: Vec<Arc<ShardService>> = p
-        .shards()
-        .map(|s| Arc::new(ShardService::build(&model.tables, p, s)))
-        .collect();
-    let pool = ReplicatedShardPool::spawn(
-        services.clone(),
-        1,
-        Duration::ZERO,
-        &FaultPlan::none(),
-        HealthPolicy::default(),
-    );
-    let dist = partition_with_clients(model, p, services, pool.clients()).expect("partition");
-    if let Some(cache) = &dist.cache {
-        pool.attach_cache(Arc::clone(cache));
-    }
+    let (dist, pool) = replicated_cluster(spec, p, SEED, 1, &FaultPlan::none());
     let out = inputs
         .iter()
         .map(|inp| {

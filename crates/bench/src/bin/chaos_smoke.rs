@@ -21,19 +21,14 @@
 //! Wall-clock latencies vary run to run; the gates pin accounting
 //! identities, availability floors and bit-exactness, never times.
 
-use dlrm_core::model::graph::NoopObserver;
-use dlrm_core::model::{build_model, rm, ModelSpec, Workspace};
+use dlrm_bench::harness::{check_identities, fail, replicated_cluster, smoke_spec, solo_predictions};
+use dlrm_core::model::{rm, ModelSpec};
 use dlrm_core::serving::fault::{FaultAction, FaultPlan, ReplicaFaultSchedule};
 use dlrm_core::serving::frontend::{
-    materialize_frontend_requests, run_frontend, FrontendConfig, FrontendReport, FrontendRequest,
+    materialize_frontend_requests, run_frontend, FrontendConfig, FrontendReport,
 };
-use dlrm_core::serving::replica::{HealthPolicy, ReplicatedShardPool};
-use dlrm_core::sharding::{
-    partition, partition_with_clients, plan, DistributedModel, RpcPolicy, ShardService,
-    ShardingStrategy,
-};
+use dlrm_core::sharding::{plan, RpcPolicy, ShardingStrategy};
 use dlrm_core::workload::{ArrivalSchedule, PoolingProfile, TraceDb};
-use std::sync::Arc;
 use std::time::Duration;
 
 const SEED: u64 = 23;
@@ -42,15 +37,7 @@ const REPLICAS: usize = 2;
 const AVAILABILITY_FLOOR: f64 = 0.99;
 
 fn spec() -> ModelSpec {
-    let mut spec = rm::rm1().scaled_to_bytes(1 << 20);
-    spec.mean_items_per_request = 4.0;
-    spec.default_batch_size = 8;
-    spec
-}
-
-fn fail(msg: &str) -> ! {
-    eprintln!("FAIL: {msg}");
-    std::process::exit(1);
+    smoke_spec(rm::rm1(), 1 << 20, 4.0, 8)
 }
 
 /// Builds the replicated cluster under `faults` and runs one open-loop
@@ -59,23 +46,7 @@ fn run_cluster(faults: &FaultPlan, policy: RpcPolicy, qps: f64) -> (FrontendRepo
     let spec = spec();
     let profile = PoolingProfile::from_spec(&spec);
     let p = plan(&spec, &profile, ShardingStrategy::CapacityBalanced(SHARDS)).expect("plan");
-    let model = build_model(&spec, SEED).expect("build");
-    let services: Vec<Arc<ShardService>> = p
-        .shards()
-        .map(|s| Arc::new(ShardService::build(&model.tables, &p, s)))
-        .collect();
-    if services.len() != SHARDS {
-        fail(&format!("expected {SHARDS} shards, got {}", services.len()));
-    }
-    let pool = ReplicatedShardPool::spawn(
-        services.clone(),
-        REPLICAS,
-        Duration::ZERO,
-        faults,
-        HealthPolicy::default(),
-    );
-    let mut dist =
-        partition_with_clients(model, &p, services, pool.clients()).expect("partition");
+    let (mut dist, pool) = replicated_cluster(&spec, &p, SEED, REPLICAS, faults);
     if dist.set_rpc_policy(policy) == 0 {
         fail("no SparseRpc operator accepted the policy");
     }
@@ -97,40 +68,14 @@ fn run_cluster(faults: &FaultPlan, policy: RpcPolicy, qps: f64) -> (FrontendRepo
     (report, n)
 }
 
-fn solo_predictions(spec: &ModelSpec) -> Vec<(u64, dlrm_core::tensor::Matrix)> {
+/// Phase-1 baseline: the same trace on a fault-free in-process
+/// partition of the same plan.
+fn baseline(spec: &ModelSpec) -> Vec<(u64, dlrm_core::tensor::Matrix)> {
     let profile = PoolingProfile::from_spec(spec);
     let p = plan(spec, &profile, ShardingStrategy::CapacityBalanced(SHARDS)).expect("plan");
-    let dist: DistributedModel =
-        partition(build_model(spec, SEED).expect("build"), &p).expect("partition");
     let db = TraceDb::generate(spec, 24, SEED);
-    let requests: Vec<FrontendRequest> = materialize_frontend_requests(spec, &db, SEED ^ 1);
-    requests
-        .iter()
-        .map(|r| {
-            let mut ws = Workspace::new();
-            r.inputs.load_into(&dist.spec, &mut ws);
-            let out = dist
-                .run_overlapped(&mut ws, &mut NoopObserver)
-                .expect("fault-free solo run");
-            (r.id, out)
-        })
-        .collect()
-}
-
-fn check_identities(report: &FrontendReport, n: usize, phase: &str) {
-    if report.offered != n as u64 || report.offered != report.admitted + report.shed {
-        fail(&format!("{phase}: offered != admitted + shed"));
-    }
-    if report.completed + report.failed != report.admitted {
-        fail(&format!("{phase}: completed + failed != admitted"));
-    }
-    if report.predictions.len() != report.completed as usize {
-        fail(&format!(
-            "{phase}: {} predictions for {} completions — retries/hedges double-counted",
-            report.predictions.len(),
-            report.completed
-        ));
-    }
+    let requests = materialize_frontend_requests(spec, &db, SEED ^ 1);
+    solo_predictions(spec, &p, SEED, &requests)
 }
 
 fn main() {
@@ -166,7 +111,7 @@ fn main() {
             report.degraded
         ));
     }
-    let expected = solo_predictions(&spec());
+    let expected = baseline(&spec());
     let mut mismatches = 0;
     for (id, pred) in &report.predictions {
         let (_, want) = expected.iter().find(|(e, _)| e == id).expect("known id");

@@ -24,16 +24,15 @@
 //!   frames/bytes crossed the sockets;
 //! - orchestrated shutdown stops the surviving fleet.
 
-use dlrm_core::model::graph::NoopObserver;
-use dlrm_core::model::{build_model, rm, ModelSpec, Workspace};
+use dlrm_bench::harness::{check_identities, fail, smoke_spec, solo_predictions};
+use dlrm_core::model::{build_model, rm, ModelSpec};
 use dlrm_core::serving::control;
 use dlrm_core::serving::frontend::{
-    materialize_frontend_requests, run_frontend, FrontendConfig, FrontendRequest,
+    materialize_frontend_requests, run_frontend, FrontendConfig,
 };
 use dlrm_core::serving::replica::HealthPolicy;
 use dlrm_core::sharding::{
-    partition, partition_with_clients, plan, DistributedModel, RpcPolicy, ShardService,
-    ShardingStrategy,
+    partition_with_clients, plan, RpcPolicy, ShardService, ShardingStrategy,
 };
 use dlrm_core::workload::{ArrivalSchedule, PoolingProfile, TraceDb};
 use std::io::BufRead as _;
@@ -51,15 +50,7 @@ const KILL_AFTER: Duration = Duration::from_millis(150);
 const AVAILABILITY_FLOOR: f64 = 0.99;
 
 fn spec() -> ModelSpec {
-    let mut spec = rm::rm1().scaled_to_bytes(1 << 20);
-    spec.mean_items_per_request = 4.0;
-    spec.default_batch_size = 8;
-    spec
-}
-
-fn fail(msg: &str) -> ! {
-    eprintln!("FAIL: {msg}");
-    std::process::exit(1);
+    smoke_spec(rm::rm1(), 1 << 20, 4.0, 8)
 }
 
 /// Path to a sibling binary of this executable (same target dir).
@@ -123,26 +114,6 @@ fn reap(mut child: Child, who: &str, timeout: Duration) {
             Err(e) => fail(&format!("{who}: wait: {e}")),
         }
     }
-}
-
-fn solo_predictions(
-    spec: &ModelSpec,
-    p: &dlrm_core::sharding::ShardingPlan,
-    requests: &[FrontendRequest],
-) -> Vec<(u64, dlrm_core::tensor::Matrix)> {
-    let dist: DistributedModel =
-        partition(build_model(spec, SEED).expect("build"), p).expect("partition");
-    requests
-        .iter()
-        .map(|r| {
-            let mut ws = Workspace::new();
-            r.inputs.load_into(&dist.spec, &mut ws);
-            let out = dist
-                .run_overlapped(&mut ws, &mut NoopObserver)
-                .expect("fault-free solo run");
-            (r.id, out)
-        })
-        .collect()
 }
 
 fn main() {
@@ -217,7 +188,7 @@ fn main() {
     let db = TraceDb::generate(&spec, REQUESTS, SEED);
     let requests = materialize_frontend_requests(&spec, &db, SEED ^ 1);
     let n = requests.len();
-    let expected = solo_predictions(&spec, &p, &requests);
+    let expected = solo_predictions(&spec, &p, SEED, &requests);
     let schedule = ArrivalSchedule::poisson(n, QPS, SEED ^ 2);
     let cfg = FrontendConfig {
         queue_capacity: n, // everything fits: shed must be zero
@@ -242,19 +213,7 @@ fn main() {
     print!("{report}");
 
     // ---- Gates. ----
-    if report.offered != n as u64 || report.offered != report.admitted + report.shed {
-        fail("offered != admitted + shed");
-    }
-    if report.completed + report.failed != report.admitted {
-        fail("completed + failed != admitted");
-    }
-    if report.predictions.len() != report.completed as usize {
-        fail(&format!(
-            "{} predictions for {} completions — retries/hedges double-counted",
-            report.predictions.len(),
-            report.completed
-        ));
-    }
+    check_identities(&report, n, "net smoke");
     let availability = report.availability();
     if availability < AVAILABILITY_FLOOR {
         fail(&format!(

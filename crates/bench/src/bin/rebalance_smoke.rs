@@ -24,14 +24,13 @@
 //! to run, so the gates poll controller milestones with deadlines and
 //! pin identities, never exact times.
 
-use dlrm_core::model::graph::NoopObserver;
-use dlrm_core::model::{build_model, rm, ModelSpec, Workspace};
+use dlrm_bench::harness::{deterministic_policy, fail, smoke_spec, solo_predictions};
+use dlrm_core::model::{rm, ModelSpec};
 use dlrm_core::serving::frontend::{run_frontend_live, FrontendConfig, FrontendRequest};
 use dlrm_core::serving::rebalance::{
     build_epoch_serving, EpochSwitch, RebalanceConfig, Rebalancer,
 };
-use dlrm_core::sharding::rpc::RpcPolicy;
-use dlrm_core::sharding::{partition, plan, HotRowConfig, ShardingStrategy};
+use dlrm_core::sharding::{plan, HotRowConfig, ShardingStrategy};
 use dlrm_core::tensor::Matrix;
 use dlrm_core::workload::{
     materialize_request_with, ArrivalSchedule, IndexDist, OnlineProfiler, PoolingProfile, TraceDb,
@@ -47,29 +46,8 @@ const MEAN_QPS: f64 = 500.0;
 const DIURNAL_AMPLITUDE: f64 = 0.5;
 const TICK: Duration = Duration::from_millis(20);
 
-fn fail(msg: &str) -> ! {
-    eprintln!("FAIL: {msg}");
-    std::process::exit(1);
-}
-
 fn spec() -> ModelSpec {
-    let mut spec = rm::rm1().scaled_to_bytes(1 << 20);
-    spec.mean_items_per_request = 6.0;
-    spec.default_batch_size = 4;
-    spec
-}
-
-/// Outcome determinism for the data plane: no per-attempt deadline, no
-/// hedging (wall-clock noise must not change what any request returns).
-fn deterministic_policy() -> RpcPolicy {
-    RpcPolicy {
-        attempt_timeout: None,
-        max_attempts: 4,
-        backoff_base: Duration::from_micros(100),
-        backoff_cap: Duration::from_millis(1),
-        hedge_after: None,
-        degraded_fallback: true,
-    }
+    smoke_spec(rm::rm1(), 1 << 20, 6.0, 4)
 }
 
 /// Zipf-skewed requests whose hot set shifts at the halfway mark: the
@@ -137,19 +115,7 @@ fn main() {
 
     // Static baseline on the original plan: the invariant every epoch is
     // judged against.
-    let baseline_dist =
-        partition(build_model(&spec, SEED).expect("build"), &initial).expect("partition");
-    let baseline: Vec<(u64, Matrix)> = requests
-        .iter()
-        .map(|r| {
-            let mut ws = Workspace::new();
-            r.inputs.load_into(&spec, &mut ws);
-            let out = baseline_dist
-                .run_overlapped(&mut ws, &mut NoopObserver)
-                .expect("baseline run");
-            (r.id, out)
-        })
-        .collect();
+    let baseline: Vec<(u64, Matrix)> = solo_predictions(&spec, &initial, SEED, &requests);
 
     // Diurnal ramp: instantaneous rate swings ±50% around the mean over
     // one simulated day — the peak pressures the replicas, the trough

@@ -1,0 +1,197 @@
+//! Tenancy benchmark: what colocation costs each tenant, and what
+//! capacity pressure costs on top. Emits `BENCH_tenants.json`.
+//!
+//! Three scenarios over the same seeded per-tenant workloads (RM1 +
+//! RM2 + RM3, smoke-scaled, gentle open-loop Poisson streams):
+//!
+//! 1. **solo** — each tenant alone on the host, unconstrained DRAM:
+//!    the isolation baseline.
+//! 2. **coloc** — all three tenants share the frontend, unconstrained
+//!    DRAM: measures the pure colocation tax (shared workers, weighted
+//!    dispatch) with the pressure controller idle.
+//! 3. **coloc_tight** — colocated under a DRAM budget set just below
+//!    the all-DRAM footprint, pressure ticking live: measures serving
+//!    with demotion cutovers riding the same core.
+//!
+//! Per tenant and scenario, the record set carries the end-to-end
+//! p50/p99 and the latency-bounded throughput (SLA-hitting completions
+//! per wall second); the tight scenario adds the demotion count and
+//! the resident-byte squeeze so regressions in the pressure path are
+//! visible, not just latency drift.
+
+use dlrm_bench::harness::{fail, smoke_spec};
+use dlrm_bench::report::{write_bench_json, BenchRecord};
+use dlrm_core::model::{rm, ModelSpec};
+use dlrm_core::serving::frontend::materialize_frontend_requests;
+use dlrm_core::serving::tenancy::{
+    run_tenant_set, PressureConfig, TenancyRunConfig, TenancyReport, TenantSet, TenantSpec,
+    TenantWorkload,
+};
+use dlrm_core::sharding::ShardingStrategy;
+use dlrm_core::workload::{ArrivalSchedule, TraceDb};
+use std::time::Duration;
+
+const SEED: u64 = 47;
+const REQUESTS: usize = 24;
+const QPS: f64 = 12.0;
+/// How far under the all-DRAM footprint the tight budget sits.
+const PRESSURE_GAP: u64 = 16 << 10;
+const MS_TO_NS: f64 = 1e6;
+
+fn tenant(name: &str, spec: ModelSpec, seed: u64) -> TenantSpec {
+    TenantSpec {
+        name: name.to_string(),
+        spec,
+        seed,
+        strategy: ShardingStrategy::CapacityBalanced(2),
+        weight: 1,
+        queue_capacity: 64,
+        sla: Duration::from_millis(500),
+    }
+}
+
+fn workload(spec: &ModelSpec, seed: u64) -> TenantWorkload {
+    let db = TraceDb::generate(spec, REQUESTS, seed);
+    let requests = materialize_frontend_requests(spec, &db, seed ^ 1);
+    let schedule = ArrivalSchedule::poisson(requests.len(), QPS, seed ^ 2);
+    TenantWorkload { requests, schedule }
+}
+
+/// Runs `tenants` against their workloads; `budget` of `None` leaves
+/// the controller unconstrained with no live ticking.
+fn run(
+    tenants: Vec<TenantSpec>,
+    workloads: Vec<TenantWorkload>,
+    budget: Option<u64>,
+) -> (TenantSet, TenancyReport) {
+    let set =
+        TenantSet::build(tenants, PressureConfig::default()).unwrap_or_else(|e| fail(&e.to_string()));
+    let cfg = match budget {
+        Some(b) => {
+            set.controller().set_budget(b);
+            TenancyRunConfig {
+                pressure_every: Some(Duration::from_millis(100)),
+                ..TenancyRunConfig::default()
+            }
+        }
+        None => TenancyRunConfig::default(),
+    };
+    let report = run_tenant_set(&set, workloads, &cfg);
+    (set, report)
+}
+
+/// Appends one tenant's latency + throughput records under `scenario`.
+fn record(
+    records: &mut Vec<BenchRecord>,
+    scenario: &str,
+    name: &str,
+    report: &mut dlrm_core::serving::frontend::FrontendReport,
+) {
+    if report.failed != 0 || report.shed != 0 {
+        fail(&format!(
+            "{scenario}/{name}: {} failed, {} shed — bench loads must complete cleanly",
+            report.failed, report.shed
+        ));
+    }
+    let tail = report.tail();
+    records.push(BenchRecord::tail(
+        format!("tenants_{scenario}_{name}_e2e"),
+        tail.p50 * MS_TO_NS,
+        tail.p99 * MS_TO_NS,
+    ));
+    records.push(BenchRecord::scalar(
+        format!("tenants_{scenario}_{name}_latency_bounded"),
+        report.latency_bounded_qps(),
+        "qps",
+    ));
+}
+
+fn main() {
+    let specs = [
+        ("rm1", smoke_spec(rm::rm1(), 1 << 20, 4.0, 4)),
+        ("rm2", smoke_spec(rm::rm2(), 1 << 20, 4.0, 4)),
+        ("rm3", smoke_spec(rm::rm3(), 1 << 20, 4.0, 4)),
+    ];
+    let mut records = Vec::new();
+
+    // ---- Scenario 1: each tenant solo, unconstrained DRAM. ----
+    for (i, (name, spec)) in specs.iter().enumerate() {
+        let seed = SEED ^ (i as u64 * 13);
+        let (_, mut report) = run(
+            vec![tenant(name, spec.clone(), seed)],
+            vec![workload(spec, seed ^ 3)],
+            None,
+        );
+        record(&mut records, "solo", name, &mut report.per_tenant[0]);
+        println!("solo {name}: {}", report.per_tenant[0].e2e_ms.tail_percentiles());
+    }
+
+    // ---- Scenario 2: colocated, unconstrained DRAM. ----
+    let tenants = || {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, (name, spec))| tenant(name, spec.clone(), SEED ^ (i as u64 * 13)))
+            .collect::<Vec<_>>()
+    };
+    let workloads = || {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, (_, spec))| workload(spec, SEED ^ (i as u64 * 13) ^ 3))
+            .collect::<Vec<_>>()
+    };
+    let (_, mut report) = run(tenants(), workloads(), None);
+    for (i, (name, _)) in specs.iter().enumerate() {
+        record(&mut records, "coloc", name, &mut report.per_tenant[i]);
+    }
+    println!("coloc: {}", report.combined.e2e_ms.tail_percentiles());
+
+    // ---- Scenario 3: colocated under a tight budget, live pressure. ----
+    let probe = TenantSet::build(tenants(), PressureConfig::default())
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let all_dram = probe.bytes_by_tier().resident();
+    drop(probe);
+    let tight = all_dram.saturating_sub(PRESSURE_GAP);
+    let (set, mut report) = run(tenants(), workloads(), Some(tight));
+    // Converge: the live ticks normally finish the squeeze; bounded
+    // catch-up keeps the record about the steady state, not timing.
+    for _ in 0..12 {
+        if set.bytes_by_tier().resident() <= tight {
+            break;
+        }
+        let _ = set.pressure_tick();
+    }
+    if !set.controller().verify_failures().is_empty() {
+        fail("dual-read verification failed during the tight-budget run");
+    }
+    for (i, (name, _)) in specs.iter().enumerate() {
+        record(&mut records, "coloc_tight", name, &mut report.per_tenant[i]);
+    }
+    records.push(BenchRecord::scalar(
+        "tenants_tight_demotions",
+        set.controller().demotions() as f64,
+        "cutovers",
+    ));
+    records.push(BenchRecord::scalar(
+        "tenants_tight_resident",
+        set.bytes_by_tier().resident() as f64,
+        "bytes",
+    ));
+    records.push(BenchRecord::scalar(
+        "tenants_all_dram_footprint",
+        all_dram as f64,
+        "bytes",
+    ));
+    println!(
+        "coloc_tight: {} | {} demotions | resident {} of {} all-DRAM",
+        report.combined.e2e_ms.tail_percentiles(),
+        set.controller().demotions(),
+        set.bytes_by_tier().resident(),
+        all_dram
+    );
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_tenants.json");
+    write_bench_json(&path, &records).expect("write BENCH_tenants.json");
+    println!("wrote {} records to {}", records.len(), path.display());
+}

@@ -1,6 +1,6 @@
 //! Row-wise linear quantization.
 
-use dlrm_model::EmbeddingTable;
+use dlrm_model::{EmbeddingTable, Footprint};
 use dlrm_runtime::{KernelDispatch, KernelStats, Pool, SimdLevel};
 use dlrm_tensor::{simd, Matrix};
 
@@ -107,10 +107,12 @@ impl QuantizedTable {
         self.dim
     }
 
-    /// Storage footprint: packed codes plus per-row scale and bias.
+    /// Storage footprint: packed codes plus per-row scale and bias
+    /// (the [`Footprint`] of the table, as `usize` for slice
+    /// arithmetic).
     #[must_use]
     pub fn bytes(&self) -> usize {
-        self.codes.len() + self.rows * 8
+        usize::try_from(self.footprint_bytes()).expect("table fits in memory")
     }
 
     /// Decodes one row into a fresh `Vec`. Allocating — serving-path
@@ -263,6 +265,13 @@ impl QuantizedTable {
             }
         }
         max
+    }
+}
+
+impl Footprint for QuantizedTable {
+    /// Packed codes plus one `f32` scale and bias per row.
+    fn footprint_bytes(&self) -> u64 {
+        self.codes.len() as u64 + self.rows as u64 * 8
     }
 }
 

@@ -95,10 +95,11 @@ impl EmbeddingTable {
         self.weights.cols()
     }
 
-    /// Size in bytes at FP32.
+    /// Size in bytes at FP32 (the [`crate::Footprint`] of the table,
+    /// as `usize` for slice arithmetic).
     #[must_use]
     pub fn bytes(&self) -> usize {
-        self.weights.len() * 4
+        usize::try_from(crate::Footprint::footprint_bytes(self)).expect("table fits in memory")
     }
 
     /// One embedding row.

@@ -29,6 +29,7 @@
 
 pub mod builder;
 pub mod embedding;
+pub mod footprint;
 pub mod graph;
 pub mod growth;
 pub mod ops;
@@ -39,6 +40,7 @@ pub mod spec;
 pub use builder::{build_model, build_model_with_options, InteractionKind};
 pub use dlrm_runtime::{Pool, RuntimeCtx};
 pub use embedding::EmbeddingTable;
+pub use footprint::Footprint;
 pub use graph::{consumer_counts_of, Blob, Model, NetDef, Workspace};
 pub use spec::{ModelSpec, NetId, NetSpec, OpGroup, TableId, TableSpec};
 

@@ -1,6 +1,6 @@
 //! Model specifications: the aggregate attributes the study varies.
 
-use crate::{F32_BYTES, GIB};
+use crate::{Footprint, GIB};
 
 /// Identifies an embedding table within a [`ModelSpec`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -73,10 +73,11 @@ pub struct TableSpec {
 }
 
 impl TableSpec {
-    /// Size of the table in bytes at FP32 precision.
+    /// Size of the table in bytes at FP32 precision (the
+    /// [`Footprint`] of the spec).
     #[must_use]
     pub fn bytes(&self) -> u64 {
-        self.rows * u64::from(self.dim) * F32_BYTES
+        self.footprint_bytes()
     }
 
     /// Size of the table in GiB at FP32 precision.
@@ -132,10 +133,11 @@ pub struct ModelSpec {
 }
 
 impl ModelSpec {
-    /// Total embedding capacity in bytes.
+    /// Total embedding capacity in bytes (the [`Footprint`] of the
+    /// spec).
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.tables.iter().map(TableSpec::bytes).sum()
+        self.footprint_bytes()
     }
 
     /// Total embedding capacity in GiB.

@@ -26,16 +26,16 @@
 //! bit-identical predictions to N single-request runs (property-tested
 //! in `tests/frontend_properties.rs`).
 
-mod arrival;
-mod batcher;
+pub(crate) mod arrival;
+pub(crate) mod batcher;
 mod queue;
-mod sla;
-mod worker;
+pub(crate) mod sla;
+pub(crate) mod worker;
 
 pub use arrival::QueuedRequest;
 pub use batcher::{merge_inputs, split_rows, FormedBatch};
 pub use queue::{admission_queue, Admitter, Dequeuer, QueueStats, QueueStatsHandle};
-pub use sla::{FrontendReport, RequestRecord};
+pub use sla::{FrontendReport, RequestRecord, TenantBreakdown};
 
 use crate::channel;
 use dlrm_model::ModelSpec;

@@ -106,6 +106,59 @@ impl RequestRecord {
     }
 }
 
+/// One tenant's slice of a multi-tenant run's accounting: admission
+/// outcomes, SLA verdicts against the *tenant's own* window, and where
+/// its embedding bytes currently live on the storage ladder. Attached
+/// to the combined [`FrontendReport`] by
+/// [`crate::tenancy::run_tenant_set`].
+#[derive(Debug, Clone)]
+pub struct TenantBreakdown {
+    /// Tenant name (e.g. the model it serves).
+    pub name: String,
+    /// Requests presented for admission to this tenant's queue.
+    pub offered: u64,
+    /// Requests accepted into this tenant's queue.
+    pub admitted: u64,
+    /// Requests this tenant's bounded queue turned away — overload
+    /// sheds *here*, inside the tenant, never in a neighbor's queue.
+    pub shed: u64,
+    /// Requests that completed with predictions.
+    pub completed: u64,
+    /// Admitted requests whose batch failed in the engine.
+    pub failed: u64,
+    /// Completed requests served degraded.
+    pub degraded: u64,
+    /// The SLA window this tenant is judged against, milliseconds.
+    pub sla_ms: f64,
+    /// Fraction of offered requests completing within the tenant's SLA.
+    pub sla_hit_rate: f64,
+    /// Fraction of offered requests that completed at all.
+    pub availability: f64,
+    /// The tenant's embedding bytes split by storage tier.
+    pub bytes: crate::tenancy::TierBytes,
+}
+
+impl std::fmt::Display for TenantBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: offered {} | admitted {} | shed {} | completed {} | failed {} | degraded {} \
+             | availability {:.4} | SLA {:.1}ms hit rate {:.4} | {}",
+            self.name,
+            self.offered,
+            self.admitted,
+            self.shed,
+            self.completed,
+            self.failed,
+            self.degraded,
+            self.availability,
+            self.sla_ms,
+            self.sla_hit_rate,
+            self.bytes
+        )
+    }
+}
+
 /// Everything one frontend run reports: admission accounting, the
 /// queueing-vs-compute delay breakdown, latency tails, predictions, and
 /// the collected trace.
@@ -178,13 +231,17 @@ pub struct FrontendReport {
     /// Per-request queue/batch/execute spans plus the lead requests'
     /// re-based executor spans.
     pub trace: TraceCollector,
+    /// Per-tenant breakdown when this report covers a multi-tenant run
+    /// ([`crate::tenancy::run_tenant_set`]); empty on single-tenant
+    /// runs.
+    pub tenants: Vec<TenantBreakdown>,
 }
 
 impl FrontendReport {
     /// Assembles the report from the queue counters and the workers'
     /// request records.
     #[must_use]
-    pub(super) fn assemble(
+    pub(crate) fn assemble(
         queue: QueueStats,
         mut records: Vec<RequestRecord>,
         sla_ms: f64,
@@ -283,6 +340,7 @@ impl FrontendReport {
             e2e_ms: e2e,
             predictions,
             trace: TraceCollector::new(),
+            tenants: Vec::new(),
         }
     }
 
@@ -400,6 +458,9 @@ impl std::fmt::Display for FrontendReport {
                 .map(|(e, n)| format!("epoch {e}: {n}"))
                 .collect();
             writeln!(f, "served by {}", parts.join(" | "))?;
+        }
+        for t in &self.tenants {
+            writeln!(f, "tenant {t}")?;
         }
         writeln!(f, "e2e      {}", e2e.tail_percentiles())?;
         writeln!(

@@ -118,8 +118,13 @@ pub fn worker_loop_live(
     }
 }
 
+/// Executes one formed batch against `model` and records every member
+/// request's timeline. Shared by the single-tenant worker loops above
+/// and the multi-tenant dispatcher
+/// ([`crate::tenancy::run_tenant_set`]), which resolves a per-tenant
+/// epoch before calling in.
 #[allow(clippy::too_many_arguments)]
-fn run_batch(
+pub(crate) fn run_batch(
     model: &DistributedModel,
     epoch: u64,
     ctx: &RuntimeCtx,

@@ -42,6 +42,7 @@ pub mod rebalance;
 pub mod replica;
 pub mod shard_server;
 pub mod tcp;
+pub mod tenancy;
 pub mod threaded;
 mod platform;
 pub mod replication;

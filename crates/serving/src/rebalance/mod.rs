@@ -643,7 +643,9 @@ impl RebalanceHandle {
 
 /// Runs one probe request through `model`, demanding a full-fidelity
 /// answer: any engine error or degraded RPC is a verification failure.
-fn probe(
+/// Shared with the tenancy pressure controller, whose demotion
+/// verification is the same dual-read discipline.
+pub(crate) fn probe(
     spec: &ModelSpec,
     model: &dlrm_sharding::DistributedModel,
     inputs: &dlrm_workload::BatchInputs,

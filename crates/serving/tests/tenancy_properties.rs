@@ -1,0 +1,223 @@
+//! Tenancy properties: colocation must never leak across tenant
+//! boundaries. Pinned here:
+//!
+//! - **Round trip** — walking one tenant's table down the full demotion
+//!   ladder (DRAM → quantized → paged) and back restores its resident
+//!   bytes exactly and its predictions bit for bit; the quantized rung
+//!   serves within the published drift tolerance, the paged rung
+//!   bit-exactly. Every other tenant's epoch and predictions are
+//!   bitwise untouched at *every* step of the walk.
+//! - **Isolation** — a tenant offered 4× its admission capacity sheds
+//!   the overload out of its own bounded queue; its neighbor's SLA hit
+//!   rate and availability match that neighbor's solo-run values within
+//!   the smoke band, because the excess never reaches the shared
+//!   workers.
+
+use dlrm_model::{rm, ModelSpec};
+use dlrm_serving::frontend::materialize_frontend_requests;
+use dlrm_serving::tenancy::{
+    run_tenant_set, PressureConfig, TenancyRunConfig, TenantSet, TenantSpec, TenantWorkload, Tier,
+};
+use dlrm_sharding::ShardingStrategy;
+use dlrm_workload::{ArrivalSchedule, TraceDb};
+use std::time::Duration;
+
+/// The quantized rung serves approximations; everything else on the
+/// ladder is bit-exact. Matches `PressureConfig::quantized_tolerance`.
+const QUANT_TOLERANCE: f32 = 0.05;
+
+fn small_spec(base: ModelSpec) -> ModelSpec {
+    let mut s = base.scaled_to_bytes(1 << 20);
+    s.mean_items_per_request = 4.0;
+    s.default_batch_size = 4;
+    s
+}
+
+fn tenant(name: &str, spec: ModelSpec, seed: u64, queue_capacity: usize) -> TenantSpec {
+    TenantSpec {
+        name: name.to_string(),
+        spec,
+        seed,
+        strategy: ShardingStrategy::CapacityBalanced(2),
+        weight: 1,
+        queue_capacity,
+        sla: Duration::from_millis(500),
+    }
+}
+
+fn three_tenants() -> TenantSet {
+    TenantSet::build(
+        vec![
+            tenant("rm1", small_spec(rm::rm1()), 3, 64),
+            tenant("rm2", small_spec(rm::rm2()), 5, 64),
+            tenant("rm3", small_spec(rm::rm3()), 7, 64),
+        ],
+        PressureConfig::default(),
+    )
+    .expect("build tenant set")
+}
+
+/// Asserts every tenant except `skip` still answers bitwise-identically
+/// to its witness predictions and has seen no cutover.
+fn assert_neighbors_untouched(
+    set: &TenantSet,
+    skip: usize,
+    witnesses: &[Vec<dlrm_tensor::Matrix>],
+    step: &str,
+) {
+    for (i, witness) in witnesses.iter().enumerate() {
+        if i == skip {
+            continue;
+        }
+        assert_eq!(
+            set.tenant(i).cutovers(),
+            0,
+            "{step}: neighbor {i} saw a cutover"
+        );
+        let now = set.tenant(i).probe_current().expect("neighbor probe");
+        for (a, b) in now.iter().zip(witness) {
+            assert_eq!(a.as_slice(), b.as_slice(), "{step}: neighbor {i} drifted");
+        }
+    }
+}
+
+#[test]
+fn full_ladder_round_trip_is_bit_exact_and_neighbors_never_move() {
+    let set = three_tenants();
+    let witnesses: Vec<_> = (0..set.len())
+        .map(|i| set.tenant(i).probe_current().expect("witness probe"))
+        .collect();
+    let before = set.tenant(0).bytes_by_tier();
+
+    // Walk two different tables through the ladder so the property
+    // covers more than one slicing geometry.
+    for table in [0usize, 1] {
+        // Down: DRAM -> quantized. Serving drifts, but inside the
+        // published tolerance — and only for the affected tenant.
+        set.force_transition(0, table, Tier::Quantized)
+            .expect("demote to quantized");
+        let quantized = set.tenant(0).probe_current().expect("quantized probe");
+        let mut drift = 0.0f32;
+        for (a, g) in quantized.iter().zip(set.tenant(0).golden()) {
+            drift = drift.max(a.max_abs_diff(g));
+        }
+        assert!(
+            drift <= QUANT_TOLERANCE,
+            "table {table}: quantized drift {drift} above tolerance"
+        );
+        assert_neighbors_untouched(&set, 0, &witnesses, "after quantize");
+
+        // Down: quantized -> paged. Paged rows are the same f32 bits
+        // read from disk: predictions return to bit-exact.
+        set.force_transition(0, table, Tier::Paged).expect("demote to paged");
+        let paged = set.tenant(0).probe_current().expect("paged probe");
+        for (a, g) in paged.iter().zip(set.tenant(0).golden()) {
+            assert_eq!(a.as_slice(), g.as_slice(), "paged tier must be bit-exact");
+        }
+        assert!(set.tenant(0).bytes_by_tier().resident() < before.resident());
+        assert_neighbors_untouched(&set, 0, &witnesses, "after page-out");
+
+        // Back up the ladder.
+        set.force_transition(0, table, Tier::Quantized)
+            .expect("promote to quantized");
+        set.force_transition(0, table, Tier::Dram).expect("promote to dram");
+        assert_neighbors_untouched(&set, 0, &witnesses, "after promote");
+    }
+
+    // Round trip complete: resident bytes restored exactly, predictions
+    // bit-exact with the all-DRAM goldens, every transition verified.
+    assert_eq!(set.tenant(0).bytes_by_tier(), before);
+    assert!(set.tenant(0).tiers().iter().all(|&t| t == Tier::Dram));
+    let after = set.tenant(0).probe_current().expect("final probe");
+    for (a, g) in after.iter().zip(set.tenant(0).golden()) {
+        assert_eq!(a.as_slice(), g.as_slice(), "round trip must be bit-exact");
+    }
+    assert!(set.controller().verify_failures().is_empty());
+    assert_eq!(set.controller().demotions(), 4);
+    assert_eq!(set.controller().promotions(), 4);
+}
+
+/// One tenant's open-loop workload: `n` seeded requests at `qps`.
+fn workload(spec: &ModelSpec, n: usize, qps: f64, seed: u64) -> TenantWorkload {
+    let db = TraceDb::generate(spec, n, seed);
+    let requests = materialize_frontend_requests(spec, &db, seed ^ 1);
+    let schedule = ArrivalSchedule::poisson(requests.len(), qps, seed ^ 2);
+    TenantWorkload { requests, schedule }
+}
+
+#[test]
+fn overloaded_tenant_sheds_locally_and_neighbor_keeps_its_solo_sla() {
+    const B_REQUESTS: usize = 24;
+    const B_QPS: f64 = 2_000.0;
+    const A_QUEUE: usize = 8;
+    /// Availability/SLA band the colocated neighbor must stay inside of
+    /// relative to its solo run. Wall-clock latencies jitter; outcome
+    /// accounting does not.
+    const BAND: f64 = 0.10;
+
+    let b_spec = small_spec(rm::rm2());
+
+    // Solo baseline: tenant B alone on the host.
+    let solo_set = TenantSet::build(
+        vec![tenant("rm2", b_spec.clone(), 5, 64)],
+        PressureConfig::default(),
+    )
+    .expect("solo set");
+    let solo = run_tenant_set(
+        &solo_set,
+        vec![workload(&b_spec, B_REQUESTS, B_QPS, 17)],
+        &TenancyRunConfig::default(),
+    );
+    let solo_b = &solo.combined.tenants[0];
+    assert_eq!(solo_b.shed, 0, "solo baseline must not shed");
+    assert_eq!(solo_b.failed, 0);
+
+    // Colocated: tenant A is offered 4x its admission capacity in one
+    // effectively instantaneous burst; B replays its solo workload.
+    let a_spec = small_spec(rm::rm1());
+    let set = TenantSet::build(
+        vec![
+            tenant("rm1", a_spec.clone(), 3, A_QUEUE),
+            tenant("rm2", b_spec.clone(), 5, 64),
+        ],
+        PressureConfig::default(),
+    )
+    .expect("colocated set");
+    let report = run_tenant_set(
+        &set,
+        vec![
+            workload(&a_spec, 4 * A_QUEUE, 1_000_000.0, 29),
+            workload(&b_spec, B_REQUESTS, B_QPS, 17),
+        ],
+        &TenancyRunConfig::default(),
+    );
+    let a = &report.combined.tenants[0];
+    let b = &report.combined.tenants[1];
+
+    // A's overload is absorbed by A's own queue: real shedding, closed
+    // accounting, and nothing admitted ever fails.
+    assert_eq!(a.offered, (4 * A_QUEUE) as u64);
+    assert!(a.shed > 0, "4x admission capacity must shed at A's queue");
+    assert_eq!(a.offered, a.admitted + a.shed);
+    assert_eq!(a.completed + a.failed, a.admitted);
+    assert_eq!(a.failed, 0);
+
+    // B never sheds or fails — the overload was never B's problem — and
+    // its SLA outcomes stay within the smoke band of its solo run.
+    assert_eq!(b.offered, B_REQUESTS as u64);
+    assert_eq!(b.shed, 0, "neighbor must not shed under A's overload");
+    assert_eq!(b.failed, 0);
+    assert!(
+        b.availability >= solo_b.availability - BAND,
+        "colocated availability {} fell out of band vs solo {}",
+        b.availability,
+        solo_b.availability
+    );
+    assert!(
+        b.sla_hit_rate >= solo_b.sla_hit_rate - BAND,
+        "colocated SLA hit rate {} fell out of band vs solo {}",
+        b.sla_hit_rate,
+        solo_b.sla_hit_rate
+    );
+    assert!(report.verify_failures.is_empty());
+}

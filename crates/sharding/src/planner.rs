@@ -2,7 +2,7 @@
 
 use crate::plan::{Location, ShardId, ShardingPlan, TablePlacement};
 use crate::ShardingStrategy;
-use dlrm_model::{ModelSpec, NetId, TableId};
+use dlrm_model::{Footprint, ModelSpec, NetId, TableId};
 use dlrm_workload::{PoolingProfile, RowStats};
 
 /// Errors from sharding-plan construction.
@@ -90,7 +90,7 @@ pub fn plan(
             Ok(ShardingPlan::new(strategy, 1, placements))
         }
         ShardingStrategy::CapacityBalanced(n) => {
-            let key = |t: &dlrm_model::TableSpec| t.bytes() as f64;
+            let key = |t: &dlrm_model::TableSpec| t.footprint_bytes() as f64;
             balanced_plan(spec, strategy, n, key)
         }
         ShardingStrategy::LoadBalanced(n) => {
@@ -302,20 +302,21 @@ fn balanced_plan(
 }
 
 /// One NSBP bin: either a set of whole tables from one net, or one part
-/// of a row-sharded table.
+/// of a row-sharded table. Sizes are integer [`Footprint`] bytes; the
+/// only fractional quantity in the packer is the capacity limit itself.
 #[derive(Debug, Clone)]
 enum Bin {
     Whole {
         net: NetId,
         tables: Vec<TableId>,
-        bytes: f64,
+        bytes: u64,
     },
     /// `part` of `parts` of a row-sharded table.
-    Part { table: TableId, bytes: f64 },
+    Part { table: TableId, bytes: u64 },
 }
 
 impl Bin {
-    fn bytes(&self) -> f64 {
+    fn bytes(&self) -> u64 {
         match self {
             Bin::Whole { bytes, .. } | Bin::Part { bytes, .. } => *bytes,
         }
@@ -342,8 +343,8 @@ fn nsbp_plan(
         )));
     }
 
-    let total: f64 = spec.tables.iter().map(|t| t.bytes() as f64).sum();
-    let mut cap = total / n as f64;
+    let total = spec.footprint_bytes();
+    let mut cap = total as f64 / n as f64;
     let mut bins = pack_all_nets(spec, cap);
     // Grow the limit until everything fits in n bins (bounded: at
     // cap >= total each net is one bin and row-sharding vanishes).
@@ -361,7 +362,7 @@ fn nsbp_plan(
         let (idx, _) = bins
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.bytes().total_cmp(&b.bytes()))
+            .max_by(|(_, a), (_, b)| a.bytes().cmp(&b.bytes()))
             .expect("at least one bin");
         match bins.remove(idx) {
             Bin::Part { table, .. } => {
@@ -378,7 +379,7 @@ fn nsbp_plan(
                     }
                 }
                 let parts = existing.len() + 2; // removed one + removed rest + one extra
-                let per = spec.table(table).bytes() as f64 / parts as f64;
+                let per = spec.table(table).footprint_bytes() / parts as u64;
                 for _ in 0..parts {
                     bins.push(Bin::Part { table, bytes: per });
                 }
@@ -388,11 +389,11 @@ fn nsbp_plan(
                     // Split the table set into two bins by alternating
                     // descending sizes.
                     let mut sorted = tables;
-                    sorted.sort_by_key(|&t| std::cmp::Reverse(spec.table(t).bytes()));
+                    sorted.sort_by_key(|&t| std::cmp::Reverse(spec.table(t).footprint_bytes()));
                     let (mut a, mut b) = (Vec::new(), Vec::new());
-                    let (mut ab, mut bb) = (0.0f64, 0.0f64);
+                    let (mut ab, mut bb) = (0u64, 0u64);
                     for t in sorted {
-                        let sz = spec.table(t).bytes() as f64;
+                        let sz = spec.table(t).footprint_bytes();
                         if ab <= bb {
                             a.push(t);
                             ab += sz;
@@ -414,7 +415,7 @@ fn nsbp_plan(
                 } else {
                     // A single whole table: row-shard it in two.
                     let table = tables[0];
-                    let per = bytes / 2.0;
+                    let per = bytes / 2;
                     bins.push(Bin::Part { table, bytes: per });
                     bins.push(Bin::Part { table, bytes: per });
                 }
@@ -470,13 +471,17 @@ fn pack_all_nets(spec: &ModelSpec, cap: f64) -> Vec<Bin> {
     let mut bins = Vec::new();
     for net in &spec.nets {
         let mut tables: Vec<&dlrm_model::TableSpec> = spec.tables_of_net(net.id).collect();
-        tables.sort_by(|a, b| b.bytes().cmp(&a.bytes()).then(a.id.cmp(&b.id)));
+        tables.sort_by(|a, b| {
+            b.footprint_bytes()
+                .cmp(&a.footprint_bytes())
+                .then(a.id.cmp(&b.id))
+        });
         let mut net_bins: Vec<Bin> = Vec::new();
         for t in tables {
-            let bytes = t.bytes() as f64;
-            if bytes > cap {
-                let parts = (bytes / cap).ceil() as usize;
-                let per = bytes / parts as f64;
+            let bytes = t.footprint_bytes();
+            if bytes as f64 > cap {
+                let parts = (bytes as f64 / cap).ceil() as usize;
+                let per = bytes / parts as u64;
                 for _ in 0..parts {
                     bins.push(Bin::Part {
                         table: t.id,
@@ -487,7 +492,7 @@ fn pack_all_nets(spec: &ModelSpec, cap: f64) -> Vec<Bin> {
             }
             // First-fit into this net's bins.
             let slot = net_bins.iter_mut().find(|b| match b {
-                Bin::Whole { bytes: bb, .. } => *bb + bytes <= cap,
+                Bin::Whole { bytes: bb, .. } => (*bb + bytes) as f64 <= cap,
                 Bin::Part { .. } => false,
             });
             match slot {

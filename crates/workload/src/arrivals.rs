@@ -105,6 +105,54 @@ impl ArrivalSchedule {
         Self { offsets_ms }
     }
 
+    /// A Poisson process with a rate burst: arrivals come at `qps`
+    /// except inside `[burst_start, burst_start + burst_len)` (both
+    /// fractions of the arrival count), where the rate is `qps *
+    /// burst_factor`. This is the overload shape the tenancy isolation
+    /// gates drive: one tenant's traffic spikes well past its admission
+    /// capacity for a bounded window while its neighbors' schedules are
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps` or `burst_factor` is not strictly positive, or
+    /// the burst window is not a sub-range of `[0, 1]`.
+    #[must_use]
+    pub fn poisson_burst(
+        n: usize,
+        qps: f64,
+        burst_factor: f64,
+        burst_start: f64,
+        burst_len: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(qps > 0.0, "arrival rate must be positive, got {qps}");
+        assert!(
+            burst_factor > 0.0,
+            "burst factor must be positive, got {burst_factor}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&burst_start)
+                && burst_len >= 0.0
+                && burst_start + burst_len <= 1.0,
+            "burst window [{burst_start}, {burst_start}+{burst_len}) outside [0, 1]"
+        );
+        let mut rng = SimRng::seed_from(seed).fork(0xa441_7a15_0000_0003);
+        let unit_gap = Exponential::new(1.0);
+        let mut t = 0.0;
+        let offsets_ms = (0..n)
+            .map(|i| {
+                let frac = i as f64 / n.max(1) as f64;
+                let in_burst = frac >= burst_start && frac < burst_start + burst_len;
+                let rate_per_ms =
+                    qps / 1000.0 * if in_burst { burst_factor } else { 1.0 };
+                t += unit_gap.sample(&mut rng) / rate_per_ms;
+                t
+            })
+            .collect();
+        Self { offsets_ms }
+    }
+
     /// Number of scheduled arrivals.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -210,6 +258,45 @@ mod tests {
             trough > peak * 1.5,
             "trough gap {trough} not clearly longer than peak gap {peak}"
         );
+    }
+
+    #[test]
+    fn poisson_burst_compresses_gaps_inside_the_window() {
+        let n = 40_000;
+        let s = ArrivalSchedule::poisson_burst(n, 1000.0, 4.0, 0.25, 0.5, 23);
+        let off = s.offsets_ms();
+        let gap_mean = |lo: usize, hi: usize| -> f64 {
+            (lo..hi).map(|i| off[i + 1] - off[i]).sum::<f64>() / (hi - lo) as f64
+        };
+        let before = gap_mean(0, n / 4 - 1);
+        let during = gap_mean(n / 4, 3 * n / 4);
+        let after = gap_mean(3 * n / 4, n - 1);
+        assert!(
+            (before / during - 4.0).abs() < 0.5,
+            "burst gap ratio {} not ~4x",
+            before / during
+        );
+        assert!(
+            (after / during - 4.0).abs() < 0.5,
+            "post-burst gap ratio {} not ~4x",
+            after / during
+        );
+    }
+
+    #[test]
+    fn poisson_burst_factor_one_is_plain_poisson_rate() {
+        let s = ArrivalSchedule::poisson_burst(20_000, 1500.0, 1.0, 0.0, 1.0, 29);
+        let qps = s.offered_qps();
+        assert!(
+            (qps - 1500.0).abs() / 1500.0 < 0.05,
+            "offered {qps} too far from 1500"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "burst window")]
+    fn poisson_burst_rejects_overlong_window() {
+        let _ = ArrivalSchedule::poisson_burst(10, 100.0, 4.0, 0.8, 0.5, 1);
     }
 
     #[test]

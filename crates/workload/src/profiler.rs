@@ -63,6 +63,15 @@ impl OnlineProfiler {
         self.observed.load(Ordering::Relaxed)
     }
 
+    /// Per-table access totals, indexed by table id — the coldness
+    /// signal the tenancy pressure controller ranks demotion candidates
+    /// by (fewest accesses per resident byte demotes first).
+    #[must_use]
+    pub fn table_accesses(&self) -> Vec<u64> {
+        let counts = self.counts.lock().expect("profiler counts lock");
+        counts.iter().map(|t| t.values().sum::<u64>()).collect()
+    }
+
     /// The smallest per-table access total — the coverage floor a
     /// controller gates replanning on (a table nobody touched yet
     /// cannot be profiled).

@@ -58,6 +58,16 @@ echo "==> rebalance bench: cutover vs steady-state percentiles, migration"
 echo "    duration vs re-homed bytes -> BENCH_rebalance.json"
 cargo run --release --offline -p dlrm-bench --bin rebalance_bench
 
+echo "==> tenant smoke: 3 colocated tenants under a tight DRAM budget and a"
+echo "    tenant-A admission burst; A sheds alone, B/C hold availability >= 99%"
+echo "    and their SLA band, >= 1 demotion + 1 promotion, all dual-read"
+echo "    verified, all-DRAM footprint restored bit-exact"
+cargo run --release --offline -p dlrm-bench --bin tenant_smoke
+
+echo "==> tenant bench: per-tenant e2e p50/p99 + latency-bounded QPS, solo vs"
+echo "    colocated at two DRAM budgets -> BENCH_tenants.json"
+cargo run --release --offline -p dlrm-bench --bin tenant_bench
+
 echo "==> dependency audit: cargo tree must list only workspace members"
 # --edges all includes dev- and build-dependencies; every line of the
 # tree (any depth) must name a dlrm-* crate rooted in this workspace.
